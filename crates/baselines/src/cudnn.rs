@@ -1,0 +1,160 @@
+//! "cuDNN-fastest": the empirical minimum over the cuDNN algorithm family,
+//! as the paper's Fig. 3 uses (`we empirically choose the fastest
+//! version`).
+//!
+//! Every family member is executed on a scratch simulator with the same
+//! device; the winner (by modeled runtime) provides the output and its
+//! per-launch report. [`cudnn_family`] exposes the individual algorithms
+//! for the Fig. 4 columns.
+
+use crate::fft::{FftConv, FftTiling};
+use crate::im2col_gemm::Im2colGemm;
+use crate::implicit_gemm::{ImplicitGemm, PrecompGemm};
+use crate::winograd::{WinogradFused, WinogradNonfused};
+use memconv_core::api::ConvNchwAlgorithm;
+use memconv_gpusim::{GpuSim, RunReport, SampleMode};
+use memconv_tensor::{ConvGeometry, FilterBank, Tensor4};
+
+/// The seven cuDNN forward algorithms, in the paper's Fig. 4 column order.
+pub fn cudnn_family(sample: SampleMode) -> Vec<Box<dyn ConvNchwAlgorithm>> {
+    vec![
+        Box::new(ImplicitGemm::new().with_sample(sample)),
+        Box::new(PrecompGemm::new().with_sample(sample)),
+        Box::new(Im2colGemm::cudnn_gemm().with_sample(sample)),
+        Box::new(FftConv::new().with_sample(sample)),
+        Box::new(FftTiling::new().with_sample(sample)),
+        Box::new(WinogradFused::new().with_sample(sample)),
+        Box::new(WinogradNonfused::new().with_sample(sample)),
+    ]
+}
+
+/// The empirically fastest cuDNN algorithm for each workload.
+#[derive(Debug, Clone)]
+pub struct CudnnFastest {
+    /// Block sampling used for every candidate.
+    pub sample: SampleMode,
+}
+
+impl CudnnFastest {
+    /// New instance with full simulation.
+    pub fn new() -> Self {
+        CudnnFastest {
+            sample: SampleMode::Full,
+        }
+    }
+
+    /// Set block sampling.
+    pub fn with_sample(mut self, sample: SampleMode) -> Self {
+        self.sample = sample;
+        self
+    }
+
+    /// Run every supported family member, returning
+    /// `(winner_name, output, winner_report, all_times)`.
+    pub fn run_detailed(
+        &self,
+        sim: &mut GpuSim,
+        input: &Tensor4,
+        weights: &FilterBank,
+    ) -> (String, Tensor4, RunReport, Vec<(String, f64)>) {
+        let (n, c, ih, iw) = input.dims();
+        let geo = ConvGeometry::nchw(
+            n,
+            c,
+            ih,
+            iw,
+            weights.num_filters(),
+            weights.fh(),
+            weights.fw(),
+        );
+        let mut best: Option<(String, Tensor4, RunReport, f64)> = None;
+        let mut times = Vec::new();
+        for algo in cudnn_family(self.sample) {
+            if !algo.supports_shape(&geo) {
+                continue;
+            }
+            let mut scratch = GpuSim::new(sim.device.clone());
+            let (out, rep) = algo.run(&mut scratch, input, weights);
+            let t = rep.modeled_time(&sim.device);
+            times.push((algo.name().to_string(), t));
+            if best.as_ref().is_none_or(|(_, _, _, bt)| t < *bt) {
+                best = Some((algo.name().to_string(), out, rep, t));
+            }
+        }
+        let (name, out, rep, _) = best.expect("at least one cuDNN algorithm supports any shape");
+        (name, out, rep, times)
+    }
+}
+
+impl Default for CudnnFastest {
+    fn default() -> Self {
+        CudnnFastest::new()
+    }
+}
+
+impl ConvNchwAlgorithm for CudnnFastest {
+    fn name(&self) -> &str {
+        "cuDNN-fastest"
+    }
+
+    fn run(
+        &self,
+        sim: &mut GpuSim,
+        input: &Tensor4,
+        weights: &FilterBank,
+    ) -> (Tensor4, RunReport) {
+        let (_, out, rep, _) = self.run_detailed(sim, input, weights);
+        (out, rep)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memconv_gpusim::DeviceConfig;
+    use memconv_ref::conv_nchw_ref;
+    use memconv_tensor::{assert_close, generate::TensorRng};
+
+    #[test]
+    fn family_has_seven_members() {
+        assert_eq!(cudnn_family(SampleMode::Full).len(), 7);
+        let names: Vec<&str> = cudnn_family(SampleMode::Full)
+            .iter()
+            .map(|a| match a.name() {
+                "implicit" => "implicit",
+                "precomp" => "precomp",
+                "gemm" => "gemm",
+                "fft" => "fft",
+                "tiling" => "tiling",
+                "winograd" => "winograd",
+                "nonfused" => "nonfused",
+                other => panic!("unexpected algo {other}"),
+            })
+            .collect();
+        assert_eq!(names.len(), 7);
+    }
+
+    #[test]
+    fn fastest_output_matches_reference() {
+        let mut rng = TensorRng::new(55);
+        let t = rng.tensor(1, 1, 16, 16);
+        let b = rng.filter_bank(2, 1, 3, 3);
+        let mut sim = GpuSim::new(DeviceConfig::test_tiny());
+        let (name, out, _, times) = CudnnFastest::new().run_detailed(&mut sim, &t, &b);
+        let want = conv_nchw_ref(&t, &b);
+        assert_close(out.as_slice(), want.as_slice(), 1e-3, 1e-3, &name);
+        // every supported candidate produced a time
+        assert!(times.len() >= 5, "{times:?}");
+        assert!(times.iter().all(|(_, t)| *t > 0.0));
+    }
+
+    #[test]
+    fn winograd_excluded_for_5x5() {
+        let mut rng = TensorRng::new(56);
+        let t = rng.tensor(1, 1, 14, 14);
+        let b = rng.filter_bank(1, 1, 5, 5);
+        let mut sim = GpuSim::new(DeviceConfig::test_tiny());
+        let (_, _, _, times) = CudnnFastest::new().run_detailed(&mut sim, &t, &b);
+        assert!(times.iter().all(|(n, _)| n != "winograd" && n != "nonfused"));
+    }
+}

@@ -1,0 +1,42 @@
+//! Criterion bench over the paper's two mechanisms: simulation cost of the
+//! fused kernel under each ablation (and the Fig. 1b dynamic-index
+//! strawman, whose local-memory modeling makes it measurably slower to
+//! simulate as well as to "run").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use memconv::prelude::*;
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_reuse_128");
+    group.sample_size(10);
+
+    let mut rng = TensorRng::new(99);
+    let img = rng.image(128, 128);
+    let filt = rng.filter(5, 5);
+
+    for (name, cfg) in [
+        ("direct", OursConfig::direct()),
+        ("column_only", OursConfig::column_only()),
+        ("row_only", OursConfig::row_only()),
+        ("full", OursConfig::full()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| {
+                let mut sim = GpuSim::rtx2080ti();
+                let (out, _) = memconv::core::conv2d_ours(&mut sim, &img, &filt, cfg);
+                std::hint::black_box(out.len())
+            })
+        });
+    }
+    group.bench_function("dyn_index_fig1b", |b| {
+        b.iter(|| {
+            let mut sim = GpuSim::rtx2080ti();
+            let (out, _) = ShuffleDynamic::new().run(&mut sim, &img, &filt);
+            std::hint::black_box(out.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench, Fig. 3 counterpart: wall-clock of the *simulated*
+//! single-channel 2D convolution per algorithm (simulator throughput; the
+//! paper-figure speedups come from the `fig3` harness's modeled times).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use memconv::prelude::*;
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_conv2d_256");
+    group.sample_size(10);
+
+    let mut rng = TensorRng::new(42);
+    let img = rng.image(256, 256);
+
+    for f in [3usize, 5] {
+        let filt = rng.filter(f, f);
+        let algos: Vec<(&str, Box<dyn Conv2dAlgorithm>)> = vec![
+            ("ours", Box::new(Ours::new())),
+            ("npp_direct", Box::new(As2d(DirectConv::npp()))),
+            ("arrayfire_tiled", Box::new(As2d(TiledConv::arrayfire()))),
+            ("gemm_im2col", Box::new(As2d(Im2colGemm::caffe()))),
+        ];
+        for (name, algo) in algos {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("{f}x{f}")),
+                &filt,
+                |b, filt| {
+                    b.iter(|| {
+                        let mut sim = GpuSim::rtx2080ti();
+                        let (out, _) = algo.run(&mut sim, &img, filt);
+                        std::hint::black_box(out.len())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

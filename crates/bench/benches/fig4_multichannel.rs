@@ -1,0 +1,40 @@
+//! Criterion bench, Fig. 4 counterpart: wall-clock of simulating the
+//! multi-channel algorithms on a reduced CONV1-shaped layer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use memconv::prelude::*;
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_conv1_small_batch");
+    group.sample_size(10);
+
+    // CONV1 shape (28x28, 3x3) at batch 4 and 8 filters for bench speed.
+    let mut rng = TensorRng::new(7);
+    let input = rng.tensor(4, 3, 28, 28);
+    let bank = rng.filter_bank(8, 3, 3, 3);
+
+    let algos: Vec<(&str, Box<dyn ConvNchwAlgorithm>)> = vec![
+        ("ours", Box::new(Ours::new())),
+        ("implicit", Box::new(ImplicitGemm::new())),
+        ("precomp", Box::new(PrecompGemm::new())),
+        ("gemm", Box::new(Im2colGemm::cudnn_gemm())),
+        ("fft", Box::new(FftConv::new())),
+        ("tiling", Box::new(FftTiling::new())),
+        ("winograd", Box::new(WinogradFused::new())),
+        ("nonfused", Box::new(WinogradNonfused::new())),
+        ("caffe_baseline", Box::new(Im2colGemm::caffe())),
+    ];
+    for (name, algo) in algos {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &bank, |b, bank| {
+            b.iter(|| {
+                let mut sim = GpuSim::rtx2080ti();
+                let (out, _) = algo.run(&mut sim, &input, bank);
+                std::hint::black_box(out.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! Ablation harness: isolates each of the paper's mechanisms on measured
+//! transaction counts (the analog of Fig. 1 and Fig. 2 / Algorithm 2, plus
+//! the extension study DESIGN.md calls out).
+//!
+//! ```sh
+//! cargo run --release -p memconv-bench --bin ablation -- column  # Fig. 1
+//! cargo run --release -p memconv-bench --bin ablation -- row     # Fig. 2 / Alg. 2
+//! cargo run --release -p memconv-bench --bin ablation -- full    # everything
+//! ```
+
+use memconv::core::ColumnPlan;
+use memconv::prelude::*;
+use memconv_bench::harness_sample;
+
+fn stats_2d(img: &Image2D, filt: &Filter2D, cfg: &OursConfig) -> KernelStats {
+    let mut sim = GpuSim::rtx2080ti();
+    let (_, s) = memconv::core::conv2d_ours(&mut sim, img, filt, cfg);
+    s
+}
+
+fn column_study(img: &Image2D) {
+    println!("\n--- column reuse (paper Fig. 1 / Algorithm 1) ---");
+    println!(
+        "{:<6} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "FW", "plan loads", "direct reqs", "ours reqs", "direct txns", "ours txns"
+    );
+    for f in [3usize, 5, 7, 9] {
+        let filt = TensorRng::new(f as u64).filter(f, f);
+        let plan = ColumnPlan::new(f);
+        let direct = stats_2d(img, &filt, &OursConfig::direct());
+        let ours = stats_2d(img, &filt, &OursConfig::column_only());
+        println!(
+            "{:<6} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            format!("{f}x{f}"),
+            format!("{}+{}shfl", plan.num_loads(), plan.num_shuffles()),
+            direct.gld_requests,
+            ours.gld_requests,
+            direct.gld_transactions,
+            ours.gld_transactions,
+        );
+    }
+    println!("(Fig. 1: 2 loads instead of FW for FW in {{3,5}}; dyadic plans beyond)");
+}
+
+fn row_study(img: &Image2D) {
+    println!("\n--- row reuse (paper Fig. 2 / Algorithm 2) ---");
+    println!(
+        "{:<18} {:>12} {:>12} {:>14}",
+        "rows/thread (T)", "gld reqs", "gld txns", "rows read/row"
+    );
+    let filt = TensorRng::new(55).filter(3, 3);
+    let fh = 3usize;
+    for t in [1usize, 2, 4, 8, 16] {
+        let cfg = OursConfig {
+            rows_per_thread: t,
+            ..OursConfig::full()
+        };
+        let s = stats_2d(img, &filt, &cfg);
+        println!(
+            "{:<18} {:>12} {:>12} {:>14.2}",
+            t,
+            s.gld_requests,
+            s.gld_transactions,
+            (t + fh - 1) as f64 / t as f64,
+        );
+    }
+    println!("(each input row is read (T+FH-1)/T times; T=1 degenerates to FH reads)");
+}
+
+fn full_study(img: &Image2D) {
+    println!("\n--- full ablation: transactions and modeled time, 3x3 & 5x5 ---");
+    let dev = DeviceConfig::rtx2080ti();
+    for f in [3usize, 5] {
+        let filt = TensorRng::new(f as u64).filter(f, f);
+        println!("\n{f}x{f} filter on {}x{}:", img.h(), img.w());
+        println!(
+            "{:<24} {:>12} {:>12} {:>10} {:>9}",
+            "variant", "gld txns", "local txns", "shuffles", "us"
+        );
+        let show = |name: &str, s: &KernelStats| {
+            println!(
+                "{:<24} {:>12} {:>12} {:>10} {:>9.1}",
+                name,
+                s.gld_transactions,
+                s.local_transactions,
+                s.shfl_instrs,
+                memconv::gpusim::launch_time(s, &dev).total() * 1e6
+            );
+        };
+        show("direct (Fig. 1a)", &stats_2d(img, &filt, &OursConfig::direct()));
+        show("+column (Alg. 1)", &stats_2d(img, &filt, &OursConfig::column_only()));
+        show("+row (Alg. 2)", &stats_2d(img, &filt, &OursConfig::row_only()));
+        show("+both (ours)", &stats_2d(img, &filt, &OursConfig::full()));
+        let mut sim = GpuSim::rtx2080ti();
+        let (_, rep) = ShuffleDynamic::new()
+            .with_sample(harness_sample())
+            .run(&mut sim, img, &filt);
+        show("dyn-index (Fig. 1b)", &rep.totals());
+    }
+}
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_else(|| "full".into());
+    let img = TensorRng::new(2020).image(512, 512);
+    println!("workload: single-channel {}x{} image", img.h(), img.w());
+    match mode.as_str() {
+        "column" => column_study(&img),
+        "row" => row_study(&img),
+        "full" => {
+            column_study(&img);
+            row_study(&img);
+            full_study(&img);
+        }
+        other => {
+            eprintln!("unknown mode `{other}` (expected column | row | full)");
+            std::process::exit(2);
+        }
+    }
+}

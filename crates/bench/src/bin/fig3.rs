@@ -1,0 +1,94 @@
+//! Regenerates **Fig. 3** of the paper: speedups of cuDNN-fastest,
+//! ArrayFire, NPP and ours over GEMM-im2col for single-channel 2D
+//! convolution on 256×256 … 4K×4K images.
+//!
+//! ```sh
+//! cargo run --release -p memconv-bench --bin fig3            # both filters
+//! cargo run --release -p memconv-bench --bin fig3 -- --filter 3
+//! cargo run --release -p memconv-bench --bin fig3 -- --filter 5 --max-size 1024
+//! ```
+
+use memconv::prelude::*;
+use memconv_bench::{harness_sample, mean, run_2d, AlgoResult};
+
+fn parse_arg(name: &str) -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn main() {
+    let filters: Vec<usize> = match parse_arg("--filter") {
+        Some(f) => vec![f],
+        None => vec![3, 5],
+    };
+    let max_size = parse_arg("--max-size").unwrap_or(4096);
+    let sample = harness_sample();
+
+    for f in filters {
+        println!("\n=== Fig. 3{} — {f}x{f} filter, speedup over GEMM-im2col ===",
+                 if f == 3 { "a" } else { "b" });
+        println!(
+            "{:<10} {:>12} {:>10} {:>10} {:>10} {:>10}",
+            "size", "cuDNN", "ArrayFire", "NPP", "ours", "base (ms)"
+        );
+
+        let mut per_algo: Vec<Vec<f64>> = vec![Vec::new(); 4];
+        for point in fig3_sizes() {
+            if point.size > max_size {
+                continue;
+            }
+            let mut rng = TensorRng::new(point.size as u64);
+            let img = rng.image(point.size, point.size);
+            let filt = rng.filter(f, f);
+
+            let base = run_2d(&As2d(Im2colGemm::caffe().with_sample(sample)), &img, &filt);
+
+            let contenders: Vec<AlgoResult> = vec![
+                run_2d(&As2d(CudnnFastest::new().with_sample(sample)), &img, &filt),
+                run_2d(&As2d(TiledConv::arrayfire().with_sample(sample)), &img, &filt),
+                run_2d(&As2d(DirectConv::npp().with_sample(sample)), &img, &filt),
+                run_2d(
+                    &Ours::with_config(OursConfig::full().with_sample(sample)),
+                    &img,
+                    &filt,
+                ),
+            ];
+
+            print!("{:<10}", point.label);
+            for (i, c) in contenders.iter().enumerate() {
+                let s = base.time / c.time;
+                per_algo[i].push(s);
+                print!(" {:>11.1}", s);
+            }
+            println!(" {:>10.2}", base.time * 1e3);
+        }
+
+        println!("{:-<68}", "");
+        print!("{:<10}", "mean");
+        let names = ["cuDNN-fastest", "ArrayFire", "NPP", "ours"];
+        for speedups in per_algo.iter() {
+            print!(" {:>11.1}", mean(speedups));
+        }
+        println!();
+        let ours_mean = mean(&per_algo[3]);
+        let best_other = per_algo[..3]
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (names[i], mean(v)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap();
+        println!(
+            "ours {:.1}x over GEMM-im2col; {:.2}x over second-best ({})",
+            ours_mean,
+            ours_mean / best_other.1,
+            best_other.0
+        );
+        println!(
+            "(paper: mean {} over GEMM-im2col; >30% over second-best NPP)",
+            if f == 3 { "5.4x, up to 9.7x" } else { "7.7x, up to 14.8x" }
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! Regenerates **Fig. 4** of the paper: speedups of the seven cuDNN
+//! algorithms and ours over Caffe's GEMM-im2col, on the Table I layer
+//! configurations, for 1 and 3 input channels.
+//!
+//! ```sh
+//! cargo run --release -p memconv-bench --bin fig4                 # both panels
+//! cargo run --release -p memconv-bench --bin fig4 -- --channels 1
+//! cargo run --release -p memconv-bench --bin fig4 -- --channels 3 --layer CONV3
+//! ```
+//!
+//! Layers whose full-batch output exceeds host memory are run at a reduced
+//! batch (marked `*`); speedup ratios are batch-insensitive once the
+//! device is saturated.
+
+use memconv::prelude::*;
+use memconv_bench::{capped_batch, harness_sample, mean, run_nchw};
+use memconv::baselines::cudnn::cudnn_family;
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let channels: Vec<usize> = match arg_value("--channels").and_then(|v| v.parse().ok()) {
+        Some(c) => vec![c],
+        None => vec![1, 3],
+    };
+    let layer_filter = arg_value("--layer");
+    let sample = harness_sample();
+
+    for ic in channels {
+        println!("\n=== Fig. 4 — {ic} input channel(s), speedup over GEMM-im2col ===");
+        println!(
+            "{:<9} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            "", "implicit", "precomp", "gemm", "fft", "tiling", "winograd", "nonfused", "ours"
+        );
+
+        let mut ours_speedups = Vec::new();
+        let mut best_cudnn_speedups = Vec::new();
+
+        for layer in table1_layers() {
+            if let Some(only) = &layer_filter {
+                if layer.name != only {
+                    continue;
+                }
+            }
+            let g_full = layer.geometry(ic);
+            let (batch, reduced) = capped_batch(layer.batch, g_full.out_elems());
+            let mut rng = TensorRng::new(layer.spatial as u64 + ic as u64);
+            let input = rng.tensor(batch, ic, layer.spatial, layer.spatial);
+            let bank = rng.filter_bank(layer.filters, ic, layer.filter, layer.filter);
+            let geo = layer.geometry(ic);
+
+            let base = run_nchw(
+                &Im2colGemm::caffe()
+                    .with_sample(sample)
+                    .with_batch_replication(),
+                &input,
+                &bank,
+            );
+
+            print!("{:<9}", format!("{}{}", layer.name, if reduced { "*" } else { "" }));
+            let mut best_cudnn = f64::NAN;
+            for algo in cudnn_family(sample) {
+                // supports_shape is checked against the *full* geometry so
+                // cuDNN's limits apply as on the real device.
+                if !algo.supports_shape(&geo) {
+                    print!(" {:>8}", "0.0");
+                    continue;
+                }
+                let r = run_nchw(algo.as_ref(), &input, &bank);
+                let s = base.time / r.time;
+                if !best_cudnn.is_finite() || s > best_cudnn {
+                    best_cudnn = s;
+                }
+                print!(" {:>8.1}", s);
+            }
+            let ours = run_nchw(
+                &Ours::with_config(OursConfig::full().with_sample(sample)),
+                &input,
+                &bank,
+            );
+            let s_ours = base.time / ours.time;
+            println!(" {:>8.1}", s_ours);
+            ours_speedups.push(s_ours);
+            best_cudnn_speedups.push(best_cudnn);
+        }
+
+        println!("{:-<84}", "");
+        let vs_cudnn: Vec<f64> = ours_speedups
+            .iter()
+            .zip(&best_cudnn_speedups)
+            .map(|(o, c)| o / c)
+            .collect();
+        println!(
+            "ours: mean {:.1}x over GEMM-im2col; mean {:.2}x vs fastest cuDNN algorithm",
+            mean(&ours_speedups),
+            mean(&vs_cudnn)
+        );
+        println!(
+            "(paper: mean {} over GEMM-im2col; {} vs fastest cuDNN)",
+            if ic == 1 { "19.5x" } else { "25.6x" },
+            if ic == 1 { "1.3x" } else { "1.1x" },
+        );
+    }
+}

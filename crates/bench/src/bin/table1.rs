@@ -1,0 +1,44 @@
+//! Prints **Table I** of the paper (the multi-channel layer
+//! configurations) together with derived quantities the other harnesses
+//! rely on: output shapes, MAC counts, and the im2col inflation factor
+//! that drives the GEMM baseline's memory traffic.
+//!
+//! ```sh
+//! cargo run --release -p memconv-bench --bin table1
+//! ```
+
+use memconv::prelude::*;
+
+fn main() {
+    println!(
+        "{:<8} {:>4} {:>7} {:>9} {:>6} {:>7} {:>9} {:>12} {:>10}",
+        "layer", "IN", "IC=FC", "IHxIW", "FN", "FHxFW", "OHxOW", "MACs(ic=3)", "im2col-x"
+    );
+    for layer in table1_layers() {
+        let g1 = layer.geometry(1);
+        let g3 = layer.geometry(3);
+        println!(
+            "{:<8} {:>4} {:>7} {:>5}x{:<3} {:>6} {:>4}x{:<2} {:>4}x{:<4} {:>12} {:>9.1}x",
+            layer.name,
+            layer.batch,
+            "1,3",
+            layer.spatial,
+            layer.spatial,
+            layer.filters,
+            layer.filter,
+            layer.filter,
+            g1.out_h(),
+            g1.out_w(),
+            g3.macs(),
+            g1.im2col_elems() as f64 / g1.in_elems() as f64,
+        );
+    }
+    println!(
+        "\nSource: Table I of Lu, Zhang & Wang (CLUSTER 2020); layers from \
+         AlexNet, VGG, ResNet and GoogLeNet."
+    );
+    println!("\nExperiment index:");
+    for e in memconv::workloads::EXPERIMENTS {
+        println!("  {:<16} {}", e.id, e.command);
+    }
+}

@@ -1,0 +1,132 @@
+//! # memconv-bench
+//!
+//! Benchmark harnesses regenerating every table and figure of the paper
+//! (see the binaries `fig3`, `fig4`, `table1`, `ablation`) plus Criterion
+//! micro-benchmarks of the simulator itself.
+//!
+//! All harness numbers are *modeled* RTX 2080 Ti times derived from exact
+//! simulated event counts (`memconv_gpusim::timing`); launches on large
+//! grids are block-sampled (`SampleMode::Auto`). The environment variable
+//! `MEMCONV_SAMPLE_TARGET` overrides the per-launch sampled-block budget
+//! (default 1024; larger = slower but tighter extrapolation).
+
+use memconv::prelude::*;
+
+/// Per-launch sampled-block budget for harness runs.
+pub fn sample_target() -> u64 {
+    std::env::var("MEMCONV_SAMPLE_TARGET")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1024)
+}
+
+/// The sampling mode harness runs use.
+pub fn harness_sample() -> SampleMode {
+    SampleMode::Auto(sample_target())
+}
+
+/// Result of one algorithm on one workload.
+#[derive(Debug, Clone)]
+pub struct AlgoResult {
+    /// Algorithm display name.
+    pub name: String,
+    /// Modeled RTX 2080 Ti time, seconds.
+    pub time: f64,
+    /// Global memory transactions (loads + stores), the paper's metric.
+    pub transactions: u64,
+    /// Kernel launches issued.
+    pub launches: usize,
+}
+
+impl AlgoResult {
+    /// Build from a run report.
+    pub fn from_report(name: &str, rep: &RunReport, dev: &DeviceConfig) -> Self {
+        AlgoResult {
+            name: name.to_string(),
+            time: rep.modeled_time(dev),
+            transactions: rep.global_transactions(),
+            launches: rep.launches.len(),
+        }
+    }
+}
+
+/// Run a 2D algorithm on a fresh simulator and summarize.
+pub fn run_2d(algo: &dyn Conv2dAlgorithm, img: &Image2D, filt: &Filter2D) -> AlgoResult {
+    let mut sim = GpuSim::rtx2080ti();
+    let (_, rep) = algo.run(&mut sim, img, filt);
+    AlgoResult::from_report(algo.name(), &rep, &sim.device)
+}
+
+/// Run an NCHW algorithm on a fresh simulator and summarize.
+pub fn run_nchw(
+    algo: &dyn ConvNchwAlgorithm,
+    input: &Tensor4,
+    weights: &FilterBank,
+) -> AlgoResult {
+    let mut sim = GpuSim::rtx2080ti();
+    let (_, rep) = algo.run(&mut sim, input, weights);
+    AlgoResult::from_report(algo.name(), &rep, &sim.device)
+}
+
+/// Geometric mean (the fair average for speedup ratios).
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Arithmetic mean (the paper's "overall speedup").
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Cap the batch of a Fig. 4 layer so its working set fits host memory;
+/// speedup ratios are batch-insensitive once the device is saturated.
+/// Returns `(batch, was_reduced)`.
+pub fn capped_batch(full_batch: usize, out_elems_full: usize) -> (usize, bool) {
+    const MAX_OUT_ELEMS: usize = 64 << 20; // 64M outputs ≈ 256 MB
+    if out_elems_full <= MAX_OUT_ELEMS {
+        return (full_batch, false);
+    }
+    let per_image = out_elems_full / full_batch;
+    let batch = (MAX_OUT_ELEMS / per_image.max(1)).clamp(4, full_batch);
+    (batch, batch != full_batch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_constant_is_constant() {
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_cap_keeps_small_layers_intact() {
+        let (b, reduced) = capped_batch(128, 1 << 20);
+        assert_eq!(b, 128);
+        assert!(!reduced);
+        // CONV11: 128 × 64 × 222² outputs
+        let (b, reduced) = capped_batch(128, 128 * 64 * 222 * 222);
+        assert!(reduced);
+        assert!(b >= 4 && b < 128);
+    }
+
+    #[test]
+    fn run_2d_produces_finite_times() {
+        let mut rng = TensorRng::new(3);
+        let img = rng.image(40, 40);
+        let filt = rng.filter(3, 3);
+        let r = run_2d(&Ours::new(), &img, &filt);
+        assert!(r.time > 0.0 && r.time.is_finite());
+        assert!(r.transactions > 0);
+        assert_eq!(r.launches, 1);
+    }
+}

@@ -1,0 +1,123 @@
+//! Empirical kernel auto-tuning, in the spirit of `cudnnFindConvolution*`:
+//! candidate tile configurations are run with aggressive block sampling
+//! and the one with the lowest modeled time wins.
+//!
+//! The search space is the fused kernel's two tiling knobs:
+//!
+//! * `rows_per_thread` — the row-reuse tile height. Tall tiles cut row
+//!   re-reads (`(T+FH−1)/T`) but shrink the grid, losing latency hiding
+//!   on small images — the crossover the paper's Fig. 3 shows between
+//!   256² and 1K².
+//! * `block_warps` — warps per block (occupancy granularity).
+
+use crate::kernel2d::{launch_conv2d_ours, OursConfig};
+use memconv_gpusim::{GpuSim, SampleMode};
+use memconv_tensor::ConvGeometry;
+
+/// Candidate values explored by [`autotune_2d`].
+pub const ROWS_CANDIDATES: &[usize] = &[1, 2, 4, 8, 16];
+/// Candidate warps-per-block values.
+pub const WARP_CANDIDATES: &[usize] = &[2, 4, 8];
+
+/// Result of a tuning run.
+#[derive(Debug, Clone)]
+pub struct TuneReport {
+    /// The winning configuration.
+    pub best: OursConfig,
+    /// Every `(rows_per_thread, block_warps, modeled_seconds)` evaluated.
+    pub trials: Vec<(usize, usize, f64)>,
+}
+
+/// Tune the fused 2D kernel for one geometry on the given device.
+///
+/// Runs each candidate on synthetic data with `SampleMode::Auto(256)`
+/// (hundreds of blocks, not the full grid), so tuning costs a small
+/// multiple of one sampled run. Returns the winner with sampling reset to
+/// [`SampleMode::Full`].
+pub fn autotune_2d(device: &memconv_gpusim::DeviceConfig, g: &ConvGeometry) -> TuneReport {
+    assert_eq!(g.in_channels, 1, "2D tuner is single-channel (use Fig. 4 kernels otherwise)");
+    let mut trials = Vec::new();
+    let mut best: Option<(OursConfig, f64)> = None;
+
+    for &rows in ROWS_CANDIDATES {
+        for &warps in WARP_CANDIDATES {
+            let cfg = OursConfig {
+                column_reuse: true,
+                rows_per_thread: rows,
+                block_warps: warps,
+                sample: SampleMode::Auto(256),
+            };
+            let mut sim = GpuSim::new(device.clone());
+            let bi = sim.mem.alloc(g.in_elems());
+            let bf = sim.mem.alloc(g.f_h * g.f_w);
+            let bo = sim.mem.alloc(g.out_elems());
+            let stats = launch_conv2d_ours(
+                &mut sim, bi, bf, bo, g.in_h, g.in_w, g.f_h, g.f_w, &cfg,
+            );
+            let t = memconv_gpusim::launch_time(&stats, device).total();
+            trials.push((rows, warps, t));
+            if best.as_ref().is_none_or(|(_, bt)| t < *bt) {
+                best = Some((cfg, t));
+            }
+        }
+    }
+
+    let (mut best_cfg, _) = best.expect("non-empty candidate grid");
+    best_cfg.sample = SampleMode::Full;
+    TuneReport {
+        best: best_cfg,
+        trials,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memconv_gpusim::DeviceConfig;
+    use memconv_ref::conv2d_ref;
+    use memconv_tensor::generate::TensorRng;
+
+    #[test]
+    fn tuner_explores_the_whole_grid() {
+        let g = ConvGeometry::single(128, 128, 3);
+        let rep = autotune_2d(&DeviceConfig::rtx2080ti(), &g);
+        assert_eq!(rep.trials.len(), ROWS_CANDIDATES.len() * WARP_CANDIDATES.len());
+        assert!(rep.trials.iter().all(|(_, _, t)| t.is_finite() && *t > 0.0));
+        assert_eq!(rep.best.sample, memconv_gpusim::SampleMode::Full);
+    }
+
+    #[test]
+    fn small_images_prefer_short_tiles() {
+        // On a tiny image the grid shrinks to nothing with tall tiles, so
+        // the tuner should not pick the tallest candidate.
+        let g = ConvGeometry::single(64, 64, 3);
+        let rep = autotune_2d(&DeviceConfig::rtx2080ti(), &g);
+        assert!(
+            rep.best.rows_per_thread < 16,
+            "picked T={} for a 64x64 image",
+            rep.best.rows_per_thread
+        );
+    }
+
+    #[test]
+    fn large_images_prefer_row_reuse() {
+        let g = ConvGeometry::single(2048, 2048, 5);
+        let rep = autotune_2d(&DeviceConfig::rtx2080ti(), &g);
+        assert!(
+            rep.best.rows_per_thread > 1,
+            "row reuse should pay off at 2K"
+        );
+    }
+
+    #[test]
+    fn tuned_config_still_bitexact() {
+        let g = ConvGeometry::single(40, 40, 5);
+        let rep = autotune_2d(&DeviceConfig::rtx2080ti(), &g);
+        let mut rng = TensorRng::new(7);
+        let img = rng.image(40, 40);
+        let filt = rng.filter(5, 5);
+        let mut sim = GpuSim::new(DeviceConfig::test_tiny());
+        let (out, _) = crate::kernel2d::conv2d_ours(&mut sim, &img, &filt, &rep.best);
+        assert_eq!(out.as_slice(), conv2d_ref(&img, &filt).as_slice());
+    }
+}

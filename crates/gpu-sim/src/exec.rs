@@ -1,0 +1,709 @@
+//! Kernel execution: grids, blocks, warps.
+//!
+//! A kernel is a Rust closure over [`BlockCtx`]. Within a block, code is
+//! organized as *phases* separated by [`BlockCtx::barrier`]; inside a phase,
+//! [`BlockCtx::each_warp`] runs the given closure once per warp, giving it a
+//! [`WarpCtx`] through which all instructions (arithmetic, shuffles, memory)
+//! are issued so they can be counted.
+//!
+//! Large uniform grids can be *sampled* ([`SampleMode::Stride`]): only every
+//! k-th block is simulated and the traffic counters are scaled by `k`. This
+//! is exact for spatially homogeneous convolution grids up to boundary
+//! effects and is what makes the paper's batch-128 Table I workloads
+//! tractable on a host CPU.
+
+use crate::device::DeviceConfig;
+use crate::lane::{LaneMask, LaneVec, VF, VU, WARP};
+use crate::memory::hierarchy::{flush_l2, new_l1, new_l2, warp_access, Space};
+use crate::memory::{BufId, GlobalMem, SectoredCache, SharedMem};
+use crate::shuffle;
+use crate::stats::KernelStats;
+
+/// How many of a launch's blocks to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleMode {
+    /// Simulate every block (functional result is complete).
+    Full,
+    /// Simulate blocks whose linear index is `≡ 0 (mod k)` and scale the
+    /// counters by the inverse sampling fraction. Functional output is
+    /// partial — use only for performance measurement.
+    Stride(u32),
+    /// Simulate runs of `chunk` consecutive blocks, skipping `skip − 1`
+    /// chunks between runs (fraction simulated = `1/skip`). Preserves the
+    /// adjacent-block cache locality that plain striding destroys, so L2
+    /// behaviour extrapolates faithfully. Performance measurement only.
+    Chunked {
+        /// Consecutive blocks per simulated run.
+        chunk: u32,
+        /// One of every `skip` chunks is simulated.
+        skip: u32,
+    },
+    /// Resolve to [`SampleMode::auto`]`(num_blocks, target)` at launch
+    /// time — the mode harnesses use, since one algorithm may issue many
+    /// launches with very different grid sizes.
+    Auto(u64),
+}
+
+impl SampleMode {
+    /// Pick a mode that simulates roughly `target` blocks out of `total`,
+    /// in locality-preserving chunks.
+    pub fn auto(total: u64, target: u64) -> SampleMode {
+        if total <= target.max(1) {
+            return SampleMode::Full;
+        }
+        let chunk = 64u32;
+        let skip = (total / target.max(1)).max(2) as u32;
+        SampleMode::Chunked { chunk, skip }
+    }
+}
+
+/// Launch geometry, CUDA-style: a 3D grid of 1D thread blocks.
+#[derive(Debug, Clone)]
+pub struct LaunchConfig {
+    /// Grid dimensions `(x, y, z)`.
+    pub grid: (u32, u32, u32),
+    /// Threads per block; must be a positive multiple of 32 and ≤ 1024.
+    pub block: u32,
+    /// Shared memory words (f32) per block.
+    pub shared_words: usize,
+    /// Block sampling mode.
+    pub sample: SampleMode,
+}
+
+impl LaunchConfig {
+    /// 1D grid of `blocks` blocks with `tpb` threads each.
+    pub fn linear(blocks: u32, tpb: u32) -> Self {
+        LaunchConfig {
+            grid: (blocks, 1, 1),
+            block: tpb,
+            shared_words: 0,
+            sample: SampleMode::Full,
+        }
+    }
+
+    /// 2D grid.
+    pub fn grid2d(gx: u32, gy: u32, tpb: u32) -> Self {
+        LaunchConfig {
+            grid: (gx, gy, 1),
+            block: tpb,
+            shared_words: 0,
+            sample: SampleMode::Full,
+        }
+    }
+
+    /// 3D grid.
+    pub fn grid3d(gx: u32, gy: u32, gz: u32, tpb: u32) -> Self {
+        LaunchConfig {
+            grid: (gx, gy, gz),
+            block: tpb,
+            shared_words: 0,
+            sample: SampleMode::Full,
+        }
+    }
+
+    /// Set the per-block shared memory size in f32 words.
+    pub fn with_shared(mut self, words: usize) -> Self {
+        self.shared_words = words;
+        self
+    }
+
+    /// Set the sampling mode.
+    pub fn with_sample(mut self, sample: SampleMode) -> Self {
+        self.sample = sample;
+        self
+    }
+
+    /// Total number of blocks.
+    pub fn num_blocks(&self) -> u64 {
+        self.grid.0 as u64 * self.grid.1 as u64 * self.grid.2 as u64
+    }
+
+    /// Total number of threads.
+    pub fn num_threads(&self) -> u64 {
+        self.num_blocks() * self.block as u64
+    }
+
+    fn validate(&self, dev: &DeviceConfig) {
+        assert!(self.block > 0 && self.block.is_multiple_of(WARP as u32), "block size must be a positive multiple of 32");
+        assert!(self.block <= dev.max_threads_per_sm, "block size exceeds device limit");
+        assert!(self.num_blocks() > 0, "empty grid");
+        assert!(
+            self.shared_words * 4 <= dev.smem_per_sm,
+            "shared memory request {} B exceeds {} B per SM",
+            self.shared_words * 4,
+            dev.smem_per_sm
+        );
+    }
+}
+
+/// Virtual address where per-thread local memory (register spill space)
+/// begins; far above the global arena.
+const LOCAL_BASE: u64 = 1 << 44;
+/// Local memory reserved per warp (bytes): 255 spill slots × 128 B.
+const LOCAL_WARP_SPAN: u64 = 255 * 128;
+
+struct Resources<'a> {
+    dev: &'a DeviceConfig,
+    glob: &'a mut GlobalMem,
+    l1: SectoredCache,
+    l2: &'a mut SectoredCache,
+    stats: &'a mut KernelStats,
+    shared: SharedMem,
+}
+
+/// Execution context for one thread block.
+pub struct BlockCtx<'a> {
+    res: Resources<'a>,
+    /// This block's index in the grid `(x, y, z)`.
+    pub block_idx: (u32, u32, u32),
+    /// Grid dimensions.
+    pub grid_dim: (u32, u32, u32),
+    /// Threads per block.
+    pub block_dim: u32,
+    block_linear: u64,
+}
+
+impl<'a> BlockCtx<'a> {
+    /// Number of warps in this block.
+    pub fn num_warps(&self) -> usize {
+        self.block_dim as usize / WARP
+    }
+
+    /// Linear block id across the grid.
+    pub fn block_linear(&self) -> u64 {
+        self.block_linear
+    }
+
+    /// Run `f` once per warp of this block (one execution phase).
+    pub fn each_warp(&mut self, mut f: impl FnMut(&mut WarpCtx<'_, 'a>)) {
+        for w in 0..self.num_warps() {
+            let mut ctx = WarpCtx {
+                warp_id: w,
+                block_idx: self.block_idx,
+                grid_dim: self.grid_dim,
+                block_dim: self.block_dim,
+                local_base: LOCAL_BASE
+                    + self.block_linear * (self.block_dim as u64 / WARP as u64) * LOCAL_WARP_SPAN
+                    + w as u64 * LOCAL_WARP_SPAN,
+                local_next: 0,
+                res: &mut self.res,
+            };
+            f(&mut ctx);
+        }
+    }
+
+    /// Block-wide barrier (`__syncthreads()`): a phase boundary. Warps in
+    /// the next [`BlockCtx::each_warp`] observe all shared/global writes of
+    /// the previous phase.
+    pub fn barrier(&mut self) {
+        self.res.stats.barriers += 1;
+    }
+}
+
+/// Execution context for one warp. All simulated instructions are methods
+/// here so they are counted exactly once.
+pub struct WarpCtx<'b, 'a> {
+    /// Warp index within the block.
+    pub warp_id: usize,
+    /// Owning block's index.
+    pub block_idx: (u32, u32, u32),
+    /// Grid dimensions.
+    pub grid_dim: (u32, u32, u32),
+    /// Threads per block.
+    pub block_dim: u32,
+    local_base: u64,
+    local_next: u64,
+    res: &'b mut Resources<'a>,
+}
+
+impl<'b, 'a> WarpCtx<'b, 'a> {
+    /// Per-lane thread index within the block (`threadIdx.x`).
+    pub fn thread_idx(&self) -> VU {
+        let base = (self.warp_id * WARP) as u32;
+        VU::from_fn(|l| base + l as u32)
+    }
+
+    /// Per-lane global thread id along x
+    /// (`blockIdx.x * blockDim.x + threadIdx.x`).
+    pub fn global_tid_x(&self) -> VU {
+        let base = self.block_idx.0 * self.block_dim + (self.warp_id * WARP) as u32;
+        VU::from_fn(|l| base + l as u32)
+    }
+
+    /// The lane-id vector `[0..32)`.
+    pub fn lane_id(&self) -> VU {
+        VU::lane_id()
+    }
+
+    // ----- arithmetic (counted) -------------------------------------------
+
+    /// Fused multiply-add `a*b + c` (one warp FMA instruction).
+    #[inline]
+    pub fn fma(&mut self, a: VF, b: VF, c: VF) -> VF {
+        self.res.stats.fma_instrs += 1;
+        LaneVec::from_fn(|l| a.lane(l).mul_add(b.lane(l), c.lane(l)))
+    }
+
+    /// Counted floating add.
+    #[inline]
+    pub fn fadd(&mut self, a: VF, b: VF) -> VF {
+        self.res.stats.fp_instrs += 1;
+        a + b
+    }
+
+    /// Counted floating multiply.
+    #[inline]
+    pub fn fmul(&mut self, a: VF, b: VF) -> VF {
+        self.res.stats.fp_instrs += 1;
+        a * b
+    }
+
+    /// Record `n` additional floating-point instructions executed by host-
+    /// side shortcuts (e.g. an unrolled inner loop folded into one call).
+    pub fn count_fp(&mut self, n: u64) {
+        self.res.stats.fp_instrs += n;
+    }
+
+    // ----- shuffles (counted) ---------------------------------------------
+
+    /// `__shfl_xor_sync` over f32.
+    pub fn shfl_xor(&mut self, v: &VF, mask: usize) -> VF {
+        self.res.stats.shfl_instrs += 1;
+        shuffle::shfl_xor(v, mask, WARP)
+    }
+
+    /// `__shfl_up_sync` over f32.
+    pub fn shfl_up(&mut self, v: &VF, delta: usize) -> VF {
+        self.res.stats.shfl_instrs += 1;
+        shuffle::shfl_up(v, delta, WARP)
+    }
+
+    /// `__shfl_down_sync` over f32.
+    pub fn shfl_down(&mut self, v: &VF, delta: usize) -> VF {
+        self.res.stats.shfl_instrs += 1;
+        shuffle::shfl_down(v, delta, WARP)
+    }
+
+    /// Indexed `__shfl_sync` over f32.
+    pub fn shfl_idx(&mut self, v: &VF, idx: &VU) -> VF {
+        self.res.stats.shfl_instrs += 1;
+        shuffle::shfl_idx(v, idx, WARP)
+    }
+
+    /// Broadcast lane `src` to all lanes.
+    pub fn shfl_bcast(&mut self, v: &VF, src: usize) -> VF {
+        self.res.stats.shfl_instrs += 1;
+        shuffle::broadcast(v, src)
+    }
+
+    /// Butterfly warp sum (`shfl_xor` tree), counted as its 5 shuffles
+    /// plus 5 adds.
+    pub fn warp_sum(&mut self, v: &VF) -> VF {
+        let (r, steps) = shuffle::reduce_add(v);
+        self.res.stats.shfl_instrs += steps;
+        self.res.stats.fp_instrs += steps;
+        r
+    }
+
+    /// Butterfly warp max, counted as its 5 shuffles plus 5 compares.
+    pub fn warp_max(&mut self, v: &VF) -> VF {
+        let (r, steps) = shuffle::reduce_max(v);
+        self.res.stats.shfl_instrs += steps;
+        self.res.stats.fp_instrs += steps;
+        r
+    }
+
+    // ----- global memory ---------------------------------------------------
+
+    /// Warp global load of f32 at per-lane element indices into `buf`.
+    /// Inactive lanes receive 0.0.
+    pub fn gld(&mut self, buf: BufId, idx: &VU, mask: LaneMask) -> VF {
+        let mut addrs = [0u64; WARP];
+        for l in mask.lanes() {
+            addrs[l] = self.res.glob.addr(buf, idx.lane(l));
+        }
+        warp_access(
+            self.res.dev,
+            &mut self.res.l1,
+            self.res.l2,
+            self.res.stats,
+            &addrs,
+            mask,
+            false,
+            Space::Global,
+        );
+        VF::from_fn(|l| {
+            if mask.get(l) {
+                self.res.glob.read_elem(buf, idx.lane(l))
+            } else {
+                0.0
+            }
+        })
+    }
+
+    /// Warp global store of f32. Two active lanes writing the same element
+    /// resolve to the lowest lane, deterministically.
+    pub fn gst(&mut self, buf: BufId, idx: &VU, val: &VF, mask: LaneMask) {
+        let mut addrs = [0u64; WARP];
+        for l in mask.lanes() {
+            addrs[l] = self.res.glob.addr(buf, idx.lane(l));
+        }
+        warp_access(
+            self.res.dev,
+            &mut self.res.l1,
+            self.res.l2,
+            self.res.stats,
+            &addrs,
+            mask,
+            true,
+            Space::Global,
+        );
+        for l in mask.lanes().collect::<Vec<_>>().into_iter().rev() {
+            self.res.glob.write_elem(buf, idx.lane(l), val.lane(l));
+        }
+    }
+
+    /// Constant-memory broadcast load: one uniform element of `buf` read
+    /// through the constant cache (`__constant__` filter weights in the
+    /// paper's kernels). Uniform constant-cache reads are served at
+    /// register speed after the first access and do **not** produce global
+    /// transactions; the issue slot is counted as one instruction.
+    pub fn const_load(&mut self, buf: BufId, idx: u32) -> VF {
+        self.res.stats.fp_instrs += 1;
+        VF::splat(self.res.glob.read_elem(buf, idx))
+    }
+
+    // ----- shared memory ----------------------------------------------------
+
+    /// Warp shared-memory load at per-lane word indices.
+    pub fn sld(&mut self, idx: &VU, mask: LaneMask) -> VF {
+        let (v, passes) = self.res.shared.load(idx, mask);
+        self.res.stats.smem_accesses += 1;
+        self.res.stats.smem_passes += passes;
+        v
+    }
+
+    /// Vectorized warp shared-memory load (`LDS.64`/`LDS.128`): `K`
+    /// consecutive words per lane in one (counted) access.
+    pub fn sld_vec<const K: usize>(&mut self, idx: &VU, mask: LaneMask) -> [VF; K] {
+        let (v, passes) = self.res.shared.load_vec::<K>(idx, mask);
+        self.res.stats.smem_accesses += 1;
+        self.res.stats.smem_passes += passes;
+        v
+    }
+
+    /// Warp shared-memory store.
+    pub fn sst(&mut self, idx: &VU, val: &VF, mask: LaneMask) {
+        let passes = self.res.shared.store(idx, val, mask);
+        self.res.stats.smem_accesses += 1;
+        self.res.stats.smem_passes += passes;
+    }
+
+    // ----- local memory (spill space for PrivArray) -------------------------
+
+    /// Allocate `words` per-thread local words for this warp; returns the
+    /// base *slot* used by [`WarpCtx::local_access`].
+    pub(crate) fn local_alloc(&mut self, words: u64) -> u64 {
+        let slot = self.local_next;
+        self.local_next += words;
+        assert!(
+            self.local_next * 128 <= LOCAL_WARP_SPAN,
+            "local memory overflow: >255 spill words per thread"
+        );
+        slot
+    }
+
+    /// Issue a local-memory access for per-lane word indices relative to a
+    /// [`WarpCtx::local_alloc`] base. Local memory is interleaved per warp:
+    /// word `w` of lane `l` lives at `base + w·128 + l·4`, so a *uniform*
+    /// index is fully coalesced and a divergent one scatters — exactly the
+    /// hardware layout that makes dynamically indexed private arrays
+    /// expensive.
+    pub(crate) fn local_access(&mut self, slot: u64, idx: &VU, mask: LaneMask, is_store: bool) {
+        let mut addrs = [0u64; WARP];
+        for l in mask.lanes() {
+            addrs[l] = self.local_base + (slot + idx.lane(l) as u64) * 128 + l as u64 * 4;
+        }
+        warp_access(
+            self.res.dev,
+            &mut self.res.l1,
+            self.res.l2,
+            self.res.stats,
+            &addrs,
+            mask,
+            is_store,
+            Space::Local,
+        );
+    }
+}
+
+/// The simulated GPU: a device description plus its global memory.
+#[derive(Debug)]
+pub struct GpuSim {
+    /// Hardware parameters (cache geometry, bandwidths, clocks).
+    pub device: DeviceConfig,
+    /// Device global memory.
+    pub mem: GlobalMem,
+}
+
+impl GpuSim {
+    /// A simulator for the given device.
+    pub fn new(device: DeviceConfig) -> Self {
+        GpuSim {
+            device,
+            mem: GlobalMem::new(),
+        }
+    }
+
+    /// An RTX 2080 Ti simulator (the paper's platform).
+    pub fn rtx2080ti() -> Self {
+        GpuSim::new(DeviceConfig::rtx2080ti())
+    }
+
+    /// Launch a kernel over the grid. Blocks run sequentially and
+    /// deterministically (each with a fresh L1, sharing one launch-wide
+    /// L2). Returns the counters for the launch, extrapolated if sampled.
+    pub fn launch(
+        &mut self,
+        cfg: &LaunchConfig,
+        mut kernel: impl FnMut(&mut BlockCtx<'_>),
+    ) -> KernelStats {
+        cfg.validate(&self.device);
+        let mut stats = KernelStats::default();
+        let mut l2 = new_l2(&self.device);
+        let total = cfg.num_blocks();
+        let resolved = match cfg.sample {
+            SampleMode::Auto(target) => SampleMode::auto(total, target),
+            other => other,
+        };
+        let selected = |linear: u64| -> bool {
+            match resolved {
+                SampleMode::Full => true,
+                SampleMode::Stride(k) => {
+                    assert!(k >= 1, "sample stride must be >= 1");
+                    linear.is_multiple_of(k as u64)
+                }
+                SampleMode::Chunked { chunk, skip } => {
+                    assert!(chunk >= 1 && skip >= 1, "bad chunk sampling");
+                    (linear / chunk as u64).is_multiple_of(skip as u64)
+                }
+                SampleMode::Auto(_) => unreachable!("Auto resolved above"),
+            }
+        };
+
+        let mut simulated = 0u64;
+        let (gx, gy, gz) = cfg.grid;
+        for bz in 0..gz {
+            for by in 0..gy {
+                for bx in 0..gx {
+                    let linear =
+                        (bz as u64 * gy as u64 + by as u64) * gx as u64 + bx as u64;
+                    if !selected(linear) {
+                        continue;
+                    }
+                    simulated += 1;
+                    let mut blk = BlockCtx {
+                        res: Resources {
+                            dev: &self.device,
+                            glob: &mut self.mem,
+                            l1: new_l1(&self.device),
+                            l2: &mut l2,
+                            stats: &mut stats,
+                            shared: SharedMem::new(cfg.shared_words, self.device.smem_banks),
+                        },
+                        block_idx: (bx, by, bz),
+                        grid_dim: cfg.grid,
+                        block_dim: cfg.block,
+                        block_linear: linear,
+                    };
+                    kernel(&mut blk);
+                }
+            }
+        }
+        flush_l2(&mut l2, &mut stats);
+
+        let mut out = if simulated < total {
+            stats.scaled(total as f64 / simulated as f64)
+        } else {
+            stats
+        };
+        out.launches = 1;
+        out.threads = cfg.num_threads();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saxpy_functional_and_counted() {
+        let mut sim = GpuSim::new(DeviceConfig::test_tiny());
+        let n = 256u32;
+        let x: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let y: Vec<f32> = (0..n).map(|i| 2.0 * i as f32).collect();
+        let bx = sim.mem.upload(&x);
+        let by = sim.mem.upload(&y);
+        let bo = sim.mem.alloc(n as usize);
+
+        let cfg = LaunchConfig::linear(n / 64, 64);
+        let stats = sim.launch(&cfg, |blk| {
+            blk.each_warp(|w| {
+                let tid = w.global_tid_x();
+                let mask = tid.lt_scalar(n);
+                let xv = w.gld(bx, &tid, mask);
+                let yv = w.gld(by, &tid, mask);
+                let r = w.fma(xv, VF::splat(3.0), yv);
+                w.gst(bo, &tid, &r, mask);
+            });
+        });
+
+        let out = sim.mem.download(bo);
+        for i in 0..n as usize {
+            assert_eq!(out[i], 3.0 * i as f32 + 2.0 * i as f32);
+        }
+        // 8 warps × 2 loads × 4 sectors
+        assert_eq!(stats.gld_requests, 16);
+        assert_eq!(stats.gld_transactions, 64);
+        assert_eq!(stats.gst_transactions, 32);
+        assert_eq!(stats.fma_instrs, 8);
+        assert_eq!(stats.threads, 256);
+        assert_eq!(stats.launches, 1);
+    }
+
+    #[test]
+    fn shared_memory_roundtrip_across_warps() {
+        let mut sim = GpuSim::new(DeviceConfig::test_tiny());
+        let bo = sim.mem.alloc(64);
+        let cfg = LaunchConfig::linear(1, 64).with_shared(64);
+        sim.launch(&cfg, |blk| {
+            // phase 1: each warp writes its lane pattern reversed
+            blk.each_warp(|w| {
+                let tid = w.thread_idx();
+                let idx = VU::from_fn(|l| 63 - (w.warp_id * 32 + l) as u32);
+                let val = tid.to_f32();
+                w.sst(&idx, &val, LaneMask::ALL);
+            });
+            blk.barrier();
+            // phase 2: warps read back linearly; warp 0 sees warp 1's data.
+            blk.each_warp(|w| {
+                let tid = w.thread_idx();
+                let v = w.sld(&tid, LaneMask::ALL);
+                w.gst(bo, &tid, &v, LaneMask::ALL);
+            });
+        });
+        let out = sim.mem.download(bo);
+        for i in 0..64 {
+            assert_eq!(out[i], (63 - i) as f32, "i={i}");
+        }
+    }
+
+    #[test]
+    fn sampled_launch_extrapolates_traffic() {
+        let run = |sample| {
+            let mut sim = GpuSim::new(DeviceConfig::test_tiny());
+            let n = 32 * 64u32;
+            let bi = sim.mem.alloc(n as usize);
+            let bo = sim.mem.alloc(n as usize);
+            let cfg = LaunchConfig::linear(64, 32).with_sample(sample);
+            sim.launch(&cfg, |blk| {
+                blk.each_warp(|w| {
+                    let tid = w.global_tid_x();
+                    let v = w.gld(bi, &tid, LaneMask::ALL);
+                    w.gst(bo, &tid, &v, LaneMask::ALL);
+                });
+            })
+        };
+        let full = run(SampleMode::Full);
+        let sampled = run(SampleMode::Stride(8));
+        assert_eq!(full.gld_transactions, sampled.gld_transactions);
+        assert_eq!(full.gst_transactions, sampled.gst_transactions);
+        assert_eq!(full.threads, sampled.threads);
+    }
+
+    #[test]
+    fn grid_indices_cover_all_blocks() {
+        let mut sim = GpuSim::new(DeviceConfig::test_tiny());
+        let bo = sim.mem.alloc(2 * 3 * 4);
+        let cfg = LaunchConfig::grid3d(4, 3, 2, 32);
+        sim.launch(&cfg, |blk| {
+            let (bx, by, bz) = blk.block_idx;
+            let linear = blk.block_linear();
+            blk.each_warp(|w| {
+                let idx = VU::splat(linear as u32);
+                let val = VF::splat((bz * 100 + by * 10 + bx) as f32);
+                w.gst(bo, &idx, &val, LaneMask::first(1));
+            });
+        });
+        let out = sim.mem.download(bo).to_vec();
+        assert_eq!(out[0], 0.0);
+        assert_eq!(out[1], 1.0);
+        assert_eq!(out[4], 10.0);
+        assert_eq!(out[23], 123.0); // bz=1, by=2, bx=3
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 32")]
+    fn non_warp_multiple_block_rejected() {
+        let mut sim = GpuSim::new(DeviceConfig::test_tiny());
+        sim.launch(&LaunchConfig::linear(1, 48), |_| {});
+    }
+
+    #[test]
+    fn store_conflict_resolves_to_lowest_lane() {
+        let mut sim = GpuSim::new(DeviceConfig::test_tiny());
+        let bo = sim.mem.alloc(1);
+        sim.launch(&LaunchConfig::linear(1, 32), |blk| {
+            blk.each_warp(|w| {
+                let idx = VU::splat(0);
+                let val = w.lane_id().to_f32();
+                w.gst(bo, &idx, &val, LaneMask::ALL);
+            });
+        });
+        assert_eq!(sim.mem.download(bo)[0], 0.0);
+    }
+}
+
+#[cfg(test)]
+mod sample_tests {
+    use super::*;
+
+    #[test]
+    fn auto_sampling_full_when_small() {
+        assert_eq!(SampleMode::auto(100, 1000), SampleMode::Full);
+    }
+
+    #[test]
+    fn auto_sampling_chunks_when_large() {
+        match SampleMode::auto(1_000_000, 1000) {
+            SampleMode::Chunked { chunk, skip } => {
+                assert_eq!(chunk, 64);
+                assert!(skip >= 2);
+            }
+            other => panic!("expected chunked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chunked_sampling_extrapolates_uniform_traffic() {
+        let run = |sample| {
+            let mut sim = GpuSim::new(DeviceConfig::test_tiny());
+            let n = 32 * 512u32;
+            let bi = sim.mem.alloc(n as usize);
+            let bo = sim.mem.alloc(n as usize);
+            let cfg = LaunchConfig::linear(512, 32).with_sample(sample);
+            sim.launch(&cfg, |blk| {
+                blk.each_warp(|w| {
+                    let tid = w.global_tid_x();
+                    let v = w.gld(bi, &tid, LaneMask::ALL);
+                    w.gst(bo, &tid, &v, LaneMask::ALL);
+                });
+            })
+        };
+        let full = run(SampleMode::Full);
+        let sampled = run(SampleMode::Chunked { chunk: 16, skip: 4 });
+        assert_eq!(full.gld_transactions, sampled.gld_transactions);
+        assert_eq!(full.gst_transactions, sampled.gst_transactions);
+    }
+}

@@ -1,0 +1,119 @@
+//! The global-memory coalescer.
+//!
+//! When a warp executes a load or store, the hardware inspects the 32 lane
+//! addresses and merges them into the minimal set of 32-byte *sectors*
+//! (Volta/Turing granularity). Each distinct sector is one **memory
+//! transaction** — the quantity the paper's two optimizations reduce.
+
+use crate::lane::{LaneMask, WARP};
+
+/// Result of coalescing one warp-level access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoalesceResult {
+    /// Distinct sector base addresses touched, ascending.
+    pub sectors: Vec<u64>,
+}
+
+impl CoalesceResult {
+    /// Number of memory transactions this access costs.
+    pub fn transactions(&self) -> u64 {
+        self.sectors.len() as u64
+    }
+}
+
+/// Coalesce a warp access of `size` bytes per lane at the given byte
+/// addresses. Inactive lanes contribute nothing. Accesses that straddle a
+/// sector boundary touch both sectors (possible with mis-aligned layouts).
+pub fn coalesce(
+    addrs: &[u64; WARP],
+    mask: LaneMask,
+    size: u32,
+    sector_bytes: u64,
+) -> CoalesceResult {
+    debug_assert!(sector_bytes.is_power_of_two());
+    let mut sectors: Vec<u64> = Vec::with_capacity(8);
+    for lane in mask.lanes() {
+        let a = addrs[lane];
+        let first = a & !(sector_bytes - 1);
+        let last = (a + size as u64 - 1) & !(sector_bytes - 1);
+        let mut s = first;
+        loop {
+            if !sectors.contains(&s) {
+                sectors.push(s);
+            }
+            if s == last {
+                break;
+            }
+            s += sector_bytes;
+        }
+    }
+    sectors.sort_unstable();
+    CoalesceResult { sectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lane::LaneMask;
+
+    fn addrs_from(f: impl Fn(usize) -> u64) -> [u64; WARP] {
+        std::array::from_fn(f)
+    }
+
+    #[test]
+    fn fully_coalesced_f32_is_four_sectors() {
+        // 32 lanes × 4 B contiguous & aligned = 128 B = 4 × 32 B sectors.
+        let a = addrs_from(|l| 0x1000 + l as u64 * 4);
+        let r = coalesce(&a, LaneMask::ALL, 4, 32);
+        assert_eq!(r.transactions(), 4);
+        assert_eq!(r.sectors, vec![0x1000, 0x1020, 0x1040, 0x1060]);
+    }
+
+    #[test]
+    fn broadcast_is_one_sector() {
+        let a = addrs_from(|_| 0x2000);
+        let r = coalesce(&a, LaneMask::ALL, 4, 32);
+        assert_eq!(r.transactions(), 1);
+    }
+
+    #[test]
+    fn strided_access_wastes_transactions() {
+        // stride 32 B: every lane its own sector — 32 transactions.
+        let a = addrs_from(|l| 0x3000 + l as u64 * 32);
+        let r = coalesce(&a, LaneMask::ALL, 4, 32);
+        assert_eq!(r.transactions(), 32);
+    }
+
+    #[test]
+    fn misaligned_access_spills_into_extra_sector() {
+        // contiguous but starting 4 bytes before a sector boundary
+        let a = addrs_from(|l| 0x101c + l as u64 * 4);
+        let r = coalesce(&a, LaneMask::ALL, 4, 32);
+        assert_eq!(r.transactions(), 5);
+    }
+
+    #[test]
+    fn inactive_lanes_do_not_count() {
+        let a = addrs_from(|l| 0x4000 + l as u64 * 4);
+        let r = coalesce(&a, LaneMask::first(8), 4, 32);
+        assert_eq!(r.transactions(), 1); // 8 × 4 B = 32 B
+        let r0 = coalesce(&a, LaneMask::NONE, 4, 32);
+        assert_eq!(r0.transactions(), 0);
+    }
+
+    #[test]
+    fn access_straddling_sector_counts_both() {
+        let a = addrs_from(|_| 0x501e); // 8-byte access over boundary at 0x5020
+        let r = coalesce(&a, LaneMask::first(1), 8, 32);
+        assert_eq!(r.transactions(), 2);
+    }
+
+    #[test]
+    fn transaction_count_is_permutation_invariant() {
+        let base = addrs_from(|l| 0x6000 + ((l * 7) % 32) as u64 * 4);
+        let sorted = addrs_from(|l| 0x6000 + l as u64 * 4);
+        let r1 = coalesce(&base, LaneMask::ALL, 4, 32);
+        let r2 = coalesce(&sorted, LaneMask::ALL, 4, 32);
+        assert_eq!(r1.sectors, r2.sectors);
+    }
+}

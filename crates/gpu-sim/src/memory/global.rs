@@ -1,0 +1,176 @@
+//! Device global memory: flat `f32` buffers living in a single virtual
+//! address space, so that coalescing and cache behaviour can be computed
+//! from real byte addresses.
+
+/// Handle to a device buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BufId(pub(crate) usize);
+
+#[derive(Debug)]
+struct Buffer {
+    base: u64,
+    data: Vec<f32>,
+}
+
+/// Base of the global-memory arena. Chosen away from zero so that address
+/// arithmetic bugs (e.g. unallocated buffer zero) surface loudly.
+const GLOBAL_BASE: u64 = 1 << 32;
+
+/// Alignment of buffer base addresses: one cache line, as `cudaMalloc`
+/// guarantees (it actually guarantees 256 B; 128 B is what coalescing
+/// needs).
+const BUF_ALIGN: u64 = 256;
+
+/// The simulated device's global memory.
+#[derive(Debug, Default)]
+pub struct GlobalMem {
+    bufs: Vec<Buffer>,
+    next_base: u64,
+}
+
+impl GlobalMem {
+    /// Empty global memory.
+    pub fn new() -> Self {
+        GlobalMem {
+            bufs: Vec::new(),
+            next_base: GLOBAL_BASE,
+        }
+    }
+
+    /// Allocate a zero-filled buffer of `len` f32 elements.
+    pub fn alloc(&mut self, len: usize) -> BufId {
+        self.upload_vec(vec![0.0; len])
+    }
+
+    /// Allocate a buffer initialized from host data.
+    pub fn upload(&mut self, data: &[f32]) -> BufId {
+        self.upload_vec(data.to_vec())
+    }
+
+    /// Allocate a buffer taking ownership of host data.
+    pub fn upload_vec(&mut self, data: Vec<f32>) -> BufId {
+        let base = self.next_base;
+        let bytes = (data.len() as u64 * 4).max(1);
+        self.next_base = (base + bytes).div_ceil(BUF_ALIGN) * BUF_ALIGN;
+        self.bufs.push(Buffer { base, data });
+        BufId(self.bufs.len() - 1)
+    }
+
+    /// Read back a buffer.
+    pub fn download(&self, id: BufId) -> &[f32] {
+        &self.bufs[id.0].data
+    }
+
+    /// Overwrite a buffer's contents from the host (lengths must match).
+    pub fn write_host(&mut self, id: BufId, data: &[f32]) {
+        let buf = &mut self.bufs[id.0];
+        assert_eq!(buf.data.len(), data.len(), "host write length mismatch");
+        buf.data.copy_from_slice(data);
+    }
+
+    /// Zero a buffer (host-side `cudaMemset`).
+    pub fn zero(&mut self, id: BufId) {
+        for v in &mut self.bufs[id.0].data {
+            *v = 0.0;
+        }
+    }
+
+    /// Element count of a buffer.
+    pub fn len(&self, id: BufId) -> usize {
+        self.bufs[id.0].data.len()
+    }
+
+    /// `true` when the buffer holds no elements.
+    pub fn is_empty(&self, id: BufId) -> bool {
+        self.bufs[id.0].data.is_empty()
+    }
+
+    /// Virtual byte address of element `idx` of buffer `id`.
+    #[inline]
+    pub fn addr(&self, id: BufId, idx: u32) -> u64 {
+        self.bufs[id.0].base + idx as u64 * 4
+    }
+
+    /// Device-side element read (bounds-checked).
+    #[inline]
+    pub fn read_elem(&self, id: BufId, idx: u32) -> f32 {
+        let buf = &self.bufs[id.0];
+        match buf.data.get(idx as usize) {
+            Some(&v) => v,
+            None => panic!(
+                "device read OOB: buffer {} has {} elems, index {}",
+                id.0,
+                buf.data.len(),
+                idx
+            ),
+        }
+    }
+
+    /// Device-side element write (bounds-checked).
+    #[inline]
+    pub fn write_elem(&mut self, id: BufId, idx: u32, v: f32) {
+        let buf = &mut self.bufs[id.0];
+        let len = buf.data.len();
+        match buf.data.get_mut(idx as usize) {
+            Some(slot) => *slot = v,
+            None => panic!(
+                "device write OOB: buffer {} has {len} elems, index {}",
+                id.0, idx
+            ),
+        }
+    }
+
+    /// Total allocated elements across live buffers.
+    pub fn total_elems(&self) -> usize {
+        self.bufs.iter().map(|b| b.data.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_roundtrip() {
+        let mut m = GlobalMem::new();
+        let a = m.upload(&[1.0, 2.0, 3.0]);
+        assert_eq!(m.download(a), &[1.0, 2.0, 3.0]);
+        assert_eq!(m.len(a), 3);
+        m.write_elem(a, 1, 9.0);
+        assert_eq!(m.read_elem(a, 1), 9.0);
+    }
+
+    #[test]
+    fn buffers_are_line_aligned_and_disjoint() {
+        let mut m = GlobalMem::new();
+        let a = m.alloc(5);
+        let b = m.alloc(100);
+        assert_eq!(m.addr(a, 0) % BUF_ALIGN, 0);
+        assert_eq!(m.addr(b, 0) % BUF_ALIGN, 0);
+        // end of a strictly before start of b
+        assert!(m.addr(a, 4) + 4 <= m.addr(b, 0));
+    }
+
+    #[test]
+    fn addresses_stride_by_four_bytes() {
+        let mut m = GlobalMem::new();
+        let a = m.alloc(10);
+        assert_eq!(m.addr(a, 3) - m.addr(a, 0), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "OOB")]
+    fn oob_read_panics() {
+        let mut m = GlobalMem::new();
+        let a = m.alloc(2);
+        m.read_elem(a, 2);
+    }
+
+    #[test]
+    fn zero_resets_contents() {
+        let mut m = GlobalMem::new();
+        let a = m.upload(&[5.0; 4]);
+        m.zero(a);
+        assert_eq!(m.download(a), &[0.0; 4]);
+    }
+}

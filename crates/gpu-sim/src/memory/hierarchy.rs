@@ -1,0 +1,223 @@
+//! The L1 → L2 → DRAM path: classifies each coalesced sector and updates
+//! the launch counters.
+
+use super::cache::{Access, CachePolicy, SectoredCache};
+use super::coalescer::coalesce;
+use crate::device::DeviceConfig;
+use crate::lane::{LaneMask, WARP};
+use crate::stats::KernelStats;
+
+/// Which address space a warp access targets (for counter attribution;
+/// both spaces share the same physical cache path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Space {
+    /// Global device memory.
+    Global,
+    /// Local (per-thread spill) memory.
+    Local,
+}
+
+/// Build a fresh L1 for one block/SM.
+pub fn new_l1(dev: &DeviceConfig) -> SectoredCache {
+    SectoredCache::new(
+        dev.l1_bytes,
+        dev.l1_ways,
+        dev.line_bytes,
+        dev.sector_bytes,
+        CachePolicy::l1(),
+    )
+}
+
+/// Build the launch-wide L2.
+pub fn new_l2(dev: &DeviceConfig) -> SectoredCache {
+    SectoredCache::new(
+        dev.l2_bytes,
+        dev.l2_ways,
+        dev.line_bytes,
+        dev.sector_bytes,
+        CachePolicy::l2(),
+    )
+}
+
+/// Route one warp-level memory access through the hierarchy.
+///
+/// `addrs` are per-lane byte addresses (4-byte accesses); inactive lanes are
+/// ignored. Updates request/transaction counters for `space`, hit counters
+/// for L1/L2, and DRAM sector counters for misses and dirty evictions.
+#[allow(clippy::too_many_arguments)] // mirrors the hardware datapath inputs
+pub fn warp_access(
+    dev: &DeviceConfig,
+    l1: &mut SectoredCache,
+    l2: &mut SectoredCache,
+    stats: &mut KernelStats,
+    addrs: &[u64; WARP],
+    mask: LaneMask,
+    is_store: bool,
+    space: Space,
+) {
+    if mask.is_empty() {
+        return;
+    }
+    let res = coalesce(addrs, mask, 4, dev.sector_bytes as u64);
+    let txns = res.transactions();
+    match (space, is_store) {
+        (Space::Global, false) => {
+            stats.gld_requests += 1;
+            stats.gld_transactions += txns;
+        }
+        (Space::Global, true) => {
+            stats.gst_requests += 1;
+            stats.gst_transactions += txns;
+        }
+        (Space::Local, _) => {
+            stats.local_requests += 1;
+            stats.local_transactions += txns;
+        }
+    }
+
+    for &sector in &res.sectors {
+        let l2_write_backs_before = l2.evicted_dirty_sectors;
+        if is_store {
+            // L1 is write-through: the sector is forwarded to L2 either way.
+            let _ = l1.access(sector, true);
+            match l2.access(sector, true) {
+                Access::Hit => {
+                    stats.l2_accesses += 1;
+                    stats.l2_hit_sectors += 1;
+                }
+                Access::SectorMiss | Access::LineMiss => {
+                    // Full-sector store: allocated in L2 without a DRAM fetch.
+                    stats.l2_accesses += 1;
+                }
+            }
+        } else {
+            match l1.access(sector, false) {
+                Access::Hit => {
+                    stats.l1_hit_sectors += 1;
+                }
+                Access::SectorMiss | Access::LineMiss => {
+                    stats.l2_accesses += 1;
+                    match l2.access(sector, false) {
+                        Access::Hit => stats.l2_hit_sectors += 1,
+                        Access::SectorMiss | Access::LineMiss => {
+                            stats.dram_read_sectors += 1;
+                        }
+                    }
+                }
+            }
+        }
+        // Dirty evictions from L2 become DRAM writes.
+        stats.dram_write_sectors += l2.evicted_dirty_sectors - l2_write_backs_before;
+    }
+}
+
+/// End-of-launch: flush L2, converting remaining dirty sectors into DRAM
+/// write traffic.
+pub fn flush_l2(l2: &mut SectoredCache, stats: &mut KernelStats) {
+    let before = l2.evicted_dirty_sectors;
+    l2.flush();
+    stats.dram_write_sectors += l2.evicted_dirty_sectors - before;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lane::LaneMask;
+
+    fn setup() -> (DeviceConfig, SectoredCache, SectoredCache, KernelStats) {
+        let dev = DeviceConfig::test_tiny();
+        let l1 = new_l1(&dev);
+        let l2 = new_l2(&dev);
+        (dev, l1, l2, KernelStats::default())
+    }
+
+    fn seq_addrs(base: u64) -> [u64; WARP] {
+        std::array::from_fn(|l| base + l as u64 * 4)
+    }
+
+    #[test]
+    fn coalesced_load_counts_four_transactions_and_dram_fills() {
+        let (dev, mut l1, mut l2, mut st) = setup();
+        warp_access(
+            &dev, &mut l1, &mut l2, &mut st,
+            &seq_addrs(0x10000), LaneMask::ALL, false, Space::Global,
+        );
+        assert_eq!(st.gld_requests, 1);
+        assert_eq!(st.gld_transactions, 4);
+        assert_eq!(st.dram_read_sectors, 4);
+        assert_eq!(st.l1_hit_sectors, 0);
+    }
+
+    #[test]
+    fn repeat_load_hits_l1() {
+        let (dev, mut l1, mut l2, mut st) = setup();
+        let a = seq_addrs(0x10000);
+        warp_access(&dev, &mut l1, &mut l2, &mut st, &a, LaneMask::ALL, false, Space::Global);
+        warp_access(&dev, &mut l1, &mut l2, &mut st, &a, LaneMask::ALL, false, Space::Global);
+        assert_eq!(st.gld_transactions, 8);
+        assert_eq!(st.l1_hit_sectors, 4);
+        assert_eq!(st.dram_read_sectors, 4);
+    }
+
+    #[test]
+    fn store_then_flush_writes_dram_once() {
+        let (dev, mut l1, mut l2, mut st) = setup();
+        let a = seq_addrs(0x20000);
+        warp_access(&dev, &mut l1, &mut l2, &mut st, &a, LaneMask::ALL, true, Space::Global);
+        warp_access(&dev, &mut l1, &mut l2, &mut st, &a, LaneMask::ALL, true, Space::Global);
+        assert_eq!(st.gst_transactions, 8);
+        assert_eq!(st.dram_write_sectors, 0, "still cached dirty in L2");
+        flush_l2(&mut l2, &mut st);
+        assert_eq!(st.dram_write_sectors, 4, "each dirty sector written once");
+    }
+
+    #[test]
+    fn local_space_attributes_to_local_counters() {
+        let (dev, mut l1, mut l2, mut st) = setup();
+        warp_access(
+            &dev, &mut l1, &mut l2, &mut st,
+            &seq_addrs(0x30000), LaneMask::ALL, false, Space::Local,
+        );
+        assert_eq!(st.local_requests, 1);
+        assert_eq!(st.local_transactions, 4);
+        assert_eq!(st.gld_requests, 0);
+    }
+
+    #[test]
+    fn capacity_eviction_reaches_dram_on_reread() {
+        let (dev, mut l1, mut l2, mut st) = setup();
+        // Stream far more than L2 (8 KiB tiny device) then re-read the start.
+        for i in 0..128u64 {
+            warp_access(
+                &dev, &mut l1, &mut l2, &mut st,
+                &seq_addrs(0x40000 + i * 128), LaneMask::ALL, false, Space::Global,
+            );
+        }
+        let before = st.dram_read_sectors;
+        warp_access(
+            &dev, &mut l1, &mut l2, &mut st,
+            &seq_addrs(0x40000), LaneMask::ALL, false, Space::Global,
+        );
+        assert!(st.dram_read_sectors > before, "evicted line re-fetched");
+    }
+
+    #[test]
+    fn l2_serves_l1_misses_without_dram() {
+        let (dev, mut l1, mut l2, mut st) = setup();
+        let a = seq_addrs(0x50000);
+        // Load, then thrash L1 only (L1 is 2 KiB; 32 lines of distinct sets),
+        // then re-load: should hit L2.
+        warp_access(&dev, &mut l1, &mut l2, &mut st, &a, LaneMask::ALL, false, Space::Global);
+        for i in 1..20u64 {
+            warp_access(
+                &dev, &mut l1, &mut l2, &mut st,
+                &seq_addrs(0x50000 + i * 128), LaneMask::ALL, false, Space::Global,
+            );
+        }
+        let dram_before = st.dram_read_sectors;
+        let l2hit_before = st.l2_hit_sectors;
+        warp_access(&dev, &mut l1, &mut l2, &mut st, &a, LaneMask::ALL, false, Space::Global);
+        assert_eq!(st.dram_read_sectors, dram_before, "L2 still holds the line");
+        assert_eq!(st.l2_hit_sectors, l2hit_before + 4);
+    }
+}

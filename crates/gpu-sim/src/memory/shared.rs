@@ -1,0 +1,191 @@
+//! Per-block shared memory with bank-conflict accounting.
+//!
+//! Shared memory is organized as 32 banks of 4-byte words. A warp access
+//! completes in one pass when every active lane touches a distinct bank (or
+//! lanes touching the same bank read the *same* word — the broadcast case);
+//! otherwise the access is replayed once per additional word mapped to the
+//! most-contended bank.
+
+use crate::lane::{LaneMask, VF, VU, WARP};
+
+/// A block's shared-memory arena (f32 words).
+#[derive(Debug)]
+pub struct SharedMem {
+    data: Vec<f32>,
+    banks: usize,
+}
+
+impl SharedMem {
+    /// Create an arena able to hold `words` f32 values.
+    pub fn new(words: usize, banks: usize) -> Self {
+        SharedMem {
+            data: vec![0.0; words],
+            banks,
+        }
+    }
+
+    /// Capacity in words.
+    pub fn words(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Number of serialized passes for a warp access at the given word
+    /// indices: `max_b (distinct words in bank b)`, minimum 1 for any
+    /// active access.
+    pub fn passes(&self, idx: &VU, mask: LaneMask) -> u64 {
+        if mask.is_empty() {
+            return 0;
+        }
+        // words-per-bank, deduplicated: same word in same bank broadcasts.
+        let mut per_bank: [Vec<u32>; WARP] = std::array::from_fn(|_| Vec::new());
+        for lane in mask.lanes() {
+            let w = idx.lane(lane);
+            let bank = (w as usize) % self.banks;
+            if !per_bank[bank].contains(&w) {
+                per_bank[bank].push(w);
+            }
+        }
+        per_bank.iter().map(|v| v.len() as u64).max().unwrap_or(1).max(1)
+    }
+
+    /// Warp load. Returns the loaded lanes (inactive lanes read 0.0) and the
+    /// number of serialized passes.
+    pub fn load(&self, idx: &VU, mask: LaneMask) -> (VF, u64) {
+        let passes = self.passes(idx, mask);
+        let v = VF::from_fn(|l| {
+            if mask.get(l) {
+                let i = idx.lane(l) as usize;
+                assert!(i < self.data.len(), "shared load OOB: {i} >= {}", self.data.len());
+                self.data[i]
+            } else {
+                0.0
+            }
+        });
+        (v, passes)
+    }
+
+    /// Vectorized warp load (`LDS.128`): each active lane reads `K`
+    /// consecutive words starting at its index. Bank serialization is
+    /// computed over 16-byte segments — a warp-uniform (broadcast) vec4
+    /// read costs a single pass, which is how real GEMM kernels amortize
+    /// their shared-memory A-operand reads.
+    pub fn load_vec<const K: usize>(&self, idx: &VU, mask: LaneMask) -> ([VF; K], u64) {
+        assert!(K.is_power_of_two() && K <= 4, "LDS supports 1/2/4-word vectors");
+        if mask.is_empty() {
+            return ([VF::splat(0.0); K], 0);
+        }
+        // Distinct 4-word segments per bank-group decide the pass count;
+        // a K-word access must be K-word aligned (as on hardware).
+        let mut segs: Vec<u32> = Vec::new();
+        for lane in mask.lanes() {
+            let base = idx.lane(lane);
+            assert!((base as usize).is_multiple_of(K), "vector smem access must be aligned");
+            let seg = base / 4;
+            if !segs.contains(&seg) {
+                segs.push(seg);
+            }
+        }
+        // 16 B lanes: 8 segments move per 128 B pass.
+        let passes = (segs.len() as u64).div_ceil(8).max(1);
+        let out = std::array::from_fn(|k| {
+            VF::from_fn(|l| {
+                if mask.get(l) {
+                    let i = idx.lane(l) as usize + k;
+                    assert!(i < self.data.len(), "shared vec load OOB");
+                    self.data[i]
+                } else {
+                    0.0
+                }
+            })
+        });
+        (out, passes)
+    }
+
+    /// Warp store. When two active lanes write the same word, the
+    /// lower-numbered lane wins deterministically (hardware leaves it
+    /// undefined; a fixed rule keeps simulations reproducible).
+    pub fn store(&mut self, idx: &VU, val: &VF, mask: LaneMask) -> u64 {
+        let passes = self.passes(idx, mask);
+        // Iterate high→low so the lowest active lane's value lands last.
+        for lane in mask.lanes().collect::<Vec<_>>().into_iter().rev() {
+            let i = idx.lane(lane) as usize;
+            assert!(i < self.data.len(), "shared store OOB: {i} >= {}", self.data.len());
+            self.data[i] = val.lane(lane);
+        }
+        passes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smem(words: usize) -> SharedMem {
+        SharedMem::new(words, 32)
+    }
+
+    #[test]
+    fn conflict_free_unit_stride() {
+        let s = smem(64);
+        let idx = VU::lane_id();
+        assert_eq!(s.passes(&idx, LaneMask::ALL), 1);
+    }
+
+    #[test]
+    fn broadcast_same_word_is_one_pass() {
+        let s = smem(64);
+        let idx = VU::splat(5);
+        assert_eq!(s.passes(&idx, LaneMask::ALL), 1);
+    }
+
+    #[test]
+    fn stride_two_gives_two_way_conflict() {
+        let s = smem(128);
+        let idx = VU::from_fn(|l| (l * 2) as u32);
+        assert_eq!(s.passes(&idx, LaneMask::ALL), 2);
+    }
+
+    #[test]
+    fn stride_32_is_fully_serialized() {
+        let s = smem(2048);
+        let idx = VU::from_fn(|l| (l * 32) as u32);
+        assert_eq!(s.passes(&idx, LaneMask::ALL), 32);
+    }
+
+    #[test]
+    fn store_then_load_roundtrip() {
+        let mut s = smem(64);
+        let idx = VU::lane_id();
+        let val = VF::from_fn(|l| l as f32 * 1.5);
+        s.store(&idx, &val, LaneMask::ALL);
+        let (rd, passes) = s.load(&idx, LaneMask::ALL);
+        assert_eq!(rd, val);
+        assert_eq!(passes, 1);
+    }
+
+    #[test]
+    fn conflicting_store_low_lane_wins() {
+        let mut s = smem(8);
+        let idx = VU::splat(3);
+        let val = VF::from_fn(|l| l as f32);
+        s.store(&idx, &val, LaneMask::ALL);
+        let (rd, _) = s.load(&VU::splat(3), LaneMask::first(1));
+        assert_eq!(rd.lane(0), 0.0);
+    }
+
+    #[test]
+    fn masked_lanes_do_not_access() {
+        let s = smem(4);
+        // lane 20 would be OOB, but it is masked off
+        let idx = VU::from_fn(|l| if l < 4 { l as u32 } else { 1000 });
+        let (v, p) = s.load(&idx, LaneMask::first(4));
+        assert_eq!(p, 1);
+        assert_eq!(v.lane(3), 0.0);
+    }
+
+    #[test]
+    fn empty_mask_costs_nothing() {
+        let s = smem(4);
+        assert_eq!(s.passes(&VU::splat(0), LaneMask::NONE), 0);
+    }
+}

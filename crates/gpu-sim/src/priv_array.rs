@@ -1,0 +1,249 @@
+//! Per-thread private arrays with explicit register/local residency — the
+//! mechanism behind the paper's §II-A and §IV observations.
+//!
+//! On a real GPU, a per-thread array (`float iTemp[5]`) lives in registers
+//! **only if every index is a compile-time constant**; any dynamic index
+//! forces the compiler to place the array in *local memory*, which is
+//! physically global DRAM behind the caches (~500-cycle miss latency).
+//!
+//! [`PrivArray`] makes that rule mechanical:
+//!
+//! * `Residency::Register` arrays cost nothing to access, but only expose
+//!   statically indexed accessors. Calling a `_dyn` accessor panics —
+//!   mirroring the fact that the hardware simply cannot do it.
+//! * `Residency::Local` arrays route **every** access through the memory
+//!   hierarchy at real local-memory addresses, so the cost of Figure 1b's
+//!   dynamically indexed buffer shows up in the counters.
+//!
+//! Algorithm 1's pack/shift/unpack transformation exists precisely so the
+//! column-reuse kernel can use a `Register` array; the ablation baseline
+//! (`shuffle_dynamic`) uses a `Local` one.
+
+use crate::exec::WarpCtx;
+use crate::lane::{LaneMask, VF, VU};
+
+/// Where a private array lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Residency {
+    /// Register file: free accesses, static indices only.
+    Register,
+    /// Local memory: every access is a counted memory transaction.
+    Local,
+}
+
+/// A per-thread array of `N` f32 values (one per lane of the owning warp).
+#[derive(Debug, Clone)]
+pub struct PrivArray<const N: usize> {
+    vals: [VF; N],
+    residency: Residency,
+    /// Local-memory slot base, allocated lazily on first access.
+    slot: Option<u64>,
+}
+
+impl<const N: usize> PrivArray<N> {
+    /// A register-resident array (zero-initialized).
+    pub fn registers() -> Self {
+        PrivArray {
+            vals: [VF::splat(0.0); N],
+            residency: Residency::Register,
+            slot: None,
+        }
+    }
+
+    /// A local-memory-resident array (zero-initialized).
+    pub fn local() -> Self {
+        PrivArray {
+            vals: [VF::splat(0.0); N],
+            residency: Residency::Local,
+            slot: None,
+        }
+    }
+
+    /// Residency of this array.
+    pub fn residency(&self) -> Residency {
+        self.residency
+    }
+
+    fn ensure_slot(&mut self, w: &mut WarpCtx<'_, '_>) -> u64 {
+        match self.slot {
+            Some(s) => s,
+            None => {
+                let s = w.local_alloc(N as u64);
+                self.slot = Some(s);
+                s
+            }
+        }
+    }
+
+    /// Statically indexed read (`iTemp[3]` with a literal index).
+    pub fn get(&mut self, w: &mut WarpCtx<'_, '_>, i: usize) -> VF {
+        assert!(i < N, "private array index {i} out of {N}");
+        if self.residency == Residency::Local {
+            let slot = self.ensure_slot(w);
+            w.local_access(slot, &VU::splat(i as u32), LaneMask::ALL, false);
+        }
+        self.vals[i]
+    }
+
+    /// Statically indexed write.
+    pub fn set(&mut self, w: &mut WarpCtx<'_, '_>, i: usize, v: VF) {
+        assert!(i < N, "private array index {i} out of {N}");
+        if self.residency == Residency::Local {
+            let slot = self.ensure_slot(w);
+            w.local_access(slot, &VU::splat(i as u32), LaneMask::ALL, true);
+        }
+        self.vals[i] = v;
+    }
+
+    /// Dynamically (per-lane) indexed read — only possible for local
+    /// residency, as on hardware.
+    ///
+    /// # Panics
+    /// Panics for `Residency::Register`, with a message explaining the
+    /// hardware constraint.
+    pub fn get_dyn(&mut self, w: &mut WarpCtx<'_, '_>, idx: &VU, mask: LaneMask) -> VF {
+        assert!(
+            self.residency == Residency::Local,
+            "dynamic indexing of a register array is impossible on a GPU: \
+             the compiler would demote it to local memory (use PrivArray::local(), \
+             or apply the paper's static-index transformation)"
+        );
+        let slot = self.ensure_slot(w);
+        w.local_access(slot, idx, mask, false);
+        VF::from_fn(|l| {
+            if mask.get(l) {
+                let i = idx.lane(l) as usize;
+                assert!(i < N, "dynamic index {i} out of {N} in lane {l}");
+                self.vals[i].lane(l)
+            } else {
+                0.0
+            }
+        })
+    }
+
+    /// Dynamically indexed write (local residency only).
+    pub fn set_dyn(&mut self, w: &mut WarpCtx<'_, '_>, idx: &VU, v: &VF, mask: LaneMask) {
+        assert!(
+            self.residency == Residency::Local,
+            "dynamic indexing of a register array is impossible on a GPU (see get_dyn)"
+        );
+        let slot = self.ensure_slot(w);
+        w.local_access(slot, idx, mask, true);
+        for l in mask.lanes() {
+            let i = idx.lane(l) as usize;
+            assert!(i < N, "dynamic index {i} out of {N} in lane {l}");
+            let mut lane_vals = self.vals[i];
+            lane_vals.set_lane(l, v.lane(l));
+            self.vals[i] = lane_vals;
+        }
+    }
+
+    /// Direct (uncounted) value access for register arrays — the common
+    /// fast path of compute kernels where the array is a pure register
+    /// accumulator. Panics for local arrays, whose accesses must be
+    /// counted.
+    pub fn reg(&self, i: usize) -> VF {
+        assert!(
+            self.residency == Residency::Register,
+            "reg() bypasses cost accounting; valid only for register arrays"
+        );
+        self.vals[i]
+    }
+
+    /// Direct (uncounted) mutable access for register arrays.
+    pub fn reg_set(&mut self, i: usize, v: VF) {
+        assert!(self.residency == Residency::Register);
+        self.vals[i] = v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceConfig;
+    use crate::exec::{GpuSim, LaunchConfig};
+
+    fn run_one_warp(f: impl FnMut(&mut WarpCtx<'_, '_>)) -> crate::stats::KernelStats {
+        let mut sim = GpuSim::new(DeviceConfig::test_tiny());
+        let mut f = f;
+        sim.launch(&LaunchConfig::linear(1, 32), |blk| {
+            blk.each_warp(&mut f);
+        })
+    }
+
+    #[test]
+    fn register_array_costs_nothing() {
+        let stats = run_one_warp(|w| {
+            let mut a = PrivArray::<5>::registers();
+            a.set(w, 0, VF::splat(1.0));
+            a.set(w, 4, VF::splat(2.0));
+            let v = a.get(w, 0);
+            assert_eq!(v.lane(7), 1.0);
+        });
+        assert_eq!(stats.local_requests, 0);
+        assert_eq!(stats.local_transactions, 0);
+    }
+
+    #[test]
+    fn local_array_static_access_is_coalesced() {
+        let stats = run_one_warp(|w| {
+            let mut a = PrivArray::<5>::local();
+            a.set(w, 2, VF::splat(3.0));
+            let _ = a.get(w, 2);
+        });
+        assert_eq!(stats.local_requests, 2);
+        // uniform index → 32 lanes × 4 B contiguous = 4 sectors per access
+        assert_eq!(stats.local_transactions, 8);
+    }
+
+    #[test]
+    fn local_array_dynamic_divergent_access_scatters() {
+        let stats = run_one_warp(|w| {
+            let mut a = PrivArray::<5>::local();
+            for i in 0..5 {
+                a.set(w, i, VF::splat(i as f32));
+            }
+            // each lane reads a different element: lane l reads l % 5
+            let idx = VU::from_fn(|l| (l % 5) as u32);
+            let v = a.get_dyn(w, &idx, LaneMask::ALL);
+            assert_eq!(v.lane(0), 0.0);
+            assert_eq!(v.lane(6), 1.0);
+        });
+        // 5 stores × 4 sectors = 20, plus the divergent gather touching
+        // 5 different 128 B rows across 32 lanes: lanes spread over 5 rows,
+        // each row contributes ⌈(lanes in row)·4B / 32B⌉ sectors ≥ 5.
+        assert!(stats.local_transactions > 20, "got {}", stats.local_transactions);
+    }
+
+    #[test]
+    #[should_panic(expected = "impossible on a GPU")]
+    fn dynamic_index_on_register_array_panics() {
+        run_one_warp(|w| {
+            let mut a = PrivArray::<5>::registers();
+            let _ = a.get_dyn(w, &VU::splat(0), LaneMask::ALL);
+        });
+    }
+
+    #[test]
+    fn dyn_write_lands_in_right_lane_slots() {
+        run_one_warp(|w| {
+            let mut a = PrivArray::<4>::local();
+            let idx = VU::from_fn(|l| (l % 4) as u32);
+            let val = VF::from_fn(|l| l as f32);
+            a.set_dyn(w, &idx, &val, LaneMask::ALL);
+            // lane 5 wrote value 5.0 into element 1
+            let e1 = a.get(w, 1);
+            assert_eq!(e1.lane(5), 5.0);
+            // lane 5's element 2 was not written by lane 5
+            let e2 = a.get(w, 2);
+            assert_eq!(e2.lane(5), 0.0);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "bypasses cost accounting")]
+    fn reg_accessor_guards_local_arrays() {
+        let a = PrivArray::<3>::local();
+        let _ = a.reg(0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Human-readable profiling reports: an `nvprof`-style summary of a
+//! launch's counters and the timing model's verdict, for harness output
+//! and debugging.
+
+use crate::device::DeviceConfig;
+use crate::stats::KernelStats;
+use crate::timing::{launch_time, RunReport};
+use std::fmt;
+
+/// A formatted profile of one launch on one device.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    stats: KernelStats,
+    dev: DeviceConfig,
+}
+
+impl Profile {
+    /// Build a profile for `stats` as executed on `dev`.
+    pub fn new(stats: &KernelStats, dev: &DeviceConfig) -> Self {
+        Profile {
+            stats: stats.clone(),
+            dev: dev.clone(),
+        }
+    }
+
+    /// Arithmetic intensity in FLOPs per DRAM byte — the roofline x-axis.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        let bytes = self.stats.dram_bytes(self.dev.sector_bytes).max(1) as f64;
+        self.stats.flops() as f64 / bytes
+    }
+
+    /// The device's roofline ridge point (FLOPs/byte at which compute and
+    /// DRAM bandwidth balance).
+    pub fn ridge_point(&self) -> f64 {
+        self.dev.peak_flops() / self.dev.dram_bw
+    }
+
+    /// `true` when the modeled bottleneck is a memory level.
+    pub fn memory_bound(&self) -> bool {
+        matches!(
+            launch_time(&self.stats, &self.dev).bottleneck(),
+            "l1" | "l2" | "dram"
+        )
+    }
+}
+
+impl fmt::Display for Profile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = &self.stats;
+        let t = launch_time(s, &self.dev);
+        let sb = self.dev.sector_bytes;
+        writeln!(f, "profile on {}", self.dev.name)?;
+        writeln!(f, "  threads            {:>14}", s.threads)?;
+        writeln!(
+            f,
+            "  gld  requests/txns {:>14} / {} ({:.2} txns/req)",
+            s.gld_requests,
+            s.gld_transactions,
+            s.gld_transactions_per_request()
+        )?;
+        writeln!(
+            f,
+            "  gst  requests/txns {:>14} / {}",
+            s.gst_requests, s.gst_transactions
+        )?;
+        if s.local_transactions > 0 {
+            writeln!(
+                f,
+                "  local txns         {:>14}  (register spills!)",
+                s.local_transactions
+            )?;
+        }
+        writeln!(
+            f,
+            "  cache hit rates    {:>13.1}% L1, {:.1}% L2",
+            s.l1_hit_rate() * 100.0,
+            s.l2_hit_rate() * 100.0
+        )?;
+        writeln!(
+            f,
+            "  dram traffic       {:>14} B read, {} B written",
+            s.dram_read_sectors * sb as u64,
+            s.dram_write_sectors * sb as u64
+        )?;
+        writeln!(
+            f,
+            "  instructions       {:>14} fma, {} fp, {} shfl",
+            s.fma_instrs, s.fp_instrs, s.shfl_instrs
+        )?;
+        writeln!(
+            f,
+            "  arithmetic intens. {:>14.2} flop/B (ridge {:.1})",
+            self.arithmetic_intensity(),
+            self.ridge_point()
+        )?;
+        writeln!(
+            f,
+            "  modeled time       {:>11.2} us  [{}-bound]",
+            t.total() * 1e6,
+            t.bottleneck()
+        )
+    }
+}
+
+/// Summarize a multi-launch run as a per-launch table.
+pub fn run_table(rep: &RunReport, dev: &DeviceConfig) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<28} {:>10} {:>10} {:>10} {:>9}",
+        "launch", "gld txns", "gst txns", "dram B", "us"
+    );
+    for (label, s) in &rep.launches {
+        let t = launch_time(s, dev).total();
+        let _ = writeln!(
+            out,
+            "{:<28} {:>10} {:>10} {:>10} {:>9.1}",
+            label,
+            s.gld_transactions,
+            s.gst_transactions,
+            s.dram_bytes(dev.sector_bytes),
+            t * 1e6
+        );
+    }
+    if rep.api_overhead_s > 0.0 {
+        let _ = writeln!(
+            out,
+            "{:<28} {:>10} {:>10} {:>10} {:>9.1}",
+            "(library dispatch)", "-", "-", "-", rep.api_overhead_s * 1e6
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:<28} {:>10} {:>10} {:>10} {:>9.1}",
+        "TOTAL",
+        rep.totals().gld_transactions,
+        rep.totals().gst_transactions,
+        rep.totals().dram_bytes(dev.sector_bytes),
+        rep.modeled_time(dev) * 1e6
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_stats() -> KernelStats {
+        KernelStats {
+            threads: 1 << 16,
+            launches: 1,
+            gld_requests: 1000,
+            gld_transactions: 4200,
+            gst_requests: 500,
+            gst_transactions: 2000,
+            fma_instrs: 50_000,
+            dram_read_sectors: 3000,
+            dram_write_sectors: 1800,
+            l1_hit_sectors: 1000,
+            l2_accesses: 5200,
+            l2_hit_sectors: 400,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn display_contains_key_lines() {
+        let p = Profile::new(&sample_stats(), &DeviceConfig::rtx2080ti());
+        let text = p.to_string();
+        assert!(text.contains("gld  requests/txns"));
+        assert!(text.contains("4.20 txns/req"));
+        assert!(text.contains("modeled time"));
+        assert!(text.contains("-bound]"));
+    }
+
+    #[test]
+    fn spill_line_only_when_local_traffic() {
+        let dev = DeviceConfig::rtx2080ti();
+        let clean = Profile::new(&sample_stats(), &dev).to_string();
+        assert!(!clean.contains("register spills"));
+        let mut s = sample_stats();
+        s.local_transactions = 77;
+        let spilled = Profile::new(&s, &dev).to_string();
+        assert!(spilled.contains("register spills"));
+    }
+
+    #[test]
+    fn roofline_classification() {
+        let dev = DeviceConfig::rtx2080ti();
+        let p = Profile::new(&sample_stats(), &dev);
+        assert!(p.ridge_point() > 10.0 && p.ridge_point() < 40.0);
+        // this sample moves 4800 sectors for 3.2 MFLOP → intensity ~21
+        assert!(p.arithmetic_intensity() > 1.0);
+    }
+
+    #[test]
+    fn run_table_includes_total_and_overhead() {
+        let dev = DeviceConfig::rtx2080ti();
+        let mut rep = RunReport::new();
+        rep.push("k1", sample_stats());
+        rep.push("k2", sample_stats());
+        rep.add_api_overhead(20e-6);
+        let table = run_table(&rep, &dev);
+        assert!(table.contains("k1"));
+        assert!(table.contains("TOTAL"));
+        assert!(table.contains("(library dispatch)"));
+        assert_eq!(table.lines().count(), 5);
+    }
+}

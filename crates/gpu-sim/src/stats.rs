@@ -1,0 +1,252 @@
+//! Event counters collected during kernel execution.
+//!
+//! The counter the paper optimizes is **global-memory transactions**: the
+//! number of 32-byte sectors moved between the SMs and the L1/L2/DRAM
+//! hierarchy per warp-level load/store. [`KernelStats::gld_transactions`]
+//! and [`KernelStats::gst_transactions`] correspond to the
+//! `gld_transactions` / `gst_transactions` nvprof metrics the authors would
+//! have used on the 2080 Ti.
+
+use serde::{Deserialize, Serialize};
+use std::ops::AddAssign;
+
+/// Counters for one kernel launch (or an aggregate of several).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct KernelStats {
+    // --- instruction mix -------------------------------------------------
+    /// Warp-level FMA instructions executed (each = 32 lanes × 2 FLOPs).
+    pub fma_instrs: u64,
+    /// Warp-level non-FMA floating-point instructions (add/mul/…).
+    pub fp_instrs: u64,
+    /// Warp-level shuffle instructions executed.
+    pub shfl_instrs: u64,
+    /// Block-wide barriers executed.
+    pub barriers: u64,
+
+    // --- global memory ----------------------------------------------------
+    /// Warp-level global load requests.
+    pub gld_requests: u64,
+    /// Global load transactions (32 B sectors) — the paper's metric.
+    pub gld_transactions: u64,
+    /// Warp-level global store requests.
+    pub gst_requests: u64,
+    /// Global store transactions (32 B sectors).
+    pub gst_transactions: u64,
+
+    // --- local memory (register spills / dynamically indexed arrays) ------
+    /// Warp-level local load/store requests.
+    pub local_requests: u64,
+    /// Local memory transactions (32 B sectors).
+    pub local_transactions: u64,
+
+    // --- cache hierarchy ---------------------------------------------------
+    /// Sectors that hit in L1.
+    pub l1_hit_sectors: u64,
+    /// Sectors that missed L1 and queried L2.
+    pub l2_accesses: u64,
+    /// Sectors that hit in L2.
+    pub l2_hit_sectors: u64,
+    /// Sectors read from DRAM.
+    pub dram_read_sectors: u64,
+    /// Sectors written back to DRAM.
+    pub dram_write_sectors: u64,
+
+    // --- shared memory -----------------------------------------------------
+    /// Warp-level shared-memory accesses.
+    pub smem_accesses: u64,
+    /// Total bank-serialized passes (1 = conflict-free).
+    pub smem_passes: u64,
+
+    // --- launches ----------------------------------------------------------
+    /// Number of kernel launches aggregated into this record.
+    pub launches: u64,
+    /// Total threads launched.
+    pub threads: u64,
+}
+
+impl KernelStats {
+    /// A zeroed record representing one launch.
+    pub fn for_launch(threads: u64) -> Self {
+        KernelStats {
+            launches: 1,
+            threads,
+            ..Default::default()
+        }
+    }
+
+    /// Total FLOPs executed (FMA = 2, other FP = 1, per lane).
+    pub fn flops(&self) -> u64 {
+        32 * (2 * self.fma_instrs + self.fp_instrs)
+    }
+
+    /// Total global transactions, loads + stores (the paper's headline
+    /// metric).
+    pub fn global_transactions(&self) -> u64 {
+        self.gld_transactions + self.gst_transactions
+    }
+
+    /// Bytes moved between SMs and the L1s (global + local traffic).
+    pub fn l1_bytes(&self, sector_bytes: usize) -> u64 {
+        (self.gld_transactions + self.gst_transactions + self.local_transactions)
+            * sector_bytes as u64
+    }
+
+    /// Bytes moved between L1s and L2.
+    pub fn l2_bytes(&self, sector_bytes: usize) -> u64 {
+        self.l2_accesses * sector_bytes as u64
+    }
+
+    /// Bytes moved between L2 and DRAM (both directions).
+    pub fn dram_bytes(&self, sector_bytes: usize) -> u64 {
+        (self.dram_read_sectors + self.dram_write_sectors) * sector_bytes as u64
+    }
+
+    /// Average global-load transactions per load request — the coalescing
+    /// quality metric (1–4 is fully coalesced f32, 32 is worst-case
+    /// scatter).
+    pub fn gld_transactions_per_request(&self) -> f64 {
+        if self.gld_requests == 0 {
+            0.0
+        } else {
+            self.gld_transactions as f64 / self.gld_requests as f64
+        }
+    }
+
+    /// L1 hit rate over global+local sectors.
+    pub fn l1_hit_rate(&self) -> f64 {
+        let total = self.l1_hit_sectors + self.l2_accesses;
+        if total == 0 {
+            0.0
+        } else {
+            self.l1_hit_sectors as f64 / total as f64
+        }
+    }
+
+    /// L2 hit rate.
+    pub fn l2_hit_rate(&self) -> f64 {
+        if self.l2_accesses == 0 {
+            0.0
+        } else {
+            self.l2_hit_sectors as f64 / self.l2_accesses as f64
+        }
+    }
+
+    /// Scale every traffic counter by `k` — used by the sampling launcher to
+    /// extrapolate from a subset of blocks. Launch counts are not scaled.
+    pub fn scaled(&self, k: f64) -> KernelStats {
+        let s = |v: u64| (v as f64 * k).round() as u64;
+        KernelStats {
+            fma_instrs: s(self.fma_instrs),
+            fp_instrs: s(self.fp_instrs),
+            shfl_instrs: s(self.shfl_instrs),
+            barriers: s(self.barriers),
+            gld_requests: s(self.gld_requests),
+            gld_transactions: s(self.gld_transactions),
+            gst_requests: s(self.gst_requests),
+            gst_transactions: s(self.gst_transactions),
+            local_requests: s(self.local_requests),
+            local_transactions: s(self.local_transactions),
+            l1_hit_sectors: s(self.l1_hit_sectors),
+            l2_accesses: s(self.l2_accesses),
+            l2_hit_sectors: s(self.l2_hit_sectors),
+            dram_read_sectors: s(self.dram_read_sectors),
+            dram_write_sectors: s(self.dram_write_sectors),
+            smem_accesses: s(self.smem_accesses),
+            smem_passes: s(self.smem_passes),
+            launches: self.launches,
+            threads: self.threads,
+        }
+    }
+}
+
+impl AddAssign<&KernelStats> for KernelStats {
+    fn add_assign(&mut self, rhs: &KernelStats) {
+        self.fma_instrs += rhs.fma_instrs;
+        self.fp_instrs += rhs.fp_instrs;
+        self.shfl_instrs += rhs.shfl_instrs;
+        self.barriers += rhs.barriers;
+        self.gld_requests += rhs.gld_requests;
+        self.gld_transactions += rhs.gld_transactions;
+        self.gst_requests += rhs.gst_requests;
+        self.gst_transactions += rhs.gst_transactions;
+        self.local_requests += rhs.local_requests;
+        self.local_transactions += rhs.local_transactions;
+        self.l1_hit_sectors += rhs.l1_hit_sectors;
+        self.l2_accesses += rhs.l2_accesses;
+        self.l2_hit_sectors += rhs.l2_hit_sectors;
+        self.dram_read_sectors += rhs.dram_read_sectors;
+        self.dram_write_sectors += rhs.dram_write_sectors;
+        self.smem_accesses += rhs.smem_accesses;
+        self.smem_passes += rhs.smem_passes;
+        self.launches += rhs.launches;
+        self.threads += rhs.threads;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flop_accounting() {
+        let s = KernelStats {
+            fma_instrs: 10,
+            fp_instrs: 4,
+            ..Default::default()
+        };
+        assert_eq!(s.flops(), 32 * (20 + 4));
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = KernelStats::for_launch(64);
+        let b = KernelStats {
+            gld_transactions: 7,
+            launches: 1,
+            threads: 32,
+            ..Default::default()
+        };
+        a += &b;
+        assert_eq!(a.gld_transactions, 7);
+        assert_eq!(a.launches, 2);
+        assert_eq!(a.threads, 96);
+    }
+
+    #[test]
+    fn rates_handle_zero_denominators() {
+        let s = KernelStats::default();
+        assert_eq!(s.gld_transactions_per_request(), 0.0);
+        assert_eq!(s.l1_hit_rate(), 0.0);
+        assert_eq!(s.l2_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn scaling_extrapolates_traffic_not_launches() {
+        let s = KernelStats {
+            gld_transactions: 100,
+            dram_read_sectors: 40,
+            launches: 1,
+            ..Default::default()
+        };
+        let t = s.scaled(8.0);
+        assert_eq!(t.gld_transactions, 800);
+        assert_eq!(t.dram_read_sectors, 320);
+        assert_eq!(t.launches, 1);
+    }
+
+    #[test]
+    fn byte_helpers_use_sector_size() {
+        let s = KernelStats {
+            gld_transactions: 3,
+            gst_transactions: 1,
+            l2_accesses: 2,
+            dram_read_sectors: 1,
+            dram_write_sectors: 1,
+            ..Default::default()
+        };
+        assert_eq!(s.l1_bytes(32), 128);
+        assert_eq!(s.l2_bytes(32), 64);
+        assert_eq!(s.dram_bytes(32), 64);
+        assert_eq!(s.global_transactions(), 4);
+    }
+}

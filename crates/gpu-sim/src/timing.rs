@@ -1,0 +1,285 @@
+//! The performance model: converts a launch's event counters into an
+//! estimated execution time on the configured device.
+//!
+//! The model is a bottleneck (roofline-style) estimate:
+//!
+//! ```text
+//! t = launch_overhead
+//!   + max(t_compute, t_l1, t_l2, t_dram, t_smem, t_issue)
+//!   + t_latency_floor + t_local_latency
+//! ```
+//!
+//! Every term derives from *counted* events — there are no per-algorithm
+//! fudge factors, so relative comparisons between kernels (the paper's
+//! speedup figures) reflect their real traffic and instruction mix.
+
+use crate::device::DeviceConfig;
+use crate::stats::KernelStats;
+use serde::{Deserialize, Serialize};
+
+/// Assumed number of warps available to hide latency per SM. Convolution
+/// kernels at the paper's block sizes reach ≥50% occupancy (≥16 warps/SM);
+/// the constant enters only the latency-floor terms, which matter for tiny
+/// grids.
+const LATENCY_HIDING_WARPS: f64 = 16.0;
+
+/// Issue throughput: warp instructions per cycle per SM (Turing: 4 warp
+/// schedulers, 1 instruction/cycle each).
+const ISSUE_PER_SM_PER_CYCLE: f64 = 4.0;
+
+/// Time breakdown of one launch, seconds.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimeBreakdown {
+    /// Fixed launch overhead.
+    pub launch: f64,
+    /// FP compute throughput bound.
+    pub compute: f64,
+    /// Warp instruction issue bound (includes shuffles).
+    pub issue: f64,
+    /// L1 bandwidth bound (global + local sectors through the L1s).
+    pub l1: f64,
+    /// L2 bandwidth bound.
+    pub l2: f64,
+    /// DRAM bandwidth bound.
+    pub dram: f64,
+    /// Shared-memory bandwidth bound (bank-conflict passes).
+    pub smem: f64,
+    /// Exposed memory latency floor for shallow grids.
+    pub latency: f64,
+    /// Extra exposed latency from local-memory (spill) traffic.
+    pub local_latency: f64,
+}
+
+impl TimeBreakdown {
+    /// Total modeled time of the launch.
+    pub fn total(&self) -> f64 {
+        self.launch
+            + self
+                .compute
+                .max(self.issue)
+                .max(self.l1)
+                .max(self.l2)
+                .max(self.dram)
+                .max(self.smem)
+            + self.latency
+            + self.local_latency
+    }
+
+    /// Name of the binding bottleneck term.
+    pub fn bottleneck(&self) -> &'static str {
+        let terms = [
+            (self.compute, "compute"),
+            (self.issue, "issue"),
+            (self.l1, "l1"),
+            (self.l2, "l2"),
+            (self.dram, "dram"),
+            (self.smem, "smem"),
+        ];
+        terms
+            .iter()
+            .max_by(|a, b| a.0.total_cmp(&b.0))
+            .map(|&(_, n)| n)
+            .unwrap_or("compute")
+    }
+}
+
+/// Model the execution time of one launch.
+pub fn launch_time(stats: &KernelStats, dev: &DeviceConfig) -> TimeBreakdown {
+    let sb = dev.sector_bytes;
+    let flops = stats.flops() as f64;
+    let instrs = (stats.fma_instrs + stats.fp_instrs + stats.shfl_instrs) as f64;
+
+    // Occupancy-limited scaling: a grid smaller than the device cannot use
+    // every SM. `waves` < 1 means a partial wave.
+    let max_concurrent_warps = dev.sm_count as f64 * dev.max_threads_per_sm as f64 / 32.0;
+    let total_warps = (stats.threads as f64 / 32.0).max(1.0);
+    let device_fill = (total_warps / max_concurrent_warps).min(1.0).max(
+        1.0 / dev.sm_count as f64, // at least one SM busy
+    );
+
+    let compute = flops / (dev.peak_flops() * device_fill);
+    let issue = instrs
+        / (dev.sm_count as f64 * device_fill * ISSUE_PER_SM_PER_CYCLE * dev.clock_hz);
+    let l1 = stats.l1_bytes(sb) as f64 / (dev.l1_bw * device_fill);
+    let l2 = stats.l2_bytes(sb) as f64 / dev.l2_bw;
+    let dram = stats.dram_bytes(sb) as f64 / dev.dram_bw;
+    // One shared-memory pass moves up to 128 B per warp.
+    let smem = stats.smem_passes as f64 * 128.0 / (dev.smem_bw * device_fill);
+
+    // Latency floor: the first wave's memory round trip cannot be hidden.
+    let latency = dev.dram_latency_cycles / dev.clock_hz;
+    // Local-memory traffic adds serialized latency, amortized over the
+    // warps available to hide it.
+    let local_latency = stats.local_requests as f64 * dev.local_mem_latency_cycles
+        / (dev.clock_hz * dev.sm_count as f64 * device_fill * LATENCY_HIDING_WARPS);
+
+    TimeBreakdown {
+        launch: dev.launch_overhead_s,
+        compute,
+        issue,
+        l1,
+        l2,
+        dram,
+        smem,
+        latency,
+        local_latency,
+    }
+}
+
+/// An algorithm run: one or more launches making up a complete convolution
+/// (e.g. im2col lowering + GEMM is two launches).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Per-launch counters, in execution order, with a label each.
+    pub launches: Vec<(String, KernelStats)>,
+    /// Host-side library dispatch overhead, seconds — the cost of the
+    /// *API calls* (descriptor validation, heuristics, workspace
+    /// management) that library-based algorithms pay on top of raw kernel
+    /// launches: ~20 µs per `cudnnConvolutionForward`, ~10 µs per NPP /
+    /// ArrayFire call, ~6 µs per cuBLAS dispatch in Caffe's per-image
+    /// loop. Hand-written kernels (the paper's approach) pay none.
+    #[serde(default)]
+    pub api_overhead_s: f64,
+}
+
+impl RunReport {
+    /// Empty report.
+    pub fn new() -> Self {
+        RunReport::default()
+    }
+
+    /// Append one launch's counters.
+    pub fn push(&mut self, label: impl Into<String>, stats: KernelStats) {
+        self.launches.push((label.into(), stats));
+    }
+
+    /// Add host-side library dispatch overhead (see
+    /// [`RunReport::api_overhead_s`]).
+    pub fn add_api_overhead(&mut self, seconds: f64) {
+        self.api_overhead_s += seconds;
+    }
+
+    /// Aggregate counters across launches.
+    pub fn totals(&self) -> KernelStats {
+        let mut t = KernelStats::default();
+        for (_, s) in &self.launches {
+            t += s;
+        }
+        t
+    }
+
+    /// Total modeled time: launches are serialized (as on a single CUDA
+    /// stream), so times add.
+    pub fn modeled_time(&self, dev: &DeviceConfig) -> f64 {
+        self.api_overhead_s
+            + self
+                .launches
+                .iter()
+                .map(|(_, s)| launch_time(s, dev).total())
+                .sum::<f64>()
+    }
+
+    /// Global transactions across all launches — the paper's metric.
+    pub fn global_transactions(&self) -> u64 {
+        self.totals().global_transactions()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats_with(f: impl FnOnce(&mut KernelStats)) -> KernelStats {
+        let mut s = KernelStats {
+            threads: 1 << 22, // enough to fill the device
+            launches: 1,
+            ..Default::default()
+        };
+        f(&mut s);
+        s
+    }
+
+    #[test]
+    fn dram_bound_kernel_time_matches_bytes_over_bw() {
+        let dev = DeviceConfig::rtx2080ti();
+        let s = stats_with(|s| {
+            s.dram_read_sectors = 1_000_000_000 / 32;
+        });
+        let t = launch_time(&s, &dev);
+        let expect = 1.0e9 / dev.dram_bw;
+        assert!((t.dram - expect).abs() / expect < 1e-9);
+        assert_eq!(t.bottleneck(), "dram");
+        assert!(t.total() > t.dram);
+    }
+
+    #[test]
+    fn compute_bound_kernel_reports_compute() {
+        let dev = DeviceConfig::rtx2080ti();
+        let s = stats_with(|s| {
+            s.fma_instrs = 10_000_000_000 / 64; // 10 GFLOP
+            s.dram_read_sectors = 10;
+        });
+        let t = launch_time(&s, &dev);
+        assert_eq!(t.bottleneck(), "compute");
+    }
+
+    #[test]
+    fn monotone_in_traffic() {
+        let dev = DeviceConfig::rtx2080ti();
+        let small = stats_with(|s| s.dram_read_sectors = 1000);
+        let big = stats_with(|s| s.dram_read_sectors = 2000);
+        assert!(launch_time(&big, &dev).total() >= launch_time(&small, &dev).total());
+    }
+
+    #[test]
+    fn small_grids_pay_partial_device_penalty() {
+        let dev = DeviceConfig::rtx2080ti();
+        let mut tiny = stats_with(|s| s.fma_instrs = 1_000_000);
+        tiny.threads = 32; // one warp: can use only one SM
+        let mut full = tiny.clone();
+        full.threads = 1 << 22;
+        assert!(
+            launch_time(&tiny, &dev).compute > launch_time(&full, &dev).compute,
+            "same work on fewer SMs must take longer"
+        );
+    }
+
+    #[test]
+    fn local_traffic_adds_latency() {
+        let dev = DeviceConfig::rtx2080ti();
+        let without = stats_with(|s| s.dram_read_sectors = 1000);
+        let with = stats_with(|s| {
+            s.dram_read_sectors = 1000;
+            s.local_requests = 1_000_000;
+            s.local_transactions = 4_000_000;
+        });
+        assert!(launch_time(&with, &dev).total() > launch_time(&without, &dev).total());
+    }
+
+    #[test]
+    fn run_report_serializes_launches() {
+        let dev = DeviceConfig::rtx2080ti();
+        let s = stats_with(|s| s.dram_read_sectors = 1_000_000);
+        let mut one = RunReport::new();
+        one.push("k", s.clone());
+        let mut two = RunReport::new();
+        two.push("k1", s.clone());
+        two.push("k2", s.clone());
+        assert!(two.modeled_time(&dev) > one.modeled_time(&dev) * 1.99);
+        assert_eq!(two.totals().launches, 2);
+        assert_eq!(two.global_transactions(), 0);
+    }
+
+    #[test]
+    fn launch_overhead_dominates_empty_kernels() {
+        let dev = DeviceConfig::rtx2080ti();
+        let s = KernelStats {
+            threads: 32,
+            launches: 1,
+            ..Default::default()
+        };
+        let t = launch_time(&s, &dev);
+        assert!(t.total() >= dev.launch_overhead_s);
+        assert!(t.total() < 2.0 * dev.launch_overhead_s + 1e-6);
+    }
+}

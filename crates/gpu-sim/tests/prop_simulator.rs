@@ -1,0 +1,147 @@
+//! Property-based tests of the simulator's structural invariants
+//! (DESIGN.md §6).
+
+use memconv_gpusim::lane::{LaneMask, LaneVec, VF, VU, WARP};
+use memconv_gpusim::memory::cache::{Access, CachePolicy, SectoredCache};
+use memconv_gpusim::memory::coalescer::coalesce;
+use memconv_gpusim::shuffle;
+use proptest::prelude::*;
+
+fn arb_addrs() -> impl Strategy<Value = [u64; WARP]> {
+    prop::collection::vec(0u64..1 << 20, WARP).prop_map(|v| {
+        let mut a = [0u64; WARP];
+        a.copy_from_slice(&v);
+        // 4-byte aligned, like f32 element accesses
+        for x in &mut a {
+            *x &= !3;
+        }
+        a
+    })
+}
+
+fn arb_mask() -> impl Strategy<Value = LaneMask> {
+    any::<u32>().prop_map(LaneMask)
+}
+
+proptest! {
+    /// Transaction count does not depend on lane order.
+    #[test]
+    fn coalesce_permutation_invariant(addrs in arb_addrs(), perm_seed in any::<u64>()) {
+        let full = LaneMask::ALL;
+        let base = coalesce(&addrs, full, 4, 32);
+        // rotate lanes by a pseudo-random amount
+        let rot = (perm_seed % WARP as u64) as usize;
+        let mut rotated = [0u64; WARP];
+        for l in 0..WARP {
+            rotated[l] = addrs[(l + rot) % WARP];
+        }
+        let r = coalesce(&rotated, full, 4, 32);
+        prop_assert_eq!(base.sectors, r.sectors);
+    }
+
+    /// 1 ≤ transactions ≤ active lanes (for 4-byte aligned accesses), and
+    /// bounded by the address span.
+    #[test]
+    fn coalesce_bounds(addrs in arb_addrs(), mask in arb_mask()) {
+        let r = coalesce(&addrs, mask, 4, 32);
+        let active = mask.count() as u64;
+        if active == 0 {
+            prop_assert_eq!(r.transactions(), 0);
+        } else {
+            prop_assert!(r.transactions() >= 1);
+            prop_assert!(r.transactions() <= active);
+            let lo = mask.lanes().map(|l| addrs[l]).min().unwrap();
+            let hi = mask.lanes().map(|l| addrs[l]).max().unwrap();
+            let span_sectors = (hi / 32) - (lo / 32) + 1;
+            prop_assert!(r.transactions() <= span_sectors);
+        }
+    }
+
+    /// Fewer active lanes never cost more transactions.
+    #[test]
+    fn coalesce_monotone_in_mask(addrs in arb_addrs(), mask in arb_mask(), drop in 0usize..WARP) {
+        let narrowed = LaneMask(mask.0 & !(1 << drop));
+        let full = coalesce(&addrs, mask, 4, 32);
+        let less = coalesce(&addrs, narrowed, 4, 32);
+        prop_assert!(less.transactions() <= full.transactions());
+    }
+
+    /// shfl_xor is an involution for any mask and width.
+    #[test]
+    fn shfl_xor_involution(vals in prop::collection::vec(any::<f32>(), WARP),
+                           mask in 0usize..WARP, wexp in 0u32..6) {
+        let width = 1usize << wexp;
+        let v = VF::from_fn(|l| vals[l]);
+        let once = shuffle::shfl_xor(&v, mask, width);
+        let twice = shuffle::shfl_xor(&once, mask, width);
+        for l in 0..WARP {
+            prop_assert_eq!(twice.lane(l).to_bits(), v.lane(l).to_bits());
+        }
+    }
+
+    /// Indexed shuffle with the identity index is the identity.
+    #[test]
+    fn shfl_idx_identity(vals in prop::collection::vec(any::<f32>(), WARP)) {
+        let v = VF::from_fn(|l| vals[l]);
+        let idx = VU::lane_id();
+        let s = shuffle::shfl_idx(&v, &idx, WARP);
+        for l in 0..WARP {
+            prop_assert_eq!(s.lane(l).to_bits(), v.lane(l).to_bits());
+        }
+    }
+
+    /// Indexed shuffle never crosses its segment.
+    #[test]
+    fn shfl_idx_stays_in_segment(vals in prop::collection::vec(any::<f32>(), WARP),
+                                 idxs in prop::collection::vec(any::<u32>(), WARP),
+                                 wexp in 0u32..6) {
+        let width = 1usize << wexp;
+        let v = VF::from_fn(|l| l as f32); // value == source lane
+        let _ = vals;
+        let idx = VU::from_fn(|l| idxs[l]);
+        let s = shuffle::shfl_idx(&v, &idx, width);
+        for l in 0..WARP {
+            let src = s.lane(l) as usize;
+            prop_assert_eq!(src / width, l / width, "lane {} pulled from {}", l, src);
+        }
+    }
+
+    /// Cache: an immediately repeated read hits; hits never exceed accesses.
+    #[test]
+    fn cache_repeat_read_hits(sectors in prop::collection::vec(0u64..256, 1..64)) {
+        let mut c = SectoredCache::new(4096, 4, 128, 32, CachePolicy::l2());
+        for &s in &sectors {
+            let addr = s * 32;
+            let _ = c.access(addr, false);
+            prop_assert_eq!(c.access(addr, false), Access::Hit);
+        }
+    }
+
+    /// Cache residency never exceeds capacity.
+    #[test]
+    fn cache_capacity_invariant(sectors in prop::collection::vec(0u64..100_000, 1..512)) {
+        let mut c = SectoredCache::new(2048, 2, 128, 32, CachePolicy::l2());
+        for &s in &sectors {
+            c.access(s * 32, s % 3 == 0);
+            prop_assert!(c.resident_sectors() <= 2048 / 32);
+        }
+    }
+
+    /// Pack/shift/unpack (Algorithm 1's device) equals the dynamic gather it
+    /// replaces: selecting hi-or-lo per lane.
+    #[test]
+    fn pack_shift_unpack_equals_select(lo in prop::collection::vec(any::<f32>(), WARP),
+                                       hi in prop::collection::vec(any::<f32>(), WARP),
+                                       sel in any::<u32>()) {
+        let lov = VF::from_fn(|l| lo[l]);
+        let hiv = VF::from_fn(|l| hi[l]);
+        let packed = LaneVec::<u64>::pack(&lov, &hiv);
+        // lanes flagged in `sel` take the high half (shift 32), others 0
+        let shift = VU::from_fn(|l| if sel & (1 << l) != 0 { 32 } else { 0 });
+        let got = (packed >> shift).unpack_lo();
+        let want = hiv.select(LaneMask(sel), &lov);
+        for l in 0..WARP {
+            prop_assert_eq!(got.lane(l).to_bits(), want.lane(l).to_bits());
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! # memconv
+//!
+//! Memory-transaction-optimized GPU convolution: a full reproduction of
+//! *"Optimizing GPU Memory Transactions for Convolution Operations"*
+//! (Lu, Zhang & Wang, IEEE CLUSTER 2020) in pure Rust.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`gpusim`] — the warp-accurate SIMT GPU simulator the evaluation
+//!   runs on (shuffles, coalescing, sectored caches, timing model);
+//! * [`tensor`] — host tensors, images, filters, generators;
+//! * [`core`] — the paper's contribution: column reuse (Algorithm 1),
+//!   row reuse (Algorithm 2), and the fused kernels;
+//! * [`baselines`] — every comparator: GEMM-im2col (Caffe), the cuDNN
+//!   algorithm family, NPP- and ArrayFire-analog kernels, and the
+//!   Fig. 1b dynamic-indexing ablation;
+//! * [`mod@reference`] — CPU ground truth;
+//! * [`workloads`] — Table I layers and the Fig. 3 sweep.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use memconv::prelude::*;
+//!
+//! // A 512×512 image, 3×3 box blur, on a simulated RTX 2080 Ti.
+//! let image = memconv::tensor::generate::synthetic_photo(64, 64, 42);
+//! let filter = Filter2D::box_blur(3);
+//!
+//! let mut sim = GpuSim::rtx2080ti();
+//! let (output, stats) = conv2d_ours(&mut sim, &image, &filter, &OursConfig::full());
+//!
+//! assert_eq!(output.h(), 62);
+//! println!("memory transactions: {}", stats.global_transactions());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use memconv_baselines as baselines;
+pub use memconv_core as core;
+pub use memconv_gpusim as gpusim;
+pub use memconv_ref as reference;
+pub use memconv_tensor as tensor;
+pub use memconv_workloads as workloads;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use memconv_baselines::{
+        As2d, CudnnFastest, DirectConv, FftConv, FftTiling, Im2colGemm, ImplicitGemm, MecConv,
+        PrecompGemm, ShuffleDynamic, TiledConv, WinogradFused, WinogradNonfused,
+    };
+    pub use memconv_core::{
+        conv2d_ours, conv_nchw_ours, Conv2dAlgorithm, ConvNchwAlgorithm, Ours, OursConfig,
+    };
+    pub use memconv_gpusim::{
+        DeviceConfig, GpuSim, KernelStats, LaunchConfig, RunReport, SampleMode,
+    };
+    pub use memconv_ref::{conv2d_ref, conv_nchw_ref};
+    pub use memconv_tensor::{
+        ConvGeometry, Filter2D, FilterBank, Image2D, Padding, Tensor4, TensorRng,
+    };
+    pub use memconv_workloads::{fig3_sizes, table1_layers};
+}

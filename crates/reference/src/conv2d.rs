@@ -1,0 +1,202 @@
+//! Single-channel 2D convolution references.
+
+use memconv_tensor::{Filter2D, Image2D};
+use rayon::prelude::*;
+
+/// Direct valid 2D convolution (cross-correlation): output is
+/// `(IH−FH+1) × (IW−FW+1)`.
+///
+/// The accumulation order is *row-major over the filter* — the same order
+/// the paper's row/column-reuse kernels preserve, so those kernels can be
+/// compared bit-exactly against this function.
+pub fn conv2d_ref(input: &Image2D, filter: &Filter2D) -> Image2D {
+    let (ih, iw) = (input.h(), input.w());
+    let (fh, fw) = (filter.fh(), filter.fw());
+    assert!(ih >= fh && iw >= fw, "filter larger than input");
+    let (oh, ow) = (ih - fh + 1, iw - fw + 1);
+    Image2D::from_fn(oh, ow, |oy, ox| {
+        let mut acc = 0.0f32;
+        for r in 0..fh {
+            for s in 0..fw {
+                acc = input.get(oy + r, ox + s).mul_add(filter.get(r, s), acc);
+            }
+        }
+        acc
+    })
+}
+
+/// Direct 2D convolution with symmetric zero padding.
+pub fn conv2d_ref_padded(
+    input: &Image2D,
+    filter: &Filter2D,
+    pad_h: usize,
+    pad_w: usize,
+) -> Image2D {
+    let padded = input.zero_pad(pad_h, pad_w);
+    conv2d_ref(&padded, filter)
+}
+
+/// Rayon-parallel direct convolution for large images (identical results to
+/// [`conv2d_ref`]; per-pixel accumulation order is unchanged).
+pub fn conv2d_ref_par(input: &Image2D, filter: &Filter2D) -> Image2D {
+    let (ih, iw) = (input.h(), input.w());
+    let (fh, fw) = (filter.fh(), filter.fw());
+    assert!(ih >= fh && iw >= fw, "filter larger than input");
+    let (oh, ow) = (ih - fh + 1, iw - fw + 1);
+    let mut data = vec![0.0f32; oh * ow];
+    data.par_chunks_mut(ow).enumerate().for_each(|(oy, row)| {
+        for (ox, out) in row.iter_mut().enumerate() {
+            let mut acc = 0.0f32;
+            for r in 0..fh {
+                for s in 0..fw {
+                    acc = input.get(oy + r, ox + s).mul_add(filter.get(r, s), acc);
+                }
+            }
+            *out = acc;
+        }
+    });
+    Image2D::from_vec(oh, ow, data).expect("shape by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memconv_tensor::generate::{ramp_image, TensorRng};
+
+    #[test]
+    fn identity_filter_reproduces_interior() {
+        let img = ramp_image(6, 6);
+        let mut k = Filter2D::zeros(3, 3);
+        // delta at center
+        let mut data = k.as_slice().to_vec();
+        data[4] = 1.0;
+        let k = Filter2D::from_vec(3, 3, data).unwrap();
+        let out = conv2d_ref(&img, &k);
+        assert_eq!(out.h(), 4);
+        for y in 0..4 {
+            for x in 0..4 {
+                assert_eq!(out.get(y, x), img.get(y + 1, x + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn hand_computed_2x2_case() {
+        let img = Image2D::from_vec(3, 3, vec![1., 2., 3., 4., 5., 6., 7., 8., 9.]).unwrap();
+        let k = Filter2D::from_vec(2, 2, vec![1., 0., 0., 1.]).unwrap();
+        let out = conv2d_ref(&img, &k);
+        assert_eq!(out.as_slice(), &[1. + 5., 2. + 6., 4. + 8., 5. + 9.]);
+    }
+
+    #[test]
+    fn box_filter_of_constant_image_is_constant() {
+        let img = Image2D::from_fn(10, 12, |_, _| 3.0);
+        let out = conv2d_ref(&img, &Filter2D::box_blur(5));
+        for &v in out.as_slice() {
+            assert!((v - 3.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitexact() {
+        let mut rng = TensorRng::new(11);
+        let img = rng.image(33, 47);
+        let k = rng.filter(5, 5);
+        let a = conv2d_ref(&img, &k);
+        let b = conv2d_ref_par(&img, &k);
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn padded_same_size_output() {
+        let mut rng = TensorRng::new(5);
+        let img = rng.image(8, 8);
+        let k = rng.filter(3, 3);
+        let out = conv2d_ref_padded(&img, &k, 1, 1);
+        assert_eq!((out.h(), out.w()), (8, 8));
+        // corner element only sees the 2x2 overlap
+        let mut acc = 0.0f32;
+        for r in 1..3 {
+            for s in 1..3 {
+                acc = img.get(r - 1, s - 1).mul_add(k.get(r, s), acc);
+            }
+        }
+        assert!((out.get(0, 0) - acc).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "filter larger")]
+    fn oversized_filter_panics() {
+        conv2d_ref(&Image2D::zeros(2, 2), &Filter2D::zeros(3, 3));
+    }
+}
+
+/// Direct strided valid convolution: output `(⌈(IH−FH+1)/sh⌉ × …)`,
+/// `out[oy][ox] = Σ in[oy·sh + r][ox·sw + s] · filter[r][s]`.
+pub fn conv2d_ref_strided(
+    input: &Image2D,
+    filter: &Filter2D,
+    stride_h: usize,
+    stride_w: usize,
+) -> Image2D {
+    assert!(stride_h >= 1 && stride_w >= 1, "strides must be positive");
+    let (ih, iw) = (input.h(), input.w());
+    let (fh, fw) = (filter.fh(), filter.fw());
+    assert!(ih >= fh && iw >= fw, "filter larger than input");
+    let oh = (ih - fh) / stride_h + 1;
+    let ow = (iw - fw) / stride_w + 1;
+    Image2D::from_fn(oh, ow, |oy, ox| {
+        let mut acc = 0.0f32;
+        for r in 0..fh {
+            for s in 0..fw {
+                acc = input
+                    .get(oy * stride_h + r, ox * stride_w + s)
+                    .mul_add(filter.get(r, s), acc);
+            }
+        }
+        acc
+    })
+}
+
+#[cfg(test)]
+mod strided_tests {
+    use super::*;
+    use memconv_tensor::generate::TensorRng;
+
+    #[test]
+    fn stride_one_equals_unit_reference() {
+        let mut rng = TensorRng::new(61);
+        let img = rng.image(12, 15);
+        let k = rng.filter(3, 3);
+        assert_eq!(
+            conv2d_ref_strided(&img, &k, 1, 1).as_slice(),
+            conv2d_ref(&img, &k).as_slice()
+        );
+    }
+
+    #[test]
+    fn stride_two_subsamples_outputs() {
+        let mut rng = TensorRng::new(62);
+        let img = rng.image(11, 13);
+        let k = rng.filter(3, 3);
+        let full = conv2d_ref(&img, &k);
+        let s2 = conv2d_ref_strided(&img, &k, 2, 2);
+        assert_eq!((s2.h(), s2.w()), (5, 6));
+        for y in 0..s2.h() {
+            for x in 0..s2.w() {
+                assert_eq!(s2.get(y, x), full.get(2 * y, 2 * x));
+            }
+        }
+    }
+
+    #[test]
+    fn asymmetric_strides() {
+        let mut rng = TensorRng::new(63);
+        let img = rng.image(20, 20);
+        let k = rng.filter(5, 5);
+        let out = conv2d_ref_strided(&img, &k, 3, 2);
+        assert_eq!((out.h(), out.w()), ((20 - 5) / 3 + 1, (20 - 5) / 2 + 1));
+        let full = conv2d_ref(&img, &k);
+        assert_eq!(out.get(1, 2), full.get(3, 4));
+    }
+}

@@ -1,0 +1,66 @@
+//! Reference dense matrix multiplication (row-major SGEMM), used to
+//! validate the simulated tiled-GEMM kernel and the im2col pipeline.
+
+/// `C = A · B` for row-major `A (m×k)`, `B (k×n)`; returns row-major
+/// `C (m×n)`.
+pub fn gemm_ref(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+    assert_eq!(a.len(), m * k, "A shape mismatch");
+    assert_eq!(b.len(), k * n, "B shape mismatch");
+    let mut c = vec![0.0f32; m * n];
+    for i in 0..m {
+        for p in 0..k {
+            let av = a[i * k + p];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            let crow = &mut c[i * n..(i + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv = av.mul_add(bv, *cv);
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_times_matrix() {
+        let a = vec![1.0, 0.0, 0.0, 1.0]; // I2
+        let b = vec![5.0, 6.0, 7.0, 8.0];
+        assert_eq!(gemm_ref(2, 2, 2, &a, &b), b);
+    }
+
+    #[test]
+    fn hand_case_2x3_3x2() {
+        let a = vec![1., 2., 3., 4., 5., 6.];
+        let b = vec![7., 8., 9., 10., 11., 12.];
+        let c = gemm_ref(2, 3, 2, &a, &b);
+        assert_eq!(c, vec![58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn rectangular_shapes() {
+        let m = 3;
+        let k = 4;
+        let n = 5;
+        let a: Vec<f32> = (0..m * k).map(|i| i as f32).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i % 7) as f32).collect();
+        let c = gemm_ref(m, k, n, &a, &b);
+        // spot-check c[2][3]
+        let mut want = 0.0f32;
+        for p in 0..k {
+            want += a[2 * k + p] * b[p * n + 3];
+        }
+        assert_eq!(c[2 * n + 3], want);
+    }
+
+    #[test]
+    #[should_panic(expected = "A shape")]
+    fn shape_mismatch_panics() {
+        gemm_ref(2, 2, 2, &[0.0; 3], &[0.0; 4]);
+    }
+}

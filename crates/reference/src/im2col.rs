@@ -1,0 +1,117 @@
+//! Reference `im2col` lowering (Caffe's scheme): unrolls every receptive
+//! field of the input into a column of the lowered matrix so convolution
+//! becomes one GEMM.
+//!
+//! Layout (per image): the lowered matrix has `IC·FH·FW` rows and `OH·OW`
+//! columns, row-major. Row `(c, r, s)` column `(oy, ox)` holds
+//! `input[c][oy + r][ox + s]`.
+
+use memconv_tensor::{Image2D, Tensor4};
+
+/// Lower one single-channel image for an `fh × fw` filter.
+pub fn im2col_ref(input: &Image2D, fh: usize, fw: usize) -> Vec<f32> {
+    let (ih, iw) = (input.h(), input.w());
+    assert!(ih >= fh && iw >= fw);
+    let (oh, ow) = (ih - fh + 1, iw - fw + 1);
+    let mut out = Vec::with_capacity(fh * fw * oh * ow);
+    for r in 0..fh {
+        for s in 0..fw {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    out.push(input.get(oy + r, ox + s));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Lower one image (all channels) of an NCHW tensor. Rows ordered
+/// `(c, r, s)`, matching the filter-bank layout `[FC][FH][FW]` flattened.
+pub fn im2col_nchw_ref(input: &Tensor4, n: usize, fh: usize, fw: usize) -> Vec<f32> {
+    let (ih, iw) = (input.h(), input.w());
+    assert!(ih >= fh && iw >= fw);
+    let (oh, ow) = (ih - fh + 1, iw - fw + 1);
+    let mut out = Vec::with_capacity(input.c() * fh * fw * oh * ow);
+    for c in 0..input.c() {
+        for r in 0..fh {
+            for s in 0..fw {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        out.push(input.get(n, c, oy + r, ox + s));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv2d::conv2d_ref;
+    use crate::gemm::gemm_ref;
+    use memconv_tensor::generate::TensorRng;
+    use memconv_tensor::Filter2D;
+
+    #[test]
+    fn lowered_matrix_shape_and_content() {
+        let img = Image2D::from_fn(3, 3, |r, c| (r * 3 + c) as f32);
+        let m = im2col_ref(&img, 2, 2);
+        // 4 rows (taps) × 4 cols (outputs)
+        assert_eq!(m.len(), 16);
+        // row (0,0): the 2x2 output window top-left values
+        assert_eq!(&m[0..4], &[0.0, 1.0, 3.0, 4.0]);
+        // row (1,1): shifted by one row+col
+        assert_eq!(&m[12..16], &[4.0, 5.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn im2col_gemm_equals_direct_conv() {
+        let mut rng = TensorRng::new(99);
+        let img = rng.image(12, 14);
+        let filt = rng.filter(3, 3);
+        let lowered = im2col_ref(&img, 3, 3);
+        let (oh, ow) = (10, 12);
+        let c = gemm_ref(1, 9, oh * ow, filt.as_slice(), &lowered);
+        let direct = conv2d_ref(&img, &filt);
+        for (i, (&a, &b)) in c.iter().zip(direct.as_slice()).enumerate() {
+            assert!((a - b).abs() < 1e-4, "elem {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn multichannel_rows_match_filterbank_order() {
+        let t = Tensor4::from_fn(1, 2, 3, 3, |_, c, y, x| (c * 100 + y * 3 + x) as f32);
+        let m = im2col_nchw_ref(&t, 0, 2, 2);
+        // 2 channels × 4 taps × 4 outputs
+        assert_eq!(m.len(), 32);
+        // first row = channel 0 tap (0,0)
+        assert_eq!(&m[0..4], &[0.0, 1.0, 3.0, 4.0]);
+        // row 4 = channel 1 tap (0,0)
+        assert_eq!(&m[16..20], &[100.0, 101.0, 103.0, 104.0]);
+    }
+
+    #[test]
+    fn multichannel_gemm_equals_per_channel_sum() {
+        let mut rng = TensorRng::new(7);
+        let t = rng.tensor(1, 3, 8, 8);
+        let bank = rng.filter_bank(1, 3, 3, 3);
+        let lowered = im2col_nchw_ref(&t, 0, 3, 3);
+        let c = gemm_ref(1, 27, 36, bank.as_slice(), &lowered);
+        // reference: sum of per-channel direct convolutions
+        let mut want = vec![0.0f32; 36];
+        for ch in 0..3 {
+            let plane = t.plane(0, ch);
+            let filt: Filter2D = bank.plane(0, ch);
+            let d = conv2d_ref(&plane, &filt);
+            for (w, &v) in want.iter_mut().zip(d.as_slice()) {
+                *w += v;
+            }
+        }
+        for (i, (&a, &b)) in c.iter().zip(&want).enumerate() {
+            assert!((a - b).abs() < 1e-4, "elem {i}: {a} vs {b}");
+        }
+    }
+}

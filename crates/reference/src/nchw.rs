@@ -1,0 +1,99 @@
+//! Reference batched multi-channel convolution (the Fig. 4 workload).
+
+use memconv_tensor::{FilterBank, Tensor4};
+use rayon::prelude::*;
+
+/// Direct NCHW convolution: `out[n][f][oy][ox] = Σ_c Σ_r Σ_s
+/// in[n][c][oy+r][ox+s] · w[f][c][r][s]` (valid padding, unit stride).
+///
+/// Accumulation order is `c`-outer, then row-major over the filter — the
+/// order the simulated multi-channel kernels preserve.
+pub fn conv_nchw_ref(input: &Tensor4, weights: &FilterBank) -> Tensor4 {
+    let (n, c, ih, iw) = input.dims();
+    assert_eq!(c, weights.channels(), "channel mismatch");
+    let (fh, fw) = (weights.fh(), weights.fw());
+    assert!(ih >= fh && iw >= fw, "filter larger than input");
+    let (oh, ow) = (ih - fh + 1, iw - fw + 1);
+    let fn_ = weights.num_filters();
+
+    let plane = oh * ow;
+    let mut data = vec![0.0f32; n * fn_ * plane];
+    data.par_chunks_mut(plane).enumerate().for_each(|(nf, out)| {
+        let in_n = nf / fn_;
+        let f = nf % fn_;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0.0f32;
+                for ch in 0..c {
+                    for r in 0..fh {
+                        for s in 0..fw {
+                            acc = input
+                                .get(in_n, ch, oy + r, ox + s)
+                                .mul_add(weights.get(f, ch, r, s), acc);
+                        }
+                    }
+                }
+                out[oy * ow + ox] = acc;
+            }
+        }
+    });
+    Tensor4::from_vec(n, fn_, oh, ow, data).expect("shape by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv2d::conv2d_ref;
+    use memconv_tensor::generate::TensorRng;
+
+    #[test]
+    fn single_channel_single_filter_matches_2d() {
+        let mut rng = TensorRng::new(21);
+        let img = rng.image(9, 11);
+        let filt = rng.filter(3, 3);
+        let t = Tensor4::from_image(&img);
+        let bank = FilterBank::broadcast(&filt, 1, 1);
+        let out = conv_nchw_ref(&t, &bank);
+        let want = conv2d_ref(&img, &filt);
+        assert_eq!(out.plane(0, 0).as_slice(), want.as_slice());
+    }
+
+    #[test]
+    fn channels_sum() {
+        let mut rng = TensorRng::new(22);
+        let t = rng.tensor(1, 3, 6, 6);
+        let bank = rng.filter_bank(2, 3, 3, 3);
+        let out = conv_nchw_ref(&t, &bank);
+        assert_eq!(out.dims(), (1, 2, 4, 4));
+        // filter 1, output (2,3): manual sum
+        let mut want = 0.0f32;
+        for c in 0..3 {
+            for r in 0..3 {
+                for s in 0..3 {
+                    want += t.get(0, c, 2 + r, 3 + s) * bank.get(1, c, r, s);
+                }
+            }
+        }
+        assert!((out.get(0, 1, 2, 3) - want).abs() < 1e-4);
+    }
+
+    #[test]
+    fn batch_images_independent() {
+        let mut rng = TensorRng::new(23);
+        let t = rng.tensor(3, 2, 5, 5);
+        let bank = rng.filter_bank(2, 2, 3, 3);
+        let all = conv_nchw_ref(&t, &bank);
+        // image 2 alone gives the same plane
+        let single = Tensor4::from_fn(1, 2, 5, 5, |_, c, y, x| t.get(2, c, y, x));
+        let out2 = conv_nchw_ref(&single, &bank);
+        assert_eq!(all.plane(2, 1).as_slice(), out2.plane(0, 1).as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn channel_mismatch_panics() {
+        let t = Tensor4::zeros(1, 2, 5, 5);
+        let bank = FilterBank::zeros(1, 3, 3, 3);
+        conv_nchw_ref(&t, &bank);
+    }
+}

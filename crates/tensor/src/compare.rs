@@ -1,0 +1,136 @@
+//! Tolerant numeric comparison for validating GPU-simulated kernels against
+//! the CPU reference.
+//!
+//! Different convolution algorithms accumulate in different orders (direct,
+//! GEMM-tiled, FFT, Winograd), so exact equality only holds for algorithms
+//! that deliberately preserve the direct summation order (the paper's row /
+//! column reuse kernels). Everything else is compared with a combined
+//! absolute + relative tolerance.
+
+/// Summary of an element-wise comparison between two buffers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareReport {
+    /// Largest absolute difference.
+    pub max_abs: f32,
+    /// Largest relative difference (`|a-b| / max(|a|,|b|,1e-12)`).
+    pub max_rel: f32,
+    /// Index at which `max_abs` occurred.
+    pub argmax: usize,
+    /// Number of elements compared.
+    pub len: usize,
+}
+
+impl CompareReport {
+    /// Compare two equal-length slices.
+    ///
+    /// # Panics
+    /// Panics when the slices differ in length — that is a shape bug, not a
+    /// numeric one.
+    pub fn new(a: &[f32], b: &[f32]) -> Self {
+        assert_eq!(a.len(), b.len(), "compared buffers differ in length");
+        let mut max_abs = 0.0f32;
+        let mut max_rel = 0.0f32;
+        let mut argmax = 0usize;
+        for (i, (&x, &y)) in a.iter().zip(b.iter()).enumerate() {
+            let abs = (x - y).abs();
+            let rel = abs / x.abs().max(y.abs()).max(1e-12);
+            if abs > max_abs {
+                max_abs = abs;
+                argmax = i;
+            }
+            max_rel = max_rel.max(rel);
+        }
+        CompareReport {
+            max_abs,
+            max_rel,
+            argmax,
+            len: a.len(),
+        }
+    }
+
+    /// `true` when every element satisfies `|a-b| <= atol + rtol·max(|a|,|b|)`
+    /// in the aggregate sense (max-abs and max-rel both within bounds).
+    pub fn within(&self, atol: f32, rtol: f32) -> bool {
+        self.max_abs <= atol || self.max_rel <= rtol
+    }
+}
+
+/// Largest absolute element-wise difference.
+pub fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
+    CompareReport::new(a, b).max_abs
+}
+
+/// Largest relative element-wise difference.
+pub fn max_rel_diff(a: &[f32], b: &[f32]) -> f32 {
+    CompareReport::new(a, b).max_rel
+}
+
+/// Assert two buffers match within tolerance, with a diagnostic message
+/// naming the worst element.
+///
+/// Tolerances: accumulation over `k` terms of `[-1,1)` data carries error
+/// roughly `k·ε·√k`; the defaults used across the suite are derived from the
+/// reduction depth of each algorithm.
+pub fn assert_close(a: &[f32], b: &[f32], atol: f32, rtol: f32, what: &str) {
+    let rep = CompareReport::new(a, b);
+    assert!(
+        rep.within(atol, rtol),
+        "{what}: max_abs={} max_rel={} at index {} (a={}, b={}) over {} elems",
+        rep.max_abs,
+        rep.max_rel,
+        rep.argmax,
+        a[rep.argmax],
+        b[rep.argmax],
+        rep.len,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_buffers_compare_equal() {
+        let a = [1.0f32, -2.5, 3.75];
+        let rep = CompareReport::new(&a, &a);
+        assert_eq!(rep.max_abs, 0.0);
+        assert_eq!(rep.max_rel, 0.0);
+        assert!(rep.within(0.0, 0.0));
+    }
+
+    #[test]
+    fn reports_worst_index() {
+        let a = [1.0f32, 2.0, 3.0];
+        let b = [1.0f32, 2.5, 3.1];
+        let rep = CompareReport::new(&a, &b);
+        assert_eq!(rep.argmax, 1);
+        assert!((rep.max_abs - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn relative_tolerance_scales_with_magnitude() {
+        let a = [1.0e6f32];
+        let b = [1.0e6 + 50.0];
+        let rep = CompareReport::new(&a, &b);
+        assert!(rep.within(1e-3, 1e-3)); // rel diff = 5e-5
+        assert!(!rep.within(1.0, 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "length")]
+    fn length_mismatch_panics() {
+        CompareReport::new(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unit-test")]
+    fn assert_close_panics_with_context() {
+        assert_close(&[0.0], &[1.0], 1e-6, 1e-6, "unit-test");
+    }
+
+    #[test]
+    fn zero_vs_zero_has_zero_rel() {
+        let rep = CompareReport::new(&[0.0], &[0.0]);
+        assert_eq!(rep.max_rel, 0.0);
+    }
+}

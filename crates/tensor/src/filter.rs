@@ -1,0 +1,267 @@
+//! Convolution filters: single 2D filters and multi-channel filter banks.
+
+use crate::shape::ShapeError;
+
+/// A single `FH × FW` convolution filter (row-major weights).
+///
+/// The paper performs *convolution as correlation* (no filter flip), the
+/// convention of every DNN framework and of cuDNN's cross-correlation mode;
+/// all implementations in this workspace follow it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Filter2D {
+    fh: usize,
+    fw: usize,
+    data: Vec<f32>,
+}
+
+impl Filter2D {
+    /// Zero-initialized filter.
+    pub fn zeros(fh: usize, fw: usize) -> Self {
+        Filter2D {
+            fh,
+            fw,
+            data: vec![0.0; fh * fw],
+        }
+    }
+
+    /// Build from existing row-major weights.
+    pub fn from_vec(fh: usize, fw: usize, data: Vec<f32>) -> Result<Self, ShapeError> {
+        if data.len() != fh * fw {
+            return Err(ShapeError::DataLength {
+                expected: fh * fw,
+                got: data.len(),
+            });
+        }
+        Ok(Filter2D { fh, fw, data })
+    }
+
+    /// Build by evaluating `f(row, col)` at every tap.
+    pub fn from_fn(fh: usize, fw: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(fh * fw);
+        for r in 0..fh {
+            for c in 0..fw {
+                data.push(f(r, c));
+            }
+        }
+        Filter2D { fh, fw, data }
+    }
+
+    /// The normalized box (mean) filter — the classic blur.
+    pub fn box_blur(f: usize) -> Self {
+        let v = 1.0 / (f * f) as f32;
+        Filter2D::from_fn(f, f, |_, _| v)
+    }
+
+    /// A 3×3 Sobel edge filter along x.
+    pub fn sobel_x() -> Self {
+        Filter2D::from_vec(3, 3, vec![-1.0, 0.0, 1.0, -2.0, 0.0, 2.0, -1.0, 0.0, 1.0]).unwrap()
+    }
+
+    /// A 3×3 sharpening filter.
+    pub fn sharpen() -> Self {
+        Filter2D::from_vec(3, 3, vec![0.0, -1.0, 0.0, -1.0, 5.0, -1.0, 0.0, -1.0, 0.0]).unwrap()
+    }
+
+    /// An un-normalized Gaussian-like 5×5 filter (integer binomial weights).
+    pub fn gaussian5() -> Self {
+        let w1 = [1.0f32, 4.0, 6.0, 4.0, 1.0];
+        Filter2D::from_fn(5, 5, |r, c| w1[r] * w1[c] / 256.0)
+    }
+
+    /// Filter height.
+    pub fn fh(&self) -> usize {
+        self.fh
+    }
+
+    /// Filter width.
+    pub fn fw(&self) -> usize {
+        self.fw
+    }
+
+    /// Tap accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.fh && c < self.fw);
+        self.data[r * self.fw + c]
+    }
+
+    /// Row-major weights.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// One filter row.
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.fh);
+        &self.data[r * self.fw..(r + 1) * self.fw]
+    }
+
+    /// 180°-rotated copy (true convolution from correlation weights).
+    pub fn rotated(&self) -> Filter2D {
+        Filter2D::from_fn(self.fh, self.fw, |r, c| {
+            self.get(self.fh - 1 - r, self.fw - 1 - c)
+        })
+    }
+}
+
+/// An `FN × FC × FH × FW` bank of filters for multi-channel convolution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FilterBank {
+    fn_: usize,
+    fc: usize,
+    fh: usize,
+    fw: usize,
+    data: Vec<f32>,
+}
+
+impl FilterBank {
+    /// Zero-initialized bank.
+    pub fn zeros(fn_: usize, fc: usize, fh: usize, fw: usize) -> Self {
+        FilterBank {
+            fn_,
+            fc,
+            fh,
+            fw,
+            data: vec![0.0; fn_ * fc * fh * fw],
+        }
+    }
+
+    /// Build from existing data laid out `[FN][FC][FH][FW]`.
+    pub fn from_vec(
+        fn_: usize,
+        fc: usize,
+        fh: usize,
+        fw: usize,
+        data: Vec<f32>,
+    ) -> Result<Self, ShapeError> {
+        let expected = fn_ * fc * fh * fw;
+        if data.len() != expected {
+            return Err(ShapeError::DataLength {
+                expected,
+                got: data.len(),
+            });
+        }
+        Ok(FilterBank { fn_, fc, fh, fw, data })
+    }
+
+    /// Build by evaluating `f(n, c, r, s)` at every weight.
+    pub fn from_fn(
+        fn_: usize,
+        fc: usize,
+        fh: usize,
+        fw: usize,
+        mut f: impl FnMut(usize, usize, usize, usize) -> f32,
+    ) -> Self {
+        let mut data = Vec::with_capacity(fn_ * fc * fh * fw);
+        for n in 0..fn_ {
+            for c in 0..fc {
+                for r in 0..fh {
+                    for s in 0..fw {
+                        data.push(f(n, c, r, s));
+                    }
+                }
+            }
+        }
+        FilterBank { fn_, fc, fh, fw, data }
+    }
+
+    /// Broadcast one 2D filter to every (output, input) channel pair.
+    pub fn broadcast(filter: &Filter2D, fn_: usize, fc: usize) -> Self {
+        FilterBank::from_fn(fn_, fc, filter.fh(), filter.fw(), |_, _, r, s| {
+            filter.get(r, s)
+        })
+    }
+
+    /// Number of output filters (`FN`).
+    pub fn num_filters(&self) -> usize {
+        self.fn_
+    }
+
+    /// Channels per filter (`FC`).
+    pub fn channels(&self) -> usize {
+        self.fc
+    }
+
+    /// Filter height.
+    pub fn fh(&self) -> usize {
+        self.fh
+    }
+
+    /// Filter width.
+    pub fn fw(&self) -> usize {
+        self.fw
+    }
+
+    /// Weight accessor `[n][c][r][s]`.
+    #[inline]
+    pub fn get(&self, n: usize, c: usize, r: usize, s: usize) -> f32 {
+        debug_assert!(n < self.fn_ && c < self.fc && r < self.fh && s < self.fw);
+        self.data[((n * self.fc + c) * self.fh + r) * self.fw + s]
+    }
+
+    /// One `FH × FW` filter plane as a [`Filter2D`] copy.
+    pub fn plane(&self, n: usize, c: usize) -> Filter2D {
+        Filter2D::from_fn(self.fh, self.fw, |r, s| self.get(n, c, r, s))
+    }
+
+    /// Flat weight slice, `[FN][FC][FH][FW]` order.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn box_blur_sums_to_one() {
+        for f in [3usize, 5, 7] {
+            let k = Filter2D::box_blur(f);
+            let s: f32 = k.as_slice().iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn rotation_is_involution() {
+        let k = Filter2D::from_fn(3, 5, |r, c| (r * 5 + c) as f32);
+        assert_eq!(k.rotated().rotated(), k);
+        assert_eq!(k.rotated().get(0, 0), k.get(2, 4));
+    }
+
+    #[test]
+    fn bank_indexing_layout() {
+        let b = FilterBank::from_fn(2, 3, 2, 2, |n, c, r, s| (n * 1000 + c * 100 + r * 10 + s) as f32);
+        assert_eq!(b.get(1, 2, 1, 0), 1210.0);
+        assert_eq!(b.plane(1, 2).get(1, 0), 1210.0);
+        // flat layout: last index fastest
+        assert_eq!(b.as_slice()[1], 1.0);
+    }
+
+    #[test]
+    fn broadcast_copies_filter_everywhere() {
+        let k = Filter2D::sobel_x();
+        let b = FilterBank::broadcast(&k, 4, 2);
+        for n in 0..4 {
+            for c in 0..2 {
+                assert_eq!(b.plane(n, c), k);
+            }
+        }
+    }
+
+    #[test]
+    fn from_vec_rejects_bad_length() {
+        assert!(FilterBank::from_vec(2, 2, 3, 3, vec![0.0; 10]).is_err());
+        assert!(Filter2D::from_vec(3, 3, vec![0.0; 9]).is_ok());
+    }
+
+    #[test]
+    fn stock_filters_have_expected_shapes() {
+        assert_eq!(Filter2D::sobel_x().fh(), 3);
+        assert_eq!(Filter2D::sharpen().fw(), 3);
+        assert_eq!(Filter2D::gaussian5().fh(), 5);
+        let s: f32 = Filter2D::gaussian5().as_slice().iter().sum();
+        assert!((s - 1.0).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,122 @@
+//! Deterministic data generators for tests, examples and benchmarks.
+//!
+//! All generators are seeded so every experiment in the repository is
+//! reproducible bit-for-bit.
+
+use crate::{Filter2D, FilterBank, Image2D, Tensor4};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded random generator for tensor-shaped data.
+///
+/// Values are drawn uniformly from `[-1, 1)`, a range chosen so that long
+/// accumulation chains (large filters, many channels) stay well inside f32
+/// dynamic range and comparisons against the CPU reference remain tight.
+#[derive(Debug)]
+pub struct TensorRng {
+    rng: StdRng,
+}
+
+impl TensorRng {
+    /// Create a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        TensorRng {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Next sample in `[-1, 1)`.
+    pub fn sample(&mut self) -> f32 {
+        self.rng.gen_range(-1.0..1.0)
+    }
+
+    /// A random image.
+    pub fn image(&mut self, h: usize, w: usize) -> Image2D {
+        Image2D::from_fn(h, w, |_, _| self.rng.gen_range(-1.0..1.0))
+    }
+
+    /// A random 2D filter.
+    pub fn filter(&mut self, fh: usize, fw: usize) -> Filter2D {
+        Filter2D::from_fn(fh, fw, |_, _| self.rng.gen_range(-1.0..1.0))
+    }
+
+    /// A random NCHW tensor.
+    pub fn tensor(&mut self, n: usize, c: usize, h: usize, w: usize) -> Tensor4 {
+        Tensor4::from_fn(n, c, h, w, |_, _, _, _| self.rng.gen_range(-1.0..1.0))
+    }
+
+    /// A random filter bank.
+    pub fn filter_bank(&mut self, fn_: usize, fc: usize, fh: usize, fw: usize) -> FilterBank {
+        FilterBank::from_fn(fn_, fc, fh, fw, |_, _, _, _| self.rng.gen_range(-1.0..1.0))
+    }
+}
+
+/// A synthetic "photograph": smooth low-frequency gradients plus texture,
+/// used by the image-processing examples so outputs are visually plausible
+/// without shipping binary assets.
+pub fn synthetic_photo(h: usize, w: usize, seed: u64) -> Image2D {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (fh, fw) = (h.max(1) as f32, w.max(1) as f32);
+    Image2D::from_fn(h, w, |r, c| {
+        let y = r as f32 / fh;
+        let x = c as f32 / fw;
+        let base = 0.5 + 0.3 * (6.0 * x).sin() * (4.0 * y).cos() + 0.2 * (x - y);
+        let noise: f32 = rng.gen_range(-0.05..0.05);
+        (base + noise).clamp(0.0, 1.0)
+    })
+}
+
+/// The integer ramp image `pixel(r, c) = r·W + c`, matching the running
+/// example of the paper's Fig. 1 (elements 0, 1, 2, …).
+pub fn ramp_image(h: usize, w: usize) -> Image2D {
+    Image2D::from_fn(h, w, |r, c| (r * w + c) as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_generation_is_deterministic() {
+        let a = TensorRng::new(42).image(16, 16);
+        let b = TensorRng::new(42).image(16, 16);
+        assert_eq!(a, b);
+        let c = TensorRng::new(43).image(16, 16);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn samples_within_range() {
+        let mut g = TensorRng::new(7);
+        for _ in 0..1000 {
+            let v = g.sample();
+            assert!((-1.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn synthetic_photo_in_unit_range() {
+        let img = synthetic_photo(64, 64, 1);
+        for &v in img.as_slice() {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn ramp_matches_paper_fig1_numbering() {
+        let img = ramp_image(2, 8);
+        assert_eq!(img.get(0, 0), 0.0);
+        assert_eq!(img.get(0, 7), 7.0);
+        assert_eq!(img.get(1, 0), 8.0);
+    }
+
+    #[test]
+    fn tensor_and_bank_shapes() {
+        let mut g = TensorRng::new(3);
+        let t = g.tensor(2, 3, 4, 5);
+        assert_eq!(t.dims(), (2, 3, 4, 5));
+        let b = g.filter_bank(4, 3, 3, 3);
+        assert_eq!(b.num_filters(), 4);
+        assert_eq!(b.channels(), 3);
+    }
+}

@@ -1,0 +1,131 @@
+//! Minimal image I/O: 8-bit binary PGM (portable graymap), enough for the
+//! example applications to save visually checkable outputs without image
+//! crates.
+
+use crate::image::Image2D;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Write an image as binary PGM (`P5`), mapping `[lo, hi]` to `[0, 255]`
+/// (values outside the range are clamped).
+pub fn write_pgm(img: &Image2D, lo: f32, hi: f32, path: &Path) -> io::Result<()> {
+    assert!(hi > lo, "empty intensity range");
+    let mut f = std::fs::File::create(path)?;
+    write!(f, "P5\n{} {}\n255\n", img.w(), img.h())?;
+    let scale = 255.0 / (hi - lo);
+    let bytes: Vec<u8> = img
+        .as_slice()
+        .iter()
+        .map(|&v| ((v - lo) * scale).clamp(0.0, 255.0) as u8)
+        .collect();
+    f.write_all(&bytes)
+}
+
+/// Write an image normalized to its own min/max.
+pub fn write_pgm_autoscale(img: &Image2D, path: &Path) -> io::Result<()> {
+    let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+    for &v in img.as_slice() {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if hi <= lo || !hi.is_finite() {
+        hi = lo + 1.0;
+    }
+    write_pgm(img, lo, hi, path)
+}
+
+/// Read a binary PGM (`P5`) into an image with values in `[0, 1]`.
+pub fn read_pgm(path: &Path) -> io::Result<Image2D> {
+    let mut r = BufReader::new(std::fs::File::open(path)?);
+    let mut header = Vec::new();
+    // magic, dims, maxval — whitespace separated, `#` comments allowed
+    let mut tokens: Vec<String> = Vec::new();
+    while tokens.len() < 4 {
+        let mut line = String::new();
+        if r.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "short PGM header"));
+        }
+        let stripped = line.split('#').next().unwrap_or("");
+        tokens.extend(stripped.split_whitespace().map(str::to_string));
+        header.extend_from_slice(line.as_bytes());
+    }
+    if tokens[0] != "P5" {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a binary PGM"));
+    }
+    let parse = |s: &str| {
+        s.parse::<usize>()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    };
+    let (w, h, maxv) = (parse(&tokens[1])?, parse(&tokens[2])?, parse(&tokens[3])?);
+    if maxv == 0 || maxv > 255 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "unsupported maxval"));
+    }
+    let mut bytes = vec![0u8; w * h];
+    r.read_exact(&mut bytes)?;
+    let data: Vec<f32> = bytes.iter().map(|&b| b as f32 / maxv as f32).collect();
+    Image2D::from_vec(h, w, data)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::synthetic_photo;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("memconv_io_{name}_{}.pgm", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let img = synthetic_photo(24, 31, 5);
+        let p = tmp("roundtrip");
+        write_pgm(&img, 0.0, 1.0, &p).unwrap();
+        let back = read_pgm(&p).unwrap();
+        assert_eq!((back.h(), back.w()), (24, 31));
+        // 8-bit quantization: within 1/255
+        for (a, b) in img.as_slice().iter().zip(back.as_slice()) {
+            assert!((a - b).abs() <= 1.5 / 255.0, "{a} vs {b}");
+        }
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn clamping_out_of_range_values() {
+        let img = Image2D::from_vec(1, 3, vec![-1.0, 0.5, 2.0]).unwrap();
+        let p = tmp("clamp");
+        write_pgm(&img, 0.0, 1.0, &p).unwrap();
+        let back = read_pgm(&p).unwrap();
+        assert_eq!(back.get(0, 0), 0.0);
+        assert_eq!(back.get(0, 2), 1.0);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn autoscale_spans_full_range() {
+        let img = Image2D::from_vec(1, 2, vec![-5.0, 3.0]).unwrap();
+        let p = tmp("autoscale");
+        write_pgm_autoscale(&img, &p).unwrap();
+        let back = read_pgm(&p).unwrap();
+        assert_eq!(back.get(0, 0), 0.0);
+        assert_eq!(back.get(0, 1), 1.0);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn rejects_non_pgm() {
+        let p = tmp("bad");
+        std::fs::write(&p, b"P6\n2 2\n255\nxxxxxxxxxxxx").unwrap();
+        assert!(read_pgm(&p).is_err());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn constant_image_does_not_divide_by_zero() {
+        let img = Image2D::from_fn(4, 4, |_, _| 0.7);
+        let p = tmp("const");
+        write_pgm_autoscale(&img, &p).unwrap();
+        assert!(read_pgm(&p).is_ok());
+        std::fs::remove_file(&p).ok();
+    }
+}

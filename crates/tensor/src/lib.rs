@@ -1,0 +1,38 @@
+//! # memconv-tensor
+//!
+//! Host-side tensor containers for the `memconv` convolution library.
+//!
+//! The GPU simulator (`memconv-gpusim`) works on flat byte buffers; this
+//! crate provides the typed, shape-checked containers that convolution
+//! algorithms translate to and from those buffers:
+//!
+//! * [`Image2D`] — a single-channel `H × W` image (the Fig. 3 workloads of
+//!   the paper).
+//! * [`Filter2D`] — a single `FH × FW` convolution filter.
+//! * [`Tensor4`] — an `N × C × H × W` tensor (the Fig. 4 / Table I
+//!   multi-channel workloads).
+//! * [`FilterBank`] — `FN × FC × FH × FW` filter weights.
+//!
+//! Plus deterministic generators ([`generate`]) and tolerant comparison
+//! helpers ([`compare`]) used throughout the test and benchmark suites.
+//!
+//! All containers store `f32` in row-major (C-contiguous) order, matching
+//! the memory layout the paper's kernels assume (NCHW).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compare;
+pub mod filter;
+pub mod generate;
+pub mod image;
+pub mod io;
+pub mod shape;
+pub mod tensor4;
+
+pub use compare::{assert_close, max_abs_diff, max_rel_diff, CompareReport};
+pub use filter::{Filter2D, FilterBank};
+pub use generate::TensorRng;
+pub use image::Image2D;
+pub use shape::{ConvGeometry, Padding, ShapeError};
+pub use tensor4::Tensor4;

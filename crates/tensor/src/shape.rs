@@ -1,0 +1,334 @@
+//! Convolution geometry: the arithmetic relating input, filter and output
+//! shapes, shared by every algorithm in the workspace.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Padding mode for a convolution.
+///
+/// The paper evaluates *valid* convolution (output `IH-FH+1 × IW-FW+1`)
+/// throughout; `Same` is provided for the example applications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Padding {
+    /// No padding: output shrinks by `F-1` in each dimension.
+    Valid,
+    /// Zero padding so the output has the same spatial size as the input
+    /// (requires odd filter sizes).
+    Same,
+    /// Explicit symmetric zero padding `(pad_h, pad_w)`.
+    Explicit(usize, usize),
+}
+
+/// Errors raised when shapes are inconsistent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShapeError {
+    /// Filter larger than (padded) input.
+    FilterTooLarge {
+        /// Input height/width.
+        input: (usize, usize),
+        /// Filter height/width.
+        filter: (usize, usize),
+    },
+    /// A dimension was zero.
+    EmptyDimension(&'static str),
+    /// Channel counts disagree between input and filter.
+    ChannelMismatch {
+        /// Input channel count.
+        input: usize,
+        /// Filter channel count.
+        filter: usize,
+    },
+    /// `Padding::Same` requested with an even filter dimension.
+    SamePaddingNeedsOddFilter(usize, usize),
+    /// Data length does not match the shape product.
+    DataLength {
+        /// Expected element count.
+        expected: usize,
+        /// Provided element count.
+        got: usize,
+    },
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShapeError::FilterTooLarge { input, filter } => write!(
+                f,
+                "filter {}x{} larger than padded input {}x{}",
+                filter.0, filter.1, input.0, input.1
+            ),
+            ShapeError::EmptyDimension(name) => write!(f, "dimension `{name}` is zero"),
+            ShapeError::ChannelMismatch { input, filter } => {
+                write!(f, "input has {input} channels but filter expects {filter}")
+            }
+            ShapeError::SamePaddingNeedsOddFilter(fh, fw) => {
+                write!(f, "`Same` padding requires odd filter dims, got {fh}x{fw}")
+            }
+            ShapeError::DataLength { expected, got } => {
+                write!(f, "data length {got} does not match shape product {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+/// Complete geometry of one 2D (possibly multi-channel, batched)
+/// convolution, in the paper's notation: `I` input, `F` filter, `O` output;
+/// `N` batch, `C` channel, `H` height, `W` width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConvGeometry {
+    /// Batch size (`IN`).
+    pub batch: usize,
+    /// Input channels (`IC = FC`).
+    pub in_channels: usize,
+    /// Input height (`IH`) — unpadded.
+    pub in_h: usize,
+    /// Input width (`IW`) — unpadded.
+    pub in_w: usize,
+    /// Number of output filters (`FN`).
+    pub out_channels: usize,
+    /// Filter height (`FH`).
+    pub f_h: usize,
+    /// Filter width (`FW`).
+    pub f_w: usize,
+    /// Zero padding applied on each side, height.
+    pub pad_h: usize,
+    /// Zero padding applied on each side, width.
+    pub pad_w: usize,
+}
+
+impl ConvGeometry {
+    /// Geometry for the paper's single-image 2D convolution (Fig. 3):
+    /// batch 1, one input channel, one filter, valid padding.
+    pub fn single(in_h: usize, in_w: usize, f: usize) -> Self {
+        ConvGeometry {
+            batch: 1,
+            in_channels: 1,
+            in_h,
+            in_w,
+            out_channels: 1,
+            f_h: f,
+            f_w: f,
+            pad_h: 0,
+            pad_w: 0,
+        }
+    }
+
+    /// Multi-channel NCHW geometry with valid padding (Fig. 4 / Table I).
+    #[allow(clippy::too_many_arguments)]
+    pub fn nchw(
+        batch: usize,
+        in_channels: usize,
+        in_h: usize,
+        in_w: usize,
+        out_channels: usize,
+        f_h: usize,
+        f_w: usize,
+    ) -> Self {
+        ConvGeometry {
+            batch,
+            in_channels,
+            in_h,
+            in_w,
+            out_channels,
+            f_h,
+            f_w,
+            pad_h: 0,
+            pad_w: 0,
+        }
+    }
+
+    /// Apply a [`Padding`] policy, returning an updated geometry.
+    pub fn with_padding(mut self, pad: Padding) -> Result<Self, ShapeError> {
+        match pad {
+            Padding::Valid => {
+                self.pad_h = 0;
+                self.pad_w = 0;
+            }
+            Padding::Same => {
+                if self.f_h.is_multiple_of(2) || self.f_w.is_multiple_of(2) {
+                    return Err(ShapeError::SamePaddingNeedsOddFilter(self.f_h, self.f_w));
+                }
+                self.pad_h = (self.f_h - 1) / 2;
+                self.pad_w = (self.f_w - 1) / 2;
+            }
+            Padding::Explicit(ph, pw) => {
+                self.pad_h = ph;
+                self.pad_w = pw;
+            }
+        }
+        Ok(self)
+    }
+
+    /// Validate the geometry, returning it unchanged on success.
+    pub fn validate(self) -> Result<Self, ShapeError> {
+        for (v, name) in [
+            (self.batch, "batch"),
+            (self.in_channels, "in_channels"),
+            (self.in_h, "in_h"),
+            (self.in_w, "in_w"),
+            (self.out_channels, "out_channels"),
+            (self.f_h, "f_h"),
+            (self.f_w, "f_w"),
+        ] {
+            if v == 0 {
+                return Err(ShapeError::EmptyDimension(name));
+            }
+        }
+        let (ph, pw) = (self.in_h + 2 * self.pad_h, self.in_w + 2 * self.pad_w);
+        if self.f_h > ph || self.f_w > pw {
+            return Err(ShapeError::FilterTooLarge {
+                input: (ph, pw),
+                filter: (self.f_h, self.f_w),
+            });
+        }
+        Ok(self)
+    }
+
+    /// Padded input height.
+    pub fn padded_h(&self) -> usize {
+        self.in_h + 2 * self.pad_h
+    }
+
+    /// Padded input width.
+    pub fn padded_w(&self) -> usize {
+        self.in_w + 2 * self.pad_w
+    }
+
+    /// Output height (`OH = IH + 2·pad − FH + 1`).
+    pub fn out_h(&self) -> usize {
+        self.padded_h() - self.f_h + 1
+    }
+
+    /// Output width (`OW = IW + 2·pad − FW + 1`).
+    pub fn out_w(&self) -> usize {
+        self.padded_w() - self.f_w + 1
+    }
+
+    /// Elements of one input image plane.
+    pub fn in_plane(&self) -> usize {
+        self.in_h * self.in_w
+    }
+
+    /// Elements of one output plane.
+    pub fn out_plane(&self) -> usize {
+        self.out_h() * self.out_w()
+    }
+
+    /// Total input elements across batch and channels.
+    pub fn in_elems(&self) -> usize {
+        self.batch * self.in_channels * self.in_plane()
+    }
+
+    /// Total output elements across batch and output channels.
+    pub fn out_elems(&self) -> usize {
+        self.batch * self.out_channels * self.out_plane()
+    }
+
+    /// Total filter weights.
+    pub fn filter_elems(&self) -> usize {
+        self.out_channels * self.in_channels * self.f_h * self.f_w
+    }
+
+    /// Multiply-accumulate operations of a direct convolution.
+    pub fn macs(&self) -> u64 {
+        self.out_elems() as u64 * (self.in_channels * self.f_h * self.f_w) as u64
+    }
+
+    /// FLOPs of a direct convolution (2 per MAC).
+    pub fn flops(&self) -> u64 {
+        2 * self.macs()
+    }
+
+    /// Size in elements of the lowered `im2col` matrix
+    /// (`IC·FH·FW × OH·OW` per image).
+    pub fn im2col_elems(&self) -> usize {
+        self.batch * self.in_channels * self.f_h * self.f_w * self.out_plane()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_geometry_output_shape() {
+        let g = ConvGeometry::single(28, 28, 3).validate().unwrap();
+        assert_eq!(g.out_h(), 26);
+        assert_eq!(g.out_w(), 26);
+        assert_eq!(g.out_plane(), 26 * 26);
+    }
+
+    #[test]
+    fn same_padding_keeps_spatial_size() {
+        let g = ConvGeometry::single(28, 28, 5)
+            .with_padding(Padding::Same)
+            .unwrap()
+            .validate()
+            .unwrap();
+        assert_eq!(g.pad_h, 2);
+        assert_eq!(g.out_h(), 28);
+        assert_eq!(g.out_w(), 28);
+    }
+
+    #[test]
+    fn same_padding_rejects_even_filter() {
+        let err = ConvGeometry::single(28, 28, 4)
+            .with_padding(Padding::Same)
+            .unwrap_err();
+        assert_eq!(err, ShapeError::SamePaddingNeedsOddFilter(4, 4));
+    }
+
+    #[test]
+    fn filter_too_large_rejected() {
+        let err = ConvGeometry::single(4, 4, 5).validate().unwrap_err();
+        assert!(matches!(err, ShapeError::FilterTooLarge { .. }));
+    }
+
+    #[test]
+    fn explicit_padding_enlarges_input() {
+        let g = ConvGeometry::single(4, 4, 5)
+            .with_padding(Padding::Explicit(1, 1))
+            .unwrap()
+            .validate()
+            .unwrap();
+        assert_eq!(g.out_h(), 2);
+        assert_eq!(g.out_w(), 2);
+    }
+
+    #[test]
+    fn zero_dimension_rejected() {
+        let mut g = ConvGeometry::single(8, 8, 3);
+        g.in_channels = 0;
+        assert_eq!(
+            g.validate().unwrap_err(),
+            ShapeError::EmptyDimension("in_channels")
+        );
+    }
+
+    #[test]
+    fn mac_and_flop_counts() {
+        // Table I CONV1: 128 x 1 x 28x28, 128 filters 3x3.
+        let g = ConvGeometry::nchw(128, 1, 28, 28, 128, 3, 3).validate().unwrap();
+        let per_out = 9u64;
+        assert_eq!(g.macs(), g.out_elems() as u64 * per_out);
+        assert_eq!(g.flops(), 2 * g.macs());
+    }
+
+    #[test]
+    fn im2col_inflation_factor() {
+        let g = ConvGeometry::single(100, 100, 3).validate().unwrap();
+        // The lowered matrix inflates the input by ~FH*FW.
+        let inflation = g.im2col_elems() as f64 / g.in_elems() as f64;
+        assert!(inflation > 8.0 && inflation < 9.0, "inflation {inflation}");
+    }
+
+    #[test]
+    fn display_of_errors_is_informative() {
+        let e = ShapeError::ChannelMismatch { input: 3, filter: 1 };
+        assert!(e.to_string().contains("3 channels"));
+        let e = ShapeError::DataLength { expected: 10, got: 4 };
+        assert!(e.to_string().contains("10"));
+    }
+}

@@ -1,0 +1,61 @@
+//! The Fig. 3 workload sweep: single-channel 2D convolution on square
+//! images from 256×256 to 4K×4K, with 3×3 (Fig. 3a) and 5×5 (Fig. 3b)
+//! filters.
+
+use memconv_tensor::ConvGeometry;
+use serde::{Deserialize, Serialize};
+
+/// One point on the Fig. 3 x-axis.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig3Point {
+    /// Axis label as printed in the paper.
+    pub label: &'static str,
+    /// Image side length in pixels.
+    pub size: usize,
+}
+
+/// The five image sizes of Fig. 3, in paper order.
+pub fn fig3_sizes() -> Vec<Fig3Point> {
+    vec![
+        Fig3Point { label: "256x256", size: 256 },
+        Fig3Point { label: "512x512", size: 512 },
+        Fig3Point { label: "1Kx1K", size: 1024 },
+        Fig3Point { label: "2Kx2K", size: 2048 },
+        Fig3Point { label: "4Kx4K", size: 4096 },
+    ]
+}
+
+impl Fig3Point {
+    /// Geometry of this point for filter size `f` (3 or 5 in the paper).
+    pub fn geometry(&self, f: usize) -> ConvGeometry {
+        ConvGeometry::single(self.size, self.size, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_sizes_powers_of_two() {
+        let pts = fig3_sizes();
+        assert_eq!(pts.len(), 5);
+        assert_eq!(pts[0].size, 256);
+        assert_eq!(pts[4].size, 4096);
+        for w in pts.windows(2) {
+            assert_eq!(w[1].size, w[0].size * 2);
+        }
+    }
+
+    #[test]
+    fn geometries_validate() {
+        for p in fig3_sizes() {
+            for f in [3usize, 5] {
+                let g = p.geometry(f).validate().unwrap();
+                assert_eq!(g.batch, 1);
+                assert_eq!(g.in_channels, 1);
+                assert_eq!(g.out_channels, 1);
+            }
+        }
+    }
+}

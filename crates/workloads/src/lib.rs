@@ -1,0 +1,24 @@
+//! # memconv-workloads
+//!
+//! Workload definitions for the paper's evaluation:
+//!
+//! * [`table1`] — the 11 CNN layer configurations of Table I
+//!   (AlexNet/VGG/ResNet/GoogLeNet layers; batch 128, 1 or 3 input
+//!   channels), driving the Fig. 4 experiments;
+//! * [`fig3`] — the single-channel 2D image sweep (256×256 … 4K×4K with
+//!   3×3 and 5×5 filters) driving Fig. 3;
+//! * [`registry`] — the experiment index mapping each figure/table to its
+//!   workloads, mirrored in `DESIGN.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fig3;
+pub mod models;
+pub mod registry;
+pub mod table1;
+
+pub use fig3::{fig3_sizes, Fig3Point};
+pub use models::{model_zoo, ModelLayer};
+pub use registry::{Experiment, EXPERIMENTS};
+pub use table1::{table1_layers, LayerConfig};

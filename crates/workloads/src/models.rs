@@ -1,0 +1,136 @@
+//! Named CNN model front-ends: the concrete first-stage convolutions of
+//! the four networks Table I draws from (AlexNet, VGG, ResNet,
+//! GoogLeNet), usable by examples and extension studies.
+//!
+//! The paper's kernels target unit-stride valid convolution, so stride-1
+//! approximations of the stem layers are provided alongside the exact
+//! configurations (`native_stride` records the real stride for
+//! documentation).
+
+use crate::table1::LayerConfig;
+use serde::{Deserialize, Serialize};
+
+/// One named convolution layer of a published CNN.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelLayer {
+    /// Network name.
+    pub model: &'static str,
+    /// Layer name within the network.
+    pub layer: &'static str,
+    /// Input channels of the real layer.
+    pub in_channels: usize,
+    /// Spatial input size.
+    pub spatial: usize,
+    /// Output filters.
+    pub filters: usize,
+    /// Filter size (square).
+    pub filter: usize,
+    /// The network's true stride (this repository evaluates stride 1, as
+    /// the paper does).
+    pub native_stride: usize,
+}
+
+impl ModelLayer {
+    /// As a Table-I-style configuration (batch 128, stride 1).
+    pub fn as_layer_config(&self) -> LayerConfig {
+        LayerConfig {
+            name: self.layer,
+            batch: 128,
+            spatial: self.spatial,
+            filters: self.filters,
+            filter: self.filter,
+        }
+    }
+}
+
+/// Early convolution layers of the four model families behind Table I.
+pub fn model_zoo() -> Vec<ModelLayer> {
+    vec![
+        ModelLayer {
+            model: "AlexNet",
+            layer: "conv2",
+            in_channels: 1,
+            spatial: 24,
+            filters: 256,
+            filter: 5,
+            native_stride: 1,
+        },
+        ModelLayer {
+            model: "VGG-16",
+            layer: "conv1_1",
+            in_channels: 3,
+            spatial: 224,
+            filters: 64,
+            filter: 3,
+            native_stride: 1,
+        },
+        ModelLayer {
+            model: "VGG-16",
+            layer: "conv2_1",
+            in_channels: 3,
+            spatial: 112,
+            filters: 128,
+            filter: 3,
+            native_stride: 1,
+        },
+        ModelLayer {
+            model: "ResNet-18",
+            layer: "conv2_x",
+            in_channels: 3,
+            spatial: 56,
+            filters: 64,
+            filter: 3,
+            native_stride: 1,
+        },
+        ModelLayer {
+            model: "GoogLeNet",
+            layer: "inception3a-5x5",
+            in_channels: 3,
+            spatial: 28,
+            filters: 16,
+            filter: 5,
+            native_stride: 1,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zoo_covers_all_four_table1_families() {
+        let models: std::collections::BTreeSet<&str> =
+            model_zoo().iter().map(|m| m.model).collect();
+        for required in ["AlexNet", "VGG-16", "ResNet-18", "GoogLeNet"] {
+            assert!(models.contains(required), "missing {required}");
+        }
+    }
+
+    #[test]
+    fn zoo_layers_appear_in_table1() {
+        // every zoo layer's (spatial, filters, filter) triple matches a
+        // Table I row — the zoo is the provenance of those rows
+        let t1 = crate::table1::table1_layers();
+        for m in model_zoo() {
+            assert!(
+                t1.iter().any(|l| l.spatial == m.spatial
+                    && l.filters == m.filters
+                    && l.filter == m.filter),
+                "{} {} not in Table I",
+                m.model,
+                m.layer
+            );
+        }
+    }
+
+    #[test]
+    fn layer_config_conversion_keeps_shape() {
+        let m = &model_zoo()[0];
+        let c = m.as_layer_config();
+        assert_eq!(c.batch, 128);
+        assert_eq!(c.spatial, m.spatial);
+        let g = c.geometry(m.in_channels).validate().unwrap();
+        assert_eq!(g.out_channels, m.filters);
+    }
+}

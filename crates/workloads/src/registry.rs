@@ -1,0 +1,101 @@
+//! The experiment registry: every table and figure of the paper, what it
+//! measures, and which harness binary regenerates it. This is the
+//! machine-readable counterpart of the per-experiment index in
+//! `DESIGN.md`.
+
+use serde::{Deserialize, Serialize};
+
+/// One reproducible experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Experiment {
+    /// Paper artifact id ("Fig. 3a", "Table I", …).
+    pub id: &'static str,
+    /// What the artifact reports.
+    pub description: &'static str,
+    /// Harness invocation that regenerates it.
+    pub command: &'static str,
+}
+
+/// All experiments of the paper, plus the repository's extension
+/// ablations.
+pub const EXPERIMENTS: &[Experiment] = &[
+    Experiment {
+        id: "Table I",
+        description: "Layer configurations for multi-channel 2D convolutions",
+        command: "cargo run --release -p memconv-bench --bin table1",
+    },
+    Experiment {
+        id: "Fig. 1",
+        description: "Direct vs dynamic-shuffle vs Algorithm 1 column exchange",
+        command: "cargo run --release -p memconv-bench --bin ablation -- column",
+    },
+    Experiment {
+        id: "Fig. 2 / Alg. 2",
+        description: "Row-reuse execution flow and transaction counts",
+        command: "cargo run --release -p memconv-bench --bin ablation -- row",
+    },
+    Experiment {
+        id: "Fig. 3a",
+        description: "2D convolution speedups over GEMM-im2col, 3x3 filter",
+        command: "cargo run --release -p memconv-bench --bin fig3 -- --filter 3",
+    },
+    Experiment {
+        id: "Fig. 3b",
+        description: "2D convolution speedups over GEMM-im2col, 5x5 filter",
+        command: "cargo run --release -p memconv-bench --bin fig3 -- --filter 5",
+    },
+    Experiment {
+        id: "Fig. 4 (left)",
+        description: "Multi-channel speedups over GEMM-im2col, 1 input channel",
+        command: "cargo run --release -p memconv-bench --bin fig4 -- --channels 1",
+    },
+    Experiment {
+        id: "Fig. 4 (right)",
+        description: "Multi-channel speedups over GEMM-im2col, 3 input channels",
+        command: "cargo run --release -p memconv-bench --bin fig4 -- --channels 3",
+    },
+    Experiment {
+        id: "Ablation (ext.)",
+        description: "Transaction breakdown: direct / +column / +row / both / Fig. 1b",
+        command: "cargo run --release -p memconv-bench --bin ablation -- full",
+    },
+    Experiment {
+        id: "Devices (ext.)",
+        description: "Cross-generation transfer of the transaction-reduction speedup",
+        command: "cargo run --release -p memconv-bench --bin devices",
+    },
+    Experiment {
+        id: "Extensions (ext.)",
+        description: "Multi-filter reuse (SIV-B future work), MEC, auto-tuner",
+        command: "cargo run --release -p memconv-bench --bin extensions",
+    },
+    Experiment {
+        id: "Batch A/B (ext.)",
+        description: "Batch-sensitivity of Fig. 4 speedup ratios (CONV8)",
+        command: "cargo run --release -p memconv-bench --bin batch_ab",
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_every_paper_artifact() {
+        let ids: Vec<&str> = EXPERIMENTS.iter().map(|e| e.id).collect();
+        for required in ["Table I", "Fig. 3a", "Fig. 3b", "Fig. 4 (left)", "Fig. 4 (right)"] {
+            assert!(ids.contains(&required), "missing {required}");
+        }
+    }
+
+    #[test]
+    fn commands_reference_existing_binaries() {
+        for e in EXPERIMENTS {
+            assert!(
+                e.command.contains("-p memconv-bench --bin "),
+                "{} has malformed command",
+                e.id
+            );
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Table I of the paper: layer configurations used for the multi-channel
+//! 2D convolution evaluation (Fig. 4).
+//!
+//! Columns: `IN` (batch), `IC = FC` (input channels, evaluated at 1 and
+//! 3), `IH × IW`, `FN` (output filters), `FH × FW`. The layers are drawn
+//! from AlexNet, VGG, ResNet and GoogLeNet.
+
+use memconv_tensor::ConvGeometry;
+use serde::{Deserialize, Serialize};
+
+/// One Table I row instantiated at a concrete channel count.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LayerConfig {
+    /// Layer name (CONV1 … CONV11).
+    pub name: &'static str,
+    /// Batch size (`IN`, always 128 in the paper).
+    pub batch: usize,
+    /// Input spatial size (`IH = IW` in Table I).
+    pub spatial: usize,
+    /// Number of output filters (`FN`).
+    pub filters: usize,
+    /// Filter spatial size (`FH = FW`).
+    pub filter: usize,
+}
+
+impl LayerConfig {
+    /// The convolution geometry at `ic` input channels (the paper uses 1
+    /// and 3).
+    pub fn geometry(&self, ic: usize) -> ConvGeometry {
+        ConvGeometry::nchw(
+            self.batch,
+            ic,
+            self.spatial,
+            self.spatial,
+            self.filters,
+            self.filter,
+            self.filter,
+        )
+    }
+}
+
+/// The 11 rows of Table I (batch 128 throughout).
+pub fn table1_layers() -> Vec<LayerConfig> {
+    let mk = |name, spatial, filters, filter| LayerConfig {
+        name,
+        batch: 128,
+        spatial,
+        filters,
+        filter,
+    };
+    vec![
+        mk("CONV1", 28, 128, 3),
+        mk("CONV2", 56, 64, 3),
+        mk("CONV3", 12, 64, 5),
+        mk("CONV4", 14, 16, 5),
+        mk("CONV5", 24, 256, 5),
+        mk("CONV6", 24, 64, 5),
+        mk("CONV7", 28, 16, 5),
+        mk("CONV8", 28, 512, 3),
+        mk("CONV9", 56, 256, 3),
+        mk("CONV10", 112, 128, 3),
+        mk("CONV11", 224, 64, 3),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eleven_layers_as_in_the_paper() {
+        let layers = table1_layers();
+        assert_eq!(layers.len(), 11);
+        assert!(layers.iter().all(|l| l.batch == 128));
+        // filter mix: CONV1-2, 8-11 are 3×3; CONV3-7 are 5×5
+        let five: Vec<&str> = layers
+            .iter()
+            .filter(|l| l.filter == 5)
+            .map(|l| l.name)
+            .collect();
+        assert_eq!(five, vec!["CONV3", "CONV4", "CONV5", "CONV6", "CONV7"]);
+    }
+
+    #[test]
+    fn geometries_validate_for_both_channel_counts() {
+        for l in table1_layers() {
+            for ic in [1usize, 3] {
+                let g = l.geometry(ic).validate().expect(l.name);
+                assert_eq!(g.out_h(), l.spatial - l.filter + 1);
+                assert_eq!(g.in_channels, ic);
+            }
+        }
+    }
+
+    #[test]
+    fn conv11_is_the_largest_spatial_layer() {
+        let layers = table1_layers();
+        let max = layers.iter().max_by_key(|l| l.spatial).unwrap();
+        assert_eq!(max.name, "CONV11");
+        assert_eq!(max.spatial, 224);
+        assert_eq!(max.filters, 64);
+    }
+}

@@ -1,0 +1,66 @@
+//! CNN first-layer inference: runs the paper's multi-channel kernel on
+//! (scaled) Table I layer configurations — the workload of Fig. 4 — and
+//! compares modeled time against the fastest cuDNN-family algorithm.
+//!
+//! Full-size Table I layers are exercised by the `fig4` harness with block
+//! sampling; this example keeps the batch small so every kernel runs
+//! unsampled and the outputs can be verified against the CPU reference.
+//!
+//! ```sh
+//! cargo run --release -p memconv --example cnn_layers
+//! ```
+
+use memconv::prelude::*;
+use memconv_tensor::assert_close;
+
+fn main() {
+    let batch = 4; // Table I uses 128; scaled down for the unsampled demo
+    let ic = 3; // RGB input, as in a CNN's first layer
+    println!(
+        "{:<8} {:>9} {:>7} {:>12} {:>12} {:>9}",
+        "layer", "shape", "filter", "ours (us)", "cuDNN (us)", "winner"
+    );
+
+    for layer in table1_layers() {
+        if layer.spatial > 56 {
+            continue; // keep the unsampled demo snappy on one core
+        }
+        let fn_small = layer.filters.min(16);
+        let mut rng = TensorRng::new(layer.spatial as u64);
+        let input = rng.tensor(batch, ic, layer.spatial, layer.spatial);
+        let bank = rng.filter_bank(fn_small, ic, layer.filter, layer.filter);
+        let want = conv_nchw_ref(&input, &bank);
+
+        // ours
+        let mut sim = GpuSim::rtx2080ti();
+        let (out, stats) = conv_nchw_ours(&mut sim, &input, &bank, &OursConfig::full());
+        assert_eq!(out.as_slice(), want.as_slice(), "{} bit-exact", layer.name);
+        let t_ours = memconv::gpusim::launch_time(&stats, &sim.device).total();
+
+        // best of the cuDNN family
+        let mut sim = GpuSim::rtx2080ti();
+        let (winner, cu_out, cu_rep, _) =
+            CudnnFastest::new().run_detailed(&mut sim, &input, &bank);
+        assert_close(
+            cu_out.as_slice(),
+            want.as_slice(),
+            1e-3,
+            1e-3,
+            &format!("{} ({winner})", layer.name),
+        );
+        let t_cudnn = cu_rep.modeled_time(&sim.device);
+
+        println!(
+            "{:<8} {:>6}px^2 {:>4}x{} {:>12.1} {:>12.1} {:>9}",
+            layer.name,
+            layer.spatial,
+            layer.filter,
+            layer.filter,
+            t_ours * 1e6,
+            t_cudnn * 1e6,
+            if t_ours < t_cudnn { "ours" } else { winner.as_str() },
+        );
+    }
+
+    println!("\n(all outputs verified against the CPU reference)");
+}

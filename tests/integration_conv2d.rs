@@ -1,0 +1,121 @@
+//! Cross-crate integration: every single-channel 2D algorithm (the Fig. 3
+//! contenders) agrees with the CPU reference across a grid of shapes.
+
+use memconv::prelude::*;
+use memconv_tensor::assert_close;
+
+fn algorithms() -> Vec<Box<dyn Conv2dAlgorithm>> {
+    vec![
+        Box::new(Ours::new()),
+        Box::new(ShuffleDynamic::new()),
+        Box::new(As2d(DirectConv::npp())),
+        Box::new(As2d(TiledConv::arrayfire())),
+        Box::new(As2d(Im2colGemm::caffe())),
+        Box::new(As2d(Im2colGemm::cudnn_gemm())),
+        Box::new(As2d(ImplicitGemm::new())),
+        Box::new(As2d(PrecompGemm::new())),
+        Box::new(As2d(FftConv::new())),
+        Box::new(As2d(FftTiling::new())),
+        Box::new(As2d(WinogradFused::new())),
+        Box::new(As2d(WinogradNonfused::new())),
+    ]
+}
+
+#[test]
+fn all_algorithms_match_reference_3x3() {
+    let mut rng = TensorRng::new(1001);
+    let img = rng.image(37, 41);
+    let filt = rng.filter(3, 3);
+    let want = conv2d_ref(&img, &filt);
+    for algo in algorithms() {
+        if !algo.supports(3, 3) {
+            continue;
+        }
+        let mut sim = GpuSim::new(DeviceConfig::test_tiny());
+        let (out, rep) = algo.run(&mut sim, &img, &filt);
+        assert_close(
+            out.as_slice(),
+            want.as_slice(),
+            1e-3,
+            1e-3,
+            &format!("algorithm `{}` 3x3", algo.name()),
+        );
+        assert!(rep.global_transactions() > 0, "{} counted nothing", algo.name());
+    }
+}
+
+#[test]
+fn all_algorithms_match_reference_5x5() {
+    let mut rng = TensorRng::new(1002);
+    let img = rng.image(33, 47);
+    let filt = rng.filter(5, 5);
+    let want = conv2d_ref(&img, &filt);
+    for algo in algorithms() {
+        if !algo.supports(5, 5) {
+            continue;
+        }
+        let mut sim = GpuSim::new(DeviceConfig::test_tiny());
+        let (out, _) = algo.run(&mut sim, &img, &filt);
+        assert_close(
+            out.as_slice(),
+            want.as_slice(),
+            1e-3,
+            1e-3,
+            &format!("algorithm `{}` 5x5", algo.name()),
+        );
+    }
+}
+
+#[test]
+fn cudnn_fastest_matches_reference_and_beats_family_members() {
+    let mut rng = TensorRng::new(1003);
+    let img = rng.image(40, 40);
+    let filt = rng.filter(3, 3);
+    let want = conv2d_ref(&img, &filt);
+    let mut sim = GpuSim::new(DeviceConfig::rtx2080ti());
+    let t = Tensor4::from_image(&img);
+    let bank = FilterBank::broadcast(&filt, 1, 1);
+    let (winner, out, rep, times) = CudnnFastest::new().run_detailed(&mut sim, &t, &bank);
+    assert_close(out.plane(0, 0).as_slice(), want.as_slice(), 1e-3, 1e-3, &winner);
+    let winner_time = rep.modeled_time(&sim.device);
+    for (name, t) in &times {
+        assert!(
+            winner_time <= *t + 1e-12,
+            "winner {winner} ({winner_time}) slower than {name} ({t})"
+        );
+    }
+}
+
+#[test]
+fn ours_bitexact_on_minimum_and_awkward_sizes() {
+    let mut rng = TensorRng::new(1004);
+    for (h, w, f) in [(3, 3, 3), (5, 5, 5), (6, 95, 5), (95, 6, 3), (64, 64, 7)] {
+        let img = rng.image(h, w);
+        let filt = rng.filter(f, f);
+        let mut sim = GpuSim::new(DeviceConfig::test_tiny());
+        let (out, _) = conv2d_ours(&mut sim, &img, &filt, &OursConfig::full());
+        assert_eq!(
+            out.as_slice(),
+            conv2d_ref(&img, &filt).as_slice(),
+            "{h}x{w} f={f}"
+        );
+    }
+}
+
+#[test]
+fn device_choice_does_not_change_results() {
+    // Functional output must be identical on any simulated device — only
+    // the performance counters differ.
+    let mut rng = TensorRng::new(1005);
+    let img = rng.image(24, 24);
+    let filt = rng.filter(3, 3);
+    let mut tiny = GpuSim::new(DeviceConfig::test_tiny());
+    let mut big = GpuSim::rtx2080ti();
+    let (a, sa) = conv2d_ours(&mut tiny, &img, &filt, &OursConfig::full());
+    let (b, sb) = conv2d_ours(&mut big, &img, &filt, &OursConfig::full());
+    assert_eq!(a.as_slice(), b.as_slice());
+    // same requests and transactions (coalescing is device-geometry
+    // independent at 32 B sectors), different cache behaviour allowed
+    assert_eq!(sa.gld_requests, sb.gld_requests);
+    assert_eq!(sa.gld_transactions, sb.gld_transactions);
+}

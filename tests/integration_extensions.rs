@@ -1,0 +1,113 @@
+//! Integration tests for the features built beyond the paper's evaluation:
+//! implicit padding, the multi-filter kernel (§IV-B future work), MEC, the
+//! auto-tuner, and the cross-device presets.
+
+use memconv::core::kernel_multi_filter::OursMultiFilter;
+use memconv::core::{autotune_2d, conv2d_ours_padded};
+use memconv::prelude::*;
+use memconv_ref::conv2d_ref_padded;
+use memconv_tensor::{assert_close, Padding};
+
+#[test]
+fn same_padded_pipeline_preserves_resolution() {
+    let img = memconv::tensor::generate::synthetic_photo(96, 96, 3);
+    let mut cur = img.clone();
+    let mut sim = GpuSim::new(DeviceConfig::test_tiny());
+    for f in [3usize, 5, 3] {
+        let filt = TensorRng::new(f as u64).filter(f, f);
+        let (next, _) = conv2d_ours_padded(&mut sim, &cur, &filt, Padding::Same, &OursConfig::full());
+        assert_eq!((next.h(), next.w()), (96, 96), "resolution preserved");
+        cur = next;
+    }
+}
+
+#[test]
+fn padded_matches_reference_on_every_config() {
+    let mut rng = TensorRng::new(4001);
+    for (h, w, f) in [(9, 9, 5), (31, 17, 3), (16, 64, 7)] {
+        let img = rng.image(h, w);
+        let filt = rng.filter(f, f);
+        let want = conv2d_ref_padded(&img, &filt, (f - 1) / 2, (f - 1) / 2);
+        let mut sim = GpuSim::new(DeviceConfig::test_tiny());
+        let (out, _) = conv2d_ours_padded(&mut sim, &img, &filt, Padding::Same, &OursConfig::full());
+        assert_eq!(out.as_slice(), want.as_slice(), "{h}x{w} f={f}");
+    }
+}
+
+#[test]
+fn multi_filter_is_bitexact_and_cuts_traffic_on_many_filters() {
+    let mut rng = TensorRng::new(4002);
+    let input = rng.tensor(2, 3, 16, 16);
+    let bank = rng.filter_bank(16, 3, 3, 3);
+    let want = conv_nchw_ref(&input, &bank);
+
+    let mut sim = GpuSim::new(DeviceConfig::test_tiny());
+    let (out, mf_rep) = OursMultiFilter::new().run(&mut sim, &input, &bank);
+    assert_eq!(out.as_slice(), want.as_slice(), "multi-filter bit-exact");
+
+    let mut sim = GpuSim::new(DeviceConfig::test_tiny());
+    let (_, base_rep) = ConvNchwAlgorithm::run(&Ours::new(), &mut sim, &input, &bank);
+    let (mf, base) = (mf_rep.totals(), base_rep.totals());
+    assert!(
+        mf.gld_transactions * 2 < base.gld_transactions,
+        "filter tiling must cut input re-reads: {} vs {}",
+        mf.gld_transactions,
+        base.gld_transactions
+    );
+}
+
+#[test]
+fn mec_agrees_with_the_rest_of_the_field() {
+    let mut rng = TensorRng::new(4003);
+    let input = rng.tensor(2, 2, 13, 11);
+    let bank = rng.filter_bank(3, 2, 3, 3);
+    let want = conv_nchw_ref(&input, &bank);
+    let mut sim = GpuSim::new(DeviceConfig::test_tiny());
+    let (out, rep) = MecConv::new().run(&mut sim, &input, &bank);
+    assert_close(out.as_slice(), want.as_slice(), 1e-3, 1e-3, "MEC");
+    // lowering + reorder + one GEMM per image
+    assert_eq!(rep.launches.len(), 2 + 2);
+}
+
+#[test]
+fn tuner_beats_or_matches_the_worst_candidate() {
+    let g = ConvGeometry::single(512, 512, 5);
+    let dev = DeviceConfig::rtx2080ti();
+    let rep = autotune_2d(&dev, &g);
+    let best_t = rep
+        .trials
+        .iter()
+        .map(|&(_, _, t)| t)
+        .fold(f64::INFINITY, f64::min);
+    let worst_t = rep
+        .trials
+        .iter()
+        .map(|&(_, _, t)| t)
+        .fold(0.0f64, f64::max);
+    assert!(worst_t > best_t, "grid must discriminate configs");
+    let (r, w, _) = rep
+        .trials
+        .iter()
+        .find(|&&(_, _, t)| t == best_t)
+        .copied()
+        .unwrap();
+    assert_eq!(rep.best.rows_per_thread, r);
+    assert_eq!(rep.best.block_warps, w);
+}
+
+#[test]
+fn devices_rank_consistently_for_ours() {
+    // More DRAM bandwidth (newer device) must never make the same kernel
+    // slower in the model.
+    let mut rng = TensorRng::new(4004);
+    let img = rng.image(256, 256);
+    let filt = rng.filter(3, 3);
+    let time_on = |dev: DeviceConfig| {
+        let mut sim = GpuSim::new(dev);
+        let (_, s) = memconv::core::conv2d_ours(&mut sim, &img, &filt, &OursConfig::full());
+        memconv::gpusim::launch_time(&s, &sim.device).total()
+    };
+    let pascal = time_on(DeviceConfig::gtx1080ti());
+    let ampere = time_on(DeviceConfig::a100_like());
+    assert!(ampere < pascal, "A100-class {ampere} !< 1080Ti {pascal}");
+}

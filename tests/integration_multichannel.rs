@@ -1,0 +1,128 @@
+//! Cross-crate integration for the Fig. 4 setting: batched multi-channel
+//! convolution, every algorithm vs the CPU reference, including scaled-down
+//! Table I layer shapes.
+
+use memconv::prelude::*;
+use memconv_tensor::assert_close;
+use memconv_workloads::table1_layers;
+
+fn algorithms() -> Vec<Box<dyn ConvNchwAlgorithm>> {
+    vec![
+        Box::new(Ours::new()),
+        Box::new(DirectConv::new()),
+        Box::new(TiledConv::new()),
+        Box::new(Im2colGemm::caffe()),
+        Box::new(Im2colGemm::cudnn_gemm()),
+        Box::new(ImplicitGemm::new()),
+        Box::new(PrecompGemm::new()),
+        Box::new(FftConv::new()),
+        Box::new(FftTiling::new()),
+        Box::new(WinogradFused::new()),
+        Box::new(WinogradNonfused::new()),
+    ]
+}
+
+#[test]
+fn all_algorithms_match_reference_multichannel() {
+    let mut rng = TensorRng::new(2001);
+    let input = rng.tensor(2, 3, 14, 14);
+    for f in [3usize, 5] {
+        let bank = rng.filter_bank(4, 3, f, f);
+        let want = conv_nchw_ref(&input, &bank);
+        for algo in algorithms() {
+            if !algo.supports(f, f) {
+                continue;
+            }
+            let mut sim = GpuSim::new(DeviceConfig::test_tiny());
+            let (out, _) = algo.run(&mut sim, &input, &bank);
+            assert_close(
+                out.as_slice(),
+                want.as_slice(),
+                1e-3,
+                1e-3,
+                &format!("algorithm `{}` f={f}", algo.name()),
+            );
+        }
+    }
+}
+
+#[test]
+fn scaled_table1_shapes_agree() {
+    // Table I geometries with the batch scaled down to keep full
+    // (unsampled) simulation cheap; spatial/filter shapes are exact.
+    let mut rng = TensorRng::new(2002);
+    for layer in table1_layers() {
+        if layer.spatial > 28 {
+            continue; // larger layers are exercised by the sampled harness
+        }
+        for ic in [1usize, 3] {
+            let input = rng.tensor(2, ic, layer.spatial, layer.spatial);
+            let fn_small = layer.filters.min(8);
+            let bank = rng.filter_bank(fn_small, ic, layer.filter, layer.filter);
+            let want = conv_nchw_ref(&input, &bank);
+            let mut sim = GpuSim::new(DeviceConfig::test_tiny());
+            let (out, _) = conv_nchw_ours(&mut sim, &input, &bank, &OursConfig::full());
+            assert_eq!(
+                out.as_slice(),
+                want.as_slice(),
+                "{} ic={ic} (ours is bit-exact)",
+                layer.name
+            );
+        }
+    }
+}
+
+#[test]
+fn sampling_preserves_traffic_counters_on_uniform_grids() {
+    let mut rng = TensorRng::new(2003);
+    let input = rng.tensor(2, 1, 40, 40);
+    let bank = rng.filter_bank(4, 1, 3, 3);
+    let run = |sample: SampleMode| {
+        let cfg = OursConfig {
+            sample,
+            ..OursConfig::full()
+        };
+        let mut sim = GpuSim::rtx2080ti();
+        let (_, stats) = conv_nchw_ours(&mut sim, &input, &bank, &cfg);
+        stats
+    };
+    let full = run(SampleMode::Full);
+    let sampled = run(SampleMode::Chunked { chunk: 4, skip: 2 });
+    let ratio = sampled.gld_transactions as f64 / full.gld_transactions as f64;
+    assert!(
+        (0.9..1.1).contains(&ratio),
+        "sampled traffic off by {ratio}: {} vs {}",
+        sampled.gld_transactions,
+        full.gld_transactions
+    );
+}
+
+#[test]
+fn winograd_unsupported_for_5x5_like_the_paper() {
+    // The zeros in Fig. 4's winograd/nonfused columns for CONV3–CONV7.
+    for algo in algorithms() {
+        if algo.name() == "winograd" || algo.name() == "nonfused" {
+            assert!(!algo.supports(5, 5), "{}", algo.name());
+        }
+    }
+}
+
+#[test]
+fn run_reports_decompose_into_launches() {
+    let mut rng = TensorRng::new(2004);
+    let input = rng.tensor(2, 1, 12, 12);
+    let bank = rng.filter_bank(2, 1, 3, 3);
+    // Caffe loops over the batch: 2 images × 2 kernels.
+    let mut sim = GpuSim::new(DeviceConfig::test_tiny());
+    let (_, rep) = Im2colGemm::caffe().run(&mut sim, &input, &bank);
+    assert_eq!(rep.launches.len(), 4);
+    let t_total = rep.modeled_time(&sim.device);
+    let t_sum: f64 = rep
+        .launches
+        .iter()
+        .map(|(_, s)| memconv_gpusim::launch_time(s, &sim.device).total())
+        .sum();
+    // total = kernel times + Caffe's per-image cuBLAS dispatch overhead
+    assert!(rep.api_overhead_s > 0.0, "Caffe pays library dispatch");
+    assert!((t_total - t_sum - rep.api_overhead_s).abs() < 1e-12);
+}

@@ -1,0 +1,131 @@
+//! Property-based cross-algorithm tests: random shapes and data, every
+//! algorithm against the reference (DESIGN.md §6).
+
+use memconv::prelude::*;
+use memconv_core::row_reuse;
+use memconv_tensor::CompareReport;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// "ours" is bit-exact against the reference for arbitrary shapes.
+    #[test]
+    fn ours_bitexact_any_shape(
+        h in 3usize..40,
+        w in 3usize..70,
+        f in prop::sample::select(vec![1usize, 3, 5, 7]),
+        rows_per_thread in 1usize..10,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(h >= f && w >= f);
+        let mut rng = TensorRng::new(seed);
+        let img = rng.image(h, w);
+        let filt = rng.filter(f, f);
+        let cfg = OursConfig { rows_per_thread, ..OursConfig::full() };
+        let mut sim = GpuSim::new(DeviceConfig::test_tiny());
+        let (out, _) = conv2d_ours(&mut sim, &img, &filt, &cfg);
+        let want = conv2d_ref(&img, &filt);
+        prop_assert_eq!(out.as_slice(), want.as_slice());
+    }
+
+    /// Column reuse never loads more than direct, for any filter width.
+    #[test]
+    fn column_reuse_never_worse(
+        f in 2usize..16,
+        w in 40usize..100,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = TensorRng::new(seed);
+        let img = rng.image(f + 4, w.max(f));
+        let filt = rng.filter(f, f);
+        let run = |column_reuse: bool| {
+            let cfg = OursConfig { column_reuse, rows_per_thread: 1, ..OursConfig::full() };
+            let mut sim = GpuSim::new(DeviceConfig::test_tiny());
+            let (_, s) = conv2d_ours(&mut sim, &img, &filt, &cfg);
+            s
+        };
+        let with = run(true);
+        let without = run(false);
+        prop_assert!(with.gld_requests <= without.gld_requests);
+        prop_assert!(with.gld_transactions <= without.gld_transactions);
+    }
+
+    /// Algorithm 2's schedule covers each (output, filter-row) pair exactly
+    /// once for arbitrary sizes.
+    #[test]
+    fn row_reuse_schedule_is_a_partition(fh in 1usize..9, extra in 0usize..30) {
+        let ih = fh + extra;
+        let oh = ih - fh + 1;
+        let mut counts = vec![vec![0u32; fh]; oh];
+        for index in 0..ih {
+            for (o, fr) in row_reuse::contributions(index, fh, oh) {
+                counts[o][fr] += 1;
+            }
+        }
+        for (o, row) in counts.iter().enumerate() {
+            for (fr, &c) in row.iter().enumerate() {
+                prop_assert_eq!(c, 1, "output {} filter row {}", o, fr);
+            }
+        }
+    }
+
+    /// The multi-channel kernel is bit-exact for random NCHW shapes.
+    #[test]
+    fn nchw_bitexact_any_shape(
+        n in 1usize..4,
+        ic in 1usize..4,
+        hw in 5usize..20,
+        fn_ in 1usize..6,
+        f in prop::sample::select(vec![3usize, 5]),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(hw >= f);
+        let mut rng = TensorRng::new(seed);
+        let input = rng.tensor(n, ic, hw, hw);
+        let bank = rng.filter_bank(fn_, ic, f, f);
+        let mut sim = GpuSim::new(DeviceConfig::test_tiny());
+        let (out, _) = conv_nchw_ours(&mut sim, &input, &bank, &OursConfig::full());
+        let want = conv_nchw_ref(&input, &bank);
+        prop_assert_eq!(out.as_slice(), want.as_slice());
+    }
+
+    /// GEMM-family baselines agree with the reference within accumulation
+    /// tolerance on random shapes.
+    #[test]
+    fn gemm_family_close_any_shape(
+        hw in 6usize..18,
+        fn_ in 1usize..5,
+        ic in 1usize..3,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = TensorRng::new(seed);
+        let input = rng.tensor(1, ic, hw, hw);
+        let bank = rng.filter_bank(fn_, ic, 3, 3);
+        let want = conv_nchw_ref(&input, &bank);
+        for algo in [
+            Box::new(ImplicitGemm::new()) as Box<dyn ConvNchwAlgorithm>,
+            Box::new(PrecompGemm::new()),
+            Box::new(Im2colGemm::cudnn_gemm()),
+        ] {
+            let mut sim = GpuSim::new(DeviceConfig::test_tiny());
+            let (out, _) = algo.run(&mut sim, &input, &bank);
+            let rep = CompareReport::new(out.as_slice(), want.as_slice());
+            prop_assert!(rep.within(1e-3, 1e-3), "{}: {:?}", algo.name(), rep);
+        }
+    }
+
+    /// Modeled speedups are antisymmetric: speedup(a,b) · speedup(b,a) = 1.
+    #[test]
+    fn modeled_speedup_antisymmetric(da in 1u64..1_000_000, db in 1u64..1_000_000) {
+        let dev = DeviceConfig::rtx2080ti();
+        let mk = |sectors: u64| {
+            let mut s = KernelStats::for_launch(1 << 20);
+            s.dram_read_sectors = sectors;
+            memconv_gpusim::launch_time(&s, &dev).total()
+        };
+        let (ta, tb) = (mk(da), mk(db));
+        let prod = (ta / tb) * (tb / ta);
+        prop_assert!((prod - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests of the performance model and sampling machinery at the
+//! workspace level (complementing the per-crate suites).
+
+use memconv::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Sampled traffic extrapolation stays within 15% of the full run —
+    /// on grids large enough to amortize boundary blocks, which is the
+    /// regime sampling exists for (tiny grids are always run Full).
+    #[test]
+    fn sampling_extrapolation_error_bounded(
+        h in 128usize..224,
+        w in 129usize..256,
+        f in prop::sample::select(vec![3usize, 5]),
+        skip in 2u32..6,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = TensorRng::new(seed);
+        let img = rng.image(h, w);
+        let filt = rng.filter(f, f);
+        let run = |sample| {
+            let cfg = OursConfig { sample, ..OursConfig::full() };
+            let mut sim = GpuSim::rtx2080ti();
+            let (_, s) = memconv::core::conv2d_ours(&mut sim, &img, &filt, &cfg);
+            s
+        };
+        let full = run(SampleMode::Full);
+        let sampled = run(SampleMode::Chunked { chunk: 2, skip });
+        let ratio = sampled.gld_transactions as f64 / full.gld_transactions.max(1) as f64;
+        prop_assert!((0.85..1.15).contains(&ratio), "ratio {}", ratio);
+    }
+
+    /// The timing model is monotone in threads-for-fixed-work: fewer
+    /// threads (worse fill) can only slow a fixed workload down.
+    #[test]
+    fn device_fill_monotonicity(work in 1u64..10_000_000, t1 in 32u64..1_000_000, t2 in 32u64..1_000_000) {
+        let dev = DeviceConfig::rtx2080ti();
+        let mk = |threads: u64| {
+            let mut s = KernelStats::for_launch(threads);
+            s.fma_instrs = work;
+            memconv::gpusim::launch_time(&s, &dev).total()
+        };
+        let (lo, hi) = (t1.min(t2), t1.max(t2));
+        prop_assert!(mk(lo) >= mk(hi) - 1e-15);
+    }
+
+    /// Modeled time is superadditive under launch splitting: splitting one
+    /// launch's work across two launches can only add overhead.
+    #[test]
+    fn launch_splitting_never_faster(sectors in 2u64..1_000_000) {
+        let dev = DeviceConfig::rtx2080ti();
+        let mk = |n: u64| {
+            let mut s = KernelStats::for_launch(1 << 20);
+            s.dram_read_sectors = n;
+            s
+        };
+        let mut whole = RunReport::new();
+        whole.push("one", mk(sectors));
+        let mut split = RunReport::new();
+        split.push("a", mk(sectors / 2));
+        split.push("b", mk(sectors - sectors / 2));
+        prop_assert!(split.modeled_time(&dev) >= whole.modeled_time(&dev) - 1e-15);
+    }
+
+    /// Transactions of the fused kernel scale linearly-ish in image area
+    /// (no superlinear blowup, no sublinear undercount) once past the
+    /// warp-quantization regime.
+    #[test]
+    fn traffic_scales_with_area(scale in 2usize..4, seed in any::<u64>()) {
+        let base = 32usize;
+        let mut rng = TensorRng::new(seed);
+        let small = rng.image(base, base);
+        let big = rng.image(base * scale, base * scale);
+        let filt = rng.filter(3, 3);
+        let txns = |img: &Image2D| {
+            let mut sim = GpuSim::rtx2080ti();
+            let (_, s) = memconv::core::conv2d_ours(&mut sim, img, &filt, &OursConfig::full());
+            s.gld_transactions as f64
+        };
+        let ratio = txns(&big) / txns(&small);
+        let area_ratio = (scale * scale) as f64;
+        prop_assert!(
+            ratio > area_ratio * 0.5 && ratio < area_ratio * 2.0,
+            "ratio {} vs area {}",
+            ratio,
+            area_ratio
+        );
+    }
+}
