@@ -20,12 +20,7 @@ impl<T: ConvNchwAlgorithm> Conv2dAlgorithm for As2d<T> {
         self.0.supports(fh, fw)
     }
 
-    fn run(
-        &self,
-        sim: &mut GpuSim,
-        input: &Image2D,
-        filter: &Filter2D,
-    ) -> (Image2D, RunReport) {
+    fn run(&self, sim: &mut GpuSim, input: &Image2D, filter: &Filter2D) -> (Image2D, RunReport) {
         let t = Tensor4::from_image(input);
         let bank = FilterBank::broadcast(filter, 1, 1);
         let (out, rep) = self.0.run(sim, &t, &bank);

@@ -97,12 +97,7 @@ impl ConvNchwAlgorithm for CudnnFastest {
         "cuDNN-fastest"
     }
 
-    fn run(
-        &self,
-        sim: &mut GpuSim,
-        input: &Tensor4,
-        weights: &FilterBank,
-    ) -> (Tensor4, RunReport) {
+    fn run(&self, sim: &mut GpuSim, input: &Tensor4, weights: &FilterBank) -> (Tensor4, RunReport) {
         let (_, out, rep, _) = self.run_detailed(sim, input, weights);
         (out, rep)
     }
@@ -155,6 +150,8 @@ mod tests {
         let b = rng.filter_bank(1, 1, 5, 5);
         let mut sim = GpuSim::new(DeviceConfig::test_tiny());
         let (_, _, _, times) = CudnnFastest::new().run_detailed(&mut sim, &t, &b);
-        assert!(times.iter().all(|(n, _)| n != "winograd" && n != "nonfused"));
+        assert!(times
+            .iter()
+            .all(|(n, _)| n != "winograd" && n != "nonfused"));
     }
 }

@@ -67,12 +67,7 @@ impl ConvNchwAlgorithm for DirectConv {
         &self.label
     }
 
-    fn run(
-        &self,
-        sim: &mut GpuSim,
-        input: &Tensor4,
-        weights: &FilterBank,
-    ) -> (Tensor4, RunReport) {
+    fn run(&self, sim: &mut GpuSim, input: &Tensor4, weights: &FilterBank) -> (Tensor4, RunReport) {
         let (n, c, ih, iw) = input.dims();
         let g = ConvGeometry::nchw(
             n,

@@ -16,8 +16,8 @@
 
 use memconv_core::api::ConvNchwAlgorithm;
 use memconv_gpusim::{
-    BufId, GpuSim, KernelStats, LaneMask, LaunchConfig, RunReport, SampleMode, VF, VU,
-    WarpCtx, WARP,
+    BufId, GpuSim, KernelStats, LaneMask, LaunchConfig, RunReport, SampleMode, WarpCtx, VF, VU,
+    WARP,
 };
 use memconv_tensor::{ConvGeometry, FilterBank, Tensor4};
 
@@ -122,9 +122,7 @@ fn launch_fft_rows(
                 let gidx = pos + base;
                 let vre = w.gld(re, &gidx, LaneMask::ALL);
                 let vim = w.gld(im, &gidx, LaneMask::ALL);
-                let rev = VU::from_fn(|l| {
-                    bit_reverse((chunk * WARP + l) % len, p) as u32
-                });
+                let rev = VU::from_fn(|l| bit_reverse((chunk * WARP + l) % len, p) as u32);
                 w.count_fp(2);
                 w.sst(&(rev + sre), &vre, LaneMask::ALL);
                 w.sst(&(rev + sim_), &vim, LaneMask::ALL);
@@ -209,9 +207,8 @@ fn launch_transpose(
                 for r in 0..4 {
                     let y = y0 + w.warp_id * 4 + r;
                     let mask = LaneMask::from_fn(|l| y < p && x0 + l < p);
-                    let gidx = VU::from_fn(|l| {
-                        (plane + y.min(p - 1) * p + (x0 + l).min(p - 1)) as u32
-                    });
+                    let gidx =
+                        VU::from_fn(|l| (plane + y.min(p - 1) * p + (x0 + l).min(p - 1)) as u32);
                     let v = w.gld(src, &gidx, mask);
                     let sidx = lane.map(|l| ((w.warp_id * 4 + r) * 33) as u32 + l);
                     w.sst(&sidx, &v, LaneMask::ALL);
@@ -285,12 +282,7 @@ impl ConvNchwAlgorithm for FftConv {
             && FftConv::supports_geometry(geo.in_h, geo.in_w, geo.f_h, geo.f_w)
     }
 
-    fn run(
-        &self,
-        sim: &mut GpuSim,
-        input: &Tensor4,
-        weights: &FilterBank,
-    ) -> (Tensor4, RunReport) {
+    fn run(&self, sim: &mut GpuSim, input: &Tensor4, weights: &FilterBank) -> (Tensor4, RunReport) {
         let (n, ic, ih, iw) = input.dims();
         let (fh, fw) = (weights.fh(), weights.fw());
         assert!(
@@ -369,7 +361,17 @@ impl ConvNchwAlgorithm for FftConv {
             rep.push(format!("fft_rows_{label}"), s);
             let s = launch_transpose(sim, [(bre, sc_re), (bim, sc_im)], planes, p, self.sample);
             rep.push(format!("fft_transpose_{label}"), s);
-            let s = launch_fft_rows(sim, sc_re, sc_im, planes * p, p, false, btr, bti, self.sample);
+            let s = launch_fft_rows(
+                sim,
+                sc_re,
+                sc_im,
+                planes * p,
+                p,
+                false,
+                btr,
+                bti,
+                self.sample,
+            );
             rep.push(format!("fft_cols_{label}"), s);
             // copy spectra back from scratch
             let s = launch_transpose(sim, [(sc_re, bre), (sc_im, bim)], planes, p, self.sample);
@@ -413,13 +415,45 @@ impl ConvNchwAlgorithm for FftConv {
 
         // --- inverse transforms ---------------------------------------------
         let planes = n * fn_;
-        let s = launch_fft_rows(sim, out_re, out_im, planes * p, p, true, btr, bti, self.sample);
+        let s = launch_fft_rows(
+            sim,
+            out_re,
+            out_im,
+            planes * p,
+            p,
+            true,
+            btr,
+            bti,
+            self.sample,
+        );
         rep.push("ifft_rows", s);
-        let s = launch_transpose(sim, [(out_re, sc_re), (out_im, sc_im)], planes, p, self.sample);
+        let s = launch_transpose(
+            sim,
+            [(out_re, sc_re), (out_im, sc_im)],
+            planes,
+            p,
+            self.sample,
+        );
         rep.push("ifft_transpose", s);
-        let s = launch_fft_rows(sim, sc_re, sc_im, planes * p, p, true, btr, bti, self.sample);
+        let s = launch_fft_rows(
+            sim,
+            sc_re,
+            sc_im,
+            planes * p,
+            p,
+            true,
+            btr,
+            bti,
+            self.sample,
+        );
         rep.push("ifft_cols", s);
-        let s = launch_transpose(sim, [(sc_re, out_re), (sc_im, out_im)], planes, p, self.sample);
+        let s = launch_transpose(
+            sim,
+            [(sc_re, out_re), (sc_im, out_im)],
+            planes,
+            p,
+            self.sample,
+        );
         rep.push("ifft_untranspose", s);
 
         // --- crop the valid correlation ------------------------------------
@@ -463,12 +497,7 @@ const TILE: usize = 32;
 /// In-register FFT of 32 points per lane (each lane transforms its own
 /// sequence). Arithmetic is done directly on the register vectors and
 /// counted in bulk — 10 FLOP-instructions per butterfly.
-fn fft32_regs(
-    w: &mut WarpCtx<'_, '_>,
-    re: &mut [VF; TILE],
-    im: &mut [VF; TILE],
-    inverse: bool,
-) {
+fn fft32_regs(w: &mut WarpCtx<'_, '_>, re: &mut [VF; TILE], im: &mut [VF; TILE], inverse: bool) {
     // bit-reverse permutation (register renaming: free)
     for i in 0..TILE {
         let j = bit_reverse(i, 5);
@@ -501,11 +530,7 @@ fn fft32_regs(
 
 /// Warp-level 32×32 transpose through padded shared memory (both
 /// components).
-fn warp_transpose(
-    w: &mut WarpCtx<'_, '_>,
-    re: &mut [VF; TILE],
-    im: &mut [VF; TILE],
-) {
+fn warp_transpose(w: &mut WarpCtx<'_, '_>, re: &mut [VF; TILE], im: &mut [VF; TILE]) {
     let lane = w.lane_id();
     for comp in 0..2 {
         let data: &mut [VF; TILE] = if comp == 0 { re } else { im };
@@ -558,15 +583,13 @@ impl ConvNchwAlgorithm for FftTiling {
         fh == fw && fh <= 9
     }
 
-    fn run(
-        &self,
-        sim: &mut GpuSim,
-        input: &Tensor4,
-        weights: &FilterBank,
-    ) -> (Tensor4, RunReport) {
+    fn run(&self, sim: &mut GpuSim, input: &Tensor4, weights: &FilterBank) -> (Tensor4, RunReport) {
         let (n, ic, ih, iw) = input.dims();
         let (fh, fw) = (weights.fh(), weights.fw());
-        assert!(self.supports(fh, fw), "tile FFT supports square filters ≤ 9");
+        assert!(
+            self.supports(fh, fw),
+            "tile FFT supports square filters ≤ 9"
+        );
         let g = ConvGeometry::nchw(n, ic, ih, iw, weights.num_filters(), fh, fw);
         let (oh, ow) = (g.out_h(), g.out_w());
         let fn_ = g.out_channels;
@@ -677,9 +700,7 @@ impl ConvNchwAlgorithm for FftTiling {
                         break;
                     }
                     let mask = LaneMask::from_fn(|l| l < vout && x0 + l < ow);
-                    let idx = VU::from_fn(|l| {
-                        (out_base + y * ow + (x0 + l).min(ow - 1)) as u32
-                    });
+                    let idx = VU::from_fn(|l| (out_base + y * ow + (x0 + l).min(ow - 1)) as u32);
                     let v = w.fmul(*slot, scale);
                     w.gst(bo, &idx, &v, mask);
                 }

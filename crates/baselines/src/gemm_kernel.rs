@@ -132,8 +132,7 @@ pub fn launch_gemm(
                     let gidx = VU::from_fn(|l| {
                         (abase
                             + (m0 + (i.lane(l) as usize).min(m.saturating_sub(1))) * k
-                            + (k0 + (j.lane(l) as usize)).min(k - 1))
-                            as u32
+                            + (k0 + (j.lane(l) as usize)).min(k - 1)) as u32
                     });
                     // masked lanes deliver 0.0, zero-padding the tile
                     let v = w.gld(a, &gidx, mask);
@@ -147,14 +146,8 @@ pub fn launch_gemm(
                 let (r, cidx) = match batch.ldb_transposed {
                     // transposed B: read along k (contiguous), transpose
                     // into shared memory
-                    Some(_) => (
-                        flat.map(|v| v % BK as u32),
-                        flat.map(|v| v / BK as u32),
-                    ),
-                    None => (
-                        flat.map(|v| v / BN as u32),
-                        flat.map(|v| v % BN as u32),
-                    ),
+                    Some(_) => (flat.map(|v| v % BK as u32), flat.map(|v| v / BK as u32)),
+                    None => (flat.map(|v| v / BN as u32), flat.map(|v| v % BN as u32)),
                 };
                 let mask = memconv_gpusim::LaneMask::from_fn(|l| {
                     k0 + (r.lane(l) as usize) < k && n0 + (cidx.lane(l) as usize) < n
@@ -190,7 +183,8 @@ pub fn launch_gemm(
                         let aidx = VU::splat((arow * BK + quad * 4) as u32);
                         *a = w.sld_vec::<4>(&aidx, memconv_gpusim::LaneMask::ALL);
                     }
-                    #[allow(clippy::needless_range_loop)] // kk_in pairs the k index with the register quad
+                    #[allow(clippy::needless_range_loop)]
+                    // kk_in pairs the k index with the register quad
                     for kk_in in 0..4 {
                         let kk = quad * 4 + kk_in;
                         let bidx = lane.map(|l| (BM * BK + kk * BN) as u32 + (l % BN as u32));
@@ -294,7 +288,13 @@ mod tests {
         );
         let got = sim.mem.download(bc);
         for z in 0..2 {
-            let want = gemm_ref(m, k, n, &a[z * m * k..(z + 1) * m * k], &b[z * k * n..(z + 1) * k * n]);
+            let want = gemm_ref(
+                m,
+                k,
+                n,
+                &a[z * m * k..(z + 1) * m * k],
+                &b[z * k * n..(z + 1) * k * n],
+            );
             assert_close(
                 &got[z * m * n..(z + 1) * m * n],
                 &want,
@@ -382,10 +382,26 @@ mod tests {
         let a1 = sim.mem.alloc(64 * k);
         let b1 = sim.mem.alloc(k * n);
         let c1 = sim.mem.alloc(64 * n);
-        let s1 = launch_gemm(&mut sim, a1, b1, c1, GemmDims { m: 64, k, n }, GemmBatch::single(), SampleMode::Full);
+        let s1 = launch_gemm(
+            &mut sim,
+            a1,
+            b1,
+            c1,
+            GemmDims { m: 64, k, n },
+            GemmBatch::single(),
+            SampleMode::Full,
+        );
         let a2 = sim.mem.alloc(128 * k);
         let c2 = sim.mem.alloc(128 * n);
-        let s2 = launch_gemm(&mut sim, a2, b1, c2, GemmDims { m: 128, k, n }, GemmBatch::single(), SampleMode::Full);
+        let s2 = launch_gemm(
+            &mut sim,
+            a2,
+            b1,
+            c2,
+            GemmDims { m: 128, k, n },
+            GemmBatch::single(),
+            SampleMode::Full,
+        );
         // doubling M doubles B-tile reads (requests scale ~2x overall here)
         assert!(s2.gld_requests > s1.gld_requests * 3 / 2);
     }

@@ -13,9 +13,7 @@
 
 use crate::gemm_kernel::{launch_gemm, GemmBatch, GemmDims};
 use memconv_core::api::ConvNchwAlgorithm;
-use memconv_gpusim::{
-    GpuSim, KernelStats, LaunchConfig, RunReport, SampleMode, VU, WARP,
-};
+use memconv_gpusim::{GpuSim, KernelStats, LaunchConfig, RunReport, SampleMode, VU, WARP};
 use memconv_tensor::{ConvGeometry, FilterBank, Tensor4};
 
 /// Explicit im2col + SGEMM convolution.
@@ -127,12 +125,7 @@ impl ConvNchwAlgorithm for Im2colGemm {
         &self.label
     }
 
-    fn run(
-        &self,
-        sim: &mut GpuSim,
-        input: &Tensor4,
-        weights: &FilterBank,
-    ) -> (Tensor4, RunReport) {
+    fn run(&self, sim: &mut GpuSim, input: &Tensor4, weights: &FilterBank) -> (Tensor4, RunReport) {
         let (n, ic, ih, iw) = input.dims();
         let g = ConvGeometry::nchw(
             n,

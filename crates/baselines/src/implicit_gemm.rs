@@ -14,9 +14,7 @@
 //!   read — cuDNN's "precomputed indices" variant.
 
 use memconv_core::api::ConvNchwAlgorithm;
-use memconv_gpusim::{
-    BufId, GpuSim, LaneMask, LaunchConfig, RunReport, SampleMode, VF, VU, WARP,
-};
+use memconv_gpusim::{BufId, GpuSim, LaneMask, LaunchConfig, RunReport, SampleMode, VF, VU, WARP};
 use memconv_tensor::{ConvGeometry, FilterBank, Tensor4};
 
 const BM: usize = 64;
@@ -222,7 +220,7 @@ fn run_implicit(
                         *a = w.sld_vec::<4>(&aidx, LaneMask::ALL);
                     }
                     #[allow(clippy::needless_range_loop)]
-                for kk_in in 0..4 {
+                    for kk_in in 0..4 {
                         let kk = quad * 4 + kk_in;
                         let bidx = lane + (BM * BK + kk * BN) as u32;
                         let bval = w.sld(&bidx, LaneMask::ALL);
@@ -272,12 +270,7 @@ impl ConvNchwAlgorithm for ImplicitGemm {
         "implicit"
     }
 
-    fn run(
-        &self,
-        sim: &mut GpuSim,
-        input: &Tensor4,
-        weights: &FilterBank,
-    ) -> (Tensor4, RunReport) {
+    fn run(&self, sim: &mut GpuSim, input: &Tensor4, weights: &FilterBank) -> (Tensor4, RunReport) {
         run_implicit(sim, input, weights, false, self.sample)
     }
 }
@@ -287,12 +280,7 @@ impl ConvNchwAlgorithm for PrecompGemm {
         "precomp"
     }
 
-    fn run(
-        &self,
-        sim: &mut GpuSim,
-        input: &Tensor4,
-        weights: &FilterBank,
-    ) -> (Tensor4, RunReport) {
+    fn run(&self, sim: &mut GpuSim, input: &Tensor4, weights: &FilterBank) -> (Tensor4, RunReport) {
         run_implicit(sim, input, weights, true, self.sample)
     }
 }

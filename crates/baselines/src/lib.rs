@@ -36,8 +36,8 @@ pub mod direct;
 pub mod fft;
 pub mod gemm_kernel;
 pub mod im2col_gemm;
-pub mod mec;
 pub mod implicit_gemm;
+pub mod mec;
 pub mod shuffle_dynamic;
 pub mod tiled;
 pub mod winograd;
@@ -47,8 +47,8 @@ pub use cudnn::CudnnFastest;
 pub use direct::DirectConv;
 pub use fft::{FftConv, FftTiling};
 pub use im2col_gemm::Im2colGemm;
-pub use mec::MecConv;
 pub use implicit_gemm::{ImplicitGemm, PrecompGemm};
+pub use mec::MecConv;
 pub use shuffle_dynamic::ShuffleDynamic;
 pub use tiled::TiledConv;
 pub use winograd::{WinogradFused, WinogradNonfused};

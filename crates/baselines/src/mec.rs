@@ -14,9 +14,7 @@
 
 use crate::gemm_kernel::{launch_gemm, GemmBatch, GemmDims};
 use memconv_core::api::ConvNchwAlgorithm;
-use memconv_gpusim::{
-    GpuSim, LaunchConfig, RunReport, SampleMode, VU, WARP,
-};
+use memconv_gpusim::{GpuSim, LaunchConfig, RunReport, SampleMode, VU, WARP};
 use memconv_tensor::{ConvGeometry, FilterBank, Tensor4};
 
 /// The MEC convolution.
@@ -52,12 +50,7 @@ impl ConvNchwAlgorithm for MecConv {
         "MEC"
     }
 
-    fn run(
-        &self,
-        sim: &mut GpuSim,
-        input: &Tensor4,
-        weights: &FilterBank,
-    ) -> (Tensor4, RunReport) {
+    fn run(&self, sim: &mut GpuSim, input: &Tensor4, weights: &FilterBank) -> (Tensor4, RunReport) {
         let (n, ic, ih, iw) = input.dims();
         let g = ConvGeometry::nchw(
             n,
@@ -152,12 +145,12 @@ impl ConvNchwAlgorithm for MecConv {
                 GemmBatch {
                     batch: oh,
                     stride_a: 0,
-                    stride_b: ic * fw,      // window slides one input row per oy
-                    stride_c: ow,           // each oy fills one output row
+                    stride_b: ic * fw, // window slides one input row per oy
+                    stride_c: ow,      // each oy fills one output row
                     base_b: img * ow * l_row,
                     base_c: img * fn_ * oh * ow,
                     ldb_transposed: Some(l_row),
-                    ldc: Some(oh * ow),     // filter rows are OH·OW apart
+                    ldc: Some(oh * ow), // filter rows are OH·OW apart
                     ..GemmBatch::single()
                 },
                 self.sample,

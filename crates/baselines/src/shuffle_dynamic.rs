@@ -14,9 +14,7 @@
 use memconv_core::api::Conv2dAlgorithm;
 use memconv_core::plan::ColumnPlan;
 use memconv_core::row_reuse::contributions_tiled;
-use memconv_gpusim::{
-    GpuSim, LaunchConfig, PrivArray, RunReport, SampleMode, VF, VU, WARP,
-};
+use memconv_gpusim::{GpuSim, LaunchConfig, PrivArray, RunReport, SampleMode, VF, VU, WARP};
 use memconv_tensor::{Filter2D, Image2D};
 
 /// Maximum filter width of the dynamic-index buffer (a `float iTemp[8]`).
@@ -59,12 +57,7 @@ impl Conv2dAlgorithm for ShuffleDynamic {
         fh <= MAX_FW && fw <= MAX_FW
     }
 
-    fn run(
-        &self,
-        sim: &mut GpuSim,
-        input: &Image2D,
-        filter: &Filter2D,
-    ) -> (Image2D, RunReport) {
+    fn run(&self, sim: &mut GpuSim, input: &Image2D, filter: &Filter2D) -> (Image2D, RunReport) {
         let (ih, iw) = (input.h(), input.w());
         let (fh, fw) = (filter.fh(), filter.fw());
         assert!(self.supports(fh, fw), "filter too wide for iTemp[{MAX_FW}]");
@@ -77,8 +70,8 @@ impl Conv2dAlgorithm for ShuffleDynamic {
         let block_warps = 4usize;
         let gx = ow.div_ceil(WARP * block_warps) as u32;
         let gy = oh as u32;
-        let cfg = LaunchConfig::grid2d(gx, gy, (WARP * block_warps) as u32)
-            .with_sample(self.sample);
+        let cfg =
+            LaunchConfig::grid2d(gx, gy, (WARP * block_warps) as u32).with_sample(self.sample);
 
         let stats = sim.launch(&cfg, |blk| {
             let (bx, by, _) = blk.block_idx;
@@ -114,7 +107,11 @@ impl Conv2dAlgorithm for ShuffleDynamic {
                     // data-dependent index (Fig. 1b): a local-memory gather.
                     for e in &plan.exchanges {
                         let sel = VU::from_fn(|l| {
-                            if l & e.mask == 0 { e.hi as u32 } else { e.lo as u32 }
+                            if l & e.mask == 0 {
+                                e.hi as u32
+                            } else {
+                                e.lo as u32
+                            }
                         });
                         let send = itemp.get_dyn(w, &sel, memconv_gpusim::LaneMask::ALL);
                         let got = w.shfl_xor(&send, e.mask);
@@ -176,8 +173,7 @@ mod tests {
         let dyn_stats = dyn_rep.totals();
 
         let mut sim = GpuSim::new(DeviceConfig::rtx2080ti());
-        let (_, ours_stats) =
-            conv2d_ours(&mut sim, &img, &k, &OursConfig::column_only());
+        let (_, ours_stats) = conv2d_ours(&mut sim, &img, &k, &OursConfig::column_only());
 
         // Identical global-load requests (both load only the endpoints)…
         assert_eq!(dyn_stats.gld_requests, ours_stats.gld_requests);

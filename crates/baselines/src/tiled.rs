@@ -7,9 +7,7 @@
 //! that a fused hand-written kernel does not.
 
 use memconv_core::api::ConvNchwAlgorithm;
-use memconv_gpusim::{
-    GpuSim, LaneMask, LaunchConfig, RunReport, SampleMode, VF, VU, WARP,
-};
+use memconv_gpusim::{GpuSim, LaneMask, LaunchConfig, RunReport, SampleMode, VF, VU, WARP};
 use memconv_tensor::{ConvGeometry, FilterBank, Tensor4};
 
 const TILE: usize = 32;
@@ -62,12 +60,7 @@ impl ConvNchwAlgorithm for TiledConv {
         &self.label
     }
 
-    fn run(
-        &self,
-        sim: &mut GpuSim,
-        input: &Tensor4,
-        weights: &FilterBank,
-    ) -> (Tensor4, RunReport) {
+    fn run(&self, sim: &mut GpuSim, input: &Tensor4, weights: &FilterBank) -> (Tensor4, RunReport) {
         let (n, ic, ih, iw) = input.dims();
         let g = ConvGeometry::nchw(
             n,
@@ -97,9 +90,7 @@ impl ConvNchwAlgorithm for TiledConv {
             let stats = sim.launch(&cfg, |blk| {
                 let bx = blk.block_idx.0;
                 blk.each_warp(|w| {
-                    let tid = VU::from_fn(|l| {
-                        bx * 256 + (w.warp_id * WARP + l) as u32
-                    });
+                    let tid = VU::from_fn(|l| bx * 256 + (w.warp_id * WARP + l) as u32);
                     let mask = tid.lt_scalar(total);
                     let v = w.gld(src, &tid, mask);
                     w.gst(staged, &tid, &v, mask);
@@ -234,7 +225,11 @@ mod tests {
         let (out, _) = TiledConv::new().run(&mut sim, &t, &b);
         let want = conv_nchw_ref(&t, &b);
         // Same accumulation order per output → bit-exact.
-        assert_eq!(out.as_slice(), want.as_slice(), "n={n} ic={ic} {h}x{w} f={f}");
+        assert_eq!(
+            out.as_slice(),
+            want.as_slice(),
+            "n={n} ic={ic} {h}x{w} f={f}"
+        );
         let _ = assert_close; // (kept for symmetric failure messages elsewhere)
     }
 

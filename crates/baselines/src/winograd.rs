@@ -147,9 +147,7 @@ fn launch_filter_transform(
             // gather the 9 weights of each lane's (f, c) filter plane
             let mut g = [VF::splat(0.0); 9];
             for (j, slot) in g.iter_mut().enumerate() {
-                let idx = VU::from_fn(|l| {
-                    (pair.lane(l) as usize % pairs.max(1) * 9 + j) as u32
-                });
+                let idx = VU::from_fn(|l| (pair.lane(l) as usize % pairs.max(1) * 9 + j) as u32);
                 *slot = w.gld(weights, &idx, mask);
             }
             // t = G · g (4×3): G rows [1,0,0] [.5,.5,.5] [.5,-.5,.5] [0,0,1]
@@ -211,12 +209,7 @@ impl ConvNchwAlgorithm for WinogradFused {
         fh == 3 && fw == 3
     }
 
-    fn run(
-        &self,
-        sim: &mut GpuSim,
-        input: &Tensor4,
-        weights: &FilterBank,
-    ) -> (Tensor4, RunReport) {
+    fn run(&self, sim: &mut GpuSim, input: &Tensor4, weights: &FilterBank) -> (Tensor4, RunReport) {
         assert!(self.supports(weights.fh(), weights.fw()), "F(2x2,3x3) only");
         let g = geometry(input, weights);
         let (ih, iw) = (g.in_h, g.in_w);
@@ -239,8 +232,8 @@ impl ConvNchwAlgorithm for WinogradFused {
         let gx = tiles_x.div_ceil(WARP * block_warps) as u32;
         let gy = tiles_y as u32;
         let gz = (g.batch * fn_) as u32;
-        let cfg = LaunchConfig::grid3d(gx, gy, gz, (WARP * block_warps) as u32)
-            .with_sample(self.sample);
+        let cfg =
+            LaunchConfig::grid3d(gx, gy, gz, (WARP * block_warps) as u32).with_sample(self.sample);
 
         let stats = sim.launch(&cfg, |blk| {
             let (bx, by, bz) = blk.block_idx;
@@ -265,8 +258,7 @@ impl ConvNchwAlgorithm for WinogradFused {
                                 y < ih && 2 * (tx0 + l) + s < iw && tx0 + l < tiles_x
                             });
                             let idx = VU::from_fn(|l| {
-                                (plane + y.min(ih - 1) * iw
-                                    + (2 * (tx0 + l) + s).min(iw - 1))
+                                (plane + y.min(ih - 1) * iw + (2 * (tx0 + l) + s).min(iw - 1))
                                     as u32
                             });
                             d[r * 4 + s] = w.gld(bi, &idx, mask);
@@ -317,12 +309,7 @@ impl ConvNchwAlgorithm for WinogradNonfused {
         fh == 3 && fw == 3
     }
 
-    fn run(
-        &self,
-        sim: &mut GpuSim,
-        input: &Tensor4,
-        weights: &FilterBank,
-    ) -> (Tensor4, RunReport) {
+    fn run(&self, sim: &mut GpuSim, input: &Tensor4, weights: &FilterBank) -> (Tensor4, RunReport) {
         assert!(self.supports(weights.fh(), weights.fw()), "F(2x2,3x3) only");
         let g = geometry(input, weights);
         let (ih, iw) = (g.in_h, g.in_w);
@@ -346,8 +333,13 @@ impl ConvNchwAlgorithm for WinogradNonfused {
         let bv = sim.mem.alloc(16 * ic * ncols);
         let block_warps = 4usize;
         let gx = tiles_x.div_ceil(WARP * block_warps) as u32;
-        let cfg = LaunchConfig::grid3d(gx, tiles_y as u32, (n * ic) as u32, (WARP * block_warps) as u32)
-            .with_sample(self.sample);
+        let cfg = LaunchConfig::grid3d(
+            gx,
+            tiles_y as u32,
+            (n * ic) as u32,
+            (WARP * block_warps) as u32,
+        )
+        .with_sample(self.sample);
         let stats = sim.launch(&cfg, |blk| {
             let (bx, by, bz) = blk.block_idx;
             let img = bz as usize / ic;
@@ -380,8 +372,7 @@ impl ConvNchwAlgorithm for WinogradNonfused {
                             + c * ncols
                             + img * tiles
                             + ty * tiles_x
-                            + (tx0 + l).min(tiles_x - 1))
-                            as u32
+                            + (tx0 + l).min(tiles_x - 1)) as u32
                     });
                     w.gst(bv, &idx, val, tmask);
                 }
@@ -413,8 +404,13 @@ impl ConvNchwAlgorithm for WinogradNonfused {
         rep.push("winograd_coeff_gemm", stats);
 
         // --- output inverse transform --------------------------------------
-        let cfg = LaunchConfig::grid3d(gx, tiles_y as u32, (n * fn_) as u32, (WARP * block_warps) as u32)
-            .with_sample(self.sample);
+        let cfg = LaunchConfig::grid3d(
+            gx,
+            tiles_y as u32,
+            (n * fn_) as u32,
+            (WARP * block_warps) as u32,
+        )
+        .with_sample(self.sample);
         let stats = sim.launch(&cfg, |blk| {
             let (bx, by, bz) = blk.block_idx;
             let img = bz as usize / fn_;
@@ -433,8 +429,7 @@ impl ConvNchwAlgorithm for WinogradNonfused {
                             + f * ncols
                             + img * tiles
                             + ty * tiles_x
-                            + (tx0 + l).min(tiles_x - 1))
-                            as u32
+                            + (tx0 + l).min(tiles_x - 1)) as u32
                     });
                     *slot = w.gld(bm, &idx, tmask);
                 }
@@ -515,7 +510,7 @@ mod tests {
         let (_, rep) = WinogradFused::new().run(&mut sim, &t, &b);
         let s = rep.totals();
         let direct_macs = 32 * 32 * 9u64; // OH·OW·FH·FW
-        // 16 multiplies per 2×2 tile = 4 per output (vs 9 direct)
+                                          // 16 multiplies per 2×2 tile = 4 per output (vs 9 direct)
         assert!(
             s.fma_instrs * 32 < direct_macs,
             "winograd multiplies {} should undercut direct {direct_macs}",

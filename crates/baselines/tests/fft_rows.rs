@@ -37,14 +37,34 @@ fn row_fft_matches_dft() {
     let (twr, twi) = memconv_baselines::fft::test_twiddles(n);
     let btr = sim.mem.upload(&twr);
     let bti = sim.mem.upload(&twi);
-    memconv_baselines::fft::test_fft_rows(&mut sim, bre, bim, rows, n, false, btr, bti, SampleMode::Full);
+    memconv_baselines::fft::test_fft_rows(
+        &mut sim,
+        bre,
+        bim,
+        rows,
+        n,
+        false,
+        btr,
+        bti,
+        SampleMode::Full,
+    );
     let gre = sim.mem.download(bre).to_vec();
     let gim = sim.mem.download(bim).to_vec();
     for r in 0..rows {
-        let (wr, wi) = dft(&re[r*n..(r+1)*n], &im[r*n..(r+1)*n], false);
+        let (wr, wi) = dft(&re[r * n..(r + 1) * n], &im[r * n..(r + 1) * n], false);
         for k in 0..n {
-            assert!((gre[r*n+k]-wr[k]).abs() < 1e-2, "row {r} k {k}: {} vs {}", gre[r*n+k], wr[k]);
-            assert!((gim[r*n+k]-wi[k]).abs() < 1e-2, "row {r} k {k} im: {} vs {}", gim[r*n+k], wi[k]);
+            assert!(
+                (gre[r * n + k] - wr[k]).abs() < 1e-2,
+                "row {r} k {k}: {} vs {}",
+                gre[r * n + k],
+                wr[k]
+            );
+            assert!(
+                (gim[r * n + k] - wi[k]).abs() < 1e-2,
+                "row {r} k {k} im: {} vs {}",
+                gim[r * n + k],
+                wi[k]
+            );
         }
     }
 }
@@ -53,21 +73,24 @@ fn row_fft_matches_dft() {
 fn transpose_roundtrip_and_correctness() {
     let p = 64usize;
     let planes = 2usize;
-    let re: Vec<f32> = (0..planes*p*p).map(|i| i as f32).collect();
-    let im: Vec<f32> = (0..planes*p*p).map(|i| (i as f32) * -0.5).collect();
+    let re: Vec<f32> = (0..planes * p * p).map(|i| i as f32).collect();
+    let im: Vec<f32> = (0..planes * p * p).map(|i| (i as f32) * -0.5).collect();
     let mut sim = GpuSim::new(DeviceConfig::test_tiny());
     let bre = sim.mem.upload(&re);
     let bim = sim.mem.upload(&im);
-    let sre = sim.mem.alloc(planes*p*p);
-    let sim_b = sim.mem.alloc(planes*p*p);
+    let sre = sim.mem.alloc(planes * p * p);
+    let sim_b = sim.mem.alloc(planes * p * p);
     memconv_baselines::fft::test_transpose(&mut sim, [(bre, sre), (bim, sim_b)], planes, p);
     let got = sim.mem.download(sre).to_vec();
     for pl in 0..planes {
         for y in 0..p {
             for x in 0..p {
-                let want = re[pl*p*p + x*p + y];
-                let g = got[pl*p*p + y*p + x];
-                assert!((g-want).abs() < 1e-6, "pl {pl} y {y} x {x}: {g} vs {want}");
+                let want = re[pl * p * p + x * p + y];
+                let g = got[pl * p * p + y * p + x];
+                assert!(
+                    (g - want).abs() < 1e-6,
+                    "pl {pl} y {y} x {x}: {g} vs {want}"
+                );
             }
         }
     }
@@ -76,19 +99,39 @@ fn transpose_roundtrip_and_correctness() {
 #[test]
 fn full_2d_fft_pipeline_matches_dft() {
     let p = 32usize;
-    let re: Vec<f32> = (0..p*p).map(|i| ((i * 13 % 23) as f32) - 11.0).collect();
-    let im0 = vec![0.0f32; p*p];
+    let re: Vec<f32> = (0..p * p).map(|i| ((i * 13 % 23) as f32) - 11.0).collect();
+    let im0 = vec![0.0f32; p * p];
     let mut sim = GpuSim::new(DeviceConfig::test_tiny());
     let bre = sim.mem.upload(&re);
     let bim = sim.mem.upload(&im0);
-    let sre = sim.mem.alloc(p*p);
-    let sim_b = sim.mem.alloc(p*p);
+    let sre = sim.mem.alloc(p * p);
+    let sim_b = sim.mem.alloc(p * p);
     let (twr, twi) = memconv_baselines::fft::test_twiddles(p);
     let btr = sim.mem.upload(&twr);
     let bti = sim.mem.upload(&twi);
-    memconv_baselines::fft::test_fft_rows(&mut sim, bre, bim, p, p, false, btr, bti, SampleMode::Full);
+    memconv_baselines::fft::test_fft_rows(
+        &mut sim,
+        bre,
+        bim,
+        p,
+        p,
+        false,
+        btr,
+        bti,
+        SampleMode::Full,
+    );
     memconv_baselines::fft::test_transpose(&mut sim, [(bre, sre), (bim, sim_b)], 1, p);
-    memconv_baselines::fft::test_fft_rows(&mut sim, sre, sim_b, p, p, false, btr, bti, SampleMode::Full);
+    memconv_baselines::fft::test_fft_rows(
+        &mut sim,
+        sre,
+        sim_b,
+        p,
+        p,
+        false,
+        btr,
+        bti,
+        SampleMode::Full,
+    );
     memconv_baselines::fft::test_transpose(&mut sim, [(sre, bre), (sim_b, bim)], 1, p);
     let gre = sim.mem.download(bre).to_vec();
     let gim = sim.mem.download(bim).to_vec();
@@ -98,14 +141,19 @@ fn full_2d_fft_pipeline_matches_dft() {
             let (mut ar, mut ai) = (0.0f64, 0.0f64);
             for y in 0..p {
                 for x in 0..p {
-                    let ang = -2.0 * std::f64::consts::PI * ((u*y) as f64 / p as f64 + (v*x) as f64 / p as f64);
-                    ar += re[y*p+x] as f64 * ang.cos();
-                    ai += re[y*p+x] as f64 * ang.sin();
+                    let ang = -2.0
+                        * std::f64::consts::PI
+                        * ((u * y) as f64 / p as f64 + (v * x) as f64 / p as f64);
+                    ar += re[y * p + x] as f64 * ang.cos();
+                    ai += re[y * p + x] as f64 * ang.sin();
                 }
             }
-            let (g_r, g_i) = (gre[u*p+v], gim[u*p+v]);
+            let (g_r, g_i) = (gre[u * p + v], gim[u * p + v]);
             assert!((g_r as f64 - ar).abs() < 0.05, "u{u} v{v}: {g_r} vs {ar}");
-            assert!((g_i as f64 - ai).abs() < 0.05, "u{u} v{v} im: {g_i} vs {ai}");
+            assert!(
+                (g_i as f64 - ai).abs() < 0.05,
+                "u{u} v{v} im: {g_i} vs {ai}"
+            );
         }
     }
 }

@@ -65,5 +65,11 @@ fn bench_launch(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_coalescer, bench_cache, bench_shuffle, bench_launch);
+criterion_group!(
+    benches,
+    bench_coalescer,
+    bench_cache,
+    bench_shuffle,
+    bench_launch
+);
 criterion_main!(benches);

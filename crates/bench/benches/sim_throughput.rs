@@ -1,0 +1,61 @@
+//! Simulator throughput: blocks simulated per second under each launch
+//! engine. This is the benchmark backing the parallel engine's speedup
+//! claim — it runs the *same* launch (identical counters, verified at the
+//! end) through `LaunchMode::Sequential` and `LaunchMode::Parallel`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use memconv::gpusim::{LaneMask, VF, VU};
+use memconv::prelude::*;
+
+const BLOCKS: u32 = 256;
+const TPB: u32 = 64;
+
+/// A memory-heavy grid: strided loads (partial L1 reuse, real L2 traffic),
+/// a shared-memory phase and a coalesced store — representative of the
+/// direct-convolution kernels the harnesses spend their time in.
+fn stream_kernel(sim: &mut GpuSim) -> KernelStats {
+    let n = BLOCKS * TPB;
+    let data: Vec<f32> = (0..n).map(|i| (i % 251) as f32).collect();
+    let bi = sim.mem.upload(&data);
+    let bo = sim.mem.alloc(n as usize);
+    let cfg = LaunchConfig::linear(BLOCKS, TPB).with_shared(TPB as usize);
+    sim.launch(&cfg, move |blk| {
+        blk.each_warp(|w| {
+            let tid = w.global_tid_x();
+            let strided = VU::from_fn(|l| tid.lane(l).wrapping_mul(17) % n);
+            let a = w.gld(bi, &strided, LaneMask::ALL);
+            let b = w.gld(bi, &tid, LaneMask::ALL);
+            let r = w.fma(a, VF::splat(0.5), b);
+            w.sst(&w.thread_idx(), &r, LaneMask::ALL);
+        });
+        blk.barrier();
+        blk.each_warp(|w| {
+            let v = w.sld(&w.thread_idx(), LaneMask::ALL);
+            let tid = w.global_tid_x();
+            w.gst(bo, &tid, &v, LaneMask::ALL);
+        });
+    })
+}
+
+fn sim_throughput(c: &mut Criterion) {
+    // Sanity outside the timing loop: both engines count identically.
+    let seq = stream_kernel(&mut GpuSim::rtx2080ti());
+    let par = stream_kernel(&mut GpuSim::rtx2080ti().with_launch_mode(LaunchMode::Parallel));
+    assert_eq!(seq, par, "engines must be bit-identical");
+
+    let mut group = c.benchmark_group("sim_throughput");
+    group.sample_size(10);
+    for mode in [LaunchMode::Sequential, LaunchMode::Parallel] {
+        group.bench_with_input(
+            BenchmarkId::new("stream_256blk", format!("{mode:?}")),
+            &mode,
+            |b, &mode| {
+                b.iter(|| stream_kernel(&mut GpuSim::rtx2080ti().with_launch_mode(mode)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sim_throughput);
+criterion_main!(benches);

@@ -87,9 +87,18 @@ fn full_study(img: &Image2D) {
                 memconv::gpusim::launch_time(s, &dev).total() * 1e6
             );
         };
-        show("direct (Fig. 1a)", &stats_2d(img, &filt, &OursConfig::direct()));
-        show("+column (Alg. 1)", &stats_2d(img, &filt, &OursConfig::column_only()));
-        show("+row (Alg. 2)", &stats_2d(img, &filt, &OursConfig::row_only()));
+        show(
+            "direct (Fig. 1a)",
+            &stats_2d(img, &filt, &OursConfig::direct()),
+        );
+        show(
+            "+column (Alg. 1)",
+            &stats_2d(img, &filt, &OursConfig::column_only()),
+        );
+        show(
+            "+row (Alg. 2)",
+            &stats_2d(img, &filt, &OursConfig::row_only()),
+        );
         show("+both (ours)", &stats_2d(img, &filt, &OursConfig::full()));
         let mut sim = GpuSim::rtx2080ti();
         let (_, rep) = ShuffleDynamic::new()

@@ -25,7 +25,10 @@ fn main() {
     for f in [3usize, 5] {
         let filt = rng.filter(f, f);
         println!("\n=== 1Kx1K, {f}x{f} filter — speedup over GEMM-im2col per device ===");
-        println!("{:<44} {:>8} {:>8} {:>10}", "device", "NPP", "ours", "ours/NPP");
+        println!(
+            "{:<44} {:>8} {:>8} {:>10}",
+            "device", "NPP", "ours", "ours/NPP"
+        );
         for dev in &devices {
             let time_of = |algo: &dyn Conv2dAlgorithm| -> f64 {
                 let mut sim = GpuSim::new(dev.clone());

@@ -61,9 +61,21 @@ fn main() {
         &input,
         &bank,
     );
-    println!("  MEC     : {:>9.1} us, {:>11} txns", mec.time * 1e6, mec.transactions);
-    println!("  im2col  : {:>9.1} us, {:>11} txns", gemm.time * 1e6, gemm.transactions);
-    println!("  ours    : {:>9.1} us, {:>11} txns  (no lowering at all)", ours.time * 1e6, ours.transactions);
+    println!(
+        "  MEC     : {:>9.1} us, {:>11} txns",
+        mec.time * 1e6,
+        mec.transactions
+    );
+    println!(
+        "  im2col  : {:>9.1} us, {:>11} txns",
+        gemm.time * 1e6,
+        gemm.transactions
+    );
+    println!(
+        "  ours    : {:>9.1} us, {:>11} txns  (no lowering at all)",
+        ours.time * 1e6,
+        ours.transactions
+    );
 
     // --- strided convolution (CNN stem layers) ------------------------------
     println!("\n=== strided column reuse (extension; e.g. AlexNet conv1 stride 4) ===");
@@ -77,7 +89,10 @@ fn main() {
         let filt = rng2.filter(f, f);
         let plan = StridedPlan::new(f, stride);
         let txns = |column_reuse: bool| {
-            let cfg = OursConfig { column_reuse, ..OursConfig::full().with_sample(sample) };
+            let cfg = OursConfig {
+                column_reuse,
+                ..OursConfig::full().with_sample(sample)
+            };
             let mut sim = GpuSim::rtx2080ti();
             let (_, s) = conv2d_ours_strided(&mut sim, &stem, &filt, stride, stride, &cfg);
             s.gld_transactions

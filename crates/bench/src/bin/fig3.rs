@@ -6,10 +6,18 @@
 //! cargo run --release -p memconv-bench --bin fig3            # both filters
 //! cargo run --release -p memconv-bench --bin fig3 -- --filter 3
 //! cargo run --release -p memconv-bench --bin fig3 -- --filter 5 --max-size 1024
+//! cargo run --release -p memconv-bench --bin fig3 -- --mode parallel --json
 //! ```
+//!
+//! `--mode parallel` runs every simulation on the multicore trace-replay
+//! engine (results are bit-identical to sequential); `--json` appends one
+//! throughput record per panel to `BENCH_sim.json`.
 
 use memconv::prelude::*;
-use memconv_bench::{harness_sample, mean, run_2d, AlgoResult};
+use memconv_bench::{
+    append_bench_json, apply_harness_flags, harness_sample, mean, run_2d, AlgoResult, BenchRecord,
+};
+use std::time::Instant;
 
 fn parse_arg(name: &str) -> Option<usize> {
     let args: Vec<String> = std::env::args().collect();
@@ -20,16 +28,22 @@ fn parse_arg(name: &str) -> Option<usize> {
 }
 
 fn main() {
+    let emit_json = apply_harness_flags();
     let filters: Vec<usize> = match parse_arg("--filter") {
         Some(f) => vec![f],
         None => vec![3, 5],
     };
     let max_size = parse_arg("--max-size").unwrap_or(4096);
     let sample = harness_sample();
+    let mut records = Vec::new();
 
     for f in filters {
-        println!("\n=== Fig. 3{} — {f}x{f} filter, speedup over GEMM-im2col ===",
-                 if f == 3 { "a" } else { "b" });
+        let panel_start = Instant::now();
+        let mut panel_blocks = 0u64;
+        println!(
+            "\n=== Fig. 3{} — {f}x{f} filter, speedup over GEMM-im2col ===",
+            if f == 3 { "a" } else { "b" }
+        );
         println!(
             "{:<10} {:>12} {:>10} {:>10} {:>10} {:>10}",
             "size", "cuDNN", "ArrayFire", "NPP", "ours", "base (ms)"
@@ -48,7 +62,11 @@ fn main() {
 
             let contenders: Vec<AlgoResult> = vec![
                 run_2d(&As2d(CudnnFastest::new().with_sample(sample)), &img, &filt),
-                run_2d(&As2d(TiledConv::arrayfire().with_sample(sample)), &img, &filt),
+                run_2d(
+                    &As2d(TiledConv::arrayfire().with_sample(sample)),
+                    &img,
+                    &filt,
+                ),
                 run_2d(&As2d(DirectConv::npp().with_sample(sample)), &img, &filt),
                 run_2d(
                     &Ours::with_config(OursConfig::full().with_sample(sample)),
@@ -57,6 +75,7 @@ fn main() {
                 ),
             ];
 
+            panel_blocks += base.sim_blocks + contenders.iter().map(|c| c.sim_blocks).sum::<u64>();
             print!("{:<10}", point.label);
             for (i, c) in contenders.iter().enumerate() {
                 let s = base.time / c.time;
@@ -88,7 +107,25 @@ fn main() {
         );
         println!(
             "(paper: mean {} over GEMM-im2col; >30% over second-best NPP)",
-            if f == 3 { "5.4x, up to 9.7x" } else { "7.7x, up to 14.8x" }
+            if f == 3 {
+                "5.4x, up to 9.7x"
+            } else {
+                "7.7x, up to 14.8x"
+            }
         );
+        records.push(BenchRecord::for_panel(
+            if f == 3 { "fig3a" } else { "fig3b" },
+            panel_start.elapsed().as_secs_f64(),
+            panel_blocks,
+        ));
+    }
+
+    if emit_json {
+        let last = records.last().expect("at least one panel ran");
+        println!(
+            "\nsim throughput ({}, {} threads): {:.0} blocks/sec",
+            last.mode, last.threads, last.blocks_per_sec
+        );
+        append_bench_json("BENCH_sim.json", &records).expect("write BENCH_sim.json");
     }
 }

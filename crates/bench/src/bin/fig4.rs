@@ -6,15 +6,24 @@
 //! cargo run --release -p memconv-bench --bin fig4                 # both panels
 //! cargo run --release -p memconv-bench --bin fig4 -- --channels 1
 //! cargo run --release -p memconv-bench --bin fig4 -- --channels 3 --layer CONV3
+//! cargo run --release -p memconv-bench --bin fig4 -- --mode parallel --json
 //! ```
+//!
+//! `--mode parallel` runs every simulation on the multicore trace-replay
+//! engine (results are bit-identical to sequential); `--json` appends one
+//! throughput record per panel to `BENCH_sim.json`.
 //!
 //! Layers whose full-batch output exceeds host memory are run at a reduced
 //! batch (marked `*`); speedup ratios are batch-insensitive once the
 //! device is saturated.
 
-use memconv::prelude::*;
-use memconv_bench::{capped_batch, harness_sample, mean, run_nchw};
 use memconv::baselines::cudnn::cudnn_family;
+use memconv::prelude::*;
+use memconv_bench::{
+    append_bench_json, apply_harness_flags, capped_batch, harness_sample, mean, run_nchw,
+    BenchRecord,
+};
+use std::time::Instant;
 
 fn arg_value(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
@@ -25,14 +34,18 @@ fn arg_value(name: &str) -> Option<String> {
 }
 
 fn main() {
+    let emit_json = apply_harness_flags();
     let channels: Vec<usize> = match arg_value("--channels").and_then(|v| v.parse().ok()) {
         Some(c) => vec![c],
         None => vec![1, 3],
     };
     let layer_filter = arg_value("--layer");
     let sample = harness_sample();
+    let mut records = Vec::new();
 
     for ic in channels {
+        let panel_start = Instant::now();
+        let mut panel_blocks = 0u64;
         println!("\n=== Fig. 4 — {ic} input channel(s), speedup over GEMM-im2col ===");
         println!(
             "{:<9} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
@@ -63,7 +76,10 @@ fn main() {
                 &bank,
             );
 
-            print!("{:<9}", format!("{}{}", layer.name, if reduced { "*" } else { "" }));
+            print!(
+                "{:<9}",
+                format!("{}{}", layer.name, if reduced { "*" } else { "" })
+            );
             let mut best_cudnn = f64::NAN;
             for algo in cudnn_family(sample) {
                 // supports_shape is checked against the *full* geometry so
@@ -73,6 +89,7 @@ fn main() {
                     continue;
                 }
                 let r = run_nchw(algo.as_ref(), &input, &bank);
+                panel_blocks += r.sim_blocks;
                 let s = base.time / r.time;
                 if !best_cudnn.is_finite() || s > best_cudnn {
                     best_cudnn = s;
@@ -84,6 +101,7 @@ fn main() {
                 &input,
                 &bank,
             );
+            panel_blocks += base.sim_blocks + ours.sim_blocks;
             let s_ours = base.time / ours.time;
             println!(" {:>8.1}", s_ours);
             ours_speedups.push(s_ours);
@@ -106,5 +124,19 @@ fn main() {
             if ic == 1 { "19.5x" } else { "25.6x" },
             if ic == 1 { "1.3x" } else { "1.1x" },
         );
+        records.push(BenchRecord::for_panel(
+            &format!("fig4_ic{ic}"),
+            panel_start.elapsed().as_secs_f64(),
+            panel_blocks,
+        ));
+    }
+
+    if emit_json {
+        let last = records.last().expect("at least one panel ran");
+        println!(
+            "\nsim throughput ({}, {} threads): {:.0} blocks/sec",
+            last.mode, last.threads, last.blocks_per_sec
+        );
+        append_bench_json("BENCH_sim.json", &records).expect("write BENCH_sim.json");
     }
 }

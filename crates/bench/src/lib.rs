@@ -25,6 +25,21 @@ pub fn harness_sample() -> SampleMode {
     SampleMode::Auto(sample_target())
 }
 
+/// The launch engine harness runs use: `MEMCONV_LAUNCH_MODE=parallel`
+/// selects the multicore trace-replay engine (bit-identical counters);
+/// anything else — or unset — keeps the sequential default.
+pub fn harness_launch_mode() -> LaunchMode {
+    match std::env::var("MEMCONV_LAUNCH_MODE").as_deref() {
+        Ok("parallel") | Ok("Parallel") => LaunchMode::Parallel,
+        _ => LaunchMode::Sequential,
+    }
+}
+
+/// A fresh RTX 2080 Ti simulator configured with the harness launch mode.
+pub fn harness_sim() -> GpuSim {
+    GpuSim::rtx2080ti().with_launch_mode(harness_launch_mode())
+}
+
 /// Result of one algorithm on one workload.
 #[derive(Debug, Clone)]
 pub struct AlgoResult {
@@ -36,6 +51,9 @@ pub struct AlgoResult {
     pub transactions: u64,
     /// Kernel launches issued.
     pub launches: usize,
+    /// Thread blocks actually simulated (pre-extrapolation), summed over
+    /// launches — the unit of simulator throughput.
+    pub sim_blocks: u64,
 }
 
 impl AlgoResult {
@@ -46,26 +64,109 @@ impl AlgoResult {
             time: rep.modeled_time(dev),
             transactions: rep.global_transactions(),
             launches: rep.launches.len(),
+            sim_blocks: rep.launches.iter().map(|(_, s)| s.sim_blocks).sum(),
         }
     }
 }
 
 /// Run a 2D algorithm on a fresh simulator and summarize.
 pub fn run_2d(algo: &dyn Conv2dAlgorithm, img: &Image2D, filt: &Filter2D) -> AlgoResult {
-    let mut sim = GpuSim::rtx2080ti();
+    let mut sim = harness_sim();
     let (_, rep) = algo.run(&mut sim, img, filt);
     AlgoResult::from_report(algo.name(), &rep, &sim.device)
 }
 
 /// Run an NCHW algorithm on a fresh simulator and summarize.
-pub fn run_nchw(
-    algo: &dyn ConvNchwAlgorithm,
-    input: &Tensor4,
-    weights: &FilterBank,
-) -> AlgoResult {
-    let mut sim = GpuSim::rtx2080ti();
+pub fn run_nchw(algo: &dyn ConvNchwAlgorithm, input: &Tensor4, weights: &FilterBank) -> AlgoResult {
+    let mut sim = harness_sim();
     let (_, rep) = algo.run(&mut sim, input, weights);
     AlgoResult::from_report(algo.name(), &rep, &sim.device)
+}
+
+/// One simulator-throughput measurement emitted by a figure harness under
+/// `--json`.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Which figure/panel produced this record (e.g. `fig3a`).
+    pub figure: String,
+    /// Launch engine used (`sequential` / `parallel`).
+    pub mode: String,
+    /// Worker threads available to the parallel engine.
+    pub threads: usize,
+    /// Wall-clock seconds for the whole panel.
+    pub wall_clock_s: f64,
+    /// Thread blocks actually simulated across all launches of the panel.
+    pub blocks: u64,
+    /// Simulator throughput, `blocks / wall_clock_s`.
+    pub blocks_per_sec: f64,
+}
+
+impl BenchRecord {
+    /// Assemble a record, deriving mode/threads from the harness env.
+    pub fn for_panel(figure: &str, wall_clock_s: f64, blocks: u64) -> Self {
+        BenchRecord {
+            figure: figure.to_string(),
+            mode: match harness_launch_mode() {
+                LaunchMode::Sequential => "sequential".to_string(),
+                LaunchMode::Parallel => "parallel".to_string(),
+            },
+            threads: match harness_launch_mode() {
+                LaunchMode::Sequential => 1,
+                LaunchMode::Parallel => memconv_par::num_threads(),
+            },
+            wall_clock_s,
+            blocks,
+            blocks_per_sec: blocks as f64 / wall_clock_s.max(1e-9),
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"figure\":\"{}\",\"mode\":\"{}\",\"threads\":{},\
+             \"wall_clock_s\":{:.6},\"blocks\":{},\"blocks_per_sec\":{:.1}}}",
+            self.figure,
+            self.mode,
+            self.threads,
+            self.wall_clock_s,
+            self.blocks,
+            self.blocks_per_sec
+        )
+    }
+}
+
+/// Append records to a JSON-array file (default `BENCH_sim.json`),
+/// preserving whatever records are already there.
+pub fn append_bench_json(path: &str, records: &[BenchRecord]) -> std::io::Result<()> {
+    let mut items: Vec<String> = Vec::new();
+    if let Ok(existing) = std::fs::read_to_string(path) {
+        if let Some(inner) = existing
+            .trim()
+            .strip_prefix('[')
+            .and_then(|s| s.strip_suffix(']'))
+        {
+            let inner = inner.trim();
+            if !inner.is_empty() {
+                items.push(inner.to_string());
+            }
+        }
+    }
+    items.extend(records.iter().map(|r| r.to_json()));
+    std::fs::write(path, format!("[\n  {}\n]\n", items.join(",\n  ")))
+}
+
+/// Shared `--mode` / `--json` flag handling for the figure harnesses:
+/// `--mode parallel|sequential` overrides `MEMCONV_LAUNCH_MODE`; returns
+/// whether `--json` was passed (emit [`BenchRecord`]s to `BENCH_sim.json`).
+pub fn apply_harness_flags() -> bool {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(mode) = args
+        .iter()
+        .position(|a| a == "--mode")
+        .and_then(|i| args.get(i + 1))
+    {
+        std::env::set_var("MEMCONV_LAUNCH_MODE", mode);
+    }
+    args.iter().any(|a| a == "--json")
 }
 
 /// Geometric mean (the fair average for speedup ratios).
@@ -116,7 +217,7 @@ mod tests {
         // CONV11: 128 × 64 × 222² outputs
         let (b, reduced) = capped_batch(128, 128 * 64 * 222 * 222);
         assert!(reduced);
-        assert!(b >= 4 && b < 128);
+        assert!((4..128).contains(&b));
     }
 
     #[test]

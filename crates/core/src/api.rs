@@ -20,8 +20,7 @@ pub trait Conv2dAlgorithm {
 
     /// Run the convolution on the simulator; returns the output and the
     /// per-launch counters.
-    fn run(&self, sim: &mut GpuSim, input: &Image2D, filter: &Filter2D)
-        -> (Image2D, RunReport);
+    fn run(&self, sim: &mut GpuSim, input: &Image2D, filter: &Filter2D) -> (Image2D, RunReport);
 }
 
 /// A batched multi-channel NCHW convolution algorithm (the Fig. 4
@@ -43,8 +42,7 @@ pub trait ConvNchwAlgorithm {
     }
 
     /// Run the convolution on the simulator.
-    fn run(&self, sim: &mut GpuSim, input: &Tensor4, weights: &FilterBank)
-        -> (Tensor4, RunReport);
+    fn run(&self, sim: &mut GpuSim, input: &Tensor4, weights: &FilterBank) -> (Tensor4, RunReport);
 }
 
 /// The paper's approach packaged as a [`Conv2dAlgorithm`] /
@@ -72,12 +70,7 @@ impl Conv2dAlgorithm for Ours {
         "ours"
     }
 
-    fn run(
-        &self,
-        sim: &mut GpuSim,
-        input: &Image2D,
-        filter: &Filter2D,
-    ) -> (Image2D, RunReport) {
+    fn run(&self, sim: &mut GpuSim, input: &Image2D, filter: &Filter2D) -> (Image2D, RunReport) {
         let (out, stats) = crate::kernel2d::conv2d_ours(sim, input, filter, &self.cfg);
         let mut rep = RunReport::new();
         rep.push("ours_fused", stats);
@@ -90,12 +83,7 @@ impl ConvNchwAlgorithm for Ours {
         "ours"
     }
 
-    fn run(
-        &self,
-        sim: &mut GpuSim,
-        input: &Tensor4,
-        weights: &FilterBank,
-    ) -> (Tensor4, RunReport) {
+    fn run(&self, sim: &mut GpuSim, input: &Tensor4, weights: &FilterBank) -> (Tensor4, RunReport) {
         let (out, stats) = crate::kernel_nchw::conv_nchw_ours(sim, input, weights, &self.cfg);
         let mut rep = RunReport::new();
         rep.push("ours_fused_nchw", stats);

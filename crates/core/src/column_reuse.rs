@@ -3,7 +3,7 @@
 //! the rest with register-resident shuffle exchanges.
 
 use crate::plan::{ColumnPlan, Exchange};
-use memconv_gpusim::{BufId, VF, VU, VU64, WarpCtx};
+use memconv_gpusim::{BufId, WarpCtx, VF, VU, VU64};
 
 /// Execute one Algorithm 1 exchange.
 ///
@@ -64,7 +64,6 @@ pub fn load_row_columns(
     }
     slots
 }
-
 
 /// Clipped variant for zero-padded convolution: lane `l`'s slot `k` is the
 /// column `col0 + l + k` of the row starting at element `row_start`
@@ -145,16 +144,14 @@ mod tests {
     use memconv_gpusim::{DeviceConfig, GpuSim, KernelStats, LaunchConfig, WARP};
 
     /// Run `f` in a single warp against an input of `0..n` ramp data.
-    fn with_ramp_warp(
-        n: usize,
-        f: impl FnMut(&mut WarpCtx<'_, '_>, BufId),
-    ) -> KernelStats {
+    fn with_ramp_warp(n: usize, f: impl FnMut(&mut WarpCtx<'_, '_>, BufId) + Send) -> KernelStats {
         let mut sim = GpuSim::new(DeviceConfig::test_tiny());
         let data: Vec<f32> = (0..n).map(|i| i as f32).collect();
         let buf = sim.mem.upload(&data);
-        let mut f = f;
+        // Kernels are `Fn + Sync`; the Mutex adapts a stateful test closure.
+        let f = std::sync::Mutex::new(f);
         sim.launch(&LaunchConfig::linear(1, 32), |blk| {
-            blk.each_warp(|w| f(w, buf));
+            blk.each_warp(|w| (f.lock().unwrap())(w, buf));
         })
     }
 
@@ -165,13 +162,9 @@ mod tests {
             let n = WARP + fw; // exactly enough columns for every slot
             with_ramp_warp(n, |w, buf| {
                 let ours = load_row_columns(w, buf, 0, n as u32, &plan);
-                for k in 0..fw {
+                for (k, slot) in ours.iter().enumerate() {
                     for l in 0..WARP {
-                        assert_eq!(
-                            ours[k].lane(l),
-                            (l + k) as f32,
-                            "fw={fw} slot={k} lane={l}"
-                        );
+                        assert_eq!(slot.lane(l), (l + k) as f32, "fw={fw} slot={k} lane={l}");
                     }
                 }
             });
@@ -246,7 +239,11 @@ mod tests {
         with_ramp_warp(64, |w, _| {
             let lo = VF::from_fn(|t| t as f32); // column t
             let hi = VF::from_fn(|t| (t + 4) as f32); // column t+4
-            let e = Exchange { lo: 0, hi: 4, mask: 2 };
+            let e = Exchange {
+                lo: 0,
+                hi: 4,
+                mask: 2,
+            };
             let mid = exchange_step(w, &lo, &hi, &e);
             for t in 0..WARP {
                 assert_eq!(mid.lane(t), (t + 2) as f32, "lane {t}");

@@ -11,9 +11,7 @@
 use crate::column_reuse::{load_row_columns_clipped, load_row_columns_direct_clipped};
 use crate::plan::ColumnPlan;
 use crate::row_reuse::contributions_tiled;
-use memconv_gpusim::{
-    BufId, GpuSim, KernelStats, LaunchConfig, SampleMode, VF, WARP,
-};
+use memconv_gpusim::{BufId, GpuSim, KernelStats, LaunchConfig, SampleMode, VF, WARP};
 use memconv_tensor::{Filter2D, Image2D};
 
 /// Tuning and ablation knobs for the fused kernel.
@@ -129,8 +127,8 @@ pub fn launch_conv2d_ours_padded(
     let gx = ow.div_ceil(cols_per_block) as u32;
     let gy = oh.div_ceil(t_rows) as u32;
     let plan = ColumnPlan::new(fw);
-    let launch = LaunchConfig::grid2d(gx, gy, (WARP * cfg.block_warps) as u32)
-        .with_sample(cfg.sample);
+    let launch =
+        LaunchConfig::grid2d(gx, gy, (WARP * cfg.block_warps) as u32).with_sample(cfg.sample);
 
     sim.launch(&launch, |blk| {
         let (bx, by, _) = blk.block_idx;
@@ -212,11 +210,9 @@ pub fn conv2d_ours_padded(
     let bi = sim.mem.upload(input.as_slice());
     let bf = sim.mem.upload(filter.as_slice());
     let bo = sim.mem.alloc(oh * ow);
-    let stats = launch_conv2d_ours_padded(
-        sim, bi, bf, bo, ih, iw, fh, fw, g.pad_h, g.pad_w, cfg,
-    );
-    let out = Image2D::from_vec(oh, ow, sim.mem.download(bo).to_vec())
-        .expect("shape by construction");
+    let stats = launch_conv2d_ours_padded(sim, bi, bf, bo, ih, iw, fh, fw, g.pad_h, g.pad_w, cfg);
+    let out =
+        Image2D::from_vec(oh, ow, sim.mem.download(bo).to_vec()).expect("shape by construction");
     (out, stats)
 }
 
@@ -234,8 +230,8 @@ pub fn conv2d_ours(
     let bf = sim.mem.upload(filter.as_slice());
     let bo = sim.mem.alloc(oh * ow);
     let stats = launch_conv2d_ours(sim, bi, bf, bo, ih, iw, fh, fw, cfg);
-    let out = Image2D::from_vec(oh, ow, sim.mem.download(bo).to_vec())
-        .expect("shape by construction");
+    let out =
+        Image2D::from_vec(oh, ow, sim.mem.download(bo).to_vec()).expect("shape by construction");
     (out, stats)
 }
 

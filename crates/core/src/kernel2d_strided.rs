@@ -111,8 +111,8 @@ pub fn launch_conv2d_ours_strided(
     let gx = ow.div_ceil(cols_per_block) as u32;
     let gy = oh.div_ceil(t_rows) as u32;
     let plan = StridedPlan::new(fw, stride_w);
-    let launch = LaunchConfig::grid2d(gx, gy, (WARP * cfg.block_warps) as u32)
-        .with_sample(cfg.sample);
+    let launch =
+        LaunchConfig::grid2d(gx, gy, (WARP * cfg.block_warps) as u32).with_sample(cfg.sample);
 
     sim.launch(&launch, |blk| {
         let (bx, by, _) = blk.block_idx;
@@ -146,24 +146,21 @@ pub fn launch_conv2d_ours_strided(
                 // --- materialize the FW slots ------------------------------
                 let mut slots: Vec<VF> = vec![VF::splat(0.0); fw];
                 if cfg.column_reuse && stride_w < fw {
-                    for k in 0..plan.base_slots {
+                    for (k, slot) in slots.iter_mut().enumerate().take(plan.base_slots) {
                         let mask = LaneMask::from_fn(|l| base_col(l) + k < iw);
                         let idx =
                             VU::from_fn(|l| (row_start + (base_col(l) + k).min(iw - 1)) as u32);
-                        slots[k] = w.gld(input, &idx, mask);
+                        *slot = w.gld(input, &idx, mask);
                     }
                     for &(k, delta, src) in &plan.exchanges {
                         let shuffled = w.shfl_down(&slots[src], delta);
                         // tail lanes have no source: load directly (masked)
-                        let tail = LaneMask::from_fn(|l| {
-                            l + delta >= WARP && base_col(l) + k < iw
-                        });
+                        let tail = LaneMask::from_fn(|l| l + delta >= WARP && base_col(l) + k < iw);
                         if tail.is_empty() {
                             slots[k] = shuffled;
                         } else {
-                            let idx = VU::from_fn(|l| {
-                                (row_start + (base_col(l) + k).min(iw - 1)) as u32
-                            });
+                            let idx =
+                                VU::from_fn(|l| (row_start + (base_col(l) + k).min(iw - 1)) as u32);
                             let loaded = w.gld(input, &idx, tail);
                             slots[k] = loaded.select(tail, &shuffled);
                         }
@@ -214,11 +211,10 @@ pub fn conv2d_ours_strided(
     let bi = sim.mem.upload(input.as_slice());
     let bf = sim.mem.upload(filter.as_slice());
     let bo = sim.mem.alloc(oh * ow);
-    let stats = launch_conv2d_ours_strided(
-        sim, bi, bf, bo, ih, iw, fh, fw, stride_h, stride_w, cfg,
-    );
-    let out = Image2D::from_vec(oh, ow, sim.mem.download(bo).to_vec())
-        .expect("shape by construction");
+    let stats =
+        launch_conv2d_ours_strided(sim, bi, bf, bo, ih, iw, fh, fw, stride_h, stride_w, cfg);
+    let out =
+        Image2D::from_vec(oh, ow, sim.mem.download(bo).to_vec()).expect("shape by construction");
     (out, stats)
 }
 
@@ -286,7 +282,11 @@ mod tests {
 
     #[test]
     fn bitexact_with_ablations() {
-        for cfg in [OursConfig::column_only(), OursConfig::row_only(), OursConfig::direct()] {
+        for cfg in [
+            OursConfig::column_only(),
+            OursConfig::row_only(),
+            OursConfig::direct(),
+        ] {
             check(17, 68, 5, 2, 2, &cfg);
         }
     }

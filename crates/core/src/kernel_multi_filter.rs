@@ -45,8 +45,8 @@ pub fn launch_conv_nchw_multi_filter(
     let gy = oh.div_ceil(t_rows) as u32;
     let gz = (g.batch * fn_.div_ceil(fpp)) as u32;
     let plan = ColumnPlan::new(fw);
-    let launch = LaunchConfig::grid3d(gx, gy, gz, (WARP * cfg.block_warps) as u32)
-        .with_sample(cfg.sample);
+    let launch =
+        LaunchConfig::grid3d(gx, gy, gz, (WARP * cfg.block_warps) as u32).with_sample(cfg.sample);
 
     let in_plane = ih * iw;
     let out_plane = oh * ow;
@@ -88,20 +88,15 @@ pub fn launch_conv_nchw_multi_filter(
                     let slots = if cfg.column_reuse {
                         load_row_columns_clipped(w, input, row_start, x0 as i64, iw, &plan)
                     } else {
-                        load_row_columns_direct_clipped(
-                            w, input, row_start, x0 as i64, iw, fw,
-                        )
+                        load_row_columns_direct_clipped(w, input, row_start, x0 as i64, iw, fw)
                     };
                     // One loaded row feeds every (row, filter) output pair.
                     for (o, fr) in contributions_tiled(iy, fh, y0, t_rows, oh) {
                         let t = o - y0;
                         for (fi, filt_acc) in acc.iter_mut().enumerate() {
                             for (s, &slot) in slots.iter().enumerate() {
-                                filt_acc[t] = w.fma(
-                                    slot,
-                                    fvals[fi * w_plane + fr * fw + s],
-                                    filt_acc[t],
-                                );
+                                filt_acc[t] =
+                                    w.fma(slot, fvals[fi * w_plane + fr * fw + s], filt_acc[t]);
                             }
                         }
                     }
@@ -147,8 +142,7 @@ pub fn conv_nchw_multi_filter(
     let bi = sim.mem.upload(input.as_slice());
     let bw = sim.mem.upload(weights.as_slice());
     let bo = sim.mem.alloc(g.out_elems());
-    let stats =
-        launch_conv_nchw_multi_filter(sim, bi, bw, bo, &g, cfg, filters_per_pass);
+    let stats = launch_conv_nchw_multi_filter(sim, bi, bw, bo, &g, cfg, filters_per_pass);
     let out = Tensor4::from_vec(
         n,
         g.out_channels,
@@ -197,12 +191,7 @@ impl crate::api::ConvNchwAlgorithm for OursMultiFilter {
         "ours+mf"
     }
 
-    fn run(
-        &self,
-        sim: &mut GpuSim,
-        input: &Tensor4,
-        weights: &FilterBank,
-    ) -> (Tensor4, RunReport) {
+    fn run(&self, sim: &mut GpuSim, input: &Tensor4, weights: &FilterBank) -> (Tensor4, RunReport) {
         let (out, stats) =
             conv_nchw_multi_filter(sim, input, weights, &self.cfg, self.filters_per_pass);
         let mut rep = RunReport::new();
@@ -223,8 +212,7 @@ mod tests {
         let input = rng.tensor(n, ic, hw, hw);
         let bank = rng.filter_bank(fn_, ic, f, f);
         let mut sim = GpuSim::new(DeviceConfig::test_tiny());
-        let (out, _) =
-            conv_nchw_multi_filter(&mut sim, &input, &bank, &OursConfig::full(), fpp);
+        let (out, _) = conv_nchw_multi_filter(&mut sim, &input, &bank, &OursConfig::full(), fpp);
         let want = conv_nchw_ref(&input, &bank);
         assert_eq!(
             out.as_slice(),
@@ -249,14 +237,16 @@ mod tests {
         let bank = rng.filter_bank(8, 1, 3, 3);
         let loads = |fpp: usize| {
             let mut sim = GpuSim::new(DeviceConfig::rtx2080ti());
-            let (_, s) =
-                conv_nchw_multi_filter(&mut sim, &input, &bank, &OursConfig::full(), fpp);
+            let (_, s) = conv_nchw_multi_filter(&mut sim, &input, &bank, &OursConfig::full(), fpp);
             s.gld_transactions
         };
         let one = loads(1);
         let four = loads(4);
         let eight = loads(8);
-        assert!(four < one / 3, "4 filters/pass ≈ 4x fewer loads: {four} vs {one}");
+        assert!(
+            four < one / 3,
+            "4 filters/pass ≈ 4x fewer loads: {four} vs {one}"
+        );
         assert!(eight < four, "{eight} vs {four}");
     }
 
@@ -266,8 +256,7 @@ mod tests {
         let input = rng.tensor(2, 2, 11, 11);
         let bank = rng.filter_bank(3, 2, 3, 3);
         let mut sim = GpuSim::new(DeviceConfig::test_tiny());
-        let (a, sa) =
-            conv_nchw_multi_filter(&mut sim, &input, &bank, &OursConfig::full(), 1);
+        let (a, sa) = conv_nchw_multi_filter(&mut sim, &input, &bank, &OursConfig::full(), 1);
         let mut sim = GpuSim::new(DeviceConfig::test_tiny());
         let (b, sb) =
             crate::kernel_nchw::conv_nchw_ours(&mut sim, &input, &bank, &OursConfig::full());

@@ -37,8 +37,8 @@ pub fn launch_conv_nchw_ours(
     let gy = oh.div_ceil(t_rows) as u32;
     let gz = (g.batch * fn_) as u32;
     let plan = ColumnPlan::new(fw);
-    let launch = LaunchConfig::grid3d(gx, gy, gz, (WARP * cfg.block_warps) as u32)
-        .with_sample(cfg.sample);
+    let launch =
+        LaunchConfig::grid3d(gx, gy, gz, (WARP * cfg.block_warps) as u32).with_sample(cfg.sample);
 
     let in_plane = ih * iw;
     let out_plane = oh * ow;
@@ -110,13 +110,27 @@ pub fn conv_nchw_ours(
 ) -> (Tensor4, KernelStats) {
     let (n, c, ih, iw) = input.dims();
     assert_eq!(c, weights.channels(), "channel mismatch");
-    let g = ConvGeometry::nchw(n, c, ih, iw, weights.num_filters(), weights.fh(), weights.fw());
+    let g = ConvGeometry::nchw(
+        n,
+        c,
+        ih,
+        iw,
+        weights.num_filters(),
+        weights.fh(),
+        weights.fw(),
+    );
     let bi = sim.mem.upload(input.as_slice());
     let bw = sim.mem.upload(weights.as_slice());
     let bo = sim.mem.alloc(g.out_elems());
     let stats = launch_conv_nchw_ours(sim, bi, bw, bo, &g, cfg);
-    let out = Tensor4::from_vec(n, g.out_channels, g.out_h(), g.out_w(), sim.mem.download(bo).to_vec())
-        .expect("shape by construction");
+    let out = Tensor4::from_vec(
+        n,
+        g.out_channels,
+        g.out_h(),
+        g.out_w(),
+        sim.mem.download(bo).to_vec(),
+    )
+    .expect("shape by construction");
     (out, stats)
 }
 

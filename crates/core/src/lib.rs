@@ -35,7 +35,9 @@ pub mod row_reuse;
 pub mod tune;
 
 pub use api::{Conv2dAlgorithm, ConvNchwAlgorithm, Ours};
-pub use kernel2d::{conv2d_ours, conv2d_ours_padded, launch_conv2d_ours, launch_conv2d_ours_padded, OursConfig};
+pub use kernel2d::{
+    conv2d_ours, conv2d_ours_padded, launch_conv2d_ours, launch_conv2d_ours_padded, OursConfig,
+};
 pub use kernel2d_strided::{conv2d_ours_strided, StridedPlan};
 pub use kernel_multi_filter::{conv_nchw_multi_filter, OursMultiFilter};
 pub use kernel_nchw::{conv_nchw_ours, launch_conv_nchw_ours};

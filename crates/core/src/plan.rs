@@ -142,7 +142,14 @@ mod tests {
     fn fw3_matches_paper() {
         let p = ColumnPlan::new(3);
         assert_eq!(p.loads, vec![0, 2]);
-        assert_eq!(p.exchanges, vec![Exchange { lo: 0, hi: 2, mask: 1 }]);
+        assert_eq!(
+            p.exchanges,
+            vec![Exchange {
+                lo: 0,
+                hi: 2,
+                mask: 1
+            }]
+        );
         assert!(p.verify());
     }
 
@@ -154,9 +161,21 @@ mod tests {
         assert_eq!(
             p.exchanges,
             vec![
-                Exchange { lo: 0, hi: 4, mask: 2 },
-                Exchange { lo: 0, hi: 2, mask: 1 },
-                Exchange { lo: 2, hi: 4, mask: 1 },
+                Exchange {
+                    lo: 0,
+                    hi: 4,
+                    mask: 2
+                },
+                Exchange {
+                    lo: 0,
+                    hi: 2,
+                    mask: 1
+                },
+                Exchange {
+                    lo: 2,
+                    hi: 4,
+                    mask: 1
+                },
             ]
         );
         assert!(p.verify());
@@ -191,7 +210,10 @@ mod tests {
                 );
             }
             // loads ≈ popcount-ish: never more than log2(fw)+1 blocks + 1
-            assert!(p.num_loads() <= (fw - 1).count_ones() as usize + 1, "fw={fw}");
+            assert!(
+                p.num_loads() <= (fw - 1).count_ones() as usize + 1,
+                "fw={fw}"
+            );
         }
     }
 

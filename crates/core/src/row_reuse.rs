@@ -92,7 +92,7 @@ mod tests {
     /// `o <= index <= o+fh-1`.
     fn brute(index: usize, fh: usize, oh: usize) -> Vec<(usize, usize)> {
         (0..oh)
-            .filter(|&o| o <= index && index <= o + fh - 1)
+            .filter(|&o| o <= index && index < o + fh)
             .map(|o| (o, index - o))
             .collect()
     }

@@ -35,7 +35,10 @@ pub struct TuneReport {
 /// multiple of one sampled run. Returns the winner with sampling reset to
 /// [`SampleMode::Full`].
 pub fn autotune_2d(device: &memconv_gpusim::DeviceConfig, g: &ConvGeometry) -> TuneReport {
-    assert_eq!(g.in_channels, 1, "2D tuner is single-channel (use Fig. 4 kernels otherwise)");
+    assert_eq!(
+        g.in_channels, 1,
+        "2D tuner is single-channel (use Fig. 4 kernels otherwise)"
+    );
     let mut trials = Vec::new();
     let mut best: Option<(OursConfig, f64)> = None;
 
@@ -51,9 +54,8 @@ pub fn autotune_2d(device: &memconv_gpusim::DeviceConfig, g: &ConvGeometry) -> T
             let bi = sim.mem.alloc(g.in_elems());
             let bf = sim.mem.alloc(g.f_h * g.f_w);
             let bo = sim.mem.alloc(g.out_elems());
-            let stats = launch_conv2d_ours(
-                &mut sim, bi, bf, bo, g.in_h, g.in_w, g.f_h, g.f_w, &cfg,
-            );
+            let stats =
+                launch_conv2d_ours(&mut sim, bi, bf, bo, g.in_h, g.in_w, g.f_h, g.f_w, &cfg);
             let t = memconv_gpusim::launch_time(&stats, device).total();
             trials.push((rows, warps, t));
             if best.as_ref().is_none_or(|(_, bt)| t < *bt) {
@@ -81,7 +83,10 @@ mod tests {
     fn tuner_explores_the_whole_grid() {
         let g = ConvGeometry::single(128, 128, 3);
         let rep = autotune_2d(&DeviceConfig::rtx2080ti(), &g);
-        assert_eq!(rep.trials.len(), ROWS_CANDIDATES.len() * WARP_CANDIDATES.len());
+        assert_eq!(
+            rep.trials.len(),
+            ROWS_CANDIDATES.len() * WARP_CANDIDATES.len()
+        );
         assert!(rep.trials.iter().all(|(_, _, t)| t.is_finite() && *t > 0.0));
         assert_eq!(rep.best.sample, memconv_gpusim::SampleMode::Full);
     }

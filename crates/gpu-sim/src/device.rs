@@ -1,8 +1,6 @@
 //! Device descriptions: the hardware parameters that drive the cache
 //! geometry and the timing model.
 
-use serde::{Deserialize, Serialize};
-
 /// Static description of a simulated GPU.
 ///
 /// The default preset models the NVIDIA GeForce RTX 2080 Ti used in the
@@ -20,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// * 64 K 32-bit registers per SM, 255 per thread max
 /// * 32-byte memory transaction (sector) granularity — the unit the paper
 ///   counts as one "memory transaction"
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DeviceConfig {
     /// Human-readable name.
     pub name: String,

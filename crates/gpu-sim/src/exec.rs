@@ -11,13 +11,33 @@
 //! is exact for spatially homogeneous convolution grids up to boundary
 //! effects and is what makes the paper's batch-128 Table I workloads
 //! tractable on a host CPU.
+//!
+//! ## Launch engines
+//!
+//! [`GpuSim::launch`] dispatches on [`LaunchMode`]:
+//!
+//! * [`LaunchMode::Sequential`] (default) — blocks run one after another
+//!   against global memory and the launch-wide L2 directly. This is the
+//!   reference engine.
+//! * [`LaunchMode::Parallel`] — blocks run *functionally* in parallel on
+//!   host threads (phase 1), each against a snapshot of global memory with
+//!   a private store buffer, recording its L2-bound sector stream in a
+//!   [`crate::trace::BlockTrace`]; then traces are replayed and store
+//!   buffers applied **sequentially in block-linear order** (phase 2).
+//!   Counters are bit-identical to the sequential engine; see `DESIGN.md`
+//!   §4 for the argument. The one semantic caveat: a kernel must not read
+//!   global data written by a *different block of the same launch* — which
+//!   CUDA already leaves undefined without grid-wide synchronization.
 
 use crate::device::DeviceConfig;
 use crate::lane::{LaneMask, LaneVec, VF, VU, WARP};
-use crate::memory::hierarchy::{flush_l2, new_l1, new_l2, warp_access, Space};
+use crate::memory::hierarchy::{
+    flush_l2, new_l1, new_l2, replay_trace, warp_access, L2Sink, Space,
+};
 use crate::memory::{BufId, GlobalMem, SectoredCache, SharedMem};
 use crate::shuffle;
 use crate::stats::KernelStats;
+use crate::trace::{BlockTrace, GlobalView, StoreBuffer};
 
 /// How many of a launch's blocks to simulate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,6 +75,40 @@ impl SampleMode {
         let skip = (total / target.max(1)).max(2) as u32;
         SampleMode::Chunked { chunk, skip }
     }
+
+    /// Whether block `linear` is simulated under this (already resolved)
+    /// mode.
+    fn selects(&self, linear: u64) -> bool {
+        match *self {
+            SampleMode::Full => true,
+            SampleMode::Stride(k) => {
+                assert!(k >= 1, "sample stride must be >= 1");
+                linear.is_multiple_of(k as u64)
+            }
+            SampleMode::Chunked { chunk, skip } => {
+                assert!(chunk >= 1 && skip >= 1, "bad chunk sampling");
+                (linear / chunk as u64).is_multiple_of(skip as u64)
+            }
+            SampleMode::Auto(_) => unreachable!("Auto is resolved at launch"),
+        }
+    }
+}
+
+/// Which engine executes a launch's blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LaunchMode {
+    /// One block at a time, in block-linear order, against global memory
+    /// and the launch-wide L2 directly. The reference engine.
+    #[default]
+    Sequential,
+    /// Two-phase trace-replay engine: blocks execute functionally in
+    /// parallel on host threads, then their L2-bound sector traces and
+    /// store buffers are committed sequentially in block-linear order.
+    /// Produces bit-identical [`KernelStats`] and final memory contents
+    /// to [`LaunchMode::Sequential`] for any kernel that does not read
+    /// another block's writes from the same launch (undefined in CUDA
+    /// anyway).
+    Parallel,
 }
 
 /// Launch geometry, CUDA-style: a 3D grid of 1D thread blocks.
@@ -123,9 +177,26 @@ impl LaunchConfig {
         self.num_blocks() * self.block as u64
     }
 
+    /// Grid coordinates `(bx, by, bz)` of linear block id `linear`.
+    fn coords(&self, linear: u64) -> (u32, u32, u32) {
+        let gx = self.grid.0 as u64;
+        let gy = self.grid.1 as u64;
+        (
+            (linear % gx) as u32,
+            ((linear / gx) % gy) as u32,
+            (linear / (gx * gy)) as u32,
+        )
+    }
+
     fn validate(&self, dev: &DeviceConfig) {
-        assert!(self.block > 0 && self.block.is_multiple_of(WARP as u32), "block size must be a positive multiple of 32");
-        assert!(self.block <= dev.max_threads_per_sm, "block size exceeds device limit");
+        assert!(
+            self.block > 0 && self.block.is_multiple_of(WARP as u32),
+            "block size must be a positive multiple of 32"
+        );
+        assert!(
+            self.block <= dev.max_threads_per_sm,
+            "block size exceeds device limit"
+        );
         assert!(self.num_blocks() > 0, "empty grid");
         assert!(
             self.shared_words * 4 <= dev.smem_per_sm,
@@ -144,9 +215,9 @@ const LOCAL_WARP_SPAN: u64 = 255 * 128;
 
 struct Resources<'a> {
     dev: &'a DeviceConfig,
-    glob: &'a mut GlobalMem,
+    glob: GlobalView<'a>,
     l1: SectoredCache,
-    l2: &'a mut SectoredCache,
+    l2: L2Sink<'a>,
     stats: &'a mut KernelStats,
     shared: SharedMem,
 }
@@ -325,7 +396,7 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
         warp_access(
             self.res.dev,
             &mut self.res.l1,
-            self.res.l2,
+            &mut self.res.l2,
             self.res.stats,
             &addrs,
             mask,
@@ -351,7 +422,7 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
         warp_access(
             self.res.dev,
             &mut self.res.l1,
-            self.res.l2,
+            &mut self.res.l2,
             self.res.stats,
             &addrs,
             mask,
@@ -427,13 +498,59 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
         warp_access(
             self.res.dev,
             &mut self.res.l1,
-            self.res.l2,
+            &mut self.res.l2,
             self.res.stats,
             &addrs,
             mask,
             is_store,
             Space::Local,
         );
+    }
+}
+
+/// Everything one block produces in the parallel functional phase.
+struct BlockOutcome {
+    stats: KernelStats,
+    trace: BlockTrace,
+    store: StoreBuffer,
+}
+
+/// Run one block functionally against a memory snapshot, recording its
+/// L2-bound sector stream and buffering its stores.
+fn run_block_traced(
+    dev: &DeviceConfig,
+    mem: &GlobalMem,
+    cfg: &LaunchConfig,
+    kernel: &(impl Fn(&mut BlockCtx<'_>) + Sync),
+    linear: u64,
+) -> BlockOutcome {
+    let mut stats = KernelStats::default();
+    let mut trace = BlockTrace::new();
+    let mut blk = BlockCtx {
+        res: Resources {
+            dev,
+            glob: GlobalView::Overlay {
+                base: mem,
+                store: StoreBuffer::new(),
+            },
+            l1: new_l1(dev),
+            l2: L2Sink::Deferred(&mut trace),
+            stats: &mut stats,
+            shared: SharedMem::new(cfg.shared_words, dev.smem_banks),
+        },
+        block_idx: cfg.coords(linear),
+        grid_dim: cfg.grid,
+        block_dim: cfg.block,
+        block_linear: linear,
+    };
+    kernel(&mut blk);
+    let GlobalView::Overlay { store, .. } = blk.res.glob else {
+        unreachable!("traced blocks always run on an overlay view")
+    };
+    BlockOutcome {
+        stats,
+        trace,
+        store,
     }
 }
 
@@ -444,6 +561,8 @@ pub struct GpuSim {
     pub device: DeviceConfig,
     /// Device global memory.
     pub mem: GlobalMem,
+    mode: LaunchMode,
+    parallel_threads: Option<usize>,
 }
 
 impl GpuSim {
@@ -452,6 +571,8 @@ impl GpuSim {
         GpuSim {
             device,
             mem: GlobalMem::new(),
+            mode: LaunchMode::default(),
+            parallel_threads: None,
         }
     }
 
@@ -460,76 +581,142 @@ impl GpuSim {
         GpuSim::new(DeviceConfig::rtx2080ti())
     }
 
-    /// Launch a kernel over the grid. Blocks run sequentially and
-    /// deterministically (each with a fresh L1, sharing one launch-wide
-    /// L2). Returns the counters for the launch, extrapolated if sampled.
+    /// The engine used by [`GpuSim::launch`].
+    pub fn launch_mode(&self) -> LaunchMode {
+        self.mode
+    }
+
+    /// Select the engine used by [`GpuSim::launch`].
+    pub fn set_launch_mode(&mut self, mode: LaunchMode) {
+        self.mode = mode;
+    }
+
+    /// Builder-style [`GpuSim::set_launch_mode`].
+    pub fn with_launch_mode(mut self, mode: LaunchMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Override the worker-thread count for [`LaunchMode::Parallel`]
+    /// (`None` restores the default: `MEMCONV_THREADS` or the host's
+    /// available parallelism). Thread count never affects results — only
+    /// wall-clock time.
+    pub fn set_parallel_threads(&mut self, threads: Option<usize>) {
+        self.parallel_threads = threads;
+    }
+
+    /// Launch a kernel over the grid and return the counters for the
+    /// launch, extrapolated if sampled.
+    ///
+    /// Blocks are independent, as in CUDA: the kernel closure must not rely
+    /// on reading global data written by another block of the same launch.
+    /// Under the sequential engine each block sees a fresh L1 and the one
+    /// launch-wide L2; the parallel engine reproduces the exact same
+    /// counters and final memory by trace replay (see [`LaunchMode`]).
     pub fn launch(
         &mut self,
         cfg: &LaunchConfig,
-        mut kernel: impl FnMut(&mut BlockCtx<'_>),
+        kernel: impl Fn(&mut BlockCtx<'_>) + Sync,
     ) -> KernelStats {
         cfg.validate(&self.device);
-        let mut stats = KernelStats::default();
-        let mut l2 = new_l2(&self.device);
         let total = cfg.num_blocks();
         let resolved = match cfg.sample {
             SampleMode::Auto(target) => SampleMode::auto(total, target),
             other => other,
         };
-        let selected = |linear: u64| -> bool {
-            match resolved {
-                SampleMode::Full => true,
-                SampleMode::Stride(k) => {
-                    assert!(k >= 1, "sample stride must be >= 1");
-                    linear.is_multiple_of(k as u64)
-                }
-                SampleMode::Chunked { chunk, skip } => {
-                    assert!(chunk >= 1 && skip >= 1, "bad chunk sampling");
-                    (linear / chunk as u64).is_multiple_of(skip as u64)
-                }
-                SampleMode::Auto(_) => unreachable!("Auto resolved above"),
-            }
+
+        let (stats, simulated) = match self.mode {
+            LaunchMode::Sequential => self.run_sequential(cfg, resolved, &kernel),
+            LaunchMode::Parallel => self.run_parallel(cfg, resolved, &kernel),
         };
 
-        let mut simulated = 0u64;
-        let (gx, gy, gz) = cfg.grid;
-        for bz in 0..gz {
-            for by in 0..gy {
-                for bx in 0..gx {
-                    let linear =
-                        (bz as u64 * gy as u64 + by as u64) * gx as u64 + bx as u64;
-                    if !selected(linear) {
-                        continue;
-                    }
-                    simulated += 1;
-                    let mut blk = BlockCtx {
-                        res: Resources {
-                            dev: &self.device,
-                            glob: &mut self.mem,
-                            l1: new_l1(&self.device),
-                            l2: &mut l2,
-                            stats: &mut stats,
-                            shared: SharedMem::new(cfg.shared_words, self.device.smem_banks),
-                        },
-                        block_idx: (bx, by, bz),
-                        grid_dim: cfg.grid,
-                        block_dim: cfg.block,
-                        block_linear: linear,
-                    };
-                    kernel(&mut blk);
-                }
-            }
-        }
-        flush_l2(&mut l2, &mut stats);
-
         let mut out = if simulated < total {
-            stats.scaled(total as f64 / simulated as f64)
+            stats.extrapolated(total, simulated)
         } else {
             stats
         };
         out.launches = 1;
         out.threads = cfg.num_threads();
+        out.sim_blocks = simulated;
         out
+    }
+
+    /// The reference engine: every selected block runs to completion, in
+    /// block-linear order, directly against memory and the launch L2.
+    fn run_sequential(
+        &mut self,
+        cfg: &LaunchConfig,
+        resolved: SampleMode,
+        kernel: &(impl Fn(&mut BlockCtx<'_>) + Sync),
+    ) -> (KernelStats, u64) {
+        let mut stats = KernelStats::default();
+        let mut l2 = new_l2(&self.device);
+        let mut simulated = 0u64;
+        for linear in (0..cfg.num_blocks()).filter(|&l| resolved.selects(l)) {
+            simulated += 1;
+            let mut blk = BlockCtx {
+                res: Resources {
+                    dev: &self.device,
+                    glob: GlobalView::Direct(&mut self.mem),
+                    l1: new_l1(&self.device),
+                    l2: L2Sink::Inline(&mut l2),
+                    stats: &mut stats,
+                    shared: SharedMem::new(cfg.shared_words, self.device.smem_banks),
+                },
+                block_idx: cfg.coords(linear),
+                grid_dim: cfg.grid,
+                block_dim: cfg.block,
+                block_linear: linear,
+            };
+            kernel(&mut blk);
+        }
+        flush_l2(&mut l2, &mut stats);
+        (stats, simulated)
+    }
+
+    /// The two-phase engine. Phase 1 runs batches of blocks functionally in
+    /// parallel; phase 2 commits each batch — per-block counters, L2 trace
+    /// replay, then store-buffer application — in block-linear order, so
+    /// every result is bit-identical to [`GpuSim::run_sequential`].
+    /// Batching bounds trace/store-buffer memory on huge grids.
+    fn run_parallel(
+        &mut self,
+        cfg: &LaunchConfig,
+        resolved: SampleMode,
+        kernel: &(impl Fn(&mut BlockCtx<'_>) + Sync),
+    ) -> (KernelStats, u64) {
+        let threads = self
+            .parallel_threads
+            .unwrap_or_else(memconv_par::num_threads);
+        let batch_cap = threads.max(1) * 8;
+        let mut stats = KernelStats::default();
+        let mut l2 = new_l2(&self.device);
+        let mut simulated = 0u64;
+
+        let mut selected = (0..cfg.num_blocks()).filter(|&l| resolved.selects(l));
+        loop {
+            let batch: Vec<u64> = selected.by_ref().take(batch_cap).collect();
+            if batch.is_empty() {
+                break;
+            }
+            // Phase 1 (parallel): functional execution against a snapshot.
+            let outcomes = {
+                let dev = &self.device;
+                let mem = &self.mem;
+                memconv_par::map_indexed_with(batch.len(), threads, |i| {
+                    run_block_traced(dev, mem, cfg, kernel, batch[i])
+                })
+            };
+            // Phase 2 (sequential, block-linear order): commit.
+            for outcome in outcomes {
+                simulated += 1;
+                stats += &outcome.stats;
+                replay_trace(&outcome.trace, &mut l2, &mut stats);
+                outcome.store.apply(&mut self.mem);
+            }
+        }
+        flush_l2(&mut l2, &mut stats);
+        (stats, simulated)
     }
 }
 
@@ -560,8 +747,8 @@ mod tests {
         });
 
         let out = sim.mem.download(bo);
-        for i in 0..n as usize {
-            assert_eq!(out[i], 3.0 * i as f32 + 2.0 * i as f32);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, 3.0 * i as f32 + 2.0 * i as f32);
         }
         // 8 warps × 2 loads × 4 sectors
         assert_eq!(stats.gld_requests, 16);
@@ -570,6 +757,7 @@ mod tests {
         assert_eq!(stats.fma_instrs, 8);
         assert_eq!(stats.threads, 256);
         assert_eq!(stats.launches, 1);
+        assert_eq!(stats.sim_blocks, 4);
     }
 
     #[test]
@@ -594,8 +782,8 @@ mod tests {
             });
         });
         let out = sim.mem.download(bo);
-        for i in 0..64 {
-            assert_eq!(out[i], (63 - i) as f32, "i={i}");
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, (63 - i) as f32, "i={i}");
         }
     }
 
@@ -620,6 +808,8 @@ mod tests {
         assert_eq!(full.gld_transactions, sampled.gld_transactions);
         assert_eq!(full.gst_transactions, sampled.gst_transactions);
         assert_eq!(full.threads, sampled.threads);
+        assert_eq!(full.sim_blocks, 64);
+        assert_eq!(sampled.sim_blocks, 8);
     }
 
     #[test]
@@ -705,5 +895,163 @@ mod sample_tests {
         let sampled = run(SampleMode::Chunked { chunk: 16, skip: 4 });
         assert_eq!(full.gld_transactions, sampled.gld_transactions);
         assert_eq!(full.gst_transactions, sampled.gst_transactions);
+    }
+}
+
+#[cfg(test)]
+mod mode_tests {
+    use super::*;
+
+    /// A kernel exercising every counter class: strided loads (partial L1
+    /// reuse), stores, shared-memory traffic, FMA and shuffles.
+    fn mixed_kernel(
+        sim: &mut GpuSim,
+        mode: LaunchMode,
+        threads: usize,
+        sample: SampleMode,
+    ) -> (KernelStats, Vec<f32>) {
+        sim.set_launch_mode(mode);
+        sim.set_parallel_threads(Some(threads));
+        let n = 32 * 96u32;
+        let data: Vec<f32> = (0..n).map(|i| (i % 17) as f32).collect();
+        let bi = sim.mem.upload(&data);
+        let bo = sim.mem.alloc(n as usize);
+        let cfg = LaunchConfig::linear(96, 32)
+            .with_shared(32)
+            .with_sample(sample);
+        let stats = sim.launch(&cfg, |blk| {
+            blk.each_warp(|w| {
+                let tid = w.global_tid_x();
+                let strided = VU::from_fn(|l| (tid.lane(l) * 7) % n);
+                let a = w.gld(bi, &strided, LaneMask::ALL);
+                let b = w.gld(bi, &tid, LaneMask::ALL);
+                let s = w.warp_sum(&a);
+                let r = w.fma(b, VF::splat(2.0), s);
+                w.sst(&w.thread_idx().clone(), &r, LaneMask::ALL);
+            });
+            blk.barrier();
+            blk.each_warp(|w| {
+                let tid = w.global_tid_x();
+                let v = w.sld(&w.thread_idx().clone(), LaneMask::ALL);
+                w.gst(bo, &tid, &v, LaneMask::ALL);
+            });
+        });
+        (stats, sim.mem.download(bo).to_vec())
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bit_identically() {
+        for sample in [
+            SampleMode::Full,
+            SampleMode::Stride(5),
+            SampleMode::Chunked { chunk: 8, skip: 3 },
+        ] {
+            let mut seq = GpuSim::new(DeviceConfig::test_tiny());
+            let (s_stats, s_mem) = mixed_kernel(&mut seq, LaunchMode::Sequential, 1, sample);
+            for threads in [1usize, 2, 4, 7] {
+                let mut par = GpuSim::new(DeviceConfig::test_tiny());
+                let (p_stats, p_mem) =
+                    mixed_kernel(&mut par, LaunchMode::Parallel, threads, sample);
+                assert_eq!(
+                    s_stats, p_stats,
+                    "stats diverge: {sample:?}, {threads} threads"
+                );
+                assert_eq!(
+                    s_mem, p_mem,
+                    "memory diverges: {sample:?}, {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_store_buffers_preserve_final_memory() {
+        // Adjacent blocks write overlapping halves of the output; the later
+        // block (higher linear id) must win, exactly as sequential order
+        // dictates.
+        let run = |mode| {
+            let mut sim = GpuSim::new(DeviceConfig::test_tiny()).with_launch_mode(mode);
+            sim.set_parallel_threads(Some(4));
+            let bo = sim.mem.alloc(32 * 9);
+            sim.launch(&LaunchConfig::linear(16, 32), |blk| {
+                blk.each_warp(|w| {
+                    let linear = blk_linear_of(w);
+                    let idx = VU::from_fn(|l| (linear * 16 + l as u64) as u32);
+                    let val = VF::splat(linear as f32 + 1.0);
+                    w.gst(bo, &idx, &val, LaneMask::ALL);
+                });
+            });
+            sim.mem.download(bo).to_vec()
+        };
+        fn blk_linear_of(w: &WarpCtx<'_, '_>) -> u64 {
+            w.block_idx.0 as u64
+        }
+        let seq = run(LaunchMode::Sequential);
+        let par = run(LaunchMode::Parallel);
+        assert_eq!(seq, par);
+        // Interior element 16·k is covered by blocks k−1 (lane 16) and k
+        // (lane 0); block k wins.
+        assert_eq!(seq[32], 3.0, "block 2 overwrote block 1's upper half");
+    }
+
+    #[test]
+    fn parallel_read_your_writes_within_block() {
+        let run = |mode| {
+            let mut sim = GpuSim::new(DeviceConfig::test_tiny()).with_launch_mode(mode);
+            let bo = sim.mem.alloc(64);
+            let stats = sim.launch(&LaunchConfig::linear(2, 32), |blk| {
+                blk.each_warp(|w| {
+                    let tid = w.global_tid_x();
+                    w.gst(bo, &tid, &VF::splat(7.0), LaneMask::ALL);
+                });
+                blk.each_warp(|w| {
+                    let tid = w.global_tid_x();
+                    let v = w.gld(bo, &tid, LaneMask::ALL); // sees own store
+                    let r = w.fadd(v, VF::splat(1.0));
+                    w.gst(bo, &tid, &r, LaneMask::ALL);
+                });
+            });
+            (stats, sim.mem.download(bo).to_vec())
+        };
+        let (s_stats, s_mem) = run(LaunchMode::Sequential);
+        let (p_stats, p_mem) = run(LaunchMode::Parallel);
+        assert_eq!(s_stats, p_stats);
+        assert_eq!(s_mem, p_mem);
+        assert!(s_mem.iter().all(|&v| v == 8.0));
+    }
+
+    #[test]
+    fn parallel_local_memory_traffic_identical() {
+        let run = |mode| {
+            let mut sim = GpuSim::new(DeviceConfig::test_tiny()).with_launch_mode(mode);
+            let bo = sim.mem.alloc(128);
+            sim.launch(&LaunchConfig::linear(4, 32), |blk| {
+                blk.each_warp(|w| {
+                    let mut a = crate::priv_array::PrivArray::<4>::local();
+                    for i in 0..4 {
+                        a.set(w, i, VF::splat(i as f32));
+                    }
+                    let idx = VU::from_fn(|l| (l % 4) as u32);
+                    let v = a.get_dyn(w, &idx, LaneMask::ALL);
+                    let tid = w.global_tid_x();
+                    w.gst(bo, &tid, &v, LaneMask::ALL);
+                });
+            })
+        };
+        assert_eq!(run(LaunchMode::Sequential), run(LaunchMode::Parallel));
+    }
+
+    #[test]
+    #[should_panic(expected = "device write OOB")]
+    fn parallel_oob_store_panics_like_sequential() {
+        let mut sim = GpuSim::new(DeviceConfig::test_tiny()).with_launch_mode(LaunchMode::Parallel);
+        sim.set_parallel_threads(Some(2));
+        let bo = sim.mem.alloc(8);
+        sim.launch(&LaunchConfig::linear(1, 32), |blk| {
+            blk.each_warp(|w| {
+                let tid = w.global_tid_x();
+                w.gst(bo, &tid, &VF::splat(0.0), LaneMask::ALL);
+            });
+        });
     }
 }

@@ -56,9 +56,10 @@ pub mod report;
 pub mod shuffle;
 pub mod stats;
 pub mod timing;
+pub mod trace;
 
 pub use device::DeviceConfig;
-pub use exec::{BlockCtx, GpuSim, LaunchConfig, SampleMode, WarpCtx};
+pub use exec::{BlockCtx, GpuSim, LaunchConfig, LaunchMode, SampleMode, WarpCtx};
 pub use lane::{LaneMask, LaneVec, VF, VI, VU, VU64, WARP};
 pub use memory::{BufId, GlobalMem};
 pub use priv_array::{PrivArray, Residency};

@@ -77,7 +77,10 @@ impl SectoredCache {
         assert!(line_bytes.is_multiple_of(sector_bytes) && sector_bytes > 0);
         assert!(line_bytes / sector_bytes <= 8, "dirty/valid masks are u8");
         let lines = capacity_bytes / line_bytes;
-        assert!(lines >= ways && lines.is_multiple_of(ways), "bad cache geometry");
+        assert!(
+            lines >= ways && lines.is_multiple_of(ways),
+            "bad cache geometry"
+        );
         let nsets = lines / ways;
         SectoredCache {
             sets: vec![Vec::with_capacity(ways); nsets],
@@ -207,7 +210,7 @@ mod tests {
         c.access(0x0, false); // refresh line 0
         c.access(2 * stride, false); // evicts `stride` (LRU)
         assert_eq!(c.access(0x0, false), Access::Hit);
-        assert_eq!(c.access(stride as u64, false), Access::LineMiss);
+        assert_eq!(c.access(stride, false), Access::LineMiss);
     }
 
     #[test]

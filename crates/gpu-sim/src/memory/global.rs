@@ -124,6 +124,25 @@ impl GlobalMem {
     pub fn total_elems(&self) -> usize {
         self.bufs.iter().map(|b| b.data.len()).sum()
     }
+
+    /// Panic exactly as [`GlobalMem::write_elem`] would on an out-of-bounds
+    /// index, without writing. Used by the store-buffer overlay so parallel
+    /// launches fail with byte-identical diagnostics to sequential ones.
+    #[inline]
+    pub(crate) fn assert_write_in_bounds(&self, id: BufId, idx: u32) {
+        let len = self.bufs[id.0].data.len();
+        if idx as usize >= len {
+            panic!(
+                "device write OOB: buffer {} has {len} elems, index {}",
+                id.0, idx
+            );
+        }
+    }
+
+    /// Raw mutable element storage of one buffer (store-buffer application).
+    pub(crate) fn buf_data_mut(&mut self, id: BufId) -> &mut [f32] {
+        &mut self.bufs[id.0].data
+    }
 }
 
 #[cfg(test)]

@@ -1,11 +1,27 @@
 //! The L1 → L2 → DRAM path: classifies each coalesced sector and updates
 //! the launch counters.
+//!
+//! The datapath is split in two along the L1/L2 boundary:
+//!
+//! * [`warp_access`] coalesces a warp's lane addresses, counts requests and
+//!   transactions, and classifies every sector against the **per-block L1**.
+//!   Sectors that must travel further — L1 load misses, plus every store
+//!   sector (the L1 is write-through) — are handed to an [`L2Sink`].
+//! * [`l2_sector_access`] classifies one such sector against the
+//!   **launch-wide L2** and accounts DRAM fills and dirty write-backs.
+//!
+//! The split is what makes the parallel launch engine possible: the L1 never
+//! depends on L2 state, so blocks can run phase 1 concurrently recording
+//! their L2-bound sectors into a [`BlockTrace`] ([`L2Sink::Deferred`]), and
+//! [`replay_trace`] later drives the real L2 with the identical ordered
+//! stream the sequential engine ([`L2Sink::Inline`]) would have produced.
 
 use super::cache::{Access, CachePolicy, SectoredCache};
 use super::coalescer::coalesce;
 use crate::device::DeviceConfig;
 use crate::lane::{LaneMask, WARP};
 use crate::stats::KernelStats;
+use crate::trace::BlockTrace;
 
 /// Which address space a warp access targets (for counter attribution;
 /// both spaces share the same physical cache path).
@@ -15,6 +31,27 @@ pub enum Space {
     Global,
     /// Local (per-thread spill) memory.
     Local,
+}
+
+/// Where a block's L2-bound sector events go.
+#[derive(Debug)]
+pub enum L2Sink<'a> {
+    /// Classify immediately against the launch-wide L2 (sequential engine).
+    Inline(&'a mut SectoredCache),
+    /// Record into a per-block trace for later ordered replay (parallel
+    /// engine, phase 1). No L2 or DRAM counters are updated until
+    /// [`replay_trace`] runs.
+    Deferred(&'a mut BlockTrace),
+}
+
+impl L2Sink<'_> {
+    #[inline]
+    fn sector(&mut self, stats: &mut KernelStats, sector_addr: u64, is_store: bool) {
+        match self {
+            L2Sink::Inline(l2) => l2_sector_access(l2, stats, sector_addr, is_store),
+            L2Sink::Deferred(trace) => trace.push(sector_addr, is_store),
+        }
+    }
 }
 
 /// Build a fresh L1 for one block/SM.
@@ -39,16 +76,16 @@ pub fn new_l2(dev: &DeviceConfig) -> SectoredCache {
     )
 }
 
-/// Route one warp-level memory access through the hierarchy.
+/// Route one warp-level memory access through the coalescer and the L1.
 ///
 /// `addrs` are per-lane byte addresses (4-byte accesses); inactive lanes are
-/// ignored. Updates request/transaction counters for `space`, hit counters
-/// for L1/L2, and DRAM sector counters for misses and dirty evictions.
+/// ignored. Updates request/transaction counters for `space` and L1 hit
+/// counters; sectors continuing past the L1 go to `sink`.
 #[allow(clippy::too_many_arguments)] // mirrors the hardware datapath inputs
 pub fn warp_access(
     dev: &DeviceConfig,
     l1: &mut SectoredCache,
-    l2: &mut SectoredCache,
+    sink: &mut L2Sink<'_>,
     stats: &mut KernelStats,
     addrs: &[u64; WARP],
     mask: LaneMask,
@@ -76,38 +113,57 @@ pub fn warp_access(
     }
 
     for &sector in &res.sectors {
-        let l2_write_backs_before = l2.evicted_dirty_sectors;
         if is_store {
             // L1 is write-through: the sector is forwarded to L2 either way.
             let _ = l1.access(sector, true);
-            match l2.access(sector, true) {
-                Access::Hit => {
-                    stats.l2_accesses += 1;
-                    stats.l2_hit_sectors += 1;
-                }
-                Access::SectorMiss | Access::LineMiss => {
-                    // Full-sector store: allocated in L2 without a DRAM fetch.
-                    stats.l2_accesses += 1;
-                }
-            }
+            sink.sector(stats, sector, true);
         } else {
             match l1.access(sector, false) {
                 Access::Hit => {
                     stats.l1_hit_sectors += 1;
                 }
                 Access::SectorMiss | Access::LineMiss => {
-                    stats.l2_accesses += 1;
-                    match l2.access(sector, false) {
-                        Access::Hit => stats.l2_hit_sectors += 1,
-                        Access::SectorMiss | Access::LineMiss => {
-                            stats.dram_read_sectors += 1;
-                        }
-                    }
+                    sink.sector(stats, sector, false);
                 }
             }
         }
-        // Dirty evictions from L2 become DRAM writes.
-        stats.dram_write_sectors += l2.evicted_dirty_sectors - l2_write_backs_before;
+    }
+}
+
+/// Classify one sector against the launch-wide L2, updating L2 hit/access
+/// counters, DRAM read fills, and DRAM write-backs of dirty evictions.
+pub fn l2_sector_access(
+    l2: &mut SectoredCache,
+    stats: &mut KernelStats,
+    sector_addr: u64,
+    is_store: bool,
+) {
+    let write_backs_before = l2.evicted_dirty_sectors;
+    if is_store {
+        stats.l2_accesses += 1;
+        if l2.access(sector_addr, true) == Access::Hit {
+            stats.l2_hit_sectors += 1;
+        }
+        // Full-sector store misses allocate in L2 without a DRAM fetch.
+    } else {
+        stats.l2_accesses += 1;
+        match l2.access(sector_addr, false) {
+            Access::Hit => stats.l2_hit_sectors += 1,
+            Access::SectorMiss | Access::LineMiss => {
+                stats.dram_read_sectors += 1;
+            }
+        }
+    }
+    // Dirty evictions from L2 become DRAM writes.
+    stats.dram_write_sectors += l2.evicted_dirty_sectors - write_backs_before;
+}
+
+/// Replay one block's recorded L2-bound sector stream through the real L2,
+/// in record order. Driving the L2 with the same ordered stream the
+/// sequential engine would produce yields bit-identical counters.
+pub fn replay_trace(trace: &BlockTrace, l2: &mut SectoredCache, stats: &mut KernelStats) {
+    for (sector_addr, is_store) in trace.iter() {
+        l2_sector_access(l2, stats, sector_addr, is_store);
     }
 }
 
@@ -135,12 +191,39 @@ mod tests {
         std::array::from_fn(|l| base + l as u64 * 4)
     }
 
+    fn access(
+        dev: &DeviceConfig,
+        l1: &mut SectoredCache,
+        l2: &mut SectoredCache,
+        st: &mut KernelStats,
+        addrs: &[u64; WARP],
+        is_store: bool,
+        space: Space,
+    ) {
+        let mut sink = L2Sink::Inline(l2);
+        warp_access(
+            dev,
+            l1,
+            &mut sink,
+            st,
+            addrs,
+            LaneMask::ALL,
+            is_store,
+            space,
+        );
+    }
+
     #[test]
     fn coalesced_load_counts_four_transactions_and_dram_fills() {
         let (dev, mut l1, mut l2, mut st) = setup();
-        warp_access(
-            &dev, &mut l1, &mut l2, &mut st,
-            &seq_addrs(0x10000), LaneMask::ALL, false, Space::Global,
+        access(
+            &dev,
+            &mut l1,
+            &mut l2,
+            &mut st,
+            &seq_addrs(0x10000),
+            false,
+            Space::Global,
         );
         assert_eq!(st.gld_requests, 1);
         assert_eq!(st.gld_transactions, 4);
@@ -152,8 +235,8 @@ mod tests {
     fn repeat_load_hits_l1() {
         let (dev, mut l1, mut l2, mut st) = setup();
         let a = seq_addrs(0x10000);
-        warp_access(&dev, &mut l1, &mut l2, &mut st, &a, LaneMask::ALL, false, Space::Global);
-        warp_access(&dev, &mut l1, &mut l2, &mut st, &a, LaneMask::ALL, false, Space::Global);
+        access(&dev, &mut l1, &mut l2, &mut st, &a, false, Space::Global);
+        access(&dev, &mut l1, &mut l2, &mut st, &a, false, Space::Global);
         assert_eq!(st.gld_transactions, 8);
         assert_eq!(st.l1_hit_sectors, 4);
         assert_eq!(st.dram_read_sectors, 4);
@@ -163,8 +246,8 @@ mod tests {
     fn store_then_flush_writes_dram_once() {
         let (dev, mut l1, mut l2, mut st) = setup();
         let a = seq_addrs(0x20000);
-        warp_access(&dev, &mut l1, &mut l2, &mut st, &a, LaneMask::ALL, true, Space::Global);
-        warp_access(&dev, &mut l1, &mut l2, &mut st, &a, LaneMask::ALL, true, Space::Global);
+        access(&dev, &mut l1, &mut l2, &mut st, &a, true, Space::Global);
+        access(&dev, &mut l1, &mut l2, &mut st, &a, true, Space::Global);
         assert_eq!(st.gst_transactions, 8);
         assert_eq!(st.dram_write_sectors, 0, "still cached dirty in L2");
         flush_l2(&mut l2, &mut st);
@@ -174,9 +257,14 @@ mod tests {
     #[test]
     fn local_space_attributes_to_local_counters() {
         let (dev, mut l1, mut l2, mut st) = setup();
-        warp_access(
-            &dev, &mut l1, &mut l2, &mut st,
-            &seq_addrs(0x30000), LaneMask::ALL, false, Space::Local,
+        access(
+            &dev,
+            &mut l1,
+            &mut l2,
+            &mut st,
+            &seq_addrs(0x30000),
+            false,
+            Space::Local,
         );
         assert_eq!(st.local_requests, 1);
         assert_eq!(st.local_transactions, 4);
@@ -188,15 +276,25 @@ mod tests {
         let (dev, mut l1, mut l2, mut st) = setup();
         // Stream far more than L2 (8 KiB tiny device) then re-read the start.
         for i in 0..128u64 {
-            warp_access(
-                &dev, &mut l1, &mut l2, &mut st,
-                &seq_addrs(0x40000 + i * 128), LaneMask::ALL, false, Space::Global,
+            access(
+                &dev,
+                &mut l1,
+                &mut l2,
+                &mut st,
+                &seq_addrs(0x40000 + i * 128),
+                false,
+                Space::Global,
             );
         }
         let before = st.dram_read_sectors;
-        warp_access(
-            &dev, &mut l1, &mut l2, &mut st,
-            &seq_addrs(0x40000), LaneMask::ALL, false, Space::Global,
+        access(
+            &dev,
+            &mut l1,
+            &mut l2,
+            &mut st,
+            &seq_addrs(0x40000),
+            false,
+            Space::Global,
         );
         assert!(st.dram_read_sectors > before, "evicted line re-fetched");
     }
@@ -207,17 +305,105 @@ mod tests {
         let a = seq_addrs(0x50000);
         // Load, then thrash L1 only (L1 is 2 KiB; 32 lines of distinct sets),
         // then re-load: should hit L2.
-        warp_access(&dev, &mut l1, &mut l2, &mut st, &a, LaneMask::ALL, false, Space::Global);
+        access(&dev, &mut l1, &mut l2, &mut st, &a, false, Space::Global);
         for i in 1..20u64 {
-            warp_access(
-                &dev, &mut l1, &mut l2, &mut st,
-                &seq_addrs(0x50000 + i * 128), LaneMask::ALL, false, Space::Global,
+            access(
+                &dev,
+                &mut l1,
+                &mut l2,
+                &mut st,
+                &seq_addrs(0x50000 + i * 128),
+                false,
+                Space::Global,
             );
         }
         let dram_before = st.dram_read_sectors;
         let l2hit_before = st.l2_hit_sectors;
-        warp_access(&dev, &mut l1, &mut l2, &mut st, &a, LaneMask::ALL, false, Space::Global);
+        access(&dev, &mut l1, &mut l2, &mut st, &a, false, Space::Global);
         assert_eq!(st.dram_read_sectors, dram_before, "L2 still holds the line");
         assert_eq!(st.l2_hit_sectors, l2hit_before + 4);
+    }
+
+    #[test]
+    fn deferred_sink_records_instead_of_touching_l2() {
+        let (dev, mut l1, mut l2, mut st) = setup();
+        let mut trace = BlockTrace::new();
+        {
+            let mut sink = L2Sink::Deferred(&mut trace);
+            warp_access(
+                &dev,
+                &mut l1,
+                &mut sink,
+                &mut st,
+                &seq_addrs(0x60000),
+                LaneMask::ALL,
+                false,
+                Space::Global,
+            );
+            warp_access(
+                &dev,
+                &mut l1,
+                &mut sink,
+                &mut st,
+                &seq_addrs(0x60000),
+                LaneMask::ALL,
+                true,
+                Space::Global,
+            );
+        }
+        // Coalescing/L1 counters accrue immediately...
+        assert_eq!(st.gld_transactions, 4);
+        assert_eq!(st.gst_transactions, 4);
+        // ...but nothing has reached the L2 or DRAM yet.
+        assert_eq!(st.l2_accesses, 0);
+        assert_eq!(st.dram_read_sectors, 0);
+        assert_eq!(trace.len(), 8, "4 load-miss sectors + 4 store sectors");
+
+        replay_trace(&trace, &mut l2, &mut st);
+        assert_eq!(st.l2_accesses, 8);
+        assert_eq!(st.dram_read_sectors, 4);
+        assert_eq!(st.l2_hit_sectors, 4, "stores hit the load-filled line");
+    }
+
+    #[test]
+    fn deferred_replay_matches_inline_exactly() {
+        // Same access pattern via both sinks must give identical stats.
+        let pattern: Vec<(u64, bool)> = (0..40u64)
+            .map(|i| (0x70000 + (i % 13) * 128, i % 3 == 0))
+            .collect();
+
+        let (dev, mut l1a, mut l2a, mut sta) = setup();
+        for &(base, is_store) in &pattern {
+            access(
+                &dev,
+                &mut l1a,
+                &mut l2a,
+                &mut sta,
+                &seq_addrs(base),
+                is_store,
+                Space::Global,
+            );
+        }
+        flush_l2(&mut l2a, &mut sta);
+
+        let (_, mut l1b, mut l2b, mut stb) = setup();
+        let mut trace = BlockTrace::new();
+        for &(base, is_store) in &pattern {
+            let mut sink = L2Sink::Deferred(&mut trace);
+            warp_access(
+                &dev,
+                &mut l1b,
+                &mut sink,
+                &mut stb,
+                &seq_addrs(base),
+                LaneMask::ALL,
+                is_store,
+                Space::Global,
+            );
+        }
+        replay_trace(&trace, &mut l2b, &mut stb);
+        flush_l2(&mut l2b, &mut stb);
+
+        assert_eq!(sta, stb);
     }
 }

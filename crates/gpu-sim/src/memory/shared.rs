@@ -45,7 +45,12 @@ impl SharedMem {
                 per_bank[bank].push(w);
             }
         }
-        per_bank.iter().map(|v| v.len() as u64).max().unwrap_or(1).max(1)
+        per_bank
+            .iter()
+            .map(|v| v.len() as u64)
+            .max()
+            .unwrap_or(1)
+            .max(1)
     }
 
     /// Warp load. Returns the loaded lanes (inactive lanes read 0.0) and the
@@ -55,7 +60,11 @@ impl SharedMem {
         let v = VF::from_fn(|l| {
             if mask.get(l) {
                 let i = idx.lane(l) as usize;
-                assert!(i < self.data.len(), "shared load OOB: {i} >= {}", self.data.len());
+                assert!(
+                    i < self.data.len(),
+                    "shared load OOB: {i} >= {}",
+                    self.data.len()
+                );
                 self.data[i]
             } else {
                 0.0
@@ -70,7 +79,10 @@ impl SharedMem {
     /// read costs a single pass, which is how real GEMM kernels amortize
     /// their shared-memory A-operand reads.
     pub fn load_vec<const K: usize>(&self, idx: &VU, mask: LaneMask) -> ([VF; K], u64) {
-        assert!(K.is_power_of_two() && K <= 4, "LDS supports 1/2/4-word vectors");
+        assert!(
+            K.is_power_of_two() && K <= 4,
+            "LDS supports 1/2/4-word vectors"
+        );
         if mask.is_empty() {
             return ([VF::splat(0.0); K], 0);
         }
@@ -79,7 +91,10 @@ impl SharedMem {
         let mut segs: Vec<u32> = Vec::new();
         for lane in mask.lanes() {
             let base = idx.lane(lane);
-            assert!((base as usize).is_multiple_of(K), "vector smem access must be aligned");
+            assert!(
+                (base as usize).is_multiple_of(K),
+                "vector smem access must be aligned"
+            );
             let seg = base / 4;
             if !segs.contains(&seg) {
                 segs.push(seg);
@@ -109,7 +124,11 @@ impl SharedMem {
         // Iterate high→low so the lowest active lane's value lands last.
         for lane in mask.lanes().collect::<Vec<_>>().into_iter().rev() {
             let i = idx.lane(lane) as usize;
-            assert!(i < self.data.len(), "shared store OOB: {i} >= {}", self.data.len());
+            assert!(
+                i < self.data.len(),
+                "shared store OOB: {i} >= {}",
+                self.data.len()
+            );
             self.data[i] = val.lane(lane);
         }
         passes

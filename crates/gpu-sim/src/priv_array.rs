@@ -163,11 +163,13 @@ mod tests {
     use crate::device::DeviceConfig;
     use crate::exec::{GpuSim, LaunchConfig};
 
-    fn run_one_warp(f: impl FnMut(&mut WarpCtx<'_, '_>)) -> crate::stats::KernelStats {
+    fn run_one_warp(f: impl FnMut(&mut WarpCtx<'_, '_>) + Send) -> crate::stats::KernelStats {
         let mut sim = GpuSim::new(DeviceConfig::test_tiny());
-        let mut f = f;
+        // Kernels are `Fn + Sync` now; a Mutex lets a test drive one with a
+        // stateful FnMut closure.
+        let f = std::sync::Mutex::new(f);
         sim.launch(&LaunchConfig::linear(1, 32), |blk| {
-            blk.each_warp(&mut f);
+            blk.each_warp(|w| (f.lock().unwrap())(w));
         })
     }
 
@@ -212,7 +214,11 @@ mod tests {
         // 5 stores × 4 sectors = 20, plus the divergent gather touching
         // 5 different 128 B rows across 32 lanes: lanes spread over 5 rows,
         // each row contributes ⌈(lanes in row)·4B / 32B⌉ sectors ≥ 5.
-        assert!(stats.local_transactions > 20, "got {}", stats.local_transactions);
+        assert!(
+            stats.local_transactions > 20,
+            "got {}",
+            stats.local_transactions
+        );
     }
 
     #[test]

@@ -127,7 +127,11 @@ pub fn run_table(rep: &RunReport, dev: &DeviceConfig) -> String {
         let _ = writeln!(
             out,
             "{:<28} {:>10} {:>10} {:>10} {:>9.1}",
-            "(library dispatch)", "-", "-", "-", rep.api_overhead_s * 1e6
+            "(library dispatch)",
+            "-",
+            "-",
+            "-",
+            rep.api_overhead_s * 1e6
         );
     }
     let _ = writeln!(

@@ -7,11 +7,10 @@
 //! `gld_transactions` / `gst_transactions` nvprof metrics the authors would
 //! have used on the 2080 Ti.
 
-use serde::{Deserialize, Serialize};
 use std::ops::AddAssign;
 
 /// Counters for one kernel launch (or an aggregate of several).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct KernelStats {
     // --- instruction mix -------------------------------------------------
     /// Warp-level FMA instructions executed (each = 32 lanes × 2 FLOPs).
@@ -62,6 +61,11 @@ pub struct KernelStats {
     pub launches: u64,
     /// Total threads launched.
     pub threads: u64,
+    /// Blocks actually simulated (before sampling extrapolation). Like
+    /// `launches`/`threads` this is a ground-truth count: it is summed by
+    /// `+=` but never scaled, so `blocks/sec` throughput stays honest under
+    /// sampling.
+    pub sim_blocks: u64,
 }
 
 impl KernelStats {
@@ -131,10 +135,42 @@ impl KernelStats {
         }
     }
 
-    /// Scale every traffic counter by `k` — used by the sampling launcher to
-    /// extrapolate from a subset of blocks. Launch counts are not scaled.
+    /// Extrapolate counters measured over `simulated` blocks to the full
+    /// `total`-block launch.
+    ///
+    /// Every traffic/instruction counter `v` becomes
+    /// `round(v · total / simulated)` computed **exactly in u128 integer
+    /// arithmetic** (round half up), so the result is deterministic and
+    /// free of the float precision loss `scaled` can exhibit on large
+    /// counters. `launches`, `threads` and `sim_blocks` are ground-truth
+    /// counts and pass through unscaled.
+    ///
+    /// # Panics
+    /// Panics if `simulated` is zero or exceeds `total`.
+    pub fn extrapolated(&self, total: u64, simulated: u64) -> KernelStats {
+        assert!(simulated > 0, "cannot extrapolate from zero blocks");
+        assert!(simulated <= total, "simulated {simulated} > total {total}");
+        let s = |v: u64| {
+            ((v as u128 * total as u128 * 2 + simulated as u128) / (2 * simulated as u128)) as u64
+        };
+        self.map_traffic(s)
+    }
+
+    /// Scale every traffic counter by `k`, rounding each to the nearest
+    /// integer (half away from zero, i.e. `f64::round`). Launch counts
+    /// (`launches`, `threads`, `sim_blocks`) are not scaled.
+    ///
+    /// Prefer [`KernelStats::extrapolated`] for block-sampling ratios — it
+    /// is exact in integer arithmetic; this float variant exists for
+    /// arbitrary non-rational factors (e.g. per-image normalization).
     pub fn scaled(&self, k: f64) -> KernelStats {
         let s = |v: u64| (v as f64 * k).round() as u64;
+        self.map_traffic(s)
+    }
+
+    /// Apply `s` to every extrapolatable counter, passing ground-truth
+    /// launch counts through untouched.
+    fn map_traffic(&self, s: impl Fn(u64) -> u64) -> KernelStats {
         KernelStats {
             fma_instrs: s(self.fma_instrs),
             fp_instrs: s(self.fp_instrs),
@@ -155,6 +191,7 @@ impl KernelStats {
             smem_passes: s(self.smem_passes),
             launches: self.launches,
             threads: self.threads,
+            sim_blocks: self.sim_blocks,
         }
     }
 }
@@ -180,6 +217,7 @@ impl AddAssign<&KernelStats> for KernelStats {
         self.smem_passes += rhs.smem_passes;
         self.launches += rhs.launches;
         self.threads += rhs.threads;
+        self.sim_blocks += rhs.sim_blocks;
     }
 }
 
@@ -232,6 +270,41 @@ mod tests {
         assert_eq!(t.gld_transactions, 800);
         assert_eq!(t.dram_read_sectors, 320);
         assert_eq!(t.launches, 1);
+    }
+
+    #[test]
+    fn extrapolated_rounds_half_up_in_exact_integer_arithmetic() {
+        let s = KernelStats {
+            gld_transactions: 7,
+            gst_transactions: 5,
+            launches: 1,
+            threads: 64,
+            sim_blocks: 2,
+            ..Default::default()
+        };
+        // 7 · 3/2 = 10.5 → 11 (half up); 5 · 3/2 = 7.5 → 8.
+        let t = s.extrapolated(3, 2);
+        assert_eq!(t.gld_transactions, 11);
+        assert_eq!(t.gst_transactions, 8);
+        assert_eq!(t.launches, 1, "launches never scaled");
+        assert_eq!(t.threads, 64, "threads never scaled");
+        assert_eq!(t.sim_blocks, 2, "sim_blocks records actual, not scaled");
+        // Identity ratio is exact even at counter magnitudes where the f64
+        // path loses integer precision (2^53).
+        let big = KernelStats {
+            dram_read_sectors: (1 << 53) + 1,
+            ..Default::default()
+        };
+        assert_eq!(
+            big.extrapolated(1000, 1000).dram_read_sectors,
+            (1 << 53) + 1
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "zero blocks")]
+    fn extrapolated_rejects_zero_sample() {
+        KernelStats::default().extrapolated(10, 0);
     }
 
     #[test]

@@ -15,7 +15,6 @@
 
 use crate::device::DeviceConfig;
 use crate::stats::KernelStats;
-use serde::{Deserialize, Serialize};
 
 /// Assumed number of warps available to hide latency per SM. Convolution
 /// kernels at the paper's block sizes reach ≥50% occupancy (≥16 warps/SM);
@@ -28,7 +27,7 @@ const LATENCY_HIDING_WARPS: f64 = 16.0;
 const ISSUE_PER_SM_PER_CYCLE: f64 = 4.0;
 
 /// Time breakdown of one launch, seconds.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TimeBreakdown {
     /// Fixed launch overhead.
     pub launch: f64,
@@ -98,8 +97,8 @@ pub fn launch_time(stats: &KernelStats, dev: &DeviceConfig) -> TimeBreakdown {
     );
 
     let compute = flops / (dev.peak_flops() * device_fill);
-    let issue = instrs
-        / (dev.sm_count as f64 * device_fill * ISSUE_PER_SM_PER_CYCLE * dev.clock_hz);
+    let issue =
+        instrs / (dev.sm_count as f64 * device_fill * ISSUE_PER_SM_PER_CYCLE * dev.clock_hz);
     let l1 = stats.l1_bytes(sb) as f64 / (dev.l1_bw * device_fill);
     let l2 = stats.l2_bytes(sb) as f64 / dev.l2_bw;
     let dram = stats.dram_bytes(sb) as f64 / dev.dram_bw;
@@ -128,7 +127,7 @@ pub fn launch_time(stats: &KernelStats, dev: &DeviceConfig) -> TimeBreakdown {
 
 /// An algorithm run: one or more launches making up a complete convolution
 /// (e.g. im2col lowering + GEMM is two launches).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct RunReport {
     /// Per-launch counters, in execution order, with a label each.
     pub launches: Vec<(String, KernelStats)>,
@@ -138,7 +137,6 @@ pub struct RunReport {
     /// launches: ~20 µs per `cudnnConvolutionForward`, ~10 µs per NPP /
     /// ArrayFire call, ~6 µs per cuBLAS dispatch in Caffe's per-image
     /// loop. Hand-written kernels (the paper's approach) pay none.
-    #[serde(default)]
     pub api_overhead_s: f64,
 }
 

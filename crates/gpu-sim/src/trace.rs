@@ -1,0 +1,292 @@
+//! Per-block execution artifacts for the parallel launch engine.
+//!
+//! In [`crate::exec::LaunchMode::Parallel`] a launch runs in two phases:
+//!
+//! 1. **Functional phase (parallel):** every selected block executes against
+//!    a read-only view of global memory plus a private [`StoreBuffer`], with
+//!    a fresh per-block L1. The ordered stream of sectors the block would
+//!    send to the L2 (L1 load misses, plus every store sector — L1 is
+//!    write-through) is recorded in a compact [`BlockTrace`].
+//! 2. **Replay phase (sequential):** traces are replayed through the single
+//!    launch-wide L2 in block-linear order and store buffers are applied to
+//!    global memory in the same order.
+//!
+//! Because the per-block L1 never depends on L2 state, and the L2's state
+//! and counters depend only on the ordered sector stream it receives, the
+//! replay reconstructs *bit-identical* [`crate::stats::KernelStats`] to the
+//! sequential engine — see `DESIGN.md` §4.
+
+use crate::memory::global::{BufId, GlobalMem};
+use std::collections::BTreeMap;
+
+/// One block's ordered stream of L2-bound sector events.
+///
+/// Events are packed one per `u64`: sector base addresses are 32-byte
+/// aligned, so bit 0 is free to carry the store flag.
+#[derive(Debug, Clone, Default)]
+pub struct BlockTrace {
+    events: Vec<u64>,
+}
+
+impl BlockTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        BlockTrace::default()
+    }
+
+    /// Append one sector event.
+    #[inline]
+    pub fn push(&mut self, sector_addr: u64, is_store: bool) {
+        debug_assert_eq!(sector_addr & 1, 0, "sector addresses are aligned");
+        self.events.push(sector_addr | is_store as u64);
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterate events as `(sector_addr, is_store)` in record order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, bool)> + '_ {
+        self.events.iter().map(|&e| (e & !1, e & 1 != 0))
+    }
+}
+
+/// Words per store-buffer page. Output stores are typically dense and
+/// sequential, so page granularity amortizes the map lookups; 128 words
+/// (512 B) keeps sparse writers cheap too.
+const PAGE_WORDS: usize = 128;
+
+#[derive(Debug, Clone)]
+struct Page {
+    /// Bit `i` set ⇔ word `i` of this page has been written.
+    written: u128,
+    vals: [f32; PAGE_WORDS],
+}
+
+impl Page {
+    fn new() -> Box<Page> {
+        Box::new(Page {
+            written: 0,
+            vals: [0.0; PAGE_WORDS],
+        })
+    }
+}
+
+/// A block-private overlay of pending global-memory stores.
+///
+/// Gives the owning block read-your-writes semantics during the functional
+/// phase while leaving the shared [`GlobalMem`] untouched; the launch engine
+/// applies buffers in block-linear order afterwards, reproducing the
+/// sequential engine's last-writer-wins outcome for any inter-block write
+/// overlap (which CUDA leaves undefined within a launch anyway).
+#[derive(Debug, Clone, Default)]
+pub struct StoreBuffer {
+    /// Indexed by `BufId`; `None` until a buffer receives its first store.
+    bufs: Vec<Option<BTreeMap<u32, Box<Page>>>>,
+}
+
+impl StoreBuffer {
+    /// An empty overlay.
+    pub fn new() -> Self {
+        StoreBuffer::default()
+    }
+
+    /// `true` when no store has been buffered.
+    pub fn is_empty(&self) -> bool {
+        self.bufs.iter().all(|b| b.is_none())
+    }
+
+    /// Buffer a store of element `idx` of `buf`. The caller is responsible
+    /// for bounds-checking against the base memory first.
+    #[inline]
+    pub(crate) fn write(&mut self, buf: BufId, idx: u32, v: f32) {
+        if self.bufs.len() <= buf.0 {
+            self.bufs.resize_with(buf.0 + 1, || None);
+        }
+        let pages = self.bufs[buf.0].get_or_insert_with(BTreeMap::new);
+        let page = pages
+            .entry(idx / PAGE_WORDS as u32)
+            .or_insert_with(Page::new);
+        let off = idx as usize % PAGE_WORDS;
+        page.written |= 1u128 << off;
+        page.vals[off] = v;
+    }
+
+    /// The buffered value of element `idx` of `buf`, if it has been written.
+    #[inline]
+    pub(crate) fn read(&self, buf: BufId, idx: u32) -> Option<f32> {
+        let pages = self.bufs.get(buf.0)?.as_ref()?;
+        let page = pages.get(&(idx / PAGE_WORDS as u32))?;
+        let off = idx as usize % PAGE_WORDS;
+        if page.written & (1u128 << off) != 0 {
+            Some(page.vals[off])
+        } else {
+            None
+        }
+    }
+
+    /// Apply every buffered store to `mem`. Within one buffer the writes are
+    /// disjoint by construction, so application order inside a block is
+    /// irrelevant; *across* blocks the engine calls `apply` in block-linear
+    /// order.
+    pub fn apply(self, mem: &mut GlobalMem) {
+        for (buf_idx, overlay) in self.bufs.into_iter().enumerate() {
+            let Some(pages) = overlay else { continue };
+            let data = mem.buf_data_mut(BufId(buf_idx));
+            for (page_idx, page) in pages {
+                let base = page_idx as usize * PAGE_WORDS;
+                let mut bits = page.written;
+                while bits != 0 {
+                    let off = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    data[base + off] = page.vals[off];
+                }
+            }
+        }
+    }
+}
+
+/// How a block sees global memory during execution.
+///
+/// The sequential engine mutates [`GlobalMem`] directly; the parallel
+/// functional phase reads a shared snapshot and buffers its stores.
+#[derive(Debug)]
+pub(crate) enum GlobalView<'a> {
+    /// Exclusive, direct access (sequential engine).
+    Direct(&'a mut GlobalMem),
+    /// Shared snapshot plus a block-private store overlay (parallel phase 1).
+    Overlay {
+        /// The launch-wide memory snapshot.
+        base: &'a GlobalMem,
+        /// This block's pending stores.
+        store: StoreBuffer,
+    },
+}
+
+impl GlobalView<'_> {
+    /// Virtual byte address of element `idx` of buffer `id`.
+    #[inline]
+    pub(crate) fn addr(&self, id: BufId, idx: u32) -> u64 {
+        match self {
+            GlobalView::Direct(mem) => mem.addr(id, idx),
+            GlobalView::Overlay { base, .. } => base.addr(id, idx),
+        }
+    }
+
+    /// Device-side element read — overlay-first, so a block observes its own
+    /// pending stores exactly as the sequential engine would.
+    #[inline]
+    pub(crate) fn read_elem(&self, id: BufId, idx: u32) -> f32 {
+        match self {
+            GlobalView::Direct(mem) => mem.read_elem(id, idx),
+            GlobalView::Overlay { base, store } => match store.read(id, idx) {
+                Some(v) => v,
+                // Bounds-checked read with the same OOB diagnostics as the
+                // sequential path.
+                None => base.read_elem(id, idx),
+            },
+        }
+    }
+
+    /// Device-side element write (bounds-checked identically to
+    /// [`GlobalMem::write_elem`], including the panic message).
+    #[inline]
+    pub(crate) fn write_elem(&mut self, id: BufId, idx: u32, v: f32) {
+        match self {
+            GlobalView::Direct(mem) => mem.write_elem(id, idx, v),
+            GlobalView::Overlay { base, store } => {
+                base.assert_write_in_bounds(id, idx);
+                store.write(id, idx, v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_roundtrips_events_in_order() {
+        let mut t = BlockTrace::new();
+        t.push(0x1000, false);
+        t.push(0x1020, true);
+        t.push(0x40, false);
+        let got: Vec<_> = t.iter().collect();
+        assert_eq!(got, vec![(0x1000, false), (0x1020, true), (0x40, false)]);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn store_buffer_read_your_writes() {
+        let mut sb = StoreBuffer::new();
+        let id = BufId(2);
+        assert_eq!(sb.read(id, 7), None);
+        sb.write(id, 7, 1.5);
+        sb.write(id, 7, 2.5); // overwrite: last write wins
+        sb.write(id, 1000, 9.0); // different page
+        assert_eq!(sb.read(id, 7), Some(2.5));
+        assert_eq!(sb.read(id, 1000), Some(9.0));
+        assert_eq!(sb.read(id, 8), None);
+        assert_eq!(sb.read(BufId(0), 7), None);
+    }
+
+    #[test]
+    fn apply_writes_only_touched_words() {
+        let mut mem = GlobalMem::new();
+        let a = mem.upload(&[1.0; 300]);
+        let b = mem.upload(&[2.0; 10]);
+        let mut sb = StoreBuffer::new();
+        sb.write(a, 0, 10.0);
+        sb.write(a, 127, 11.0); // last word of page 0
+        sb.write(a, 128, 12.0); // first word of page 1
+        sb.write(a, 299, 13.0);
+        sb.apply(&mut mem);
+        let data = mem.download(a);
+        assert_eq!(data[0], 10.0);
+        assert_eq!(data[1], 1.0);
+        assert_eq!(data[127], 11.0);
+        assert_eq!(data[128], 12.0);
+        assert_eq!(data[298], 1.0);
+        assert_eq!(data[299], 13.0);
+        assert_eq!(mem.download(b), &[2.0; 10]);
+    }
+
+    #[test]
+    fn overlay_view_masks_base_until_applied() {
+        let mut mem = GlobalMem::new();
+        let a = mem.upload(&[5.0; 4]);
+        let mut view = GlobalView::Overlay {
+            base: &mem,
+            store: StoreBuffer::new(),
+        };
+        assert_eq!(view.read_elem(a, 2), 5.0);
+        view.write_elem(a, 2, 8.0);
+        assert_eq!(view.read_elem(a, 2), 8.0, "read-your-writes");
+        assert_eq!(view.read_elem(a, 1), 5.0);
+        let GlobalView::Overlay { store, .. } = view else {
+            unreachable!()
+        };
+        store.apply(&mut mem);
+        assert_eq!(mem.download(a), &[5.0, 5.0, 8.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "device write OOB: buffer 0 has 2 elems, index 2")]
+    fn overlay_write_oob_matches_sequential_panic() {
+        let mut mem = GlobalMem::new();
+        let a = mem.upload(&[0.0; 2]);
+        let mut view = GlobalView::Overlay {
+            base: &mem,
+            store: StoreBuffer::new(),
+        };
+        view.write_elem(a, 2, 1.0);
+    }
+}

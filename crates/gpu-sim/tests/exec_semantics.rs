@@ -2,7 +2,7 @@
 //! Auto sampling resolution, local-memory failure injection, and warp
 //! reductions — the corners the kernel suites rely on implicitly.
 
-use memconv_gpusim::lane::{LaneMask, VF, VU, WARP};
+use memconv_gpusim::lane::{LaneMask, VF, VU};
 use memconv_gpusim::{DeviceConfig, GpuSim, LaunchConfig, PrivArray, SampleMode};
 
 #[test]
@@ -20,7 +20,12 @@ fn sld_vec_broadcast_is_one_pass_and_correct() {
             for (k, v) in vals.iter().enumerate() {
                 assert_eq!(v.lane(13), (4 + k) as f32);
             }
-            w.gst(out, &VU::from_fn(|l| l as u32), &vals[0], LaneMask::first(1));
+            w.gst(
+                out,
+                &VU::from_fn(|l| l as u32),
+                &vals[0],
+                LaneMask::first(1),
+            );
         });
     });
     // one sst pass for the fill + one pass for the whole vec4 broadcast

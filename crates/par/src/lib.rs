@@ -1,0 +1,173 @@
+//! Minimal data parallelism on `std::thread::scope`.
+//!
+//! The workspace runs fully offline, so instead of rayon this crate provides
+//! the two primitives memconv actually needs:
+//!
+//! * [`map_indexed`] — dynamically scheduled, order-preserving parallel map
+//!   over `0..n` (used by the simulator's parallel launch engine, where item
+//!   cost varies block to block);
+//! * [`for_each_chunk_mut`] — statically scheduled parallel iteration over
+//!   mutable equal-cost chunks of a slice (used by the CPU reference
+//!   convolutions, one output plane per chunk).
+//!
+//! Thread count resolution is shared: `MEMCONV_THREADS` if set and nonzero,
+//! else [`std::thread::available_parallelism`]. With one thread both
+//! primitives degrade to plain sequential loops on the caller's thread —
+//! no pool, no atomics.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads: `MEMCONV_THREADS` if set to a nonzero integer,
+/// otherwise the host's available parallelism (at least 1).
+pub fn num_threads() -> usize {
+    if let Ok(v) = std::env::var("MEMCONV_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// [`map_indexed`] with an explicit thread count.
+///
+/// Workers pull indices from a shared counter (dynamic scheduling), so
+/// uneven per-item cost still balances. The result vector is in index
+/// order regardless of completion order. A panic in `f` propagates to the
+/// caller once all workers have stopped.
+pub fn map_indexed_with<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = threads.clamp(1, n.max(1));
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut collected: Vec<(usize, R)> = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            // join() returns Err only if the worker panicked; scope exit
+            // re-raises it, so unwrap here just forwards the payload.
+            match h.join() {
+                Ok(local) => collected.extend(local),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+
+    collected.sort_unstable_by_key(|(i, _)| *i);
+    debug_assert_eq!(collected.len(), n);
+    collected.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Order-preserving parallel map of `f` over `0..n` using [`num_threads`].
+pub fn map_indexed<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    map_indexed_with(n, num_threads(), f)
+}
+
+/// Run `f(chunk_index, chunk)` over consecutive `chunk_len`-sized pieces of
+/// `data` in parallel (the final chunk may be shorter). Static round-robin
+/// assignment — chunks are assumed similar in cost.
+pub fn for_each_chunk_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be nonzero");
+    let threads = num_threads();
+    if threads <= 1 || data.len() <= chunk_len {
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+
+    let mut lanes: Vec<Vec<(usize, &mut [T])>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+        lanes[i % threads].push((i, chunk));
+    }
+
+    std::thread::scope(|scope| {
+        for lane in lanes {
+            let f = &f;
+            scope.spawn(move || {
+                for (i, chunk) in lane {
+                    f(i, chunk);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_indexed_preserves_order() {
+        for threads in [1, 2, 3, 7] {
+            let out = map_indexed_with(100, threads, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_indexed_handles_edge_sizes() {
+        assert_eq!(map_indexed_with(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(map_indexed_with(1, 4, |i| i + 10), vec![10]);
+        assert_eq!(map_indexed_with(3, 16, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn for_each_chunk_mut_touches_every_element() {
+        let mut data = vec![0u32; 1003];
+        for_each_chunk_mut(&mut data, 10, |i, chunk| {
+            for (j, v) in chunk.iter_mut().enumerate() {
+                *v = (i * 10 + j) as u32;
+            }
+        });
+        assert!(data.iter().enumerate().all(|(k, &v)| v == k as u32));
+    }
+
+    #[test]
+    fn threads_env_override_is_respected() {
+        // num_threads() reads the env each call; just sanity-check the floor.
+        assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panic_propagates() {
+        map_indexed_with(8, 2, |i| {
+            if i == 5 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+}

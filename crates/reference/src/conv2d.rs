@@ -1,7 +1,6 @@
 //! Single-channel 2D convolution references.
 
 use memconv_tensor::{Filter2D, Image2D};
-use rayon::prelude::*;
 
 /// Direct valid 2D convolution (cross-correlation): output is
 /// `(IH−FH+1) × (IW−FW+1)`.
@@ -36,15 +35,16 @@ pub fn conv2d_ref_padded(
     conv2d_ref(&padded, filter)
 }
 
-/// Rayon-parallel direct convolution for large images (identical results to
-/// [`conv2d_ref`]; per-pixel accumulation order is unchanged).
+/// Thread-parallel direct convolution for large images (identical results to
+/// [`conv2d_ref`]; per-pixel accumulation order is unchanged). One output row
+/// per parallel chunk.
 pub fn conv2d_ref_par(input: &Image2D, filter: &Filter2D) -> Image2D {
     let (ih, iw) = (input.h(), input.w());
     let (fh, fw) = (filter.fh(), filter.fw());
     assert!(ih >= fh && iw >= fw, "filter larger than input");
     let (oh, ow) = (ih - fh + 1, iw - fw + 1);
     let mut data = vec![0.0f32; oh * ow];
-    data.par_chunks_mut(ow).enumerate().for_each(|(oy, row)| {
+    memconv_par::for_each_chunk_mut(&mut data, ow, |oy, row| {
         for (ox, out) in row.iter_mut().enumerate() {
             let mut acc = 0.0f32;
             for r in 0..fh {
@@ -66,7 +66,7 @@ mod tests {
     #[test]
     fn identity_filter_reproduces_interior() {
         let img = ramp_image(6, 6);
-        let mut k = Filter2D::zeros(3, 3);
+        let k = Filter2D::zeros(3, 3);
         // delta at center
         let mut data = k.as_slice().to_vec();
         data[4] = 1.0;

@@ -3,7 +3,7 @@
 //! CPU reference implementations of every convolution variant in the
 //! workspace. These are the *ground truth* the simulated GPU kernels are
 //! validated against: simple, obviously-correct loops (with a
-//! rayon-parallel variant for large images used by the examples).
+//! thread-parallel variant for large images used by the examples).
 //!
 //! Conventions match the paper and cuDNN's cross-correlation mode: no
 //! filter flip, `valid` output `OH = IH − FH + 1` unless explicit padding

@@ -1,7 +1,6 @@
 //! Reference batched multi-channel convolution (the Fig. 4 workload).
 
 use memconv_tensor::{FilterBank, Tensor4};
-use rayon::prelude::*;
 
 /// Direct NCHW convolution: `out[n][f][oy][ox] = Σ_c Σ_r Σ_s
 /// in[n][c][oy+r][ox+s] · w[f][c][r][s]` (valid padding, unit stride).
@@ -18,7 +17,7 @@ pub fn conv_nchw_ref(input: &Tensor4, weights: &FilterBank) -> Tensor4 {
 
     let plane = oh * ow;
     let mut data = vec![0.0f32; n * fn_ * plane];
-    data.par_chunks_mut(plane).enumerate().for_each(|(nf, out)| {
+    memconv_par::for_each_chunk_mut(&mut data, plane, |nf, out| {
         let in_n = nf / fn_;
         let f = nf % fn_;
         for oy in 0..oh {

@@ -141,7 +141,13 @@ impl FilterBank {
                 got: data.len(),
             });
         }
-        Ok(FilterBank { fn_, fc, fh, fw, data })
+        Ok(FilterBank {
+            fn_,
+            fc,
+            fh,
+            fw,
+            data,
+        })
     }
 
     /// Build by evaluating `f(n, c, r, s)` at every weight.
@@ -162,7 +168,13 @@ impl FilterBank {
                 }
             }
         }
-        FilterBank { fn_, fc, fh, fw, data }
+        FilterBank {
+            fn_,
+            fc,
+            fh,
+            fw,
+            data,
+        }
     }
 
     /// Broadcast one 2D filter to every (output, input) channel pair.
@@ -232,7 +244,9 @@ mod tests {
 
     #[test]
     fn bank_indexing_layout() {
-        let b = FilterBank::from_fn(2, 3, 2, 2, |n, c, r, s| (n * 1000 + c * 100 + r * 10 + s) as f32);
+        let b = FilterBank::from_fn(2, 3, 2, 2, |n, c, r, s| {
+            (n * 1000 + c * 100 + r * 10 + s) as f32
+        });
         assert_eq!(b.get(1, 2, 1, 0), 1210.0);
         assert_eq!(b.plane(1, 2).get(1, 0), 1210.0);
         // flat layout: last index fastest

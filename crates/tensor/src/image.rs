@@ -67,7 +67,12 @@ impl Image2D {
     /// use [`Image2D::as_slice`] directly).
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f32 {
-        assert!(r < self.h && c < self.w, "pixel ({r},{c}) out of {}x{}", self.h, self.w);
+        assert!(
+            r < self.h && c < self.w,
+            "pixel ({r},{c}) out of {}x{}",
+            self.h,
+            self.w
+        );
         self.data[r * self.w + c]
     }
 
@@ -145,7 +150,10 @@ mod tests {
         assert!(Image2D::from_vec(2, 3, vec![0.0; 6]).is_ok());
         assert!(matches!(
             Image2D::from_vec(2, 3, vec![0.0; 5]),
-            Err(ShapeError::DataLength { expected: 6, got: 5 })
+            Err(ShapeError::DataLength {
+                expected: 6,
+                got: 5
+            })
         ));
     }
 

@@ -43,14 +43,20 @@ pub fn read_pgm(path: &Path) -> io::Result<Image2D> {
     while tokens.len() < 4 {
         let mut line = String::new();
         if r.read_line(&mut line)? == 0 {
-            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "short PGM header"));
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "short PGM header",
+            ));
         }
         let stripped = line.split('#').next().unwrap_or("");
         tokens.extend(stripped.split_whitespace().map(str::to_string));
         header.extend_from_slice(line.as_bytes());
     }
     if tokens[0] != "P5" {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a binary PGM"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a binary PGM",
+        ));
     }
     let parse = |s: &str| {
         s.parse::<usize>()
@@ -58,7 +64,10 @@ pub fn read_pgm(path: &Path) -> io::Result<Image2D> {
     };
     let (w, h, maxv) = (parse(&tokens[1])?, parse(&tokens[2])?, parse(&tokens[3])?);
     if maxv == 0 || maxv > 255 {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "unsupported maxval"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "unsupported maxval",
+        ));
     }
     let mut bytes = vec![0u8; w * h];
     r.read_exact(&mut bytes)?;

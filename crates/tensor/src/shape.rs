@@ -1,14 +1,13 @@
 //! Convolution geometry: the arithmetic relating input, filter and output
 //! shapes, shared by every algorithm in the workspace.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Padding mode for a convolution.
 ///
 /// The paper evaluates *valid* convolution (output `IH-FH+1 × IW-FW+1`)
 /// throughout; `Same` is provided for the example applications.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Padding {
     /// No padding: output shrinks by `F-1` in each dimension.
     Valid,
@@ -65,7 +64,10 @@ impl fmt::Display for ShapeError {
                 write!(f, "`Same` padding requires odd filter dims, got {fh}x{fw}")
             }
             ShapeError::DataLength { expected, got } => {
-                write!(f, "data length {got} does not match shape product {expected}")
+                write!(
+                    f,
+                    "data length {got} does not match shape product {expected}"
+                )
             }
         }
     }
@@ -76,7 +78,7 @@ impl std::error::Error for ShapeError {}
 /// Complete geometry of one 2D (possibly multi-channel, batched)
 /// convolution, in the paper's notation: `I` input, `F` filter, `O` output;
 /// `N` batch, `C` channel, `H` height, `W` width.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ConvGeometry {
     /// Batch size (`IN`).
     pub batch: usize,
@@ -310,7 +312,9 @@ mod tests {
     #[test]
     fn mac_and_flop_counts() {
         // Table I CONV1: 128 x 1 x 28x28, 128 filters 3x3.
-        let g = ConvGeometry::nchw(128, 1, 28, 28, 128, 3, 3).validate().unwrap();
+        let g = ConvGeometry::nchw(128, 1, 28, 28, 128, 3, 3)
+            .validate()
+            .unwrap();
         let per_out = 9u64;
         assert_eq!(g.macs(), g.out_elems() as u64 * per_out);
         assert_eq!(g.flops(), 2 * g.macs());
@@ -326,9 +330,15 @@ mod tests {
 
     #[test]
     fn display_of_errors_is_informative() {
-        let e = ShapeError::ChannelMismatch { input: 3, filter: 1 };
+        let e = ShapeError::ChannelMismatch {
+            input: 3,
+            filter: 1,
+        };
         assert!(e.to_string().contains("3 channels"));
-        let e = ShapeError::DataLength { expected: 10, got: 4 };
+        let e = ShapeError::DataLength {
+            expected: 10,
+            got: 4,
+        };
         assert!(e.to_string().contains("10"));
     }
 }

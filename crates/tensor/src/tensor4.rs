@@ -171,7 +171,9 @@ mod tests {
 
     #[test]
     fn nchw_layout_w_fastest() {
-        let t = Tensor4::from_fn(2, 2, 2, 2, |n, c, y, x| (n * 1000 + c * 100 + y * 10 + x) as f32);
+        let t = Tensor4::from_fn(2, 2, 2, 2, |n, c, y, x| {
+            (n * 1000 + c * 100 + y * 10 + x) as f32
+        });
         assert_eq!(t.as_slice()[0], 0.0);
         assert_eq!(t.as_slice()[1], 1.0); // x fastest
         assert_eq!(t.as_slice()[2], 10.0); // then y
@@ -193,7 +195,9 @@ mod tests {
 
     #[test]
     fn plane_slice_matches_plane() {
-        let t = Tensor4::from_fn(2, 2, 3, 3, |n, c, y, x| (n * 100 + c * 50 + y * 3 + x) as f32);
+        let t = Tensor4::from_fn(2, 2, 3, 3, |n, c, y, x| {
+            (n * 100 + c * 50 + y * 3 + x) as f32
+        });
         assert_eq!(t.plane_slice(1, 1), t.plane(1, 1).as_slice());
     }
 

@@ -3,10 +3,9 @@
 //! filters.
 
 use memconv_tensor::ConvGeometry;
-use serde::{Deserialize, Serialize};
 
 /// One point on the Fig. 3 x-axis.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig3Point {
     /// Axis label as printed in the paper.
     pub label: &'static str,
@@ -17,11 +16,26 @@ pub struct Fig3Point {
 /// The five image sizes of Fig. 3, in paper order.
 pub fn fig3_sizes() -> Vec<Fig3Point> {
     vec![
-        Fig3Point { label: "256x256", size: 256 },
-        Fig3Point { label: "512x512", size: 512 },
-        Fig3Point { label: "1Kx1K", size: 1024 },
-        Fig3Point { label: "2Kx2K", size: 2048 },
-        Fig3Point { label: "4Kx4K", size: 4096 },
+        Fig3Point {
+            label: "256x256",
+            size: 256,
+        },
+        Fig3Point {
+            label: "512x512",
+            size: 512,
+        },
+        Fig3Point {
+            label: "1Kx1K",
+            size: 1024,
+        },
+        Fig3Point {
+            label: "2Kx2K",
+            size: 2048,
+        },
+        Fig3Point {
+            label: "4Kx4K",
+            size: 4096,
+        },
     ]
 }
 

@@ -8,10 +8,9 @@
 //! documentation).
 
 use crate::table1::LayerConfig;
-use serde::{Deserialize, Serialize};
 
 /// One named convolution layer of a published CNN.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ModelLayer {
     /// Network name.
     pub model: &'static str,

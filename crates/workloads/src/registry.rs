@@ -3,10 +3,8 @@
 //! machine-readable counterpart of the per-experiment index in
 //! `DESIGN.md`.
 
-use serde::{Deserialize, Serialize};
-
 /// One reproducible experiment.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Experiment {
     /// Paper artifact id ("Fig. 3a", "Table I", …).
     pub id: &'static str,
@@ -83,7 +81,13 @@ mod tests {
     #[test]
     fn covers_every_paper_artifact() {
         let ids: Vec<&str> = EXPERIMENTS.iter().map(|e| e.id).collect();
-        for required in ["Table I", "Fig. 3a", "Fig. 3b", "Fig. 4 (left)", "Fig. 4 (right)"] {
+        for required in [
+            "Table I",
+            "Fig. 3a",
+            "Fig. 3b",
+            "Fig. 4 (left)",
+            "Fig. 4 (right)",
+        ] {
             assert!(ids.contains(&required), "missing {required}");
         }
     }

@@ -6,10 +6,9 @@
 //! from AlexNet, VGG, ResNet and GoogLeNet.
 
 use memconv_tensor::ConvGeometry;
-use serde::{Deserialize, Serialize};
 
 /// One Table I row instantiated at a concrete channel count.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LayerConfig {
     /// Layer name (CONV1 … CONV11).
     pub name: &'static str,

@@ -39,8 +39,7 @@ fn main() {
 
         // best of the cuDNN family
         let mut sim = GpuSim::rtx2080ti();
-        let (winner, cu_out, cu_rep, _) =
-            CudnnFastest::new().run_detailed(&mut sim, &input, &bank);
+        let (winner, cu_out, cu_rep, _) = CudnnFastest::new().run_detailed(&mut sim, &input, &bank);
         assert_close(
             cu_out.as_slice(),
             want.as_slice(),
@@ -58,7 +57,11 @@ fn main() {
             layer.filter,
             t_ours * 1e6,
             t_cudnn * 1e6,
-            if t_ours < t_cudnn { "ours" } else { winner.as_str() },
+            if t_ours < t_cudnn {
+                "ours"
+            } else {
+                winner.as_str()
+            },
         );
     }
 

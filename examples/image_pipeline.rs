@@ -13,12 +13,7 @@ use memconv::prelude::*;
 use memconv::tensor::io::write_pgm_autoscale;
 use memconv::tensor::Padding;
 
-fn stage(
-    sim: &mut GpuSim,
-    name: &str,
-    img: &Image2D,
-    filt: &Filter2D,
-) -> (Image2D, f64) {
+fn stage(sim: &mut GpuSim, name: &str, img: &Image2D, filt: &Filter2D) -> (Image2D, f64) {
     // `Same` padding keeps the resolution through the pipeline, as a real
     // image-processing chain would.
     let (out, stats) = conv2d_ours_padded(sim, img, filt, Padding::Same, &OursConfig::full());

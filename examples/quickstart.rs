@@ -41,16 +41,28 @@ fn main() {
     println!("global load requests      : {:>12}", stats.gld_requests);
     println!("global load transactions  : {:>12}", stats.gld_transactions);
     println!("global store transactions : {:>12}", stats.gst_transactions);
-    println!("transactions per request  : {:>12.2}", stats.gld_transactions_per_request());
-    println!("L1 hit rate               : {:>11.1}%", stats.l1_hit_rate() * 100.0);
-    println!("L2 hit rate               : {:>11.1}%", stats.l2_hit_rate() * 100.0);
+    println!(
+        "transactions per request  : {:>12.2}",
+        stats.gld_transactions_per_request()
+    );
+    println!(
+        "L1 hit rate               : {:>11.1}%",
+        stats.l1_hit_rate() * 100.0
+    );
+    println!(
+        "L2 hit rate               : {:>11.1}%",
+        stats.l2_hit_rate() * 100.0
+    );
     println!("warp shuffles executed    : {:>12}", stats.shfl_instrs);
 
     // Compare with the naive direct kernel (Fig. 1a).
     let mut sim2 = GpuSim::rtx2080ti();
     let (_, direct) = conv2d_ours(&mut sim2, &image, &filter, &OursConfig::direct());
     println!("\n--- vs direct convolution (Fig. 1a flow) ---");
-    println!("direct load transactions  : {:>12}", direct.gld_transactions);
+    println!(
+        "direct load transactions  : {:>12}",
+        direct.gld_transactions
+    );
     println!(
         "transaction reduction     : {:>11.2}x",
         direct.gld_transactions as f64 / stats.gld_transactions as f64
@@ -59,10 +71,7 @@ fn main() {
     let dev = sim.device.clone();
     let t_ours = memconv::gpusim::launch_time(&stats, &dev).total();
     let t_direct = memconv::gpusim::launch_time(&direct, &dev).total();
-    println!(
-        "modeled speedup vs direct : {:>11.2}x",
-        t_direct / t_ours
-    );
+    println!("modeled speedup vs direct : {:>11.2}x", t_direct / t_ours);
 
     // Full profiler view (nvprof-style) of the optimized kernel.
     println!("\n{}", memconv::gpusim::Profile::new(&stats, &dev));

@@ -39,7 +39,7 @@ fn main() {
         );
 
         let dev = DeviceConfig::rtx2080ti();
-        let mut run = |name: &str, cfg: &OursConfig| {
+        let run = |name: &str, cfg: &OursConfig| {
             let mut sim = GpuSim::new(dev.clone());
             let (_, s) = conv2d_ours(&mut sim, &img, &filt, cfg);
             row(name, &s, &dev);

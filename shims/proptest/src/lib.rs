@@ -1,0 +1,450 @@
+//! Offline shim for the `proptest` 1.x API subset used by this workspace.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case prints its generated inputs (and the
+//!   attempt number, which doubles as the reproduction seed offset) and
+//!   re-raises the panic.
+//! * **Deterministic seeding.** Case `k` of test `path::name` derives its
+//!   RNG from `fnv(path::name) ^ mix(k)`, so failures reproduce exactly on
+//!   re-run — there is no environment-variable seed escape hatch.
+//! * Only the strategies this repo uses exist: primitive ranges,
+//!   `any::<T>()`, `prop_map`, `prop::collection::vec`, `prop::sample::select`.
+
+pub mod rng {
+    //! Deterministic generator used to drive strategies.
+
+    /// splitmix64-based test RNG.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Generator with the given state seed.
+        pub fn new(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform integer in `[0, n)`; `n` must be nonzero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            self.next_u64() % n
+        }
+    }
+
+    /// FNV-1a of a string — stable per-test seed base.
+    pub fn fnv(s: &str) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01B3);
+        }
+        h
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::rng::TestRng;
+    use core::fmt::Debug;
+    use core::marker::PhantomData;
+    use core::ops::Range;
+
+    /// A recipe producing random values of one type.
+    pub trait Strategy {
+        /// The produced type.
+        type Value: Clone + Debug;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform produced values with `f`.
+        fn prop_map<U: Clone + Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Result of [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U: Clone + Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            let unit = (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32;
+            self.start + unit * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            self.start + unit * (self.end - self.start)
+        }
+    }
+
+    /// Full-domain strategy returned by [`crate::arbitrary::any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(pub(crate) PhantomData<T>);
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Clone + Debug + Sized {
+        /// Draw an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            // Mix magnitudes the way kernels actually see data: mostly
+            // moderate values, occasionally tiny/huge/zero/negative-zero.
+            match rng.below(16) {
+                0 => 0.0,
+                1 => -0.0,
+                2 => f32::MIN_POSITIVE,
+                3 => 3.4e38,
+                _ => {
+                    let unit = (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32;
+                    let mag = 10f32.powi(rng.below(9) as i32 - 4);
+                    (unit * 2.0 - 1.0) * mag
+                }
+            }
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            let mag = 10f64.powi(rng.below(17) as i32 - 8);
+            (unit * 2.0 - 1.0) * mag
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` entry point.
+
+    use crate::strategy::Any;
+    use core::marker::PhantomData;
+
+    /// Strategy producing arbitrary values of `T`.
+    pub fn any<T: crate::strategy::Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! `prop::collection` — container strategies.
+
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+    use core::ops::Range;
+
+    /// Sizes accepted by [`vec`]: an exact `usize` or a `Range<usize>`.
+    pub trait IntoSizeRange {
+        /// Lower/upper (half-open) bounds.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self + 1)
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (self.start, self.end)
+        }
+    }
+
+    /// Strategy for `Vec`s whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (lo, hi) = size.bounds();
+        assert!(lo < hi, "empty vec size range");
+        VecStrategy { element, lo, hi }
+    }
+
+    /// Result of [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        lo: usize,
+        hi: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.lo + rng.below((self.hi - self.lo) as u64) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! `prop::sample` — choosing among explicit alternatives.
+
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+    use core::fmt::Debug;
+
+    /// Strategy drawing uniformly from the given non-empty list.
+    pub fn select<T: Clone + Debug>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select from empty list");
+        Select { options }
+    }
+
+    /// Result of [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone + Debug> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len() as u64) as usize].clone()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Runner configuration.
+
+    /// Subset of upstream `ProptestConfig`: only the case count.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of accepted (non-`prop_assume`-rejected) cases to run.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Upstream defaults to 256; 64 keeps the simulator-heavy suites
+            // tractable on small CI hosts while still exploring broadly.
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+/// `prop::` namespace, mirroring upstream's re-export layout.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+/// Everything a test file needs.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Assert inside a proptest body (plain `assert!` semantics here).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Reject the current case (it is regenerated, not counted).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return false;
+        }
+    };
+}
+
+/// Define property tests. Supports the two upstream forms used here:
+/// with and without a leading `#![proptest_config(...)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg); $($rest)*);
+    };
+    (@impl ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let __seed = $crate::rng::fnv(concat!(module_path!(), "::", stringify!($name)));
+            let mut __accepted = 0u32;
+            let mut __attempts = 0u32;
+            let __max_attempts = __cfg.cases.saturating_mul(16).max(16);
+            while __accepted < __cfg.cases && __attempts < __max_attempts {
+                __attempts += 1;
+                let mut __rng = $crate::rng::TestRng::new(
+                    __seed ^ (__attempts as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+                let __desc = {
+                    let mut __s = String::new();
+                    $(__s.push_str(&format!(concat!(stringify!($arg), " = {:?}; "), &$arg));)*
+                    __s
+                };
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(move || -> bool {
+                        { $body };
+                        true
+                    }),
+                );
+                match __outcome {
+                    Ok(true) => __accepted += 1,
+                    Ok(false) => {} // prop_assume! rejected; try another case
+                    Err(__e) => {
+                        eprintln!(
+                            "proptest {} failed at attempt {} with inputs: {}",
+                            stringify!($name), __attempts, __desc
+                        );
+                        ::std::panic::resume_unwind(__e);
+                    }
+                }
+            }
+            assert!(
+                __accepted >= __cfg.cases,
+                "proptest {}: only {}/{} cases accepted after {} attempts \
+                 (prop_assume! rejects too much)",
+                stringify!($name), __accepted, __cfg.cases, __attempts
+            );
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @impl ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        );
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in -4i32..9, z in 0usize..1) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-4..9).contains(&y));
+            prop_assert_eq!(z, 0);
+        }
+
+        #[test]
+        fn vec_sizes_respected(v in prop::collection::vec(0u32..10, 5usize),
+                               w in prop::collection::vec(any::<f32>(), 1usize..4)) {
+            prop_assert_eq!(v.len(), 5);
+            prop_assert!((1..4).contains(&w.len()));
+            prop_assert!(v.iter().all(|&e| e < 10));
+        }
+
+        #[test]
+        fn select_picks_from_list(f in prop::sample::select(vec![3usize, 5, 7])) {
+            prop_assert!([3, 5, 7].contains(&f));
+        }
+
+        #[test]
+        fn prop_map_applies(m in (0u32..4).prop_map(|v| v * 10)) {
+            prop_assert!(m % 10 == 0 && m < 40);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Assume-rejection regenerates instead of counting.
+        #[test]
+        fn assume_rejects(a in 0u32..100) {
+            prop_assume!(a >= 50);
+            prop_assert!(a >= 50);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut r1 = crate::rng::TestRng::new(crate::rng::fnv("t"));
+        let mut r2 = crate::rng::TestRng::new(crate::rng::fnv("t"));
+        for _ in 0..100 {
+            assert_eq!(r1.next_u64(), r2.next_u64());
+        }
+    }
+}

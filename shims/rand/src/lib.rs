@@ -1,0 +1,185 @@
+//! Offline shim for the `rand` 0.8 API subset used by this workspace.
+//!
+//! Implements `rngs::StdRng`, `SeedableRng::seed_from_u64` and
+//! `Rng::{gen, gen_range}` over the primitive types the workspace samples.
+//! The generator core is splitmix64 — deterministic, seed-stable, and easily
+//! good enough for test-data generation (this shim is never used for
+//! cryptography or statistics). Streams differ from upstream `rand`, so any
+//! golden data derived from seeds was regenerated when the shim was adopted.
+
+/// Low-level 64-bit generator interface.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seeding interface (only the `u64` entry point is used in this repo).
+pub trait SeedableRng: Sized {
+    /// Construct deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a half-open range.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Uniform sample in `[lo, hi)`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                // Modulo bias is ≤ span/2^64 — irrelevant for test data.
+                let off = (rng.next_u64() as u128) % span;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f32 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "gen_range: empty range");
+        // 24 mantissa bits → uniform in [0, 1) with exact endpoints.
+        let unit = (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32;
+        lo + unit * (hi - lo)
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "gen_range: empty range");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+}
+
+/// Types producible by `Rng::gen` (the `Standard` distribution analog).
+pub trait Standard {
+    /// Sample one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        f32::sample_range(rng, 0.0, 1.0)
+    }
+}
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        f64::sample_range(rng, 0.0, 1.0)
+    }
+}
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a half-open range.
+    fn gen_range<T: SampleUniform>(&mut self, range: core::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, range.start, range.end)
+    }
+
+    /// Sample from the standard distribution of `T`.
+    #[allow(clippy::should_implement_trait)] // name fixed by the upstream rand API
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator (splitmix64 core).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // splitmix64 (Steele, Lea, Flood 2014).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        let mut c = StdRng::seed_from_u64(2);
+        let (xa, xb, xc): (u64, u64, u64) = (a.gen(), b.gen(), c.gen());
+        assert_eq!(xa, xb);
+        assert_ne!(xa, xc);
+    }
+
+    #[test]
+    fn float_ranges_are_half_open() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v: f32 = r.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn int_ranges_cover_and_stay_inside() {
+        let mut r = StdRng::seed_from_u64(4);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            let v = r.gen_range(0usize..8);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..1000 {
+            let v = r.gen_range(-5i32..5);
+            assert!((-5..5).contains(&v));
+        }
+    }
+}

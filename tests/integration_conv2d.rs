@@ -40,7 +40,11 @@ fn all_algorithms_match_reference_3x3() {
             1e-3,
             &format!("algorithm `{}` 3x3", algo.name()),
         );
-        assert!(rep.global_transactions() > 0, "{} counted nothing", algo.name());
+        assert!(
+            rep.global_transactions() > 0,
+            "{} counted nothing",
+            algo.name()
+        );
     }
 }
 
@@ -76,7 +80,13 @@ fn cudnn_fastest_matches_reference_and_beats_family_members() {
     let t = Tensor4::from_image(&img);
     let bank = FilterBank::broadcast(&filt, 1, 1);
     let (winner, out, rep, times) = CudnnFastest::new().run_detailed(&mut sim, &t, &bank);
-    assert_close(out.plane(0, 0).as_slice(), want.as_slice(), 1e-3, 1e-3, &winner);
+    assert_close(
+        out.plane(0, 0).as_slice(),
+        want.as_slice(),
+        1e-3,
+        1e-3,
+        &winner,
+    );
     let winner_time = rep.modeled_time(&sim.device);
     for (name, t) in &times {
         assert!(

@@ -15,7 +15,8 @@ fn same_padded_pipeline_preserves_resolution() {
     let mut sim = GpuSim::new(DeviceConfig::test_tiny());
     for f in [3usize, 5, 3] {
         let filt = TensorRng::new(f as u64).filter(f, f);
-        let (next, _) = conv2d_ours_padded(&mut sim, &cur, &filt, Padding::Same, &OursConfig::full());
+        let (next, _) =
+            conv2d_ours_padded(&mut sim, &cur, &filt, Padding::Same, &OursConfig::full());
         assert_eq!((next.h(), next.w()), (96, 96), "resolution preserved");
         cur = next;
     }
@@ -29,7 +30,8 @@ fn padded_matches_reference_on_every_config() {
         let filt = rng.filter(f, f);
         let want = conv2d_ref_padded(&img, &filt, (f - 1) / 2, (f - 1) / 2);
         let mut sim = GpuSim::new(DeviceConfig::test_tiny());
-        let (out, _) = conv2d_ours_padded(&mut sim, &img, &filt, Padding::Same, &OursConfig::full());
+        let (out, _) =
+            conv2d_ours_padded(&mut sim, &img, &filt, Padding::Same, &OursConfig::full());
         assert_eq!(out.as_slice(), want.as_slice(), "{h}x{w} f={f}");
     }
 }
@@ -79,11 +81,7 @@ fn tuner_beats_or_matches_the_worst_candidate() {
         .iter()
         .map(|&(_, _, t)| t)
         .fold(f64::INFINITY, f64::min);
-    let worst_t = rep
-        .trials
-        .iter()
-        .map(|&(_, _, t)| t)
-        .fold(0.0f64, f64::max);
+    let worst_t = rep.trials.iter().map(|&(_, _, t)| t).fold(0.0f64, f64::max);
     assert!(worst_t > best_t, "grid must discriminate configs");
     let (r, w, _) = rep
         .trials

@@ -43,8 +43,22 @@ fn row_reuse_approaches_single_read_per_row() {
     let filt = rng.filter(5, 5);
     // With T output rows per thread, each input row is read
     // (T + FH − 1) / T times instead of FH times.
-    let t1 = ours_stats(&img, &filt, &OursConfig { rows_per_thread: 1, ..OursConfig::full() });
-    let t8 = ours_stats(&img, &filt, &OursConfig { rows_per_thread: 8, ..OursConfig::full() });
+    let t1 = ours_stats(
+        &img,
+        &filt,
+        &OursConfig {
+            rows_per_thread: 1,
+            ..OursConfig::full()
+        },
+    );
+    let t8 = ours_stats(
+        &img,
+        &filt,
+        &OursConfig {
+            rows_per_thread: 8,
+            ..OursConfig::full()
+        },
+    );
     let ratio = t1.gld_requests as f64 / t8.gld_requests as f64;
     // 5 / (12/8) = 3.33 expected improvement in row reads
     assert!(
@@ -82,12 +96,7 @@ fn ours_beats_im2col_traffic_by_filter_area_scale() {
     let ours = ours_stats(&img, &filt, &OursConfig::full());
 
     let mut sim = GpuSim::rtx2080ti();
-    let (_, rep) = Conv2dAlgorithm::run(
-        &As2d(Im2colGemm::caffe()),
-        &mut sim,
-        &img,
-        &filt,
-    );
+    let (_, rep) = Conv2dAlgorithm::run(&As2d(Im2colGemm::caffe()), &mut sim, &img, &filt);
     let caffe = rep.totals();
     let ratio = (caffe.gld_transactions + caffe.gst_transactions) as f64
         / (ours.gld_transactions + ours.gst_transactions) as f64;
@@ -124,7 +133,10 @@ fn modeled_time_ranks_ours_fastest_at_1k() {
     // test-suite friendly; the rank order is the paper's headline.
     let img = memconv::tensor::generate::synthetic_photo(1024, 1024, 7);
     let filt = Filter2D::box_blur(3);
-    let sample = SampleMode::Chunked { chunk: 64, skip: 16 };
+    let sample = SampleMode::Chunked {
+        chunk: 64,
+        skip: 16,
+    };
 
     let time_of = |algo: &dyn Conv2dAlgorithm| -> f64 {
         let mut sim = GpuSim::rtx2080ti();
