@@ -179,8 +179,8 @@ mod tests {
         assert_eq!(dyn_stats.gld_requests, ours_stats.gld_requests);
         // …but the dynamic variant pays heavy local-memory traffic while
         // Algorithm 1 pays none.
-        assert_eq!(ours_stats.local_transactions, 0);
-        assert!(dyn_stats.local_transactions > dyn_stats.gld_transactions);
+        assert_eq!(ours_stats.local_transactions(), 0);
+        assert!(dyn_stats.local_transactions() > dyn_stats.gld_transactions);
         let _ = Ours::new();
     }
 
@@ -188,5 +188,26 @@ mod tests {
     fn rejects_oversized_filters() {
         assert!(!ShuffleDynamic::new().supports(9, 9));
         assert!(ShuffleDynamic::new().supports(5, 5));
+    }
+
+    #[test]
+    fn hazard_analyzer_flags_the_dynamic_index_here() {
+        // This baseline exists to be caught: the analyzer must attribute a
+        // dynamic-index hazard to the `itemp.get_dyn` call in this file.
+        use memconv_gpusim::{HazardPass, Severity};
+        let mut rng = TensorRng::new(43);
+        let img = rng.image(12, 40);
+        let k = rng.filter(3, 3);
+        let mut sim = GpuSim::new(DeviceConfig::test_tiny());
+        sim.set_analysis(Some(Default::default()));
+        let _ = ShuffleDynamic::new().run(&mut sim, &img, &k);
+        let report = sim.take_hazard_report().expect("analysis enabled");
+        let hits: Vec<_> = report.by_pass(HazardPass::DynamicIndex).collect();
+        assert_eq!(hits.len(), 1, "exactly the get_dyn site:\n{report}");
+        assert_eq!(hits[0].severity, Severity::Error);
+        assert_eq!(hits[0].site.file_name(), "shuffle_dynamic.rs");
+        // The statically indexed `itemp.set`/`get` sites on the same local
+        // array are reported as promotion-candidate warnings, not errors.
+        assert!(report.by_pass(HazardPass::LocalResidency).next().is_some());
     }
 }

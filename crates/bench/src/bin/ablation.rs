@@ -6,9 +6,17 @@
 //! cargo run --release -p memconv-bench --bin ablation -- column  # Fig. 1
 //! cargo run --release -p memconv-bench --bin ablation -- row     # Fig. 2 / Alg. 2
 //! cargo run --release -p memconv-bench --bin ablation -- full    # everything
+//! cargo run --release -p memconv-bench --bin ablation -- --analyze --gate
 //! ```
+//!
+//! `--analyze` runs the hazard analyzer over every first-party kernel
+//! variant plus the dynamic-index strawman; with `--gate` the process exits
+//! non-zero unless all optimized kernels are hazard-free **and** the
+//! strawman's dynamic index is caught (the allow-listed positive control) —
+//! the CI guard against silently reintroducing the costs the paper removes.
 
 use memconv::core::ColumnPlan;
+use memconv::gpusim::hazard_table;
 use memconv::prelude::*;
 use memconv_bench::harness_sample;
 
@@ -82,7 +90,7 @@ fn full_study(img: &Image2D) {
                 "{:<24} {:>12} {:>12} {:>10} {:>9.1}",
                 name,
                 s.gld_transactions,
-                s.local_transactions,
+                s.local_transactions(),
                 s.shfl_instrs,
                 memconv::gpusim::launch_time(s, &dev).total() * 1e6
             );
@@ -108,8 +116,103 @@ fn full_study(img: &Image2D) {
     }
 }
 
+/// Analyze one first-party variant (must come back clean). Returns `true`
+/// on failure.
+fn expect_clean(name: &str, report: &HazardReport) -> bool {
+    if report.is_clean() {
+        println!(
+            "{:<22} clean ({} sites, {} blocks)",
+            name, report.sites_analyzed, report.blocks_analyzed
+        );
+        false
+    } else {
+        println!("{name:<22} HAZARDS:");
+        print!("{}", hazard_table(report));
+        true
+    }
+}
+
+/// The hazard-analysis study behind `--analyze` / `--gate`: every ours
+/// variant (2D ablation rungs and the fused NCHW kernel) must analyze
+/// clean, and the Fig. 1b strawman must be *caught* — it is allow-listed
+/// (its hazards don't fail the gate) but a missed detection does.
+fn analyze_study(gate: bool) {
+    println!(
+        "\n--- hazard analysis ({} mode) ---",
+        if gate { "gate" } else { "report" }
+    );
+    let img = TensorRng::new(77).image(96, 96);
+    let mut failed = false;
+
+    let variants: [(&str, OursConfig); 4] = [
+        ("direct", OursConfig::direct()),
+        ("column-reuse (Alg. 1)", OursConfig::column_only()),
+        ("row-reuse (Alg. 2)", OursConfig::row_only()),
+        ("fused (ours)", OursConfig::full()),
+    ];
+    for (name, cfg) in variants {
+        let mut sim = GpuSim::rtx2080ti();
+        sim.set_analysis(Some(AnalysisConfig::default()));
+        for f in [3usize, 5] {
+            let filt = TensorRng::new(f as u64).filter(f, f);
+            let _ = conv2d_ours(&mut sim, &img, &filt, &cfg);
+        }
+        let report = sim.take_hazard_report().expect("analysis enabled");
+        failed |= expect_clean(name, &report);
+    }
+
+    {
+        let mut sim = GpuSim::rtx2080ti();
+        sim.set_analysis(Some(AnalysisConfig::default()));
+        let input = TensorRng::new(11).tensor(2, 3, 48, 48);
+        let weights = TensorRng::new(12).filter_bank(4, 3, 3, 3);
+        let _ = conv_nchw_ours(&mut sim, &input, &weights, &OursConfig::full());
+        let report = sim.take_hazard_report().expect("analysis enabled");
+        failed |= expect_clean("fused NCHW", &report);
+    }
+
+    {
+        let mut sim = GpuSim::rtx2080ti();
+        sim.set_analysis(Some(AnalysisConfig::default()));
+        let filt = TensorRng::new(3).filter(3, 3);
+        let _ = ShuffleDynamic::new().run(&mut sim, &img, &filt);
+        let report = sim.take_hazard_report().expect("analysis enabled");
+        let caught = report.by_pass(HazardPass::DynamicIndex).count();
+        if caught > 0 {
+            println!(
+                "{:<22} {} dynamic-index hazard(s) caught — intentional, allow-listed",
+                "shuffle-dynamic", caught
+            );
+        } else {
+            println!(
+                "{:<22} MISSED: the dynamic index was not flagged",
+                "shuffle-dynamic"
+            );
+            failed = true;
+        }
+    }
+
+    if failed {
+        println!("\nhazard gate: FAIL");
+        if gate {
+            std::process::exit(1);
+        }
+    } else {
+        println!("\nhazard gate: PASS");
+    }
+}
+
 fn main() {
-    let mode = std::env::args().nth(1).unwrap_or_else(|| "full".into());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--analyze") {
+        analyze_study(args.iter().any(|a| a == "--gate"));
+        return;
+    }
+    let mode = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "full".into());
     let img = TensorRng::new(2020).image(512, 512);
     println!("workload: single-channel {}x{} image", img.h(), img.w());
     match mode.as_str() {

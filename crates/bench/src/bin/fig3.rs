@@ -11,11 +11,14 @@
 //!
 //! `--mode parallel` runs every simulation on the multicore trace-replay
 //! engine (results are bit-identical to sequential); `--json` appends one
-//! throughput record per panel to `BENCH_sim.json`.
+//! throughput record per panel to `BENCH_sim.json`; `--analyze` prints a
+//! hazard-analysis verdict per algorithm (informational — the enforcing
+//! gate lives in the `ablation` binary).
 
 use memconv::prelude::*;
 use memconv_bench::{
-    append_bench_json, apply_harness_flags, harness_sample, mean, run_2d, AlgoResult, BenchRecord,
+    append_bench_json, apply_harness_flags, harness_sample, mean, print_hazards, run_2d,
+    AlgoResult, BenchRecord,
 };
 use std::time::Instant;
 
@@ -76,6 +79,9 @@ fn main() {
             ];
 
             panel_blocks += base.sim_blocks + contenders.iter().map(|c| c.sim_blocks).sum::<u64>();
+            for r in std::iter::once(&base).chain(&contenders) {
+                print_hazards(r);
+            }
             print!("{:<10}", point.label);
             for (i, c) in contenders.iter().enumerate() {
                 let s = base.time / c.time;

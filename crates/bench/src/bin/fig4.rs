@@ -11,7 +11,9 @@
 //!
 //! `--mode parallel` runs every simulation on the multicore trace-replay
 //! engine (results are bit-identical to sequential); `--json` appends one
-//! throughput record per panel to `BENCH_sim.json`.
+//! throughput record per panel to `BENCH_sim.json`; `--analyze` prints a
+//! hazard-analysis verdict for the GEMM baseline and ours per layer
+//! (informational — the enforcing gate lives in the `ablation` binary).
 //!
 //! Layers whose full-batch output exceeds host memory are run at a reduced
 //! batch (marked `*`); speedup ratios are batch-insensitive once the
@@ -20,8 +22,8 @@
 use memconv::baselines::cudnn::cudnn_family;
 use memconv::prelude::*;
 use memconv_bench::{
-    append_bench_json, apply_harness_flags, capped_batch, harness_sample, mean, run_nchw,
-    BenchRecord,
+    append_bench_json, apply_harness_flags, capped_batch, harness_sample, mean, print_hazards,
+    run_nchw, BenchRecord,
 };
 use std::time::Instant;
 
@@ -104,6 +106,8 @@ fn main() {
             panel_blocks += base.sim_blocks + ours.sim_blocks;
             let s_ours = base.time / ours.time;
             println!(" {:>8.1}", s_ours);
+            print_hazards(&base);
+            print_hazards(&ours);
             ours_speedups.push(s_ours);
             best_cudnn_speedups.push(best_cudnn);
         }

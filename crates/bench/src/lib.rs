@@ -35,9 +35,23 @@ pub fn harness_launch_mode() -> LaunchMode {
     }
 }
 
-/// A fresh RTX 2080 Ti simulator configured with the harness launch mode.
+/// Whether harness simulators record hazard analysis
+/// (`MEMCONV_ANALYZE=1`, set by the `--analyze` flag).
+pub fn harness_analyze() -> bool {
+    matches!(
+        std::env::var("MEMCONV_ANALYZE").as_deref(),
+        Ok("1") | Ok("true")
+    )
+}
+
+/// A fresh RTX 2080 Ti simulator configured with the harness launch mode
+/// (and the hazard analyzer, when `--analyze` is in effect).
 pub fn harness_sim() -> GpuSim {
-    GpuSim::rtx2080ti().with_launch_mode(harness_launch_mode())
+    let mut sim = GpuSim::rtx2080ti().with_launch_mode(harness_launch_mode());
+    if harness_analyze() {
+        sim.set_analysis(Some(AnalysisConfig::default()));
+    }
+    sim
 }
 
 /// Result of one algorithm on one workload.
@@ -54,6 +68,8 @@ pub struct AlgoResult {
     /// Thread blocks actually simulated (pre-extrapolation), summed over
     /// launches — the unit of simulator throughput.
     pub sim_blocks: u64,
+    /// Hazard report drained after the run; `Some` only under `--analyze`.
+    pub hazards: Option<HazardReport>,
 }
 
 impl AlgoResult {
@@ -65,6 +81,7 @@ impl AlgoResult {
             transactions: rep.global_transactions(),
             launches: rep.launches.len(),
             sim_blocks: rep.launches.iter().map(|(_, s)| s.sim_blocks).sum(),
+            hazards: None,
         }
     }
 }
@@ -73,14 +90,38 @@ impl AlgoResult {
 pub fn run_2d(algo: &dyn Conv2dAlgorithm, img: &Image2D, filt: &Filter2D) -> AlgoResult {
     let mut sim = harness_sim();
     let (_, rep) = algo.run(&mut sim, img, filt);
-    AlgoResult::from_report(algo.name(), &rep, &sim.device)
+    let mut r = AlgoResult::from_report(algo.name(), &rep, &sim.device);
+    r.hazards = sim.take_hazard_report();
+    r
 }
 
 /// Run an NCHW algorithm on a fresh simulator and summarize.
 pub fn run_nchw(algo: &dyn ConvNchwAlgorithm, input: &Tensor4, weights: &FilterBank) -> AlgoResult {
     let mut sim = harness_sim();
     let (_, rep) = algo.run(&mut sim, input, weights);
-    AlgoResult::from_report(algo.name(), &rep, &sim.device)
+    let mut r = AlgoResult::from_report(algo.name(), &rep, &sim.device);
+    r.hazards = sim.take_hazard_report();
+    r
+}
+
+/// One-line (or, when dirty, full-table) hazard verdict for a result —
+/// figure harnesses call this per algorithm under `--analyze`.
+pub fn print_hazards(r: &AlgoResult) {
+    let Some(rep) = &r.hazards else { return };
+    if rep.is_clean() {
+        println!(
+            "  [analyze] {}: clean ({} sites, {} blocks)",
+            r.name, rep.sites_analyzed, rep.blocks_analyzed
+        );
+    } else {
+        println!(
+            "  [analyze] {}: {} error(s), {} warning(s)",
+            r.name,
+            rep.errors(),
+            rep.warnings()
+        );
+        print!("{}", memconv::gpusim::hazard_table(rep));
+    }
 }
 
 /// One simulator-throughput measurement emitted by a figure harness under
@@ -154,9 +195,11 @@ pub fn append_bench_json(path: &str, records: &[BenchRecord]) -> std::io::Result
     std::fs::write(path, format!("[\n  {}\n]\n", items.join(",\n  ")))
 }
 
-/// Shared `--mode` / `--json` flag handling for the figure harnesses:
-/// `--mode parallel|sequential` overrides `MEMCONV_LAUNCH_MODE`; returns
-/// whether `--json` was passed (emit [`BenchRecord`]s to `BENCH_sim.json`).
+/// Shared `--mode` / `--json` / `--analyze` flag handling for the figure
+/// harnesses: `--mode parallel|sequential` overrides `MEMCONV_LAUNCH_MODE`,
+/// `--analyze` turns on hazard analysis for every harness simulator (one
+/// verdict line per algorithm; counters are unchanged); returns whether
+/// `--json` was passed (emit [`BenchRecord`]s to `BENCH_sim.json`).
 pub fn apply_harness_flags() -> bool {
     let args: Vec<String> = std::env::args().collect();
     if let Some(mode) = args
@@ -165,6 +208,9 @@ pub fn apply_harness_flags() -> bool {
         .and_then(|i| args.get(i + 1))
     {
         std::env::set_var("MEMCONV_LAUNCH_MODE", mode);
+    }
+    if args.iter().any(|a| a == "--analyze") {
+        std::env::set_var("MEMCONV_ANALYZE", "1");
     }
     args.iter().any(|a| a == "--json")
 }

@@ -229,7 +229,7 @@ mod tests {
             let _ = load_row_columns(w, buf, 0, 40, &plan);
         });
         assert_eq!(stats.local_requests, 0);
-        assert_eq!(stats.local_transactions, 0);
+        assert_eq!(stats.local_transactions(), 0);
     }
 
     #[test]

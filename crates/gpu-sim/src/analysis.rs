@@ -1,0 +1,1034 @@
+//! Kernel hazard analysis: lint passes over one recorded execution.
+//!
+//! The paper's optimizations are justified by *statically knowable* access
+//! properties — register promotability (§IV, Algorithm 1 exists solely so
+//! the exchange buffer never spills to local memory), coalescing quality
+//! (§II-B), and bank behavior. The simulator counts those costs; this module
+//! *checks* them, so reintroducing a dynamic index, an uncoalesced load, or
+//! a barrier-free shared-memory race fails CI instead of surfacing as a
+//! silent perf regression.
+//!
+//! ## One recorded run as the program under analysis
+//!
+//! Kernels in this simulator are structurally deterministic: control flow
+//! and every address computation depend only on the launch geometry and on
+//! buffer *shapes*, never on floating-point data values. A single abstract
+//! execution therefore visits exactly the set of instruction sites and
+//! address patterns any execution would, which makes the recorded run a
+//! faithful program representation — the same observation that lets
+//! GPU race checkers like `compute-sanitizer` analyze one launch.
+//!
+//! Every instrumented instruction ([`crate::exec::WarpCtx`] accessors and
+//! [`crate::priv_array::PrivArray`] accessors) is attributed to a stable
+//! [`SiteId`] — the kernel source `file:line:column` captured through
+//! `#[track_caller]` — and aggregated per `(site, access class)`. The lint
+//! passes ([`HazardPass`]) then run over the aggregate:
+//!
+//! * **DynamicIndex** — a `PrivArray` `_dyn` accessor executed: the array
+//!   cannot be register-allocated and its traffic hits local memory.
+//! * **LocalResidency** — a local-resident array was only ever statically
+//!   indexed: it is promotable to registers for free.
+//! * **SharedRace** — two threads touched the same shared-memory word in
+//!   the same barrier epoch, at least one writing.
+//! * **Coalescing** — a global access site's sectors-per-request exceeds a
+//!   configurable multiple of the ideal for its active footprint.
+//! * **BankConflict** — a shared access site's average serialized passes
+//!   per access exceeds a configurable threshold.
+//! * **OutOfBounds** — an *active* lane addressed past the end of its
+//!   buffer (in analysis mode the access is reported and suppressed,
+//!   compute-sanitizer-style, instead of panicking).
+//!
+//! Results surface as a structured [`HazardReport`] via
+//! [`crate::exec::GpuSim::analyze`].
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+use std::panic::Location;
+
+/// Stable source location of one instrumented instruction site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SiteId {
+    /// Source file of the call site (as `file!()` would report it).
+    pub file: &'static str,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub column: u32,
+}
+
+impl SiteId {
+    /// The caller's location. Call only from `#[track_caller]` functions so
+    /// the location propagates to the kernel source line.
+    #[track_caller]
+    pub fn caller() -> SiteId {
+        let loc = Location::caller();
+        SiteId {
+            file: loc.file(),
+            line: loc.line(),
+            column: loc.column(),
+        }
+    }
+
+    /// Trailing path component of [`SiteId::file`] (for compact display).
+    pub fn file_name(&self) -> &'static str {
+        self.file.rsplit(['/', '\\']).next().unwrap_or(self.file)
+    }
+}
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:{}", self.file_name(), self.line, self.column)
+    }
+}
+
+/// The instruction class an instrumented site belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AccessClass {
+    /// `WarpCtx::gld`.
+    GlobalLoad,
+    /// `WarpCtx::gst`.
+    GlobalStore,
+    /// `WarpCtx::sld` / `sld_vec`.
+    SharedLoad,
+    /// `WarpCtx::sst`.
+    SharedStore,
+    /// `PrivArray` read routed through local memory.
+    LocalLoad,
+    /// `PrivArray` write routed through local memory.
+    LocalStore,
+    /// Any `WarpCtx::shfl_*` variant.
+    Shuffle,
+}
+
+impl fmt::Display for AccessClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AccessClass::GlobalLoad => "gld",
+            AccessClass::GlobalStore => "gst",
+            AccessClass::SharedLoad => "sld",
+            AccessClass::SharedStore => "sst",
+            AccessClass::LocalLoad => "local.ld",
+            AccessClass::LocalStore => "local.st",
+            AccessClass::Shuffle => "shfl",
+        })
+    }
+}
+
+/// Aggregate counters for one `(site, class)` pair.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SiteAgg {
+    /// Warp-level requests issued from this site.
+    pub requests: u64,
+    /// Transactions: 32 B sectors for global/local, serialized bank passes
+    /// for shared. Zero for shuffles.
+    pub transactions: u64,
+    /// Sum over requests of the minimal transaction count for the active
+    /// footprint (global classes only).
+    pub ideal_transactions: u64,
+    /// Total active lanes across requests.
+    pub active_lanes: u64,
+    /// Active lanes whose index was out of bounds for the target buffer.
+    pub oob_lanes: u64,
+    /// Requests issued through a dynamically indexed (`_dyn`) accessor
+    /// (local classes only).
+    pub dynamic_requests: u64,
+    /// Worst single-request transaction/pass count.
+    pub max_degree: u64,
+}
+
+impl SiteAgg {
+    fn absorb(&mut self, other: &SiteAgg) {
+        self.requests += other.requests;
+        self.transactions += other.transactions;
+        self.ideal_transactions += other.ideal_transactions;
+        self.active_lanes += other.active_lanes;
+        self.oob_lanes += other.oob_lanes;
+        self.dynamic_requests += other.dynamic_requests;
+        self.max_degree = self.max_degree.max(other.max_degree);
+    }
+}
+
+/// How two threads collided on a shared-memory word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RaceKind {
+    /// A thread read a word another thread wrote in the same epoch.
+    WriteRead,
+    /// Two threads wrote the same word in the same epoch.
+    WriteWrite,
+    /// A thread wrote a word another thread read earlier in the same epoch.
+    ReadWrite,
+}
+
+impl fmt::Display for RaceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RaceKind::WriteRead => "write-read",
+            RaceKind::WriteWrite => "write-write",
+            RaceKind::ReadWrite => "read-write",
+        })
+    }
+}
+
+/// One detected shared-memory race (representative occurrence; races are
+/// deduplicated per `(kind, first site, second site)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RaceEvent {
+    /// Collision flavor.
+    pub kind: RaceKind,
+    /// Site of the earlier conflicting access.
+    pub first_site: SiteId,
+    /// Site of the later access that completed the race.
+    pub second_site: SiteId,
+    /// Shared-memory word index.
+    pub word: u32,
+    /// Barrier epoch (number of `barrier()` calls before the collision).
+    pub epoch: u32,
+    /// Linear id of the block the race occurred in.
+    pub block: u64,
+}
+
+type RaceKey = (RaceKind, SiteId, SiteId);
+
+/// Epoch sentinel: "never accessed".
+const NEVER: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct WordState {
+    write_epoch: u32,
+    write_thread: u32,
+    write_site: SiteId,
+    read_epoch: u32,
+    read_thread: u32,
+    read_multi: bool,
+    read_site: SiteId,
+}
+
+const NO_SITE: SiteId = SiteId {
+    file: "",
+    line: 0,
+    column: 0,
+};
+
+impl Default for WordState {
+    fn default() -> Self {
+        WordState {
+            write_epoch: NEVER,
+            write_thread: 0,
+            write_site: NO_SITE,
+            read_epoch: NEVER,
+            read_thread: 0,
+            read_multi: false,
+            read_site: NO_SITE,
+        }
+    }
+}
+
+/// Cap on distinct race reports retained per launch (dedup key space).
+const MAX_RACES: usize = 64;
+
+/// Per-block event collector. Threaded through `Resources` during an
+/// analyzed launch; merged into the launch-wide [`LaunchCollector`] in
+/// block-linear order so reports are deterministic and independent of
+/// [`crate::exec::LaunchMode`].
+#[derive(Debug, Default)]
+pub(crate) struct BlockCollector {
+    block: u64,
+    epoch: u32,
+    sites: BTreeMap<(SiteId, AccessClass), SiteAgg>,
+    words: HashMap<u32, WordState>,
+    races: Vec<RaceEvent>,
+    race_keys: HashSet<RaceKey>,
+    race_total: u64,
+}
+
+impl BlockCollector {
+    pub(crate) fn new(block: u64) -> Self {
+        BlockCollector {
+            block,
+            ..Default::default()
+        }
+    }
+
+    /// A `BlockCtx::barrier` executed: start a new epoch. Epoch tracking is
+    /// per block, matching `__syncthreads()` scope.
+    pub(crate) fn barrier(&mut self) {
+        assert!(self.epoch < NEVER - 1, "barrier epoch overflow");
+        self.epoch += 1;
+    }
+
+    fn agg(&mut self, site: SiteId, class: AccessClass) -> &mut SiteAgg {
+        self.sites.entry((site, class)).or_default()
+    }
+
+    pub(crate) fn record_global(
+        &mut self,
+        site: SiteId,
+        is_store: bool,
+        active: u64,
+        txns: u64,
+        ideal: u64,
+        oob: u64,
+    ) {
+        let class = if is_store {
+            AccessClass::GlobalStore
+        } else {
+            AccessClass::GlobalLoad
+        };
+        let a = self.agg(site, class);
+        a.requests += 1;
+        a.transactions += txns;
+        a.ideal_transactions += ideal;
+        a.active_lanes += active;
+        a.oob_lanes += oob;
+        a.max_degree = a.max_degree.max(txns);
+    }
+
+    pub(crate) fn record_local(
+        &mut self,
+        site: SiteId,
+        is_store: bool,
+        active: u64,
+        txns: u64,
+        dynamic: bool,
+    ) {
+        let class = if is_store {
+            AccessClass::LocalStore
+        } else {
+            AccessClass::LocalLoad
+        };
+        let a = self.agg(site, class);
+        a.requests += 1;
+        a.transactions += txns;
+        a.active_lanes += active;
+        a.dynamic_requests += dynamic as u64;
+        a.max_degree = a.max_degree.max(txns);
+    }
+
+    pub(crate) fn record_shuffle(&mut self, site: SiteId) {
+        let a = self.agg(site, AccessClass::Shuffle);
+        a.requests += 1;
+        a.active_lanes += 32;
+    }
+
+    /// Record a shared-memory access and run the race check over its
+    /// `(word, thread)` footprint within the current barrier epoch.
+    pub(crate) fn record_shared(
+        &mut self,
+        site: SiteId,
+        is_store: bool,
+        passes: u64,
+        active: u64,
+        oob: u64,
+        footprint: &[(u32, u32)],
+    ) {
+        let class = if is_store {
+            AccessClass::SharedStore
+        } else {
+            AccessClass::SharedLoad
+        };
+        let a = self.agg(site, class);
+        a.requests += 1;
+        a.transactions += passes;
+        a.active_lanes += active;
+        a.oob_lanes += oob;
+        a.max_degree = a.max_degree.max(passes);
+        let epoch = self.epoch;
+        for &(word, thread) in footprint {
+            let st = self.words.entry(word).or_default();
+            let mut st_v = *st;
+            if is_store {
+                if st_v.write_epoch == epoch && st_v.write_thread != thread {
+                    let ev = RaceEvent {
+                        kind: RaceKind::WriteWrite,
+                        first_site: st_v.write_site,
+                        second_site: site,
+                        word,
+                        epoch,
+                        block: self.block,
+                    };
+                    Self::push_race(
+                        &mut self.races,
+                        &mut self.race_keys,
+                        &mut self.race_total,
+                        ev,
+                    );
+                }
+                if st_v.read_epoch == epoch && (st_v.read_thread != thread || st_v.read_multi) {
+                    let ev = RaceEvent {
+                        kind: RaceKind::ReadWrite,
+                        first_site: st_v.read_site,
+                        second_site: site,
+                        word,
+                        epoch,
+                        block: self.block,
+                    };
+                    Self::push_race(
+                        &mut self.races,
+                        &mut self.race_keys,
+                        &mut self.race_total,
+                        ev,
+                    );
+                }
+                st_v.write_epoch = epoch;
+                st_v.write_thread = thread;
+                st_v.write_site = site;
+            } else {
+                if st_v.write_epoch == epoch && st_v.write_thread != thread {
+                    let ev = RaceEvent {
+                        kind: RaceKind::WriteRead,
+                        first_site: st_v.write_site,
+                        second_site: site,
+                        word,
+                        epoch,
+                        block: self.block,
+                    };
+                    Self::push_race(
+                        &mut self.races,
+                        &mut self.race_keys,
+                        &mut self.race_total,
+                        ev,
+                    );
+                }
+                if st_v.read_epoch != epoch {
+                    st_v.read_epoch = epoch;
+                    st_v.read_thread = thread;
+                    st_v.read_multi = false;
+                    st_v.read_site = site;
+                } else if st_v.read_thread != thread {
+                    st_v.read_multi = true;
+                }
+            }
+            *self.words.get_mut(&word).expect("entry exists") = st_v;
+        }
+    }
+
+    fn push_race(
+        races: &mut Vec<RaceEvent>,
+        keys: &mut HashSet<RaceKey>,
+        total: &mut u64,
+        ev: RaceEvent,
+    ) {
+        *total += 1;
+        if keys.len() < MAX_RACES && keys.insert((ev.kind, ev.first_site, ev.second_site)) {
+            races.push(ev);
+        }
+    }
+}
+
+/// Launch-wide aggregate of per-block collectors, merged in block-linear
+/// order.
+#[derive(Debug, Default)]
+pub(crate) struct LaunchCollector {
+    sites: BTreeMap<(SiteId, AccessClass), SiteAgg>,
+    races: Vec<RaceEvent>,
+    race_keys: HashSet<RaceKey>,
+    race_total: u64,
+    blocks: u64,
+}
+
+impl LaunchCollector {
+    /// Fold one finished block in. Must be called in block-linear order for
+    /// deterministic race representatives (aggregates commute regardless).
+    pub(crate) fn merge(&mut self, block: BlockCollector) {
+        self.blocks += 1;
+        for (key, agg) in block.sites {
+            self.sites.entry(key).or_default().absorb(&agg);
+        }
+        self.race_total += block.race_total - block.races.len() as u64;
+        for ev in block.races {
+            Self::push_race(
+                &mut self.races,
+                &mut self.race_keys,
+                &mut self.race_total,
+                ev,
+            );
+        }
+    }
+
+    fn push_race(
+        races: &mut Vec<RaceEvent>,
+        keys: &mut HashSet<RaceKey>,
+        total: &mut u64,
+        ev: RaceEvent,
+    ) {
+        *total += 1;
+        if keys.len() < MAX_RACES && keys.insert((ev.kind, ev.first_site, ev.second_site)) {
+            races.push(ev);
+        }
+    }
+
+    /// Run every lint pass and build the report.
+    pub(crate) fn report(&self, cfg: &AnalysisConfig) -> HazardReport {
+        build_report(self, cfg)
+    }
+}
+
+/// Thresholds for the lint passes.
+#[derive(Debug, Clone)]
+pub struct AnalysisConfig {
+    /// A global site is flagged when `transactions > threshold × ideal`
+    /// summed over its requests. The default 2.0 tolerates alignment slop
+    /// (a contiguous but misaligned warp load costs 5 sectors instead of 4)
+    /// while catching genuinely strided or scattered patterns.
+    pub coalescing_threshold: f64,
+    /// A shared site is flagged when its average serialized passes per
+    /// access exceed this.
+    pub bank_conflict_threshold: f64,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig {
+            coalescing_threshold: 2.0,
+            bank_conflict_threshold: 2.0,
+        }
+    }
+}
+
+/// Which lint pass produced a hazard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum HazardPass {
+    /// Dynamically indexed private array (register promotion impossible).
+    DynamicIndex,
+    /// Local-resident array that only ever used static indices.
+    LocalResidency,
+    /// Cross-thread shared-memory conflict without an intervening barrier.
+    SharedRace,
+    /// Sectors-per-request far above the footprint's ideal.
+    Coalescing,
+    /// Serialized shared-memory passes above threshold.
+    BankConflict,
+    /// Active lane addressed out of bounds.
+    OutOfBounds,
+}
+
+impl fmt::Display for HazardPass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            HazardPass::DynamicIndex => "dynamic-index",
+            HazardPass::LocalResidency => "local-residency",
+            HazardPass::SharedRace => "shared-race",
+            HazardPass::Coalescing => "coalescing",
+            HazardPass::BankConflict => "bank-conflict",
+            HazardPass::OutOfBounds => "out-of-bounds",
+        })
+    }
+}
+
+/// How serious a hazard is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Perf smell; the kernel is still correct.
+    Warning,
+    /// Correctness-relevant (race, OOB) or a defeated paper optimization
+    /// (dynamic index).
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One finding: a lint pass firing at a source site.
+#[derive(Debug, Clone)]
+pub struct Hazard {
+    /// The pass that fired.
+    pub pass: HazardPass,
+    /// Severity class.
+    pub severity: Severity,
+    /// Kernel source site the hazard is attributed to.
+    pub site: SiteId,
+    /// What was observed.
+    pub message: String,
+    /// The remedy, in terms of the paper's techniques where applicable.
+    pub suggestion: String,
+    /// Warp-level requests observed at the site.
+    pub requests: u64,
+    /// Transactions (sectors / bank passes) observed at the site.
+    pub transactions: u64,
+}
+
+impl fmt::Display for Hazard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] at {}: {}\n    fix: {}",
+            self.severity, self.pass, self.site, self.message, self.suggestion
+        )
+    }
+}
+
+/// Per-site local-memory traffic breakdown (the register-promotability
+/// pass's evidence), exposed for reports and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocalSiteTraffic {
+    /// Attributed source site.
+    pub site: SiteId,
+    /// Local load transactions from this site.
+    pub ld_transactions: u64,
+    /// Local store transactions from this site.
+    pub st_transactions: u64,
+    /// Whether any request used a `_dyn` accessor.
+    pub dynamic: bool,
+}
+
+/// The structured result of an analyzed launch.
+#[derive(Debug, Clone, Default)]
+pub struct HazardReport {
+    /// All findings, errors first, then by pass and site.
+    pub hazards: Vec<Hazard>,
+    /// Per-site local-memory traffic (promotability evidence).
+    pub local_traffic: Vec<LocalSiteTraffic>,
+    /// Distinct `(site, class)` pairs observed.
+    pub sites_analyzed: usize,
+    /// Blocks whose events fed the report (sampled launches analyze only
+    /// the simulated blocks; hazard counts are raw, never extrapolated).
+    pub blocks_analyzed: u64,
+    /// Total race occurrences including ones deduplicated away.
+    pub race_occurrences: u64,
+}
+
+impl HazardReport {
+    /// `true` when no pass fired at any severity.
+    pub fn is_clean(&self) -> bool {
+        self.hazards.is_empty()
+    }
+
+    /// Number of error-severity hazards.
+    pub fn errors(&self) -> usize {
+        self.hazards
+            .iter()
+            .filter(|h| h.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity hazards.
+    pub fn warnings(&self) -> usize {
+        self.hazards
+            .iter()
+            .filter(|h| h.severity == Severity::Warning)
+            .count()
+    }
+
+    /// Findings of one pass.
+    pub fn by_pass(&self, pass: HazardPass) -> impl Iterator<Item = &Hazard> {
+        self.hazards.iter().filter(move |h| h.pass == pass)
+    }
+
+    /// Fold `other` into `self` (multi-launch algorithms analyze each
+    /// launch; reports concatenate).
+    pub fn absorb(&mut self, other: HazardReport) {
+        self.hazards.extend(other.hazards);
+        self.local_traffic.extend(other.local_traffic);
+        self.sites_analyzed += other.sites_analyzed;
+        self.blocks_analyzed += other.blocks_analyzed;
+        self.race_occurrences += other.race_occurrences;
+    }
+}
+
+impl fmt::Display for HazardReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return writeln!(
+                f,
+                "hazard analysis: clean ({} sites, {} blocks)",
+                self.sites_analyzed, self.blocks_analyzed
+            );
+        }
+        writeln!(
+            f,
+            "hazard analysis: {} error(s), {} warning(s) over {} sites, {} blocks",
+            self.errors(),
+            self.warnings(),
+            self.sites_analyzed,
+            self.blocks_analyzed
+        )?;
+        for h in &self.hazards {
+            writeln!(f, "  {h}")?;
+        }
+        Ok(())
+    }
+}
+
+fn build_report(lc: &LaunchCollector, cfg: &AnalysisConfig) -> HazardReport {
+    let mut hazards: Vec<Hazard> = Vec::new();
+
+    // --- register-promotability / dynamic-index pass -----------------------
+    let mut local: BTreeMap<SiteId, LocalSiteTraffic> = BTreeMap::new();
+    for ((site, class), agg) in &lc.sites {
+        let (is_local, is_store) = match class {
+            AccessClass::LocalLoad => (true, false),
+            AccessClass::LocalStore => (true, true),
+            _ => (false, false),
+        };
+        if !is_local {
+            continue;
+        }
+        let t = local.entry(*site).or_insert(LocalSiteTraffic {
+            site: *site,
+            ld_transactions: 0,
+            st_transactions: 0,
+            dynamic: false,
+        });
+        if is_store {
+            t.st_transactions += agg.transactions;
+        } else {
+            t.ld_transactions += agg.transactions;
+        }
+        t.dynamic |= agg.dynamic_requests > 0;
+    }
+    for ((site, class), agg) in &lc.sites {
+        match class {
+            AccessClass::LocalLoad | AccessClass::LocalStore => {
+                let t = local[site];
+                if agg.dynamic_requests > 0 {
+                    hazards.push(Hazard {
+                        pass: HazardPass::DynamicIndex,
+                        severity: Severity::Error,
+                        site: *site,
+                        message: format!(
+                            "dynamically indexed private array cannot be register-\
+                             allocated: {} spills to local memory ({} requests, \
+                             {} ld + {} st transactions at this array's sites)",
+                            class, agg.requests, t.ld_transactions, t.st_transactions
+                        ),
+                        suggestion: "apply the paper's pack/shift/unpack static-index \
+                                     transformation (Algorithm 1) so every index is a \
+                                     compile-time constant and the array stays in registers"
+                            .to_string(),
+                        requests: agg.requests,
+                        transactions: agg.transactions,
+                    });
+                } else {
+                    hazards.push(Hazard {
+                        pass: HazardPass::LocalResidency,
+                        severity: Severity::Warning,
+                        site: *site,
+                        message: format!(
+                            "local-resident private array is only ever statically \
+                             indexed here ({} {} requests, {} transactions): it is \
+                             register-promotable for free",
+                            agg.requests, class, agg.transactions
+                        ),
+                        suggestion: "construct the array with PrivArray::registers() \
+                                     (all indices are already static)"
+                            .to_string(),
+                        requests: agg.requests,
+                        transactions: agg.transactions,
+                    });
+                }
+            }
+            AccessClass::GlobalLoad | AccessClass::GlobalStore => {
+                if agg.oob_lanes > 0 {
+                    hazards.push(Hazard {
+                        pass: HazardPass::OutOfBounds,
+                        severity: Severity::Error,
+                        site: *site,
+                        message: format!(
+                            "{} active lanes (of {} over {} requests) addressed past \
+                             the end of the target buffer",
+                            agg.oob_lanes, agg.active_lanes, agg.requests
+                        ),
+                        suggestion: "mask the tail lanes (e.g. idx.lt_scalar(len)) \
+                                     before issuing the access"
+                            .to_string(),
+                        requests: agg.requests,
+                        transactions: agg.transactions,
+                    });
+                }
+                if agg.ideal_transactions > 0
+                    && agg.transactions as f64
+                        > cfg.coalescing_threshold * agg.ideal_transactions as f64
+                {
+                    hazards.push(Hazard {
+                        pass: HazardPass::Coalescing,
+                        severity: Severity::Warning,
+                        site: *site,
+                        message: format!(
+                            "poorly coalesced {}: {:.2} sectors/request vs ideal \
+                             {:.2} for the active footprint (worst request: {} \
+                             sectors; threshold ×{})",
+                            class,
+                            agg.transactions as f64 / agg.requests.max(1) as f64,
+                            agg.ideal_transactions as f64 / agg.requests.max(1) as f64,
+                            agg.max_degree,
+                            cfg.coalescing_threshold
+                        ),
+                        suggestion: "restructure so consecutive lanes touch consecutive \
+                                     addresses (the paper's §II-B layout rule); for \
+                                     column access patterns use warp shuffles \
+                                     (Algorithm 1) instead of re-loading"
+                            .to_string(),
+                        requests: agg.requests,
+                        transactions: agg.transactions,
+                    });
+                }
+            }
+            AccessClass::SharedLoad | AccessClass::SharedStore => {
+                if agg.oob_lanes > 0 {
+                    hazards.push(Hazard {
+                        pass: HazardPass::OutOfBounds,
+                        severity: Severity::Error,
+                        site: *site,
+                        message: format!(
+                            "{} active lanes addressed past the shared-memory arena",
+                            agg.oob_lanes
+                        ),
+                        suggestion: "mask the tail lanes or enlarge \
+                                     LaunchConfig::with_shared"
+                            .to_string(),
+                        requests: agg.requests,
+                        transactions: agg.transactions,
+                    });
+                }
+                let avg = agg.transactions as f64 / agg.requests.max(1) as f64;
+                if avg > cfg.bank_conflict_threshold {
+                    hazards.push(Hazard {
+                        pass: HazardPass::BankConflict,
+                        severity: Severity::Warning,
+                        site: *site,
+                        message: format!(
+                            "{}-way average bank conflict on {} ({} accesses, worst \
+                             {} passes)",
+                            avg.ceil() as u64,
+                            class,
+                            agg.requests,
+                            agg.max_degree
+                        ),
+                        suggestion: "pad the shared tile (e.g. width 33 instead of 32) \
+                                     or swizzle indices so active lanes hit distinct banks"
+                            .to_string(),
+                        requests: agg.requests,
+                        transactions: agg.transactions,
+                    });
+                }
+            }
+            AccessClass::Shuffle => {}
+        }
+    }
+
+    // --- shared-memory race pass -------------------------------------------
+    for ev in &lc.races {
+        hazards.push(Hazard {
+            pass: HazardPass::SharedRace,
+            severity: Severity::Error,
+            site: ev.second_site,
+            message: format!(
+                "shared-memory {} race on word {} (block {}, epoch {}): first \
+                 access at {}, conflicting access at {} by a different thread \
+                 with no barrier in between",
+                ev.kind, ev.word, ev.block, ev.epoch, ev.first_site, ev.second_site
+            ),
+            suggestion: "insert BlockCtx::barrier() between the producing and \
+                         consuming phases"
+                .to_string(),
+            requests: 0,
+            transactions: 0,
+        });
+    }
+
+    hazards.sort_by(|a, b| {
+        (std::cmp::Reverse(a.severity), a.pass, a.site).cmp(&(
+            std::cmp::Reverse(b.severity),
+            b.pass,
+            b.site,
+        ))
+    });
+
+    HazardReport {
+        hazards,
+        local_traffic: local.into_values().collect(),
+        sites_analyzed: lc.sites.len(),
+        blocks_analyzed: lc.blocks,
+        race_occurrences: lc.race_total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site(line: u32) -> SiteId {
+        SiteId {
+            file: "src/some/kernel.rs",
+            line,
+            column: 9,
+        }
+    }
+
+    #[test]
+    fn site_display_uses_trailing_path_component() {
+        assert_eq!(site(42).to_string(), "kernel.rs:42:9");
+    }
+
+    #[test]
+    fn dynamic_local_access_is_an_error_static_only_a_warning() {
+        let mut b = BlockCollector::new(0);
+        b.record_local(site(10), false, 32, 7, true);
+        b.record_local(site(11), true, 32, 4, false);
+        let mut lc = LaunchCollector::default();
+        lc.merge(b);
+        let rep = lc.report(&AnalysisConfig::default());
+        assert_eq!(rep.errors(), 1);
+        assert_eq!(rep.warnings(), 1);
+        let dyn_h = rep.by_pass(HazardPass::DynamicIndex).next().unwrap();
+        assert_eq!(dyn_h.site, site(10));
+        assert!(dyn_h.suggestion.contains("Algorithm 1"));
+        let warn = rep.by_pass(HazardPass::LocalResidency).next().unwrap();
+        assert_eq!(warn.site, site(11));
+        assert_eq!(rep.local_traffic.len(), 2);
+    }
+
+    #[test]
+    fn race_detector_epoch_semantics() {
+        // Same-epoch cross-thread write→read races; barrier clears it.
+        let mut b = BlockCollector::new(3);
+        b.record_shared(site(20), true, 1, 1, 0, &[(5, 0)]);
+        b.record_shared(site(21), false, 1, 1, 0, &[(5, 7)]);
+        // After a barrier the same pattern is clean.
+        b.barrier();
+        b.record_shared(site(22), true, 1, 1, 0, &[(6, 0)]);
+        b.barrier();
+        b.record_shared(site(23), false, 1, 1, 0, &[(6, 7)]);
+        let mut lc = LaunchCollector::default();
+        lc.merge(b);
+        let rep = lc.report(&AnalysisConfig::default());
+        let races: Vec<_> = rep.by_pass(HazardPass::SharedRace).collect();
+        assert_eq!(races.len(), 1);
+        assert!(races[0].message.contains("write-read"));
+        assert!(races[0].message.contains("kernel.rs:20:9"));
+        assert!(races[0].message.contains("kernel.rs:21:9"));
+        assert!(races[0].message.contains("block 3"));
+    }
+
+    #[test]
+    fn same_thread_reuse_is_not_a_race() {
+        let mut b = BlockCollector::new(0);
+        b.record_shared(site(30), true, 1, 1, 0, &[(9, 4)]);
+        b.record_shared(site(31), false, 1, 1, 0, &[(9, 4)]);
+        b.record_shared(site(32), true, 1, 1, 0, &[(9, 4)]);
+        let mut lc = LaunchCollector::default();
+        lc.merge(b);
+        assert!(lc.report(&AnalysisConfig::default()).is_clean());
+    }
+
+    #[test]
+    fn write_write_and_read_write_races_detected() {
+        let mut b = BlockCollector::new(0);
+        b.record_shared(site(40), true, 1, 1, 0, &[(2, 1)]);
+        b.record_shared(site(41), true, 1, 1, 0, &[(2, 2)]); // WAW
+        b.barrier();
+        b.record_shared(site(42), false, 1, 1, 0, &[(3, 1)]);
+        b.record_shared(site(43), true, 1, 1, 0, &[(3, 2)]); // RAW (read-write)
+        let mut lc = LaunchCollector::default();
+        lc.merge(b);
+        let rep = lc.report(&AnalysisConfig::default());
+        let kinds: Vec<String> = rep
+            .by_pass(HazardPass::SharedRace)
+            .map(|h| h.message.clone())
+            .collect();
+        assert_eq!(kinds.len(), 2);
+        assert!(kinds.iter().any(|m| m.contains("write-write")));
+        assert!(kinds.iter().any(|m| m.contains("read-write")));
+    }
+
+    #[test]
+    fn races_deduplicate_per_site_pair_but_count_occurrences() {
+        let mut b = BlockCollector::new(0);
+        for w in 0..10u32 {
+            b.record_shared(site(50), true, 1, 1, 0, &[(w, 0)]);
+            b.record_shared(site(51), false, 1, 1, 0, &[(w, 1)]);
+        }
+        let mut lc = LaunchCollector::default();
+        lc.merge(b);
+        let rep = lc.report(&AnalysisConfig::default());
+        assert_eq!(rep.by_pass(HazardPass::SharedRace).count(), 1);
+        assert_eq!(rep.race_occurrences, 10);
+    }
+
+    #[test]
+    fn coalescing_lint_threshold() {
+        let mut b = BlockCollector::new(0);
+        // 32 sectors for a 32-lane footprint whose ideal is 4: ratio 8.
+        b.record_global(site(60), false, 32, 32, 4, 0);
+        // Misaligned-but-contiguous: 5 vs 4 stays clean at threshold 2.
+        b.record_global(site(61), false, 32, 5, 4, 0);
+        let mut lc = LaunchCollector::default();
+        lc.merge(b);
+        let rep = lc.report(&AnalysisConfig::default());
+        let hits: Vec<_> = rep.by_pass(HazardPass::Coalescing).collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].site, site(60));
+        assert_eq!(rep.warnings(), 1);
+    }
+
+    #[test]
+    fn bank_conflict_lint_threshold() {
+        let mut b = BlockCollector::new(0);
+        b.record_shared(site(70), false, 32, 32, 0, &[]); // 32-way conflict
+        b.record_shared(site(71), false, 1, 32, 0, &[]); // conflict-free
+        let mut lc = LaunchCollector::default();
+        lc.merge(b);
+        let rep = lc.report(&AnalysisConfig::default());
+        let hits: Vec<_> = rep.by_pass(HazardPass::BankConflict).collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].site, site(70));
+    }
+
+    #[test]
+    fn oob_is_an_error() {
+        let mut b = BlockCollector::new(0);
+        b.record_global(site(80), true, 32, 4, 4, 3);
+        let mut lc = LaunchCollector::default();
+        lc.merge(b);
+        let rep = lc.report(&AnalysisConfig::default());
+        assert_eq!(rep.errors(), 1);
+        let h = rep.by_pass(HazardPass::OutOfBounds).next().unwrap();
+        assert!(h.message.contains("3 active lanes"));
+    }
+
+    #[test]
+    fn merge_is_order_independent_for_aggregates() {
+        let mk = |block: u64, line: u32| {
+            let mut b = BlockCollector::new(block);
+            b.record_global(site(line), false, 32, 8, 4, 0);
+            b
+        };
+        let mut fwd = LaunchCollector::default();
+        fwd.merge(mk(0, 90));
+        fwd.merge(mk(1, 91));
+        let mut rev = LaunchCollector::default();
+        rev.merge(mk(1, 91));
+        rev.merge(mk(0, 90));
+        assert_eq!(fwd.sites, rev.sites);
+        assert_eq!(fwd.blocks, rev.blocks);
+    }
+
+    #[test]
+    fn report_sorts_errors_first() {
+        let mut b = BlockCollector::new(0);
+        b.record_global(site(100), false, 32, 32, 4, 0); // warning
+        b.record_local(site(99), false, 32, 7, true); // error
+        let mut lc = LaunchCollector::default();
+        lc.merge(b);
+        let rep = lc.report(&AnalysisConfig::default());
+        assert_eq!(rep.hazards[0].severity, Severity::Error);
+        assert_eq!(rep.hazards.last().unwrap().severity, Severity::Warning);
+        let text = rep.to_string();
+        assert!(text.contains("error[dynamic-index]"));
+        assert!(text.contains("warning[coalescing]"));
+    }
+
+    #[test]
+    fn clean_report_display() {
+        let lc = LaunchCollector::default();
+        let rep = lc.report(&AnalysisConfig::default());
+        assert!(rep.is_clean());
+        assert!(rep.to_string().contains("clean"));
+    }
+}

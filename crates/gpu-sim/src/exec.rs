@@ -29,6 +29,7 @@
 //!   global data written by a *different block of the same launch* — which
 //!   CUDA already leaves undefined without grid-wide synchronization.
 
+use crate::analysis::{AnalysisConfig, BlockCollector, HazardReport, LaunchCollector, SiteId};
 use crate::device::DeviceConfig;
 use crate::lane::{LaneMask, LaneVec, VF, VU, WARP};
 use crate::memory::hierarchy::{
@@ -220,6 +221,9 @@ struct Resources<'a> {
     l2: L2Sink<'a>,
     stats: &'a mut KernelStats,
     shared: SharedMem,
+    /// Hazard-analysis event recorder; `None` outside analyzed launches, in
+    /// which case every instrumented path is byte-for-byte the plain path.
+    analysis: Option<&'a mut BlockCollector>,
 }
 
 /// Execution context for one thread block.
@@ -268,6 +272,9 @@ impl<'a> BlockCtx<'a> {
     /// the previous phase.
     pub fn barrier(&mut self) {
         self.res.stats.barriers += 1;
+        if let Some(a) = self.res.analysis.as_deref_mut() {
+            a.barrier();
+        }
     }
 }
 
@@ -337,33 +344,47 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
 
     // ----- shuffles (counted) ---------------------------------------------
 
-    /// `__shfl_xor_sync` over f32.
-    pub fn shfl_xor(&mut self, v: &VF, mask: usize) -> VF {
+    /// Count one shuffle, attributing it to the caller's site when the
+    /// hazard analyzer is recording.
+    fn note_shfl(&mut self, site: SiteId) {
         self.res.stats.shfl_instrs += 1;
+        if let Some(a) = self.res.analysis.as_deref_mut() {
+            a.record_shuffle(site);
+        }
+    }
+
+    /// `__shfl_xor_sync` over f32.
+    #[track_caller]
+    pub fn shfl_xor(&mut self, v: &VF, mask: usize) -> VF {
+        self.note_shfl(SiteId::caller());
         shuffle::shfl_xor(v, mask, WARP)
     }
 
     /// `__shfl_up_sync` over f32.
+    #[track_caller]
     pub fn shfl_up(&mut self, v: &VF, delta: usize) -> VF {
-        self.res.stats.shfl_instrs += 1;
+        self.note_shfl(SiteId::caller());
         shuffle::shfl_up(v, delta, WARP)
     }
 
     /// `__shfl_down_sync` over f32.
+    #[track_caller]
     pub fn shfl_down(&mut self, v: &VF, delta: usize) -> VF {
-        self.res.stats.shfl_instrs += 1;
+        self.note_shfl(SiteId::caller());
         shuffle::shfl_down(v, delta, WARP)
     }
 
     /// Indexed `__shfl_sync` over f32.
+    #[track_caller]
     pub fn shfl_idx(&mut self, v: &VF, idx: &VU) -> VF {
-        self.res.stats.shfl_instrs += 1;
+        self.note_shfl(SiteId::caller());
         shuffle::shfl_idx(v, idx, WARP)
     }
 
     /// Broadcast lane `src` to all lanes.
+    #[track_caller]
     pub fn shfl_bcast(&mut self, v: &VF, src: usize) -> VF {
-        self.res.stats.shfl_instrs += 1;
+        self.note_shfl(SiteId::caller());
         shuffle::broadcast(v, src)
     }
 
@@ -388,12 +409,19 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
 
     /// Warp global load of f32 at per-lane element indices into `buf`.
     /// Inactive lanes receive 0.0.
+    ///
+    /// Under hazard analysis ([`GpuSim::analyze`]) an *active* out-of-bounds
+    /// lane is reported as a hazard and reads 0.0 instead of panicking
+    /// (compute-sanitizer-style report-and-continue); plain launches keep
+    /// the hard OOB panic.
+    #[track_caller]
     pub fn gld(&mut self, buf: BufId, idx: &VU, mask: LaneMask) -> VF {
+        let site = SiteId::caller();
         let mut addrs = [0u64; WARP];
         for l in mask.lanes() {
             addrs[l] = self.res.glob.addr(buf, idx.lane(l));
         }
-        warp_access(
+        let txns = warp_access(
             self.res.dev,
             &mut self.res.l1,
             &mut self.res.l2,
@@ -403,8 +431,13 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
             false,
             Space::Global,
         );
+        let read_mask = if self.res.analysis.is_some() {
+            self.record_global(site, buf, idx, mask, txns, false)
+        } else {
+            mask
+        };
         VF::from_fn(|l| {
-            if mask.get(l) {
+            if read_mask.get(l) {
                 self.res.glob.read_elem(buf, idx.lane(l))
             } else {
                 0.0
@@ -414,12 +447,17 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
 
     /// Warp global store of f32. Two active lanes writing the same element
     /// resolve to the lowest lane, deterministically.
+    ///
+    /// Under hazard analysis an active out-of-bounds lane is reported and
+    /// its store dropped instead of panicking (see [`WarpCtx::gld`]).
+    #[track_caller]
     pub fn gst(&mut self, buf: BufId, idx: &VU, val: &VF, mask: LaneMask) {
+        let site = SiteId::caller();
         let mut addrs = [0u64; WARP];
         for l in mask.lanes() {
             addrs[l] = self.res.glob.addr(buf, idx.lane(l));
         }
-        warp_access(
+        let txns = warp_access(
             self.res.dev,
             &mut self.res.l1,
             &mut self.res.l2,
@@ -429,9 +467,39 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
             true,
             Space::Global,
         );
-        for l in mask.lanes().collect::<Vec<_>>().into_iter().rev() {
+        let write_mask = if self.res.analysis.is_some() {
+            self.record_global(site, buf, idx, mask, txns, true)
+        } else {
+            mask
+        };
+        for l in write_mask.lanes().collect::<Vec<_>>().into_iter().rev() {
             self.res.glob.write_elem(buf, idx.lane(l), val.lane(l));
         }
+    }
+
+    /// Record a global access with the analyzer; returns `mask` with any
+    /// out-of-bounds lanes stripped. Only called while analysis is active.
+    fn record_global(
+        &mut self,
+        site: SiteId,
+        buf: BufId,
+        idx: &VU,
+        mask: LaneMask,
+        txns: u64,
+        is_store: bool,
+    ) -> LaneMask {
+        let len = self.res.glob.len(buf) as u32;
+        let safe = LaneMask::from_fn(|l| mask.get(l) && idx.lane(l) < len);
+        let active = mask.count() as u64;
+        let oob = active - safe.count() as u64;
+        // Ideal footprint: the active lanes' bytes packed into contiguous
+        // aligned sectors — what a perfectly coalesced access would cost.
+        let ideal = (active * 4)
+            .div_ceil(self.res.dev.sector_bytes as u64)
+            .max(1);
+        let a = self.res.analysis.as_deref_mut().expect("analysis active");
+        a.record_global(site, is_store, active, txns, ideal, oob);
+        safe
     }
 
     /// Constant-memory broadcast load: one uniform element of `buf` read
@@ -447,27 +515,87 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
     // ----- shared memory ----------------------------------------------------
 
     /// Warp shared-memory load at per-lane word indices.
+    ///
+    /// Under hazard analysis, active out-of-bounds lanes are reported and
+    /// read 0.0 instead of panicking, and the access participates in the
+    /// per-word race check.
+    #[track_caller]
     pub fn sld(&mut self, idx: &VU, mask: LaneMask) -> VF {
-        let (v, passes) = self.res.shared.load(idx, mask);
+        let site = SiteId::caller();
+        let eff = self.shared_safe_mask(idx, mask, 1);
+        let (v, passes) = self.res.shared.load(idx, eff);
         self.res.stats.smem_accesses += 1;
         self.res.stats.smem_passes += passes;
+        self.record_shared(site, idx, mask, eff, passes, 1, false);
         v
     }
 
     /// Vectorized warp shared-memory load (`LDS.64`/`LDS.128`): `K`
     /// consecutive words per lane in one (counted) access.
+    #[track_caller]
     pub fn sld_vec<const K: usize>(&mut self, idx: &VU, mask: LaneMask) -> [VF; K] {
-        let (v, passes) = self.res.shared.load_vec::<K>(idx, mask);
+        let site = SiteId::caller();
+        let eff = self.shared_safe_mask(idx, mask, K as u32);
+        let (v, passes) = self.res.shared.load_vec::<K>(idx, eff);
         self.res.stats.smem_accesses += 1;
         self.res.stats.smem_passes += passes;
+        self.record_shared(site, idx, mask, eff, passes, K as u32, false);
         v
     }
 
     /// Warp shared-memory store.
+    #[track_caller]
     pub fn sst(&mut self, idx: &VU, val: &VF, mask: LaneMask) {
-        let passes = self.res.shared.store(idx, val, mask);
+        let site = SiteId::caller();
+        let eff = self.shared_safe_mask(idx, mask, 1);
+        let passes = self.res.shared.store(idx, val, eff);
         self.res.stats.smem_accesses += 1;
         self.res.stats.smem_passes += passes;
+        self.record_shared(site, idx, mask, eff, passes, 1, true);
+    }
+
+    /// `mask` unchanged in plain mode; under analysis, active lanes whose
+    /// `K`-word footprint exceeds the shared arena are stripped (reported by
+    /// [`WarpCtx::record_shared`] as OOB hazards instead of panicking).
+    fn shared_safe_mask(&self, idx: &VU, mask: LaneMask, k: u32) -> LaneMask {
+        if self.res.analysis.is_none() {
+            return mask;
+        }
+        let words = self.res.shared.words() as u64;
+        LaneMask::from_fn(|l| mask.get(l) && idx.lane(l) as u64 + k as u64 <= words)
+    }
+
+    /// Feed one shared access (its pass count and per-word thread footprint)
+    /// to the analyzer. No-op in plain mode.
+    #[allow(clippy::too_many_arguments)]
+    fn record_shared(
+        &mut self,
+        site: SiteId,
+        idx: &VU,
+        mask: LaneMask,
+        safe: LaneMask,
+        passes: u64,
+        k: u32,
+        is_store: bool,
+    ) {
+        let warp_base = (self.warp_id * WARP) as u32;
+        let Some(a) = self.res.analysis.as_deref_mut() else {
+            return;
+        };
+        let mut footprint = Vec::with_capacity(safe.count() as usize * k as usize);
+        for l in safe.lanes() {
+            for w in 0..k {
+                footprint.push((idx.lane(l) + w, warp_base + l as u32));
+            }
+        }
+        a.record_shared(
+            site,
+            is_store,
+            passes,
+            mask.count() as u64,
+            (mask.count() - safe.count()) as u64,
+            &footprint,
+        );
     }
 
     // ----- local memory (spill space for PrivArray) -------------------------
@@ -489,13 +617,23 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
     /// word `w` of lane `l` lives at `base + w·128 + l·4`, so a *uniform*
     /// index is fully coalesced and a divergent one scatters — exactly the
     /// hardware layout that makes dynamically indexed private arrays
-    /// expensive.
-    pub(crate) fn local_access(&mut self, slot: u64, idx: &VU, mask: LaneMask, is_store: bool) {
+    /// expensive. `dynamic` marks `_dyn` accessor traffic for the
+    /// register-promotability pass.
+    #[track_caller]
+    pub(crate) fn local_access(
+        &mut self,
+        slot: u64,
+        idx: &VU,
+        mask: LaneMask,
+        is_store: bool,
+        dynamic: bool,
+    ) {
+        let site = SiteId::caller();
         let mut addrs = [0u64; WARP];
         for l in mask.lanes() {
             addrs[l] = self.local_base + (slot + idx.lane(l) as u64) * 128 + l as u64 * 4;
         }
-        warp_access(
+        let txns = warp_access(
             self.res.dev,
             &mut self.res.l1,
             &mut self.res.l2,
@@ -505,6 +643,9 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
             is_store,
             Space::Local,
         );
+        if let Some(a) = self.res.analysis.as_deref_mut() {
+            a.record_local(site, is_store, mask.count() as u64, txns, dynamic);
+        }
     }
 }
 
@@ -513,6 +654,10 @@ struct BlockOutcome {
     stats: KernelStats,
     trace: BlockTrace,
     store: StoreBuffer,
+    /// Hazard events, present only under an analyzed launch; merged into
+    /// the launch collector in block-linear order during phase 2, so
+    /// reports are identical across [`LaunchMode`]s.
+    collector: Option<BlockCollector>,
 }
 
 /// Run one block functionally against a memory snapshot, recording its
@@ -523,9 +668,11 @@ fn run_block_traced(
     cfg: &LaunchConfig,
     kernel: &(impl Fn(&mut BlockCtx<'_>) + Sync),
     linear: u64,
+    analyze: bool,
 ) -> BlockOutcome {
     let mut stats = KernelStats::default();
     let mut trace = BlockTrace::new();
+    let mut collector = analyze.then(|| BlockCollector::new(linear));
     let mut blk = BlockCtx {
         res: Resources {
             dev,
@@ -537,6 +684,7 @@ fn run_block_traced(
             l2: L2Sink::Deferred(&mut trace),
             stats: &mut stats,
             shared: SharedMem::new(cfg.shared_words, dev.smem_banks),
+            analysis: collector.as_mut(),
         },
         block_idx: cfg.coords(linear),
         grid_dim: cfg.grid,
@@ -551,7 +699,15 @@ fn run_block_traced(
         stats,
         trace,
         store,
+        collector,
     }
+}
+
+/// Recorder plus thresholds for an analysis-enabled simulator.
+#[derive(Debug)]
+struct AnalysisState {
+    cfg: AnalysisConfig,
+    collector: LaunchCollector,
 }
 
 /// The simulated GPU: a device description plus its global memory.
@@ -563,6 +719,7 @@ pub struct GpuSim {
     pub mem: GlobalMem,
     mode: LaunchMode,
     parallel_threads: Option<usize>,
+    analysis: Option<AnalysisState>,
 }
 
 impl GpuSim {
@@ -573,6 +730,7 @@ impl GpuSim {
             mem: GlobalMem::new(),
             mode: LaunchMode::default(),
             parallel_threads: None,
+            analysis: None,
         }
     }
 
@@ -603,6 +761,62 @@ impl GpuSim {
     /// wall-clock time.
     pub fn set_parallel_threads(&mut self, threads: Option<usize>) {
         self.parallel_threads = threads;
+    }
+
+    /// Enable (`Some`) or disable (`None`) hazard analysis for subsequent
+    /// launches. While enabled, every launch records per-site events which
+    /// accumulate until [`GpuSim::take_hazard_report`] drains them —
+    /// convenient for algorithms that issue several launches internally.
+    /// Counters stay bit-identical to plain launches in every
+    /// [`LaunchMode`]; the one behavioral change is that active
+    /// out-of-bounds lanes are reported instead of panicking.
+    pub fn set_analysis(&mut self, cfg: Option<AnalysisConfig>) {
+        self.analysis = cfg.map(|cfg| AnalysisState {
+            cfg,
+            collector: LaunchCollector::default(),
+        });
+    }
+
+    /// Builder-style [`GpuSim::set_analysis`].
+    pub fn with_analysis(mut self, cfg: AnalysisConfig) -> Self {
+        self.set_analysis(Some(cfg));
+        self
+    }
+
+    /// `true` while hazard analysis is recording.
+    pub fn analysis_enabled(&self) -> bool {
+        self.analysis.is_some()
+    }
+
+    /// Run the lint passes over everything recorded since analysis was
+    /// enabled (or last drained), reset the recorder, and return the
+    /// report; `None` when analysis is disabled.
+    pub fn take_hazard_report(&mut self) -> Option<HazardReport> {
+        let st = self.analysis.as_mut()?;
+        let report = st.collector.report(&st.cfg);
+        st.collector = LaunchCollector::default();
+        Some(report)
+    }
+
+    /// One-shot analyzed launch: records the execution, runs every lint
+    /// pass ([`crate::analysis`]), and returns the launch counters together
+    /// with the [`HazardReport`]. Enables analysis with default thresholds
+    /// if it was not already on (and restores the previous state after).
+    pub fn analyze(
+        &mut self,
+        cfg: &LaunchConfig,
+        kernel: impl Fn(&mut BlockCtx<'_>) + Sync,
+    ) -> (KernelStats, HazardReport) {
+        let was_enabled = self.analysis.is_some();
+        if !was_enabled {
+            self.set_analysis(Some(AnalysisConfig::default()));
+        }
+        let stats = self.launch(cfg, kernel);
+        let report = self.take_hazard_report().expect("analysis enabled");
+        if !was_enabled {
+            self.set_analysis(None);
+        }
+        (stats, report)
     }
 
     /// Launch a kernel over the grid and return the counters for the
@@ -652,8 +866,10 @@ impl GpuSim {
         let mut stats = KernelStats::default();
         let mut l2 = new_l2(&self.device);
         let mut simulated = 0u64;
+        let analyze = self.analysis.is_some();
         for linear in (0..cfg.num_blocks()).filter(|&l| resolved.selects(l)) {
             simulated += 1;
+            let mut collector = analyze.then(|| BlockCollector::new(linear));
             let mut blk = BlockCtx {
                 res: Resources {
                     dev: &self.device,
@@ -662,6 +878,7 @@ impl GpuSim {
                     l2: L2Sink::Inline(&mut l2),
                     stats: &mut stats,
                     shared: SharedMem::new(cfg.shared_words, self.device.smem_banks),
+                    analysis: collector.as_mut(),
                 },
                 block_idx: cfg.coords(linear),
                 grid_dim: cfg.grid,
@@ -669,6 +886,14 @@ impl GpuSim {
                 block_linear: linear,
             };
             kernel(&mut blk);
+            drop(blk);
+            if let Some(c) = collector {
+                self.analysis
+                    .as_mut()
+                    .expect("analysis enabled")
+                    .collector
+                    .merge(c);
+            }
         }
         flush_l2(&mut l2, &mut stats);
         (stats, simulated)
@@ -692,6 +917,7 @@ impl GpuSim {
         let mut stats = KernelStats::default();
         let mut l2 = new_l2(&self.device);
         let mut simulated = 0u64;
+        let analyze = self.analysis.is_some();
 
         let mut selected = (0..cfg.num_blocks()).filter(|&l| resolved.selects(l));
         loop {
@@ -704,15 +930,24 @@ impl GpuSim {
                 let dev = &self.device;
                 let mem = &self.mem;
                 memconv_par::map_indexed_with(batch.len(), threads, |i| {
-                    run_block_traced(dev, mem, cfg, kernel, batch[i])
+                    run_block_traced(dev, mem, cfg, kernel, batch[i], analyze)
                 })
             };
-            // Phase 2 (sequential, block-linear order): commit.
+            // Phase 2 (sequential, block-linear order): commit. Hazard
+            // collectors merge here too, so reports never depend on the
+            // engine or thread count.
             for outcome in outcomes {
                 simulated += 1;
                 stats += &outcome.stats;
                 replay_trace(&outcome.trace, &mut l2, &mut stats);
                 outcome.store.apply(&mut self.mem);
+                if let Some(c) = outcome.collector {
+                    self.analysis
+                        .as_mut()
+                        .expect("analysis enabled")
+                        .collector
+                        .merge(c);
+                }
             }
         }
         flush_l2(&mut l2, &mut stats);

@@ -47,6 +47,7 @@
 
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod device;
 pub mod exec;
 pub mod lane;
@@ -58,11 +59,14 @@ pub mod stats;
 pub mod timing;
 pub mod trace;
 
+pub use analysis::{
+    AnalysisConfig, Hazard, HazardPass, HazardReport, LocalSiteTraffic, Severity, SiteId,
+};
 pub use device::DeviceConfig;
 pub use exec::{BlockCtx, GpuSim, LaunchConfig, LaunchMode, SampleMode, WarpCtx};
 pub use lane::{LaneMask, LaneVec, VF, VI, VU, VU64, WARP};
 pub use memory::{BufId, GlobalMem};
 pub use priv_array::{PrivArray, Residency};
-pub use report::{run_table, Profile};
+pub use report::{hazard_table, run_table, Profile};
 pub use stats::KernelStats;
 pub use timing::{launch_time, RunReport, TimeBreakdown};

@@ -80,7 +80,8 @@ pub fn new_l2(dev: &DeviceConfig) -> SectoredCache {
 ///
 /// `addrs` are per-lane byte addresses (4-byte accesses); inactive lanes are
 /// ignored. Updates request/transaction counters for `space` and L1 hit
-/// counters; sectors continuing past the L1 go to `sink`.
+/// counters; sectors continuing past the L1 go to `sink`. Returns the
+/// transaction (sector) count of this access, for per-site attribution.
 #[allow(clippy::too_many_arguments)] // mirrors the hardware datapath inputs
 pub fn warp_access(
     dev: &DeviceConfig,
@@ -91,11 +92,30 @@ pub fn warp_access(
     mask: LaneMask,
     is_store: bool,
     space: Space,
-) {
+) -> u64 {
     if mask.is_empty() {
-        return;
+        return 0;
     }
     let res = coalesce(addrs, mask, 4, dev.sector_bytes as u64);
+    #[cfg(debug_assertions)]
+    {
+        // Inactive lanes must never contribute sectors: re-coalescing with
+        // their addresses poisoned far away from any real allocation must
+        // yield the identical sector set. The OOB analysis pass relies on
+        // this (a masked-off garbage index is not a hazard).
+        const POISON: u64 = 1 << 60;
+        let mut poisoned = *addrs;
+        for (l, p) in poisoned.iter_mut().enumerate() {
+            if !mask.get(l) {
+                *p = POISON + l as u64 * 4096;
+            }
+        }
+        let pres = coalesce(&poisoned, mask, 4, dev.sector_bytes as u64);
+        debug_assert_eq!(
+            pres.sectors, res.sectors,
+            "inactive-mask lanes contributed sectors to a warp access"
+        );
+    }
     let txns = res.transactions();
     match (space, is_store) {
         (Space::Global, false) => {
@@ -106,9 +126,13 @@ pub fn warp_access(
             stats.gst_requests += 1;
             stats.gst_transactions += txns;
         }
-        (Space::Local, _) => {
+        (Space::Local, false) => {
             stats.local_requests += 1;
-            stats.local_transactions += txns;
+            stats.local_ld_transactions += txns;
+        }
+        (Space::Local, true) => {
+            stats.local_requests += 1;
+            stats.local_st_transactions += txns;
         }
     }
 
@@ -128,6 +152,7 @@ pub fn warp_access(
             }
         }
     }
+    txns
 }
 
 /// Classify one sector against the launch-wide L2, updating L2 hit/access
@@ -267,8 +292,73 @@ mod tests {
             Space::Local,
         );
         assert_eq!(st.local_requests, 1);
-        assert_eq!(st.local_transactions, 4);
+        assert_eq!(st.local_ld_transactions, 4);
+        assert_eq!(st.local_st_transactions, 0);
+        assert_eq!(st.local_transactions(), 4);
         assert_eq!(st.gld_requests, 0);
+    }
+
+    #[test]
+    fn local_stores_attribute_to_store_counter() {
+        let (dev, mut l1, mut l2, mut st) = setup();
+        access(
+            &dev,
+            &mut l1,
+            &mut l2,
+            &mut st,
+            &seq_addrs(0x30000),
+            true,
+            Space::Local,
+        );
+        assert_eq!(st.local_requests, 1);
+        assert_eq!(st.local_ld_transactions, 0);
+        assert_eq!(st.local_st_transactions, 4);
+    }
+
+    #[test]
+    fn inactive_lanes_never_contribute_sectors() {
+        // Regression for the masked-lane miscount risk: garbage addresses in
+        // inactive lanes (overlapping active sectors AND pointing at distinct
+        // far-away sectors) must not change any counter relative to zeroed
+        // inactive lanes — and must not trip the debug poisoning assert.
+        let dev = DeviceConfig::test_tiny();
+        let run = |garbage: bool| {
+            let mut l1 = new_l1(&dev);
+            let mut l2 = new_l2(&dev);
+            let mut st = KernelStats::default();
+            let mask = LaneMask::first(8);
+            let addrs: [u64; WARP] = std::array::from_fn(|l| {
+                if mask.get(l) {
+                    0x10000 + l as u64 * 4
+                } else if garbage {
+                    // half alias the active sectors, half point elsewhere
+                    if l % 2 == 0 {
+                        0x10000
+                    } else {
+                        0x9_0000 + l as u64 * 128
+                    }
+                } else {
+                    0
+                }
+            });
+            let mut sink = L2Sink::Inline(&mut l2);
+            let txns = warp_access(
+                &dev,
+                &mut l1,
+                &mut sink,
+                &mut st,
+                &addrs,
+                mask,
+                false,
+                Space::Global,
+            );
+            (txns, st)
+        };
+        let (clean_txns, clean) = run(false);
+        let (dirty_txns, dirty) = run(true);
+        assert_eq!(clean_txns, 1, "8 contiguous lanes = one 32 B sector");
+        assert_eq!(clean_txns, dirty_txns);
+        assert_eq!(clean, dirty);
     }
 
     #[test]

@@ -29,6 +29,26 @@ impl SharedMem {
         self.data.len()
     }
 
+    /// Debug check that the pass count is insensitive to inactive-lane
+    /// indices: recompute with inactive lanes poisoned and require the same
+    /// result. Guards the invariant the analyzer's OOB pass relies on — a
+    /// masked-off garbage index must cost (and mean) nothing.
+    #[cfg(debug_assertions)]
+    fn assert_inactive_lanes_ignored(&self, idx: &VU, mask: LaneMask, passes: u64) {
+        let poisoned = VU::from_fn(|l| {
+            if mask.get(l) {
+                idx.lane(l)
+            } else {
+                0xDEAD_0000 + l as u32
+            }
+        });
+        debug_assert_eq!(
+            self.passes(&poisoned, mask),
+            passes,
+            "inactive-mask lanes contributed shared-memory passes"
+        );
+    }
+
     /// Number of serialized passes for a warp access at the given word
     /// indices: `max_b (distinct words in bank b)`, minimum 1 for any
     /// active access.
@@ -57,6 +77,8 @@ impl SharedMem {
     /// number of serialized passes.
     pub fn load(&self, idx: &VU, mask: LaneMask) -> (VF, u64) {
         let passes = self.passes(idx, mask);
+        #[cfg(debug_assertions)]
+        self.assert_inactive_lanes_ignored(idx, mask, passes);
         let v = VF::from_fn(|l| {
             if mask.get(l) {
                 let i = idx.lane(l) as usize;
@@ -121,6 +143,8 @@ impl SharedMem {
     /// undefined; a fixed rule keeps simulations reproducible).
     pub fn store(&mut self, idx: &VU, val: &VF, mask: LaneMask) -> u64 {
         let passes = self.passes(idx, mask);
+        #[cfg(debug_assertions)]
+        self.assert_inactive_lanes_ignored(idx, mask, passes);
         // Iterate high→low so the lowest active lane's value lands last.
         for lane in mask.lanes().collect::<Vec<_>>().into_iter().rev() {
             let i = idx.lane(lane) as usize;
@@ -200,6 +224,27 @@ mod tests {
         let (v, p) = s.load(&idx, LaneMask::first(4));
         assert_eq!(p, 1);
         assert_eq!(v.lane(3), 0.0);
+    }
+
+    #[test]
+    fn inactive_lane_garbage_never_adds_passes() {
+        // Regression: inactive lanes carrying maximally bank-conflicting
+        // (and OOB) indices must not change the pass count of the access.
+        let mut s = smem(64);
+        let mask = LaneMask::first(8);
+        let clean = VU::from_fn(|l| if l < 8 { l as u32 } else { 0 });
+        let dirty = VU::from_fn(|l| {
+            if l < 8 {
+                l as u32
+            } else {
+                7000 + (l as u32) * 32
+            }
+        });
+        assert_eq!(s.passes(&clean, mask), s.passes(&dirty, mask));
+        let (vc, pc) = s.load(&clean, mask);
+        let (vd, pd) = s.load(&dirty, mask);
+        assert_eq!((vc, pc), (vd, pd));
+        assert_eq!(s.store(&clean, &VF::splat(1.0), mask), pc);
     }
 
     #[test]

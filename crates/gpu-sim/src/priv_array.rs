@@ -76,21 +76,23 @@ impl<const N: usize> PrivArray<N> {
     }
 
     /// Statically indexed read (`iTemp[3]` with a literal index).
+    #[track_caller]
     pub fn get(&mut self, w: &mut WarpCtx<'_, '_>, i: usize) -> VF {
         assert!(i < N, "private array index {i} out of {N}");
         if self.residency == Residency::Local {
             let slot = self.ensure_slot(w);
-            w.local_access(slot, &VU::splat(i as u32), LaneMask::ALL, false);
+            w.local_access(slot, &VU::splat(i as u32), LaneMask::ALL, false, false);
         }
         self.vals[i]
     }
 
     /// Statically indexed write.
+    #[track_caller]
     pub fn set(&mut self, w: &mut WarpCtx<'_, '_>, i: usize, v: VF) {
         assert!(i < N, "private array index {i} out of {N}");
         if self.residency == Residency::Local {
             let slot = self.ensure_slot(w);
-            w.local_access(slot, &VU::splat(i as u32), LaneMask::ALL, true);
+            w.local_access(slot, &VU::splat(i as u32), LaneMask::ALL, true, false);
         }
         self.vals[i] = v;
     }
@@ -101,6 +103,7 @@ impl<const N: usize> PrivArray<N> {
     /// # Panics
     /// Panics for `Residency::Register`, with a message explaining the
     /// hardware constraint.
+    #[track_caller]
     pub fn get_dyn(&mut self, w: &mut WarpCtx<'_, '_>, idx: &VU, mask: LaneMask) -> VF {
         assert!(
             self.residency == Residency::Local,
@@ -109,7 +112,7 @@ impl<const N: usize> PrivArray<N> {
              or apply the paper's static-index transformation)"
         );
         let slot = self.ensure_slot(w);
-        w.local_access(slot, idx, mask, false);
+        w.local_access(slot, idx, mask, false, true);
         VF::from_fn(|l| {
             if mask.get(l) {
                 let i = idx.lane(l) as usize;
@@ -122,13 +125,14 @@ impl<const N: usize> PrivArray<N> {
     }
 
     /// Dynamically indexed write (local residency only).
+    #[track_caller]
     pub fn set_dyn(&mut self, w: &mut WarpCtx<'_, '_>, idx: &VU, v: &VF, mask: LaneMask) {
         assert!(
             self.residency == Residency::Local,
             "dynamic indexing of a register array is impossible on a GPU (see get_dyn)"
         );
         let slot = self.ensure_slot(w);
-        w.local_access(slot, idx, mask, true);
+        w.local_access(slot, idx, mask, true, true);
         for l in mask.lanes() {
             let i = idx.lane(l) as usize;
             assert!(i < N, "dynamic index {i} out of {N} in lane {l}");
@@ -183,7 +187,7 @@ mod tests {
             assert_eq!(v.lane(7), 1.0);
         });
         assert_eq!(stats.local_requests, 0);
-        assert_eq!(stats.local_transactions, 0);
+        assert_eq!(stats.local_transactions(), 0);
     }
 
     #[test]
@@ -194,8 +198,11 @@ mod tests {
             let _ = a.get(w, 2);
         });
         assert_eq!(stats.local_requests, 2);
-        // uniform index → 32 lanes × 4 B contiguous = 4 sectors per access
-        assert_eq!(stats.local_transactions, 8);
+        // uniform index → 32 lanes × 4 B contiguous = 4 sectors per access,
+        // split one store + one load
+        assert_eq!(stats.local_transactions(), 8);
+        assert_eq!(stats.local_ld_transactions, 4);
+        assert_eq!(stats.local_st_transactions, 4);
     }
 
     #[test]
@@ -215,9 +222,9 @@ mod tests {
         // 5 different 128 B rows across 32 lanes: lanes spread over 5 rows,
         // each row contributes ⌈(lanes in row)·4B / 32B⌉ sectors ≥ 5.
         assert!(
-            stats.local_transactions > 20,
+            stats.local_transactions() > 20,
             "got {}",
-            stats.local_transactions
+            stats.local_transactions()
         );
     }
 

@@ -2,6 +2,7 @@
 //! launch's counters and the timing model's verdict, for harness output
 //! and debugging.
 
+use crate::analysis::HazardReport;
 use crate::device::DeviceConfig;
 use crate::stats::KernelStats;
 use crate::timing::{launch_time, RunReport};
@@ -63,11 +64,11 @@ impl fmt::Display for Profile {
             "  gst  requests/txns {:>14} / {}",
             s.gst_requests, s.gst_transactions
         )?;
-        if s.local_transactions > 0 {
+        if s.local_transactions() > 0 {
             writeln!(
                 f,
                 "  local txns         {:>14}  (register spills!)",
-                s.local_transactions
+                s.local_transactions()
             )?;
         }
         writeln!(
@@ -146,6 +147,48 @@ pub fn run_table(rep: &RunReport, dev: &DeviceConfig) -> String {
     out
 }
 
+/// Render a [`HazardReport`] as a per-site table — the analysis
+/// counterpart of [`run_table`], used by the harness `--analyze` output.
+pub fn hazard_table(report: &HazardReport) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    if report.is_clean() {
+        let _ = writeln!(
+            out,
+            "hazards: none ({} sites across {} blocks analyzed)",
+            report.sites_analyzed, report.blocks_analyzed
+        );
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "{:<9} {:<14} {:<34} {:>9} {:>10}",
+        "severity", "pass", "site", "requests", "txns"
+    );
+    for h in &report.hazards {
+        let _ = writeln!(
+            out,
+            "{:<9} {:<14} {:<34} {:>9} {:>10}",
+            h.severity.to_string(),
+            h.pass.to_string(),
+            h.site.to_string(),
+            h.requests,
+            h.transactions
+        );
+        let _ = writeln!(out, "          {}", h.message);
+        let _ = writeln!(out, "          fix: {}", h.suggestion);
+    }
+    let _ = writeln!(
+        out,
+        "{} error(s), {} warning(s) over {} sites / {} blocks",
+        report.errors(),
+        report.warnings(),
+        report.sites_analyzed,
+        report.blocks_analyzed
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,7 +227,7 @@ mod tests {
         let clean = Profile::new(&sample_stats(), &dev).to_string();
         assert!(!clean.contains("register spills"));
         let mut s = sample_stats();
-        s.local_transactions = 77;
+        s.local_st_transactions = 77;
         let spilled = Profile::new(&s, &dev).to_string();
         assert!(spilled.contains("register spills"));
     }

@@ -35,8 +35,10 @@ pub struct KernelStats {
     // --- local memory (register spills / dynamically indexed arrays) ------
     /// Warp-level local load/store requests.
     pub local_requests: u64,
-    /// Local memory transactions (32 B sectors).
-    pub local_transactions: u64,
+    /// Local memory *load* transactions (32 B sectors).
+    pub local_ld_transactions: u64,
+    /// Local memory *store* transactions (32 B sectors).
+    pub local_st_transactions: u64,
 
     // --- cache hierarchy ---------------------------------------------------
     /// Sectors that hit in L1.
@@ -89,9 +91,15 @@ impl KernelStats {
         self.gld_transactions + self.gst_transactions
     }
 
+    /// Total local-memory transactions, loads + stores (the register-spill
+    /// cost the paper's static-index transformation eliminates).
+    pub fn local_transactions(&self) -> u64 {
+        self.local_ld_transactions + self.local_st_transactions
+    }
+
     /// Bytes moved between SMs and the L1s (global + local traffic).
     pub fn l1_bytes(&self, sector_bytes: usize) -> u64 {
-        (self.gld_transactions + self.gst_transactions + self.local_transactions)
+        (self.gld_transactions + self.gst_transactions + self.local_transactions())
             * sector_bytes as u64
     }
 
@@ -181,7 +189,8 @@ impl KernelStats {
             gst_requests: s(self.gst_requests),
             gst_transactions: s(self.gst_transactions),
             local_requests: s(self.local_requests),
-            local_transactions: s(self.local_transactions),
+            local_ld_transactions: s(self.local_ld_transactions),
+            local_st_transactions: s(self.local_st_transactions),
             l1_hit_sectors: s(self.l1_hit_sectors),
             l2_accesses: s(self.l2_accesses),
             l2_hit_sectors: s(self.l2_hit_sectors),
@@ -207,7 +216,8 @@ impl AddAssign<&KernelStats> for KernelStats {
         self.gst_requests += rhs.gst_requests;
         self.gst_transactions += rhs.gst_transactions;
         self.local_requests += rhs.local_requests;
-        self.local_transactions += rhs.local_transactions;
+        self.local_ld_transactions += rhs.local_ld_transactions;
+        self.local_st_transactions += rhs.local_st_transactions;
         self.l1_hit_sectors += rhs.l1_hit_sectors;
         self.l2_accesses += rhs.l2_accesses;
         self.l2_hit_sectors += rhs.l2_hit_sectors;
@@ -305,6 +315,24 @@ mod tests {
     #[should_panic(expected = "zero blocks")]
     fn extrapolated_rejects_zero_sample() {
         KernelStats::default().extrapolated(10, 0);
+    }
+
+    #[test]
+    fn local_split_extrapolates_exactly_and_sums() {
+        let s = KernelStats {
+            local_requests: 4,
+            local_ld_transactions: 9,
+            local_st_transactions: 3,
+            ..Default::default()
+        };
+        assert_eq!(s.local_transactions(), 12);
+        // 9·5/2 = 22.5 → 23 (half up); 3·5/2 = 7.5 → 8 — each component is
+        // rounded independently in exact integer arithmetic.
+        let t = s.extrapolated(5, 2);
+        assert_eq!(t.local_ld_transactions, 23);
+        assert_eq!(t.local_st_transactions, 8);
+        assert_eq!(t.local_transactions(), 31);
+        assert_eq!(t.local_requests, 10);
     }
 
     #[test]

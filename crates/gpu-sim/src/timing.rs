@@ -249,7 +249,8 @@ mod tests {
         let with = stats_with(|s| {
             s.dram_read_sectors = 1000;
             s.local_requests = 1_000_000;
-            s.local_transactions = 4_000_000;
+            s.local_ld_transactions = 3_000_000;
+            s.local_st_transactions = 1_000_000;
         });
         assert!(launch_time(&with, &dev).total() > launch_time(&without, &dev).total());
     }

@@ -179,6 +179,16 @@ impl GlobalView<'_> {
         }
     }
 
+    /// Element count of buffer `id` (for the analyzer's bounds pass; both
+    /// views delegate to the underlying allocation).
+    #[inline]
+    pub(crate) fn len(&self, id: BufId) -> usize {
+        match self {
+            GlobalView::Direct(mem) => mem.len(id),
+            GlobalView::Overlay { base, .. } => base.len(id),
+        }
+    }
+
     /// Device-side element read — overlay-first, so a block observes its own
     /// pending stores exactly as the sequential engine would.
     #[inline]

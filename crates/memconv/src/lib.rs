@@ -53,7 +53,8 @@ pub mod prelude {
         conv2d_ours, conv_nchw_ours, Conv2dAlgorithm, ConvNchwAlgorithm, Ours, OursConfig,
     };
     pub use memconv_gpusim::{
-        DeviceConfig, GpuSim, KernelStats, LaunchConfig, LaunchMode, RunReport, SampleMode,
+        AnalysisConfig, DeviceConfig, GpuSim, Hazard, HazardPass, HazardReport, KernelStats,
+        LaunchConfig, LaunchMode, RunReport, SampleMode, Severity,
     };
     pub use memconv_ref::{conv2d_ref, conv_nchw_ref};
     pub use memconv_tensor::{

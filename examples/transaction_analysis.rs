@@ -15,7 +15,7 @@ fn row(name: &str, s: &KernelStats, dev: &DeviceConfig) {
         "{name:<22} {:>10} {:>12} {:>12} {:>10} {:>9.1}",
         s.gld_requests,
         s.gld_transactions,
-        s.local_transactions,
+        s.local_transactions(),
         s.shfl_instrs,
         memconv::gpusim::launch_time(s, dev).total() * 1e6,
     );

@@ -16,4 +16,7 @@ cargo build --release
 echo "==> cargo test"
 cargo test -q
 
+echo "==> hazard-analysis gate (ablation --analyze --gate)"
+cargo run --release -q -p memconv-bench --bin ablation -- --analyze --gate
+
 echo "CI gate passed."

@@ -1,0 +1,100 @@
+//! Hazard analysis over the real kernels: the paper's optimized kernels
+//! must come back clean (no dynamic indexing, races, OOB, or coalescing
+//! regressions), the Fig. 1b strawman must be flagged at its dynamic-index
+//! site, and a deliberately racy kernel must be pinned to its source line.
+
+use memconv::prelude::*;
+use memconv_gpusim::{LaneMask, VU};
+
+fn analyzed_sim() -> GpuSim {
+    let mut sim = GpuSim::rtx2080ti();
+    sim.set_analysis(Some(AnalysisConfig::default()));
+    sim
+}
+
+#[test]
+fn optimized_2d_kernels_analyze_clean() {
+    let mut rng = TensorRng::new(9);
+    let img = rng.image(64, 96);
+    for (name, cfg) in [
+        ("direct", OursConfig::direct()),
+        ("column_only", OursConfig::column_only()),
+        ("row_only", OursConfig::row_only()),
+        ("full", OursConfig::full()),
+    ] {
+        for f in [3usize, 5] {
+            let filt = rng.filter(f, f);
+            let mut sim = analyzed_sim();
+            let _ = conv2d_ours(&mut sim, &img, &filt, &cfg);
+            let report = sim.take_hazard_report().expect("analysis enabled");
+            assert!(
+                report.is_clean(),
+                "{name} with {f}x{f} filter reported hazards:\n{report}"
+            );
+            assert!(report.sites_analyzed > 0, "{name}: nothing was recorded");
+        }
+    }
+}
+
+#[test]
+fn fused_nchw_kernel_analyzes_clean() {
+    let mut rng = TensorRng::new(10);
+    let input = rng.tensor(2, 3, 40, 40);
+    let bank = rng.filter_bank(4, 3, 3, 3);
+    let mut sim = analyzed_sim();
+    let _ = conv_nchw_ours(&mut sim, &input, &bank, &OursConfig::full());
+    let report = sim.take_hazard_report().expect("analysis enabled");
+    assert!(report.is_clean(), "NCHW kernel reported hazards:\n{report}");
+}
+
+#[test]
+fn strawman_is_flagged_exactly_at_its_dynamic_site() {
+    let mut rng = TensorRng::new(11);
+    let img = rng.image(24, 64);
+    let filt = rng.filter(3, 3);
+    let mut sim = analyzed_sim();
+    let _ = ShuffleDynamic::new().run(&mut sim, &img, &filt);
+    let report = sim.take_hazard_report().expect("analysis enabled");
+    let dyn_hits: Vec<_> = report.by_pass(HazardPass::DynamicIndex).collect();
+    assert_eq!(dyn_hits.len(), 1, "one get_dyn call site:\n{report}");
+    assert_eq!(dyn_hits[0].severity, Severity::Error);
+    assert_eq!(dyn_hits[0].site.file_name(), "shuffle_dynamic.rs");
+    assert!(dyn_hits[0].suggestion.contains("Algorithm 1"));
+    // Its local traffic is real and attributed per site.
+    assert!(report.local_traffic.iter().any(|t| t.dynamic));
+    let total_local: u64 = report
+        .local_traffic
+        .iter()
+        .map(|t| t.ld_transactions + t.st_transactions)
+        .sum();
+    assert!(total_local > 0);
+}
+
+#[test]
+fn synthetic_racy_kernel_is_pinned_to_its_line() {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    let race_line = AtomicU32::new(0);
+    let mut sim = analyzed_sim();
+    let out = sim.mem.alloc(64);
+    // A broken reduction: warps exchange through shared memory without the
+    // barrier between the producing and consuming phase.
+    sim.launch(&LaunchConfig::linear(1, 64).with_shared(64), |blk| {
+        blk.each_warp(|w| {
+            let ti = w.thread_idx();
+            w.sst(&ti, &ti.to_f32(), LaneMask::ALL);
+        });
+        // missing: blk.barrier();
+        blk.each_warp(|w| {
+            let other = VU::from_fn(|l| ((w.warp_id * 32 + l + 32) % 64) as u32);
+            race_line.store(line!() + 1, Ordering::Relaxed);
+            let v = w.sld(&other, LaneMask::ALL);
+            w.gst(out, &w.global_tid_x(), &v, LaneMask::ALL);
+        });
+    });
+    let report = sim.take_hazard_report().expect("analysis enabled");
+    let races: Vec<_> = report.by_pass(HazardPass::SharedRace).collect();
+    assert!(!races.is_empty(), "race not detected:\n{report}");
+    assert_eq!(races[0].site.file_name(), "analysis_kernels.rs");
+    assert_eq!(races[0].site.line, race_line.load(Ordering::Relaxed));
+    assert!(races[0].message.contains("write-read"));
+}

@@ -113,16 +113,20 @@ fn dynamic_indexing_pays_local_memory_where_algorithm1_pays_none() {
     let filt = rng.filter(5, 5);
 
     let ours = ours_stats(&img, &filt, &OursConfig::column_only());
-    assert_eq!(ours.local_transactions, 0, "Algorithm 1 stays in registers");
+    assert_eq!(
+        ours.local_transactions(),
+        0,
+        "Algorithm 1 stays in registers"
+    );
 
     let mut sim = GpuSim::rtx2080ti();
     let (_, rep) = ShuffleDynamic::new().run(&mut sim, &img, &filt);
     let dynamic = rep.totals();
-    assert!(dynamic.local_transactions > 0);
+    assert!(dynamic.local_transactions() > 0);
     assert!(
-        dynamic.local_transactions > dynamic.gld_transactions,
+        dynamic.local_transactions() > dynamic.gld_transactions,
         "local traffic should dominate the saved global traffic: {} vs {}",
-        dynamic.local_transactions,
+        dynamic.local_transactions(),
         dynamic.gld_transactions
     );
 }
