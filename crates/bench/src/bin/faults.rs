@@ -1,0 +1,327 @@
+//! Fault-injection campaign for the resilient dispatch path.
+//!
+//! ```sh
+//! cargo run --release -p memconv-bench --bin faults                  # full campaign
+//! cargo run --release -p memconv-bench --bin faults -- --smoke --gate
+//! cargo run --release -p memconv-bench --bin faults -- --seeds 48 --json
+//! ```
+//!
+//! Per fault class × seed the campaign first runs three *unprotected*
+//! kernels (fused, direct, tiled) with the seeded [`FaultPlan`] armed and
+//! classifies each run as `errored` (typed launch failure), `corrupt`
+//! (output differs from the CPU reference — what silent data corruption
+//! looks like without detection), or `neutral` (bit-exact output). It then
+//! repeats the same plan through [`conv2d_checked`] and classifies the
+//! protected outcome as `surfaced` (typed error), `corrected` (served only
+//! after a retry or fallback), `benign` (first attempt served although
+//! faults fired — output-neutral classes), `untriggered` (no fault drawn
+//! this seed), or `silent` (a *verified* output still differs from the
+//! reference — must never happen).
+//!
+//! A final identity check reruns the workload with injection disabled and
+//! requires `launch` and `try_launch` to be bit-identical — stats and
+//! output — in both launch engines: the resilience machinery may only
+//! observe, never perturb.
+//!
+//! `--gate` exits 1 unless there were zero silent corruptions and the
+//! identity check passed; `--smoke` cuts the seeds per class from 24 to 6;
+//! `--json` writes the campaign to `BENCH_faults.json`; `--mode
+//! parallel|sequential` selects the launch engine for the campaign runs
+//! (the identity check always covers both).
+
+use memconv::gpusim::{classify_panic, DEFAULT_BLOCK_INSTRUCTION_BUDGET};
+use memconv::prelude::*;
+use memconv_bench::{apply_harness_flags, harness_launch_mode, parse_flag};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Seeds per fault class (6 under `--smoke`).
+const DEFAULT_SEEDS: u64 = 24;
+
+/// The unprotected kernels swept by the raw phase, in chain order.
+const RAW_TIERS: [FallbackTier; 3] = [
+    FallbackTier::FusedNchw,
+    FallbackTier::OursDirect,
+    FallbackTier::Tiled,
+];
+
+/// The campaign workload: large enough that every block issues more than
+/// the 512-instruction hang window (so injected hangs actually manifest),
+/// small enough that `conv2d_checked` takes the full-compare path.
+fn workload() -> (Tensor4, FilterBank) {
+    let mut rng = TensorRng::new(0xFA17);
+    (rng.tensor(1, 4, 24, 24), rng.filter_bank(2, 4, 3, 3))
+}
+
+fn fresh_sim() -> GpuSim {
+    GpuSim::new(DeviceConfig::test_tiny()).with_launch_mode(harness_launch_mode())
+}
+
+/// Outcome of one unprotected run against the reference output.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Raw {
+    Errored,
+    Corrupt,
+    Neutral,
+}
+
+/// Run one kernel with `plan` armed and no protection beyond the watchdog.
+fn raw_run(
+    tier: FallbackTier,
+    plan: FaultPlan,
+    input: &Tensor4,
+    bank: &FilterBank,
+    want: &Tensor4,
+) -> Raw {
+    let mut sim = fresh_sim();
+    sim.set_fault_plan(Some(plan));
+    sim.set_watchdog_budget(Some(DEFAULT_BLOCK_INSTRUCTION_BUDGET));
+    let res: Result<Tensor4, LaunchError> = match tier {
+        FallbackTier::FusedNchw => {
+            let mut c = OursConfig::full();
+            c.sample = SampleMode::Full;
+            try_conv_nchw_ours(&mut sim, input, bank, &c).map(|(t, _)| t)
+        }
+        FallbackTier::OursDirect => {
+            let mut c = OursConfig::direct();
+            c.sample = SampleMode::Full;
+            try_conv_nchw_ours(&mut sim, input, bank, &c).map(|(t, _)| t)
+        }
+        FallbackTier::Tiled => {
+            let tiled = TiledConv::new().with_sample(SampleMode::Full);
+            catch_unwind(AssertUnwindSafe(|| tiled.run(&mut sim, input, bank)))
+                .map(|(t, _)| t)
+                .map_err(classify_panic)
+        }
+        FallbackTier::CpuReference => unreachable!("raw sweep covers simulated tiers only"),
+    };
+    match res {
+        Err(_) => Raw::Errored,
+        Ok(out) if out.as_slice() == want.as_slice() => Raw::Neutral,
+        Ok(_) => Raw::Corrupt,
+    }
+}
+
+/// Outcome of one protected (`conv2d_checked`) run.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Checked {
+    Silent,
+    Surfaced,
+    Corrected,
+    Benign,
+    Untriggered,
+}
+
+fn checked_run(plan: FaultPlan, input: &Tensor4, bank: &FilterBank, want: &Tensor4) -> Checked {
+    let mut sim = fresh_sim();
+    sim.set_fault_plan(Some(plan));
+    let res = conv2d_checked(
+        &mut sim,
+        input,
+        bank,
+        &OursConfig::full(),
+        &CheckedConfig::default(),
+    );
+    let log = sim.take_fault_log();
+    match res {
+        Err(_) => Checked::Surfaced,
+        Ok((out, rep)) => {
+            if out.as_slice() != want.as_slice() {
+                Checked::Silent
+            } else if rep.fell_back() || rep.total_attempts() > 1 {
+                Checked::Corrected
+            } else if log.is_empty() {
+                Checked::Untriggered
+            } else {
+                Checked::Benign
+            }
+        }
+    }
+}
+
+/// Per-class campaign tallies.
+#[derive(Default)]
+struct ClassStats {
+    /// `raw[tier][Raw as usize]`.
+    raw: [[u64; 3]; 3],
+    /// `checked[Checked as usize]`.
+    checked: [u64; 5],
+}
+
+impl ClassStats {
+    fn silent(&self) -> u64 {
+        self.checked[Checked::Silent as usize]
+    }
+
+    fn to_json(&self, class: &str, seeds: u64) -> String {
+        let raw: Vec<String> = RAW_TIERS
+            .iter()
+            .zip(self.raw.iter())
+            .map(|(tier, c)| {
+                format!(
+                    "{{\"tier\":\"{}\",\"errored\":{},\"corrupt\":{},\"neutral\":{}}}",
+                    tier.name(),
+                    c[Raw::Errored as usize],
+                    c[Raw::Corrupt as usize],
+                    c[Raw::Neutral as usize]
+                )
+            })
+            .collect();
+        format!(
+            "{{\"class\":\"{class}\",\"seeds\":{seeds},\"raw\":[{}],\
+             \"checked\":{{\"silent\":{},\"surfaced\":{},\"corrected\":{},\
+             \"benign\":{},\"untriggered\":{}}}}}",
+            raw.join(","),
+            self.checked[Checked::Silent as usize],
+            self.checked[Checked::Surfaced as usize],
+            self.checked[Checked::Corrected as usize],
+            self.checked[Checked::Benign as usize],
+            self.checked[Checked::Untriggered as usize],
+        )
+    }
+}
+
+/// With injection disabled, `try_launch` must be bit-identical to `launch`
+/// in both engines — stats and output. Returns `true` on success.
+fn identity_check(input: &Tensor4, bank: &FilterBank) -> bool {
+    let mut cfg = OursConfig::full();
+    cfg.sample = SampleMode::Full;
+    let mut ok = true;
+    for mode in [LaunchMode::Sequential, LaunchMode::Parallel] {
+        let mut plain_sim = GpuSim::new(DeviceConfig::test_tiny()).with_launch_mode(mode);
+        let (plain_out, plain_stats) = conv_nchw_ours(&mut plain_sim, input, bank, &cfg);
+
+        // No plan at all, and an armed-but-empty plan, must both be inert.
+        for plan in [None, Some(FaultPlan::new(0xD15AB1ED))] {
+            let mut sim = GpuSim::new(DeviceConfig::test_tiny()).with_launch_mode(mode);
+            sim.set_fault_plan(plan);
+            let (out, stats) = match try_conv_nchw_ours(&mut sim, input, bank, &cfg) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("identity check: unexpected launch failure in {mode:?}: {e}");
+                    ok = false;
+                    continue;
+                }
+            };
+            if plain_stats != stats
+                || plain_out.as_slice() != out.as_slice()
+                || !sim.fault_log().is_empty()
+            {
+                eprintln!(
+                    "identity check FAILED in {mode:?} (plan: {}): try_launch deviated from launch",
+                    if plan.is_some() { "empty" } else { "none" }
+                );
+                ok = false;
+            }
+        }
+    }
+    ok
+}
+
+fn main() {
+    let emit_json = apply_harness_flags();
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let gate = args.iter().any(|a| a == "--gate");
+    let seeds = match parse_flag::<u64>("--seeds") {
+        Some(0) => {
+            eprintln!("--seeds must be >= 1");
+            std::process::exit(2);
+        }
+        Some(n) => n,
+        None => {
+            if smoke {
+                6
+            } else {
+                DEFAULT_SEEDS
+            }
+        }
+    };
+
+    // Injected hangs and OOB faults surface as panics that are caught and
+    // classified; suppress the default hook's per-panic backtrace noise.
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let (input, bank) = workload();
+    let want = conv_nchw_ref(&input, &bank);
+
+    println!(
+        "=== Fault-injection campaign — {seeds} seeds/class, {:?} engine ===",
+        harness_launch_mode()
+    );
+    println!(
+        "{:<16} {:<12} {:>8} {:>8} {:>8}   checked: silent/surfaced/corrected/benign/untrig",
+        "class", "tier", "errored", "corrupt", "neutral"
+    );
+
+    let mut campaign: Vec<(&'static str, ClassStats)> = Vec::new();
+    for (ki, kind) in FaultKind::ALL.iter().enumerate() {
+        let mut stats = ClassStats::default();
+        for s in 0..seeds {
+            let plan = FaultPlan::single(*kind, 0xC0FFEE ^ ((ki as u64) << 32) ^ s);
+            for (ti, tier) in RAW_TIERS.iter().enumerate() {
+                let r = raw_run(*tier, plan, &input, &bank, &want);
+                stats.raw[ti][r as usize] += 1;
+            }
+            let c = checked_run(plan, &input, &bank, &want);
+            stats.checked[c as usize] += 1;
+        }
+        for (ti, tier) in RAW_TIERS.iter().enumerate() {
+            let c = &stats.raw[ti];
+            println!(
+                "{:<16} {:<12} {:>8} {:>8} {:>8}{}",
+                if ti == 0 { kind.name() } else { "" },
+                tier.name(),
+                c[Raw::Errored as usize],
+                c[Raw::Corrupt as usize],
+                c[Raw::Neutral as usize],
+                if ti == 0 {
+                    format!(
+                        "   {}/{}/{}/{}/{}",
+                        stats.checked[Checked::Silent as usize],
+                        stats.checked[Checked::Surfaced as usize],
+                        stats.checked[Checked::Corrected as usize],
+                        stats.checked[Checked::Benign as usize],
+                        stats.checked[Checked::Untriggered as usize],
+                    )
+                } else {
+                    String::new()
+                }
+            );
+        }
+        campaign.push((kind.name(), stats));
+    }
+
+    let silent_total: u64 = campaign.iter().map(|(_, s)| s.silent()).sum();
+    let checked_runs = seeds * FaultKind::ALL.len() as u64;
+    let identity_ok = identity_check(&input, &bank);
+    let gate_pass = silent_total == 0 && identity_ok;
+
+    println!("{:-<84}", "");
+    println!("silent corruptions served: {silent_total} across {checked_runs} checked runs");
+    println!(
+        "identity (injection disabled, launch vs try_launch, both engines): {}",
+        if identity_ok { "OK" } else { "FAILED" }
+    );
+    println!("gate: {}", if gate_pass { "PASS" } else { "FAIL" });
+
+    if emit_json {
+        let mut items: Vec<String> = campaign
+            .iter()
+            .map(|(class, s)| s.to_json(class, seeds))
+            .collect();
+        items.push(format!(
+            "{{\"class\":\"_summary\",\"seeds\":{seeds},\"silent_total\":{silent_total},\
+             \"identity_ok\":{identity_ok},\"gate_pass\":{gate_pass}}}"
+        ));
+        let path = "BENCH_faults.json";
+        if let Err(e) = std::fs::write(path, format!("[\n  {}\n]\n", items.join(",\n  "))) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {path}");
+    }
+
+    if gate && !gate_pass {
+        std::process::exit(1);
+    }
+}

@@ -17,26 +17,22 @@
 
 use memconv::prelude::*;
 use memconv_bench::{
-    append_bench_json, apply_harness_flags, harness_sample, mean, print_hazards, run_2d,
-    AlgoResult, BenchRecord,
+    apply_harness_flags, harness_sample, mean, parse_flag, print_hazards, run_2d,
+    write_bench_json_or_exit, AlgoResult, BenchRecord,
 };
 use std::time::Instant;
 
-fn parse_arg(name: &str) -> Option<usize> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-}
-
 fn main() {
     let emit_json = apply_harness_flags();
-    let filters: Vec<usize> = match parse_arg("--filter") {
-        Some(f) => vec![f],
+    let filters: Vec<usize> = match parse_flag::<usize>("--filter") {
+        Some(f) if f == 3 || f == 5 => vec![f],
+        Some(f) => {
+            eprintln!("unsupported --filter {f} (expected 3 | 5)");
+            std::process::exit(2);
+        }
         None => vec![3, 5],
     };
-    let max_size = parse_arg("--max-size").unwrap_or(4096);
+    let max_size = parse_flag::<usize>("--max-size").unwrap_or(4096);
     let sample = harness_sample();
     let mut records = Vec::new();
 
@@ -132,6 +128,6 @@ fn main() {
             "\nsim throughput ({}, {} threads): {:.0} blocks/sec",
             last.mode, last.threads, last.blocks_per_sec
         );
-        append_bench_json("BENCH_sim.json", &records).expect("write BENCH_sim.json");
+        write_bench_json_or_exit("BENCH_sim.json", &records);
     }
 }

@@ -22,26 +22,22 @@
 use memconv::baselines::cudnn::cudnn_family;
 use memconv::prelude::*;
 use memconv_bench::{
-    append_bench_json, apply_harness_flags, capped_batch, harness_sample, mean, print_hazards,
-    run_nchw, BenchRecord,
+    apply_harness_flags, capped_batch, harness_sample, mean, parse_flag, print_hazards, run_nchw,
+    string_flag, write_bench_json_or_exit, BenchRecord,
 };
 use std::time::Instant;
 
-fn arg_value(name: &str) -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-}
-
 fn main() {
     let emit_json = apply_harness_flags();
-    let channels: Vec<usize> = match arg_value("--channels").and_then(|v| v.parse().ok()) {
-        Some(c) => vec![c],
+    let channels: Vec<usize> = match parse_flag::<usize>("--channels") {
+        Some(c) if c >= 1 => vec![c],
+        Some(c) => {
+            eprintln!("invalid --channels {c} (must be >= 1)");
+            std::process::exit(2);
+        }
         None => vec![1, 3],
     };
-    let layer_filter = arg_value("--layer");
+    let layer_filter = string_flag("--layer");
     let sample = harness_sample();
     let mut records = Vec::new();
 
@@ -141,6 +137,6 @@ fn main() {
             "\nsim throughput ({}, {} threads): {:.0} blocks/sec",
             last.mode, last.threads, last.blocks_per_sec
         );
-        append_bench_json("BENCH_sim.json", &records).expect("write BENCH_sim.json");
+        write_bench_json_or_exit("BENCH_sim.json", &records);
     }
 }

@@ -195,19 +195,58 @@ pub fn append_bench_json(path: &str, records: &[BenchRecord]) -> std::io::Result
     std::fs::write(path, format!("[\n  {}\n]\n", items.join(",\n  ")))
 }
 
+/// The value following `--flag` on the command line, parsed as `T`.
+/// `None` when the flag is absent. A flag that is *present* but has a
+/// missing or malformed value prints a message and exits 2 — bad CLI
+/// input must fail loudly, never silently fall back to a default.
+pub fn parse_flag<T: std::str::FromStr>(flag: &str) -> Option<T> {
+    let args: Vec<String> = std::env::args().collect();
+    let i = args.iter().position(|a| a == flag)?;
+    let Some(raw) = args.get(i + 1) else {
+        eprintln!("{flag} requires a value");
+        std::process::exit(2);
+    };
+    match raw.parse() {
+        Ok(v) => Some(v),
+        Err(_) => {
+            eprintln!("invalid value for {flag}: `{raw}`");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// String variant of [`parse_flag`].
+pub fn string_flag(flag: &str) -> Option<String> {
+    parse_flag::<String>(flag)
+}
+
+/// Write bench records, turning an I/O failure into a message + exit 1
+/// instead of a panic with a backtrace.
+pub fn write_bench_json_or_exit(path: &str, records: &[BenchRecord]) {
+    if let Err(e) = append_bench_json(path, records) {
+        eprintln!("failed to write {path}: {e}");
+        std::process::exit(1);
+    }
+}
+
 /// Shared `--mode` / `--json` / `--analyze` flag handling for the figure
-/// harnesses: `--mode parallel|sequential` overrides `MEMCONV_LAUNCH_MODE`,
-/// `--analyze` turns on hazard analysis for every harness simulator (one
-/// verdict line per algorithm; counters are unchanged); returns whether
-/// `--json` was passed (emit [`BenchRecord`]s to `BENCH_sim.json`).
+/// harnesses: `--mode parallel|sequential` overrides `MEMCONV_LAUNCH_MODE`
+/// (any other value exits 2), `--analyze` turns on hazard analysis for
+/// every harness simulator (one verdict line per algorithm; counters are
+/// unchanged); returns whether `--json` was passed (emit [`BenchRecord`]s
+/// to `BENCH_sim.json`).
 pub fn apply_harness_flags() -> bool {
     let args: Vec<String> = std::env::args().collect();
-    if let Some(mode) = args
-        .iter()
-        .position(|a| a == "--mode")
-        .and_then(|i| args.get(i + 1))
-    {
-        std::env::set_var("MEMCONV_LAUNCH_MODE", mode);
+    if let Some(mode) = string_flag("--mode") {
+        match mode.as_str() {
+            "sequential" | "Sequential" | "parallel" | "Parallel" => {
+                std::env::set_var("MEMCONV_LAUNCH_MODE", &mode);
+            }
+            other => {
+                eprintln!("invalid --mode `{other}` (expected sequential | parallel)");
+                std::process::exit(2);
+            }
+        }
     }
     if args.iter().any(|a| a == "--analyze") {
         std::env::set_var("MEMCONV_ANALYZE", "1");

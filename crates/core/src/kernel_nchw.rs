@@ -11,26 +11,25 @@ use crate::column_reuse::{load_row_columns, load_row_columns_direct};
 use crate::kernel2d::OursConfig;
 use crate::plan::ColumnPlan;
 use crate::row_reuse::contributions_tiled;
-use memconv_gpusim::{BufId, GpuSim, KernelStats, LaunchConfig, VF, WARP};
+use memconv_gpusim::{BlockCtx, BufId, GpuSim, KernelStats, LaunchConfig, LaunchError, VF, WARP};
 use memconv_tensor::{ConvGeometry, FilterBank, Tensor4};
 
-/// Launch the fused multi-channel kernel on uploaded NCHW buffers.
-///
-/// * `input` — `N × IC × IH × IW`;
-/// * `weights` — `FN × IC × FH × FW` (constant memory);
-/// * `output` — `N × FN × OH × OW`.
-pub fn launch_conv_nchw_ours(
-    sim: &mut GpuSim,
+/// Build the launch geometry and kernel closure for the fused
+/// multi-channel kernel, shared by the panicking
+/// ([`launch_conv_nchw_ours`]) and fallible ([`try_launch_conv_nchw_ours`])
+/// entry points.
+fn nchw_launch_parts(
     input: BufId,
     weights: BufId,
     output: BufId,
     g: &ConvGeometry,
     cfg: &OursConfig,
-) -> KernelStats {
+) -> (LaunchConfig, impl Fn(&mut BlockCtx<'_>) + Sync) {
     let (ih, iw) = (g.in_h, g.in_w);
     let (fh, fw) = (g.f_h, g.f_w);
     let (oh, ow) = (g.out_h(), g.out_w());
     let (ic, fn_) = (g.in_channels, g.out_channels);
+    let cfg = cfg.clone();
     let t_rows = cfg.rows_per_thread;
     let cols_per_block = WARP * cfg.block_warps;
     let gx = ow.div_ceil(cols_per_block) as u32;
@@ -44,7 +43,7 @@ pub fn launch_conv_nchw_ours(
     let out_plane = oh * ow;
     let w_plane = fh * fw;
 
-    sim.launch(&launch, |blk| {
+    let kernel = move |blk: &mut BlockCtx<'_>| {
         let (bx, by, bz) = blk.block_idx;
         let n = bz as usize / fn_;
         let f = bz as usize % fn_;
@@ -98,7 +97,41 @@ pub fn launch_conv_nchw_ours(
                 w.gst(output, &idx, &a, store_mask);
             }
         });
-    })
+    };
+    (launch, kernel)
+}
+
+/// Launch the fused multi-channel kernel on uploaded NCHW buffers.
+///
+/// * `input` — `N × IC × IH × IW`;
+/// * `weights` — `FN × IC × FH × FW` (constant memory);
+/// * `output` — `N × FN × OH × OW`.
+pub fn launch_conv_nchw_ours(
+    sim: &mut GpuSim,
+    input: BufId,
+    weights: BufId,
+    output: BufId,
+    g: &ConvGeometry,
+    cfg: &OursConfig,
+) -> KernelStats {
+    let (launch, kernel) = nchw_launch_parts(input, weights, output, g, cfg);
+    sim.launch(&launch, kernel)
+}
+
+/// Fallible [`launch_conv_nchw_ours`]: runs through
+/// [`GpuSim::try_launch`], so config errors, out-of-bounds accesses,
+/// watchdog timeouts, and block panics come back as typed
+/// [`LaunchError`]s instead of panics.
+pub fn try_launch_conv_nchw_ours(
+    sim: &mut GpuSim,
+    input: BufId,
+    weights: BufId,
+    output: BufId,
+    g: &ConvGeometry,
+    cfg: &OursConfig,
+) -> Result<KernelStats, LaunchError> {
+    let (launch, kernel) = nchw_launch_parts(input, weights, output, g, cfg);
+    sim.try_launch(&launch, kernel)
 }
 
 /// Convenience wrapper: upload, run, download.
@@ -132,6 +165,46 @@ pub fn conv_nchw_ours(
     )
     .expect("shape by construction");
     (out, stats)
+}
+
+/// Fallible [`conv_nchw_ours`]: shape mismatches between input and weights
+/// surface as [`LaunchError::InvalidConfig`], and every launch failure
+/// comes back typed rather than as a panic.
+pub fn try_conv_nchw_ours(
+    sim: &mut GpuSim,
+    input: &Tensor4,
+    weights: &FilterBank,
+    cfg: &OursConfig,
+) -> Result<(Tensor4, KernelStats), LaunchError> {
+    let (n, c, ih, iw) = input.dims();
+    if c != weights.channels() {
+        return Err(LaunchError::InvalidConfig(format!(
+            "channel mismatch: input has {c}, weights expect {}",
+            weights.channels()
+        )));
+    }
+    let g = ConvGeometry::nchw(
+        n,
+        c,
+        ih,
+        iw,
+        weights.num_filters(),
+        weights.fh(),
+        weights.fw(),
+    );
+    let bi = sim.mem.upload(input.as_slice());
+    let bw = sim.mem.upload(weights.as_slice());
+    let bo = sim.mem.alloc(g.out_elems());
+    let stats = try_launch_conv_nchw_ours(sim, bi, bw, bo, &g, cfg)?;
+    let out = Tensor4::from_vec(
+        n,
+        g.out_channels,
+        g.out_h(),
+        g.out_w(),
+        sim.mem.download(bo).to_vec(),
+    )
+    .expect("shape by construction");
+    Ok((out, stats))
 }
 
 #[cfg(test)]

@@ -31,6 +31,7 @@
 
 use crate::analysis::{AnalysisConfig, BlockCollector, HazardReport, LaunchCollector, SiteId};
 use crate::device::DeviceConfig;
+use crate::faults::{self, BlockFaults, FaultLog, FaultPlan};
 use crate::lane::{LaneMask, LaneVec, VF, VU, WARP};
 use crate::memory::hierarchy::{
     flush_l2, new_l1, new_l2, replay_trace, warp_access, L2Sink, Space,
@@ -39,6 +40,7 @@ use crate::memory::{BufId, GlobalMem, SectoredCache, SharedMem};
 use crate::shuffle;
 use crate::stats::KernelStats;
 use crate::trace::{BlockTrace, GlobalView, StoreBuffer};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// How many of a launch's blocks to simulate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -189,30 +191,130 @@ impl LaunchConfig {
         )
     }
 
+    /// Check this configuration against `dev`, returning
+    /// [`LaunchError::InvalidConfig`] instead of panicking. Used by
+    /// [`GpuSim::try_launch`]; [`GpuSim::launch`] keeps the historical
+    /// panic (same messages) via [`LaunchConfig::validate`].
+    pub fn try_validate(&self, dev: &DeviceConfig) -> Result<(), LaunchError> {
+        let fail = |msg: String| Err(LaunchError::InvalidConfig(msg));
+        if !(self.block > 0 && self.block.is_multiple_of(WARP as u32)) {
+            return fail("block size must be a positive multiple of 32".into());
+        }
+        if self.block > dev.max_threads_per_sm {
+            return fail("block size exceeds device limit".into());
+        }
+        if self.num_blocks() == 0 {
+            return fail("empty grid".into());
+        }
+        if self.shared_words * 4 > dev.smem_per_sm {
+            return fail(format!(
+                "shared memory request {} B exceeds {} B per SM",
+                self.shared_words * 4,
+                dev.smem_per_sm
+            ));
+        }
+        Ok(())
+    }
+
     fn validate(&self, dev: &DeviceConfig) {
-        assert!(
-            self.block > 0 && self.block.is_multiple_of(WARP as u32),
-            "block size must be a positive multiple of 32"
-        );
-        assert!(
-            self.block <= dev.max_threads_per_sm,
-            "block size exceeds device limit"
-        );
-        assert!(self.num_blocks() > 0, "empty grid");
-        assert!(
-            self.shared_words * 4 <= dev.smem_per_sm,
-            "shared memory request {} B exceeds {} B per SM",
-            self.shared_words * 4,
-            dev.smem_per_sm
-        );
+        if let Err(LaunchError::InvalidConfig(msg)) = self.try_validate(dev) {
+            panic!("{msg}");
+        }
     }
 }
+
+/// Why a [`GpuSim::try_launch`] failed. Plain [`GpuSim::launch`] panics in
+/// the same situations (minus [`LaunchError::Timeout`], which needs the
+/// watchdog that only `try_launch` arms by default).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LaunchError {
+    /// The launch configuration is rejected before any block runs
+    /// (zero/non-warp-multiple/oversized block, empty grid, shared-memory
+    /// request beyond the device limit).
+    InvalidConfig(String),
+    /// A lane addressed a device buffer out of bounds (also covers
+    /// buffer-size mismatches between the kernel's indexing and the actual
+    /// allocation).
+    OutOfBounds(String),
+    /// A block exceeded the per-block instruction budget — a real runaway
+    /// loop, or an injected [`crate::faults::FaultKind::Hang`].
+    Timeout {
+        /// Instructions issued by the tripping block when it was stopped.
+        issued: u64,
+        /// The budget it exceeded.
+        budget: u64,
+        /// Whether an injected hang fault (rather than a genuine runaway
+        /// kernel) forced the trip.
+        hang_injected: bool,
+    },
+    /// A block panicked for any other reason. Under
+    /// [`LaunchMode::Parallel`], [`GpuSim::try_launch`] retries the launch
+    /// once on the sequential reference engine before reporting this.
+    BlockPanic(String),
+}
+
+impl std::fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LaunchError::InvalidConfig(m) => write!(f, "invalid launch config: {m}"),
+            LaunchError::OutOfBounds(m) => write!(f, "out-of-bounds access: {m}"),
+            LaunchError::Timeout {
+                issued,
+                budget,
+                hang_injected,
+            } => write!(
+                f,
+                "block exceeded instruction budget ({issued} > {budget}{})",
+                if *hang_injected {
+                    ", hang fault injected"
+                } else {
+                    ""
+                }
+            ),
+            LaunchError::BlockPanic(m) => write!(f, "block panicked: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LaunchError {}
 
 /// Virtual address where per-thread local memory (register spill space)
 /// begins; far above the global arena.
 const LOCAL_BASE: u64 = 1 << 44;
 /// Local memory reserved per warp (bytes): 255 spill slots × 128 B.
 const LOCAL_WARP_SPAN: u64 = 255 * 128;
+
+/// Default per-block instruction budget for [`GpuSim::try_launch`]. Sized
+/// far above any real block in this codebase (the heaviest Table I blocks
+/// issue ~10⁵ warp instructions) so only genuine runaways or injected
+/// hangs trip it, while still bounding host time to well under a minute.
+pub const DEFAULT_BLOCK_INSTRUCTION_BUDGET: u64 = 1 << 26;
+
+/// Panic payload thrown by the watchdog; typed so
+/// [`GpuSim::try_launch`] can classify it as [`LaunchError::Timeout`].
+#[derive(Debug, Clone, Copy)]
+struct WatchdogTrip {
+    issued: u64,
+    budget: u64,
+    hang_injected: bool,
+}
+
+/// Per-block instruction-budget watchdog.
+#[derive(Debug, Clone, Copy)]
+struct Watchdog {
+    budget: u64,
+    issued: u64,
+}
+
+/// Per-launch execution environment shared by both engines: resolved once
+/// in [`GpuSim::launch_inner`], copied into every block.
+#[derive(Debug, Clone, Copy)]
+struct LaunchEnv {
+    analyze: bool,
+    faults: Option<FaultPlan>,
+    launch_seq: u64,
+    watchdog: Option<u64>,
+}
 
 struct Resources<'a> {
     dev: &'a DeviceConfig,
@@ -224,6 +326,43 @@ struct Resources<'a> {
     /// Hazard-analysis event recorder; `None` outside analyzed launches, in
     /// which case every instrumented path is byte-for-byte the plain path.
     analysis: Option<&'a mut BlockCollector>,
+    /// Fault-injection state; `None` (the default) keeps every instrumented
+    /// path byte-for-byte the plain path, like `analysis`.
+    faults: Option<&'a mut BlockFaults>,
+    /// Instruction-budget watchdog; armed by [`GpuSim::try_launch`] (or an
+    /// explicit [`GpuSim::set_watchdog_budget`]), absent otherwise.
+    watchdog: Option<Watchdog>,
+}
+
+impl Resources<'_> {
+    /// Count `n` issued warp instructions against the watchdog (if armed)
+    /// and let a pending hang fault manifest. Panics with a typed
+    /// [`WatchdogTrip`] payload on budget exhaustion — a no-op whenever no
+    /// watchdog is armed, so plain launches are untouched.
+    #[inline]
+    fn tick(&mut self, n: u64) {
+        let Some(wd) = self.watchdog.as_mut() else {
+            return;
+        };
+        wd.issued += n;
+        let mut hang_injected = false;
+        if let Some(f) = self.faults.as_deref_mut() {
+            f.note_instructions(wd.issued);
+            if f.hung() {
+                // A hung block stops making progress; model that as the
+                // instruction counter blowing straight past any budget.
+                wd.issued = wd.issued.max(wd.budget).saturating_add(1);
+                hang_injected = true;
+            }
+        }
+        if wd.issued > wd.budget {
+            std::panic::panic_any(WatchdogTrip {
+                issued: wd.issued,
+                budget: wd.budget,
+                hang_injected,
+            });
+        }
+    }
 }
 
 /// Execution context for one thread block.
@@ -271,6 +410,7 @@ impl<'a> BlockCtx<'a> {
     /// the next [`BlockCtx::each_warp`] observe all shared/global writes of
     /// the previous phase.
     pub fn barrier(&mut self) {
+        self.res.tick(1);
         self.res.stats.barriers += 1;
         if let Some(a) = self.res.analysis.as_deref_mut() {
             a.barrier();
@@ -318,6 +458,7 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
     /// Fused multiply-add `a*b + c` (one warp FMA instruction).
     #[inline]
     pub fn fma(&mut self, a: VF, b: VF, c: VF) -> VF {
+        self.res.tick(1);
         self.res.stats.fma_instrs += 1;
         LaneVec::from_fn(|l| a.lane(l).mul_add(b.lane(l), c.lane(l)))
     }
@@ -325,6 +466,7 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
     /// Counted floating add.
     #[inline]
     pub fn fadd(&mut self, a: VF, b: VF) -> VF {
+        self.res.tick(1);
         self.res.stats.fp_instrs += 1;
         a + b
     }
@@ -332,6 +474,7 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
     /// Counted floating multiply.
     #[inline]
     pub fn fmul(&mut self, a: VF, b: VF) -> VF {
+        self.res.tick(1);
         self.res.stats.fp_instrs += 1;
         a * b
     }
@@ -339,6 +482,7 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
     /// Record `n` additional floating-point instructions executed by host-
     /// side shortcuts (e.g. an unrolled inner loop folded into one call).
     pub fn count_fp(&mut self, n: u64) {
+        self.res.tick(n);
         self.res.stats.fp_instrs += n;
     }
 
@@ -347,9 +491,19 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
     /// Count one shuffle, attributing it to the caller's site when the
     /// hazard analyzer is recording.
     fn note_shfl(&mut self, site: SiteId) {
+        self.res.tick(1);
         self.res.stats.shfl_instrs += 1;
         if let Some(a) = self.res.analysis.as_deref_mut() {
             a.record_shuffle(site);
+        }
+    }
+
+    /// Apply a pending shuffle-lane fault to a shuffle result; the plain
+    /// identity whenever injection is off.
+    fn shfl_faulted(&mut self, v: VF) -> VF {
+        match self.res.faults.as_deref_mut().and_then(|f| f.shuffle()) {
+            Some(c) => shuffle::corrupt_lane(&v, (c.pick % WARP as u64) as usize, c.bit),
+            None => v,
         }
     }
 
@@ -357,52 +511,59 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
     #[track_caller]
     pub fn shfl_xor(&mut self, v: &VF, mask: usize) -> VF {
         self.note_shfl(SiteId::caller());
-        shuffle::shfl_xor(v, mask, WARP)
+        let r = shuffle::shfl_xor(v, mask, WARP);
+        self.shfl_faulted(r)
     }
 
     /// `__shfl_up_sync` over f32.
     #[track_caller]
     pub fn shfl_up(&mut self, v: &VF, delta: usize) -> VF {
         self.note_shfl(SiteId::caller());
-        shuffle::shfl_up(v, delta, WARP)
+        let r = shuffle::shfl_up(v, delta, WARP);
+        self.shfl_faulted(r)
     }
 
     /// `__shfl_down_sync` over f32.
     #[track_caller]
     pub fn shfl_down(&mut self, v: &VF, delta: usize) -> VF {
         self.note_shfl(SiteId::caller());
-        shuffle::shfl_down(v, delta, WARP)
+        let r = shuffle::shfl_down(v, delta, WARP);
+        self.shfl_faulted(r)
     }
 
     /// Indexed `__shfl_sync` over f32.
     #[track_caller]
     pub fn shfl_idx(&mut self, v: &VF, idx: &VU) -> VF {
         self.note_shfl(SiteId::caller());
-        shuffle::shfl_idx(v, idx, WARP)
+        let r = shuffle::shfl_idx(v, idx, WARP);
+        self.shfl_faulted(r)
     }
 
     /// Broadcast lane `src` to all lanes.
     #[track_caller]
     pub fn shfl_bcast(&mut self, v: &VF, src: usize) -> VF {
         self.note_shfl(SiteId::caller());
-        shuffle::broadcast(v, src)
+        let r = shuffle::broadcast(v, src);
+        self.shfl_faulted(r)
     }
 
     /// Butterfly warp sum (`shfl_xor` tree), counted as its 5 shuffles
     /// plus 5 adds.
     pub fn warp_sum(&mut self, v: &VF) -> VF {
         let (r, steps) = shuffle::reduce_add(v);
+        self.res.tick(steps * 2);
         self.res.stats.shfl_instrs += steps;
         self.res.stats.fp_instrs += steps;
-        r
+        self.shfl_faulted(r)
     }
 
     /// Butterfly warp max, counted as its 5 shuffles plus 5 compares.
     pub fn warp_max(&mut self, v: &VF) -> VF {
         let (r, steps) = shuffle::reduce_max(v);
+        self.res.tick(steps * 2);
         self.res.stats.shfl_instrs += steps;
         self.res.stats.fp_instrs += steps;
-        r
+        self.shfl_faulted(r)
     }
 
     // ----- global memory ---------------------------------------------------
@@ -417,6 +578,7 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
     #[track_caller]
     pub fn gld(&mut self, buf: BufId, idx: &VU, mask: LaneMask) -> VF {
         let site = SiteId::caller();
+        self.res.tick(1);
         let mut addrs = [0u64; WARP];
         for l in mask.lanes() {
             addrs[l] = self.res.glob.addr(buf, idx.lane(l));
@@ -430,19 +592,27 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
             mask,
             false,
             Space::Global,
+            self.res.faults.as_deref_mut(),
         );
         let read_mask = if self.res.analysis.is_some() {
             self.record_global(site, buf, idx, mask, txns, false)
         } else {
             mask
         };
-        VF::from_fn(|l| {
+        let v = VF::from_fn(|l| {
             if read_mask.get(l) {
                 self.res.glob.read_elem(buf, idx.lane(l))
             } else {
                 0.0
             }
-        })
+        });
+        // ECC-off SDC: one active lane's loaded value takes a bit flip.
+        if let Some(c) = self.res.faults.as_deref_mut().and_then(|f| f.global_load()) {
+            if let Some(lane) = faults::pick_lane(read_mask, c.pick) {
+                return shuffle::corrupt_lane(&v, lane, c.bit);
+            }
+        }
+        v
     }
 
     /// Warp global store of f32. Two active lanes writing the same element
@@ -453,6 +623,7 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
     #[track_caller]
     pub fn gst(&mut self, buf: BufId, idx: &VU, val: &VF, mask: LaneMask) {
         let site = SiteId::caller();
+        self.res.tick(1);
         let mut addrs = [0u64; WARP];
         for l in mask.lanes() {
             addrs[l] = self.res.glob.addr(buf, idx.lane(l));
@@ -466,6 +637,7 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
             mask,
             true,
             Space::Global,
+            self.res.faults.as_deref_mut(),
         );
         let write_mask = if self.res.analysis.is_some() {
             self.record_global(site, buf, idx, mask, txns, true)
@@ -508,6 +680,7 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
     /// register speed after the first access and do **not** produce global
     /// transactions; the issue slot is counted as one instruction.
     pub fn const_load(&mut self, buf: BufId, idx: u32) -> VF {
+        self.res.tick(1);
         self.res.stats.fp_instrs += 1;
         VF::splat(self.res.glob.read_elem(buf, idx))
     }
@@ -522,11 +695,13 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
     #[track_caller]
     pub fn sld(&mut self, idx: &VU, mask: LaneMask) -> VF {
         let site = SiteId::caller();
+        self.res.tick(1);
         let eff = self.shared_safe_mask(idx, mask, 1);
         let (v, passes) = self.res.shared.load(idx, eff);
         self.res.stats.smem_accesses += 1;
         self.res.stats.smem_passes += passes;
         self.record_shared(site, idx, mask, eff, passes, 1, false);
+        self.shared_faulted(idx, eff, 1);
         v
     }
 
@@ -535,11 +710,13 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
     #[track_caller]
     pub fn sld_vec<const K: usize>(&mut self, idx: &VU, mask: LaneMask) -> [VF; K] {
         let site = SiteId::caller();
+        self.res.tick(1);
         let eff = self.shared_safe_mask(idx, mask, K as u32);
         let (v, passes) = self.res.shared.load_vec::<K>(idx, eff);
         self.res.stats.smem_accesses += 1;
         self.res.stats.smem_passes += passes;
         self.record_shared(site, idx, mask, eff, passes, K as u32, false);
+        self.shared_faulted(idx, eff, K as u32);
         v
     }
 
@@ -547,11 +724,32 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
     #[track_caller]
     pub fn sst(&mut self, idx: &VU, val: &VF, mask: LaneMask) {
         let site = SiteId::caller();
+        self.res.tick(1);
         let eff = self.shared_safe_mask(idx, mask, 1);
         let passes = self.res.shared.store(idx, val, eff);
         self.res.stats.smem_accesses += 1;
         self.res.stats.smem_passes += passes;
         self.record_shared(site, idx, mask, eff, passes, 1, true);
+        self.shared_faulted(idx, eff, 1);
+    }
+
+    /// SRAM-upset hook: after a warp shared access, a drawn fault flips one
+    /// bit of one word the access just touched. The corruption lands in the
+    /// arena (not the in-flight value), so it is observed by whichever
+    /// access reads that word next — the persistence real SRAM upsets have.
+    fn shared_faulted(&mut self, idx: &VU, eff: LaneMask, k: u32) {
+        let Some(c) = self
+            .res
+            .faults
+            .as_deref_mut()
+            .and_then(|f| f.shared_access())
+        else {
+            return;
+        };
+        if let Some(lane) = faults::pick_lane(eff, c.pick) {
+            let word = idx.lane(lane) as usize + ((c.pick >> 32) % k as u64) as usize;
+            self.res.shared.corrupt_word(word, c.bit);
+        }
     }
 
     /// `mask` unchanged in plain mode; under analysis, active lanes whose
@@ -629,6 +827,7 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
         dynamic: bool,
     ) {
         let site = SiteId::caller();
+        self.res.tick(1);
         let mut addrs = [0u64; WARP];
         for l in mask.lanes() {
             addrs[l] = self.local_base + (slot + idx.lane(l) as u64) * 128 + l as u64 * 4;
@@ -642,6 +841,7 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
             mask,
             is_store,
             Space::Local,
+            self.res.faults.as_deref_mut(),
         );
         if let Some(a) = self.res.analysis.as_deref_mut() {
             a.record_local(site, is_store, mask.count() as u64, txns, dynamic);
@@ -658,6 +858,9 @@ struct BlockOutcome {
     /// the launch collector in block-linear order during phase 2, so
     /// reports are identical across [`LaunchMode`]s.
     collector: Option<BlockCollector>,
+    /// Fault-injection state, present only when a [`FaultPlan`] is armed;
+    /// its log merges in block-linear order during phase 2, like hazards.
+    faults: Option<BlockFaults>,
 }
 
 /// Run one block functionally against a memory snapshot, recording its
@@ -668,11 +871,14 @@ fn run_block_traced(
     cfg: &LaunchConfig,
     kernel: &(impl Fn(&mut BlockCtx<'_>) + Sync),
     linear: u64,
-    analyze: bool,
+    env: LaunchEnv,
 ) -> BlockOutcome {
     let mut stats = KernelStats::default();
     let mut trace = BlockTrace::new();
-    let mut collector = analyze.then(|| BlockCollector::new(linear));
+    let mut collector = env.analyze.then(|| BlockCollector::new(linear));
+    let mut faults = env
+        .faults
+        .map(|p| BlockFaults::new(&p, env.launch_seq, linear));
     let mut blk = BlockCtx {
         res: Resources {
             dev,
@@ -685,6 +891,8 @@ fn run_block_traced(
             stats: &mut stats,
             shared: SharedMem::new(cfg.shared_words, dev.smem_banks),
             analysis: collector.as_mut(),
+            faults: faults.as_mut(),
+            watchdog: env.watchdog.map(|budget| Watchdog { budget, issued: 0 }),
         },
         block_idx: cfg.coords(linear),
         grid_dim: cfg.grid,
@@ -700,6 +908,7 @@ fn run_block_traced(
         trace,
         store,
         collector,
+        faults,
     }
 }
 
@@ -720,6 +929,10 @@ pub struct GpuSim {
     mode: LaunchMode,
     parallel_threads: Option<usize>,
     analysis: Option<AnalysisState>,
+    faults: Option<FaultPlan>,
+    fault_log: FaultLog,
+    watchdog_budget: Option<u64>,
+    launch_seq: u64,
 }
 
 impl GpuSim {
@@ -731,6 +944,10 @@ impl GpuSim {
             mode: LaunchMode::default(),
             parallel_threads: None,
             analysis: None,
+            faults: None,
+            fault_log: FaultLog::default(),
+            watchdog_budget: None,
+            launch_seq: 0,
         }
     }
 
@@ -761,6 +978,53 @@ impl GpuSim {
     /// wall-clock time.
     pub fn set_parallel_threads(&mut self, threads: Option<usize>) {
         self.parallel_threads = threads;
+    }
+
+    /// Arm (`Some`) or disarm (`None`) deterministic fault injection for
+    /// subsequent launches. Off by default; when off, every instrumented
+    /// path is byte-for-byte the plain path (proptest-pinned). Injections
+    /// accumulate in the log drained by [`GpuSim::take_fault_log`].
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.faults = plan;
+    }
+
+    /// Builder-style [`GpuSim::set_fault_plan`].
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// The armed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// Injection counts accumulated since the last
+    /// [`GpuSim::take_fault_log`]. Engine- and thread-count-independent
+    /// (merged block-linearly, like hazard reports).
+    pub fn fault_log(&self) -> &FaultLog {
+        &self.fault_log
+    }
+
+    /// Drain and return the accumulated injection log.
+    pub fn take_fault_log(&mut self) -> FaultLog {
+        std::mem::take(&mut self.fault_log)
+    }
+
+    /// Override the per-block instruction budget. `Some(budget)` arms the
+    /// watchdog for **all** launches (plain [`GpuSim::launch`] then panics
+    /// on a trip; [`GpuSim::try_launch`] reports
+    /// [`LaunchError::Timeout`]). `None` (the default) leaves plain
+    /// launches unguarded — bit-identical to pre-watchdog behavior — while
+    /// [`GpuSim::try_launch`] falls back to
+    /// [`DEFAULT_BLOCK_INSTRUCTION_BUDGET`].
+    pub fn set_watchdog_budget(&mut self, budget: Option<u64>) {
+        self.watchdog_budget = budget;
+    }
+
+    /// The configured per-block instruction budget override, if any.
+    pub fn watchdog_budget(&self) -> Option<u64> {
+        self.watchdog_budget
     }
 
     /// Enable (`Some`) or disable (`None`) hazard analysis for subsequent
@@ -833,6 +1097,79 @@ impl GpuSim {
         kernel: impl Fn(&mut BlockCtx<'_>) + Sync,
     ) -> KernelStats {
         cfg.validate(&self.device);
+        self.launch_inner(cfg, &kernel, self.watchdog_budget)
+    }
+
+    /// Fallible launch: like [`GpuSim::launch`], but every failure mode
+    /// surfaces as a typed [`LaunchError`] instead of a panic, and a
+    /// per-block instruction-budget watchdog is always armed
+    /// ([`DEFAULT_BLOCK_INSTRUCTION_BUDGET`] unless overridden via
+    /// [`GpuSim::set_watchdog_budget`]) so hangs become
+    /// [`LaunchError::Timeout`].
+    ///
+    /// With no fault plan and no explicit budget, a successful `try_launch`
+    /// returns stats and final memory bit-identical to [`GpuSim::launch`]
+    /// in both [`LaunchMode`]s (proptest-pinned): the watchdog only counts.
+    ///
+    /// Under [`LaunchMode::Parallel`], an unclassified block panic is
+    /// retried once on the sequential reference engine (graceful
+    /// degradation — the parallel engine's overlay/trace infrastructure is
+    /// then out of the loop); deterministic errors (invalid config, OOB,
+    /// timeout) are reported directly. Retries advance the launch sequence
+    /// number, so injected faults re-draw rather than repeat.
+    pub fn try_launch(
+        &mut self,
+        cfg: &LaunchConfig,
+        kernel: impl Fn(&mut BlockCtx<'_>) + Sync,
+    ) -> Result<KernelStats, LaunchError> {
+        cfg.try_validate(&self.device)?;
+        let budget = Some(
+            self.watchdog_budget
+                .unwrap_or(DEFAULT_BLOCK_INSTRUCTION_BUDGET),
+        );
+        let first = self.launch_caught(cfg, &kernel, budget);
+        match first {
+            Err(LaunchError::BlockPanic(_)) if self.mode == LaunchMode::Parallel => {
+                let prev = self.mode;
+                self.mode = LaunchMode::Sequential;
+                let second = self.launch_caught(cfg, &kernel, budget);
+                self.mode = prev;
+                second
+            }
+            other => other,
+        }
+    }
+
+    /// One guarded engine run: catch any panic below and classify it.
+    fn launch_caught(
+        &mut self,
+        cfg: &LaunchConfig,
+        kernel: &(impl Fn(&mut BlockCtx<'_>) + Sync),
+        watchdog: Option<u64>,
+    ) -> Result<KernelStats, LaunchError> {
+        catch_unwind(AssertUnwindSafe(|| {
+            self.launch_inner(cfg, kernel, watchdog)
+        }))
+        .map_err(classify_panic)
+    }
+
+    /// Shared launch body: resolve sampling, run the selected engine with
+    /// the given watchdog budget, extrapolate. Panics propagate to the
+    /// caller ([`GpuSim::launch`] lets them fly; [`GpuSim::try_launch`]
+    /// classifies them).
+    fn launch_inner(
+        &mut self,
+        cfg: &LaunchConfig,
+        kernel: &(impl Fn(&mut BlockCtx<'_>) + Sync),
+        watchdog: Option<u64>,
+    ) -> KernelStats {
+        self.launch_seq += 1;
+        let env = LaunchEnv {
+            analyze: self.analysis.is_some(),
+            faults: self.faults.filter(|p| !p.is_empty()),
+            launch_seq: self.launch_seq,
+            watchdog,
+        };
         let total = cfg.num_blocks();
         let resolved = match cfg.sample {
             SampleMode::Auto(target) => SampleMode::auto(total, target),
@@ -840,8 +1177,8 @@ impl GpuSim {
         };
 
         let (stats, simulated) = match self.mode {
-            LaunchMode::Sequential => self.run_sequential(cfg, resolved, &kernel),
-            LaunchMode::Parallel => self.run_parallel(cfg, resolved, &kernel),
+            LaunchMode::Sequential => self.run_sequential(cfg, resolved, kernel, env),
+            LaunchMode::Parallel => self.run_parallel(cfg, resolved, kernel, env),
         };
 
         let mut out = if simulated < total {
@@ -862,14 +1199,17 @@ impl GpuSim {
         cfg: &LaunchConfig,
         resolved: SampleMode,
         kernel: &(impl Fn(&mut BlockCtx<'_>) + Sync),
+        env: LaunchEnv,
     ) -> (KernelStats, u64) {
         let mut stats = KernelStats::default();
         let mut l2 = new_l2(&self.device);
         let mut simulated = 0u64;
-        let analyze = self.analysis.is_some();
         for linear in (0..cfg.num_blocks()).filter(|&l| resolved.selects(l)) {
             simulated += 1;
-            let mut collector = analyze.then(|| BlockCollector::new(linear));
+            let mut collector = env.analyze.then(|| BlockCollector::new(linear));
+            let mut faults = env
+                .faults
+                .map(|p| BlockFaults::new(&p, env.launch_seq, linear));
             let mut blk = BlockCtx {
                 res: Resources {
                     dev: &self.device,
@@ -879,6 +1219,8 @@ impl GpuSim {
                     stats: &mut stats,
                     shared: SharedMem::new(cfg.shared_words, self.device.smem_banks),
                     analysis: collector.as_mut(),
+                    faults: faults.as_mut(),
+                    watchdog: env.watchdog.map(|budget| Watchdog { budget, issued: 0 }),
                 },
                 block_idx: cfg.coords(linear),
                 grid_dim: cfg.grid,
@@ -893,6 +1235,9 @@ impl GpuSim {
                     .expect("analysis enabled")
                     .collector
                     .merge(c);
+            }
+            if let Some(f) = faults {
+                self.fault_log.merge(f.log());
             }
         }
         flush_l2(&mut l2, &mut stats);
@@ -909,6 +1254,7 @@ impl GpuSim {
         cfg: &LaunchConfig,
         resolved: SampleMode,
         kernel: &(impl Fn(&mut BlockCtx<'_>) + Sync),
+        env: LaunchEnv,
     ) -> (KernelStats, u64) {
         let threads = self
             .parallel_threads
@@ -917,7 +1263,6 @@ impl GpuSim {
         let mut stats = KernelStats::default();
         let mut l2 = new_l2(&self.device);
         let mut simulated = 0u64;
-        let analyze = self.analysis.is_some();
 
         let mut selected = (0..cfg.num_blocks()).filter(|&l| resolved.selects(l));
         loop {
@@ -930,12 +1275,12 @@ impl GpuSim {
                 let dev = &self.device;
                 let mem = &self.mem;
                 memconv_par::map_indexed_with(batch.len(), threads, |i| {
-                    run_block_traced(dev, mem, cfg, kernel, batch[i], analyze)
+                    run_block_traced(dev, mem, cfg, kernel, batch[i], env)
                 })
             };
             // Phase 2 (sequential, block-linear order): commit. Hazard
-            // collectors merge here too, so reports never depend on the
-            // engine or thread count.
+            // collectors and fault logs merge here too, so reports never
+            // depend on the engine or thread count.
             for outcome in outcomes {
                 simulated += 1;
                 stats += &outcome.stats;
@@ -948,10 +1293,43 @@ impl GpuSim {
                         .collector
                         .merge(c);
                 }
+                if let Some(f) = outcome.faults {
+                    self.fault_log.merge(f.log());
+                }
             }
         }
         flush_l2(&mut l2, &mut stats);
         (stats, simulated)
+    }
+}
+
+/// Turn a caught block panic into a typed [`LaunchError`]: a
+/// [`WatchdogTrip`] payload means timeout; payload text mentioning "OOB"
+/// means an out-of-bounds device access (the simulator's OOB asserts all
+/// carry that marker); anything else is an opaque block panic.
+///
+/// Public so dispatchers that wrap the *panicking* launch path (e.g.
+/// baseline kernels without a `try_` entry point) in `catch_unwind` can
+/// classify the payload the same way [`GpuSim::try_launch`] does.
+pub fn classify_panic(payload: Box<dyn std::any::Any + Send>) -> LaunchError {
+    if let Some(trip) = payload.downcast_ref::<WatchdogTrip>() {
+        return LaunchError::Timeout {
+            issued: trip.issued,
+            budget: trip.budget,
+            hang_injected: trip.hang_injected,
+        };
+    }
+    let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    };
+    if msg.contains("OOB") {
+        LaunchError::OutOfBounds(msg)
+    } else {
+        LaunchError::BlockPanic(msg)
     }
 }
 

@@ -1,0 +1,445 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] arms the simulator with seeded fault classes modelling
+//! the failure modes an ECC-off production part actually exhibits: global
+//! load bit flips (silent data corruption), dropped or duplicated L2 sector
+//! transactions (interconnect glitches — counter-visible but functionally
+//! neutral in this model, because functional values never travel through
+//! the cache path), shared-memory word upsets, shuffle lane corruption, and
+//! kernel hangs (observable through the [`crate::GpuSim::try_launch`]
+//! watchdog).
+//!
+//! ## Determinism
+//!
+//! Every decision is a pure function of
+//! `(plan.seed, fault class, launch index, block linear id, per-block event
+//! index)`, hashed with splitmix64. Blocks draw from private streams, so
+//! the outcome is independent of host thread count and launch engine: the
+//! parallel trace-replay engine injects the *identical* faults, in the
+//! identical places, as the sequential reference engine. Retrying a launch
+//! advances the launch index, so retries draw fresh faults — the transient
+//! model that lets a bounded retry chain converge.
+//!
+//! Injection is **off by default** and counter-invisible when off: every
+//! hook sits behind an `Option` that plain launches leave `None`
+//! (proptest-pinned in `tests/prop_launch_modes.rs`).
+
+use crate::lane::LaneMask;
+
+/// One class of injectable fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Flip one bit of one active lane's value on a global load (ECC-off
+    /// SDC on the DRAM/L2 read path).
+    GlobalBitFlip,
+    /// Drop one L2-bound sector transaction (the sector never reaches the
+    /// L2/DRAM model; counters shift, functional values do not).
+    L2SectorDrop,
+    /// Duplicate one L2-bound sector transaction.
+    L2SectorDup,
+    /// Flip one bit of one shared-memory word touched by a warp access
+    /// (SRAM upset; persists until overwritten).
+    SharedCorrupt,
+    /// Flip one bit of one lane of a shuffle result (datapath upset).
+    ShuffleCorrupt,
+    /// Hang the block: after a seeded number of instructions it stops
+    /// making progress, which the per-block watchdog converts into
+    /// [`crate::LaunchError::Timeout`]. Without a watchdog the hang is
+    /// unobservable (the simulator cannot actually stall the host).
+    Hang,
+}
+
+impl FaultKind {
+    /// All classes, in stable order.
+    pub const ALL: [FaultKind; 6] = [
+        FaultKind::GlobalBitFlip,
+        FaultKind::L2SectorDrop,
+        FaultKind::L2SectorDup,
+        FaultKind::SharedCorrupt,
+        FaultKind::ShuffleCorrupt,
+        FaultKind::Hang,
+    ];
+
+    /// Stable kebab-case name (used by the bench campaign and its JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::GlobalBitFlip => "global-bit-flip",
+            FaultKind::L2SectorDrop => "l2-sector-drop",
+            FaultKind::L2SectorDup => "l2-sector-dup",
+            FaultKind::SharedCorrupt => "shared-corrupt",
+            FaultKind::ShuffleCorrupt => "shuffle-corrupt",
+            FaultKind::Hang => "hang",
+        }
+    }
+
+    /// A default 1-in-N event rate giving a handful of faults on a small
+    /// launch (hang is per *block*, the others per instrumented event).
+    pub fn default_rate(self) -> u32 {
+        match self {
+            FaultKind::GlobalBitFlip => 32,
+            FaultKind::L2SectorDrop => 16,
+            FaultKind::L2SectorDup => 16,
+            FaultKind::SharedCorrupt => 16,
+            FaultKind::ShuffleCorrupt => 32,
+            FaultKind::Hang => 4,
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            FaultKind::GlobalBitFlip => 0,
+            FaultKind::L2SectorDrop => 1,
+            FaultKind::L2SectorDup => 2,
+            FaultKind::SharedCorrupt => 3,
+            FaultKind::ShuffleCorrupt => 4,
+            FaultKind::Hang => 5,
+        }
+    }
+}
+
+/// A seeded injection campaign: per-class `1-in-rate` event probabilities.
+/// `rate == 0` disables a class; an all-zero plan is exactly equivalent to
+/// no plan at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Campaign seed; every injection decision derives from it.
+    pub seed: u64,
+    rates: [u32; 6],
+}
+
+impl FaultPlan {
+    /// An empty (all classes disabled) plan with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            rates: [0; 6],
+        }
+    }
+
+    /// A plan injecting only `kind` at its [`FaultKind::default_rate`].
+    pub fn single(kind: FaultKind, seed: u64) -> Self {
+        FaultPlan::new(seed).with_rate(kind, kind.default_rate())
+    }
+
+    /// Builder: set `kind` to fire on 1 in `rate` eligible events
+    /// (0 disables).
+    pub fn with_rate(mut self, kind: FaultKind, rate: u32) -> Self {
+        self.rates[kind.index()] = rate;
+        self
+    }
+
+    /// The 1-in-N rate for `kind` (0 = disabled).
+    pub fn rate(&self, kind: FaultKind) -> u32 {
+        self.rates[kind.index()]
+    }
+
+    /// `true` when every class is disabled.
+    pub fn is_empty(&self) -> bool {
+        self.rates.iter().all(|&r| r == 0)
+    }
+}
+
+/// How a fault decision resolves an L2-bound sector transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SectorFate {
+    /// Forward normally.
+    Deliver,
+    /// Lose the transaction.
+    Drop,
+    /// Send it twice.
+    Duplicate,
+}
+
+/// A drawn corruption: `pick` selects the victim (lane or word) among the
+/// candidates at the injection site, `bit` the bit to flip (16..=30 —
+/// high mantissa / exponent, so corruption is numerically visible).
+#[derive(Debug, Clone, Copy)]
+pub struct Corruption {
+    /// Victim selector; reduce modulo the candidate count at the site.
+    pub pick: u64,
+    /// Bit index to XOR into the victim f32.
+    pub bit: u32,
+}
+
+/// Per-class injection counts for one or more launches. Merged
+/// block-linearly in both launch engines, so logs are engine-independent.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultLog {
+    counts: [u64; 6],
+}
+
+impl FaultLog {
+    /// Injections of `kind`.
+    pub fn count(&self, kind: FaultKind) -> u64 {
+        self.counts[kind.index()]
+    }
+
+    /// Total injections across all classes.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// `true` when nothing was injected.
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// Accumulate another log.
+    pub fn merge(&mut self, other: &FaultLog) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+    }
+
+    fn add(&mut self, kind: FaultKind) {
+        self.counts[kind.index()] += 1;
+    }
+}
+
+/// splitmix64 finalizer — the standard avalanche mix.
+fn splitmix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn mix(a: u64, b: u64) -> u64 {
+    splitmix(a ^ splitmix(b))
+}
+
+/// Flip bit `bit & 31` of an f32's IEEE-754 representation.
+pub fn flip_f32_bit(v: f32, bit: u32) -> f32 {
+    f32::from_bits(v.to_bits() ^ (1u32 << (bit & 31)))
+}
+
+/// The `n`-th active lane of `mask` selected by `pick` (modulo the active
+/// count); `None` for an empty mask.
+pub fn pick_lane(mask: LaneMask, pick: u64) -> Option<usize> {
+    let n = mask.count() as u64;
+    if n == 0 {
+        return None;
+    }
+    mask.lanes().nth((pick % n) as usize)
+}
+
+/// Hang trigger points are drawn in `0..HANG_WINDOW` instructions so they
+/// land inside realistically small blocks.
+const HANG_WINDOW: u64 = 512;
+
+/// Per-block fault state: private deterministic draw streams plus the log
+/// of what actually fired. Created once per simulated block when a
+/// [`FaultPlan`] is armed; both launch engines build it identically.
+#[derive(Debug)]
+pub struct BlockFaults {
+    plan: FaultPlan,
+    key: u64,
+    events: [u64; 6],
+    hang_at: Option<u64>,
+    hung: bool,
+    log: FaultLog,
+}
+
+impl BlockFaults {
+    /// Fault state for block `block_linear` of launch number `launch_seq`.
+    pub fn new(plan: &FaultPlan, launch_seq: u64, block_linear: u64) -> Self {
+        let key = mix(mix(plan.seed, launch_seq), block_linear);
+        let hang_at = {
+            let rate = plan.rate(FaultKind::Hang);
+            if rate > 0 {
+                let h = mix(key, FaultKind::Hang.index() as u64 + 1);
+                h.is_multiple_of(rate as u64)
+                    .then(|| splitmix(h) % HANG_WINDOW)
+            } else {
+                None
+            }
+        };
+        BlockFaults {
+            plan: *plan,
+            key,
+            events: [0; 6],
+            hang_at,
+            hung: false,
+            log: FaultLog::default(),
+        }
+    }
+
+    /// Advance `kind`'s private event stream; `Some(entropy)` when this
+    /// event is selected for injection.
+    fn draw(&mut self, kind: FaultKind) -> Option<u64> {
+        let idx = self.events[kind.index()];
+        self.events[kind.index()] += 1;
+        let rate = self.plan.rate(kind);
+        if rate == 0 {
+            return None;
+        }
+        // Salt by class so overlapping streams stay independent; +1 keeps
+        // the Hang block-level draw (salted with index+1 in `new`) distinct
+        // from GlobalBitFlip's stream.
+        let h = mix(self.key ^ mix(0xFA17, kind.index() as u64), idx);
+        if h.is_multiple_of(rate as u64) {
+            self.log.add(kind);
+            Some(splitmix(h))
+        } else {
+            None
+        }
+    }
+
+    /// Whether the block's hang fault has triggered.
+    pub fn hung(&self) -> bool {
+        self.hung
+    }
+
+    /// Feed the block's issued-instruction count; trips the hang once the
+    /// seeded trigger point is reached.
+    pub fn note_instructions(&mut self, issued: u64) {
+        if !self.hung && self.hang_at.is_some_and(|at| issued >= at) {
+            self.hung = true;
+            self.log.add(FaultKind::Hang);
+        }
+    }
+
+    /// Draw for one global load instruction.
+    pub fn global_load(&mut self) -> Option<Corruption> {
+        self.draw(FaultKind::GlobalBitFlip).map(corruption)
+    }
+
+    /// Draw for one L2-bound sector transaction. Drop takes priority over
+    /// duplicate when both streams select the same event.
+    pub fn l2_sector(&mut self) -> SectorFate {
+        let drop = self.draw(FaultKind::L2SectorDrop).is_some();
+        let dup = self.draw(FaultKind::L2SectorDup).is_some();
+        if drop {
+            SectorFate::Drop
+        } else if dup {
+            SectorFate::Duplicate
+        } else {
+            SectorFate::Deliver
+        }
+    }
+
+    /// Draw for one shared-memory warp access.
+    pub fn shared_access(&mut self) -> Option<Corruption> {
+        self.draw(FaultKind::SharedCorrupt).map(corruption)
+    }
+
+    /// Draw for one shuffle (or warp-reduction) instruction.
+    pub fn shuffle(&mut self) -> Option<Corruption> {
+        self.draw(FaultKind::ShuffleCorrupt).map(corruption)
+    }
+
+    /// What fired in this block so far.
+    pub fn log(&self) -> &FaultLog {
+        &self.log
+    }
+}
+
+fn corruption(entropy: u64) -> Corruption {
+    Corruption {
+        pick: entropy >> 8,
+        bit: 16 + (entropy % 15) as u32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_never_draws() {
+        let plan = FaultPlan::new(7);
+        assert!(plan.is_empty());
+        let mut bf = BlockFaults::new(&plan, 0, 0);
+        for _ in 0..100 {
+            assert!(bf.global_load().is_none());
+            assert_eq!(bf.l2_sector(), SectorFate::Deliver);
+            assert!(bf.shared_access().is_none());
+            assert!(bf.shuffle().is_none());
+        }
+        bf.note_instructions(1 << 40);
+        assert!(!bf.hung());
+        assert!(bf.log().is_empty());
+    }
+
+    #[test]
+    fn draws_are_deterministic() {
+        let plan = FaultPlan::single(FaultKind::GlobalBitFlip, 42);
+        let run = || {
+            let mut bf = BlockFaults::new(&plan, 3, 9);
+            (0..256)
+                .map(|_| bf.global_load().map(|c| (c.pick, c.bit)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn rate_one_fires_every_event() {
+        let plan = FaultPlan::new(1).with_rate(FaultKind::ShuffleCorrupt, 1);
+        let mut bf = BlockFaults::new(&plan, 0, 0);
+        for _ in 0..32 {
+            assert!(bf.shuffle().is_some());
+        }
+        assert_eq!(bf.log().count(FaultKind::ShuffleCorrupt), 32);
+    }
+
+    #[test]
+    fn streams_differ_across_blocks_and_launches() {
+        let plan = FaultPlan::new(5).with_rate(FaultKind::GlobalBitFlip, 4);
+        let pattern = |launch, block| {
+            let mut bf = BlockFaults::new(&plan, launch, block);
+            (0..64)
+                .map(|_| bf.global_load().is_some())
+                .collect::<Vec<_>>()
+        };
+        assert_ne!(pattern(0, 0), pattern(0, 1));
+        assert_ne!(pattern(0, 0), pattern(1, 0));
+    }
+
+    #[test]
+    fn hang_trips_at_seeded_instruction() {
+        let plan = FaultPlan::new(11).with_rate(FaultKind::Hang, 1);
+        let mut bf = BlockFaults::new(&plan, 0, 0);
+        assert!(!bf.hung());
+        bf.note_instructions(HANG_WINDOW);
+        assert!(bf.hung(), "rate-1 hang must trigger within the window");
+        assert_eq!(bf.log().count(FaultKind::Hang), 1);
+        // Further instructions do not double-log.
+        bf.note_instructions(HANG_WINDOW + 1);
+        assert_eq!(bf.log().count(FaultKind::Hang), 1);
+    }
+
+    #[test]
+    fn bit_flip_is_its_own_inverse_and_in_range() {
+        for e in [0u64, 1, 0xDEAD_BEEF, u64::MAX] {
+            let c = corruption(e);
+            assert!((16..=30).contains(&c.bit));
+            let v = 1.25f32;
+            assert_ne!(flip_f32_bit(v, c.bit), v);
+            assert_eq!(flip_f32_bit(flip_f32_bit(v, c.bit), c.bit), v);
+        }
+    }
+
+    #[test]
+    fn pick_lane_selects_active_lanes_only() {
+        let mask = LaneMask::from_fn(|l| l % 3 == 0);
+        for pick in 0..64u64 {
+            let lane = pick_lane(mask, pick).unwrap();
+            assert!(mask.get(lane));
+        }
+        assert!(pick_lane(LaneMask::NONE, 5).is_none());
+    }
+
+    #[test]
+    fn log_merge_accumulates() {
+        let mut a = FaultLog::default();
+        a.add(FaultKind::Hang);
+        let mut b = FaultLog::default();
+        b.add(FaultKind::Hang);
+        b.add(FaultKind::GlobalBitFlip);
+        a.merge(&b);
+        assert_eq!(a.count(FaultKind::Hang), 2);
+        assert_eq!(a.count(FaultKind::GlobalBitFlip), 1);
+        assert_eq!(a.total(), 3);
+    }
+}

@@ -50,6 +50,7 @@
 pub mod analysis;
 pub mod device;
 pub mod exec;
+pub mod faults;
 pub mod lane;
 pub mod memory;
 pub mod priv_array;
@@ -63,7 +64,11 @@ pub use analysis::{
     AnalysisConfig, Hazard, HazardPass, HazardReport, LocalSiteTraffic, Severity, SiteId,
 };
 pub use device::DeviceConfig;
-pub use exec::{BlockCtx, GpuSim, LaunchConfig, LaunchMode, SampleMode, WarpCtx};
+pub use exec::{
+    classify_panic, BlockCtx, GpuSim, LaunchConfig, LaunchError, LaunchMode, SampleMode, WarpCtx,
+    DEFAULT_BLOCK_INSTRUCTION_BUDGET,
+};
+pub use faults::{FaultKind, FaultLog, FaultPlan};
 pub use lane::{LaneMask, LaneVec, VF, VI, VU, VU64, WARP};
 pub use memory::{BufId, GlobalMem};
 pub use priv_array::{PrivArray, Residency};

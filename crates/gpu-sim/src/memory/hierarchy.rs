@@ -19,6 +19,7 @@
 use super::cache::{Access, CachePolicy, SectoredCache};
 use super::coalescer::coalesce;
 use crate::device::DeviceConfig;
+use crate::faults::{BlockFaults, SectorFate};
 use crate::lane::{LaneMask, WARP};
 use crate::stats::KernelStats;
 use crate::trace::BlockTrace;
@@ -82,6 +83,13 @@ pub fn new_l2(dev: &DeviceConfig) -> SectoredCache {
 /// ignored. Updates request/transaction counters for `space` and L1 hit
 /// counters; sectors continuing past the L1 go to `sink`. Returns the
 /// transaction (sector) count of this access, for per-site attribution.
+///
+/// `faults`, when armed, decides the fate of every L2-bound sector
+/// **before** it reaches the sink, so the sequential (inline) and parallel
+/// (deferred trace) engines see the identical filtered stream. Dropped and
+/// duplicated sectors shift L2/DRAM counters only: functional values never
+/// travel through the cache path, which is what makes these two classes
+/// provably output-neutral.
 #[allow(clippy::too_many_arguments)] // mirrors the hardware datapath inputs
 pub fn warp_access(
     dev: &DeviceConfig,
@@ -92,6 +100,7 @@ pub fn warp_access(
     mask: LaneMask,
     is_store: bool,
     space: Space,
+    mut faults: Option<&mut BlockFaults>,
 ) -> u64 {
     if mask.is_empty() {
         return 0;
@@ -140,19 +149,42 @@ pub fn warp_access(
         if is_store {
             // L1 is write-through: the sector is forwarded to L2 either way.
             let _ = l1.access(sector, true);
-            sink.sector(stats, sector, true);
+            faulted_sector(sink, stats, sector, true, &mut faults);
         } else {
             match l1.access(sector, false) {
                 Access::Hit => {
                     stats.l1_hit_sectors += 1;
                 }
                 Access::SectorMiss | Access::LineMiss => {
-                    sink.sector(stats, sector, false);
+                    faulted_sector(sink, stats, sector, false, &mut faults);
                 }
             }
         }
     }
     txns
+}
+
+/// Forward one L2-bound sector through the fault filter (if armed) into
+/// the sink.
+fn faulted_sector(
+    sink: &mut L2Sink<'_>,
+    stats: &mut KernelStats,
+    sector: u64,
+    is_store: bool,
+    faults: &mut Option<&mut BlockFaults>,
+) {
+    let fate = match faults.as_deref_mut() {
+        Some(f) => f.l2_sector(),
+        None => SectorFate::Deliver,
+    };
+    match fate {
+        SectorFate::Deliver => sink.sector(stats, sector, is_store),
+        SectorFate::Drop => {}
+        SectorFate::Duplicate => {
+            sink.sector(stats, sector, is_store);
+            sink.sector(stats, sector, is_store);
+        }
+    }
 }
 
 /// Classify one sector against the launch-wide L2, updating L2 hit/access
@@ -235,6 +267,7 @@ mod tests {
             LaneMask::ALL,
             is_store,
             space,
+            None,
         );
     }
 
@@ -351,6 +384,7 @@ mod tests {
                 mask,
                 false,
                 Space::Global,
+                None,
             );
             (txns, st)
         };
@@ -429,6 +463,7 @@ mod tests {
                 LaneMask::ALL,
                 false,
                 Space::Global,
+                None,
             );
             warp_access(
                 &dev,
@@ -439,6 +474,7 @@ mod tests {
                 LaneMask::ALL,
                 true,
                 Space::Global,
+                None,
             );
         }
         // Coalescing/L1 counters accrue immediately...
@@ -489,6 +525,7 @@ mod tests {
                 LaneMask::ALL,
                 is_store,
                 Space::Global,
+                None,
             );
         }
         replay_trace(&trace, &mut l2b, &mut stb);

@@ -138,6 +138,17 @@ impl SharedMem {
         (out, passes)
     }
 
+    /// Fault-injection hook ([`crate::faults`]): flip one bit of word
+    /// `idx`, modelling an SRAM upset that persists until the word is next
+    /// overwritten. No-op (never a panic) when `idx` is out of the arena —
+    /// the injector picks among indices a real access just touched, so a
+    /// miss here only happens for empty arenas.
+    pub fn corrupt_word(&mut self, idx: usize, bit: u32) {
+        if let Some(w) = self.data.get_mut(idx) {
+            *w = crate::faults::flip_f32_bit(*w, bit);
+        }
+    }
+
     /// Warp store. When two active lanes write the same word, the
     /// lower-numbered lane wins deterministically (hardware leaves it
     /// undefined; a fixed rule keeps simulations reproducible).

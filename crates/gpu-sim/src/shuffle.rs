@@ -286,3 +286,36 @@ mod vote_reduce_tests {
         }
     }
 }
+
+/// Fault-injection hook: return `v` with one bit of `lane`'s value flipped
+/// (see [`crate::faults`]). Pure, like every routing function here — the
+/// injector decides *whether* and *where*, this applies the datapath upset.
+pub fn corrupt_lane(v: &crate::lane::VF, lane: usize, bit: u32) -> crate::lane::VF {
+    let mut out = *v;
+    out.set_lane(
+        lane % crate::lane::WARP,
+        crate::faults::flip_f32_bit(v.lane(lane % crate::lane::WARP), bit),
+    );
+    out
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::lane::{VF, WARP};
+
+    #[test]
+    fn corrupt_lane_touches_exactly_one_lane() {
+        let v = VF::from_fn(|l| l as f32 + 1.0);
+        let c = corrupt_lane(&v, 7, 20);
+        for l in 0..WARP {
+            if l == 7 {
+                assert_ne!(c.lane(l), v.lane(l));
+            } else {
+                assert_eq!(c.lane(l), v.lane(l));
+            }
+        }
+        // involution: flipping again restores
+        assert_eq!(corrupt_lane(&c, 7, 20), v);
+    }
+}

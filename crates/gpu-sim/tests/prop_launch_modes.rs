@@ -5,8 +5,8 @@
 //! count.
 
 use memconv_gpusim::{
-    DeviceConfig, GpuSim, KernelStats, LaneMask, LaunchConfig, LaunchMode, PrivArray, SampleMode,
-    VF, VU,
+    DeviceConfig, FaultKind, FaultLog, FaultPlan, GpuSim, KernelStats, LaneMask, LaunchConfig,
+    LaunchMode, PrivArray, SampleMode, VF, VU,
 };
 use proptest::prelude::*;
 
@@ -36,11 +36,34 @@ impl Spec {
     }
 }
 
+/// How to launch the spec's kernel.
+#[derive(Debug, Clone, Copy)]
+enum Launcher {
+    /// The plain panicking [`GpuSim::launch`].
+    Plain,
+    /// [`GpuSim::try_launch`], with an optional armed fault plan.
+    Fallible(Option<FaultPlan>),
+}
+
 /// Run the spec's kernel under `mode` and return everything observable:
 /// counters plus the full contents of all three output buffers.
 fn run(spec: &Spec, mode: LaunchMode, threads: usize) -> (KernelStats, Vec<f32>) {
+    let (stats, mem, _) = run_via(spec, mode, threads, Launcher::Plain);
+    (stats, mem)
+}
+
+/// [`run`], parameterized over the launch path and fault plan.
+fn run_via(
+    spec: &Spec,
+    mode: LaunchMode,
+    threads: usize,
+    launcher: Launcher,
+) -> (KernelStats, Vec<f32>, FaultLog) {
     let mut sim = GpuSim::new(DeviceConfig::test_tiny()).with_launch_mode(mode);
     sim.set_parallel_threads(Some(threads));
+    if let Launcher::Fallible(plan) = launcher {
+        sim.set_fault_plan(plan);
+    }
     let n = spec.blocks * spec.tpb;
     let data: Vec<f32> = (0..n).map(|i| ((i * 7919) % 83) as f32 * 0.5).collect();
     let bi = sim.mem.upload(&data);
@@ -59,7 +82,7 @@ fn run(spec: &Spec, mode: LaunchMode, threads: usize) -> (KernelStats, Vec<f32>)
         .with_sample(spec.sample_mode());
     let spec = spec.clone();
 
-    let stats = sim.launch(&cfg, move |blk| {
+    let kernel = move |blk: &mut memconv_gpusim::BlockCtx<'_>| {
         let bx = blk.block_idx.0;
         blk.each_warp(|w| {
             let tid = w.global_tid_x();
@@ -98,12 +121,18 @@ fn run(spec: &Spec, mode: LaunchMode, threads: usize) -> (KernelStats, Vec<f32>)
                 w.gst(bo2, &tid, &v, LaneMask::ALL);
             });
         }
-    });
+    };
+    let stats = match launcher {
+        Launcher::Plain => sim.launch(&cfg, kernel),
+        Launcher::Fallible(_) => sim
+            .try_launch(&cfg, kernel)
+            .expect("no armed fault class can fail this launch"),
+    };
 
     let mut mem = sim.mem.download(bo).to_vec();
     mem.extend_from_slice(sim.mem.download(bo2));
     mem.extend_from_slice(sim.mem.download(bc));
-    (stats, mem)
+    (stats, mem, sim.take_fault_log())
 }
 
 proptest! {
@@ -184,5 +213,86 @@ proptest! {
             .max()
             .unwrap();
         prop_assert!(seq.iter().all(|&v| v == winner as f32 + 1.0));
+    }
+
+    /// With injection disabled — no plan at all, or an armed but all-zero
+    /// plan — a successful `try_launch` must be **bit-identical** to the
+    /// plain `launch` in both engines: the always-armed watchdog and the
+    /// `Option`-gated fault hooks may only count, never perturb.
+    #[test]
+    fn try_launch_without_faults_is_bit_identical_to_launch(
+        blocks in 1u32..10,
+        tpb_sel in 0u8..2,
+        stride in 1u32..9,
+        off in 0u32..70,
+        use_shared in any::<bool>(),
+        use_local in any::<bool>(),
+        sample in 0u8..4,
+        threads in 1usize..5,
+        empty_plan in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let spec = Spec {
+            blocks,
+            tpb: if tpb_sel == 0 { 32 } else { 64 },
+            stride,
+            off,
+            use_shared,
+            use_local,
+            sample,
+        };
+        let plan = empty_plan.then(|| FaultPlan::new(seed));
+        for mode in [LaunchMode::Sequential, LaunchMode::Parallel] {
+            let (plain_stats, plain_mem) = run(&spec, mode, threads);
+            let (try_stats, try_mem, log) = run_via(&spec, mode, threads, Launcher::Fallible(plan));
+            prop_assert_eq!(&plain_stats, &try_stats, "stats differ in {:?}", mode);
+            prop_assert_eq!(&plain_mem, &try_mem, "memory differs in {:?}", mode);
+            prop_assert!(log.is_empty());
+        }
+    }
+
+    /// Seeded injection (every class except hangs, which abort the launch)
+    /// is engine-independent: the parallel trace-replay engine corrupts the
+    /// same values, drops/duplicates the same sectors, and logs the same
+    /// counts as the sequential reference engine, at every thread count.
+    #[test]
+    fn seeded_faults_are_engine_independent(
+        blocks in 1u32..10,
+        tpb_sel in 0u8..2,
+        stride in 1u32..9,
+        off in 0u32..70,
+        use_shared in any::<bool>(),
+        use_local in any::<bool>(),
+        sample in 0u8..4,
+        threads in 1usize..5,
+        seed in any::<u64>(),
+        r_flip in 0u32..5,
+        r_drop in 0u32..5,
+        r_dup in 0u32..5,
+        r_smem in 0u32..5,
+        r_shfl in 0u32..5,
+    ) {
+        let spec = Spec {
+            blocks,
+            tpb: if tpb_sel == 0 { 32 } else { 64 },
+            stride,
+            off,
+            use_shared,
+            use_local,
+            sample,
+        };
+        let plan = FaultPlan::new(seed)
+            .with_rate(FaultKind::GlobalBitFlip, r_flip)
+            .with_rate(FaultKind::L2SectorDrop, r_drop)
+            .with_rate(FaultKind::L2SectorDup, r_dup)
+            .with_rate(FaultKind::SharedCorrupt, r_smem)
+            .with_rate(FaultKind::ShuffleCorrupt, r_shfl);
+        let (seq_stats, seq_mem, seq_log) =
+            run_via(&spec, LaunchMode::Sequential, 1, Launcher::Fallible(Some(plan)));
+        let (par_stats, par_mem, par_log) =
+            run_via(&spec, LaunchMode::Parallel, threads, Launcher::Fallible(Some(plan)));
+        prop_assert_eq!(&seq_stats, &par_stats);
+        prop_assert_eq!(&seq_mem, &par_mem);
+        prop_assert_eq!(&seq_log, &par_log);
     }
 }

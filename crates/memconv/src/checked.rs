@@ -1,0 +1,587 @@
+//! Resilient convolution dispatch with silent-data-corruption detection.
+//!
+//! [`conv2d_checked`] runs the planned optimized kernel and *verifies the
+//! output* against ground truth before handing it back. Verification is a
+//! full CPU-reference compare when the problem is small, and a seeded
+//! deterministic probe (a few dozen output elements recomputed on the host
+//! in the exact reference accumulation order) when it is large. On a typed
+//! [`LaunchError`] — invalid configuration, out-of-bounds access, watchdog
+//! timeout, block panic — or on a detected mismatch, the dispatcher retries
+//! down a fixed fallback chain:
+//!
+//! 1. **`fused-nchw`** — the paper's fused multi-channel kernel with the
+//!    caller's [`OursConfig`] (column + row reuse, warp shuffles);
+//! 2. **`ours-direct`** — the same kernel with both reuse schemes disabled
+//!    ([`OursConfig::direct`]): no shuffle traffic, so shuffle-lane faults
+//!    cannot reach it;
+//! 3. **`tiled`** — the shared-memory tiled baseline
+//!    ([`memconv_baselines::TiledConv`]), an independent implementation
+//!    sharing no device code with the fused kernels;
+//! 4. **`cpu-reference`** — [`conv_nchw_ref`] on the host, which the
+//!    simulator's fault injector cannot touch.
+//!
+//! Every simulated tier preserves the direct convolution's accumulation
+//! order, so the golden check is **exact equality**, not a tolerance band:
+//! any corrupt element fails the check. Retries are bounded per tier
+//! ([`CheckedConfig::max_attempts_per_tier`]); under the simulator's
+//! transient-fault model each retry draws a fresh fault stream, so a
+//! transiently-faulted tier can recover on its second attempt. The returned
+//! [`CheckedReport`] records every attempt and why it did or did not serve.
+//!
+//! The dispatcher arms the launch watchdog for the whole chain (saving and
+//! restoring any caller-set budget) so injected kernel hangs surface as
+//! [`LaunchError::Timeout`] on *every* simulated tier — including the tiled
+//! baseline, which runs through the panicking launch path wrapped in
+//! `catch_unwind` and classified by [`classify_panic`].
+
+use memconv_baselines::TiledConv;
+use memconv_core::api::ConvNchwAlgorithm;
+use memconv_core::{try_conv_nchw_ours, OursConfig};
+use memconv_gpusim::{
+    classify_panic, GpuSim, LaunchError, SampleMode, DEFAULT_BLOCK_INSTRUCTION_BUDGET,
+};
+use memconv_ref::conv_nchw_ref;
+use memconv_tensor::{CompareReport, ConvGeometry, FilterBank, Tensor4};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// The fallback chain, fastest tier first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FallbackTier {
+    /// The paper's fused multi-channel kernel with the caller's config.
+    FusedNchw,
+    /// The fused kernel with column/row reuse disabled (no shuffles).
+    OursDirect,
+    /// The shared-memory tiled baseline (independent device code).
+    Tiled,
+    /// Host-side reference convolution (outside the fault injector's reach).
+    CpuReference,
+}
+
+impl FallbackTier {
+    /// All tiers in dispatch order.
+    pub const CHAIN: [FallbackTier; 4] = [
+        FallbackTier::FusedNchw,
+        FallbackTier::OursDirect,
+        FallbackTier::Tiled,
+        FallbackTier::CpuReference,
+    ];
+
+    /// Stable kebab-case name (used in reports and bench JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            FallbackTier::FusedNchw => "fused-nchw",
+            FallbackTier::OursDirect => "ours-direct",
+            FallbackTier::Tiled => "tiled",
+            FallbackTier::CpuReference => "cpu-reference",
+        }
+    }
+}
+
+impl fmt::Display for FallbackTier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What happened to one attempt at one tier.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttemptOutcome {
+    /// The launch failed with a typed error before producing output.
+    LaunchFailed(LaunchError),
+    /// Output came back but failed the golden check: silent data
+    /// corruption, detected. The worst element's deviation is recorded.
+    SdcDetected {
+        /// Largest absolute difference against the golden values.
+        max_abs: f32,
+        /// Largest relative difference against the golden values.
+        max_rel: f32,
+    },
+    /// Output passed the golden check; this attempt served the result.
+    Served,
+}
+
+/// One attempt in the dispatch log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttemptRecord {
+    /// Which tier ran.
+    pub tier: FallbackTier,
+    /// 0-based attempt index within the tier.
+    pub attempt: u32,
+    /// How it ended.
+    pub outcome: AttemptOutcome,
+}
+
+/// How the served output was verified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckMethod {
+    /// Full element-wise compare against the CPU reference.
+    Full,
+    /// Seeded probe: this many output elements recomputed on the host.
+    Probe {
+        /// Number of distinct output elements probed.
+        samples: usize,
+    },
+}
+
+/// Tuning knobs for [`conv2d_checked`].
+#[derive(Debug, Clone)]
+pub struct CheckedConfig {
+    /// Retry budget per tier (≥ 1). Transient faults redraw per launch, so
+    /// 2 lets a tier recover from a one-off upset before falling back.
+    pub max_attempts_per_tier: u32,
+    /// Outputs with at most this many elements get the full reference
+    /// compare; larger ones get the probe.
+    pub full_check_max_elems: usize,
+    /// Probe size for large outputs (clamped to the output size).
+    pub probe_samples: usize,
+    /// Permit the final host-side tier. Disable to force an
+    /// [`CheckedError::Exhausted`] when every device tier fails.
+    pub allow_cpu_fallback: bool,
+    /// Watchdog instruction budget armed for every simulated launch in the
+    /// chain (the caller's own budget is saved and restored).
+    pub watchdog_budget: u64,
+    /// Seed for probe placement (deterministic across runs and engines).
+    pub seed: u64,
+}
+
+impl Default for CheckedConfig {
+    fn default() -> Self {
+        CheckedConfig {
+            max_attempts_per_tier: 2,
+            full_check_max_elems: 1 << 16,
+            probe_samples: 64,
+            allow_cpu_fallback: true,
+            watchdog_budget: DEFAULT_BLOCK_INSTRUCTION_BUDGET,
+            seed: 0x5DC_C0DE,
+        }
+    }
+}
+
+/// The dispatch log returned alongside a verified output.
+#[derive(Debug, Clone)]
+pub struct CheckedReport {
+    /// The tier whose output was served.
+    pub served: FallbackTier,
+    /// How the served output was verified.
+    pub method: CheckMethod,
+    /// Every attempt, in execution order (the last one is the server).
+    pub attempts: Vec<AttemptRecord>,
+}
+
+impl CheckedReport {
+    /// Total attempts across all tiers, including the serving one.
+    pub fn total_attempts(&self) -> usize {
+        self.attempts.len()
+    }
+
+    /// `true` when the planned (first) tier did not serve.
+    pub fn fell_back(&self) -> bool {
+        self.served != FallbackTier::FusedNchw
+    }
+}
+
+/// Why [`conv2d_checked`] could not produce a verified output.
+#[derive(Debug, Clone)]
+pub enum CheckedError {
+    /// Input/weight shapes are incompatible; nothing was launched.
+    InvalidShape(String),
+    /// Every permitted tier exhausted its retry budget.
+    Exhausted {
+        /// The full attempt log, for diagnosis.
+        attempts: Vec<AttemptRecord>,
+    },
+}
+
+impl fmt::Display for CheckedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckedError::InvalidShape(msg) => write!(f, "invalid shape: {msg}"),
+            CheckedError::Exhausted { attempts } => write!(
+                f,
+                "all fallback tiers exhausted after {} attempts",
+                attempts.len()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckedError {}
+
+/// Ground truth for the golden check: either the full reference tensor or
+/// a seeded sample of reference-order recomputed elements.
+enum Golden {
+    Full(Tensor4),
+    Probe {
+        /// Flat output indices, sorted ascending.
+        coords: Vec<usize>,
+        values: Vec<f32>,
+    },
+}
+
+impl Golden {
+    fn method(&self) -> CheckMethod {
+        match self {
+            Golden::Full(_) => CheckMethod::Full,
+            Golden::Probe { coords, .. } => CheckMethod::Probe {
+                samples: coords.len(),
+            },
+        }
+    }
+
+    /// Exact-equality check; `Err` carries the worst deviation.
+    fn check(&self, out: &Tensor4) -> Result<(), (f32, f32)> {
+        let rep = match self {
+            Golden::Full(want) => CompareReport::new(out.as_slice(), want.as_slice()),
+            Golden::Probe { coords, values } => {
+                let got: Vec<f32> = coords.iter().map(|&i| out.as_slice()[i]).collect();
+                CompareReport::new(&got, values)
+            }
+        };
+        if rep.max_abs == 0.0 {
+            Ok(())
+        } else {
+            Err((rep.max_abs, rep.max_rel))
+        }
+    }
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// One output element recomputed in the reference accumulation order
+/// (`c`-outer, then row-major over the filter, `mul_add` per tap) — the
+/// order every simulated tier preserves, so equality is exact.
+fn probe_value(
+    input: &Tensor4,
+    weights: &FilterBank,
+    n: usize,
+    f: usize,
+    oy: usize,
+    ox: usize,
+) -> f32 {
+    let (_, ic, _, _) = input.dims();
+    let (fh, fw) = (weights.fh(), weights.fw());
+    let mut acc = 0.0f32;
+    for c in 0..ic {
+        for r in 0..fh {
+            for s in 0..fw {
+                acc = input
+                    .get(n, c, oy + r, ox + s)
+                    .mul_add(weights.get(f, c, r, s), acc);
+            }
+        }
+    }
+    acc
+}
+
+fn build_golden(
+    input: &Tensor4,
+    weights: &FilterBank,
+    g: &ConvGeometry,
+    ccfg: &CheckedConfig,
+) -> Golden {
+    let total = g.out_elems();
+    if total <= ccfg.full_check_max_elems {
+        return Golden::Full(conv_nchw_ref(input, weights));
+    }
+    let want = ccfg.probe_samples.clamp(1, total);
+    let (oh, ow) = (g.out_h(), g.out_w());
+    let plane = oh * ow;
+    let mut coords: Vec<usize> = Vec::with_capacity(want);
+    let mut state = splitmix(ccfg.seed ^ total as u64);
+    while coords.len() < want {
+        state = splitmix(state);
+        let idx = (state % total as u64) as usize;
+        if !coords.contains(&idx) {
+            coords.push(idx);
+        }
+    }
+    coords.sort_unstable();
+    let values = coords
+        .iter()
+        .map(|&i| {
+            let nf = i / plane;
+            let (n, f) = (nf / g.out_channels, nf % g.out_channels);
+            let (oy, ox) = ((i % plane) / ow, i % ow);
+            probe_value(input, weights, n, f, oy, ox)
+        })
+        .collect();
+    Golden::Probe { coords, values }
+}
+
+/// Run one simulated tier, returning its raw (unchecked) output.
+fn run_tier(
+    sim: &mut GpuSim,
+    tier: FallbackTier,
+    input: &Tensor4,
+    weights: &FilterBank,
+    cfg: &OursConfig,
+) -> Result<Tensor4, LaunchError> {
+    match tier {
+        FallbackTier::FusedNchw => {
+            // Sampling skips blocks functionally — a checked run needs
+            // every output element, so force the full grid.
+            let mut c = cfg.clone();
+            c.sample = SampleMode::Full;
+            try_conv_nchw_ours(sim, input, weights, &c).map(|(t, _)| t)
+        }
+        FallbackTier::OursDirect => {
+            let mut c = OursConfig::direct();
+            c.sample = SampleMode::Full;
+            try_conv_nchw_ours(sim, input, weights, &c).map(|(t, _)| t)
+        }
+        FallbackTier::Tiled => {
+            let tiled = TiledConv::new().with_sample(SampleMode::Full);
+            catch_unwind(AssertUnwindSafe(|| tiled.run(sim, input, weights)))
+                .map(|(t, _)| t)
+                .map_err(classify_panic)
+        }
+        FallbackTier::CpuReference => unreachable!("CPU tier handled by the dispatcher"),
+    }
+}
+
+/// Convolve with output verification and graceful fallback.
+///
+/// Returns the first output that passes the golden check, together with a
+/// [`CheckedReport`] saying which tier served and what every earlier
+/// attempt died of. See the [module docs](self) for the chain and the
+/// verification scheme.
+///
+/// # Errors
+///
+/// [`CheckedError::InvalidShape`] when the input/weight shapes are
+/// incompatible (nothing is launched), and [`CheckedError::Exhausted`]
+/// when every permitted tier used up its retry budget — only reachable
+/// with [`CheckedConfig::allow_cpu_fallback`] disabled, since the host
+/// tier cannot fail.
+pub fn conv2d_checked(
+    sim: &mut GpuSim,
+    input: &Tensor4,
+    weights: &FilterBank,
+    cfg: &OursConfig,
+    ccfg: &CheckedConfig,
+) -> Result<(Tensor4, CheckedReport), CheckedError> {
+    let (n, c, ih, iw) = input.dims();
+    if c != weights.channels() {
+        return Err(CheckedError::InvalidShape(format!(
+            "channel mismatch: input has {c}, weights expect {}",
+            weights.channels()
+        )));
+    }
+    if ih < weights.fh() || iw < weights.fw() {
+        return Err(CheckedError::InvalidShape(format!(
+            "filter {}x{} larger than input {ih}x{iw}",
+            weights.fh(),
+            weights.fw()
+        )));
+    }
+    let g = ConvGeometry::nchw(
+        n,
+        c,
+        ih,
+        iw,
+        weights.num_filters(),
+        weights.fh(),
+        weights.fw(),
+    );
+    if g.out_elems() == 0 {
+        return Err(CheckedError::InvalidShape(
+            "empty output (zero batch or zero filters)".into(),
+        ));
+    }
+
+    let golden = build_golden(input, weights, &g, ccfg);
+    let attempts_per_tier = ccfg.max_attempts_per_tier.max(1);
+
+    // Arm the hang watchdog for the whole chain; restore the caller's
+    // budget afterwards.
+    let saved_budget = sim.watchdog_budget();
+    sim.set_watchdog_budget(Some(ccfg.watchdog_budget));
+
+    let mut attempts: Vec<AttemptRecord> = Vec::new();
+    let mut served: Option<(Tensor4, FallbackTier)> = None;
+
+    'chain: for tier in FallbackTier::CHAIN {
+        if tier == FallbackTier::CpuReference {
+            if !ccfg.allow_cpu_fallback {
+                continue;
+            }
+            // Ground truth itself: serve the full reference (reusing the
+            // golden tensor when the full check already computed it).
+            let out = match &golden {
+                Golden::Full(want) => want.clone(),
+                Golden::Probe { .. } => conv_nchw_ref(input, weights),
+            };
+            attempts.push(AttemptRecord {
+                tier,
+                attempt: 0,
+                outcome: AttemptOutcome::Served,
+            });
+            served = Some((out, tier));
+            break 'chain;
+        }
+        for attempt in 0..attempts_per_tier {
+            match run_tier(sim, tier, input, weights, cfg) {
+                Err(e) => attempts.push(AttemptRecord {
+                    tier,
+                    attempt,
+                    outcome: AttemptOutcome::LaunchFailed(e),
+                }),
+                Ok(out) => match golden.check(&out) {
+                    Ok(()) => {
+                        attempts.push(AttemptRecord {
+                            tier,
+                            attempt,
+                            outcome: AttemptOutcome::Served,
+                        });
+                        served = Some((out, tier));
+                        break 'chain;
+                    }
+                    Err((max_abs, max_rel)) => attempts.push(AttemptRecord {
+                        tier,
+                        attempt,
+                        outcome: AttemptOutcome::SdcDetected { max_abs, max_rel },
+                    }),
+                },
+            }
+        }
+    }
+
+    sim.set_watchdog_budget(saved_budget);
+
+    match served {
+        Some((out, tier)) => Ok((
+            out,
+            CheckedReport {
+                served: tier,
+                method: golden.method(),
+                attempts,
+            },
+        )),
+        None => Err(CheckedError::Exhausted { attempts }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memconv_gpusim::DeviceConfig;
+    use memconv_ref::conv_nchw_ref;
+    use memconv_tensor::generate::TensorRng;
+
+    fn workload(seed: u64) -> (Tensor4, FilterBank) {
+        let mut rng = TensorRng::new(seed);
+        (rng.tensor(1, 2, 12, 12), rng.filter_bank(2, 2, 3, 3))
+    }
+
+    #[test]
+    fn fault_free_serves_first_tier_exactly() {
+        let (input, bank) = workload(7);
+        let mut sim = GpuSim::new(DeviceConfig::test_tiny());
+        let (out, rep) = conv2d_checked(
+            &mut sim,
+            &input,
+            &bank,
+            &OursConfig::full(),
+            &CheckedConfig::default(),
+        )
+        .expect("fault-free run must serve");
+        assert_eq!(rep.served, FallbackTier::FusedNchw);
+        assert!(!rep.fell_back());
+        assert_eq!(rep.total_attempts(), 1);
+        assert_eq!(rep.method, CheckMethod::Full);
+        assert_eq!(out.as_slice(), conv_nchw_ref(&input, &bank).as_slice());
+        // The caller's (unset) watchdog budget is restored.
+        assert_eq!(sim.watchdog_budget(), None);
+    }
+
+    #[test]
+    fn large_output_uses_probe_and_still_serves() {
+        let (input, bank) = workload(8);
+        let mut sim = GpuSim::new(DeviceConfig::test_tiny());
+        let ccfg = CheckedConfig {
+            full_check_max_elems: 4, // force the probe path
+            probe_samples: 16,
+            ..CheckedConfig::default()
+        };
+        let (out, rep) =
+            conv2d_checked(&mut sim, &input, &bank, &OursConfig::full(), &ccfg).unwrap();
+        assert_eq!(rep.method, CheckMethod::Probe { samples: 16 });
+        assert_eq!(rep.served, FallbackTier::FusedNchw);
+        assert_eq!(out.as_slice(), conv_nchw_ref(&input, &bank).as_slice());
+    }
+
+    #[test]
+    fn probe_placement_is_deterministic() {
+        let (input, bank) = workload(9);
+        let g = ConvGeometry::nchw(1, 2, 12, 12, 2, 3, 3);
+        let ccfg = CheckedConfig {
+            full_check_max_elems: 0,
+            probe_samples: 8,
+            ..CheckedConfig::default()
+        };
+        let (a, b) = (
+            build_golden(&input, &bank, &g, &ccfg),
+            build_golden(&input, &bank, &g, &ccfg),
+        );
+        match (a, b) {
+            (
+                Golden::Probe {
+                    coords: ca,
+                    values: va,
+                },
+                Golden::Probe {
+                    coords: cb,
+                    values: vb,
+                },
+            ) => {
+                assert_eq!(ca, cb);
+                assert_eq!(va, vb);
+                assert_eq!(ca.len(), 8);
+            }
+            _ => panic!("expected probe goldens"),
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_is_typed_not_a_panic() {
+        let mut rng = TensorRng::new(10);
+        let input = rng.tensor(1, 2, 8, 8);
+        let bank = rng.filter_bank(1, 3, 3, 3); // 3 channels vs input's 2
+        let mut sim = GpuSim::new(DeviceConfig::test_tiny());
+        let err = conv2d_checked(
+            &mut sim,
+            &input,
+            &bank,
+            &OursConfig::full(),
+            &CheckedConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CheckedError::InvalidShape(_)));
+        // Filter larger than input is also caught before any launch.
+        let big = rng.filter_bank(1, 2, 9, 9);
+        let err = conv2d_checked(
+            &mut sim,
+            &input,
+            &big,
+            &OursConfig::full(),
+            &CheckedConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CheckedError::InvalidShape(_)));
+    }
+
+    #[test]
+    fn tier_names_are_stable() {
+        let names: Vec<&str> = FallbackTier::CHAIN.iter().map(|t| t.name()).collect();
+        assert_eq!(
+            names,
+            vec!["fused-nchw", "ours-direct", "tiled", "cpu-reference"]
+        );
+    }
+}

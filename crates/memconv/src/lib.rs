@@ -36,6 +36,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checked;
+
 pub use memconv_baselines as baselines;
 pub use memconv_core as core;
 pub use memconv_gpusim as gpusim;
@@ -45,16 +47,22 @@ pub use memconv_workloads as workloads;
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use crate::checked::{
+        conv2d_checked, AttemptOutcome, AttemptRecord, CheckMethod, CheckedConfig, CheckedError,
+        CheckedReport, FallbackTier,
+    };
     pub use memconv_baselines::{
         As2d, CudnnFastest, DirectConv, FftConv, FftTiling, Im2colGemm, ImplicitGemm, MecConv,
         PrecompGemm, ShuffleDynamic, TiledConv, WinogradFused, WinogradNonfused,
     };
     pub use memconv_core::{
-        conv2d_ours, conv_nchw_ours, Conv2dAlgorithm, ConvNchwAlgorithm, Ours, OursConfig,
+        conv2d_ours, conv_nchw_ours, try_conv_nchw_ours, Conv2dAlgorithm, ConvNchwAlgorithm, Ours,
+        OursConfig,
     };
     pub use memconv_gpusim::{
-        AnalysisConfig, DeviceConfig, GpuSim, Hazard, HazardPass, HazardReport, KernelStats,
-        LaunchConfig, LaunchMode, RunReport, SampleMode, Severity,
+        AnalysisConfig, DeviceConfig, FaultKind, FaultLog, FaultPlan, GpuSim, Hazard, HazardPass,
+        HazardReport, KernelStats, LaunchConfig, LaunchError, LaunchMode, RunReport, SampleMode,
+        Severity,
     };
     pub use memconv_ref::{conv2d_ref, conv_nchw_ref};
     pub use memconv_tensor::{

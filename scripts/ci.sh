@@ -19,4 +19,7 @@ cargo test -q
 echo "==> hazard-analysis gate (ablation --analyze --gate)"
 cargo run --release -q -p memconv-bench --bin ablation -- --analyze --gate
 
+echo "==> fault-injection gate (faults --smoke --gate)"
+cargo run --release -q -p memconv-bench --bin faults -- --smoke --gate
+
 echo "CI gate passed."

@@ -1,0 +1,208 @@
+//! End-to-end tests for the resilient dispatcher (`conv2d_checked`) under
+//! seeded fault injection: every detectable fault class must be either
+//! caught (and corrected by a fallback tier) or provably output-neutral.
+//! No silent corruption may ever be served.
+
+use memconv::prelude::*;
+
+fn workload() -> (Tensor4, FilterBank) {
+    let mut rng = TensorRng::new(0xFA11);
+    (rng.tensor(1, 2, 12, 12), rng.filter_bank(2, 2, 3, 3))
+}
+
+fn checked_with_plan(
+    plan: Option<FaultPlan>,
+    ccfg: &CheckedConfig,
+) -> (
+    Result<(Tensor4, CheckedReport), CheckedError>,
+    FaultLog,
+    Tensor4,
+) {
+    let (input, bank) = workload();
+    let want = conv_nchw_ref(&input, &bank);
+    let mut sim = GpuSim::new(DeviceConfig::test_tiny());
+    sim.set_fault_plan(plan);
+    let res = conv2d_checked(&mut sim, &input, &bank, &OursConfig::full(), ccfg);
+    let log = sim.take_fault_log();
+    (res, log, want)
+}
+
+#[test]
+fn no_faults_serves_planned_kernel_in_both_modes() {
+    for mode in [LaunchMode::Sequential, LaunchMode::Parallel] {
+        let (input, bank) = workload();
+        let want = conv_nchw_ref(&input, &bank);
+        let mut sim = GpuSim::new(DeviceConfig::test_tiny());
+        sim.set_launch_mode(mode);
+        let (out, rep) = conv2d_checked(
+            &mut sim,
+            &input,
+            &bank,
+            &OursConfig::full(),
+            &CheckedConfig::default(),
+        )
+        .expect("fault-free run serves");
+        assert_eq!(rep.served, FallbackTier::FusedNchw, "mode {mode:?}");
+        assert_eq!(rep.total_attempts(), 1);
+        assert_eq!(out.as_slice(), want.as_slice());
+        assert!(sim.fault_log().is_empty());
+    }
+}
+
+#[test]
+fn shuffle_corruption_falls_back_to_direct_kernel() {
+    // Rate 1: every shuffle result is corrupted. The fused kernel's column
+    // reuse rides on shuffles, so its output is corrupt; the direct
+    // variant issues no shuffles at all and must serve exactly.
+    let plan = FaultPlan::new(11).with_rate(FaultKind::ShuffleCorrupt, 1);
+    let (res, log, want) = checked_with_plan(Some(plan), &CheckedConfig::default());
+    let (out, rep) = res.expect("direct tier must serve");
+    assert_eq!(rep.served, FallbackTier::OursDirect);
+    assert_eq!(out.as_slice(), want.as_slice());
+    assert!(log.count(FaultKind::ShuffleCorrupt) > 0);
+    // The fused tier's attempts were all detected as SDC, not served.
+    for a in rep
+        .attempts
+        .iter()
+        .filter(|a| a.tier == FallbackTier::FusedNchw)
+    {
+        assert!(
+            matches!(a.outcome, AttemptOutcome::SdcDetected { .. }),
+            "unexpected fused outcome: {:?}",
+            a.outcome
+        );
+    }
+}
+
+#[test]
+fn global_bit_flips_fall_back_to_cpu_reference() {
+    // Every global load is corrupted: all three simulated tiers read
+    // garbage, so only the host reference can serve.
+    let plan = FaultPlan::new(12).with_rate(FaultKind::GlobalBitFlip, 1);
+    let (res, log, want) = checked_with_plan(Some(plan), &CheckedConfig::default());
+    let (out, rep) = res.expect("cpu tier must serve");
+    assert_eq!(rep.served, FallbackTier::CpuReference);
+    assert_eq!(out.as_slice(), want.as_slice());
+    assert!(log.count(FaultKind::GlobalBitFlip) > 0);
+    for tier in [
+        FallbackTier::FusedNchw,
+        FallbackTier::OursDirect,
+        FallbackTier::Tiled,
+    ] {
+        assert!(
+            rep.attempts
+                .iter()
+                .any(|a| a.tier == tier && matches!(a.outcome, AttemptOutcome::SdcDetected { .. })),
+            "{tier} should have been caught corrupting"
+        );
+    }
+}
+
+#[test]
+fn injected_hangs_surface_as_timeouts_on_every_simulated_tier() {
+    // Rate 1: every block draws a hang trigger inside the first 512
+    // instructions, so on a workload whose blocks all run longer than
+    // that, every simulated block hangs. The dispatcher arms the watchdog
+    // for the whole chain, so the fused/direct tiers fail typed through
+    // try_launch and the tiled tier through catch_unwind + classify.
+    // (Per-block fault logs are lost when a block panics — the injected
+    // evidence here is `hang_injected: true` in each Timeout.)
+    let mut rng = TensorRng::new(0xFA12);
+    let (input, bank) = (rng.tensor(1, 4, 24, 24), rng.filter_bank(2, 4, 3, 3));
+    let want = conv_nchw_ref(&input, &bank);
+    let mut sim = GpuSim::new(DeviceConfig::test_tiny());
+    sim.set_fault_plan(Some(FaultPlan::new(13).with_rate(FaultKind::Hang, 1)));
+    let (out, rep) = conv2d_checked(
+        &mut sim,
+        &input,
+        &bank,
+        &OursConfig::full(),
+        &CheckedConfig::default(),
+    )
+    .expect("cpu tier must serve");
+    assert_eq!(rep.served, FallbackTier::CpuReference);
+    assert_eq!(out.as_slice(), want.as_slice());
+    for a in rep
+        .attempts
+        .iter()
+        .filter(|a| a.tier != FallbackTier::CpuReference)
+    {
+        assert!(
+            matches!(
+                a.outcome,
+                AttemptOutcome::LaunchFailed(LaunchError::Timeout {
+                    hang_injected: true,
+                    ..
+                })
+            ),
+            "tier {} attempt {}: expected injected timeout, got {:?}",
+            a.tier,
+            a.attempt,
+            a.outcome
+        );
+    }
+}
+
+#[test]
+fn l2_sector_drops_are_output_neutral() {
+    // Dropped/duplicated L2 sectors shift transaction counters but never
+    // functional values, so the planned kernel serves on its first attempt
+    // with a bit-exact output — while the log proves faults really fired.
+    let plan = FaultPlan::new(14)
+        .with_rate(FaultKind::L2SectorDrop, 1)
+        .with_rate(FaultKind::L2SectorDup, 3);
+    let (res, log, want) = checked_with_plan(Some(plan), &CheckedConfig::default());
+    let (out, rep) = res.expect("planned kernel must serve");
+    assert_eq!(rep.served, FallbackTier::FusedNchw);
+    assert_eq!(rep.total_attempts(), 1);
+    assert_eq!(out.as_slice(), want.as_slice());
+    assert!(log.count(FaultKind::L2SectorDrop) > 0);
+}
+
+#[test]
+fn retry_budget_is_bounded_and_exhaustion_is_typed() {
+    // With the CPU tier disallowed and every global load corrupted, the
+    // chain must exhaust within tiers × attempts and say so.
+    let ccfg = CheckedConfig {
+        allow_cpu_fallback: false,
+        max_attempts_per_tier: 2,
+        ..CheckedConfig::default()
+    };
+    let plan = FaultPlan::new(15).with_rate(FaultKind::GlobalBitFlip, 1);
+    let (res, _, _) = checked_with_plan(Some(plan), &ccfg);
+    match res {
+        Err(CheckedError::Exhausted { attempts }) => {
+            assert_eq!(attempts.len(), 3 * 2, "3 sim tiers x 2 attempts");
+            assert!(attempts
+                .iter()
+                .all(|a| !matches!(a.outcome, AttemptOutcome::Served)));
+        }
+        other => panic!("expected exhaustion, got {other:?}"),
+    }
+}
+
+#[test]
+fn attempt_count_never_exceeds_chain_budget() {
+    let ccfg = CheckedConfig::default();
+    for (kind, seed) in [
+        (FaultKind::GlobalBitFlip, 21),
+        (FaultKind::SharedCorrupt, 22),
+        (FaultKind::ShuffleCorrupt, 23),
+        (FaultKind::Hang, 24),
+        (FaultKind::L2SectorDrop, 25),
+        (FaultKind::L2SectorDup, 26),
+    ] {
+        let plan = FaultPlan::single(kind, seed);
+        let (res, _, want) = checked_with_plan(Some(plan), &ccfg);
+        let (out, rep) = res.unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+        let bound = (FallbackTier::CHAIN.len() - 1) * ccfg.max_attempts_per_tier as usize + 1;
+        assert!(
+            rep.total_attempts() <= bound,
+            "{}: {} attempts > bound {bound}",
+            kind.name(),
+            rep.total_attempts()
+        );
+        // Whatever served, the delivered output is never corrupt.
+        assert_eq!(out.as_slice(), want.as_slice(), "{}", kind.name());
+    }
+}
