@@ -114,7 +114,7 @@ fn main() {
     println!("{:<10} {:>14} {:>12}", "size", "rows/thread", "warps/blk");
     for size in [256usize, 1024, 4096] {
         let g = ConvGeometry::single(size, size, 5);
-        let rep = autotune_2d(&DeviceConfig::rtx2080ti(), &g);
+        let rep = autotune_2d(&DeviceConfig::rtx2080ti(), &g).expect("single-channel geometry");
         println!(
             "{:<10} {:>14} {:>12}",
             format!("{size}x{size}"),

@@ -31,7 +31,7 @@
 
 use memconv::gpusim::{classify_panic, DEFAULT_BLOCK_INSTRUCTION_BUDGET};
 use memconv::prelude::*;
-use memconv_bench::{apply_harness_flags, harness_launch_mode, parse_flag};
+use memconv_bench::{apply_harness_flags, harness_launch_mode, parse_flag, write_json};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Seeds per fault class (6 under `--smoke`).
@@ -314,7 +314,7 @@ fn main() {
              \"identity_ok\":{identity_ok},\"gate_pass\":{gate_pass}}}"
         ));
         let path = "BENCH_faults.json";
-        if let Err(e) = std::fs::write(path, format!("[\n  {}\n]\n", items.join(",\n  "))) {
+        if let Err(e) = write_json(path, &items) {
             eprintln!("failed to write {path}: {e}");
             std::process::exit(1);
         }

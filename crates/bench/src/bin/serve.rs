@@ -1,0 +1,292 @@
+//! Serving-trace replay over the `workloads::models` zoo.
+//!
+//! ```sh
+//! cargo run --release -p memconv-bench --bin serve                    # full trace
+//! cargo run --release -p memconv-bench --bin serve -- --smoke --gate
+//! cargo run --release -p memconv-bench --bin serve -- --seed 7 --window 8
+//! ```
+//!
+//! A seeded request trace is sampled from the model-layer endpoints and
+//! replayed three ways:
+//!
+//! 1. **batched** — the real configuration (window 16 by default);
+//! 2. **sequential** — window 1, per-request dispatch; every output must
+//!    be bit-identical to the batched run (the scheduler's equivariance
+//!    contract);
+//! 3. **reloaded** — the batched run's plan cache is saved, loaded back
+//!    (byte-identity required), and the trace re-served from it; zero
+//!    cache misses prove no re-tuning happened.
+//!
+//! Results are *modeled* seconds only — no wall clock — and land in
+//! `BENCH_serve.json` (plans in `BENCH_serve_plans.json`). `--gate` exits
+//! 1 unless there were zero divergences, the cache round trip was
+//! byte-identical with zero reload misses, cache hit rate exceeded 0.9
+//! and batching efficiency exceeded 1.5 requests/launch.
+//!
+//! Endpoint shapes are the zoo layers with spatial size and filter count
+//! capped (marked `*` in the table): serving launches run
+//! `SampleMode::Full` — sampled launches are functionally incomplete —
+//! so full-size VGG layers would cost minutes of simulation for no extra
+//! coverage, the same trade `fig4` makes when capping batch.
+
+use memconv::gpusim::{DeviceConfig, SampleMode};
+use memconv::tensor::generate::TensorRng;
+use memconv::tensor::ConvGeometry;
+use memconv::workloads::models::model_zoo;
+use memconv_bench::{apply_harness_flags, harness_launch_mode, parse_flag, write_json};
+use memconv_serve::{ConvServer, Endpoint, PlanCache, Request, Response, ServeConfig, ServeReport};
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The zoo layers as serving endpoints, with spatial/filter caps.
+fn endpoints(spatial_cap: usize, filter_cap: usize) -> Vec<(Endpoint, bool)> {
+    let mut rng = TensorRng::new(0xE9D0);
+    model_zoo()
+        .iter()
+        .map(|m| {
+            let spatial = m.spatial.min(spatial_cap);
+            let filters = m.filters.min(filter_cap);
+            let capped = spatial != m.spatial || filters != m.filters;
+            let geometry = ConvGeometry::nchw(
+                1,
+                m.in_channels,
+                spatial,
+                spatial,
+                filters,
+                m.filter,
+                m.filter,
+            );
+            let weights = rng.filter_bank(filters, m.in_channels, m.filter, m.filter);
+            (
+                Endpoint {
+                    name: format!("{}/{}", m.model, m.layer),
+                    geometry,
+                    weights,
+                },
+                capped,
+            )
+        })
+        .collect()
+}
+
+/// Seeded request trace: endpoint picks, arrival gaps and payloads all
+/// derive from `seed` — every run of the same seed replays bit-identically.
+fn trace(eps: &[Endpoint], n: usize, seed: u64) -> Vec<Request> {
+    let mut rng = TensorRng::new(seed ^ 0x7ACE);
+    let mut arrival_s = 0.0f64;
+    (0..n as u64)
+        .map(|i| {
+            let h = splitmix64(seed ^ (i << 1));
+            let e = (h % eps.len() as u64) as usize;
+            let g = eps[e].geometry;
+            arrival_s += ((h >> 8) % 1000) as f64 * 1e-6; // 0–1 ms gaps
+            Request {
+                id: i,
+                endpoint: e,
+                input: rng.tensor(1, g.in_channels, g.in_h, g.in_w),
+                checked: i % 13 == 7,
+                arrival_s,
+            }
+        })
+        .collect()
+}
+
+fn diverging_outputs(a: &[Response], b: &[Response]) -> usize {
+    a.iter()
+        .zip(b)
+        .filter(|(x, y)| x.id != y.id || x.output.as_slice() != y.output.as_slice())
+        .count()
+}
+
+fn endpoint_rollup(report: &ServeReport) -> Vec<String> {
+    let mut names: Vec<&str> = report
+        .launches
+        .iter()
+        .map(|l| l.endpoint.as_str())
+        .collect();
+    names.sort_unstable();
+    names.dedup();
+    names
+        .iter()
+        .map(|name| {
+            let ls: Vec<_> = report
+                .launches
+                .iter()
+                .filter(|l| l.endpoint == *name)
+                .collect();
+            let requests: usize = ls.iter().map(|l| l.requests).sum();
+            let modeled: f64 = ls.iter().map(|l| l.modeled_seconds).sum();
+            let txns: u64 = ls.iter().map(|l| l.transactions).sum();
+            format!(
+                "{{\"endpoint\":\"{}\",\"requests\":{requests},\"launches\":{},\
+                 \"modeled_seconds\":{modeled},\"transactions\":{txns}}}",
+                name,
+                ls.len()
+            )
+        })
+        .collect()
+}
+
+fn main() {
+    apply_harness_flags();
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let gate = args.iter().any(|a| a == "--gate");
+    let seed = parse_flag::<u64>("--seed").unwrap_or(0x5EED);
+    let window = match parse_flag::<usize>("--window") {
+        Some(0) => {
+            eprintln!("--window must be >= 1");
+            std::process::exit(2);
+        }
+        Some(w) => w,
+        None => 16,
+    };
+    let (spatial_cap, filter_cap, n_requests) = if smoke { (20, 16, 64) } else { (40, 32, 192) };
+
+    let device = DeviceConfig::rtx2080ti();
+    let eps = endpoints(spatial_cap, filter_cap);
+    println!(
+        "=== serving-trace replay — {n_requests} requests, window {window}, seed {seed:#x} ==="
+    );
+    println!(
+        "{:<28} {:>10} {:>8} {:>7}",
+        "endpoint", "input", "filters", "filter"
+    );
+    for (ep, capped) in &eps {
+        let g = ep.geometry;
+        println!(
+            "{:<28} {:>10} {:>8} {:>7}{}",
+            ep.name,
+            format!("{}x{}x{}", g.in_channels, g.in_h, g.in_w),
+            g.out_channels,
+            format!("{}x{}", g.f_h, g.f_w),
+            if *capped { " *" } else { "" }
+        );
+    }
+    println!("(* spatial/filters capped for full-grid serving simulation)\n");
+
+    let eps: Vec<Endpoint> = eps.into_iter().map(|(e, _)| e).collect();
+    let reqs = trace(&eps, n_requests, seed);
+    let cfg = ServeConfig {
+        window,
+        launch_mode: harness_launch_mode(),
+        trial_sample: SampleMode::Auto(128),
+        ..ServeConfig::default()
+    };
+
+    // 1. The batched run.
+    let mut server = ConvServer::new(device.clone(), eps.clone(), cfg.clone());
+    let (batched, report) = server.run_trace(&reqs).unwrap_or_else(|e| {
+        eprintln!("batched replay failed: {e}");
+        std::process::exit(1);
+    });
+
+    // 2. Per-request dispatch: bit-identity oracle for the batching path.
+    let seq_cfg = ServeConfig {
+        window: 1,
+        ..cfg.clone()
+    };
+    let mut seq_server = ConvServer::new(device.clone(), eps.clone(), seq_cfg);
+    let (sequential, _) = seq_server.run_trace(&reqs).unwrap_or_else(|e| {
+        eprintln!("sequential replay failed: {e}");
+        std::process::exit(1);
+    });
+    let divergences = diverging_outputs(&batched, &sequential);
+
+    // 3. Persistence round trip: save → load (byte-identical) → re-serve
+    //    with zero misses and identical outputs.
+    let plans_path = "BENCH_serve_plans.json";
+    let mut roundtrip_ok = server.cache().save(plans_path).is_ok();
+    let saved = std::fs::read_to_string(plans_path).unwrap_or_default();
+    let mut reload_misses = u64::MAX;
+    match PlanCache::load(plans_path) {
+        Ok(loaded) => {
+            roundtrip_ok &= loaded.to_json() == saved;
+            let mut reloaded_server =
+                ConvServer::new(device.clone(), eps.clone(), cfg.clone()).with_cache(loaded);
+            match reloaded_server.run_trace(&reqs) {
+                Ok((replayed, rep)) => {
+                    reload_misses = rep.cache_misses;
+                    roundtrip_ok &=
+                        reload_misses == 0 && diverging_outputs(&batched, &replayed) == 0;
+                }
+                Err(e) => {
+                    eprintln!("reloaded replay failed: {e}");
+                    roundtrip_ok = false;
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("plan-cache load failed: {e}");
+            roundtrip_ok = false;
+        }
+    }
+
+    let hit_rate = report.hit_rate();
+    let rpl = report.requests_per_launch();
+    let queue = report.queue_percentiles();
+    let exec = report.execute_percentiles();
+    let total = report.total_percentiles();
+    println!(
+        "requests: {}   launches: {}",
+        report.requests.len(),
+        report.launches.len()
+    );
+    println!(
+        "cache: {} hits / {} misses (hit rate {:.3})   batching: {:.2} requests/launch",
+        report.cache_hits, report.cache_misses, hit_rate, rpl
+    );
+    println!(
+        "latency (modeled ms)   queue p50/p95/p99: {:.3}/{:.3}/{:.3}   execute: {:.3}/{:.3}/{:.3}",
+        queue.p50 * 1e3,
+        queue.p95 * 1e3,
+        queue.p99 * 1e3,
+        exec.p50 * 1e3,
+        exec.p95 * 1e3,
+        exec.p99 * 1e3
+    );
+    println!(
+        "batched-vs-sequential divergences: {divergences}   plan-cache round trip: {}",
+        if roundtrip_ok { "OK" } else { "FAILED" }
+    );
+
+    let gate_pass = divergences == 0 && roundtrip_ok && hit_rate > 0.9 && rpl > 1.5;
+    println!("gate: {}", if gate_pass { "PASS" } else { "FAIL" });
+
+    let mut items = endpoint_rollup(&report);
+    items.push(format!(
+        "{{\"endpoint\":\"_summary\",\"requests\":{},\"launches\":{},\"window\":{window},\
+         \"cache_hit_rate\":{hit_rate},\"requests_per_launch\":{rpl},\
+         \"queue_p50_s\":{},\"queue_p95_s\":{},\"queue_p99_s\":{},\
+         \"execute_p50_s\":{},\"execute_p95_s\":{},\"execute_p99_s\":{},\
+         \"total_p99_s\":{},\"modeled_seconds_total\":{},\"transactions_total\":{},\
+         \"divergences\":{divergences},\"roundtrip_ok\":{roundtrip_ok},\
+         \"reload_misses\":{reload_misses},\"gate_pass\":{gate_pass}}}",
+        report.requests.len(),
+        report.launches.len(),
+        queue.p50,
+        queue.p95,
+        queue.p99,
+        exec.p50,
+        exec.p95,
+        exec.p99,
+        total.p99,
+        report.total_modeled_seconds(),
+        report.total_transactions(),
+    ));
+    let path = "BENCH_serve.json";
+    if let Err(e) = write_json(path, &items) {
+        eprintln!("failed to write {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {path} and {plans_path}");
+
+    if gate && !gate_pass {
+        std::process::exit(1);
+    }
+}

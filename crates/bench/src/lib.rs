@@ -12,6 +12,10 @@
 
 use memconv::prelude::*;
 
+// The single percentile implementation lives in `memconv-serve` (bench
+// depends on serve, not vice versa); harnesses import it from here.
+pub use memconv_serve::metrics::{percentile, percentiles, Percentiles};
+
 /// Per-launch sampled-block budget for harness runs.
 pub fn sample_target() -> u64 {
     std::env::var("MEMCONV_SAMPLE_TARGET")
@@ -175,6 +179,13 @@ impl BenchRecord {
     }
 }
 
+/// Write pre-serialized JSON objects as the `BENCH_*.json` array format
+/// (one item per line, trailing newline) — the one writer every harness
+/// shares.
+pub fn write_json(path: &str, items: &[String]) -> std::io::Result<()> {
+    std::fs::write(path, format!("[\n  {}\n]\n", items.join(",\n  ")))
+}
+
 /// Append records to a JSON-array file (default `BENCH_sim.json`),
 /// preserving whatever records are already there.
 pub fn append_bench_json(path: &str, records: &[BenchRecord]) -> std::io::Result<()> {
@@ -192,7 +203,7 @@ pub fn append_bench_json(path: &str, records: &[BenchRecord]) -> std::io::Result
         }
     }
     items.extend(records.iter().map(|r| r.to_json()));
-    std::fs::write(path, format!("[\n  {}\n]\n", items.join(",\n  ")))
+    write_json(path, &items)
 }
 
 /// The value following `--flag` on the command line, parsed as `T`.

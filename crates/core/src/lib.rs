@@ -44,4 +44,4 @@ pub use kernel_nchw::{
     conv_nchw_ours, launch_conv_nchw_ours, try_conv_nchw_ours, try_launch_conv_nchw_ours,
 };
 pub use plan::{ColumnPlan, Exchange};
-pub use tune::{autotune_2d, TuneReport};
+pub use tune::{autotune_2d, TuneError, TuneReport};

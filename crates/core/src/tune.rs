@@ -13,6 +13,7 @@
 use crate::kernel2d::{launch_conv2d_ours, OursConfig};
 use memconv_gpusim::{GpuSim, SampleMode};
 use memconv_tensor::ConvGeometry;
+use std::fmt;
 
 /// Candidate values explored by [`autotune_2d`].
 pub const ROWS_CANDIDATES: &[usize] = &[1, 2, 4, 8, 16];
@@ -28,17 +29,64 @@ pub struct TuneReport {
     pub trials: Vec<(usize, usize, f64)>,
 }
 
+/// Why [`autotune_2d`] could not tune a geometry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TuneError {
+    /// The 2D tuner handles the paper's Fig. 3 setting only: batch 1, one
+    /// input channel, one output filter. Batched or multi-channel shapes
+    /// belong to the NCHW kernels — serving paths should route them to the
+    /// cross-algorithm NCHW planner instead of crashing.
+    NotSingleChannel2d {
+        /// Batch size of the rejected geometry.
+        batch: usize,
+        /// Input channels of the rejected geometry.
+        in_channels: usize,
+        /// Output filters of the rejected geometry.
+        out_channels: usize,
+    },
+}
+
+impl fmt::Display for TuneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TuneError::NotSingleChannel2d {
+                batch,
+                in_channels,
+                out_channels,
+            } => write!(
+                f,
+                "2D tuner needs batch=1, IC=1, FN=1 (got N={batch}, IC={in_channels}, \
+                 FN={out_channels}); use the NCHW planner for multi-channel shapes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TuneError {}
+
 /// Tune the fused 2D kernel for one geometry on the given device.
 ///
 /// Runs each candidate on synthetic data with `SampleMode::Auto(256)`
 /// (hundreds of blocks, not the full grid), so tuning costs a small
 /// multiple of one sampled run. Returns the winner with sampling reset to
 /// [`SampleMode::Full`].
-pub fn autotune_2d(device: &memconv_gpusim::DeviceConfig, g: &ConvGeometry) -> TuneReport {
-    assert_eq!(
-        g.in_channels, 1,
-        "2D tuner is single-channel (use Fig. 4 kernels otherwise)"
-    );
+///
+/// # Errors
+///
+/// [`TuneError::NotSingleChannel2d`] for batched or multi-channel
+/// geometries — those belong to the NCHW kernels and the cross-algorithm
+/// planner (`memconv-serve`), and must not crash a serving path.
+pub fn autotune_2d(
+    device: &memconv_gpusim::DeviceConfig,
+    g: &ConvGeometry,
+) -> Result<TuneReport, TuneError> {
+    if g.batch != 1 || g.in_channels != 1 || g.out_channels != 1 {
+        return Err(TuneError::NotSingleChannel2d {
+            batch: g.batch,
+            in_channels: g.in_channels,
+            out_channels: g.out_channels,
+        });
+    }
     let mut trials = Vec::new();
     let mut best: Option<(OursConfig, f64)> = None;
 
@@ -66,10 +114,10 @@ pub fn autotune_2d(device: &memconv_gpusim::DeviceConfig, g: &ConvGeometry) -> T
 
     let (mut best_cfg, _) = best.expect("non-empty candidate grid");
     best_cfg.sample = SampleMode::Full;
-    TuneReport {
+    Ok(TuneReport {
         best: best_cfg,
         trials,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -82,7 +130,7 @@ mod tests {
     #[test]
     fn tuner_explores_the_whole_grid() {
         let g = ConvGeometry::single(128, 128, 3);
-        let rep = autotune_2d(&DeviceConfig::rtx2080ti(), &g);
+        let rep = autotune_2d(&DeviceConfig::rtx2080ti(), &g).unwrap();
         assert_eq!(
             rep.trials.len(),
             ROWS_CANDIDATES.len() * WARP_CANDIDATES.len()
@@ -96,7 +144,7 @@ mod tests {
         // On a tiny image the grid shrinks to nothing with tall tiles, so
         // the tuner should not pick the tallest candidate.
         let g = ConvGeometry::single(64, 64, 3);
-        let rep = autotune_2d(&DeviceConfig::rtx2080ti(), &g);
+        let rep = autotune_2d(&DeviceConfig::rtx2080ti(), &g).unwrap();
         assert!(
             rep.best.rows_per_thread < 16,
             "picked T={} for a 64x64 image",
@@ -107,7 +155,7 @@ mod tests {
     #[test]
     fn large_images_prefer_row_reuse() {
         let g = ConvGeometry::single(2048, 2048, 5);
-        let rep = autotune_2d(&DeviceConfig::rtx2080ti(), &g);
+        let rep = autotune_2d(&DeviceConfig::rtx2080ti(), &g).unwrap();
         assert!(
             rep.best.rows_per_thread > 1,
             "row reuse should pay off at 2K"
@@ -117,12 +165,29 @@ mod tests {
     #[test]
     fn tuned_config_still_bitexact() {
         let g = ConvGeometry::single(40, 40, 5);
-        let rep = autotune_2d(&DeviceConfig::rtx2080ti(), &g);
+        let rep = autotune_2d(&DeviceConfig::rtx2080ti(), &g).unwrap();
         let mut rng = TensorRng::new(7);
         let img = rng.image(40, 40);
         let filt = rng.filter(5, 5);
         let mut sim = GpuSim::new(DeviceConfig::test_tiny());
         let (out, _) = crate::kernel2d::conv2d_ours(&mut sim, &img, &filt, &rep.best);
         assert_eq!(out.as_slice(), conv2d_ref(&img, &filt).as_slice());
+    }
+
+    #[test]
+    fn multi_channel_geometry_is_a_typed_error_not_a_panic() {
+        // Table I CONV1 shape — must surface as an error a serving path can
+        // catch and reroute, never a crash.
+        let g = ConvGeometry::nchw(128, 1, 28, 28, 128, 3, 3);
+        let err = autotune_2d(&DeviceConfig::test_tiny(), &g).unwrap_err();
+        assert_eq!(
+            err,
+            TuneError::NotSingleChannel2d {
+                batch: 128,
+                in_channels: 1,
+                out_channels: 128,
+            }
+        );
+        assert!(err.to_string().contains("NCHW planner"), "{err}");
     }
 }

@@ -188,6 +188,35 @@ impl DeviceConfig {
         self.sm_count as f64 * self.fp32_lanes_per_sm as f64 * 2.0 * self.clock_hz
     }
 
+    /// Stable device identity for persisted caches: the name (lowercased,
+    /// non-alphanumerics collapsed to `-`) plus the parameters that change
+    /// kernel selection — SM count and width, clock, cache geometry and
+    /// transaction size. Two devices with equal fingerprints plan
+    /// identically, so a plan tuned on one is valid on the other. The
+    /// format is part of the plan-cache persistence contract.
+    pub fn fingerprint(&self) -> String {
+        let mut slug = String::with_capacity(self.name.len());
+        for c in self.name.chars() {
+            if c.is_ascii_alphanumeric() {
+                slug.push(c.to_ascii_lowercase());
+            } else if !slug.ends_with('-') {
+                slug.push('-');
+            }
+        }
+        let slug = slug.trim_matches('-');
+        format!(
+            "{slug}@sm{}x{}@{:.0}mhz@l1_{}@l2_{}@line{}@sector{}@warp{}",
+            self.sm_count,
+            self.fp32_lanes_per_sm,
+            self.clock_hz / 1e6,
+            self.l1_bytes,
+            self.l2_bytes,
+            self.line_bytes,
+            self.sector_bytes,
+            self.max_threads_per_sm,
+        )
+    }
+
     /// Sectors per cache line.
     pub fn sectors_per_line(&self) -> usize {
         self.line_bytes / self.sector_bytes
@@ -241,6 +270,32 @@ mod tests {
         assert!(pascal.dram_bw < turing.dram_bw);
         assert!(turing.dram_bw < ampere.dram_bw);
         assert!(ampere.l2_bytes > 4 * turing.l2_bytes);
+    }
+
+    #[test]
+    fn fingerprints_are_distinct_stable_and_filesystem_safe() {
+        let presets = [
+            DeviceConfig::rtx2080ti(),
+            DeviceConfig::gtx1080ti(),
+            DeviceConfig::a100_like(),
+            DeviceConfig::test_tiny(),
+        ];
+        let fps: Vec<String> = presets.iter().map(|d| d.fingerprint()).collect();
+        let unique: std::collections::BTreeSet<&String> = fps.iter().collect();
+        assert_eq!(unique.len(), presets.len(), "{fps:?}");
+        for fp in &fps {
+            assert!(
+                fp.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || "-_@.".contains(c)),
+                "unsafe char in {fp}"
+            );
+        }
+        // renaming alone changes the fingerprint; bandwidth alone does not
+        // (bandwidth shifts modeled times uniformly, not plan validity)
+        let mut d = DeviceConfig::rtx2080ti();
+        assert_eq!(d.fingerprint(), DeviceConfig::rtx2080ti().fingerprint());
+        d.name = "something else".into();
+        assert_ne!(d.fingerprint(), DeviceConfig::rtx2080ti().fingerprint());
     }
 
     #[test]

@@ -38,7 +38,7 @@ use memconv_baselines::TiledConv;
 use memconv_core::api::ConvNchwAlgorithm;
 use memconv_core::{try_conv_nchw_ours, OursConfig};
 use memconv_gpusim::{
-    classify_panic, GpuSim, LaunchError, SampleMode, DEFAULT_BLOCK_INSTRUCTION_BUDGET,
+    classify_panic, GpuSim, KernelStats, LaunchError, SampleMode, DEFAULT_BLOCK_INSTRUCTION_BUDGET,
 };
 use memconv_ref::conv_nchw_ref;
 use memconv_tensor::{CompareReport, ConvGeometry, FilterBank, Tensor4};
@@ -167,6 +167,10 @@ pub struct CheckedReport {
     pub method: CheckMethod,
     /// Every attempt, in execution order (the last one is the server).
     pub attempts: Vec<AttemptRecord>,
+    /// Simulator counters of the launch that served (all-zero when the CPU
+    /// reference served — no device work was billed). Serving layers use
+    /// these for modeled-latency metrics without relaunching.
+    pub served_stats: KernelStats,
 }
 
 impl CheckedReport {
@@ -314,31 +318,32 @@ fn build_golden(
     Golden::Probe { coords, values }
 }
 
-/// Run one simulated tier, returning its raw (unchecked) output.
+/// Run one simulated tier, returning its raw (unchecked) output and the
+/// launch counters (for the report's `served_stats` when it serves).
 fn run_tier(
     sim: &mut GpuSim,
     tier: FallbackTier,
     input: &Tensor4,
     weights: &FilterBank,
     cfg: &OursConfig,
-) -> Result<Tensor4, LaunchError> {
+) -> Result<(Tensor4, KernelStats), LaunchError> {
     match tier {
         FallbackTier::FusedNchw => {
             // Sampling skips blocks functionally — a checked run needs
             // every output element, so force the full grid.
             let mut c = cfg.clone();
             c.sample = SampleMode::Full;
-            try_conv_nchw_ours(sim, input, weights, &c).map(|(t, _)| t)
+            try_conv_nchw_ours(sim, input, weights, &c)
         }
         FallbackTier::OursDirect => {
             let mut c = OursConfig::direct();
             c.sample = SampleMode::Full;
-            try_conv_nchw_ours(sim, input, weights, &c).map(|(t, _)| t)
+            try_conv_nchw_ours(sim, input, weights, &c)
         }
         FallbackTier::Tiled => {
             let tiled = TiledConv::new().with_sample(SampleMode::Full);
             catch_unwind(AssertUnwindSafe(|| tiled.run(sim, input, weights)))
-                .map(|(t, _)| t)
+                .map(|(t, rep)| (t, rep.totals()))
                 .map_err(classify_panic)
         }
         FallbackTier::CpuReference => unreachable!("CPU tier handled by the dispatcher"),
@@ -404,7 +409,7 @@ pub fn conv2d_checked(
     sim.set_watchdog_budget(Some(ccfg.watchdog_budget));
 
     let mut attempts: Vec<AttemptRecord> = Vec::new();
-    let mut served: Option<(Tensor4, FallbackTier)> = None;
+    let mut served: Option<(Tensor4, FallbackTier, KernelStats)> = None;
 
     'chain: for tier in FallbackTier::CHAIN {
         if tier == FallbackTier::CpuReference {
@@ -422,7 +427,7 @@ pub fn conv2d_checked(
                 attempt: 0,
                 outcome: AttemptOutcome::Served,
             });
-            served = Some((out, tier));
+            served = Some((out, tier, KernelStats::default()));
             break 'chain;
         }
         for attempt in 0..attempts_per_tier {
@@ -432,14 +437,14 @@ pub fn conv2d_checked(
                     attempt,
                     outcome: AttemptOutcome::LaunchFailed(e),
                 }),
-                Ok(out) => match golden.check(&out) {
+                Ok((out, stats)) => match golden.check(&out) {
                     Ok(()) => {
                         attempts.push(AttemptRecord {
                             tier,
                             attempt,
                             outcome: AttemptOutcome::Served,
                         });
-                        served = Some((out, tier));
+                        served = Some((out, tier, stats));
                         break 'chain;
                     }
                     Err((max_abs, max_rel)) => attempts.push(AttemptRecord {
@@ -455,12 +460,13 @@ pub fn conv2d_checked(
     sim.set_watchdog_budget(saved_budget);
 
     match served {
-        Some((out, tier)) => Ok((
+        Some((out, tier, stats)) => Ok((
             out,
             CheckedReport {
                 served: tier,
                 method: golden.method(),
                 attempts,
+                served_stats: stats,
             },
         )),
         None => Err(CheckedError::Exhausted { attempts }),
@@ -496,6 +502,9 @@ mod tests {
         assert_eq!(rep.total_attempts(), 1);
         assert_eq!(rep.method, CheckMethod::Full);
         assert_eq!(out.as_slice(), conv_nchw_ref(&input, &bank).as_slice());
+        // Serving layers bill modeled latency off these counters: a device
+        // tier must report real work.
+        assert!(rep.served_stats.global_transactions() > 0);
         // The caller's (unset) watchdog budget is restored.
         assert_eq!(sim.watchdog_budget(), None);
     }

@@ -56,8 +56,8 @@ pub mod prelude {
         PrecompGemm, ShuffleDynamic, TiledConv, WinogradFused, WinogradNonfused,
     };
     pub use memconv_core::{
-        conv2d_ours, conv_nchw_ours, try_conv_nchw_ours, Conv2dAlgorithm, ConvNchwAlgorithm, Ours,
-        OursConfig,
+        autotune_2d, conv2d_ours, conv_nchw_ours, try_conv_nchw_ours, Conv2dAlgorithm,
+        ConvNchwAlgorithm, Ours, OursConfig, TuneError, TuneReport,
     };
     pub use memconv_gpusim::{
         AnalysisConfig, DeviceConfig, FaultKind, FaultLog, FaultPlan, GpuSim, Hazard, HazardPass,

@@ -1,0 +1,426 @@
+//! The plan cache: LRU-bounded, counted, and persistable.
+//!
+//! Keys are `DeviceConfig::fingerprint() + "|" + ConvGeometry::cache_key()`
+//! — both stable, human-readable, and free of characters needing JSON
+//! escaping, which keeps the hand-written persistence format (the
+//! workspace's no-serde policy, same as `BENCH_*.json`) trivially
+//! round-trippable. Floats are written with Rust's `Display` (shortest
+//! round-trip decimal, no exponent), so *save → load → save is
+//! byte-identical* — the property the persistence proptest pins.
+
+use crate::planner::{Plan, PlanConfig};
+use memconv::gpusim::DeviceConfig;
+use memconv::tensor::ConvGeometry;
+use std::fmt;
+
+/// Compose the cache key for a geometry on a device.
+pub fn cache_key(device: &DeviceConfig, g: &ConvGeometry) -> String {
+    format!("{}|{}", device.fingerprint(), g.cache_key())
+}
+
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    key: String,
+    plan: Plan,
+    /// Monotone recency stamp; the minimum is the LRU victim. Not
+    /// persisted — load re-stamps in stored order, preserving relative
+    /// recency.
+    tick: u64,
+}
+
+/// An LRU-bounded map from `(device, geometry)` to [`Plan`], with hit/miss
+/// counters proving when planning work was (not) redone.
+#[derive(Debug, Clone)]
+pub struct PlanCache {
+    capacity: usize,
+    /// Insertion-ordered: eviction removes the min-tick entry but never
+    /// reorders survivors, so serialization order — and therefore the
+    /// persisted byte stream — is stable under lookups.
+    entries: Vec<CacheEntry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+/// Why a persisted cache could not be read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheError {
+    /// Filesystem failure (message from `std::io`).
+    Io(String),
+    /// The JSON did not match the persistence format.
+    Parse(String),
+}
+
+impl fmt::Display for CacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheError::Io(m) => write!(f, "plan cache I/O error: {m}"),
+            CacheError::Parse(m) => write!(f, "plan cache parse error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+impl PlanCache {
+    /// An empty cache holding at most `capacity` plans (floor 1).
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            capacity: capacity.max(1),
+            entries: Vec::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Bound on resident plans.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Resident plans.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no plans.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Successful lookups so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Failed lookups so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// `hits / (hits + misses)`; 1.0 before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Look up a plan, bumping recency and the hit/miss counters.
+    pub fn get(&mut self, key: &str) -> Option<Plan> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.entries.iter_mut().find(|e| e.key == key) {
+            Some(e) => {
+                e.tick = tick;
+                self.hits += 1;
+                Some(e.plan.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert or replace a plan, evicting the least-recently-used entry
+    /// when at capacity.
+    pub fn insert(&mut self, key: String, plan: Plan) {
+        self.tick += 1;
+        if let Some(e) = self.entries.iter_mut().find(|e| e.key == key) {
+            e.plan = plan;
+            e.tick = self.tick;
+            return;
+        }
+        if self.entries.len() >= self.capacity {
+            if let Some(victim) = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.tick)
+                .map(|(i, _)| i)
+            {
+                self.entries.remove(victim);
+            }
+        }
+        self.entries.push(CacheEntry {
+            key,
+            plan,
+            tick: self.tick,
+        });
+    }
+
+    /// Serialize to the hand-written JSON persistence format (one entry
+    /// per line; see the module docs for the byte-identity argument).
+    pub fn to_json(&self) -> String {
+        let entries: Vec<String> = self.entries.iter().map(entry_to_json).collect();
+        if entries.is_empty() {
+            format!(
+                "{{\n  \"version\": 1,\n  \"capacity\": {},\n  \"entries\": []\n}}\n",
+                self.capacity
+            )
+        } else {
+            format!(
+                "{{\n  \"version\": 1,\n  \"capacity\": {},\n  \"entries\": [\n    {}\n  ]\n}}\n",
+                self.capacity,
+                entries.join(",\n    ")
+            )
+        }
+    }
+
+    /// Parse the persistence format.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::Parse`] on version/field mismatches.
+    pub fn from_json(s: &str) -> Result<Self, CacheError> {
+        let mut capacity: Option<usize> = None;
+        let mut version: Option<u64> = None;
+        let mut cache = PlanCache::new(1);
+        for line in s.lines() {
+            let line = line.trim().trim_end_matches(',');
+            if let Some(v) = raw_field(line, "version") {
+                version = Some(parse_num(&v, "version")?);
+            }
+            // entry lines also contain a "capacity"-free prefix; the header
+            // line holds nothing but the field
+            if !line.contains("\"key\"") {
+                if let Some(v) = raw_field(line, "capacity") {
+                    capacity = Some(parse_num::<usize>(&v, "capacity")?);
+                }
+                continue;
+            }
+            let entry = entry_from_json(line)?;
+            cache.tick += 1;
+            let tick = cache.tick;
+            cache.entries.push(CacheEntry {
+                key: entry.0,
+                plan: entry.1,
+                tick,
+            });
+        }
+        match version {
+            Some(1) => {}
+            Some(v) => return Err(CacheError::Parse(format!("unsupported version {v}"))),
+            None => return Err(CacheError::Parse("missing version".into())),
+        }
+        cache.capacity = capacity
+            .ok_or_else(|| CacheError::Parse("missing capacity".into()))?
+            .max(1);
+        if cache.entries.len() > cache.capacity {
+            return Err(CacheError::Parse(format!(
+                "{} entries exceed capacity {}",
+                cache.entries.len(),
+                cache.capacity
+            )));
+        }
+        Ok(cache)
+    }
+
+    /// Write the cache to a file.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::Io`] on filesystem failure.
+    pub fn save(&self, path: &str) -> Result<(), CacheError> {
+        std::fs::write(path, self.to_json()).map_err(|e| CacheError::Io(format!("{path}: {e}")))
+    }
+
+    /// Read a cache from a file.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::Io`] on filesystem failure, [`CacheError::Parse`] on
+    /// format mismatch.
+    pub fn load(path: &str) -> Result<Self, CacheError> {
+        let s =
+            std::fs::read_to_string(path).map_err(|e| CacheError::Io(format!("{path}: {e}")))?;
+        PlanCache::from_json(&s)
+    }
+}
+
+fn entry_to_json(e: &CacheEntry) -> String {
+    match &e.plan.config {
+        PlanConfig::Ours {
+            column_reuse,
+            rows_per_thread,
+            block_warps,
+        } => format!(
+            "{{\"key\":\"{}\",\"algo\":\"{}\",\"kind\":\"ours\",\"column_reuse\":{column_reuse},\
+             \"rows_per_thread\":{rows_per_thread},\"block_warps\":{block_warps},\
+             \"modeled_seconds\":{}}}",
+            e.key, e.plan.algo, e.plan.modeled_seconds
+        ),
+        PlanConfig::Baseline => format!(
+            "{{\"key\":\"{}\",\"algo\":\"{}\",\"kind\":\"baseline\",\"modeled_seconds\":{}}}",
+            e.key, e.plan.algo, e.plan.modeled_seconds
+        ),
+    }
+}
+
+fn entry_from_json(line: &str) -> Result<(String, Plan), CacheError> {
+    let key = str_field(line, "key")?;
+    let algo = str_field(line, "algo")?;
+    let kind = str_field(line, "kind")?;
+    let modeled_seconds: f64 =
+        parse_num(&raw_required(line, "modeled_seconds")?, "modeled_seconds")?;
+    let config = match kind.as_str() {
+        "ours" => PlanConfig::Ours {
+            column_reuse: parse_bool(&raw_required(line, "column_reuse")?)?,
+            rows_per_thread: parse_num(&raw_required(line, "rows_per_thread")?, "rows_per_thread")?,
+            block_warps: parse_num(&raw_required(line, "block_warps")?, "block_warps")?,
+        },
+        "baseline" => PlanConfig::Baseline,
+        other => return Err(CacheError::Parse(format!("unknown plan kind `{other}`"))),
+    };
+    Ok((
+        key,
+        Plan {
+            algo,
+            config,
+            modeled_seconds,
+        },
+    ))
+}
+
+fn str_field(line: &str, key: &str) -> Result<String, CacheError> {
+    let pat = format!("\"{key}\":\"");
+    let start = line
+        .find(&pat)
+        .ok_or_else(|| CacheError::Parse(format!("missing string field `{key}`")))?
+        + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find('"')
+        .ok_or_else(|| CacheError::Parse(format!("unterminated string field `{key}`")))?;
+    Ok(rest[..end].to_string())
+}
+
+fn raw_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = line[start..].trim_start();
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim().to_string())
+}
+
+fn raw_required(line: &str, key: &str) -> Result<String, CacheError> {
+    raw_field(line, key).ok_or_else(|| CacheError::Parse(format!("missing field `{key}`")))
+}
+
+fn parse_num<T: std::str::FromStr>(raw: &str, key: &str) -> Result<T, CacheError> {
+    raw.parse()
+        .map_err(|_| CacheError::Parse(format!("bad value for `{key}`: `{raw}`")))
+}
+
+fn parse_bool(raw: &str) -> Result<bool, CacheError> {
+    match raw {
+        "true" => Ok(true),
+        "false" => Ok(false),
+        other => Err(CacheError::Parse(format!("bad bool `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ours_plan(rows: usize) -> Plan {
+        Plan {
+            algo: "ours-fused".into(),
+            config: PlanConfig::Ours {
+                column_reuse: true,
+                rows_per_thread: rows,
+                block_warps: 4,
+            },
+            modeled_seconds: 1.25e-5 * rows as f64,
+        }
+    }
+
+    fn baseline_plan() -> Plan {
+        Plan {
+            algo: "gemm-im2col".into(),
+            config: PlanConfig::Baseline,
+            modeled_seconds: 0.000734,
+        }
+    }
+
+    #[test]
+    fn counters_track_hits_and_misses() {
+        let mut c = PlanCache::new(4);
+        assert_eq!(c.get("a"), None);
+        c.insert("a".into(), ours_plan(8));
+        assert_eq!(c.get("a").unwrap(), ours_plan(8));
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = PlanCache::new(2);
+        c.insert("a".into(), ours_plan(1));
+        c.insert("b".into(), ours_plan(2));
+        let _ = c.get("a"); // refresh `a`; `b` becomes the victim
+        c.insert("c".into(), ours_plan(4));
+        assert!(c.get("a").is_some());
+        assert!(c.get("b").is_none());
+        assert!(c.get("c").is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn json_round_trip_is_byte_identical() {
+        let mut c = PlanCache::new(8);
+        c.insert(
+            cache_key(
+                &DeviceConfig::test_tiny(),
+                &ConvGeometry::nchw(1, 3, 28, 28, 16, 5, 5),
+            ),
+            ours_plan(8),
+        );
+        c.insert("k2".into(), baseline_plan());
+        let first = c.to_json();
+        let loaded = PlanCache::from_json(&first).unwrap();
+        assert_eq!(loaded.to_json(), first);
+        // lookups never perturb the byte stream (entries stay in order)
+        let mut loaded = loaded;
+        assert_eq!(loaded.get("k2").unwrap(), baseline_plan());
+        assert_eq!(loaded.to_json(), first);
+    }
+
+    #[test]
+    fn empty_cache_round_trips() {
+        let c = PlanCache::new(3);
+        let s = c.to_json();
+        let back = PlanCache::from_json(&s).unwrap();
+        assert_eq!(back.to_json(), s);
+        assert_eq!(back.capacity(), 3);
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn parse_errors_are_typed() {
+        assert!(matches!(
+            PlanCache::from_json("{}"),
+            Err(CacheError::Parse(_))
+        ));
+        let bad_version = "{\n\"version\": 2,\n\"capacity\": 4,\n\"entries\": []\n}";
+        assert!(matches!(
+            PlanCache::from_json(bad_version),
+            Err(CacheError::Parse(_))
+        ));
+        let bad_kind = "{\n\"version\": 1,\n\"capacity\": 4,\n\"entries\": [\n\
+                        {\"key\":\"k\",\"algo\":\"x\",\"kind\":\"mystery\",\"modeled_seconds\":1}\n]\n}";
+        assert!(matches!(
+            PlanCache::from_json(bad_kind),
+            Err(CacheError::Parse(_))
+        ));
+        assert!(matches!(
+            PlanCache::load("/nonexistent/plans.json"),
+            Err(CacheError::Io(_))
+        ));
+    }
+}

@@ -1,0 +1,40 @@
+//! # memconv-serve
+//!
+//! Turning the paper's *algorithm-selection* story into a serving layer:
+//! the evaluation (Fig. 3/4, Table I) shows that which kernel wins depends
+//! on geometry — exactly the per-layer selection problem
+//! `cudnnFindConvolutionForwardAlgorithm` solves. This crate packages that
+//! selection behind a request-serving front end:
+//!
+//! * [`planner`] — generalizes `memconv_core::tune` from fused-kernel knob
+//!   search to cross-algorithm selection: every candidate (the fused
+//!   kernel's tiling grid plus the batch-equivariant baselines) is trial-run
+//!   with block sampling on a scratch simulator and scored by modeled time,
+//!   producing a [`Plan`].
+//! * [`cache`] — an LRU [`PlanCache`] keyed by
+//!   `(DeviceConfig::fingerprint, ConvGeometry::cache_key)` with hit/miss
+//!   counters and hand-written JSON persistence (the workspace's no-serde
+//!   policy), so tuning cost is paid once per geometry across process runs.
+//! * [`scheduler`] — a [`ConvServer`] that replays a trace of single-image
+//!   requests, coalescing same-endpoint requests within a bounded window
+//!   into one NCHW batch launch. Every serving algorithm is per-image
+//!   batch-equivariant, so batched output is bit-identical to one-at-a-time
+//!   dispatch (proptest-pinned in `tests/prop_serve.rs`). Requests with
+//!   `checked: true` route through `memconv::checked::conv2d_checked`.
+//! * [`metrics`] — per-request queue/plan/execute modeled latency and a
+//!   [`ServeReport`] with p50/p95/p99, cache hit rate and batching
+//!   efficiency. All times are *modeled* seconds — no wall clock leaks into
+//!   results, which keeps every number reproducible bit-for-bit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod metrics;
+pub mod planner;
+pub mod scheduler;
+
+pub use cache::{CacheError, PlanCache};
+pub use metrics::{percentile, percentiles, Percentiles, RequestMetrics, ServeReport};
+pub use planner::{plan_2d, plan_nchw, Plan, PlanConfig, PlanError, PlanOutcome};
+pub use scheduler::{ConvServer, Endpoint, Request, Response, ServeConfig, ServeError};

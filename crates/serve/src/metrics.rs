@@ -1,0 +1,197 @@
+//! Serving observability: per-request latency records and trace-level
+//! rollups. Every duration here is *modeled* seconds on the simulated
+//! device (plus the virtual arrival clock of the trace) — wall-clock time
+//! never enters a report, so two runs of the same trace produce
+//! bit-identical metrics.
+
+/// Nearest-rank percentile of pre-sorted data, index rounded half-up in
+/// exact integer arithmetic (the `KernelStats::extrapolated` idiom —
+/// `idx = round(p/100 · (n−1))` computed as `(p·(n−1)·2 + 100) / 200`).
+///
+/// Returns 0.0 for an empty slice. `p` is clamped to 0..=100.
+pub fn percentile(sorted: &[f64], p: u64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let p = p.min(100);
+    let idx = (p * (sorted.len() as u64 - 1) * 2 + 100) / 200;
+    sorted[idx as usize]
+}
+
+/// The three latency quantiles every serving report carries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Percentiles {
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+/// p50/p95/p99 of `xs` (unsorted; a sorted copy is taken). All zero for
+/// empty input.
+pub fn percentiles(xs: &[f64]) -> Percentiles {
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    Percentiles {
+        p50: percentile(&sorted, 50),
+        p95: percentile(&sorted, 95),
+        p99: percentile(&sorted, 99),
+    }
+}
+
+/// One request's life through the server, in modeled/virtual seconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestMetrics {
+    /// Caller-assigned request id.
+    pub id: u64,
+    /// Endpoint name the request hit.
+    pub endpoint: String,
+    /// Virtual queueing delay: the batching window closed this long after
+    /// the request arrived.
+    pub queue_s: f64,
+    /// Modeled planning cost charged to this request (zero on a plan-cache
+    /// hit; the full trial-sweep cost on a miss).
+    pub plan_s: f64,
+    /// Modeled execution latency: the request completes when its batched
+    /// launch completes, so this is the whole launch's modeled time.
+    pub execute_s: f64,
+    /// Requests sharing this request's launch (including itself).
+    pub batched_with: usize,
+    /// Whether the plan came from the cache.
+    pub cache_hit: bool,
+    /// Whether the request took the verified (`conv2d_checked`) path.
+    pub checked: bool,
+    /// Whether a checked request was served by a fallback tier.
+    pub fell_back: bool,
+}
+
+/// One coalesced launch the scheduler issued.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaunchRecord {
+    /// Endpoint served.
+    pub endpoint: String,
+    /// Algorithm that ran (`checked:` prefix for the verified path).
+    pub algo: String,
+    /// Requests coalesced into this launch.
+    pub requests: usize,
+    /// Modeled seconds of the launch.
+    pub modeled_seconds: f64,
+    /// Global memory transactions — the paper's cost metric.
+    pub transactions: u64,
+    /// Whether the launch ran through `conv2d_checked`.
+    pub checked: bool,
+}
+
+/// Trace-level rollup: every request, every launch, and the cache
+/// counters accumulated over one `run_trace`.
+#[derive(Debug, Clone, Default)]
+pub struct ServeReport {
+    /// Per-request records, in submission order.
+    pub requests: Vec<RequestMetrics>,
+    /// Per-launch records, in issue order.
+    pub launches: Vec<LaunchRecord>,
+    /// Plan-cache hits during the trace.
+    pub cache_hits: u64,
+    /// Plan-cache misses during the trace (each paid a planner sweep).
+    pub cache_misses: u64,
+}
+
+impl ServeReport {
+    /// Plan-cache hit rate over this trace; 1.0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Batching efficiency: requests per coalesced launch.
+    pub fn requests_per_launch(&self) -> f64 {
+        if self.launches.is_empty() {
+            0.0
+        } else {
+            self.requests.len() as f64 / self.launches.len() as f64
+        }
+    }
+
+    /// Quantiles of the virtual queueing delay.
+    pub fn queue_percentiles(&self) -> Percentiles {
+        percentiles(&self.requests.iter().map(|r| r.queue_s).collect::<Vec<_>>())
+    }
+
+    /// Quantiles of modeled execution latency.
+    pub fn execute_percentiles(&self) -> Percentiles {
+        percentiles(
+            &self
+                .requests
+                .iter()
+                .map(|r| r.execute_s)
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Quantiles of end-to-end modeled latency (queue + plan + execute).
+    pub fn total_percentiles(&self) -> Percentiles {
+        percentiles(
+            &self
+                .requests
+                .iter()
+                .map(|r| r.queue_s + r.plan_s + r.execute_s)
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Total modeled device seconds across launches and planning.
+    pub fn total_modeled_seconds(&self) -> f64 {
+        self.launches.iter().map(|l| l.modeled_seconds).sum::<f64>()
+            + self.requests.iter().map(|r| r.plan_s).sum::<f64>()
+    }
+
+    /// Global transactions across all serving launches.
+    pub fn total_transactions(&self) -> u64 {
+        self.launches.iter().map(|l| l.transactions).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_indexing_rounds_half_up() {
+        let xs: Vec<f64> = (0..=10).map(|i| i as f64).collect();
+        // p50 of 11 points: idx = round(0.5*10) = 5
+        assert_eq!(percentile(&xs, 50), 5.0);
+        // p95: idx = round(9.5) = 10 (half-up)
+        assert_eq!(percentile(&xs, 95), 10.0);
+        assert_eq!(percentile(&xs, 0), 0.0);
+        assert_eq!(percentile(&xs, 100), 10.0);
+        // two points: p50 idx = round(0.5) = 1 (half-up, matching
+        // KernelStats::extrapolated's rounding direction)
+        assert_eq!(percentile(&[1.0, 2.0], 50), 2.0);
+    }
+
+    #[test]
+    fn percentiles_sorts_its_input() {
+        let p = percentiles(&[3.0, 1.0, 2.0]);
+        assert_eq!(p.p50, 2.0);
+        assert_eq!(p.p95, 3.0);
+        assert_eq!(p.p99, 3.0);
+        let empty = percentiles(&[]);
+        assert_eq!((empty.p50, empty.p95, empty.p99), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn report_ratios() {
+        let mut rep = ServeReport::default();
+        assert_eq!(rep.hit_rate(), 1.0);
+        assert_eq!(rep.requests_per_launch(), 0.0);
+        rep.cache_hits = 9;
+        rep.cache_misses = 1;
+        assert!((rep.hit_rate() - 0.9).abs() < 1e-12);
+    }
+}

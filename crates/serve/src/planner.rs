@@ -1,0 +1,425 @@
+//! Cross-algorithm planning: `memconv_core::tune` generalized from the
+//! fused kernel's two knobs to the whole serving registry.
+//!
+//! A plan is picked by *trial execution*: each candidate runs once on
+//! seeded synthetic data with aggressive block sampling
+//! ([`SampleMode::Auto`]), and the candidate with the lowest modeled time
+//! wins — the same find-by-running approach as
+//! `cudnnFindConvolutionForwardAlgorithm`, against the simulator's timing
+//! model instead of wall clock, so planning is deterministic.
+//!
+//! The candidate registry is deliberately restricted to **per-image
+//! batch-equivariant** algorithms (each output image depends only on its
+//! own input image, computed in a batch-independent accumulation order):
+//! the scheduler batches same-geometry requests into one launch and
+//! promises bit-identical output to per-request dispatch, which only holds
+//! for equivariant kernels. FFT- and Winograd-family baselines are
+//! excluded for that reason.
+
+use memconv::baselines::{As2d, DirectConv, Im2colGemm, TiledConv};
+use memconv::core::tune::{ROWS_CANDIDATES, WARP_CANDIDATES};
+use memconv::core::{Conv2dAlgorithm, ConvNchwAlgorithm, Ours, OursConfig};
+use memconv::gpusim::{DeviceConfig, GpuSim, SampleMode};
+use memconv::tensor::generate::TensorRng;
+use memconv::tensor::{ConvGeometry, ShapeError};
+use std::fmt;
+
+/// Algorithm-specific configuration carried by a [`Plan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanConfig {
+    /// The fused kernel with explicit tiling knobs (sampling is *not*
+    /// persisted: serving always runs `SampleMode::Full`).
+    Ours {
+        /// Shuffle-based column reuse (paper §II-A).
+        column_reuse: bool,
+        /// Row-reuse tile height (paper §II-B).
+        rows_per_thread: usize,
+        /// Warps per block.
+        block_warps: usize,
+    },
+    /// A configuration-free baseline, identified by the plan's algo name.
+    Baseline,
+}
+
+/// The outcome of planning one geometry on one device: what to run and
+/// what the model predicts it costs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// Stable algorithm identifier (see [`instantiate_nchw`]).
+    pub algo: String,
+    /// Algorithm configuration.
+    pub config: PlanConfig,
+    /// Modeled seconds of the winning trial run (sampled, at the planned
+    /// geometry's batch size).
+    pub modeled_seconds: f64,
+}
+
+/// A [`Plan`] plus the evidence it was picked on.
+#[derive(Debug, Clone)]
+pub struct PlanOutcome {
+    /// The winning plan.
+    pub plan: Plan,
+    /// Every `(candidate name, modeled seconds)` evaluated, in trial order.
+    pub trials: Vec<(String, f64)>,
+    /// Total modeled cost of the trial runs — what planning "costs" in the
+    /// virtual clock, charged to the request that missed the cache.
+    pub planning_seconds: f64,
+}
+
+/// Why planning failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// The geometry itself is inconsistent.
+    BadGeometry(ShapeError),
+    /// No registered candidate supports the geometry.
+    NoCandidate(String),
+    /// A persisted plan names an algorithm this build does not know
+    /// (stale cache from a different version).
+    UnknownAlgorithm(String),
+    /// [`plan_2d`] was asked for a batched / multi-channel geometry.
+    NotSingleChannel {
+        /// The offending geometry's cache key.
+        geometry: String,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::BadGeometry(e) => write!(f, "bad geometry: {e}"),
+            PlanError::NoCandidate(key) => write!(f, "no candidate supports geometry {key}"),
+            PlanError::UnknownAlgorithm(name) => write!(f, "unknown planned algorithm `{name}`"),
+            PlanError::NotSingleChannel { geometry } => {
+                write!(f, "2D planning requires N=IC=FN=1, got {geometry}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Deterministic trial-data seed for a geometry: hash of its cache key, so
+/// two planners given the same geometry trial on identical data.
+fn trial_seed(g: &ConvGeometry) -> u64 {
+    let mut h = 0x5E17E_u64;
+    for b in g.cache_key().bytes() {
+        h = splitmix64(h ^ b as u64);
+    }
+    h
+}
+
+/// The NCHW serving registry: every candidate is per-image
+/// batch-equivariant (see the module docs). Order matters — it is the
+/// deterministic tie-break.
+fn nchw_candidates(sample: SampleMode) -> Vec<(Plan, Box<dyn ConvNchwAlgorithm>)> {
+    let mut cands: Vec<(Plan, Box<dyn ConvNchwAlgorithm>)> = Vec::new();
+    for &rows in ROWS_CANDIDATES {
+        for &warps in WARP_CANDIDATES {
+            let cfg = OursConfig {
+                column_reuse: true,
+                rows_per_thread: rows,
+                block_warps: warps,
+                sample,
+            };
+            cands.push((
+                Plan {
+                    algo: "ours-fused".into(),
+                    config: PlanConfig::Ours {
+                        column_reuse: true,
+                        rows_per_thread: rows,
+                        block_warps: warps,
+                    },
+                    modeled_seconds: 0.0,
+                },
+                Box::new(Ours::with_config(cfg)),
+            ));
+        }
+    }
+    for (name, algo) in baseline_nchw(sample) {
+        cands.push((
+            Plan {
+                algo: name.into(),
+                config: PlanConfig::Baseline,
+                modeled_seconds: 0.0,
+            },
+            algo,
+        ));
+    }
+    cands
+}
+
+/// The configuration-free baseline candidates, by stable name.
+fn baseline_nchw(sample: SampleMode) -> Vec<(&'static str, Box<dyn ConvNchwAlgorithm>)> {
+    vec![
+        ("tiled", Box::new(TiledConv::new().with_sample(sample))),
+        ("direct", Box::new(DirectConv::new().with_sample(sample))),
+        (
+            "gemm-im2col",
+            Box::new(Im2colGemm::caffe().with_sample(sample)),
+        ),
+    ]
+}
+
+/// Candidate display name for the trial log.
+fn candidate_label(plan: &Plan) -> String {
+    match &plan.config {
+        PlanConfig::Ours {
+            rows_per_thread,
+            block_warps,
+            ..
+        } => format!("{}[T{rows_per_thread}W{block_warps}]", plan.algo),
+        PlanConfig::Baseline => plan.algo.clone(),
+    }
+}
+
+/// Plan one NCHW geometry on one device by sampled trial execution.
+///
+/// `trial_sample` bounds the per-trial simulation cost (harnesses use
+/// [`SampleMode::Auto`]`(256)`); the returned plan itself carries no
+/// sampling — execution instantiates it with [`SampleMode::Full`].
+///
+/// # Errors
+///
+/// [`PlanError::BadGeometry`] for inconsistent geometries and
+/// [`PlanError::NoCandidate`] when nothing in the registry supports the
+/// shape (cannot happen with the current registry — `ours-fused`, `tiled`,
+/// `direct` and `gemm-im2col` are shape-universal).
+pub fn plan_nchw(
+    device: &DeviceConfig,
+    g: &ConvGeometry,
+    trial_sample: SampleMode,
+) -> Result<PlanOutcome, PlanError> {
+    let g = g.validate().map_err(PlanError::BadGeometry)?;
+    let mut rng = TensorRng::new(trial_seed(&g));
+    let input = rng.tensor(g.batch, g.in_channels, g.in_h, g.in_w);
+    let bank = rng.filter_bank(g.out_channels, g.in_channels, g.f_h, g.f_w);
+
+    let mut trials = Vec::new();
+    let mut planning_seconds = 0.0;
+    let mut best: Option<Plan> = None;
+    for (mut plan, algo) in nchw_candidates(trial_sample) {
+        if !algo.supports_shape(&g) {
+            continue;
+        }
+        let mut sim = GpuSim::new(device.clone());
+        let (_, rep) = algo.run(&mut sim, &input, &bank);
+        let t = rep.modeled_time(device);
+        trials.push((candidate_label(&plan), t));
+        planning_seconds += t;
+        if best.as_ref().is_none_or(|b| t < b.modeled_seconds) {
+            plan.modeled_seconds = t;
+            best = Some(plan);
+        }
+    }
+    match best {
+        Some(plan) => Ok(PlanOutcome {
+            plan,
+            trials,
+            planning_seconds,
+        }),
+        None => Err(PlanError::NoCandidate(g.cache_key())),
+    }
+}
+
+/// Plan a single-image 2D geometry (the paper's Fig. 3 setting) over the
+/// [`Conv2dAlgorithm`] registry: the fused kernel's tiling grid plus the
+/// `As2d`-lifted baselines.
+///
+/// # Errors
+///
+/// [`PlanError::NotSingleChannel`] for batched or multi-channel geometries
+/// — the typed refusal that replaced `autotune_2d`'s panic; serving paths
+/// route those to [`plan_nchw`].
+pub fn plan_2d(
+    device: &DeviceConfig,
+    g: &ConvGeometry,
+    trial_sample: SampleMode,
+) -> Result<PlanOutcome, PlanError> {
+    let g = g.validate().map_err(PlanError::BadGeometry)?;
+    if g.batch != 1 || g.in_channels != 1 || g.out_channels != 1 {
+        return Err(PlanError::NotSingleChannel {
+            geometry: g.cache_key(),
+        });
+    }
+    let mut rng = TensorRng::new(trial_seed(&g));
+    let img = rng.image(g.in_h, g.in_w);
+    let filt = rng.filter(g.f_h, g.f_w);
+
+    let mut candidates: Vec<(Plan, Box<dyn Conv2dAlgorithm>)> = Vec::new();
+    for (plan, _) in nchw_candidates(trial_sample) {
+        if let PlanConfig::Ours {
+            column_reuse,
+            rows_per_thread,
+            block_warps,
+        } = plan.config
+        {
+            let cfg = OursConfig {
+                column_reuse,
+                rows_per_thread,
+                block_warps,
+                sample: trial_sample,
+            };
+            candidates.push((plan, Box::new(Ours::with_config(cfg))));
+        }
+    }
+    for (name, _) in baseline_nchw(trial_sample) {
+        let plan = Plan {
+            algo: name.into(),
+            config: PlanConfig::Baseline,
+            modeled_seconds: 0.0,
+        };
+        let algo: Box<dyn Conv2dAlgorithm> = match name {
+            "tiled" => Box::new(As2d(TiledConv::new().with_sample(trial_sample))),
+            "direct" => Box::new(As2d(DirectConv::new().with_sample(trial_sample))),
+            _ => Box::new(As2d(Im2colGemm::caffe().with_sample(trial_sample))),
+        };
+        candidates.push((plan, algo));
+    }
+
+    let mut trials = Vec::new();
+    let mut planning_seconds = 0.0;
+    let mut best: Option<Plan> = None;
+    for (mut plan, algo) in candidates {
+        if !algo.supports(g.f_h, g.f_w) {
+            continue;
+        }
+        let mut sim = GpuSim::new(device.clone());
+        let (_, rep) = algo.run(&mut sim, &img, &filt);
+        let t = rep.modeled_time(device);
+        trials.push((candidate_label(&plan), t));
+        planning_seconds += t;
+        if best.as_ref().is_none_or(|b| t < b.modeled_seconds) {
+            plan.modeled_seconds = t;
+            best = Some(plan);
+        }
+    }
+    match best {
+        Some(plan) => Ok(PlanOutcome {
+            plan,
+            trials,
+            planning_seconds,
+        }),
+        None => Err(PlanError::NoCandidate(g.cache_key())),
+    }
+}
+
+/// Build the runnable NCHW algorithm a plan names, with the given sampling
+/// mode (serving passes [`SampleMode::Full`] — sampled launches are
+/// functionally incomplete).
+///
+/// # Errors
+///
+/// [`PlanError::UnknownAlgorithm`] when the plan (typically loaded from a
+/// persisted cache) names an algorithm this build does not register.
+pub fn instantiate_nchw(
+    plan: &Plan,
+    sample: SampleMode,
+) -> Result<Box<dyn ConvNchwAlgorithm>, PlanError> {
+    match (&plan.algo[..], &plan.config) {
+        (
+            "ours-fused",
+            PlanConfig::Ours {
+                column_reuse,
+                rows_per_thread,
+                block_warps,
+            },
+        ) => Ok(Box::new(Ours::with_config(OursConfig {
+            column_reuse: *column_reuse,
+            rows_per_thread: *rows_per_thread,
+            block_warps: *block_warps,
+            sample,
+        }))),
+        ("tiled", PlanConfig::Baseline) => Ok(Box::new(TiledConv::new().with_sample(sample))),
+        ("direct", PlanConfig::Baseline) => Ok(Box::new(DirectConv::new().with_sample(sample))),
+        ("gemm-im2col", PlanConfig::Baseline) => {
+            Ok(Box::new(Im2colGemm::caffe().with_sample(sample)))
+        }
+        _ => Err(PlanError::UnknownAlgorithm(plan.algo.clone())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> DeviceConfig {
+        DeviceConfig::test_tiny()
+    }
+
+    #[test]
+    fn nchw_planner_covers_the_registry_and_picks_the_minimum() {
+        let g = ConvGeometry::nchw(1, 2, 16, 16, 4, 3, 3);
+        let out = plan_nchw(&tiny(), &g, SampleMode::Auto(64)).unwrap();
+        // full ours grid + 3 baselines
+        assert_eq!(
+            out.trials.len(),
+            ROWS_CANDIDATES.len() * WARP_CANDIDATES.len() + 3
+        );
+        let min = out
+            .trials
+            .iter()
+            .map(|&(_, t)| t)
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(out.plan.modeled_seconds, min);
+        assert!(out.planning_seconds >= min);
+        assert!(instantiate_nchw(&out.plan, SampleMode::Full).is_ok());
+    }
+
+    #[test]
+    fn planning_is_deterministic() {
+        let g = ConvGeometry::nchw(1, 1, 20, 20, 2, 5, 5);
+        let a = plan_nchw(&tiny(), &g, SampleMode::Auto(64)).unwrap();
+        let b = plan_nchw(&tiny(), &g, SampleMode::Auto(64)).unwrap();
+        assert_eq!(a.plan, b.plan);
+        assert_eq!(a.trials, b.trials);
+    }
+
+    #[test]
+    fn plan_2d_rejects_multichannel_with_typed_error() {
+        let g = ConvGeometry::nchw(2, 3, 16, 16, 4, 3, 3);
+        let err = plan_2d(&tiny(), &g, SampleMode::Auto(64)).unwrap_err();
+        assert!(matches!(err, PlanError::NotSingleChannel { .. }));
+        // ...and plan_nchw takes exactly that geometry.
+        assert!(plan_nchw(&tiny(), &g, SampleMode::Auto(64)).is_ok());
+    }
+
+    #[test]
+    fn plan_2d_explores_fused_grid_and_lifted_baselines() {
+        let g = ConvGeometry::single(32, 32, 3);
+        let out = plan_2d(&tiny(), &g, SampleMode::Auto(64)).unwrap();
+        assert_eq!(
+            out.trials.len(),
+            ROWS_CANDIDATES.len() * WARP_CANDIDATES.len() + 3
+        );
+    }
+
+    #[test]
+    fn stale_plan_name_is_rejected() {
+        let plan = Plan {
+            algo: "winograd-fused".into(),
+            config: PlanConfig::Baseline,
+            modeled_seconds: 1.0,
+        };
+        assert!(matches!(
+            instantiate_nchw(&plan, SampleMode::Full),
+            Err(PlanError::UnknownAlgorithm(_))
+        ));
+    }
+
+    #[test]
+    fn bad_geometry_is_a_typed_error() {
+        let mut g = ConvGeometry::single(4, 4, 9);
+        g.batch = 1;
+        assert!(matches!(
+            plan_nchw(&tiny(), &g, SampleMode::Auto(64)),
+            Err(PlanError::BadGeometry(_))
+        ));
+    }
+}

@@ -1,0 +1,634 @@
+//! The request scheduler: a stream of single-image requests becomes a
+//! stream of planned, batched, observable NCHW launches.
+//!
+//! ## Batching model
+//!
+//! Requests arrive on a virtual clock and are partitioned, in order, into
+//! *windows* of at most [`ServeConfig::window`] requests. Within one
+//! window, requests for the same `(endpoint, checked)` pair are coalesced
+//! into a single batch-`k` launch. A request's queueing delay is the gap
+//! between its arrival and the window close (the arrival of the window's
+//! last request) — deterministic, because the clock is part of the trace.
+//!
+//! ## Determinism argument
+//!
+//! Every serving algorithm is per-image batch-equivariant (see
+//! [`crate::planner`]), and each coalesced group runs on its own fresh
+//! simulator, so:
+//!
+//! * batched output is **bit-identical** to window-size-1 (per-request)
+//!   dispatch, and
+//! * worker-pool size never affects results — groups are data-independent
+//!   and `memconv_par::map_indexed_with` is order-preserving.
+//!
+//! Both properties are proptest-pinned in `tests/prop_serve.rs`.
+
+use crate::cache::{cache_key, PlanCache};
+use crate::metrics::{LaunchRecord, RequestMetrics, ServeReport};
+use crate::planner::{instantiate_nchw, plan_nchw, Plan, PlanConfig, PlanError};
+use memconv::checked::{conv2d_checked, CheckedConfig, CheckedError};
+use memconv::core::OursConfig;
+use memconv::gpusim::{launch_time, DeviceConfig, GpuSim, LaunchMode, SampleMode};
+use memconv::tensor::{ConvGeometry, FilterBank, Tensor4};
+use std::fmt;
+
+/// A served model layer: fixed weights and a batch-1 input geometry.
+#[derive(Debug, Clone)]
+pub struct Endpoint {
+    /// Display name (e.g. `vgg16/conv1_1`).
+    pub name: String,
+    /// Geometry of one request (`batch` must be 1).
+    pub geometry: ConvGeometry,
+    /// The layer's weights.
+    pub weights: FilterBank,
+}
+
+/// One single-image inference request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Caller-assigned id, echoed in the response.
+    pub id: u64,
+    /// Index into the server's endpoint table.
+    pub endpoint: usize,
+    /// Input tensor, shaped `1 × IC × IH × IW` for the endpoint.
+    pub input: Tensor4,
+    /// Route through the verified `conv2d_checked` path.
+    pub checked: bool,
+    /// Arrival time on the trace's virtual clock, seconds.
+    pub arrival_s: f64,
+}
+
+/// A completed request.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The request's id.
+    pub id: u64,
+    /// Output tensor, `1 × FN × OH × OW`.
+    pub output: Tensor4,
+}
+
+/// Scheduler configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Maximum requests coalesced per batching window (1 = no batching).
+    pub window: usize,
+    /// Worker threads executing coalesced launches.
+    pub workers: usize,
+    /// Plan-cache capacity.
+    pub cache_capacity: usize,
+    /// Simulator launch engine for serving launches.
+    pub launch_mode: LaunchMode,
+    /// Block sampling for planner trial runs (never for serving launches,
+    /// which are always `SampleMode::Full`).
+    pub trial_sample: SampleMode,
+    /// Verification policy for `checked: true` requests.
+    pub checked: CheckedConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            window: 16,
+            workers: memconv_par::num_threads(),
+            cache_capacity: 64,
+            launch_mode: LaunchMode::Sequential,
+            trial_sample: SampleMode::Auto(256),
+            checked: CheckedConfig::default(),
+        }
+    }
+}
+
+/// Why the server rejected a trace.
+#[derive(Debug, Clone)]
+pub enum ServeError {
+    /// A request named an endpoint index outside the table.
+    UnknownEndpoint {
+        /// Offending request.
+        id: u64,
+        /// The out-of-range index.
+        endpoint: usize,
+    },
+    /// A request's input does not match its endpoint's geometry.
+    BadRequest {
+        /// Offending request.
+        id: u64,
+        /// Explanation.
+        message: String,
+    },
+    /// Planning failed for a request's geometry.
+    Plan {
+        /// Offending request.
+        id: u64,
+        /// Underlying planner error.
+        source: PlanError,
+    },
+    /// The verified path could not produce an output.
+    Checked {
+        /// First request of the failed group.
+        id: u64,
+        /// Underlying checked-dispatch error.
+        source: CheckedError,
+    },
+    /// An endpoint's own definition is inconsistent.
+    BadEndpoint {
+        /// Endpoint index.
+        endpoint: usize,
+        /// Explanation.
+        message: String,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownEndpoint { id, endpoint } => {
+                write!(f, "request {id}: unknown endpoint index {endpoint}")
+            }
+            ServeError::BadRequest { id, message } => write!(f, "request {id}: {message}"),
+            ServeError::Plan { id, source } => write!(f, "request {id}: planning failed: {source}"),
+            ServeError::Checked { id, source } => {
+                write!(f, "request {id}: checked dispatch failed: {source}")
+            }
+            ServeError::BadEndpoint { endpoint, message } => {
+                write!(f, "endpoint {endpoint}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One coalesced group within a window.
+struct Group {
+    endpoint: usize,
+    checked: bool,
+    /// Window-local request indices, in arrival order.
+    members: Vec<usize>,
+    plan: Plan,
+}
+
+/// What executing one group produced.
+struct GroupOut {
+    /// Per-member outputs, in member order.
+    outputs: Vec<Tensor4>,
+    modeled_seconds: f64,
+    transactions: u64,
+    algo: String,
+    fell_back: bool,
+}
+
+/// The serving front end: plan cache + scheduler over a fixed endpoint
+/// table on one device.
+pub struct ConvServer {
+    device: DeviceConfig,
+    endpoints: Vec<Endpoint>,
+    cfg: ServeConfig,
+    cache: PlanCache,
+}
+
+impl ConvServer {
+    /// A server with a fresh plan cache.
+    pub fn new(device: DeviceConfig, endpoints: Vec<Endpoint>, cfg: ServeConfig) -> Self {
+        let cache = PlanCache::new(cfg.cache_capacity);
+        ConvServer {
+            device,
+            endpoints,
+            cfg,
+            cache,
+        }
+    }
+
+    /// Replace the plan cache (e.g. with one loaded from disk), skipping
+    /// the tuning cost for every geometry it already covers.
+    pub fn with_cache(mut self, cache: PlanCache) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// The plan cache (for persistence and counter inspection).
+    pub fn cache(&self) -> &PlanCache {
+        &self.cache
+    }
+
+    /// The endpoint table.
+    pub fn endpoints(&self) -> &[Endpoint] {
+        &self.endpoints
+    }
+
+    /// Serve a request trace: plan (through the cache), coalesce into
+    /// windows, execute groups on the worker pool, and report.
+    ///
+    /// Responses are returned in submission order regardless of batching
+    /// or worker count.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServeError`]; the trace is validated up front, so planning or
+    /// execution failures are the only mid-trace errors.
+    pub fn run_trace(
+        &mut self,
+        requests: &[Request],
+    ) -> Result<(Vec<Response>, ServeReport), ServeError> {
+        self.validate(requests)?;
+        let hits0 = self.cache.hits();
+        let misses0 = self.cache.misses();
+        let window = self.cfg.window.max(1);
+
+        let mut responses: Vec<Option<Response>> = (0..requests.len()).map(|_| None).collect();
+        let mut metrics: Vec<Option<RequestMetrics>> = (0..requests.len()).map(|_| None).collect();
+        let mut launches: Vec<LaunchRecord> = Vec::new();
+
+        for (w0, chunk) in requests.chunks(window).enumerate() {
+            let base = w0 * window;
+            let close_s = chunk.iter().map(|r| r.arrival_s).fold(f64::MIN, f64::max);
+
+            // Plan resolution, per request and in order: the first request
+            // for a geometry pays the trial sweep; same-window followers
+            // hit the cache it just filled.
+            let mut plan_cost: Vec<f64> = Vec::with_capacity(chunk.len());
+            let mut plan_hit: Vec<bool> = Vec::with_capacity(chunk.len());
+            let mut plans: Vec<Plan> = Vec::with_capacity(chunk.len());
+            for req in chunk {
+                let g = self.endpoints[req.endpoint].geometry;
+                let key = cache_key(&self.device, &g);
+                match self.cache.get(&key) {
+                    Some(plan) => {
+                        plans.push(plan);
+                        plan_cost.push(0.0);
+                        plan_hit.push(true);
+                    }
+                    None => {
+                        let outcome = plan_nchw(&self.device, &g, self.cfg.trial_sample)
+                            .map_err(|source| ServeError::Plan { id: req.id, source })?;
+                        self.cache.insert(key, outcome.plan.clone());
+                        plans.push(outcome.plan);
+                        plan_cost.push(outcome.planning_seconds);
+                        plan_hit.push(false);
+                    }
+                }
+            }
+
+            // Coalesce by (endpoint, checked), first-occurrence order.
+            let mut groups: Vec<Group> = Vec::new();
+            for (i, req) in chunk.iter().enumerate() {
+                match groups
+                    .iter_mut()
+                    .find(|g| g.endpoint == req.endpoint && g.checked == req.checked)
+                {
+                    Some(g) => g.members.push(i),
+                    None => groups.push(Group {
+                        endpoint: req.endpoint,
+                        checked: req.checked,
+                        members: vec![i],
+                        plan: plans[i].clone(),
+                    }),
+                }
+            }
+
+            // Execute groups on the worker pool. Each group owns a fresh
+            // simulator, so results are independent of worker count.
+            let device = &self.device;
+            let endpoints = &self.endpoints;
+            let cfg = &self.cfg;
+            let outs: Vec<Result<GroupOut, ServeError>> =
+                memconv_par::map_indexed_with(groups.len(), cfg.workers, |gi| {
+                    run_group(device, endpoints, cfg, &groups[gi], chunk)
+                });
+
+            for (group, out) in groups.iter().zip(outs) {
+                let out = out?;
+                launches.push(LaunchRecord {
+                    endpoint: endpoints[group.endpoint].name.clone(),
+                    algo: out.algo.clone(),
+                    requests: group.members.len(),
+                    modeled_seconds: out.modeled_seconds,
+                    transactions: out.transactions,
+                    checked: group.checked,
+                });
+                for (&i, output) in group.members.iter().zip(out.outputs) {
+                    let req = &chunk[i];
+                    responses[base + i] = Some(Response { id: req.id, output });
+                    metrics[base + i] = Some(RequestMetrics {
+                        id: req.id,
+                        endpoint: endpoints[req.endpoint].name.clone(),
+                        queue_s: (close_s - req.arrival_s).max(0.0),
+                        plan_s: plan_cost[i],
+                        execute_s: out.modeled_seconds,
+                        batched_with: group.members.len(),
+                        cache_hit: plan_hit[i],
+                        checked: req.checked,
+                        fell_back: out.fell_back,
+                    });
+                }
+            }
+        }
+
+        let report = ServeReport {
+            requests: metrics
+                .into_iter()
+                .map(|m| m.expect("every request served"))
+                .collect(),
+            launches,
+            cache_hits: self.cache.hits() - hits0,
+            cache_misses: self.cache.misses() - misses0,
+        };
+        let responses = responses
+            .into_iter()
+            .map(|r| r.expect("every request served"))
+            .collect();
+        Ok((responses, report))
+    }
+
+    fn validate(&self, requests: &[Request]) -> Result<(), ServeError> {
+        for (ei, ep) in self.endpoints.iter().enumerate() {
+            let g = ep.geometry;
+            if g.batch != 1 {
+                return Err(ServeError::BadEndpoint {
+                    endpoint: ei,
+                    message: format!("geometry batch must be 1, got {}", g.batch),
+                });
+            }
+            if ep.weights.num_filters() != g.out_channels
+                || ep.weights.channels() != g.in_channels
+                || ep.weights.fh() != g.f_h
+                || ep.weights.fw() != g.f_w
+            {
+                return Err(ServeError::BadEndpoint {
+                    endpoint: ei,
+                    message: "weights do not match geometry".into(),
+                });
+            }
+        }
+        for req in requests {
+            let Some(ep) = self.endpoints.get(req.endpoint) else {
+                return Err(ServeError::UnknownEndpoint {
+                    id: req.id,
+                    endpoint: req.endpoint,
+                });
+            };
+            let g = ep.geometry;
+            let want = (1, g.in_channels, g.in_h, g.in_w);
+            if req.input.dims() != want {
+                return Err(ServeError::BadRequest {
+                    id: req.id,
+                    message: format!(
+                        "input dims {:?} do not match endpoint `{}` {want:?}",
+                        req.input.dims(),
+                        ep.name
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Execute one coalesced group on a fresh simulator.
+fn run_group(
+    device: &DeviceConfig,
+    endpoints: &[Endpoint],
+    cfg: &ServeConfig,
+    group: &Group,
+    chunk: &[Request],
+) -> Result<GroupOut, ServeError> {
+    let ep = &endpoints[group.endpoint];
+    let g = ep.geometry;
+    let k = group.members.len();
+
+    let mut data = Vec::with_capacity(k * g.in_channels * g.in_plane());
+    for &i in &group.members {
+        data.extend_from_slice(chunk[i].input.as_slice());
+    }
+    let batch = Tensor4::from_vec(k, g.in_channels, g.in_h, g.in_w, data)
+        .expect("validated request shapes");
+
+    let mut sim = GpuSim::new(device.clone()).with_launch_mode(cfg.launch_mode);
+    let (out, modeled_seconds, transactions, algo, fell_back) = if group.checked {
+        // The verified path runs the fused chain; a fused plan's tiling
+        // knobs carry over, baseline plans fall back to default tiling.
+        let ours_cfg = match &group.plan.config {
+            PlanConfig::Ours {
+                column_reuse,
+                rows_per_thread,
+                block_warps,
+            } => OursConfig {
+                column_reuse: *column_reuse,
+                rows_per_thread: *rows_per_thread,
+                block_warps: *block_warps,
+                sample: SampleMode::Full,
+            },
+            PlanConfig::Baseline => OursConfig::full(),
+        };
+        let (out, rep) = conv2d_checked(&mut sim, &batch, &ep.weights, &ours_cfg, &cfg.checked)
+            .map_err(|source| ServeError::Checked {
+                id: chunk[group.members[0]].id,
+                source,
+            })?;
+        let t = launch_time(&rep.served_stats, device).total();
+        let txn = rep.served_stats.global_transactions();
+        (
+            out,
+            t,
+            txn,
+            format!("checked:{}", rep.served.name()),
+            rep.fell_back(),
+        )
+    } else {
+        let algo =
+            instantiate_nchw(&group.plan, SampleMode::Full).map_err(|source| ServeError::Plan {
+                id: chunk[group.members[0]].id,
+                source,
+            })?;
+        let (out, rep) = algo.run(&mut sim, &batch, &ep.weights);
+        (
+            out,
+            rep.modeled_time(device),
+            rep.global_transactions(),
+            group.plan.algo.clone(),
+            false,
+        )
+    };
+
+    // Split the batched output back into per-request tensors.
+    let per = out.c() * out.h() * out.w();
+    let outputs = (0..k)
+        .map(|j| {
+            Tensor4::from_vec(
+                1,
+                out.c(),
+                out.h(),
+                out.w(),
+                out.as_slice()[j * per..(j + 1) * per].to_vec(),
+            )
+            .expect("slice length matches dims")
+        })
+        .collect();
+    Ok(GroupOut {
+        outputs,
+        modeled_seconds,
+        transactions,
+        algo,
+        fell_back,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memconv::tensor::generate::TensorRng;
+
+    fn tiny_endpoints() -> Vec<Endpoint> {
+        let mut rng = TensorRng::new(0x0E17);
+        vec![
+            Endpoint {
+                name: "a/conv3".into(),
+                geometry: ConvGeometry::nchw(1, 2, 12, 12, 3, 3, 3),
+                weights: rng.filter_bank(3, 2, 3, 3),
+            },
+            Endpoint {
+                name: "b/conv5".into(),
+                geometry: ConvGeometry::nchw(1, 1, 14, 14, 2, 5, 5),
+                weights: rng.filter_bank(2, 1, 5, 5),
+            },
+        ]
+    }
+
+    fn trace(endpoints: &[Endpoint], n: usize, seed: u64) -> Vec<Request> {
+        let mut rng = TensorRng::new(seed);
+        (0..n)
+            .map(|i| {
+                let e = i % endpoints.len();
+                let g = endpoints[e].geometry;
+                Request {
+                    id: i as u64,
+                    endpoint: e,
+                    input: rng.tensor(1, g.in_channels, g.in_h, g.in_w),
+                    checked: i % 5 == 3,
+                    arrival_s: i as f64 * 1e-4,
+                }
+            })
+            .collect()
+    }
+
+    fn server(window: usize) -> ConvServer {
+        let cfg = ServeConfig {
+            window,
+            workers: 2,
+            trial_sample: SampleMode::Auto(64),
+            ..ServeConfig::default()
+        };
+        ConvServer::new(DeviceConfig::test_tiny(), tiny_endpoints(), cfg)
+    }
+
+    #[test]
+    fn batched_output_matches_sequential_dispatch() {
+        let eps = tiny_endpoints();
+        let reqs = trace(&eps, 12, 99);
+        let (batched, rep_b) = server(6).run_trace(&reqs).unwrap();
+        let (sequential, rep_s) = server(1).run_trace(&reqs).unwrap();
+        for (b, s) in batched.iter().zip(&sequential) {
+            assert_eq!(b.id, s.id);
+            assert_eq!(b.output.as_slice(), s.output.as_slice(), "request {}", b.id);
+        }
+        assert!(rep_b.launches.len() < rep_s.launches.len());
+        assert!(rep_b.requests_per_launch() > 1.0);
+        assert!((rep_s.requests_per_launch() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let eps = tiny_endpoints();
+        let reqs = trace(&eps, 10, 7);
+        let mut sv1 = server(5);
+        sv1.cfg.workers = 1;
+        let mut sv4 = server(5);
+        sv4.cfg.workers = 4;
+        let (r1, _) = sv1.run_trace(&reqs).unwrap();
+        let (r4, _) = sv4.run_trace(&reqs).unwrap();
+        for (a, b) in r1.iter().zip(&r4) {
+            assert_eq!(a.output.as_slice(), b.output.as_slice());
+        }
+    }
+
+    #[test]
+    fn cache_hits_accumulate_across_windows() {
+        let eps = tiny_endpoints();
+        let reqs = trace(&eps, 12, 3);
+        let mut sv = server(4);
+        let (_, rep) = sv.run_trace(&reqs).unwrap();
+        // one miss per endpoint geometry, the rest hits
+        assert_eq!(rep.cache_misses, 2);
+        assert_eq!(rep.cache_hits, 10);
+        let misses_paid = rep.requests.iter().filter(|r| !r.cache_hit).count();
+        assert_eq!(misses_paid, 2);
+        assert!(rep
+            .requests
+            .iter()
+            .all(|r| r.cache_hit == (r.plan_s == 0.0)));
+    }
+
+    #[test]
+    fn queue_latency_is_window_close_minus_arrival() {
+        let eps = tiny_endpoints();
+        let mut reqs = trace(&eps, 4, 5);
+        for (i, r) in reqs.iter_mut().enumerate() {
+            r.endpoint = 0;
+            r.checked = false;
+            let g = eps[0].geometry;
+            let mut rng = TensorRng::new(50 + i as u64);
+            r.input = rng.tensor(1, g.in_channels, g.in_h, g.in_w);
+        }
+        let (_, rep) = server(4).run_trace(&reqs).unwrap();
+        let close = reqs[3].arrival_s;
+        for (r, m) in reqs.iter().zip(&rep.requests) {
+            assert!((m.queue_s - (close - r.arrival_s)).abs() < 1e-12);
+        }
+        assert_eq!(rep.launches.len(), 1);
+        assert_eq!(rep.requests[0].batched_with, 4);
+    }
+
+    #[test]
+    fn checked_requests_route_through_verified_path() {
+        let eps = tiny_endpoints();
+        let reqs = trace(&eps, 10, 11);
+        let (_, rep) = server(5).run_trace(&reqs).unwrap();
+        let checked: Vec<_> = rep.launches.iter().filter(|l| l.checked).collect();
+        assert!(!checked.is_empty());
+        assert!(checked.iter().all(|l| l.algo.starts_with("checked:")));
+        // fault-free runs never fall back
+        assert!(rep.requests.iter().all(|r| !r.fell_back));
+    }
+
+    #[test]
+    fn bad_requests_are_typed_errors() {
+        let eps = tiny_endpoints();
+        let mut sv = server(4);
+        let mut rng = TensorRng::new(1);
+        let bad_shape = Request {
+            id: 9,
+            endpoint: 0,
+            input: rng.tensor(1, 2, 5, 5),
+            checked: false,
+            arrival_s: 0.0,
+        };
+        assert!(matches!(
+            sv.run_trace(&[bad_shape]),
+            Err(ServeError::BadRequest { id: 9, .. })
+        ));
+        let bad_endpoint = Request {
+            id: 10,
+            endpoint: 7,
+            input: rng.tensor(1, 2, 12, 12),
+            checked: false,
+            arrival_s: 0.0,
+        };
+        assert!(matches!(
+            sv.run_trace(&[bad_endpoint]),
+            Err(ServeError::UnknownEndpoint {
+                id: 10,
+                endpoint: 7
+            })
+        ));
+        let _ = eps;
+    }
+}

@@ -1,0 +1,97 @@
+//! File-level persistence of the plan cache: a server's tuned plans
+//! survive a process restart byte-for-byte, and a preloaded server never
+//! re-tunes.
+
+use memconv::gpusim::{DeviceConfig, SampleMode};
+use memconv::tensor::generate::TensorRng;
+use memconv::tensor::ConvGeometry;
+use memconv_serve::{ConvServer, Endpoint, PlanCache, Request, ServeConfig};
+
+fn tmp_path(name: &str) -> String {
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("serve_cache");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name).to_string_lossy().into_owned()
+}
+
+fn endpoints() -> Vec<Endpoint> {
+    let mut rng = TensorRng::new(0xCAFE);
+    vec![
+        Endpoint {
+            name: "m/conv3".into(),
+            geometry: ConvGeometry::nchw(1, 2, 10, 10, 2, 3, 3),
+            weights: rng.filter_bank(2, 2, 3, 3),
+        },
+        Endpoint {
+            name: "m/conv5".into(),
+            geometry: ConvGeometry::nchw(1, 1, 12, 12, 3, 5, 5),
+            weights: rng.filter_bank(3, 1, 5, 5),
+        },
+    ]
+}
+
+fn trace(eps: &[Endpoint], n: usize) -> Vec<Request> {
+    let mut rng = TensorRng::new(0xBEEF);
+    (0..n)
+        .map(|i| {
+            let e = i % eps.len();
+            let g = eps[e].geometry;
+            Request {
+                id: i as u64,
+                endpoint: e,
+                input: rng.tensor(1, g.in_channels, g.in_h, g.in_w),
+                checked: false,
+                arrival_s: i as f64 * 1e-4,
+            }
+        })
+        .collect()
+}
+
+fn config() -> ServeConfig {
+    ServeConfig {
+        window: 4,
+        workers: 2,
+        trial_sample: SampleMode::Auto(64),
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn saved_cache_reloads_byte_identical_and_skips_retuning() {
+    let eps = endpoints();
+    let reqs = trace(&eps, 8);
+    let dev = DeviceConfig::test_tiny();
+
+    // First process run: plans are tuned, then persisted.
+    let mut first = ConvServer::new(dev.clone(), eps.clone(), config());
+    let (responses, rep) = first.run_trace(&reqs).unwrap();
+    assert_eq!(rep.cache_misses, 2);
+    let path = tmp_path("plans.json");
+    first.cache().save(&path).unwrap();
+    let saved = std::fs::read_to_string(&path).unwrap();
+
+    // "Restart": a fresh server preloaded from disk re-serves the same
+    // trace with zero misses — the hit counters prove nothing re-tuned.
+    let loaded = PlanCache::load(&path).unwrap();
+    assert_eq!(loaded.to_json(), saved, "load must be byte-faithful");
+    let mut second = ConvServer::new(dev, eps, config()).with_cache(loaded);
+    let (responses2, rep2) = second.run_trace(&reqs).unwrap();
+    assert_eq!(rep2.cache_misses, 0);
+    assert_eq!(rep2.cache_hits, reqs.len() as u64);
+
+    // Same plans → same launches → bit-identical outputs.
+    for (a, b) in responses.iter().zip(&responses2) {
+        assert_eq!(a.output.as_slice(), b.output.as_slice());
+    }
+
+    // Re-saving after re-querying is still byte-identical: lookups bump
+    // recency but never reorder the persisted stream.
+    second.cache().save(&path).unwrap();
+    assert_eq!(std::fs::read_to_string(&path).unwrap(), saved);
+}
+
+#[test]
+fn load_rejects_corrupted_file() {
+    let path = tmp_path("corrupt.json");
+    std::fs::write(&path, "{\"version\": 1\n\"capacity\": oops\n}").unwrap();
+    assert!(PlanCache::load(&path).is_err());
+}

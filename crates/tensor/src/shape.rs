@@ -248,6 +248,25 @@ impl ConvGeometry {
     pub fn im2col_elems(&self) -> usize {
         self.batch * self.in_channels * self.f_h * self.f_w * self.out_plane()
     }
+
+    /// Stable, human-readable key covering every field — safe for use in
+    /// persisted caches (the serving plan cache keys on it). Two geometries
+    /// produce the same key iff they are `==`; the format is part of the
+    /// persistence contract, so changing it invalidates saved caches.
+    pub fn cache_key(&self) -> String {
+        format!(
+            "n{}c{}i{}x{}f{}k{}x{}p{}x{}",
+            self.batch,
+            self.in_channels,
+            self.in_h,
+            self.in_w,
+            self.out_channels,
+            self.f_h,
+            self.f_w,
+            self.pad_h,
+            self.pad_w
+        )
+    }
 }
 
 #[cfg(test)]
@@ -326,6 +345,32 @@ mod tests {
         // The lowered matrix inflates the input by ~FH*FW.
         let inflation = g.im2col_elems() as f64 / g.in_elems() as f64;
         assert!(inflation > 8.0 && inflation < 9.0, "inflation {inflation}");
+    }
+
+    #[test]
+    fn cache_key_is_injective_over_fields() {
+        let base = ConvGeometry::nchw(2, 3, 28, 30, 16, 3, 5);
+        let mut seen = std::collections::BTreeSet::new();
+        seen.insert(base.cache_key());
+        // bump every field once; each variant must produce a fresh key
+        for i in 0..9 {
+            let mut g = base;
+            match i {
+                0 => g.batch += 1,
+                1 => g.in_channels += 1,
+                2 => g.in_h += 1,
+                3 => g.in_w += 1,
+                4 => g.out_channels += 1,
+                5 => g.f_h += 1,
+                6 => g.f_w += 1,
+                7 => g.pad_h += 1,
+                _ => g.pad_w += 1,
+            }
+            assert!(seen.insert(g.cache_key()), "collision at field {i}");
+        }
+        // equal geometries share the key
+        assert_eq!(base.cache_key(), base.cache_key());
+        assert_eq!(base.cache_key(), "n2c3i28x30f16k3x5p0x0");
     }
 
     #[test]

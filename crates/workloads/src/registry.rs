@@ -72,6 +72,11 @@ pub const EXPERIMENTS: &[Experiment] = &[
         description: "Batch-sensitivity of Fig. 4 speedup ratios (CONV8)",
         command: "cargo run --release -p memconv-bench --bin batch_ab",
     },
+    Experiment {
+        id: "Serve (ext.)",
+        description: "Batched serving-trace replay with the cross-algorithm plan cache",
+        command: "cargo run --release -p memconv-bench --bin serve -- --smoke --gate",
+    },
 ];
 
 #[cfg(test)]

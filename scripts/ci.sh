@@ -22,4 +22,7 @@ cargo run --release -q -p memconv-bench --bin ablation -- --analyze --gate
 echo "==> fault-injection gate (faults --smoke --gate)"
 cargo run --release -q -p memconv-bench --bin faults -- --smoke --gate
 
+echo "==> serving gate (serve --smoke --gate)"
+cargo run --release -q -p memconv-bench --bin serve -- --smoke --gate
+
 echo "CI gate passed."

@@ -75,7 +75,7 @@ fn mec_agrees_with_the_rest_of_the_field() {
 fn tuner_beats_or_matches_the_worst_candidate() {
     let g = ConvGeometry::single(512, 512, 5);
     let dev = DeviceConfig::rtx2080ti();
-    let rep = autotune_2d(&dev, &g);
+    let rep = autotune_2d(&dev, &g).unwrap();
     let best_t = rep
         .trials
         .iter()

@@ -1,0 +1,120 @@
+//! Property-based serving tests (DESIGN.md §7): batching windows never
+//! change outputs, and the plan cache persists byte-faithfully.
+
+use memconv::prelude::*;
+use memconv_serve::{ConvServer, Endpoint, PlanCache, Request, ServeConfig};
+use proptest::prelude::*;
+
+/// `n_eps` small distinct-shape endpoints on `test_tiny`, so the trace
+/// mixes geometries (and therefore plans).
+fn endpoints(n_eps: usize, f: usize, hw: usize, seed: u64) -> Vec<Endpoint> {
+    let mut rng = TensorRng::new(seed);
+    (0..n_eps)
+        .map(|i| {
+            let (h, w, fn_) = (hw + i, hw + 2 * i, 1 + i);
+            let ic = 1 + (i % 2);
+            Endpoint {
+                name: format!("ep{i}"),
+                geometry: ConvGeometry::nchw(1, ic, h, w, fn_, f, f),
+                weights: rng.filter_bank(fn_, ic, f, f),
+            }
+        })
+        .collect()
+}
+
+/// A random trace over `eps`: endpoint picks and checked flags come from
+/// the bits of `mask`, payloads from `seed`.
+fn trace(eps: &[Endpoint], n: usize, mask: u64, seed: u64) -> Vec<Request> {
+    let mut rng = TensorRng::new(seed);
+    (0..n)
+        .map(|i| {
+            let e = (mask >> (2 * i % 64)) as usize % eps.len();
+            let g = eps[e].geometry;
+            Request {
+                id: i as u64,
+                endpoint: e,
+                input: rng.tensor(1, g.in_channels, g.in_h, g.in_w),
+                checked: (mask >> (i % 64)) & 1 == 1,
+                arrival_s: i as f64 * 1e-4,
+            }
+        })
+        .collect()
+}
+
+fn config(window: usize) -> ServeConfig {
+    ServeConfig {
+        window,
+        workers: 2,
+        trial_sample: SampleMode::Auto(64),
+        ..ServeConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Coalescing requests into batches is invisible in the outputs: any
+    /// window size produces bit-identical responses to per-request
+    /// dispatch, for random geometry and checked-flag mixes.
+    #[test]
+    fn batched_outputs_match_per_request_dispatch(
+        n_eps in 1usize..4,
+        f in prop::sample::select(vec![3usize, 5]),
+        hw in 6usize..14,
+        window in 2usize..9,
+        n in 4usize..11,
+        mask in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let dev = DeviceConfig::test_tiny();
+        let eps = endpoints(n_eps, f, hw, seed);
+        let reqs = trace(&eps, n, mask, seed);
+
+        let mut batched = ConvServer::new(dev.clone(), eps.clone(), config(window));
+        let (outs, rep) = batched.run_trace(&reqs).unwrap();
+        let mut sequential = ConvServer::new(dev, eps, config(1));
+        let (want, _) = sequential.run_trace(&reqs).unwrap();
+
+        prop_assert_eq!(outs.len(), want.len());
+        for (a, b) in outs.iter().zip(&want) {
+            prop_assert_eq!(a.id, b.id);
+            prop_assert_eq!(a.output.as_slice(), b.output.as_slice());
+        }
+        prop_assert_eq!(rep.requests.len(), reqs.len());
+    }
+
+    /// The plan cache survives JSON round trips byte-identically, and a
+    /// server preloaded from the parsed copy never re-tunes (all hits).
+    #[test]
+    fn plan_cache_round_trip_is_byte_identical(
+        n_eps in 1usize..4,
+        f in prop::sample::select(vec![3usize, 5]),
+        hw in 6usize..14,
+        n in 4usize..9,
+        mask in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let dev = DeviceConfig::test_tiny();
+        let eps = endpoints(n_eps, f, hw, seed);
+        let reqs = trace(&eps, n, mask, seed);
+
+        let mut first = ConvServer::new(dev.clone(), eps.clone(), config(4));
+        let (outs, rep) = first.run_trace(&reqs).unwrap();
+        prop_assert!(rep.cache_misses >= 1);
+
+        let saved = first.cache().to_json();
+        let loaded = PlanCache::from_json(&saved).unwrap();
+        prop_assert_eq!(loaded.to_json(), saved.clone());
+
+        let mut second = ConvServer::new(dev, eps, config(4)).with_cache(loaded);
+        let (outs2, rep2) = second.run_trace(&reqs).unwrap();
+        prop_assert_eq!(rep2.cache_misses, 0);
+        prop_assert_eq!(rep2.cache_hits, reqs.len() as u64);
+        for (a, b) in outs.iter().zip(&outs2) {
+            prop_assert_eq!(a.output.as_slice(), b.output.as_slice());
+        }
+
+        // Re-querying bumps recency but never reorders the persisted form.
+        prop_assert_eq!(second.cache().to_json(), saved);
+    }
+}
