@@ -28,10 +28,18 @@
 //! `--json` writes the campaign to `BENCH_faults.json`; `--mode
 //! parallel|sequential` selects the launch engine for the campaign runs
 //! (the identity check always covers both).
+//!
+//! `--trace <path>` additionally replays one exemplar `conv2d_checked`
+//! per fault class (the class's seed-0 plan) and writes its attempt
+//! chains — every retry and fallback, each with its error or SDC verdict
+//! — as a chrome://tracing JSON on modeled time.
 
 use memconv::gpusim::{classify_panic, DEFAULT_BLOCK_INSTRUCTION_BUDGET};
 use memconv::prelude::*;
-use memconv_bench::{apply_harness_flags, harness_launch_mode, parse_flag, write_json};
+use memconv_bench::{
+    apply_harness_flags, harness_launch_mode, harness_trace_path, parse_flag, write_json,
+};
+use memconv_obs::{checked_timeline, write_trace};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Seeds per fault class (6 under `--smoke`).
@@ -180,6 +188,42 @@ impl ClassStats {
     }
 }
 
+/// Replay one exemplar checked dispatch per fault class (its seed-0 plan)
+/// and write the attempt chains as a chrome trace. Dispatches that error
+/// out entirely (e.g. with CPU fallback disabled) have no report to
+/// record and are skipped — the campaign table already tallies them.
+fn write_checked_trace(path: &str, input: &Tensor4, bank: &FilterBank) {
+    let dev = DeviceConfig::test_tiny();
+    let mut events = Vec::new();
+    let mut t0 = 0.0f64;
+    for (ki, kind) in FaultKind::ALL.iter().enumerate() {
+        let mut sim = fresh_sim();
+        sim.set_fault_plan(Some(FaultPlan::single(
+            *kind,
+            0xC0FFEE ^ ((ki as u64) << 32),
+        )));
+        let Ok((_, rep)) = conv2d_checked(
+            &mut sim,
+            input,
+            bank,
+            &OursConfig::full(),
+            &CheckedConfig::default(),
+        ) else {
+            continue;
+        };
+        let chain = checked_timeline(&rep, &dev, t0);
+        if let Some(last) = chain.last() {
+            t0 = last.ts_us + last.dur_us;
+        }
+        events.extend(chain);
+    }
+    if let Err(e) = write_trace(path, &events) {
+        eprintln!("failed to write trace {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote trace {path} ({} attempt spans)", events.len());
+}
+
 /// With injection disabled, `try_launch` must be bit-identical to `launch`
 /// in both engines — stats and output. Returns `true` on success.
 fn identity_check(input: &Tensor4, bank: &FilterBank) -> bool {
@@ -319,6 +363,10 @@ fn main() {
             std::process::exit(1);
         }
         println!("wrote {path}");
+    }
+
+    if let Some(trace_path) = harness_trace_path() {
+        write_checked_trace(&trace_path, &input, &bank);
     }
 
     if gate && !gate_pass {

@@ -13,12 +13,14 @@
 //! engine (results are bit-identical to sequential); `--json` appends one
 //! throughput record per panel to `BENCH_sim.json`; `--analyze` prints a
 //! hazard-analysis verdict per algorithm (informational — the enforcing
-//! gate lives in the `ablation` binary).
+//! gate lives in the `ablation` binary); `--trace <path>` records every
+//! launch as modeled-time spans and writes a chrome://tracing JSON at
+//! exit (counters unchanged).
 
 use memconv::prelude::*;
 use memconv_bench::{
-    apply_harness_flags, harness_sample, mean, parse_flag, print_hazards, run_2d,
-    write_bench_json_or_exit, AlgoResult, BenchRecord,
+    apply_harness_flags, finish_harness_trace, harness_sample, mean, parse_flag, print_hazards,
+    run_2d, write_bench_json_or_exit, AlgoResult, BenchRecord,
 };
 use std::time::Instant;
 
@@ -130,4 +132,5 @@ fn main() {
         );
         write_bench_json_or_exit("BENCH_sim.json", &records);
     }
+    finish_harness_trace();
 }

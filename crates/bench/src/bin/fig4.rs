@@ -13,7 +13,9 @@
 //! engine (results are bit-identical to sequential); `--json` appends one
 //! throughput record per panel to `BENCH_sim.json`; `--analyze` prints a
 //! hazard-analysis verdict for the GEMM baseline and ours per layer
-//! (informational — the enforcing gate lives in the `ablation` binary).
+//! (informational — the enforcing gate lives in the `ablation` binary);
+//! `--trace <path>` records every launch as modeled-time spans and writes
+//! a chrome://tracing JSON at exit (counters unchanged).
 //!
 //! Layers whose full-batch output exceeds host memory are run at a reduced
 //! batch (marked `*`); speedup ratios are batch-insensitive once the
@@ -22,8 +24,8 @@
 use memconv::baselines::cudnn::cudnn_family;
 use memconv::prelude::*;
 use memconv_bench::{
-    apply_harness_flags, capped_batch, harness_sample, mean, parse_flag, print_hazards, run_nchw,
-    string_flag, write_bench_json_or_exit, BenchRecord,
+    apply_harness_flags, capped_batch, finish_harness_trace, harness_sample, mean, parse_flag,
+    print_hazards, run_nchw, string_flag, write_bench_json_or_exit, BenchRecord,
 };
 use std::time::Instant;
 
@@ -139,4 +141,5 @@ fn main() {
         );
         write_bench_json_or_exit("BENCH_sim.json", &records);
     }
+    finish_harness_trace();
 }

@@ -1,0 +1,259 @@
+//! Deterministic profiling replay: record a chrome://tracing timeline of
+//! the model-zoo layers and a seeded serving trace, entirely on modeled
+//! time.
+//!
+//! ```sh
+//! cargo run --release -p memconv-bench --bin profile -- --trace profile.json
+//! cargo run --release -p memconv-bench --bin profile -- --smoke --gate
+//! cargo run --release -p memconv-bench --bin profile -- --metrics metrics.prom
+//! ```
+//!
+//! Two passes, both span-recorded:
+//!
+//! 1. **layer replay** — one fused-NCHW launch per (capped) zoo layer on
+//!    the RTX 2080 Ti model, exported as the [`PID_GPU`] lane with
+//!    per-block child spans;
+//! 2. **serve replay** — the `serve` harness's seeded request trace
+//!    through [`ConvServer`], exported as the [`PID_SERVE`] lane
+//!    (windows, coalesced launches, planner sweeps, per-request
+//!    queue→plan→execute).
+//!
+//! `--gate` enforces the observability layer's two contracts end-to-end
+//! and exits 1 on violation:
+//!
+//! * the combined trace is **byte-identical** between the sequential
+//!   reference and the parallel engine at 1, 2 and 8 worker threads;
+//! * span recording is **counter-invisible**: every launch's
+//!   [`KernelStats`] is bit-identical with recording off.
+//!
+//! `--trace <path>` writes the reference trace; `--metrics <path>` writes
+//! the serve replay's Prometheus-style exposition. Neither affects any
+//! counter.
+//!
+//! [`PID_GPU`]: memconv_obs::PID_GPU
+//! [`PID_SERVE`]: memconv_obs::PID_SERVE
+
+use memconv::gpusim::LaunchSpanRecord;
+use memconv::gpusim::{DeviceConfig, SampleMode, SpanConfig};
+use memconv::prelude::*;
+use memconv::tensor::ConvGeometry;
+use memconv::workloads::models::model_zoo;
+use memconv_bench::{apply_harness_flags, harness_trace_path, parse_flag, string_flag};
+use memconv_obs::{chrome_trace, gpu_timeline, prometheus_exposition, serve_timeline, write_trace};
+use memconv_serve::{ConvServer, Endpoint, Request, Response, ServeConfig, ServeReport};
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The zoo layers as endpoints, spatial/filter capped so every launch can
+/// run `SampleMode::Full` in the serving path (same trade as `serve`).
+fn endpoints(spatial_cap: usize, filter_cap: usize) -> Vec<Endpoint> {
+    let mut rng = TensorRng::new(0xE9D0);
+    model_zoo()
+        .iter()
+        .map(|m| {
+            let spatial = m.spatial.min(spatial_cap);
+            let filters = m.filters.min(filter_cap);
+            let geometry = ConvGeometry::nchw(
+                1,
+                m.in_channels,
+                spatial,
+                spatial,
+                filters,
+                m.filter,
+                m.filter,
+            );
+            let weights = rng.filter_bank(filters, m.in_channels, m.filter, m.filter);
+            Endpoint {
+                name: format!("{}/{}", m.model, m.layer),
+                geometry,
+                weights,
+            }
+        })
+        .collect()
+}
+
+/// Seeded request trace (same generator as the `serve` harness).
+fn trace(eps: &[Endpoint], n: usize, seed: u64) -> Vec<Request> {
+    let mut rng = TensorRng::new(seed ^ 0x7ACE);
+    let mut arrival_s = 0.0f64;
+    (0..n as u64)
+        .map(|i| {
+            let h = splitmix64(seed ^ (i << 1));
+            let e = (h % eps.len() as u64) as usize;
+            let g = eps[e].geometry;
+            arrival_s += ((h >> 8) % 1000) as f64 * 1e-6;
+            Request {
+                id: i,
+                endpoint: e,
+                input: rng.tensor(1, g.in_channels, g.in_h, g.in_w),
+                checked: i % 13 == 7,
+                arrival_s,
+            }
+        })
+        .collect()
+}
+
+/// One fused-NCHW launch per endpoint under `mode`/`threads`, returning
+/// each launch's counters and (when `record`) the launch spans. Inputs
+/// are re-derived from the same seed every call, so two calls differ only
+/// in engine configuration.
+fn layer_replay(
+    eps: &[Endpoint],
+    mode: LaunchMode,
+    threads: Option<usize>,
+    record: bool,
+) -> (Vec<KernelStats>, Vec<LaunchSpanRecord>) {
+    let mut sim = GpuSim::rtx2080ti().with_launch_mode(mode);
+    if record {
+        sim.set_span_recording(Some(SpanConfig::default()));
+    }
+    sim.set_parallel_threads(threads);
+    let mut rng = TensorRng::new(0x1A7E_12E9);
+    let mut all = Vec::new();
+    for ep in eps {
+        let g = ep.geometry;
+        let input = rng.tensor(1, g.in_channels, g.in_h, g.in_w);
+        let cfg = OursConfig {
+            sample: SampleMode::Auto(128),
+            ..OursConfig::full()
+        };
+        let (_, stats) = conv_nchw_ours(&mut sim, &input, &ep.weights, &cfg);
+        all.push(stats);
+    }
+    (all, sim.take_launch_spans())
+}
+
+/// Replay the request trace through [`ConvServer`] under `mode`/`workers`.
+fn serve_replay(
+    eps: &[Endpoint],
+    reqs: &[Request],
+    mode: LaunchMode,
+    workers: usize,
+) -> (Vec<Response>, ServeReport) {
+    let cfg = ServeConfig {
+        window: 8,
+        workers,
+        launch_mode: mode,
+        trial_sample: SampleMode::Auto(128),
+        ..ServeConfig::default()
+    };
+    let mut server = ConvServer::new(DeviceConfig::rtx2080ti(), eps.to_vec(), cfg);
+    server.run_trace(reqs).unwrap_or_else(|e| {
+        eprintln!("serve replay failed: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn diverging_outputs(a: &[Response], b: &[Response]) -> usize {
+    a.iter()
+        .zip(b)
+        .filter(|(x, y)| x.id != y.id || x.output.as_slice() != y.output.as_slice())
+        .count()
+}
+
+fn main() {
+    apply_harness_flags();
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let gate = args.iter().any(|a| a == "--gate");
+    let seed = parse_flag::<u64>("--seed").unwrap_or(0x5EED);
+    let (spatial_cap, filter_cap, n_requests) = if smoke { (16, 8, 24) } else { (24, 16, 64) };
+
+    let dev = DeviceConfig::rtx2080ti();
+    let eps = endpoints(spatial_cap, filter_cap);
+    let reqs = trace(&eps, n_requests, seed);
+    println!(
+        "=== deterministic profile — {} layers, {n_requests} requests, seed {seed:#x} ===",
+        eps.len()
+    );
+
+    // Reference pass: sequential engine, recording on.
+    let (ref_stats, ref_spans) = layer_replay(&eps, LaunchMode::Sequential, None, true);
+    let (ref_out, ref_report) = serve_replay(&eps, &reqs, LaunchMode::Sequential, 1);
+    let mut events = gpu_timeline(&ref_spans, &dev);
+    events.extend(serve_timeline(&ref_report));
+    let reference = chrome_trace(&events);
+
+    println!(
+        "{:<28} {:>8} {:>14} {:>12} {:>12}",
+        "layer", "blocks", "transactions", "modeled ms", "bottleneck"
+    );
+    for (ep, s) in eps.iter().zip(&ref_stats) {
+        let bd = memconv::gpusim::launch_time(s, &dev);
+        println!(
+            "{:<28} {:>8} {:>14} {:>12.4} {:>12}",
+            ep.name,
+            s.sim_blocks,
+            s.global_transactions(),
+            bd.total() * 1e3,
+            bd.bottleneck()
+        );
+    }
+    println!(
+        "serve: {} launches, hit rate {:.3}, {:.2} requests/launch, {} trace events",
+        ref_report.launches.len(),
+        ref_report.hit_rate(),
+        ref_report.requests_per_launch(),
+        events.len()
+    );
+
+    // Contract 1: byte-identical traces across engines and thread counts.
+    let mut identical = true;
+    for threads in [1usize, 2, 8] {
+        let (stats, spans) = layer_replay(&eps, LaunchMode::Parallel, Some(threads), true);
+        let (out, report) = serve_replay(&eps, &reqs, LaunchMode::Parallel, threads);
+        let mut evs = gpu_timeline(&spans, &dev);
+        evs.extend(serve_timeline(&report));
+        let ok = stats == ref_stats
+            && spans == ref_spans
+            && diverging_outputs(&out, &ref_out) == 0
+            && chrome_trace(&evs) == reference;
+        println!(
+            "parallel x{threads}: trace {}",
+            if ok { "byte-identical" } else { "DIVERGED" }
+        );
+        identical &= ok;
+    }
+
+    // Contract 2: recording is counter-invisible.
+    let (plain_stats, plain_spans) = layer_replay(&eps, LaunchMode::Sequential, None, false);
+    let invisible = plain_stats == ref_stats && plain_spans.is_empty();
+    println!(
+        "recording off: counters {}",
+        if invisible {
+            "bit-identical"
+        } else {
+            "PERTURBED"
+        }
+    );
+
+    if let Some(path) = harness_trace_path() {
+        if let Err(e) = write_trace(&path, &events) {
+            eprintln!("failed to write trace {path}: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "wrote trace {path} ({} launches, {} events)",
+            ref_spans.len(),
+            events.len()
+        );
+    }
+    if let Some(path) = string_flag("--metrics") {
+        if let Err(e) = std::fs::write(&path, prometheus_exposition(&ref_report)) {
+            eprintln!("failed to write metrics {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote metrics {path}");
+    }
+
+    let gate_pass = identical && invisible;
+    println!("gate: {}", if gate_pass { "PASS" } else { "FAIL" });
+    if gate && !gate_pass {
+        std::process::exit(1);
+    }
+}

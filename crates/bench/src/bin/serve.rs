@@ -23,6 +23,12 @@
 //! byte-identical with zero reload misses, cache hit rate exceeded 0.9
 //! and batching efficiency exceeded 1.5 requests/launch.
 //!
+//! `--trace <path>` writes the batched run's serving timeline (windows,
+//! coalesced launches, planner sweeps, per-request queue→plan→execute) as
+//! chrome://tracing JSON on the trace's virtual clock; `--metrics <path>`
+//! writes its [`ServeReport`] counters in Prometheus text exposition
+//! format. Neither affects any counter or the gate.
+//!
 //! Endpoint shapes are the zoo layers with spatial size and filter count
 //! capped (marked `*` in the table): serving launches run
 //! `SampleMode::Full` — sampled launches are functionally incomplete —
@@ -33,7 +39,11 @@ use memconv::gpusim::{DeviceConfig, SampleMode};
 use memconv::tensor::generate::TensorRng;
 use memconv::tensor::ConvGeometry;
 use memconv::workloads::models::model_zoo;
-use memconv_bench::{apply_harness_flags, harness_launch_mode, parse_flag, write_json};
+use memconv_bench::{
+    apply_harness_flags, harness_launch_mode, harness_trace_path, parse_flag, string_flag,
+    write_json,
+};
+use memconv_obs::{prometheus_exposition, serve_timeline, write_trace};
 use memconv_serve::{ConvServer, Endpoint, PlanCache, Request, Response, ServeConfig, ServeReport};
 
 fn splitmix64(mut x: u64) -> u64 {
@@ -285,6 +295,22 @@ fn main() {
         std::process::exit(1);
     }
     println!("wrote {path} and {plans_path}");
+
+    if let Some(trace_path) = harness_trace_path() {
+        let events = serve_timeline(&report);
+        if let Err(e) = write_trace(&trace_path, &events) {
+            eprintln!("failed to write trace {trace_path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote trace {trace_path} ({} events)", events.len());
+    }
+    if let Some(metrics_path) = string_flag("--metrics") {
+        if let Err(e) = std::fs::write(&metrics_path, prometheus_exposition(&report)) {
+            eprintln!("failed to write metrics {metrics_path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote metrics {metrics_path}");
+    }
 
     if gate && !gate_pass {
         std::process::exit(1);

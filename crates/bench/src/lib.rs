@@ -10,7 +10,9 @@
 //! `MEMCONV_SAMPLE_TARGET` overrides the per-launch sampled-block budget
 //! (default 1024; larger = slower but tighter extrapolation).
 
+use memconv::gpusim::{LaunchSpanRecord, SpanConfig};
 use memconv::prelude::*;
+use std::sync::Mutex;
 
 // The single percentile implementation lives in `memconv-serve` (bench
 // depends on serve, not vice versa); harnesses import it from here.
@@ -48,14 +50,66 @@ pub fn harness_analyze() -> bool {
     )
 }
 
+/// Where the harness writes a chrome trace (`MEMCONV_TRACE`, set by the
+/// `--trace <path>` flag). `None` disables span recording entirely.
+pub fn harness_trace_path() -> Option<String> {
+    std::env::var("MEMCONV_TRACE")
+        .ok()
+        .filter(|s| !s.is_empty())
+}
+
 /// A fresh RTX 2080 Ti simulator configured with the harness launch mode
-/// (and the hazard analyzer, when `--analyze` is in effect).
+/// (the hazard analyzer when `--analyze` is in effect, and span recording
+/// when `--trace` is).
 pub fn harness_sim() -> GpuSim {
     let mut sim = GpuSim::rtx2080ti().with_launch_mode(harness_launch_mode());
     if harness_analyze() {
         sim.set_analysis(Some(AnalysisConfig::default()));
     }
+    if harness_trace_path().is_some() {
+        sim.set_span_recording(Some(SpanConfig::default()));
+    }
     sim
+}
+
+/// Launch spans harvested from harness simulators this process, drained by
+/// [`finish_harness_trace`]. `run_2d` / `run_nchw` drop their simulator
+/// before returning, so spans are parked here until the harness exits.
+static HARNESS_SPANS: Mutex<Vec<LaunchSpanRecord>> = Mutex::new(Vec::new());
+
+fn harvest_spans(sim: &mut GpuSim) {
+    if sim.span_recording_enabled() {
+        let mut sink = HARNESS_SPANS.lock().expect("span sink poisoned");
+        sink.extend(sim.take_launch_spans());
+    }
+}
+
+/// Write the harness chrome trace if `--trace` is in effect: every
+/// harvested launch span on the modeled-time GPU timeline, plus any
+/// `extra` events the harness built (serve/checked timelines). No-op when
+/// tracing is off; a write failure exits 1.
+pub fn finish_harness_trace_with(extra: Vec<memconv_obs::TraceEvent>) {
+    let Some(path) = harness_trace_path() else {
+        return;
+    };
+    let spans = std::mem::take(&mut *HARNESS_SPANS.lock().expect("span sink poisoned"));
+    let mut events = memconv_obs::gpu_timeline(&spans, &DeviceConfig::rtx2080ti());
+    events.extend(extra);
+    if let Err(e) = memconv_obs::write_trace(&path, &events) {
+        eprintln!("failed to write trace {path}: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "wrote trace {path} ({} launches, {} events)",
+        spans.len(),
+        events.len()
+    );
+}
+
+/// [`finish_harness_trace_with`] without harness-built extras — the figure
+/// harnesses' one-line exit hook.
+pub fn finish_harness_trace() {
+    finish_harness_trace_with(Vec::new());
 }
 
 /// Result of one algorithm on one workload.
@@ -96,6 +150,7 @@ pub fn run_2d(algo: &dyn Conv2dAlgorithm, img: &Image2D, filt: &Filter2D) -> Alg
     let (_, rep) = algo.run(&mut sim, img, filt);
     let mut r = AlgoResult::from_report(algo.name(), &rep, &sim.device);
     r.hazards = sim.take_hazard_report();
+    harvest_spans(&mut sim);
     r
 }
 
@@ -105,6 +160,7 @@ pub fn run_nchw(algo: &dyn ConvNchwAlgorithm, input: &Tensor4, weights: &FilterB
     let (_, rep) = algo.run(&mut sim, input, weights);
     let mut r = AlgoResult::from_report(algo.name(), &rep, &sim.device);
     r.hazards = sim.take_hazard_report();
+    harvest_spans(&mut sim);
     r
 }
 
@@ -240,12 +296,15 @@ pub fn write_bench_json_or_exit(path: &str, records: &[BenchRecord]) {
     }
 }
 
-/// Shared `--mode` / `--json` / `--analyze` flag handling for the figure
-/// harnesses: `--mode parallel|sequential` overrides `MEMCONV_LAUNCH_MODE`
-/// (any other value exits 2), `--analyze` turns on hazard analysis for
-/// every harness simulator (one verdict line per algorithm; counters are
-/// unchanged); returns whether `--json` was passed (emit [`BenchRecord`]s
-/// to `BENCH_sim.json`).
+/// Shared `--mode` / `--json` / `--analyze` / `--trace` flag handling for
+/// the figure harnesses: `--mode parallel|sequential` overrides
+/// `MEMCONV_LAUNCH_MODE` (any other value exits 2), `--analyze` turns on
+/// hazard analysis for every harness simulator (one verdict line per
+/// algorithm; counters are unchanged), `--trace <path>` sets
+/// `MEMCONV_TRACE` so harness simulators record launch spans and the
+/// harness writes a chrome trace at exit (counters likewise unchanged);
+/// returns whether `--json` was passed (emit [`BenchRecord`]s to
+/// `BENCH_sim.json`).
 pub fn apply_harness_flags() -> bool {
     let args: Vec<String> = std::env::args().collect();
     if let Some(mode) = string_flag("--mode") {
@@ -261,6 +320,9 @@ pub fn apply_harness_flags() -> bool {
     }
     if args.iter().any(|a| a == "--analyze") {
         std::env::set_var("MEMCONV_ANALYZE", "1");
+    }
+    if let Some(path) = string_flag("--trace") {
+        std::env::set_var("MEMCONV_TRACE", &path);
     }
     args.iter().any(|a| a == "--json")
 }

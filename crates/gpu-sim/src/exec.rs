@@ -37,6 +37,7 @@ use crate::memory::hierarchy::{
     flush_l2, new_l1, new_l2, replay_trace, warp_access, L2Sink, Space,
 };
 use crate::memory::{BufId, GlobalMem, SectoredCache, SharedMem};
+use crate::obs::{LaunchSpanRecord, SpanConfig, SpanScratch};
 use crate::shuffle;
 use crate::stats::KernelStats;
 use crate::trace::{BlockTrace, GlobalView, StoreBuffer};
@@ -933,6 +934,8 @@ pub struct GpuSim {
     fault_log: FaultLog,
     watchdog_budget: Option<u64>,
     launch_seq: u64,
+    spans: Option<SpanConfig>,
+    launch_spans: Vec<LaunchSpanRecord>,
 }
 
 impl GpuSim {
@@ -948,6 +951,8 @@ impl GpuSim {
             fault_log: FaultLog::default(),
             watchdog_budget: None,
             launch_seq: 0,
+            spans: None,
+            launch_spans: Vec::new(),
         }
     }
 
@@ -1009,6 +1014,34 @@ impl GpuSim {
     /// Drain and return the accumulated injection log.
     pub fn take_fault_log(&mut self) -> FaultLog {
         std::mem::take(&mut self.fault_log)
+    }
+
+    /// Enable (`Some`) or disable (`None`) span recording for subsequent
+    /// launches. Off by default; when on, every successful launch appends
+    /// a [`LaunchSpanRecord`] (per-launch and per-block counter deltas)
+    /// drained by [`GpuSim::take_launch_spans`]. Recording never changes
+    /// [`KernelStats`] — it only snapshots the accumulator — and the
+    /// recorded deltas are bit-identical across [`LaunchMode`]s and thread
+    /// counts (see [`crate::obs`]).
+    pub fn set_span_recording(&mut self, cfg: Option<SpanConfig>) {
+        self.spans = cfg;
+    }
+
+    /// Builder-style [`GpuSim::set_span_recording`].
+    pub fn with_span_recording(mut self, cfg: SpanConfig) -> Self {
+        self.spans = Some(cfg);
+        self
+    }
+
+    /// `true` while span recording is on.
+    pub fn span_recording_enabled(&self) -> bool {
+        self.spans.is_some()
+    }
+
+    /// Drain and return the span records accumulated since recording was
+    /// enabled (or last drained), in launch order.
+    pub fn take_launch_spans(&mut self) -> Vec<LaunchSpanRecord> {
+        std::mem::take(&mut self.launch_spans)
     }
 
     /// Override the per-block instruction budget. `Some(budget)` arms the
@@ -1176,9 +1209,14 @@ impl GpuSim {
             other => other,
         };
 
+        // Span scratch lives on this frame: a panicking launch unwinds past
+        // it, so partial spans are never committed.
+        let mut scratch = self.spans.as_ref().map(SpanScratch::new);
         let (stats, simulated) = match self.mode {
-            LaunchMode::Sequential => self.run_sequential(cfg, resolved, kernel, env),
-            LaunchMode::Parallel => self.run_parallel(cfg, resolved, kernel, env),
+            LaunchMode::Sequential => {
+                self.run_sequential(cfg, resolved, kernel, env, scratch.as_mut())
+            }
+            LaunchMode::Parallel => self.run_parallel(cfg, resolved, kernel, env, scratch.as_mut()),
         };
 
         let mut out = if simulated < total {
@@ -1189,6 +1227,19 @@ impl GpuSim {
         out.launches = 1;
         out.threads = cfg.num_threads();
         out.sim_blocks = simulated;
+        if let Some(s) = scratch {
+            self.launch_spans.push(LaunchSpanRecord {
+                seq: self.launch_seq,
+                grid: cfg.grid,
+                block_dim: cfg.block,
+                total_blocks: total,
+                sim_blocks: simulated,
+                stats: out.clone(),
+                flush: s.flush,
+                blocks: s.blocks,
+                blocks_omitted: s.omitted,
+            });
+        }
         out
     }
 
@@ -1200,12 +1251,14 @@ impl GpuSim {
         resolved: SampleMode,
         kernel: &(impl Fn(&mut BlockCtx<'_>) + Sync),
         env: LaunchEnv,
+        mut scratch: Option<&mut SpanScratch>,
     ) -> (KernelStats, u64) {
         let mut stats = KernelStats::default();
         let mut l2 = new_l2(&self.device);
         let mut simulated = 0u64;
         for linear in (0..cfg.num_blocks()).filter(|&l| resolved.selects(l)) {
             simulated += 1;
+            let snapshot = scratch.as_ref().map(|_| stats.clone());
             let mut collector = env.analyze.then(|| BlockCollector::new(linear));
             let mut faults = env
                 .faults
@@ -1239,8 +1292,16 @@ impl GpuSim {
             if let Some(f) = faults {
                 self.fault_log.merge(f.log());
             }
+            if let Some(s) = scratch.as_deref_mut() {
+                let before = snapshot.expect("snapshot taken when recording");
+                s.push_block(linear, stats.delta_since(&before));
+            }
         }
+        let pre_flush = scratch.as_ref().map(|_| stats.clone());
         flush_l2(&mut l2, &mut stats);
+        if let Some(s) = scratch {
+            s.flush = stats.delta_since(&pre_flush.expect("snapshot taken when recording"));
+        }
         (stats, simulated)
     }
 
@@ -1255,6 +1316,7 @@ impl GpuSim {
         resolved: SampleMode,
         kernel: &(impl Fn(&mut BlockCtx<'_>) + Sync),
         env: LaunchEnv,
+        mut scratch: Option<&mut SpanScratch>,
     ) -> (KernelStats, u64) {
         let threads = self
             .parallel_threads
@@ -1281,8 +1343,9 @@ impl GpuSim {
             // Phase 2 (sequential, block-linear order): commit. Hazard
             // collectors and fault logs merge here too, so reports never
             // depend on the engine or thread count.
-            for outcome in outcomes {
+            for (&linear, outcome) in batch.iter().zip(outcomes) {
                 simulated += 1;
+                let snapshot = scratch.as_ref().map(|_| stats.clone());
                 stats += &outcome.stats;
                 replay_trace(&outcome.trace, &mut l2, &mut stats);
                 outcome.store.apply(&mut self.mem);
@@ -1296,9 +1359,17 @@ impl GpuSim {
                 if let Some(f) = outcome.faults {
                     self.fault_log.merge(f.log());
                 }
+                if let Some(s) = scratch.as_deref_mut() {
+                    let before = snapshot.expect("snapshot taken when recording");
+                    s.push_block(linear, stats.delta_since(&before));
+                }
             }
         }
+        let pre_flush = scratch.as_ref().map(|_| stats.clone());
         flush_l2(&mut l2, &mut stats);
+        if let Some(s) = scratch {
+            s.flush = stats.delta_since(&pre_flush.expect("snapshot taken when recording"));
+        }
         (stats, simulated)
     }
 }

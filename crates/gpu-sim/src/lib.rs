@@ -53,6 +53,7 @@ pub mod exec;
 pub mod faults;
 pub mod lane;
 pub mod memory;
+pub mod obs;
 pub mod priv_array;
 pub mod report;
 pub mod shuffle;
@@ -71,6 +72,7 @@ pub use exec::{
 pub use faults::{FaultKind, FaultLog, FaultPlan};
 pub use lane::{LaneMask, LaneVec, VF, VI, VU, VU64, WARP};
 pub use memory::{BufId, GlobalMem};
+pub use obs::{BlockSpan, LaunchSpanRecord, SpanConfig};
 pub use priv_array::{PrivArray, Residency};
 pub use report::{hazard_table, run_table, Profile};
 pub use stats::KernelStats;

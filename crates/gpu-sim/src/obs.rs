@@ -1,0 +1,138 @@
+//! Span recording: per-launch and per-block [`KernelStats`] deltas for the
+//! observability layer (`memconv-obs`).
+//!
+//! Recording is **off by default** and, like the fault subsystem, is
+//! *counter-invisible* when on: the recorder only snapshots and subtracts
+//! the stats accumulator, it never feeds anything back into execution, so
+//! every [`KernelStats`] a launch returns is bit-identical with recording
+//! on or off (proptest-pinned in `crates/obs`).
+//!
+//! ## Engine independence
+//!
+//! A block's span delta is the difference of the launch-wide stats
+//! accumulator around that block's *commit*:
+//!
+//! * **Sequential** — the block executes inline against the launch L2, so
+//!   one snapshot before / after the block captures its compute, L1, L2
+//!   and DRAM counters together.
+//! * **Parallel** — phase 1 produces the block's private counters
+//!   (`BlockOutcome::stats`, no L2 traffic) and phase 2 adds its L2/DRAM
+//!   counters by replaying its sector trace block-linearly. Snapshotting
+//!   around `stats += outcome.stats; replay_trace(...)` yields exactly the
+//!   sequential delta, because the L2 sees the same sectors in the same
+//!   order (the PR-1 bit-identity argument, applied per block).
+//!
+//! The `flush_l2` write-back residual at launch end belongs to no block;
+//! it is recorded launch-level in [`LaunchSpanRecord::flush`]. All three
+//! pieces are therefore identical across [`crate::exec::LaunchMode`]s and
+//! thread counts, which is what makes an exported trace byte-stable.
+
+use crate::stats::KernelStats;
+
+/// Configuration for span recording.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanConfig {
+    /// Deterministic cap on per-block spans kept per launch (the first
+    /// `max_block_spans` simulated blocks in block-linear order).
+    /// Overflowing blocks are counted in
+    /// [`LaunchSpanRecord::blocks_omitted`], never silently dropped.
+    pub max_block_spans: usize,
+}
+
+impl Default for SpanConfig {
+    fn default() -> Self {
+        SpanConfig {
+            max_block_spans: 256,
+        }
+    }
+}
+
+/// One simulated block's counter delta within a launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockSpan {
+    /// Linear block id in the grid.
+    pub linear: u64,
+    /// Raw (un-extrapolated) counters this block contributed, including
+    /// its share of L2/DRAM traffic.
+    pub stats: KernelStats,
+}
+
+/// Everything recorded about one successful launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaunchSpanRecord {
+    /// The simulator's launch sequence number (monotone per `GpuSim`).
+    pub seq: u64,
+    /// Grid dimensions.
+    pub grid: (u32, u32, u32),
+    /// Threads per block.
+    pub block_dim: u32,
+    /// Total blocks in the grid.
+    pub total_blocks: u64,
+    /// Blocks actually simulated (after sampling).
+    pub sim_blocks: u64,
+    /// The launch's returned counters (extrapolated if sampled).
+    pub stats: KernelStats,
+    /// The end-of-launch L2 write-back residual (dirty-sector flush),
+    /// attributable to no single block.
+    pub flush: KernelStats,
+    /// Per-block deltas, in block-linear order, capped at
+    /// [`SpanConfig::max_block_spans`].
+    pub blocks: Vec<BlockSpan>,
+    /// Simulated blocks beyond the cap (recorded, not lost: their traffic
+    /// is still in [`LaunchSpanRecord::stats`]).
+    pub blocks_omitted: u64,
+}
+
+/// Per-launch scratch the engines write block deltas into; committed to
+/// the simulator's span log only when the launch completes (a panicking
+/// launch drops its partial spans with the stack frame).
+#[derive(Debug)]
+pub(crate) struct SpanScratch {
+    pub(crate) cap: usize,
+    pub(crate) blocks: Vec<BlockSpan>,
+    pub(crate) omitted: u64,
+    pub(crate) flush: KernelStats,
+}
+
+impl SpanScratch {
+    pub(crate) fn new(cfg: &SpanConfig) -> Self {
+        SpanScratch {
+            cap: cfg.max_block_spans,
+            blocks: Vec::new(),
+            omitted: 0,
+            flush: KernelStats::default(),
+        }
+    }
+
+    /// Record one block's delta, honoring the cap.
+    ///
+    /// `sim_blocks` is assigned to the launch record post-hoc (it is not
+    /// accumulated during execution), so the raw delta always carries 0;
+    /// normalize it to 1 here so block deltas + flush + the launch header
+    /// sum exactly to a fully-simulated launch's counters.
+    pub(crate) fn push_block(&mut self, linear: u64, mut stats: KernelStats) {
+        stats.sim_blocks = 1;
+        if self.blocks.len() < self.cap {
+            self.blocks.push(BlockSpan { linear, stats });
+        } else {
+            self.omitted += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_caps_deterministically() {
+        let mut s = SpanScratch::new(&SpanConfig { max_block_spans: 2 });
+        for i in 0..5 {
+            s.push_block(i, KernelStats::default());
+        }
+        assert_eq!(s.blocks.len(), 2);
+        assert_eq!(s.omitted, 3);
+        assert_eq!(s.blocks[0].linear, 0);
+        assert_eq!(s.blocks[1].linear, 1);
+    }
+}

@@ -176,6 +176,41 @@ impl KernelStats {
         self.map_traffic(s)
     }
 
+    /// Counter-wise difference `self − earlier`, for per-block span deltas:
+    /// snapshot the accumulator before a block, subtract it afterwards.
+    /// Every counter is monotone within a launch, so plain subtraction is
+    /// exact; ground-truth launch counts are differenced the same way
+    /// (a block contributes 0 launches/threads and its own traffic).
+    ///
+    /// # Panics
+    /// Panics (in debug builds, via underflow) if `earlier` is not an
+    /// earlier snapshot of `self`.
+    pub fn delta_since(&self, earlier: &KernelStats) -> KernelStats {
+        KernelStats {
+            fma_instrs: self.fma_instrs - earlier.fma_instrs,
+            fp_instrs: self.fp_instrs - earlier.fp_instrs,
+            shfl_instrs: self.shfl_instrs - earlier.shfl_instrs,
+            barriers: self.barriers - earlier.barriers,
+            gld_requests: self.gld_requests - earlier.gld_requests,
+            gld_transactions: self.gld_transactions - earlier.gld_transactions,
+            gst_requests: self.gst_requests - earlier.gst_requests,
+            gst_transactions: self.gst_transactions - earlier.gst_transactions,
+            local_requests: self.local_requests - earlier.local_requests,
+            local_ld_transactions: self.local_ld_transactions - earlier.local_ld_transactions,
+            local_st_transactions: self.local_st_transactions - earlier.local_st_transactions,
+            l1_hit_sectors: self.l1_hit_sectors - earlier.l1_hit_sectors,
+            l2_accesses: self.l2_accesses - earlier.l2_accesses,
+            l2_hit_sectors: self.l2_hit_sectors - earlier.l2_hit_sectors,
+            dram_read_sectors: self.dram_read_sectors - earlier.dram_read_sectors,
+            dram_write_sectors: self.dram_write_sectors - earlier.dram_write_sectors,
+            smem_accesses: self.smem_accesses - earlier.smem_accesses,
+            smem_passes: self.smem_passes - earlier.smem_passes,
+            launches: self.launches - earlier.launches,
+            threads: self.threads - earlier.threads,
+            sim_blocks: self.sim_blocks - earlier.sim_blocks,
+        }
+    }
+
     /// Apply `s` to every extrapolatable counter, passing ground-truth
     /// launch counts through untouched.
     fn map_traffic(&self, s: impl Fn(u64) -> u64) -> KernelStats {
@@ -333,6 +368,29 @@ mod tests {
         assert_eq!(t.local_st_transactions, 8);
         assert_eq!(t.local_transactions(), 31);
         assert_eq!(t.local_requests, 10);
+    }
+
+    #[test]
+    fn delta_since_inverts_add_assign() {
+        let mut acc = KernelStats {
+            gld_transactions: 10,
+            l2_accesses: 4,
+            launches: 1,
+            threads: 64,
+            sim_blocks: 2,
+            ..Default::default()
+        };
+        let before = acc.clone();
+        let block = KernelStats {
+            gld_transactions: 7,
+            l2_accesses: 3,
+            dram_read_sectors: 2,
+            sim_blocks: 1,
+            ..Default::default()
+        };
+        acc += &block;
+        assert_eq!(acc.delta_since(&before), block);
+        assert_eq!(acc.delta_since(&acc), KernelStats::default());
     }
 
     #[test]

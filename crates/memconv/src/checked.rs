@@ -110,6 +110,11 @@ pub struct AttemptRecord {
     pub attempt: u32,
     /// How it ended.
     pub outcome: AttemptOutcome,
+    /// Counters of the attempt's launch — real work for attempts that
+    /// produced output (served or SDC-detected), all-zero when the launch
+    /// failed before completing or the CPU tier served. Observability
+    /// spans derive each attempt's modeled duration from these.
+    pub stats: KernelStats,
 }
 
 /// How the served output was verified.
@@ -426,6 +431,7 @@ pub fn conv2d_checked(
                 tier,
                 attempt: 0,
                 outcome: AttemptOutcome::Served,
+                stats: KernelStats::default(),
             });
             served = Some((out, tier, KernelStats::default()));
             break 'chain;
@@ -436,6 +442,7 @@ pub fn conv2d_checked(
                     tier,
                     attempt,
                     outcome: AttemptOutcome::LaunchFailed(e),
+                    stats: KernelStats::default(),
                 }),
                 Ok((out, stats)) => match golden.check(&out) {
                     Ok(()) => {
@@ -443,6 +450,7 @@ pub fn conv2d_checked(
                             tier,
                             attempt,
                             outcome: AttemptOutcome::Served,
+                            stats: stats.clone(),
                         });
                         served = Some((out, tier, stats));
                         break 'chain;
@@ -451,6 +459,7 @@ pub fn conv2d_checked(
                         tier,
                         attempt,
                         outcome: AttemptOutcome::SdcDetected { max_abs, max_rel },
+                        stats,
                     }),
                 },
             }

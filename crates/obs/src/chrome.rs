@@ -1,0 +1,204 @@
+//! Chrome trace-event JSON serialization (the `chrome://tracing` /
+//! [Perfetto](https://ui.perfetto.dev) "JSON Array Format").
+//!
+//! Hand-written JSON, per the workspace's no-serde policy. The output is
+//! **byte-stable**: event fields are emitted in fixed alphabetical order
+//! (`args`, `cat`, `dur`, `name`, `ph`, `pid`, `tid`, `ts`), argument maps
+//! are sorted by key, and floats are rendered with Rust's shortest
+//! round-trip `Display` (never scientific notation, so always valid JSON).
+//! Two equal event lists therefore serialize to identical bytes — the
+//! property the cross-engine determinism proptests pin.
+
+use std::fmt::Write as _;
+
+/// One argument value attached to a trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// Unsigned counter.
+    U64(u64),
+    /// Modeled seconds or a ratio. Must be finite (asserted in debug
+    /// builds); NaN/inf would not be valid JSON.
+    F64(f64),
+    /// Label.
+    Str(String),
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::U64(v)
+    }
+}
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::F64(v)
+    }
+}
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_string())
+    }
+}
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+
+/// One complete ("X"-phase) trace event: a span with a start and duration
+/// on a `(pid, tid)` track, in **modeled microseconds** — wall-clock time
+/// never enters a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Span label shown on the track.
+    pub name: String,
+    /// Category (filterable in the viewer): `gpu`, `checked` or `serve`.
+    pub cat: String,
+    /// Start, modeled microseconds.
+    pub ts_us: f64,
+    /// Duration, modeled microseconds.
+    pub dur_us: f64,
+    /// Process lane (one per instrumented layer; see `timeline`).
+    pub pid: u32,
+    /// Thread lane within the process.
+    pub tid: u64,
+    /// Key/value annotations. Serialized sorted by key regardless of the
+    /// order given here.
+    pub args: Vec<(String, ArgValue)>,
+}
+
+/// Escape `s` into `out` as a JSON string body (no surrounding quotes).
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn value_into(out: &mut String, v: &ArgValue) {
+    match v {
+        ArgValue::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        ArgValue::F64(x) => {
+            debug_assert!(x.is_finite(), "non-finite trace arg {x}");
+            let _ = write!(out, "{x}");
+        }
+        ArgValue::Str(s) => {
+            out.push('"');
+            escape_into(out, s);
+            out.push('"');
+        }
+    }
+}
+
+/// Serialize one event as a single-line JSON object with fields in fixed
+/// alphabetical order.
+fn event_into(out: &mut String, e: &TraceEvent) {
+    debug_assert!(
+        e.ts_us.is_finite() && e.dur_us.is_finite(),
+        "non-finite span time"
+    );
+    out.push_str("{\"args\":{");
+    let mut keys: Vec<&(String, ArgValue)> = e.args.iter().collect();
+    keys.sort_by(|a, b| a.0.cmp(&b.0));
+    for (i, (k, v)) in keys.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape_into(out, k);
+        out.push_str("\":");
+        value_into(out, v);
+    }
+    out.push_str("},\"cat\":\"");
+    escape_into(out, &e.cat);
+    let _ = write!(out, "\",\"dur\":{}", e.dur_us);
+    out.push_str(",\"name\":\"");
+    escape_into(out, &e.name);
+    let _ = write!(
+        out,
+        "\",\"ph\":\"X\",\"pid\":{},\"tid\":{},\"ts\":{}}}",
+        e.pid, e.tid, e.ts_us
+    );
+}
+
+/// Serialize a full trace: `{"traceEvents":[...]}` with one event per
+/// line, in the order given. Equal inputs produce identical bytes.
+pub fn chrome_trace(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(64 + events.len() * 160);
+    out.push_str("{\"traceEvents\":[\n");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        event_into(&mut out, e);
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Write a chrome trace to `path` (see [`chrome_trace`]).
+pub fn write_trace(path: &str, events: &[TraceEvent]) -> std::io::Result<()> {
+    std::fs::write(path, chrome_trace(events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev() -> TraceEvent {
+        TraceEvent {
+            name: "launch #0".into(),
+            cat: "gpu".into(),
+            ts_us: 1.5,
+            dur_us: 0.25,
+            pid: 1,
+            tid: 0,
+            args: vec![
+                ("zeta".into(), ArgValue::U64(7)),
+                ("alpha".into(), ArgValue::Str("a\"b".into())),
+            ],
+        }
+    }
+
+    #[test]
+    fn fields_are_alphabetical_and_args_sorted() {
+        let s = chrome_trace(&[ev()]);
+        assert_eq!(
+            s,
+            "{\"traceEvents\":[\n\
+             {\"args\":{\"alpha\":\"a\\\"b\",\"zeta\":7},\"cat\":\"gpu\",\
+             \"dur\":0.25,\"name\":\"launch #0\",\"ph\":\"X\",\"pid\":1,\
+             \"tid\":0,\"ts\":1.5}\n]}\n"
+        );
+    }
+
+    #[test]
+    fn equal_events_serialize_byte_identically() {
+        let a = chrome_trace(&[ev(), ev()]);
+        let b = chrome_trace(&[ev(), ev()]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn control_chars_are_escaped() {
+        let mut e = ev();
+        e.name = "a\nb\u{1}".into();
+        let s = chrome_trace(&[e]);
+        assert!(s.contains("a\\nb\\u0001"));
+    }
+
+    #[test]
+    fn empty_trace_is_well_formed() {
+        assert_eq!(chrome_trace(&[]), "{\"traceEvents\":[\n\n]}\n");
+    }
+}

@@ -1,0 +1,39 @@
+//! # memconv-obs
+//!
+//! Deterministic observability for the memconv workspace: spans over
+//! **modeled time only**. Every timestamp in a trace or metric comes from
+//! the roofline timing model ([`memconv_gpusim::launch_time`]) or the
+//! serving trace's virtual clock — never a wall clock — so observability
+//! output is bit-identical across runs, across
+//! `LaunchMode::{Sequential,Parallel}`, and across worker-thread counts
+//! (proptest-pinned in `tests/prop_trace_identity.rs`).
+//!
+//! Three instrumented layers feed two export formats:
+//!
+//! * **Spans** — per-launch/per-block simulator spans come from
+//!   `GpuSim::set_span_recording` (see `memconv_gpusim::obs` for the
+//!   engine-independence argument); checked-dispatch spans from
+//!   [`memconv::checked::CheckedReport`]; serving spans (windows,
+//!   planner sweeps, request queue→plan→execute) from
+//!   [`memconv_serve::ServeReport`]. Builders live in [`timeline`].
+//! * **[`chrome`]** — byte-stable `chrome://tracing` trace-event JSON
+//!   (hand-written, sorted fields; the workspace's no-serde policy).
+//! * **[`prometheus`]** — Prometheus text exposition of serving counters
+//!   and transaction rollups.
+//!
+//! Recording is off by default everywhere and *counter-invisible* when
+//! on: enabling spans changes no [`memconv_gpusim::KernelStats`] and no
+//! simulation result.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod prometheus;
+pub mod timeline;
+
+pub use chrome::{chrome_trace, write_trace, ArgValue, TraceEvent};
+pub use prometheus::prometheus_exposition;
+pub use timeline::{
+    checked_timeline, gpu_timeline, serve_timeline, PID_CHECKED, PID_GPU, PID_SERVE,
+};

@@ -1,0 +1,251 @@
+//! Prometheus text-format exposition of a [`ServeReport`].
+//!
+//! Hand-written text in the [exposition format] — `# HELP` / `# TYPE`
+//! headers followed by samples. The output is deterministic: metric
+//! families appear in a fixed template order, labeled series are sorted by
+//! endpoint name (`BTreeMap` iteration), and floats use Rust's shortest
+//! round-trip `Display`. Every value is a *modeled* quantity, so scraping
+//! the same trace twice yields identical bytes.
+//!
+//! [exposition format]: https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use memconv_serve::{Percentiles, ServeReport};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+fn header(out: &mut String, name: &str, help: &str, kind: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+fn labeled(out: &mut String, name: &str, series: &BTreeMap<&str, u64>) {
+    for (endpoint, v) in series {
+        let _ = writeln!(out, "{name}{{endpoint=\"{endpoint}\"}} {v}");
+    }
+}
+
+fn summary(out: &mut String, name: &str, help: &str, p: Percentiles, sum: f64, count: usize) {
+    header(out, name, help, "summary");
+    let _ = writeln!(out, "{name}{{quantile=\"0.5\"}} {}", p.p50);
+    let _ = writeln!(out, "{name}{{quantile=\"0.95\"}} {}", p.p95);
+    let _ = writeln!(out, "{name}{{quantile=\"0.99\"}} {}", p.p99);
+    let _ = writeln!(out, "{name}_sum {sum}");
+    let _ = writeln!(out, "{name}_count {count}");
+}
+
+/// Render `report` in the Prometheus text exposition format.
+pub fn prometheus_exposition(report: &ServeReport) -> String {
+    let mut out = String::with_capacity(2048);
+
+    let mut requests: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut launches: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut transactions: BTreeMap<&str, u64> = BTreeMap::new();
+    for r in &report.requests {
+        *requests.entry(r.endpoint.as_str()).or_default() += 1;
+    }
+    for l in &report.launches {
+        *launches.entry(l.endpoint.as_str()).or_default() += 1;
+        *transactions.entry(l.endpoint.as_str()).or_default() += l.transactions;
+    }
+
+    header(
+        &mut out,
+        "memconv_requests_total",
+        "Requests served, by endpoint.",
+        "counter",
+    );
+    labeled(&mut out, "memconv_requests_total", &requests);
+
+    header(
+        &mut out,
+        "memconv_launches_total",
+        "Coalesced batch launches issued, by endpoint.",
+        "counter",
+    );
+    labeled(&mut out, "memconv_launches_total", &launches);
+
+    header(
+        &mut out,
+        "memconv_global_transactions_total",
+        "32-byte global-memory transactions (the paper's cost metric), by endpoint.",
+        "counter",
+    );
+    labeled(&mut out, "memconv_global_transactions_total", &transactions);
+
+    header(
+        &mut out,
+        "memconv_plan_cache_hits_total",
+        "Plan-cache hits over the trace.",
+        "counter",
+    );
+    let _ = writeln!(out, "memconv_plan_cache_hits_total {}", report.cache_hits);
+    header(
+        &mut out,
+        "memconv_plan_cache_misses_total",
+        "Plan-cache misses over the trace (each paid a planner sweep).",
+        "counter",
+    );
+    let _ = writeln!(
+        out,
+        "memconv_plan_cache_misses_total {}",
+        report.cache_misses
+    );
+
+    header(
+        &mut out,
+        "memconv_plan_cache_hit_ratio",
+        "Plan-cache hit rate (1 when nothing was looked up).",
+        "gauge",
+    );
+    let _ = writeln!(out, "memconv_plan_cache_hit_ratio {}", report.hit_rate());
+
+    header(
+        &mut out,
+        "memconv_requests_per_launch",
+        "Batching efficiency: requests coalesced per launch.",
+        "gauge",
+    );
+    let _ = writeln!(
+        out,
+        "memconv_requests_per_launch {}",
+        report.requests_per_launch()
+    );
+
+    header(
+        &mut out,
+        "memconv_modeled_device_seconds_total",
+        "Modeled device time across launches and planning.",
+        "counter",
+    );
+    let _ = writeln!(
+        out,
+        "memconv_modeled_device_seconds_total {}",
+        report.total_modeled_seconds()
+    );
+
+    let n = report.requests.len();
+    summary(
+        &mut out,
+        "memconv_queue_seconds",
+        "Virtual queueing delay per request.",
+        report.queue_percentiles(),
+        report.requests.iter().map(|r| r.queue_s).sum(),
+        n,
+    );
+    summary(
+        &mut out,
+        "memconv_execute_seconds",
+        "Modeled execution latency per request.",
+        report.execute_percentiles(),
+        report.requests.iter().map(|r| r.execute_s).sum(),
+        n,
+    );
+    summary(
+        &mut out,
+        "memconv_total_seconds",
+        "End-to-end modeled latency per request (queue + plan + execute).",
+        report.total_percentiles(),
+        report
+            .requests
+            .iter()
+            .map(|r| r.queue_s + r.plan_s + r.execute_s)
+            .sum(),
+        n,
+    );
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memconv_serve::{LaunchRecord, RequestMetrics};
+
+    fn report() -> ServeReport {
+        ServeReport {
+            requests: vec![
+                RequestMetrics {
+                    id: 0,
+                    endpoint: "b".into(),
+                    window: 0,
+                    arrival_s: 0.0,
+                    queue_s: 0.5,
+                    plan_s: 0.0,
+                    execute_s: 0.25,
+                    batched_with: 1,
+                    cache_hit: true,
+                    checked: false,
+                    fell_back: false,
+                },
+                RequestMetrics {
+                    id: 1,
+                    endpoint: "a".into(),
+                    window: 0,
+                    arrival_s: 0.0,
+                    queue_s: 0.25,
+                    plan_s: 0.125,
+                    execute_s: 0.25,
+                    batched_with: 1,
+                    cache_hit: false,
+                    checked: false,
+                    fell_back: false,
+                },
+            ],
+            launches: vec![
+                LaunchRecord {
+                    window: 0,
+                    endpoint: "b".into(),
+                    algo: "fused-nchw".into(),
+                    requests: 1,
+                    modeled_seconds: 0.25,
+                    transactions: 10,
+                    checked: false,
+                },
+                LaunchRecord {
+                    window: 0,
+                    endpoint: "a".into(),
+                    algo: "fused-nchw".into(),
+                    requests: 1,
+                    modeled_seconds: 0.25,
+                    transactions: 7,
+                    checked: false,
+                },
+            ],
+            plan_sweeps: vec![],
+            cache_hits: 1,
+            cache_misses: 1,
+        }
+    }
+
+    #[test]
+    fn exposition_is_deterministic_and_endpoint_sorted() {
+        let a = prometheus_exposition(&report());
+        let b = prometheus_exposition(&report());
+        assert_eq!(a, b);
+        // Labeled series come out endpoint-sorted regardless of insertion
+        // order ("b" was recorded first).
+        let ia = a.find("memconv_requests_total{endpoint=\"a\"}").unwrap();
+        let ib = a.find("memconv_requests_total{endpoint=\"b\"}").unwrap();
+        assert!(ia < ib);
+        assert!(a.contains("memconv_plan_cache_hit_ratio 0.5"));
+        assert!(a.contains("memconv_global_transactions_total{endpoint=\"a\"} 7"));
+    }
+
+    #[test]
+    fn summaries_carry_quantiles_sum_and_count() {
+        let s = prometheus_exposition(&report());
+        assert!(s.contains("memconv_queue_seconds{quantile=\"0.5\"}"));
+        assert!(s.contains("memconv_queue_seconds_sum 0.75"));
+        assert!(s.contains("memconv_queue_seconds_count 2"));
+        // Every family has exactly one HELP/TYPE pair.
+        assert_eq!(s.matches("# TYPE memconv_queue_seconds summary").count(), 1);
+    }
+
+    #[test]
+    fn empty_report_renders_without_labeled_series() {
+        let s = prometheus_exposition(&ServeReport::default());
+        assert!(s.contains("memconv_plan_cache_hits_total 0"));
+        assert!(!s.contains("{endpoint="));
+        assert!(s.contains("memconv_total_seconds_count 0"));
+    }
+}

@@ -1,0 +1,462 @@
+//! Span builders: turn the workspace's deterministic execution records
+//! into [`TraceEvent`] timelines.
+//!
+//! Every timestamp here is **modeled time** — roofline seconds from
+//! [`launch_time`] for device work, the trace's virtual clock for serving.
+//! Nothing reads a wall clock, so the same inputs always produce the same
+//! events, and (because per-block span deltas are engine-independent, see
+//! `memconv_gpusim::obs`) the same bytes across
+//! `LaunchMode::{Sequential,Parallel}` and any worker-thread count.
+//!
+//! Three process lanes:
+//!
+//! * [`PID_GPU`] — one span per launch (tid 0) with per-block child spans
+//!   (tid 1), annotated with the record/replay phase split of each block's
+//!   counters;
+//! * [`PID_CHECKED`] — one span per `conv2d_checked` fallback attempt;
+//! * [`PID_SERVE`] — batching windows, coalesced launches, planner trial
+//!   sweeps, and each request's queue→plan→execute life.
+
+use crate::chrome::{ArgValue, TraceEvent};
+use memconv::prelude::{AttemptOutcome, CheckedReport};
+use memconv_gpusim::{launch_time, DeviceConfig, KernelStats, LaunchSpanRecord};
+use memconv_serve::ServeReport;
+use std::collections::BTreeMap;
+
+/// Process lane for simulator launches.
+pub const PID_GPU: u32 = 1;
+/// Process lane for checked-dispatch attempts.
+pub const PID_CHECKED: u32 = 2;
+/// Process lane for the serving layer.
+pub const PID_SERVE: u32 = 3;
+
+const US: f64 = 1e6;
+
+/// Deterministic integer weight of a counter delta — the work proxy used
+/// to apportion a launch's modeled time across its recorded blocks.
+fn weight(s: &KernelStats) -> u64 {
+    s.fma_instrs
+        + s.fp_instrs
+        + s.shfl_instrs
+        + s.gld_transactions
+        + s.gst_transactions
+        + s.local_ld_transactions
+        + s.local_st_transactions
+        + s.l2_accesses
+        + s.dram_read_sectors
+        + s.dram_write_sectors
+        + s.smem_passes
+}
+
+/// The record-phase counters of a block delta: compute and L1-side
+/// traffic, produced while the block *executes* (sequential) or during
+/// phase-1 functional simulation (parallel).
+fn record_args(s: &KernelStats) -> Vec<(String, ArgValue)> {
+    vec![
+        (
+            "record_instrs".into(),
+            (s.fma_instrs + s.fp_instrs + s.shfl_instrs).into(),
+        ),
+        ("record_gld_transactions".into(), s.gld_transactions.into()),
+        ("record_gst_transactions".into(), s.gst_transactions.into()),
+        (
+            "record_local_transactions".into(),
+            (s.local_ld_transactions + s.local_st_transactions).into(),
+        ),
+        ("record_smem_passes".into(), s.smem_passes.into()),
+    ]
+}
+
+/// The replay-phase counters: L2 and DRAM traffic, produced inline
+/// (sequential) or by the phase-2 block-linear trace replay (parallel).
+/// Disjoint from the record set, so the split is exact.
+fn replay_args(s: &KernelStats) -> Vec<(String, ArgValue)> {
+    vec![
+        ("replay_l2_accesses".into(), s.l2_accesses.into()),
+        ("replay_l2_hit_sectors".into(), s.l2_hit_sectors.into()),
+        (
+            "replay_dram_read_sectors".into(),
+            s.dram_read_sectors.into(),
+        ),
+        (
+            "replay_dram_write_sectors".into(),
+            s.dram_write_sectors.into(),
+        ),
+    ]
+}
+
+/// Build the simulator timeline from recorded launch spans.
+///
+/// Launches are laid back-to-back on a modeled-time axis (a single CUDA
+/// stream). Each launch span's duration is its roofline time; its recorded
+/// blocks share the launch's post-overhead window, each block sized by its
+/// fraction of the launch's total counter weight, in block-linear order —
+/// all integer/f64 arithmetic on engine-independent deltas, so the result
+/// is identical across launch modes and thread counts.
+pub fn gpu_timeline(spans: &[LaunchSpanRecord], dev: &DeviceConfig) -> Vec<TraceEvent> {
+    let mut events = Vec::new();
+    let mut cursor = 0.0f64;
+    for rec in spans {
+        let bd = launch_time(&rec.stats, dev);
+        let dur = bd.total() * US;
+        events.push(TraceEvent {
+            name: format!("launch #{}", rec.seq),
+            cat: "gpu".into(),
+            ts_us: cursor,
+            dur_us: dur,
+            pid: PID_GPU,
+            tid: 0,
+            args: vec![
+                (
+                    "grid".into(),
+                    format!("{}x{}x{}", rec.grid.0, rec.grid.1, rec.grid.2).into(),
+                ),
+                ("block_dim".into(), u64::from(rec.block_dim).into()),
+                ("total_blocks".into(), rec.total_blocks.into()),
+                ("sim_blocks".into(), rec.sim_blocks.into()),
+                ("blocks_omitted".into(), rec.blocks_omitted.into()),
+                ("bottleneck".into(), bd.bottleneck().into()),
+                (
+                    "global_transactions".into(),
+                    rec.stats.global_transactions().into(),
+                ),
+                ("l2_accesses".into(), rec.stats.l2_accesses.into()),
+                (
+                    "dram_sectors".into(),
+                    (rec.stats.dram_read_sectors + rec.stats.dram_write_sectors).into(),
+                ),
+            ],
+        });
+
+        // Blocks subdivide the launch's active window (everything after the
+        // fixed launch overhead) proportionally to their counter weight.
+        let active = (bd.total() - bd.launch) * US;
+        let launch_weight = weight(&rec.stats).max(1);
+        let mut block_cursor = cursor + bd.launch * US;
+        for b in &rec.blocks {
+            let frac = weight(&b.stats) as f64 / launch_weight as f64;
+            let bdur = active * frac;
+            let mut args = vec![("linear".into(), ArgValue::U64(b.linear))];
+            args.extend(record_args(&b.stats));
+            args.extend(replay_args(&b.stats));
+            events.push(TraceEvent {
+                name: format!("block {}", b.linear),
+                cat: "gpu".into(),
+                ts_us: block_cursor,
+                dur_us: bdur,
+                pid: PID_GPU,
+                tid: 1,
+                args,
+            });
+            block_cursor += bdur;
+        }
+        if rec.flush != KernelStats::default() {
+            let frac = weight(&rec.flush) as f64 / launch_weight as f64;
+            events.push(TraceEvent {
+                name: format!("l2-flush #{}", rec.seq),
+                cat: "gpu".into(),
+                ts_us: block_cursor,
+                dur_us: active * frac,
+                pid: PID_GPU,
+                tid: 1,
+                args: replay_args(&rec.flush),
+            });
+        }
+        cursor += dur;
+    }
+    events
+}
+
+fn outcome_args(o: &AttemptOutcome) -> Vec<(String, ArgValue)> {
+    match o {
+        AttemptOutcome::Served => vec![("outcome".into(), "served".into())],
+        AttemptOutcome::LaunchFailed(e) => vec![
+            ("outcome".into(), "launch-failed".into()),
+            ("error".into(), format!("{e}").into()),
+        ],
+        AttemptOutcome::SdcDetected { max_abs, max_rel } => vec![
+            ("outcome".into(), "sdc-detected".into()),
+            ("max_abs".into(), ArgValue::F64(f64::from(*max_abs))),
+            ("max_rel".into(), ArgValue::F64(f64::from(*max_rel))),
+        ],
+    }
+}
+
+/// Build the checked-dispatch timeline: one span per fallback attempt, in
+/// execution order, back-to-back from `t0_us`. Attempts whose launch
+/// failed before completing (and the host CPU tier) carry all-zero
+/// counters and get zero modeled duration.
+pub fn checked_timeline(report: &CheckedReport, dev: &DeviceConfig, t0_us: f64) -> Vec<TraceEvent> {
+    let mut events = Vec::new();
+    let mut cursor = t0_us;
+    for a in &report.attempts {
+        let dur = if a.stats == KernelStats::default() {
+            0.0
+        } else {
+            launch_time(&a.stats, dev).total() * US
+        };
+        let mut args = vec![
+            ("attempt".into(), ArgValue::U64(u64::from(a.attempt))),
+            (
+                "global_transactions".into(),
+                a.stats.global_transactions().into(),
+            ),
+        ];
+        args.extend(outcome_args(&a.outcome));
+        events.push(TraceEvent {
+            name: format!("{} #{}", a.tier, a.attempt),
+            cat: "checked".into(),
+            ts_us: cursor,
+            dur_us: dur,
+            pid: PID_CHECKED,
+            tid: 0,
+            args,
+        });
+        cursor += dur;
+    }
+    events
+}
+
+/// Build the serving timeline from a [`ServeReport`]. All times come from
+/// the report's virtual/modeled clocks:
+///
+/// * tid 0 — batching windows (first arrival → window close);
+/// * tid 1 — coalesced launches, laid back-to-back from their window's
+///   close;
+/// * tid 2 — planner trial sweeps (cache misses), likewise;
+/// * tid `16 + id` — each request's `queue` → `plan` → `execute` chain.
+pub fn serve_timeline(report: &ServeReport) -> Vec<TraceEvent> {
+    let mut events = Vec::new();
+
+    // Window extents from the per-request records: close is arrival+queue
+    // (identical for every member), open is the earliest member arrival.
+    let mut windows: BTreeMap<usize, (f64, f64, u64)> = BTreeMap::new();
+    for r in &report.requests {
+        let close = r.arrival_s + r.queue_s;
+        let e = windows.entry(r.window).or_insert((r.arrival_s, close, 0));
+        e.0 = e.0.min(r.arrival_s);
+        e.1 = e.1.max(close);
+        e.2 += 1;
+    }
+    for (&w, &(open, close, n)) in &windows {
+        events.push(TraceEvent {
+            name: format!("window {w}"),
+            cat: "serve".into(),
+            ts_us: open * US,
+            dur_us: (close - open) * US,
+            pid: PID_SERVE,
+            tid: 0,
+            args: vec![("requests".into(), ArgValue::U64(n))],
+        });
+    }
+
+    let close_of = |w: usize| windows.get(&w).map_or(0.0, |&(_, close, _)| close);
+
+    let mut launch_cursor: BTreeMap<usize, f64> = BTreeMap::new();
+    for l in &report.launches {
+        let at = *launch_cursor
+            .entry(l.window)
+            .or_insert_with(|| close_of(l.window));
+        events.push(TraceEvent {
+            name: format!("launch {}", l.algo),
+            cat: "serve".into(),
+            ts_us: at * US,
+            dur_us: l.modeled_seconds * US,
+            pid: PID_SERVE,
+            tid: 1,
+            args: vec![
+                ("endpoint".into(), l.endpoint.as_str().into()),
+                ("window".into(), (l.window as u64).into()),
+                ("requests".into(), (l.requests as u64).into()),
+                ("transactions".into(), l.transactions.into()),
+                ("checked".into(), u64::from(l.checked).into()),
+            ],
+        });
+        *launch_cursor.get_mut(&l.window).expect("entry above") = at + l.modeled_seconds;
+    }
+
+    let mut sweep_cursor: BTreeMap<usize, f64> = BTreeMap::new();
+    for s in &report.plan_sweeps {
+        let at = *sweep_cursor
+            .entry(s.window)
+            .or_insert_with(|| close_of(s.window));
+        let best = s
+            .trials
+            .iter()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .map_or("none", |(n, _)| n.as_str());
+        events.push(TraceEvent {
+            name: format!("plan {}", s.endpoint),
+            cat: "serve".into(),
+            ts_us: at * US,
+            dur_us: s.planning_seconds * US,
+            pid: PID_SERVE,
+            tid: 2,
+            args: vec![
+                ("request_id".into(), s.request_id.into()),
+                ("window".into(), (s.window as u64).into()),
+                ("trials".into(), (s.trials.len() as u64).into()),
+                ("winner".into(), best.into()),
+            ],
+        });
+        *sweep_cursor.get_mut(&s.window).expect("entry above") = at + s.planning_seconds;
+    }
+
+    for r in &report.requests {
+        let tid = 16 + r.id;
+        let close = r.arrival_s + r.queue_s;
+        let common = |name: &str| {
+            vec![
+                ("id".into(), ArgValue::U64(r.id)),
+                ("endpoint".into(), r.endpoint.as_str().into()),
+                ("phase".into(), name.into()),
+                ("cache_hit".into(), u64::from(r.cache_hit).into()),
+                ("checked".into(), u64::from(r.checked).into()),
+                ("fell_back".into(), u64::from(r.fell_back).into()),
+            ]
+        };
+        events.push(TraceEvent {
+            name: format!("req {} queue", r.id),
+            cat: "serve".into(),
+            ts_us: r.arrival_s * US,
+            dur_us: r.queue_s * US,
+            pid: PID_SERVE,
+            tid,
+            args: common("queue"),
+        });
+        events.push(TraceEvent {
+            name: format!("req {} plan", r.id),
+            cat: "serve".into(),
+            ts_us: close * US,
+            dur_us: r.plan_s * US,
+            pid: PID_SERVE,
+            tid,
+            args: common("plan"),
+        });
+        events.push(TraceEvent {
+            name: format!("req {} execute", r.id),
+            cat: "serve".into(),
+            ts_us: (close + r.plan_s) * US,
+            dur_us: r.execute_s * US,
+            pid: PID_SERVE,
+            tid,
+            args: common("execute"),
+        });
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memconv_gpusim::{BlockSpan, LaunchSpanRecord};
+    use memconv_serve::{LaunchRecord, PlanSweepRecord, RequestMetrics};
+
+    fn stats(gld: u64, l2: u64) -> KernelStats {
+        KernelStats {
+            gld_transactions: gld,
+            l2_accesses: l2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn gpu_timeline_lays_launches_back_to_back() {
+        let dev = DeviceConfig::test_tiny();
+        let rec = LaunchSpanRecord {
+            seq: 0,
+            grid: (2, 1, 1),
+            block_dim: 32,
+            total_blocks: 2,
+            sim_blocks: 2,
+            stats: KernelStats {
+                threads: 64,
+                launches: 1,
+                ..stats(100, 40)
+            },
+            flush: stats(0, 4),
+            blocks: vec![
+                BlockSpan {
+                    linear: 0,
+                    stats: stats(60, 20),
+                },
+                BlockSpan {
+                    linear: 1,
+                    stats: stats(40, 16),
+                },
+            ],
+            blocks_omitted: 0,
+        };
+        let mut second = rec.clone();
+        second.seq = 1;
+        let evs = gpu_timeline(&[rec, second], &dev);
+        // launch, 2 blocks, flush — twice.
+        assert_eq!(evs.len(), 8);
+        assert_eq!(evs[0].name, "launch #0");
+        assert_eq!(evs[4].name, "launch #1");
+        assert!(evs[4].ts_us > evs[0].ts_us);
+        assert!((evs[4].ts_us - (evs[0].ts_us + evs[0].dur_us)).abs() < 1e-9);
+        // Blocks sit inside their launch and never overlap.
+        assert!(evs[1].ts_us >= evs[0].ts_us);
+        assert!(evs[2].ts_us >= evs[1].ts_us + evs[1].dur_us - 1e-12);
+        // Per-block args carry the record/replay phase split.
+        assert!(evs[1]
+            .args
+            .iter()
+            .any(|(k, v)| k == "record_gld_transactions" && *v == ArgValue::U64(60)));
+        assert!(evs[1]
+            .args
+            .iter()
+            .any(|(k, v)| k == "replay_l2_accesses" && *v == ArgValue::U64(20)));
+    }
+
+    #[test]
+    fn serve_timeline_anchors_phases_on_the_virtual_clock() {
+        let rep = ServeReport {
+            requests: vec![RequestMetrics {
+                id: 3,
+                endpoint: "ep".into(),
+                window: 0,
+                arrival_s: 1.0,
+                queue_s: 0.5,
+                plan_s: 0.25,
+                execute_s: 0.125,
+                batched_with: 1,
+                cache_hit: false,
+                checked: false,
+                fell_back: false,
+            }],
+            launches: vec![LaunchRecord {
+                window: 0,
+                endpoint: "ep".into(),
+                algo: "fused-nchw".into(),
+                requests: 1,
+                modeled_seconds: 0.125,
+                transactions: 99,
+                checked: false,
+            }],
+            plan_sweeps: vec![PlanSweepRecord {
+                window: 0,
+                request_id: 3,
+                endpoint: "ep".into(),
+                trials: vec![("a".into(), 2.0), ("b".into(), 1.0)],
+                planning_seconds: 0.25,
+            }],
+            cache_hits: 0,
+            cache_misses: 1,
+        };
+        let evs = serve_timeline(&rep);
+        // window + launch + sweep + 3 request phases.
+        assert_eq!(evs.len(), 6);
+        let exec = evs.iter().find(|e| e.name == "req 3 execute").unwrap();
+        assert!((exec.ts_us - 1.75e6).abs() < 1e-6);
+        let sweep = evs.iter().find(|e| e.name == "plan ep").unwrap();
+        assert!(sweep
+            .args
+            .iter()
+            .any(|(k, v)| k == "winner" && *v == ArgValue::Str("b".into())));
+        // Launch starts at the window close.
+        let launch = evs.iter().find(|e| e.name == "launch fused-nchw").unwrap();
+        assert!((launch.ts_us - 1.5e6).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,121 @@
+//! The observability layer's two load-bearing properties:
+//!
+//! 1. **Engine independence** — the exported chrome trace is *byte
+//!    identical* across `LaunchMode::Sequential` and
+//!    `LaunchMode::Parallel` at 1, 2 and 8 worker threads, because every
+//!    span is built from engine-independent counter deltas and modeled
+//!    time (never a wall clock).
+//! 2. **Counter invisibility** — enabling span recording changes no
+//!    [`KernelStats`] a launch returns.
+//!
+//! Plus a conservation check: a fully-simulated launch's per-block deltas
+//! and flush residual sum exactly to its returned counters.
+
+use memconv::prelude::*;
+use memconv_gpusim::{LaunchSpanRecord, SpanConfig};
+use memconv_obs::{chrome_trace, gpu_timeline};
+use proptest::prelude::*;
+
+fn workload(seed: u64, n: usize, c: usize, hw: usize, f: usize) -> (Tensor4, FilterBank) {
+    let mut rng = TensorRng::new(seed);
+    (rng.tensor(n, c, hw, hw), rng.filter_bank(2, c, f, f))
+}
+
+/// Run the fused NCHW kernel under `mode`/`threads` with span recording
+/// on, returning the launch counters and the recorded spans.
+fn run_recorded(
+    mode: LaunchMode,
+    threads: Option<usize>,
+    input: &Tensor4,
+    bank: &FilterBank,
+) -> (KernelStats, Vec<LaunchSpanRecord>) {
+    let mut sim = GpuSim::new(DeviceConfig::test_tiny())
+        .with_launch_mode(mode)
+        .with_span_recording(SpanConfig::default());
+    sim.set_parallel_threads(threads);
+    let (_, stats) = conv_nchw_ours(&mut sim, input, bank, &OursConfig::full());
+    (stats, sim.take_launch_spans())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Byte-identical traces across both engines and 1/2/8 worker threads.
+    #[test]
+    fn trace_bytes_identical_across_engines_and_thread_counts(
+        n in 1usize..3,
+        c in 1usize..3,
+        hw in 6usize..13,
+        f in prop::sample::select(vec![3usize, 5]),
+        seed in any::<u64>(),
+    ) {
+        let (input, bank) = workload(seed, n, c, hw, f);
+        let dev = DeviceConfig::test_tiny();
+
+        let (seq_stats, seq_spans) =
+            run_recorded(LaunchMode::Sequential, None, &input, &bank);
+        let reference = chrome_trace(&gpu_timeline(&seq_spans, &dev));
+        prop_assert!(!seq_spans.is_empty());
+        prop_assert!(reference.contains("\"ph\":\"X\""));
+
+        for threads in [1usize, 2, 8] {
+            let (par_stats, par_spans) =
+                run_recorded(LaunchMode::Parallel, Some(threads), &input, &bank);
+            prop_assert_eq!(&par_stats, &seq_stats);
+            prop_assert_eq!(&par_spans, &seq_spans);
+            let trace = chrome_trace(&gpu_timeline(&par_spans, &dev));
+            prop_assert_eq!(trace, reference.clone());
+        }
+    }
+
+    /// Span recording never perturbs the counters a launch returns.
+    #[test]
+    fn recording_is_counter_invisible(
+        n in 1usize..3,
+        c in 1usize..3,
+        hw in 6usize..13,
+        f in prop::sample::select(vec![3usize, 5]),
+        seed in any::<u64>(),
+        mode in prop::sample::select(vec![LaunchMode::Sequential, LaunchMode::Parallel]),
+    ) {
+        let (input, bank) = workload(seed, n, c, hw, f);
+
+        let mut plain = GpuSim::new(DeviceConfig::test_tiny()).with_launch_mode(mode);
+        let (out_plain, stats_plain) =
+            conv_nchw_ours(&mut plain, &input, &bank, &OursConfig::full());
+        prop_assert!(!plain.span_recording_enabled());
+        prop_assert!(plain.take_launch_spans().is_empty());
+
+        let (stats_rec, spans) = run_recorded(mode, None, &input, &bank);
+        prop_assert_eq!(stats_rec, stats_plain);
+        prop_assert!(!spans.is_empty());
+        // And the simulation result itself is untouched.
+        let mut rec = GpuSim::new(DeviceConfig::test_tiny())
+            .with_launch_mode(mode)
+            .with_span_recording(SpanConfig::default());
+        let (out_rec, _) = conv_nchw_ours(&mut rec, &input, &bank, &OursConfig::full());
+        prop_assert_eq!(out_rec.as_slice(), out_plain.as_slice());
+    }
+
+    /// For fully-simulated launches, block deltas + flush residual +
+    /// the launch's ground-truth header sum exactly to its counters.
+    #[test]
+    fn block_spans_conserve_launch_counters(
+        n in 1usize..3,
+        c in 1usize..3,
+        hw in 6usize..13,
+        seed in any::<u64>(),
+    ) {
+        let (input, bank) = workload(seed, n, c, hw, 3);
+        let (_, spans) = run_recorded(LaunchMode::Sequential, None, &input, &bank);
+        for rec in &spans {
+            prop_assume!(rec.sim_blocks == rec.total_blocks && rec.blocks_omitted == 0);
+            let mut sum = KernelStats::for_launch(rec.stats.threads);
+            for b in &rec.blocks {
+                sum += &b.stats;
+            }
+            sum += &rec.flush;
+            prop_assert_eq!(&sum, &rec.stats);
+        }
+    }
+}

@@ -7,6 +7,13 @@
 //! round-trippable. Floats are written with Rust's `Display` (shortest
 //! round-trip decimal, no exponent), so *save → load → save is
 //! byte-identical* — the property the persistence proptest pins.
+//!
+//! Format version 2 also persists each entry's LRU recency `tick` and
+//! restores it verbatim, so the eviction victim sequence is identical
+//! before and after a round trip (proptest-pinned in
+//! `tests/prop_cache_eviction.rs`). Looking entries up *after* loading
+//! legitimately changes their ticks — and therefore the re-saved bytes —
+//! exactly as it would have in the cache that was saved.
 
 use crate::planner::{Plan, PlanConfig};
 use memconv::gpusim::DeviceConfig;
@@ -22,9 +29,11 @@ pub fn cache_key(device: &DeviceConfig, g: &ConvGeometry) -> String {
 struct CacheEntry {
     key: String,
     plan: Plan,
-    /// Monotone recency stamp; the minimum is the LRU victim. Not
-    /// persisted — load re-stamps in stored order, preserving relative
-    /// recency.
+    /// Monotone recency stamp; the minimum is the LRU victim. Persisted
+    /// per entry (format version 2) and restored verbatim on load, so the
+    /// eviction victim sequence after a save→load round trip is identical
+    /// to the never-persisted cache's. (Version-1 files carried no ticks;
+    /// they are still readable, with recency degraded to file order.)
     tick: u64,
 }
 
@@ -159,12 +168,12 @@ impl PlanCache {
         let entries: Vec<String> = self.entries.iter().map(entry_to_json).collect();
         if entries.is_empty() {
             format!(
-                "{{\n  \"version\": 1,\n  \"capacity\": {},\n  \"entries\": []\n}}\n",
+                "{{\n  \"version\": 2,\n  \"capacity\": {},\n  \"entries\": []\n}}\n",
                 self.capacity
             )
         } else {
             format!(
-                "{{\n  \"version\": 1,\n  \"capacity\": {},\n  \"entries\": [\n    {}\n  ]\n}}\n",
+                "{{\n  \"version\": 2,\n  \"capacity\": {},\n  \"entries\": [\n    {}\n  ]\n}}\n",
                 self.capacity,
                 entries.join(",\n    ")
             )
@@ -173,13 +182,23 @@ impl PlanCache {
 
     /// Parse the persistence format.
     ///
+    /// Version 2 (current) persists each entry's recency `tick`; they are
+    /// restored verbatim (and the cache's clock resumes past the newest),
+    /// so LRU eviction order survives the round trip. Version-1 files are
+    /// still accepted: they carried no ticks, so recency degrades to file
+    /// order — the best reconstruction the legacy format permits.
+    ///
     /// # Errors
     ///
-    /// [`CacheError::Parse`] on version/field mismatches.
+    /// [`CacheError::Parse`] on version/field mismatches, a zero persisted
+    /// capacity (corrupt state, never silently rewritten), a version-2
+    /// entry without a tick, or duplicate ticks (recency must be a total
+    /// order).
     pub fn from_json(s: &str) -> Result<Self, CacheError> {
         let mut capacity: Option<usize> = None;
         let mut version: Option<u64> = None;
         let mut cache = PlanCache::new(1);
+        let mut ticks: Vec<Option<u64>> = Vec::new();
         for line in s.lines() {
             let line = line.trim().trim_end_matches(',');
             if let Some(v) = raw_field(line, "version") {
@@ -193,23 +212,47 @@ impl PlanCache {
                 }
                 continue;
             }
-            let entry = entry_from_json(line)?;
-            cache.tick += 1;
-            let tick = cache.tick;
+            let (key, plan, tick) = entry_from_json(line)?;
+            ticks.push(tick);
             cache.entries.push(CacheEntry {
-                key: entry.0,
-                plan: entry.1,
-                tick,
+                key,
+                plan,
+                tick: 0, // stamped below once the version is known
             });
         }
         match version {
-            Some(1) => {}
+            Some(1) => {
+                // Legacy files carry no ticks: re-stamp in stored order.
+                for (i, e) in cache.entries.iter_mut().enumerate() {
+                    e.tick = i as u64 + 1;
+                }
+            }
+            Some(2) => {
+                for (e, tick) in cache.entries.iter_mut().zip(&ticks) {
+                    e.tick = tick.ok_or_else(|| {
+                        CacheError::Parse(format!("entry `{}` missing tick", e.key))
+                    })?;
+                }
+                let mut seen: Vec<u64> = cache.entries.iter().map(|e| e.tick).collect();
+                seen.sort_unstable();
+                if seen.windows(2).any(|w| w[0] == w[1]) {
+                    return Err(CacheError::Parse("duplicate recency ticks".into()));
+                }
+            }
             Some(v) => return Err(CacheError::Parse(format!("unsupported version {v}"))),
             None => return Err(CacheError::Parse("missing version".into())),
         }
-        cache.capacity = capacity
-            .ok_or_else(|| CacheError::Parse("missing capacity".into()))?
-            .max(1);
+        // Resume the recency clock past the newest persisted stamp: every
+        // future get/insert outranks every persisted entry, exactly as it
+        // would have in the cache that was saved.
+        cache.tick = cache.entries.iter().map(|e| e.tick).max().unwrap_or(0);
+        let capacity = capacity.ok_or_else(|| CacheError::Parse("missing capacity".into()))?;
+        if capacity == 0 {
+            return Err(CacheError::Parse(
+                "capacity 0 is corrupt state (a live cache always holds >= 1)".into(),
+            ));
+        }
+        cache.capacity = capacity;
         if cache.entries.len() > cache.capacity {
             return Err(CacheError::Parse(format!(
                 "{} entries exceed capacity {}",
@@ -251,22 +294,29 @@ fn entry_to_json(e: &CacheEntry) -> String {
         } => format!(
             "{{\"key\":\"{}\",\"algo\":\"{}\",\"kind\":\"ours\",\"column_reuse\":{column_reuse},\
              \"rows_per_thread\":{rows_per_thread},\"block_warps\":{block_warps},\
-             \"modeled_seconds\":{}}}",
-            e.key, e.plan.algo, e.plan.modeled_seconds
+             \"modeled_seconds\":{},\"tick\":{}}}",
+            e.key, e.plan.algo, e.plan.modeled_seconds, e.tick
         ),
         PlanConfig::Baseline => format!(
-            "{{\"key\":\"{}\",\"algo\":\"{}\",\"kind\":\"baseline\",\"modeled_seconds\":{}}}",
-            e.key, e.plan.algo, e.plan.modeled_seconds
+            "{{\"key\":\"{}\",\"algo\":\"{}\",\"kind\":\"baseline\",\"modeled_seconds\":{},\
+             \"tick\":{}}}",
+            e.key, e.plan.algo, e.plan.modeled_seconds, e.tick
         ),
     }
 }
 
-fn entry_from_json(line: &str) -> Result<(String, Plan), CacheError> {
+/// Parse one entry line; `tick` is `None` for legacy (version-1) entries —
+/// the caller decides whether that is acceptable for the file's version.
+fn entry_from_json(line: &str) -> Result<(String, Plan, Option<u64>), CacheError> {
     let key = str_field(line, "key")?;
     let algo = str_field(line, "algo")?;
     let kind = str_field(line, "kind")?;
     let modeled_seconds: f64 =
         parse_num(&raw_required(line, "modeled_seconds")?, "modeled_seconds")?;
+    let tick = match raw_field(line, "tick") {
+        Some(raw) => Some(parse_num::<u64>(&raw, "tick")?),
+        None => None,
+    };
     let config = match kind.as_str() {
         "ours" => PlanConfig::Ours {
             column_reuse: parse_bool(&raw_required(line, "column_reuse")?)?,
@@ -283,6 +333,7 @@ fn entry_from_json(line: &str) -> Result<(String, Plan), CacheError> {
             config,
             modeled_seconds,
         },
+        tick,
     ))
 }
 
@@ -385,10 +436,53 @@ mod tests {
         let first = c.to_json();
         let loaded = PlanCache::from_json(&first).unwrap();
         assert_eq!(loaded.to_json(), first);
-        // lookups never perturb the byte stream (entries stay in order)
+        // A lookup bumps the entry's recency tick — the re-saved bytes
+        // legitimately change, but reloading them still round-trips.
         let mut loaded = loaded;
         assert_eq!(loaded.get("k2").unwrap(), baseline_plan());
-        assert_eq!(loaded.to_json(), first);
+        let resaved = loaded.to_json();
+        assert_ne!(resaved, first, "recency must be persisted, not file order");
+        assert_eq!(PlanCache::from_json(&resaved).unwrap().to_json(), resaved);
+    }
+
+    #[test]
+    fn reload_preserves_eviction_order_not_file_order() {
+        // `a` is inserted first but refreshed last, so file order (a, b)
+        // disagrees with recency order (b older). The pre-fix loader
+        // re-stamped from line order and evicted `b`; persisting ticks
+        // makes the reloaded cache evict `a`'s true LRU peer `b`... i.e.
+        // the same victim the never-persisted cache picks.
+        let mut c = PlanCache::new(2);
+        c.insert("a".into(), ours_plan(1));
+        c.insert("b".into(), ours_plan(2));
+        let _ = c.get("a"); // recency now: b < a, while file order stays a, b
+        let mut reloaded = PlanCache::from_json(&c.to_json()).unwrap();
+        c.insert("c".into(), ours_plan(3));
+        reloaded.insert("c".into(), ours_plan(3));
+        for cache in [&mut c, &mut reloaded] {
+            assert!(cache.get("a").is_some(), "refreshed entry must survive");
+            assert!(cache.get("b").is_none(), "true LRU entry must be evicted");
+            assert!(cache.get("c").is_some());
+        }
+    }
+
+    #[test]
+    fn legacy_version_1_files_load_with_file_order_recency() {
+        let legacy = "{\n  \"version\": 1,\n  \"capacity\": 2,\n  \"entries\": [\n    \
+                      {\"key\":\"old\",\"algo\":\"gemm-im2col\",\"kind\":\"baseline\",\
+                      \"modeled_seconds\":0.000734},\n    \
+                      {\"key\":\"new\",\"algo\":\"gemm-im2col\",\"kind\":\"baseline\",\
+                      \"modeled_seconds\":0.000734}\n  ]\n}\n";
+        let mut c = PlanCache::from_json(legacy).unwrap();
+        assert_eq!(c.len(), 2);
+        // File order is the only recency signal a v1 file has: the first
+        // entry is the LRU victim.
+        c.insert("k3".into(), baseline_plan());
+        assert!(c.get("old").is_none());
+        assert!(c.get("new").is_some());
+        // Re-saving upgrades to version 2 with explicit ticks.
+        assert!(c.to_json().contains("\"version\": 2"));
+        assert!(c.to_json().contains("\"tick\":"));
     }
 
     #[test]
@@ -407,7 +501,7 @@ mod tests {
             PlanCache::from_json("{}"),
             Err(CacheError::Parse(_))
         ));
-        let bad_version = "{\n\"version\": 2,\n\"capacity\": 4,\n\"entries\": []\n}";
+        let bad_version = "{\n\"version\": 3,\n\"capacity\": 4,\n\"entries\": []\n}";
         assert!(matches!(
             PlanCache::from_json(bad_version),
             Err(CacheError::Parse(_))
@@ -421,6 +515,34 @@ mod tests {
         assert!(matches!(
             PlanCache::load("/nonexistent/plans.json"),
             Err(CacheError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn zero_capacity_is_corrupt_not_clamped() {
+        let zero = "{\n\"version\": 2,\n\"capacity\": 0,\n\"entries\": []\n}";
+        let err = PlanCache::from_json(zero).unwrap_err();
+        assert!(matches!(err, CacheError::Parse(_)));
+        assert!(err.to_string().contains("capacity 0"));
+        // The constructor keeps its documented floor — only *persisted*
+        // zero is rejected as corrupt state.
+        assert_eq!(PlanCache::new(0).capacity(), 1);
+    }
+
+    #[test]
+    fn v2_entries_require_unique_ticks() {
+        let missing = "{\n\"version\": 2,\n\"capacity\": 4,\n\"entries\": [\n\
+                       {\"key\":\"k\",\"algo\":\"x\",\"kind\":\"baseline\",\"modeled_seconds\":1}\n]\n}";
+        assert!(matches!(
+            PlanCache::from_json(missing),
+            Err(CacheError::Parse(_))
+        ));
+        let dup = "{\n\"version\": 2,\n\"capacity\": 4,\n\"entries\": [\n\
+                   {\"key\":\"k1\",\"algo\":\"x\",\"kind\":\"baseline\",\"modeled_seconds\":1,\"tick\":3},\n\
+                   {\"key\":\"k2\",\"algo\":\"x\",\"kind\":\"baseline\",\"modeled_seconds\":1,\"tick\":3}\n]\n}";
+        assert!(matches!(
+            PlanCache::from_json(dup),
+            Err(CacheError::Parse(_))
         ));
     }
 }

@@ -35,6 +35,9 @@ pub mod planner;
 pub mod scheduler;
 
 pub use cache::{CacheError, PlanCache};
-pub use metrics::{percentile, percentiles, Percentiles, RequestMetrics, ServeReport};
+pub use metrics::{
+    percentile, percentiles, LaunchRecord, Percentiles, PlanSweepRecord, RequestMetrics,
+    ServeReport,
+};
 pub use planner::{plan_2d, plan_nchw, Plan, PlanConfig, PlanError, PlanOutcome};
 pub use scheduler::{ConvServer, Endpoint, Request, Response, ServeConfig, ServeError};

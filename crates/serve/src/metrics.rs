@@ -31,8 +31,22 @@ pub struct Percentiles {
 
 /// p50/p95/p99 of `xs` (unsorted; a sorted copy is taken). All zero for
 /// empty input.
+///
+/// ## NaN policy
+///
+/// A NaN latency is always a caller bug (modeled times are finite by
+/// construction), and `total_cmp` sorts NaN *last* — so a single NaN would
+/// silently surface as the p99. Debug builds therefore assert on NaN
+/// input; release builds filter NaNs out before sorting, so quantiles are
+/// computed over the valid samples only. The scheduler additionally
+/// debug-asserts finiteness at record time, keeping NaN out of
+/// [`ServeReport`] in the first place.
 pub fn percentiles(xs: &[f64]) -> Percentiles {
-    let mut sorted = xs.to_vec();
+    debug_assert!(
+        xs.iter().all(|x| !x.is_nan()),
+        "NaN latency sample reached percentiles() — record-time validation failed"
+    );
+    let mut sorted: Vec<f64> = xs.iter().copied().filter(|x| !x.is_nan()).collect();
     sorted.sort_by(f64::total_cmp);
     Percentiles {
         p50: percentile(&sorted, 50),
@@ -48,6 +62,11 @@ pub struct RequestMetrics {
     pub id: u64,
     /// Endpoint name the request hit.
     pub endpoint: String,
+    /// Batching window (0-based, in trace order) that served this request.
+    pub window: usize,
+    /// Arrival time on the trace's virtual clock, seconds — the anchor
+    /// observability timelines place the queue span at.
+    pub arrival_s: f64,
     /// Virtual queueing delay: the batching window closed this long after
     /// the request arrived.
     pub queue_s: f64,
@@ -70,6 +89,8 @@ pub struct RequestMetrics {
 /// One coalesced launch the scheduler issued.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LaunchRecord {
+    /// Batching window (0-based) the launch was issued from.
+    pub window: usize,
     /// Endpoint served.
     pub endpoint: String,
     /// Algorithm that ran (`checked:` prefix for the verified path).
@@ -84,14 +105,32 @@ pub struct LaunchRecord {
     pub checked: bool,
 }
 
-/// Trace-level rollup: every request, every launch, and the cache
-/// counters accumulated over one `run_trace`.
+/// One planner trial sweep a cache miss paid for, recorded so timelines
+/// can show where planning time went.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanSweepRecord {
+    /// Batching window the miss occurred in.
+    pub window: usize,
+    /// Request that paid for the sweep.
+    pub request_id: u64,
+    /// Endpoint whose geometry was planned.
+    pub endpoint: String,
+    /// Every `(candidate name, modeled seconds)` evaluated, in trial order.
+    pub trials: Vec<(String, f64)>,
+    /// Total modeled cost of the sweep.
+    pub planning_seconds: f64,
+}
+
+/// Trace-level rollup: every request, every launch, every planner sweep,
+/// and the cache counters accumulated over one `run_trace`.
 #[derive(Debug, Clone, Default)]
 pub struct ServeReport {
     /// Per-request records, in submission order.
     pub requests: Vec<RequestMetrics>,
     /// Per-launch records, in issue order.
     pub launches: Vec<LaunchRecord>,
+    /// Planner trial sweeps, in miss order (one per cache miss).
+    pub plan_sweeps: Vec<PlanSweepRecord>,
     /// Plan-cache hits during the trace.
     pub cache_hits: u64,
     /// Plan-cache misses during the trace (each paid a planner sweep).
@@ -183,6 +222,25 @@ mod tests {
         assert_eq!(p.p99, 3.0);
         let empty = percentiles(&[]);
         assert_eq!((empty.p50, empty.p95, empty.p99), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "NaN latency sample")]
+    fn nan_samples_are_rejected_in_debug_builds() {
+        percentiles(&[1.0, f64::NAN, 2.0]);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn nan_samples_are_filtered_in_release_builds() {
+        // All-NaN input degrades to the empty-input zeros, never NaN.
+        let p = percentiles(&[f64::NAN, f64::NAN]);
+        assert_eq!((p.p50, p.p95, p.p99), (0.0, 0.0, 0.0));
+        // Mixed input: quantiles come from the valid samples only.
+        let p = percentiles(&[3.0, f64::NAN, 1.0, 2.0]);
+        assert_eq!(p.p50, 2.0);
+        assert!(!p.p99.is_nan());
     }
 
     #[test]

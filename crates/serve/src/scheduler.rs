@@ -24,7 +24,7 @@
 //! Both properties are proptest-pinned in `tests/prop_serve.rs`.
 
 use crate::cache::{cache_key, PlanCache};
-use crate::metrics::{LaunchRecord, RequestMetrics, ServeReport};
+use crate::metrics::{LaunchRecord, PlanSweepRecord, RequestMetrics, ServeReport};
 use crate::planner::{instantiate_nchw, plan_nchw, Plan, PlanConfig, PlanError};
 use memconv::checked::{conv2d_checked, CheckedConfig, CheckedError};
 use memconv::core::OursConfig;
@@ -237,6 +237,7 @@ impl ConvServer {
         let mut responses: Vec<Option<Response>> = (0..requests.len()).map(|_| None).collect();
         let mut metrics: Vec<Option<RequestMetrics>> = (0..requests.len()).map(|_| None).collect();
         let mut launches: Vec<LaunchRecord> = Vec::new();
+        let mut plan_sweeps: Vec<PlanSweepRecord> = Vec::new();
 
         for (w0, chunk) in requests.chunks(window).enumerate() {
             let base = w0 * window;
@@ -261,6 +262,13 @@ impl ConvServer {
                         let outcome = plan_nchw(&self.device, &g, self.cfg.trial_sample)
                             .map_err(|source| ServeError::Plan { id: req.id, source })?;
                         self.cache.insert(key, outcome.plan.clone());
+                        plan_sweeps.push(PlanSweepRecord {
+                            window: w0,
+                            request_id: req.id,
+                            endpoint: self.endpoints[req.endpoint].name.clone(),
+                            trials: outcome.trials,
+                            planning_seconds: outcome.planning_seconds,
+                        });
                         plans.push(outcome.plan);
                         plan_cost.push(outcome.planning_seconds);
                         plan_hit.push(false);
@@ -298,6 +306,7 @@ impl ConvServer {
             for (group, out) in groups.iter().zip(outs) {
                 let out = out?;
                 launches.push(LaunchRecord {
+                    window: w0,
                     endpoint: endpoints[group.endpoint].name.clone(),
                     algo: out.algo.clone(),
                     requests: group.members.len(),
@@ -308,10 +317,25 @@ impl ConvServer {
                 for (&i, output) in group.members.iter().zip(out.outputs) {
                     let req = &chunk[i];
                     responses[base + i] = Some(Response { id: req.id, output });
+                    let queue_s = (close_s - req.arrival_s).max(0.0);
+                    // Record-time NaN guard (see `metrics::percentiles`):
+                    // modeled durations are finite by construction, so a
+                    // NaN here means a corrupted trace clock or timing
+                    // model — catch it where it happens, not at the p99.
+                    debug_assert!(
+                        req.arrival_s.is_finite()
+                            && queue_s.is_finite()
+                            && plan_cost[i].is_finite()
+                            && out.modeled_seconds.is_finite(),
+                        "non-finite latency for request {}",
+                        req.id
+                    );
                     metrics[base + i] = Some(RequestMetrics {
                         id: req.id,
                         endpoint: endpoints[req.endpoint].name.clone(),
-                        queue_s: (close_s - req.arrival_s).max(0.0),
+                        window: w0,
+                        arrival_s: req.arrival_s,
+                        queue_s,
                         plan_s: plan_cost[i],
                         execute_s: out.modeled_seconds,
                         batched_with: group.members.len(),
@@ -329,6 +353,7 @@ impl ConvServer {
                 .map(|m| m.expect("every request served"))
                 .collect(),
             launches,
+            plan_sweeps,
             cache_hits: self.cache.hits() - hits0,
             cache_misses: self.cache.misses() - misses0,
         };

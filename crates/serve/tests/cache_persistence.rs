@@ -83,10 +83,13 @@ fn saved_cache_reloads_byte_identical_and_skips_retuning() {
         assert_eq!(a.output.as_slice(), b.output.as_slice());
     }
 
-    // Re-saving after re-querying is still byte-identical: lookups bump
-    // recency but never reorder the persisted stream.
+    // Re-saving after re-querying records the bumped recency ticks (so a
+    // reload preserves eviction order) without reordering the persisted
+    // stream, and the new file round-trips byte-identically.
     second.cache().save(&path).unwrap();
-    assert_eq!(std::fs::read_to_string(&path).unwrap(), saved);
+    let resaved = std::fs::read_to_string(&path).unwrap();
+    assert_ne!(resaved, saved, "recency bumps must be persisted");
+    assert_eq!(PlanCache::load(&path).unwrap().to_json(), resaved);
 }
 
 #[test]

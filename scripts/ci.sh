@@ -25,4 +25,7 @@ cargo run --release -q -p memconv-bench --bin faults -- --smoke --gate
 echo "==> serving gate (serve --smoke --gate)"
 cargo run --release -q -p memconv-bench --bin serve -- --smoke --gate
 
+echo "==> observability gate (profile --smoke --gate)"
+cargo run --release -q -p memconv-bench --bin profile -- --smoke --gate
+
 echo "CI gate passed."

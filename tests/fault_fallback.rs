@@ -206,3 +206,65 @@ fn attempt_count_never_exceeds_chain_budget() {
         assert_eq!(out.as_slice(), want.as_slice(), "{}", kind.name());
     }
 }
+
+/// The dispatcher arms the hang watchdog for its whole chain; the caller's
+/// budget must come back on *every* return path — success, exhaustion, and
+/// each shape-validation early return.
+#[test]
+fn watchdog_budget_is_restored_on_every_return_path() {
+    let (input, bank) = workload();
+    let mut rng = TensorRng::new(0xB06);
+    let wrong_channels = rng.filter_bank(2, 3, 3, 3); // input has 2 channels
+    let huge_filter = rng.filter_bank(2, 2, 15, 15); // larger than 12×12 input
+    let no_filters = rng.filter_bank(0, 2, 3, 3); // empty output
+
+    for budget in [Some(12_345u64), None] {
+        let mut sim = GpuSim::new(DeviceConfig::test_tiny());
+
+        // Success path.
+        sim.set_watchdog_budget(budget);
+        conv2d_checked(
+            &mut sim,
+            &input,
+            &bank,
+            &OursConfig::full(),
+            &CheckedConfig::default(),
+        )
+        .expect("fault-free run serves");
+        assert_eq!(sim.watchdog_budget(), budget, "served path");
+
+        // Exhaustion path: every element corrupt on every simulated tier,
+        // CPU rescue disabled.
+        sim.set_fault_plan(Some(
+            FaultPlan::new(31).with_rate(FaultKind::GlobalBitFlip, 1),
+        ));
+        let ccfg = CheckedConfig {
+            allow_cpu_fallback: false,
+            ..CheckedConfig::default()
+        };
+        let res = conv2d_checked(&mut sim, &input, &bank, &OursConfig::full(), &ccfg);
+        assert!(matches!(res, Err(CheckedError::Exhausted { .. })));
+        assert_eq!(sim.watchdog_budget(), budget, "exhausted path");
+        sim.set_fault_plan(None);
+
+        // Shape-validation early returns (nothing launched).
+        for (name, weights) in [
+            ("channel mismatch", &wrong_channels),
+            ("oversized filter", &huge_filter),
+            ("empty output", &no_filters),
+        ] {
+            let res = conv2d_checked(
+                &mut sim,
+                &input,
+                weights,
+                &OursConfig::full(),
+                &CheckedConfig::default(),
+            );
+            assert!(
+                matches!(res, Err(CheckedError::InvalidShape(_))),
+                "{name}: expected InvalidShape"
+            );
+            assert_eq!(sim.watchdog_budget(), budget, "{name} path");
+        }
+    }
+}
