@@ -3,8 +3,10 @@
 //! claim — it runs the *same* launch (identical counters, verified at the
 //! end) through `LaunchMode::Sequential` and `LaunchMode::Parallel`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use memconv::gpusim::{LaneMask, VF, VU};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use memconv::gpusim::memory::hierarchy::{new_l2, replay_trace};
+use memconv::gpusim::trace::{BlockTrace, StoreBuffer};
+use memconv::gpusim::{GlobalMem, LaneMask, VF, VU};
 use memconv::prelude::*;
 
 const BLOCKS: u32 = 256;
@@ -57,5 +59,107 @@ fn sim_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, sim_throughput);
+/// A representative L2-bound event stream: coalesced load walks with L1-miss
+/// gaps, interleaved with same-sector store repeats — the shape convolution
+/// blocks record in phase 1.
+fn representative_events() -> Vec<(u64, bool)> {
+    let base = 1u64 << 32;
+    let mut evs = Vec::new();
+    for i in 0..4096u64 {
+        let sector = base + (i % 701) * 32;
+        evs.push((sector, false));
+        if i % 3 == 0 {
+            evs.push((sector, true));
+            evs.push((sector, true));
+        }
+    }
+    evs
+}
+
+/// `BlockTrace` encode (into a recycled arena) and decode.
+fn trace_codec(c: &mut Criterion) {
+    let events = representative_events();
+    let mut group = c.benchmark_group("trace_codec");
+    group.throughput(Throughput::Elements(events.len() as u64));
+
+    let mut arena = BlockTrace::new();
+    group.bench_function("encode_recycled", |b| {
+        b.iter(|| {
+            arena.clear();
+            for &(s, w) in &events {
+                arena.push(s, w);
+            }
+            arena.encoded_bytes()
+        });
+    });
+
+    let mut full = BlockTrace::new();
+    for &(s, w) in &events {
+        full.push(s, w);
+    }
+    group.bench_function("decode_iter", |b| {
+        b.iter(|| full.iter().fold(0u64, |acc, (s, w)| acc ^ s ^ w as u64));
+    });
+    group.bench_function("decode_runs", |b| {
+        b.iter(|| full.runs().fold(0u64, |acc, (s, _, n)| acc + (s & 1) + n));
+    });
+    group.finish();
+}
+
+/// Phase-2 replay of a recorded trace through a fresh launch-wide L2.
+fn replay(c: &mut Criterion) {
+    let events = representative_events();
+    let mut trace = BlockTrace::new();
+    for &(s, w) in &events {
+        trace.push(s, w);
+    }
+    let dev = DeviceConfig::rtx2080ti();
+    let proto_l2 = new_l2(&dev);
+
+    let mut group = c.benchmark_group("replay_trace");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("recorded_stream", |b| {
+        b.iter_batched(
+            || proto_l2.clone(),
+            |mut l2| {
+                let mut stats = KernelStats::default();
+                replay_trace(&trace, &mut l2, &mut stats);
+                stats.l2_accesses
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+/// `StoreBuffer` write + apply, dense (convolution-output shape: every word
+/// of a contiguous range) vs sparse (every 97th word).
+fn store_buffer(c: &mut Criterion) {
+    const WORDS: u32 = 16 * 1024;
+    let mut mem = GlobalMem::new();
+    let buf = mem.alloc(WORDS as usize);
+
+    let mut group = c.benchmark_group("store_buffer");
+    group.throughput(Throughput::Elements(WORDS as u64));
+    let mut sb = StoreBuffer::with_footprint_hint(WORDS as usize);
+    group.bench_function("write_apply_dense", |b| {
+        b.iter(|| {
+            for i in 0..WORDS {
+                sb.write(buf, i, i as f32);
+            }
+            sb.apply_and_clear(&mut mem);
+        });
+    });
+    group.bench_function("write_apply_sparse", |b| {
+        b.iter(|| {
+            for i in (0..WORDS).step_by(97) {
+                sb.write(buf, i, i as f32);
+            }
+            sb.apply_and_clear(&mut mem);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, sim_throughput, trace_codec, replay, store_buffer);
 criterion_main!(benches);

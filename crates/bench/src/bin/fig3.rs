@@ -6,26 +6,30 @@
 //! cargo run --release -p memconv-bench --bin fig3            # both filters
 //! cargo run --release -p memconv-bench --bin fig3 -- --filter 3
 //! cargo run --release -p memconv-bench --bin fig3 -- --filter 5 --max-size 1024
-//! cargo run --release -p memconv-bench --bin fig3 -- --mode parallel --json
+//! cargo run --release -p memconv-bench --bin fig3 -- --mode parallel --threads 4 --json
+//! cargo run --release -p memconv-bench --bin fig3 -- --mode both --json --gate
 //! ```
 //!
 //! `--mode parallel` runs every simulation on the multicore trace-replay
-//! engine (results are bit-identical to sequential); `--json` appends one
-//! throughput record per panel to `BENCH_sim.json`; `--analyze` prints a
-//! hazard-analysis verdict per algorithm (informational — the enforcing
-//! gate lives in the `ablation` binary); `--trace <path>` records every
-//! launch as modeled-time spans and writes a chrome://tracing JSON at
-//! exit (counters unchanged).
+//! engine (results are bit-identical to sequential); `--mode both` runs
+//! every panel under both engines (sequential first); `--threads N` sets
+//! the parallel worker count (N ≥ 1); `--json` appends one throughput
+//! record per panel and engine to `BENCH_sim.json`; `--gate` (with
+//! `both`) enforces parallel ≥ sequential blocks/sec on hosts with ≥ 4
+//! hardware threads; `--analyze` prints a hazard-analysis verdict per
+//! algorithm (informational — the enforcing gate lives in the `ablation`
+//! binary); `--trace <path>` records every launch as modeled-time spans
+//! and writes a chrome://tracing JSON at exit (counters unchanged).
 
 use memconv::prelude::*;
 use memconv_bench::{
-    apply_harness_flags, finish_harness_trace, harness_sample, mean, parse_flag, print_hazards,
-    run_2d, write_bench_json_or_exit, AlgoResult, BenchRecord,
+    apply_figure_flags, finish_harness_trace, harness_sample, mean, parse_flag, print_hazards,
+    run_2d, run_ratio_gate, write_bench_json_or_exit, AlgoResult, BenchRecord,
 };
 use std::time::Instant;
 
 fn main() {
-    let emit_json = apply_harness_flags();
+    let flags = apply_figure_flags();
     let filters: Vec<usize> = match parse_flag::<usize>("--filter") {
         Some(f) if f == 3 || f == 5 => vec![f],
         Some(f) => {
@@ -38,93 +42,100 @@ fn main() {
     let sample = harness_sample();
     let mut records = Vec::new();
 
-    for f in filters {
-        let panel_start = Instant::now();
-        let mut panel_blocks = 0u64;
-        println!(
-            "\n=== Fig. 3{} — {f}x{f} filter, speedup over GEMM-im2col ===",
-            if f == 3 { "a" } else { "b" }
-        );
-        println!(
-            "{:<10} {:>12} {:>10} {:>10} {:>10} {:>10}",
-            "size", "cuDNN", "ArrayFire", "NPP", "ours", "base (ms)"
-        );
-
-        let mut per_algo: Vec<Vec<f64>> = vec![Vec::new(); 4];
-        for point in fig3_sizes() {
-            if point.size > max_size {
-                continue;
-            }
-            let mut rng = TensorRng::new(point.size as u64);
-            let img = rng.image(point.size, point.size);
-            let filt = rng.filter(f, f);
-
-            let base = run_2d(&As2d(Im2colGemm::caffe().with_sample(sample)), &img, &filt);
-
-            let contenders: Vec<AlgoResult> = vec![
-                run_2d(&As2d(CudnnFastest::new().with_sample(sample)), &img, &filt),
-                run_2d(
-                    &As2d(TiledConv::arrayfire().with_sample(sample)),
-                    &img,
-                    &filt,
-                ),
-                run_2d(&As2d(DirectConv::npp().with_sample(sample)), &img, &filt),
-                run_2d(
-                    &Ours::with_config(OursConfig::full().with_sample(sample)),
-                    &img,
-                    &filt,
-                ),
-            ];
-
-            panel_blocks += base.sim_blocks + contenders.iter().map(|c| c.sim_blocks).sum::<u64>();
-            for r in std::iter::once(&base).chain(&contenders) {
-                print_hazards(r);
-            }
-            print!("{:<10}", point.label);
-            for (i, c) in contenders.iter().enumerate() {
-                let s = base.time / c.time;
-                per_algo[i].push(s);
-                print!(" {:>11.1}", s);
-            }
-            println!(" {:>10.2}", base.time * 1e3);
+    for mode in &flags.modes {
+        std::env::set_var("MEMCONV_LAUNCH_MODE", mode);
+        if flags.modes.len() > 1 {
+            println!("\n#### engine: {mode} ####");
         }
+        for &f in &filters {
+            let panel_start = Instant::now();
+            let mut panel_blocks = 0u64;
+            println!(
+                "\n=== Fig. 3{} — {f}x{f} filter, speedup over GEMM-im2col ===",
+                if f == 3 { "a" } else { "b" }
+            );
+            println!(
+                "{:<10} {:>12} {:>10} {:>10} {:>10} {:>10}",
+                "size", "cuDNN", "ArrayFire", "NPP", "ours", "base (ms)"
+            );
 
-        println!("{:-<68}", "");
-        print!("{:<10}", "mean");
-        let names = ["cuDNN-fastest", "ArrayFire", "NPP", "ours"];
-        for speedups in per_algo.iter() {
-            print!(" {:>11.1}", mean(speedups));
-        }
-        println!();
-        let ours_mean = mean(&per_algo[3]);
-        let best_other = per_algo[..3]
-            .iter()
-            .enumerate()
-            .map(|(i, v)| (names[i], mean(v)))
-            .max_by(|a, b| a.1.total_cmp(&b.1))
-            .unwrap();
-        println!(
-            "ours {:.1}x over GEMM-im2col; {:.2}x over second-best ({})",
-            ours_mean,
-            ours_mean / best_other.1,
-            best_other.0
-        );
-        println!(
-            "(paper: mean {} over GEMM-im2col; >30% over second-best NPP)",
-            if f == 3 {
-                "5.4x, up to 9.7x"
-            } else {
-                "7.7x, up to 14.8x"
+            let mut per_algo: Vec<Vec<f64>> = vec![Vec::new(); 4];
+            for point in fig3_sizes() {
+                if point.size > max_size {
+                    continue;
+                }
+                let mut rng = TensorRng::new(point.size as u64);
+                let img = rng.image(point.size, point.size);
+                let filt = rng.filter(f, f);
+
+                let base = run_2d(&As2d(Im2colGemm::caffe().with_sample(sample)), &img, &filt);
+
+                let contenders: Vec<AlgoResult> = vec![
+                    run_2d(&As2d(CudnnFastest::new().with_sample(sample)), &img, &filt),
+                    run_2d(
+                        &As2d(TiledConv::arrayfire().with_sample(sample)),
+                        &img,
+                        &filt,
+                    ),
+                    run_2d(&As2d(DirectConv::npp().with_sample(sample)), &img, &filt),
+                    run_2d(
+                        &Ours::with_config(OursConfig::full().with_sample(sample)),
+                        &img,
+                        &filt,
+                    ),
+                ];
+
+                panel_blocks +=
+                    base.sim_blocks + contenders.iter().map(|c| c.sim_blocks).sum::<u64>();
+                for r in std::iter::once(&base).chain(&contenders) {
+                    print_hazards(r);
+                }
+                print!("{:<10}", point.label);
+                for (i, c) in contenders.iter().enumerate() {
+                    let s = base.time / c.time;
+                    per_algo[i].push(s);
+                    print!(" {:>11.1}", s);
+                }
+                println!(" {:>10.2}", base.time * 1e3);
             }
-        );
-        records.push(BenchRecord::for_panel(
-            if f == 3 { "fig3a" } else { "fig3b" },
-            panel_start.elapsed().as_secs_f64(),
-            panel_blocks,
-        ));
+
+            println!("{:-<68}", "");
+            print!("{:<10}", "mean");
+            let names = ["cuDNN-fastest", "ArrayFire", "NPP", "ours"];
+            for speedups in per_algo.iter() {
+                print!(" {:>11.1}", mean(speedups));
+            }
+            println!();
+            let ours_mean = mean(&per_algo[3]);
+            let best_other = per_algo[..3]
+                .iter()
+                .enumerate()
+                .map(|(i, v)| (names[i], mean(v)))
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .unwrap();
+            println!(
+                "ours {:.1}x over GEMM-im2col; {:.2}x over second-best ({})",
+                ours_mean,
+                ours_mean / best_other.1,
+                best_other.0
+            );
+            println!(
+                "(paper: mean {} over GEMM-im2col; >30% over second-best NPP)",
+                if f == 3 {
+                    "5.4x, up to 9.7x"
+                } else {
+                    "7.7x, up to 14.8x"
+                }
+            );
+            records.push(BenchRecord::for_panel(
+                if f == 3 { "fig3a" } else { "fig3b" },
+                panel_start.elapsed().as_secs_f64(),
+                panel_blocks,
+            ));
+        }
     }
 
-    if emit_json {
+    if flags.emit_json {
         let last = records.last().expect("at least one panel ran");
         println!(
             "\nsim throughput ({}, {} threads): {:.0} blocks/sec",
@@ -133,4 +144,7 @@ fn main() {
         write_bench_json_or_exit("BENCH_sim.json", &records);
     }
     finish_harness_trace();
+    if flags.gate {
+        run_ratio_gate(&records);
+    }
 }

@@ -6,16 +6,21 @@
 //! cargo run --release -p memconv-bench --bin fig4                 # both panels
 //! cargo run --release -p memconv-bench --bin fig4 -- --channels 1
 //! cargo run --release -p memconv-bench --bin fig4 -- --channels 3 --layer CONV3
-//! cargo run --release -p memconv-bench --bin fig4 -- --mode parallel --json
+//! cargo run --release -p memconv-bench --bin fig4 -- --mode parallel --threads 4 --json
+//! cargo run --release -p memconv-bench --bin fig4 -- --mode both --json --gate
 //! ```
 //!
 //! `--mode parallel` runs every simulation on the multicore trace-replay
-//! engine (results are bit-identical to sequential); `--json` appends one
-//! throughput record per panel to `BENCH_sim.json`; `--analyze` prints a
-//! hazard-analysis verdict for the GEMM baseline and ours per layer
-//! (informational — the enforcing gate lives in the `ablation` binary);
-//! `--trace <path>` records every launch as modeled-time spans and writes
-//! a chrome://tracing JSON at exit (counters unchanged).
+//! engine (results are bit-identical to sequential); `--mode both` runs
+//! every panel under both engines (sequential first); `--threads N` sets
+//! the parallel worker count (N ≥ 1); `--json` appends one throughput
+//! record per panel and engine to `BENCH_sim.json`; `--gate` (with
+//! `both`) enforces parallel ≥ sequential blocks/sec on hosts with ≥ 4
+//! hardware threads; `--analyze` prints a hazard-analysis verdict for the
+//! GEMM baseline and ours per layer (informational — the enforcing gate
+//! lives in the `ablation` binary); `--trace <path>` records every launch
+//! as modeled-time spans and writes a chrome://tracing JSON at exit
+//! (counters unchanged).
 //!
 //! Layers whose full-batch output exceeds host memory are run at a reduced
 //! batch (marked `*`); speedup ratios are batch-insensitive once the
@@ -24,13 +29,13 @@
 use memconv::baselines::cudnn::cudnn_family;
 use memconv::prelude::*;
 use memconv_bench::{
-    apply_harness_flags, capped_batch, finish_harness_trace, harness_sample, mean, parse_flag,
-    print_hazards, run_nchw, string_flag, write_bench_json_or_exit, BenchRecord,
+    apply_figure_flags, capped_batch, finish_harness_trace, harness_sample, mean, parse_flag,
+    print_hazards, run_nchw, run_ratio_gate, string_flag, write_bench_json_or_exit, BenchRecord,
 };
 use std::time::Instant;
 
 fn main() {
-    let emit_json = apply_harness_flags();
+    let flags = apply_figure_flags();
     let channels: Vec<usize> = match parse_flag::<usize>("--channels") {
         Some(c) if c >= 1 => vec![c],
         Some(c) => {
@@ -43,97 +48,103 @@ fn main() {
     let sample = harness_sample();
     let mut records = Vec::new();
 
-    for ic in channels {
-        let panel_start = Instant::now();
-        let mut panel_blocks = 0u64;
-        println!("\n=== Fig. 4 — {ic} input channel(s), speedup over GEMM-im2col ===");
-        println!(
-            "{:<9} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
-            "", "implicit", "precomp", "gemm", "fft", "tiling", "winograd", "nonfused", "ours"
-        );
-
-        let mut ours_speedups = Vec::new();
-        let mut best_cudnn_speedups = Vec::new();
-
-        for layer in table1_layers() {
-            if let Some(only) = &layer_filter {
-                if layer.name != only {
-                    continue;
-                }
-            }
-            let g_full = layer.geometry(ic);
-            let (batch, reduced) = capped_batch(layer.batch, g_full.out_elems());
-            let mut rng = TensorRng::new(layer.spatial as u64 + ic as u64);
-            let input = rng.tensor(batch, ic, layer.spatial, layer.spatial);
-            let bank = rng.filter_bank(layer.filters, ic, layer.filter, layer.filter);
-            let geo = layer.geometry(ic);
-
-            let base = run_nchw(
-                &Im2colGemm::caffe()
-                    .with_sample(sample)
-                    .with_batch_replication(),
-                &input,
-                &bank,
-            );
-
-            print!(
-                "{:<9}",
-                format!("{}{}", layer.name, if reduced { "*" } else { "" })
-            );
-            let mut best_cudnn = f64::NAN;
-            for algo in cudnn_family(sample) {
-                // supports_shape is checked against the *full* geometry so
-                // cuDNN's limits apply as on the real device.
-                if !algo.supports_shape(&geo) {
-                    print!(" {:>8}", "0.0");
-                    continue;
-                }
-                let r = run_nchw(algo.as_ref(), &input, &bank);
-                panel_blocks += r.sim_blocks;
-                let s = base.time / r.time;
-                if !best_cudnn.is_finite() || s > best_cudnn {
-                    best_cudnn = s;
-                }
-                print!(" {:>8.1}", s);
-            }
-            let ours = run_nchw(
-                &Ours::with_config(OursConfig::full().with_sample(sample)),
-                &input,
-                &bank,
-            );
-            panel_blocks += base.sim_blocks + ours.sim_blocks;
-            let s_ours = base.time / ours.time;
-            println!(" {:>8.1}", s_ours);
-            print_hazards(&base);
-            print_hazards(&ours);
-            ours_speedups.push(s_ours);
-            best_cudnn_speedups.push(best_cudnn);
+    for mode in &flags.modes {
+        std::env::set_var("MEMCONV_LAUNCH_MODE", mode);
+        if flags.modes.len() > 1 {
+            println!("\n#### engine: {mode} ####");
         }
+        for &ic in &channels {
+            let panel_start = Instant::now();
+            let mut panel_blocks = 0u64;
+            println!("\n=== Fig. 4 — {ic} input channel(s), speedup over GEMM-im2col ===");
+            println!(
+                "{:<9} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+                "", "implicit", "precomp", "gemm", "fft", "tiling", "winograd", "nonfused", "ours"
+            );
 
-        println!("{:-<84}", "");
-        let vs_cudnn: Vec<f64> = ours_speedups
-            .iter()
-            .zip(&best_cudnn_speedups)
-            .map(|(o, c)| o / c)
-            .collect();
-        println!(
-            "ours: mean {:.1}x over GEMM-im2col; mean {:.2}x vs fastest cuDNN algorithm",
-            mean(&ours_speedups),
-            mean(&vs_cudnn)
-        );
-        println!(
-            "(paper: mean {} over GEMM-im2col; {} vs fastest cuDNN)",
-            if ic == 1 { "19.5x" } else { "25.6x" },
-            if ic == 1 { "1.3x" } else { "1.1x" },
-        );
-        records.push(BenchRecord::for_panel(
-            &format!("fig4_ic{ic}"),
-            panel_start.elapsed().as_secs_f64(),
-            panel_blocks,
-        ));
+            let mut ours_speedups = Vec::new();
+            let mut best_cudnn_speedups = Vec::new();
+
+            for layer in table1_layers() {
+                if let Some(only) = &layer_filter {
+                    if layer.name != only {
+                        continue;
+                    }
+                }
+                let g_full = layer.geometry(ic);
+                let (batch, reduced) = capped_batch(layer.batch, g_full.out_elems());
+                let mut rng = TensorRng::new(layer.spatial as u64 + ic as u64);
+                let input = rng.tensor(batch, ic, layer.spatial, layer.spatial);
+                let bank = rng.filter_bank(layer.filters, ic, layer.filter, layer.filter);
+                let geo = layer.geometry(ic);
+
+                let base = run_nchw(
+                    &Im2colGemm::caffe()
+                        .with_sample(sample)
+                        .with_batch_replication(),
+                    &input,
+                    &bank,
+                );
+
+                print!(
+                    "{:<9}",
+                    format!("{}{}", layer.name, if reduced { "*" } else { "" })
+                );
+                let mut best_cudnn = f64::NAN;
+                for algo in cudnn_family(sample) {
+                    // supports_shape is checked against the *full* geometry so
+                    // cuDNN's limits apply as on the real device.
+                    if !algo.supports_shape(&geo) {
+                        print!(" {:>8}", "0.0");
+                        continue;
+                    }
+                    let r = run_nchw(algo.as_ref(), &input, &bank);
+                    panel_blocks += r.sim_blocks;
+                    let s = base.time / r.time;
+                    if !best_cudnn.is_finite() || s > best_cudnn {
+                        best_cudnn = s;
+                    }
+                    print!(" {:>8.1}", s);
+                }
+                let ours = run_nchw(
+                    &Ours::with_config(OursConfig::full().with_sample(sample)),
+                    &input,
+                    &bank,
+                );
+                panel_blocks += base.sim_blocks + ours.sim_blocks;
+                let s_ours = base.time / ours.time;
+                println!(" {:>8.1}", s_ours);
+                print_hazards(&base);
+                print_hazards(&ours);
+                ours_speedups.push(s_ours);
+                best_cudnn_speedups.push(best_cudnn);
+            }
+
+            println!("{:-<84}", "");
+            let vs_cudnn: Vec<f64> = ours_speedups
+                .iter()
+                .zip(&best_cudnn_speedups)
+                .map(|(o, c)| o / c)
+                .collect();
+            println!(
+                "ours: mean {:.1}x over GEMM-im2col; mean {:.2}x vs fastest cuDNN algorithm",
+                mean(&ours_speedups),
+                mean(&vs_cudnn)
+            );
+            println!(
+                "(paper: mean {} over GEMM-im2col; {} vs fastest cuDNN)",
+                if ic == 1 { "19.5x" } else { "25.6x" },
+                if ic == 1 { "1.3x" } else { "1.1x" },
+            );
+            records.push(BenchRecord::for_panel(
+                &format!("fig4_ic{ic}"),
+                panel_start.elapsed().as_secs_f64(),
+                panel_blocks,
+            ));
+        }
     }
 
-    if emit_json {
+    if flags.emit_json {
         let last = records.last().expect("at least one panel ran");
         println!(
             "\nsim throughput ({}, {} threads): {:.0} blocks/sec",
@@ -142,4 +153,7 @@ fn main() {
         write_bench_json_or_exit("BENCH_sim.json", &records);
     }
     finish_harness_trace();
+    if flags.gate {
+        run_ratio_gate(&records);
+    }
 }

@@ -184,6 +184,16 @@ pub fn print_hazards(r: &AlgoResult) {
     }
 }
 
+/// The host's available hardware parallelism (1 if undetectable).
+/// Recorded in every [`BenchRecord`] so throughput numbers carry their
+/// provenance: a `threads: 4` parallel row measured on a 1-core host is an
+/// oversubscription artifact, not an engine regression.
+pub fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 /// One simulator-throughput measurement emitted by a figure harness under
 /// `--json`.
 #[derive(Debug, Clone)]
@@ -194,6 +204,9 @@ pub struct BenchRecord {
     pub mode: String,
     /// Worker threads available to the parallel engine.
     pub threads: usize,
+    /// Hardware threads the measuring host actually had
+    /// ([`host_parallelism`] at measurement time).
+    pub host_parallelism: usize,
     /// Wall-clock seconds for the whole panel.
     pub wall_clock_s: f64,
     /// Thread blocks actually simulated across all launches of the panel.
@@ -203,7 +216,8 @@ pub struct BenchRecord {
 }
 
 impl BenchRecord {
-    /// Assemble a record, deriving mode/threads from the harness env.
+    /// Assemble a record, deriving mode/threads from the harness env and
+    /// stamping host provenance.
     pub fn for_panel(figure: &str, wall_clock_s: f64, blocks: u64) -> Self {
         BenchRecord {
             figure: figure.to_string(),
@@ -215,6 +229,7 @@ impl BenchRecord {
                 LaunchMode::Sequential => 1,
                 LaunchMode::Parallel => memconv_par::num_threads(),
             },
+            host_parallelism: host_parallelism(),
             wall_clock_s,
             blocks,
             blocks_per_sec: blocks as f64 / wall_clock_s.max(1e-9),
@@ -224,10 +239,12 @@ impl BenchRecord {
     fn to_json(&self) -> String {
         format!(
             "{{\"figure\":\"{}\",\"mode\":\"{}\",\"threads\":{},\
+             \"host_parallelism\":{},\
              \"wall_clock_s\":{:.6},\"blocks\":{},\"blocks_per_sec\":{:.1}}}",
             self.figure,
             self.mode,
             self.threads,
+            self.host_parallelism,
             self.wall_clock_s,
             self.blocks,
             self.blocks_per_sec
@@ -242,8 +259,23 @@ pub fn write_json(path: &str, items: &[String]) -> std::io::Result<()> {
     std::fs::write(path, format!("[\n  {}\n]\n", items.join(",\n  ")))
 }
 
-/// Append records to a JSON-array file (default `BENCH_sim.json`),
-/// preserving whatever records are already there.
+/// The identity prefix of a serialized [`BenchRecord`] line:
+/// `{"figure":...,"mode":...,"threads":N` — everything before the
+/// measurement fields. Tolerates rows written before `host_parallelism`
+/// existed.
+fn record_key(line: &str) -> &str {
+    let cut = line
+        .find(",\"host_parallelism\"")
+        .or_else(|| line.find(",\"wall_clock_s\""))
+        .unwrap_or(line.len());
+    &line[..cut]
+}
+
+/// Append records to a JSON-array file (default `BENCH_sim.json`). Existing
+/// records are preserved, except that a new record **replaces** any old one
+/// with the same (figure, mode, threads) identity — so re-running a harness
+/// (or `scripts/ci.sh`) refreshes measurements in place instead of growing
+/// the file without bound.
 pub fn append_bench_json(path: &str, records: &[BenchRecord]) -> std::io::Result<()> {
     let mut items: Vec<String> = Vec::new();
     if let Ok(existing) = std::fs::read_to_string(path) {
@@ -252,13 +284,17 @@ pub fn append_bench_json(path: &str, records: &[BenchRecord]) -> std::io::Result
             .strip_prefix('[')
             .and_then(|s| s.strip_suffix(']'))
         {
-            let inner = inner.trim();
-            if !inner.is_empty() {
-                items.push(inner.to_string());
-            }
+            items.extend(
+                inner
+                    .lines()
+                    .map(|l| l.trim().trim_end_matches(',').to_string())
+                    .filter(|l| !l.is_empty()),
+            );
         }
     }
-    items.extend(records.iter().map(|r| r.to_json()));
+    let fresh: Vec<String> = records.iter().map(|r| r.to_json()).collect();
+    items.retain(|old| !fresh.iter().any(|new| record_key(old) == record_key(new)));
+    items.extend(fresh);
     write_json(path, &items)
 }
 
@@ -306,6 +342,7 @@ pub fn write_bench_json_or_exit(path: &str, records: &[BenchRecord]) {
 /// returns whether `--json` was passed (emit [`BenchRecord`]s to
 /// `BENCH_sim.json`).
 pub fn apply_harness_flags() -> bool {
+    apply_threads_flag();
     let args: Vec<String> = std::env::args().collect();
     if let Some(mode) = string_flag("--mode") {
         match mode.as_str() {
@@ -325,6 +362,131 @@ pub fn apply_harness_flags() -> bool {
         std::env::set_var("MEMCONV_TRACE", &path);
     }
     args.iter().any(|a| a == "--json")
+}
+
+/// Handle `--threads N`: sets `MEMCONV_THREADS` for the whole process.
+/// Zero is rejected with exit 2 — `memconv_par::num_threads` would
+/// silently fall back to host parallelism, which is exactly the kind of
+/// quiet misconfiguration the CLI convention forbids.
+fn apply_threads_flag() {
+    if let Some(t) = parse_flag::<usize>("--threads") {
+        if t == 0 {
+            eprintln!("invalid value for --threads: `0` (must be >= 1)");
+            std::process::exit(2);
+        }
+        std::env::set_var("MEMCONV_THREADS", t.to_string());
+    }
+}
+
+/// Resolved figure-harness flags (see [`apply_figure_flags`]).
+#[derive(Debug, Clone)]
+pub struct FigureFlags {
+    /// `--json`: append [`BenchRecord`]s to `BENCH_sim.json`.
+    pub emit_json: bool,
+    /// `--gate`: enforce the parallel/sequential throughput ratio via
+    /// [`run_ratio_gate`] after all panels ran.
+    pub gate: bool,
+    /// Engine passes to run, in order. One entry normally; two
+    /// (`sequential` then `parallel`) under `--mode both`.
+    pub modes: Vec<&'static str>,
+}
+
+/// Extended flag handling for the fig3/fig4 harnesses: everything
+/// [`apply_harness_flags`] does, plus `--mode both` (run every panel under
+/// both engines, sequential first), `--threads N` (N ≥ 1; sets
+/// `MEMCONV_THREADS`), and `--gate` (enforce the engine throughput ratio —
+/// requires `both`). Warns when a parallel pass is configured with more
+/// worker threads than the host has hardware threads, so oversubscribed
+/// numbers can't masquerade as engine regressions.
+pub fn apply_figure_flags() -> FigureFlags {
+    apply_threads_flag();
+    let args: Vec<String> = std::env::args().collect();
+    let modes: Vec<&'static str> = match string_flag("--mode").as_deref() {
+        None => vec![match harness_launch_mode() {
+            LaunchMode::Sequential => "sequential",
+            LaunchMode::Parallel => "parallel",
+        }],
+        Some("sequential") | Some("Sequential") => vec!["sequential"],
+        Some("parallel") | Some("Parallel") => vec!["parallel"],
+        Some("both") => vec!["sequential", "parallel"],
+        Some(other) => {
+            eprintln!("invalid --mode `{other}` (expected sequential | parallel | both)");
+            std::process::exit(2);
+        }
+    };
+    let gate = args.iter().any(|a| a == "--gate");
+    if gate && modes.len() < 2 {
+        eprintln!("--gate requires --mode both (the ratio needs both engines measured)");
+        std::process::exit(2);
+    }
+    if modes.contains(&"parallel") {
+        let threads = memconv_par::num_threads();
+        let host = host_parallelism();
+        if threads > host {
+            eprintln!(
+                "warning: parallel engine configured with {threads} threads on a \
+                 {host}-thread host; throughput numbers will reflect oversubscription, \
+                 not engine speed"
+            );
+        }
+    }
+    if args.iter().any(|a| a == "--analyze") {
+        std::env::set_var("MEMCONV_ANALYZE", "1");
+    }
+    if let Some(path) = string_flag("--trace") {
+        std::env::set_var("MEMCONV_TRACE", &path);
+    }
+    FigureFlags {
+        emit_json: args.iter().any(|a| a == "--json"),
+        gate,
+        modes,
+    }
+}
+
+/// Enforce the parallel-engine throughput win from a `--mode both` run:
+/// for every figure with both engine records, print the
+/// parallel/sequential blocks-per-sec ratio; on hosts with ≥ 4 hardware
+/// threads a ratio < 1.0 exits 1, on smaller hosts enforcement is skipped
+/// with a printed reason (the parallel engine can't win without cores).
+/// Exits 2 if no figure has both records — the gate was invoked without
+/// the data it needs.
+pub fn run_ratio_gate(records: &[BenchRecord]) {
+    let host = host_parallelism();
+    let mut checked = 0usize;
+    let mut failed = false;
+    for par in records.iter().filter(|r| r.mode == "parallel") {
+        let Some(seq) = records
+            .iter()
+            .find(|r| r.figure == par.figure && r.mode == "sequential")
+        else {
+            continue;
+        };
+        let ratio = par.blocks_per_sec / seq.blocks_per_sec.max(1e-9);
+        println!(
+            "[gate] {}: parallel/sequential = {ratio:.2}x \
+             ({:.0} vs {:.0} blocks/sec, {} threads)",
+            par.figure, par.blocks_per_sec, seq.blocks_per_sec, par.threads
+        );
+        checked += 1;
+        if ratio < 1.0 {
+            failed = true;
+        }
+    }
+    if checked == 0 {
+        eprintln!("ratio gate found no figure measured under both engines");
+        std::process::exit(2);
+    }
+    if host < 4 {
+        println!(
+            "[gate] ratio not enforced: host has {host} hardware thread(s) (< 4), \
+             the parallel engine cannot demonstrate a win here"
+        );
+    } else if failed {
+        eprintln!("[gate] FAIL: parallel engine slower than sequential on a {host}-thread host");
+        std::process::exit(1);
+    } else {
+        println!("[gate] parallel/sequential ratio gate passed ({host}-thread host)");
+    }
 }
 
 /// Geometric mean (the fair average for speedup ratios).
@@ -376,6 +538,41 @@ mod tests {
         let (b, reduced) = capped_batch(128, 128 * 64 * 222 * 222);
         assert!(reduced);
         assert!((4..128).contains(&b));
+    }
+
+    #[test]
+    fn bench_json_rerun_replaces_matching_rows() {
+        let path = std::env::temp_dir().join(format!("bench_json_{}.json", std::process::id()));
+        let path = path.to_str().unwrap();
+        let _ = std::fs::remove_file(path);
+        // Seed with an old-format row (no host_parallelism) plus one other.
+        write_json(
+            path,
+            &[
+                r#"{"figure":"fig3a","mode":"sequential","threads":1,"wall_clock_s":1.0,"blocks":10,"blocks_per_sec":10.0}"#.to_string(),
+                r#"{"figure":"fig4_ic1","mode":"parallel","threads":2,"wall_clock_s":2.0,"blocks":20,"blocks_per_sec":10.0}"#.to_string(),
+            ],
+        )
+        .unwrap();
+        let fresh = BenchRecord {
+            figure: "fig3a".into(),
+            mode: "sequential".into(),
+            threads: 1,
+            host_parallelism: host_parallelism(),
+            wall_clock_s: 5.0,
+            blocks: 50,
+            blocks_per_sec: 10.0,
+        };
+        append_bench_json(path, std::slice::from_ref(&fresh)).unwrap();
+        let out = std::fs::read_to_string(path).unwrap();
+        std::fs::remove_file(path).unwrap();
+        // The stale fig3a row is replaced (not duplicated), the unrelated
+        // row survives, and the fresh row carries provenance.
+        assert_eq!(out.matches("\"figure\":\"fig3a\"").count(), 1);
+        assert!(out.contains("\"blocks\":50"));
+        assert!(!out.contains("\"blocks\":10,"));
+        assert!(out.contains("\"figure\":\"fig4_ic1\""));
+        assert!(out.contains("\"host_parallelism\""));
     }
 
     #[test]

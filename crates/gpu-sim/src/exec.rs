@@ -42,6 +42,7 @@ use crate::shuffle;
 use crate::stats::KernelStats;
 use crate::trace::{BlockTrace, GlobalView, StoreBuffer};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
 
 /// How many of a launch's blocks to simulate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -581,9 +582,7 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
         let site = SiteId::caller();
         self.res.tick(1);
         let mut addrs = [0u64; WARP];
-        for l in mask.lanes() {
-            addrs[l] = self.res.glob.addr(buf, idx.lane(l));
-        }
+        self.res.glob.fill_addrs(buf, idx, mask, &mut addrs);
         let txns = warp_access(
             self.res.dev,
             &mut self.res.l1,
@@ -600,13 +599,7 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
         } else {
             mask
         };
-        let v = VF::from_fn(|l| {
-            if read_mask.get(l) {
-                self.res.glob.read_elem(buf, idx.lane(l))
-            } else {
-                0.0
-            }
-        });
+        let v = self.res.glob.read_lanes(buf, idx, read_mask);
         // ECC-off SDC: one active lane's loaded value takes a bit flip.
         if let Some(c) = self.res.faults.as_deref_mut().and_then(|f| f.global_load()) {
             if let Some(lane) = faults::pick_lane(read_mask, c.pick) {
@@ -626,9 +619,7 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
         let site = SiteId::caller();
         self.res.tick(1);
         let mut addrs = [0u64; WARP];
-        for l in mask.lanes() {
-            addrs[l] = self.res.glob.addr(buf, idx.lane(l));
-        }
+        self.res.glob.fill_addrs(buf, idx, mask, &mut addrs);
         let txns = warp_access(
             self.res.dev,
             &mut self.res.l1,
@@ -645,9 +636,7 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
         } else {
             mask
         };
-        for l in write_mask.lanes().collect::<Vec<_>>().into_iter().rev() {
-            self.res.glob.write_elem(buf, idx.lane(l), val.lane(l));
-        }
+        self.res.glob.write_lanes(buf, idx, val, write_mask);
     }
 
     /// Record a global access with the analyzer; returns `mask` with any
@@ -850,6 +839,28 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
     }
 }
 
+/// Recyclable per-block working state for the parallel engine: the trace
+/// arena and the store-buffer page tables. Pooled per [`GpuSim`] and
+/// recycled across blocks *and* launches — phase 1 hands each worker a
+/// private stash, phase 2 returns drained (capacity-retaining) scratch to
+/// the pool — so steady-state launches allocate nothing per block.
+#[derive(Debug, Default)]
+struct BlockScratch {
+    trace: BlockTrace,
+    store: StoreBuffer,
+}
+
+impl BlockScratch {
+    /// Fresh scratch whose store buffer is pre-sized for roughly
+    /// `hint_words` buffered words (the launch's per-block output share).
+    fn fresh(hint_words: usize) -> Self {
+        BlockScratch {
+            trace: BlockTrace::new(),
+            store: StoreBuffer::with_footprint_hint(hint_words),
+        }
+    }
+}
+
 /// Everything one block produces in the parallel functional phase.
 struct BlockOutcome {
     stats: KernelStats,
@@ -865,7 +876,8 @@ struct BlockOutcome {
 }
 
 /// Run one block functionally against a memory snapshot, recording its
-/// L2-bound sector stream and buffering its stores.
+/// L2-bound sector stream and buffering its stores into the (possibly
+/// recycled) `scratch`.
 fn run_block_traced(
     dev: &DeviceConfig,
     mem: &GlobalMem,
@@ -873,9 +885,14 @@ fn run_block_traced(
     kernel: &(impl Fn(&mut BlockCtx<'_>) + Sync),
     linear: u64,
     env: LaunchEnv,
+    scratch: BlockScratch,
 ) -> BlockOutcome {
+    let BlockScratch { mut trace, store } = scratch;
+    debug_assert!(
+        trace.is_empty() && store.is_empty(),
+        "scratch arrives drained"
+    );
     let mut stats = KernelStats::default();
-    let mut trace = BlockTrace::new();
     let mut collector = env.analyze.then(|| BlockCollector::new(linear));
     let mut faults = env
         .faults
@@ -883,10 +900,7 @@ fn run_block_traced(
     let mut blk = BlockCtx {
         res: Resources {
             dev,
-            glob: GlobalView::Overlay {
-                base: mem,
-                store: StoreBuffer::new(),
-            },
+            glob: GlobalView::Overlay { base: mem, store },
             l1: new_l1(dev),
             l2: L2Sink::Deferred(&mut trace),
             stats: &mut stats,
@@ -936,6 +950,9 @@ pub struct GpuSim {
     launch_seq: u64,
     spans: Option<SpanConfig>,
     launch_spans: Vec<LaunchSpanRecord>,
+    /// Recycled per-block scratch (trace arenas, store-buffer tables) for
+    /// the parallel engine, persisting across launches.
+    scratch_pool: Vec<BlockScratch>,
 }
 
 impl GpuSim {
@@ -953,6 +970,7 @@ impl GpuSim {
             launch_seq: 0,
             spans: None,
             launch_spans: Vec::new(),
+            scratch_pool: Vec::new(),
         }
     }
 
@@ -1320,11 +1338,16 @@ impl GpuSim {
     ) -> (KernelStats, u64) {
         let threads = self
             .parallel_threads
-            .unwrap_or_else(memconv_par::num_threads);
-        let batch_cap = threads.max(1) * 8;
+            .unwrap_or_else(memconv_par::num_threads)
+            .max(1);
+        let batch_cap = threads * 8;
         let mut stats = KernelStats::default();
         let mut l2 = new_l2(&self.device);
         let mut simulated = 0u64;
+        // Pre-size fresh store buffers for a block's fair share of the
+        // allocated footprint (recycled buffers keep their earned size).
+        let hint_words = self.mem.total_elems() / cfg.num_blocks().max(1) as usize;
+        let mut pool = std::mem::take(&mut self.scratch_pool);
 
         let mut selected = (0..cfg.num_blocks()).filter(|&l| resolved.selects(l));
         loop {
@@ -1333,22 +1356,49 @@ impl GpuSim {
                 break;
             }
             // Phase 1 (parallel): functional execution against a snapshot.
+            // Each worker grabs a private stash of recycled scratch up
+            // front (one mutex hit per worker per batch, never per block).
             let outcomes = {
                 let dev = &self.device;
                 let mem = &self.mem;
-                memconv_par::map_indexed_with(batch.len(), threads, |i| {
-                    run_block_traced(dev, mem, cfg, kernel, batch[i], env)
-                })
+                let stash_size = batch.len().div_ceil(threads).max(1);
+                let shared = Mutex::new(std::mem::take(&mut pool));
+                let (outcomes, stashes) = memconv_par::map_indexed_scoped(
+                    batch.len(),
+                    threads,
+                    || {
+                        let mut g = shared.lock().unwrap_or_else(|e| e.into_inner());
+                        let keep = g.len().min(stash_size);
+                        let at = g.len() - keep;
+                        g.split_off(at)
+                    },
+                    |i, stash: &mut Vec<BlockScratch>| {
+                        let scratch = stash
+                            .pop()
+                            .unwrap_or_else(|| BlockScratch::fresh(hint_words));
+                        run_block_traced(dev, mem, cfg, kernel, batch[i], env, scratch)
+                    },
+                );
+                pool = shared.into_inner().unwrap_or_else(|e| e.into_inner());
+                for mut s in stashes {
+                    pool.append(&mut s);
+                }
+                outcomes
             };
             // Phase 2 (sequential, block-linear order): commit. Hazard
             // collectors and fault logs merge here too, so reports never
             // depend on the engine or thread count.
-            for (&linear, outcome) in batch.iter().zip(outcomes) {
+            for (&linear, mut outcome) in batch.iter().zip(outcomes) {
                 simulated += 1;
                 let snapshot = scratch.as_ref().map(|_| stats.clone());
                 stats += &outcome.stats;
                 replay_trace(&outcome.trace, &mut l2, &mut stats);
-                outcome.store.apply(&mut self.mem);
+                outcome.store.apply_and_clear(&mut self.mem);
+                outcome.trace.clear();
+                pool.push(BlockScratch {
+                    trace: outcome.trace,
+                    store: outcome.store,
+                });
                 if let Some(c) = outcome.collector {
                     self.analysis
                         .as_mut()
@@ -1365,6 +1415,7 @@ impl GpuSim {
                 }
             }
         }
+        self.scratch_pool = pool;
         let pre_flush = scratch.as_ref().map(|_| stats.clone());
         flush_l2(&mut l2, &mut stats);
         if let Some(s) = scratch {

@@ -91,6 +91,13 @@ impl GlobalMem {
         self.bufs[id.0].base + idx as u64 * 4
     }
 
+    /// Base byte address of buffer `id` (hoisted once per warp access by
+    /// the batched address path).
+    #[inline]
+    pub(crate) fn buf_base(&self, id: BufId) -> u64 {
+        self.bufs[id.0].base
+    }
+
     /// Device-side element read (bounds-checked).
     #[inline]
     pub fn read_elem(&self, id: BufId, idx: u32) -> f32 {
@@ -129,6 +136,7 @@ impl GlobalMem {
     /// index, without writing. Used by the store-buffer overlay so parallel
     /// launches fail with byte-identical diagnostics to sequential ones.
     #[inline]
+    #[cfg(test)]
     pub(crate) fn assert_write_in_bounds(&self, id: BufId, idx: u32) {
         let len = self.bufs[id.0].data.len();
         if idx as usize >= len {

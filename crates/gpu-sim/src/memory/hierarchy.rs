@@ -45,16 +45,6 @@ pub enum L2Sink<'a> {
     Deferred(&'a mut BlockTrace),
 }
 
-impl L2Sink<'_> {
-    #[inline]
-    fn sector(&mut self, stats: &mut KernelStats, sector_addr: u64, is_store: bool) {
-        match self {
-            L2Sink::Inline(l2) => l2_sector_access(l2, stats, sector_addr, is_store),
-            L2Sink::Deferred(trace) => trace.push(sector_addr, is_store),
-        }
-    }
-}
-
 /// Build a fresh L1 for one block/SM.
 pub fn new_l1(dev: &DeviceConfig) -> SectoredCache {
     SectoredCache::new(
@@ -100,7 +90,7 @@ pub fn warp_access(
     mask: LaneMask,
     is_store: bool,
     space: Space,
-    mut faults: Option<&mut BlockFaults>,
+    faults: Option<&mut BlockFaults>,
 ) -> u64 {
     if mask.is_empty() {
         return 0;
@@ -145,44 +135,60 @@ pub fn warp_access(
         }
     }
 
-    for &sector in &res.sectors {
-        if is_store {
-            // L1 is write-through: the sector is forwarded to L2 either way.
-            let _ = l1.access(sector, true);
-            faulted_sector(sink, stats, sector, true, &mut faults);
-        } else {
-            match l1.access(sector, false) {
-                Access::Hit => {
-                    stats.l1_hit_sectors += 1;
-                }
-                Access::SectorMiss | Access::LineMiss => {
-                    faulted_sector(sink, stats, sector, false, &mut faults);
-                }
-            }
+    // Dispatch on the sink variant once per warp access; the per-sector
+    // loops below are monomorphic over the emit closure, keeping the enum
+    // match (and the fault-fate indirection) off the per-sector hot path.
+    match sink {
+        L2Sink::Inline(l2) => drive_sectors(l1, stats, &res.sectors, is_store, faults, |st, s| {
+            l2_sector_access(l2, st, s, is_store)
+        }),
+        L2Sink::Deferred(trace) => {
+            drive_sectors(l1, stats, &res.sectors, is_store, faults, |_, s| {
+                trace.push(s, is_store)
+            })
         }
     }
     txns
 }
 
-/// Forward one L2-bound sector through the fault filter (if armed) into
-/// the sink.
-fn faulted_sector(
-    sink: &mut L2Sink<'_>,
+/// Classify `sectors` against the per-block L1 and forward every L2-bound
+/// sector — each store sector (write-through L1), each load miss — through
+/// the fault filter into `emit`. Generic over the emit target so both sink
+/// variants get their own fully inlined loop.
+fn drive_sectors<E>(
+    l1: &mut SectoredCache,
     stats: &mut KernelStats,
-    sector: u64,
+    sectors: &[u64],
     is_store: bool,
-    faults: &mut Option<&mut BlockFaults>,
-) {
-    let fate = match faults.as_deref_mut() {
-        Some(f) => f.l2_sector(),
-        None => SectorFate::Deliver,
-    };
-    match fate {
-        SectorFate::Deliver => sink.sector(stats, sector, is_store),
-        SectorFate::Drop => {}
-        SectorFate::Duplicate => {
-            sink.sector(stats, sector, is_store);
-            sink.sector(stats, sector, is_store);
+    mut faults: Option<&mut BlockFaults>,
+    mut emit: E,
+) where
+    E: FnMut(&mut KernelStats, u64),
+{
+    for &sector in sectors {
+        if is_store {
+            // L1 is write-through: the sector is forwarded to L2 either way.
+            let _ = l1.access(sector, true);
+        } else {
+            match l1.access(sector, false) {
+                Access::Hit => {
+                    stats.l1_hit_sectors += 1;
+                    continue;
+                }
+                Access::SectorMiss | Access::LineMiss => {}
+            }
+        }
+        let fate = match faults.as_deref_mut() {
+            Some(f) => f.l2_sector(),
+            None => SectorFate::Deliver,
+        };
+        match fate {
+            SectorFate::Deliver => emit(stats, sector),
+            SectorFate::Drop => {}
+            SectorFate::Duplicate => {
+                emit(stats, sector);
+                emit(stats, sector);
+            }
         }
     }
 }
@@ -218,10 +224,36 @@ pub fn l2_sector_access(
 /// Replay one block's recorded L2-bound sector stream through the real L2,
 /// in record order. Driving the L2 with the same ordered stream the
 /// sequential engine would produce yields bit-identical counters.
+///
+/// Batched: the trace decodes into *runs* of identical events, and each run
+/// is consumed in one [`SectoredCache::access_run`] probe. This is exact,
+/// not approximate — under the L2's write-allocate policy the first access
+/// of a run leaves the sector resident, so the remaining `n − 1` events are
+/// Hits that only advance the LRU clock (which `access_run` reproduces),
+/// and a store run's dirty bit is set by its first event (idempotent).
+/// Counter deltas accumulate into a local [`KernelStats`] folded in with
+/// one merge at the end, instead of read-modify-writes per event.
 pub fn replay_trace(trace: &BlockTrace, l2: &mut SectoredCache, stats: &mut KernelStats) {
-    for (sector_addr, is_store) in trace.iter() {
-        l2_sector_access(l2, stats, sector_addr, is_store);
+    let mut local = KernelStats::default();
+    for (sector_addr, is_store, n) in trace.runs() {
+        let write_backs_before = l2.evicted_dirty_sectors;
+        let first = l2.access_run(sector_addr, is_store, n);
+        local.l2_accesses += n;
+        let mut hits = n - 1;
+        match first {
+            Access::Hit => hits += 1,
+            Access::SectorMiss | Access::LineMiss => {
+                if !is_store {
+                    // Full-sector store misses allocate in L2 without a
+                    // DRAM fetch; load misses fill from DRAM.
+                    local.dram_read_sectors += 1;
+                }
+            }
+        }
+        local.l2_hit_sectors += hits;
+        local.dram_write_sectors += l2.evicted_dirty_sectors - write_backs_before;
     }
+    *stats += &local;
 }
 
 /// End-of-launch: flush L2, converting remaining dirty sectors into DRAM
@@ -532,5 +564,35 @@ mod tests {
         flush_l2(&mut l2b, &mut stb);
 
         assert_eq!(sta, stb);
+    }
+
+    #[test]
+    fn batched_replay_matches_per_event_replay() {
+        // A trace heavy in same-sector runs (the batched fast path) plus
+        // eviction pressure, replayed both ways against twin L2s.
+        let mut trace = BlockTrace::new();
+        for i in 0..64u64 {
+            let sector = 0x80000 + (i % 9) * 32;
+            for _ in 0..(i % 4) + 1 {
+                trace.push(sector, i % 2 == 0);
+            }
+            trace.push(0x90000 + i * 128, false); // eviction pressure
+        }
+
+        let dev = DeviceConfig::test_tiny();
+        let mut l2_fast = new_l2(&dev);
+        let mut st_fast = KernelStats::default();
+        replay_trace(&trace, &mut l2_fast, &mut st_fast);
+
+        let mut l2_ref = new_l2(&dev);
+        let mut st_ref = KernelStats::default();
+        for (sector, is_store) in trace.iter() {
+            l2_sector_access(&mut l2_ref, &mut st_ref, sector, is_store);
+        }
+
+        assert_eq!(st_fast, st_ref);
+        flush_l2(&mut l2_fast, &mut st_fast);
+        flush_l2(&mut l2_ref, &mut st_ref);
+        assert_eq!(st_fast, st_ref, "post-flush dirty state identical");
     }
 }

@@ -4,6 +4,7 @@
 //! [`KernelStats`] and final global-memory contents, at every worker-thread
 //! count.
 
+use memconv_gpusim::trace::BlockTrace;
 use memconv_gpusim::{
     DeviceConfig, FaultKind, FaultLog, FaultPlan, GpuSim, KernelStats, LaneMask, LaunchConfig,
     LaunchMode, PrivArray, SampleMode, VF, VU,
@@ -133,6 +134,48 @@ fn run_via(
     mem.extend_from_slice(sim.mem.download(bo2));
     mem.extend_from_slice(sim.mem.download(bc));
     (stats, mem, sim.take_fault_log())
+}
+
+/// Two consecutive launches on **one** simulator. In the parallel engine
+/// the second launch draws its block scratch (trace arenas, store-buffer
+/// page tables) from the pool recycled by the first — so this exercises
+/// the cross-launch reuse path, not just cross-block reuse.
+fn run_two_launches(
+    spec: &Spec,
+    mode: LaunchMode,
+    threads: usize,
+) -> (KernelStats, KernelStats, Vec<f32>) {
+    let mut sim = GpuSim::new(DeviceConfig::test_tiny()).with_launch_mode(mode);
+    sim.set_parallel_threads(Some(threads));
+    let n = spec.blocks * spec.tpb;
+    let data: Vec<f32> = (0..n).map(|i| ((i * 31) % 97) as f32 * 0.25).collect();
+    let bi = sim.mem.upload(&data);
+    let bo = sim.mem.alloc(n as usize);
+    let bo2 = sim.mem.alloc(n as usize);
+    let cfg = LaunchConfig::linear(spec.blocks, spec.tpb).with_sample(spec.sample_mode());
+
+    // Each launch reads one buffer and writes another (race-free within a
+    // launch, as the engine contract requires); the second launch consumes
+    // the first's output, with a different stride/offset, so it must not
+    // see stale trace events or store-buffer pages from the first.
+    let make_kernel = |src, dst, stride: u32, off: u32| {
+        move |blk: &mut memconv_gpusim::BlockCtx<'_>| {
+            blk.each_warp(|w| {
+                let tid = w.global_tid_x();
+                let strided = VU::from_fn(|l| tid.lane(l).wrapping_mul(stride) % n);
+                let a = w.gld(src, &strided, LaneMask::ALL);
+                let b = w.gld(src, &tid, LaneMask::ALL);
+                let r = w.fma(a, VF::splat(2.0), b);
+                let out_idx = VU::from_fn(|l| (tid.lane(l) + off) % n);
+                w.gst(dst, &out_idx, &r, LaneMask::ALL);
+            });
+        }
+    };
+    let s1 = sim.launch(&cfg, make_kernel(bi, bo, spec.stride, spec.off));
+    let s2 = sim.launch(&cfg, make_kernel(bo, bo2, spec.stride + 1, spec.off / 2));
+    let mut mem = sim.mem.download(bo).to_vec();
+    mem.extend_from_slice(sim.mem.download(bo2));
+    (s1, s2, mem)
 }
 
 proptest! {
@@ -294,5 +337,61 @@ proptest! {
         prop_assert_eq!(&seq_stats, &par_stats);
         prop_assert_eq!(&seq_mem, &par_mem);
         prop_assert_eq!(&seq_log, &par_log);
+    }
+
+    /// The compact varint trace is lossless: any stream of 32-byte-aligned
+    /// sector events decodes back in order, `len` counts pushes, and the
+    /// run view expands to exactly the original stream.
+    #[test]
+    fn trace_encoding_roundtrips(
+        // Low bit selects load/store, the rest a sector index — one u64 per
+        // event because the proptest shim has no tuple strategies.
+        units in proptest::collection::vec(0u64..(1 << 21), 0..256),
+    ) {
+        let events: Vec<(u64, bool)> = units
+            .iter()
+            .map(|&u| ((1u64 << 32) + (u >> 1) * 32, u & 1 == 1))
+            .collect();
+        let mut t = BlockTrace::new();
+        for &(s, w) in &events {
+            t.push(s, w);
+        }
+        prop_assert_eq!(t.len(), events.len());
+        let decoded: Vec<(u64, bool)> = t.iter().collect();
+        prop_assert_eq!(&decoded, &events);
+        let expanded: Vec<(u64, bool)> = t
+            .runs()
+            .flat_map(|(s, w, n)| std::iter::repeat_n((s, w), n as usize))
+            .collect();
+        prop_assert_eq!(&expanded, &events);
+    }
+
+    /// Scratch reuse is invisible: a parallel simulator running two
+    /// launches back to back (the second fed from the first's recycled
+    /// scratch pool) matches a sequential reference exactly, per-launch
+    /// stats and final memory alike.
+    #[test]
+    fn recycled_scratch_pool_is_bit_identical_across_launches(
+        blocks in 1u32..10,
+        tpb_sel in 0u8..2,
+        stride in 1u32..9,
+        off in 0u32..70,
+        sample in 0u8..4,
+        threads in 1usize..5,
+    ) {
+        let spec = Spec {
+            blocks,
+            tpb: if tpb_sel == 0 { 32 } else { 64 },
+            stride,
+            off,
+            use_shared: false,
+            use_local: false,
+            sample,
+        };
+        let (seq_s1, seq_s2, seq_mem) = run_two_launches(&spec, LaunchMode::Sequential, 1);
+        let (par_s1, par_s2, par_mem) = run_two_launches(&spec, LaunchMode::Parallel, threads);
+        prop_assert_eq!(&seq_s1, &par_s1, "first launch diverged");
+        prop_assert_eq!(&seq_s2, &par_s2, "second launch (recycled scratch) diverged");
+        prop_assert_eq!(seq_mem, par_mem);
     }
 }

@@ -81,6 +81,65 @@ where
     collected.into_iter().map(|(_, r)| r).collect()
 }
 
+/// [`map_indexed_with`] with per-worker scratch state.
+///
+/// Each worker thread owns one `S` built by `init` and threads it through
+/// every item it processes; the states are handed back to the caller when
+/// all workers finish (in no particular order, `threads` of them at most).
+/// This is how the simulator's launch engine recycles per-worker scratch
+/// (trace arenas, store-buffer page tables) across blocks without sharing
+/// or locking on the hot path. Scheduling, ordering and panic propagation
+/// are identical to [`map_indexed_with`].
+pub fn map_indexed_scoped<R, S, I, F>(n: usize, threads: usize, init: I, f: F) -> (Vec<R>, Vec<S>)
+where
+    R: Send,
+    S: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(usize, &mut S) -> R + Sync,
+{
+    let threads = threads.clamp(1, n.max(1));
+    if threads <= 1 || n <= 1 {
+        let mut state = init();
+        let out = (0..n).map(|i| f(i, &mut state)).collect();
+        return (out, vec![state]);
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut collected: Vec<(usize, R)> = Vec::with_capacity(n);
+    let mut states: Vec<S> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut state = init();
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i, &mut state)));
+                    }
+                    (local, state)
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok((local, state)) => {
+                    collected.extend(local);
+                    states.push(state);
+                }
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+
+    collected.sort_unstable_by_key(|(i, _)| *i);
+    debug_assert_eq!(collected.len(), n);
+    (collected.into_iter().map(|(_, r)| r).collect(), states)
+}
+
 /// Order-preserving parallel map of `f` over `0..n` using [`num_threads`].
 pub fn map_indexed<R, F>(n: usize, f: F) -> Vec<R>
 where
@@ -152,6 +211,47 @@ mod tests {
             }
         });
         assert!(data.iter().enumerate().all(|(k, &v)| v == k as u32));
+    }
+
+    #[test]
+    fn map_indexed_scoped_preserves_order_and_returns_states() {
+        for threads in [1, 2, 3, 7] {
+            let (out, states) = map_indexed_scoped(
+                100,
+                threads,
+                || 0usize,
+                |i, count| {
+                    *count += 1;
+                    i * i
+                },
+            );
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+            assert!(!states.is_empty() && states.len() <= threads.max(1));
+            assert_eq!(states.iter().sum::<usize>(), 100, "every item counted once");
+        }
+    }
+
+    #[test]
+    fn map_indexed_scoped_handles_empty_input() {
+        let (out, states) = map_indexed_scoped(0, 4, || 7u32, |i, _| i);
+        assert_eq!(out, Vec::<usize>::new());
+        assert_eq!(states, vec![7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scoped boom")]
+    fn map_indexed_scoped_propagates_worker_panic() {
+        map_indexed_scoped(
+            8,
+            2,
+            || (),
+            |i, _| {
+                if i == 5 {
+                    panic!("scoped boom");
+                }
+                i
+            },
+        );
     }
 
     #[test]

@@ -28,4 +28,11 @@ cargo run --release -q -p memconv-bench --bin serve -- --smoke --gate
 echo "==> observability gate (profile --smoke --gate)"
 cargo run --release -q -p memconv-bench --bin profile -- --smoke --gate
 
+# Parallel-engine throughput gate: every fig3 panel under both engines;
+# enforces parallel >= sequential blocks/sec on hosts with >= 4 hardware
+# threads, and prints a skip reason (without failing) on smaller hosts.
+echo "==> launch-engine ratio gate (fig3 --mode both --json --gate)"
+cargo run --release -q -p memconv-bench --bin fig3 -- \
+  --mode both --json --gate --filter 3 --max-size 1024
+
 echo "CI gate passed."

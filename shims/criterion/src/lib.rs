@@ -75,6 +75,28 @@ impl fmt::Display for BenchmarkId {
     }
 }
 
+/// Upstream's hint for how much memory a batched input costs. The shim
+/// times setup and routine separately per iteration instead of building
+/// real batches, so the hint is accepted but unused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Inputs are cheap to hold in memory.
+    SmallInput,
+    /// Inputs are large; batches should be small.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Measured quantity per iteration, for derived rate reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iterations process this many logical elements each.
+    Elements(u64),
+    /// Iterations process this many bytes each.
+    Bytes(u64),
+}
+
 /// Passed to benchmark closures; `iter` runs and times the routine.
 pub struct Bencher {
     /// Accumulated (elapsed, iterations) samples.
@@ -111,6 +133,51 @@ impl Bencher {
             self.samples.push((t.elapsed(), iters_per_batch));
         }
     }
+
+    /// Time `routine` on fresh inputs from `setup`, excluding setup cost.
+    ///
+    /// Unlike upstream, inputs are built one at a time and each routine call
+    /// is timed individually (durations summed per sample) — no input batch
+    /// is ever materialized, so expensive inputs (cloned caches, large
+    /// buffers) cost one live instance regardless of iteration count. The
+    /// per-call timer overhead (~tens of ns) is negligible for the µs-scale
+    /// routines this workspace batches.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warm-up: discover how many timed calls approximate a batch.
+        let mut iters_per_batch = 1u64;
+        let warm_start = Instant::now();
+        loop {
+            let mut timed = Duration::ZERO;
+            for _ in 0..iters_per_batch {
+                let input = setup();
+                let t = Instant::now();
+                std_black_box(routine(input));
+                timed += t.elapsed();
+            }
+            if warm_start.elapsed() >= WARMUP && timed >= TARGET_BATCH / 4 {
+                break;
+            }
+            if timed < TARGET_BATCH / 2 {
+                iters_per_batch = iters_per_batch.saturating_mul(2);
+            } else {
+                break;
+            }
+        }
+        for _ in 0..self.sample_size {
+            let mut timed = Duration::ZERO;
+            for _ in 0..iters_per_batch {
+                let input = setup();
+                let t = Instant::now();
+                std_black_box(routine(input));
+                timed += t.elapsed();
+            }
+            self.samples.push((timed, iters_per_batch));
+        }
+    }
 }
 
 fn fmt_duration(d: Duration) -> String {
@@ -126,7 +193,31 @@ fn fmt_duration(d: Duration) -> String {
     }
 }
 
-fn run_one(name: &str, filter: Option<&str>, sample_size: usize, f: impl FnOnce(&mut Bencher)) {
+/// Human-readable rate from a per-iteration time and a [`Throughput`].
+fn fmt_rate(per_iter_s: f64, thrpt: Throughput) -> String {
+    let (count, unit) = match thrpt {
+        Throughput::Elements(n) => (n, "elem"),
+        Throughput::Bytes(n) => (n, "B"),
+    };
+    let rate = count as f64 / per_iter_s.max(1e-12);
+    if rate >= 1e9 {
+        format!("{:.2} G{unit}/s", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2} M{unit}/s", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2} K{unit}/s", rate / 1e3)
+    } else {
+        format!("{rate:.1} {unit}/s")
+    }
+}
+
+fn run_one(
+    name: &str,
+    filter: Option<&str>,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: impl FnOnce(&mut Bencher),
+) {
     if let Some(pat) = filter {
         if !name.contains(pat) {
             return;
@@ -149,8 +240,11 @@ fn run_one(name: &str, filter: Option<&str>, sample_size: usize, f: impl FnOnce(
     let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = per_iter.iter().cloned().fold(0.0f64, f64::max);
     let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let thrpt = throughput
+        .map(|t| format!("  thrpt: {}", fmt_rate(mean, t)))
+        .unwrap_or_default();
     println!(
-        "{name:<48} time: [{} {} {}]",
+        "{name:<48} time: [{} {} {}]{thrpt}",
         fmt_duration(Duration::from_secs_f64(min)),
         fmt_duration(Duration::from_secs_f64(mean)),
         fmt_duration(Duration::from_secs_f64(max)),
@@ -176,7 +270,7 @@ impl Default for Criterion {
 impl Criterion {
     /// Run a standalone benchmark function.
     pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
-        run_one(name, self.filter.as_deref(), DEFAULT_SAMPLES, f);
+        run_one(name, self.filter.as_deref(), DEFAULT_SAMPLES, None, f);
         self
     }
 
@@ -186,6 +280,7 @@ impl Criterion {
             criterion: self,
             name: name.into(),
             sample_size: DEFAULT_SAMPLES,
+            throughput: None,
         }
     }
 
@@ -198,12 +293,20 @@ pub struct BenchmarkGroup<'a> {
     criterion: &'a mut Criterion,
     name: String,
     sample_size: usize,
+    throughput: Option<Throughput>,
 }
 
 impl BenchmarkGroup<'_> {
     /// Number of timed samples per benchmark.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.sample_size = n.max(2);
+        self
+    }
+
+    /// Per-iteration work, enabling derived elem/s or B/s rate reporting
+    /// for every subsequent benchmark in the group.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
         self
     }
 
@@ -214,7 +317,13 @@ impl BenchmarkGroup<'_> {
         f: F,
     ) -> &mut Self {
         let full = format!("{}/{}", self.name, id.into());
-        run_one(&full, self.criterion.filter.as_deref(), self.sample_size, f);
+        run_one(
+            &full,
+            self.criterion.filter.as_deref(),
+            self.sample_size,
+            self.throughput,
+            f,
+        );
         self
     }
 
@@ -230,6 +339,7 @@ impl BenchmarkGroup<'_> {
             &full,
             self.criterion.filter.as_deref(),
             self.sample_size,
+            self.throughput,
             |b| f(b, input),
         );
         self
