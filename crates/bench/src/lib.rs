@@ -259,10 +259,11 @@ pub fn write_json(path: &str, items: &[String]) -> std::io::Result<()> {
     std::fs::write(path, format!("[\n  {}\n]\n", items.join(",\n  ")))
 }
 
-/// The identity prefix of a serialized [`BenchRecord`] line:
-/// `{"figure":...,"mode":...,"threads":N` — everything before the
-/// measurement fields. Tolerates rows written before `host_parallelism`
-/// existed.
+/// The identity prefix of a serialized bench row:
+/// everything before the measurement fields (`host_parallelism` onward).
+/// Tolerates rows written before `host_parallelism` existed. Any harness
+/// row that puts its identity fields (figure/kernel/mode/threads) before
+/// `"host_parallelism"` gets replace-on-rerun dedup for free.
 fn record_key(line: &str) -> &str {
     let cut = line
         .find(",\"host_parallelism\"")
@@ -271,12 +272,12 @@ fn record_key(line: &str) -> &str {
     &line[..cut]
 }
 
-/// Append records to a JSON-array file (default `BENCH_sim.json`). Existing
-/// records are preserved, except that a new record **replaces** any old one
-/// with the same (figure, mode, threads) identity — so re-running a harness
+/// Append pre-serialized rows to a `BENCH_*.json` array file. Existing
+/// rows are preserved, except that a new row **replaces** any old one with
+/// the same identity prefix (see [`record_key`]) — so re-running a harness
 /// (or `scripts/ci.sh`) refreshes measurements in place instead of growing
 /// the file without bound.
-pub fn append_bench_json(path: &str, records: &[BenchRecord]) -> std::io::Result<()> {
+pub fn append_json_rows(path: &str, fresh: &[String]) -> std::io::Result<()> {
     let mut items: Vec<String> = Vec::new();
     if let Ok(existing) = std::fs::read_to_string(path) {
         if let Some(inner) = existing
@@ -292,10 +293,17 @@ pub fn append_bench_json(path: &str, records: &[BenchRecord]) -> std::io::Result
             );
         }
     }
-    let fresh: Vec<String> = records.iter().map(|r| r.to_json()).collect();
     items.retain(|old| !fresh.iter().any(|new| record_key(old) == record_key(new)));
-    items.extend(fresh);
+    items.extend(fresh.iter().cloned());
     write_json(path, &items)
+}
+
+/// Append [`BenchRecord`]s to a JSON-array file (default `BENCH_sim.json`)
+/// with [`append_json_rows`]'s replace-on-identity semantics — identity
+/// here is (figure, mode, threads).
+pub fn append_bench_json(path: &str, records: &[BenchRecord]) -> std::io::Result<()> {
+    let fresh: Vec<String> = records.iter().map(|r| r.to_json()).collect();
+    append_json_rows(path, &fresh)
 }
 
 /// The value following `--flag` on the command line, parsed as `T`.

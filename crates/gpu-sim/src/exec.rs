@@ -29,17 +29,20 @@
 //!   global data written by a *different block of the same launch* — which
 //!   CUDA already leaves undefined without grid-wide synchronization.
 
-use crate::analysis::{AnalysisConfig, BlockCollector, HazardReport, LaunchCollector, SiteId};
+use crate::analysis::{
+    AccessClass, AnalysisConfig, BlockCollector, HazardReport, LaunchCollector, SiteId,
+};
 use crate::device::DeviceConfig;
 use crate::faults::{self, BlockFaults, FaultLog, FaultPlan};
 use crate::lane::{LaneMask, LaneVec, VF, VU, WARP};
 use crate::memory::hierarchy::{
-    flush_l2, new_l1, new_l2, replay_trace, warp_access, L2Sink, Space,
+    flush_l2, new_l1, new_l2, phantom_access, replay_trace, warp_access, L2Sink, Space,
 };
 use crate::memory::{BufId, GlobalMem, SectoredCache, SharedMem};
 use crate::obs::{LaunchSpanRecord, SpanConfig, SpanScratch};
 use crate::shuffle;
 use crate::stats::KernelStats;
+use crate::sym::{PhantomConfig, PredictModel, SymBlockCollector, SymReport};
 use crate::trace::{BlockTrace, GlobalView, StoreBuffer};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
@@ -314,6 +317,9 @@ struct Watchdog {
 struct LaunchEnv {
     analyze: bool,
     faults: Option<FaultPlan>,
+    /// Phantom (data-free) execution; see [`crate::sym`]. Mutually
+    /// exclusive with `analyze` and `faults`.
+    phantom: Option<PhantomConfig>,
     launch_seq: u64,
     watchdog: Option<u64>,
 }
@@ -331,6 +337,13 @@ struct Resources<'a> {
     /// Fault-injection state; `None` (the default) keeps every instrumented
     /// path byte-for-byte the plain path, like `analysis`.
     faults: Option<&'a mut BlockFaults>,
+    /// Phantom-mode configuration; `Some` routes every memory access
+    /// through the data-free path ([`crate::memory::phantom_access`]) and
+    /// makes loads return the canary. `None` (the default) is the plain
+    /// path, untouched.
+    phantom: Option<PhantomConfig>,
+    /// Symbolic site collector; `Some` exactly when `phantom` is.
+    sym: Option<&'a mut SymBlockCollector>,
     /// Instruction-budget watchdog; armed by [`GpuSim::try_launch`] (or an
     /// explicit [`GpuSim::set_watchdog_budget`]), absent otherwise.
     watchdog: Option<Watchdog>,
@@ -583,6 +596,27 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
         self.res.tick(1);
         let mut addrs = [0u64; WARP];
         self.res.glob.fill_addrs(buf, idx, mask, &mut addrs);
+        if let Some(ph) = self.res.phantom {
+            let txns = phantom_access(
+                self.res.dev,
+                self.res.stats,
+                &addrs,
+                mask,
+                false,
+                Space::Global,
+            );
+            self.sym_record(site, AccessClass::GlobalLoad, &addrs, mask, txns, false);
+            // Bounds parity with the real path: perform the read (OOB
+            // panics byte-identically) but discard the data.
+            let _ = self.res.glob.read_lanes(buf, idx, mask);
+            return VF::from_fn(|l| {
+                if mask.get(l) {
+                    ph.canary + l as f32
+                } else {
+                    0.0
+                }
+            });
+        }
         let txns = warp_access(
             self.res.dev,
             &mut self.res.l1,
@@ -620,6 +654,35 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
         self.res.tick(1);
         let mut addrs = [0u64; WARP];
         self.res.glob.fill_addrs(buf, idx, mask, &mut addrs);
+        if self.res.phantom.is_some() {
+            let _ = val;
+            let txns = phantom_access(
+                self.res.dev,
+                self.res.stats,
+                &addrs,
+                mask,
+                true,
+                Space::Global,
+            );
+            self.sym_record(site, AccessClass::GlobalStore, &addrs, mask, txns, false);
+            // Check-only bounds pass in the same (descending-lane) order as
+            // the real store, with byte-identical diagnostics; the data is
+            // dropped.
+            let len = self.res.glob.len(buf);
+            for l in (0..WARP).rev() {
+                if !mask.get(l) {
+                    continue;
+                }
+                let i = idx.lane(l);
+                if i as usize >= len {
+                    panic!(
+                        "device write OOB: buffer {} has {len} elems, index {}",
+                        buf.0, i
+                    );
+                }
+            }
+            return;
+        }
         let txns = warp_access(
             self.res.dev,
             &mut self.res.l1,
@@ -664,6 +727,48 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
         safe
     }
 
+    /// Feed one request to the symbolic collector (phantom mode only; a
+    /// no-op otherwise). The prediction model is implied by the access
+    /// class — sectors for global/local, banks for scalar shared; the
+    /// vectorized shared load overrides it via
+    /// [`WarpCtx::sym_record_model`].
+    fn sym_record(
+        &mut self,
+        site: SiteId,
+        class: AccessClass,
+        vals: &[u64; WARP],
+        mask: LaneMask,
+        measured: u64,
+        dynamic: bool,
+    ) {
+        let model = match class {
+            AccessClass::SharedLoad | AccessClass::SharedStore => PredictModel::Banks {
+                banks: self.res.dev.smem_banks as u32,
+            },
+            _ => PredictModel::Sectors {
+                sector_bytes: self.res.dev.sector_bytes as u64,
+            },
+        };
+        self.sym_record_model(site, class, vals, mask, measured, model, dynamic);
+    }
+
+    /// [`WarpCtx::sym_record`] with an explicit prediction model.
+    #[allow(clippy::too_many_arguments)]
+    fn sym_record_model(
+        &mut self,
+        site: SiteId,
+        class: AccessClass,
+        vals: &[u64; WARP],
+        mask: LaneMask,
+        measured: u64,
+        model: PredictModel,
+        dynamic: bool,
+    ) {
+        if let Some(s) = self.res.sym.as_deref_mut() {
+            s.record(site, class, vals, mask, measured, model, dynamic);
+        }
+    }
+
     /// Constant-memory broadcast load: one uniform element of `buf` read
     /// through the constant cache (`__constant__` filter weights in the
     /// paper's kernels). Uniform constant-cache reads are served at
@@ -672,7 +777,13 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
     pub fn const_load(&mut self, buf: BufId, idx: u32) -> VF {
         self.res.tick(1);
         self.res.stats.fp_instrs += 1;
-        VF::splat(self.res.glob.read_elem(buf, idx))
+        let v = self.res.glob.read_elem(buf, idx);
+        match self.res.phantom {
+            // Phantom: the read above keeps bounds parity; the value is
+            // replaced by the canary.
+            Some(ph) => VF::splat(ph.canary),
+            None => VF::splat(v),
+        }
     }
 
     // ----- shared memory ----------------------------------------------------
@@ -691,6 +802,10 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
         self.res.stats.smem_accesses += 1;
         self.res.stats.smem_passes += passes;
         self.record_shared(site, idx, mask, eff, passes, 1, false);
+        if self.res.sym.is_some() {
+            let words = std::array::from_fn(|l| idx.lane(l) as u64);
+            self.sym_record(site, AccessClass::SharedLoad, &words, eff, passes, false);
+        }
         self.shared_faulted(idx, eff, 1);
         v
     }
@@ -706,6 +821,20 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
         self.res.stats.smem_accesses += 1;
         self.res.stats.smem_passes += passes;
         self.record_shared(site, idx, mask, eff, passes, K as u32, false);
+        if self.res.sym.is_some() {
+            // Vectorized loads have a segment-based pass model; the site is
+            // classified and hashed but carries no closed-form obligation.
+            let words = std::array::from_fn(|l| idx.lane(l) as u64);
+            self.sym_record_model(
+                site,
+                AccessClass::SharedLoad,
+                &words,
+                eff,
+                passes,
+                PredictModel::Measured,
+                false,
+            );
+        }
         self.shared_faulted(idx, eff, K as u32);
         v
     }
@@ -720,6 +849,10 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
         self.res.stats.smem_accesses += 1;
         self.res.stats.smem_passes += passes;
         self.record_shared(site, idx, mask, eff, passes, 1, true);
+        if self.res.sym.is_some() {
+            let words = std::array::from_fn(|l| idx.lane(l) as u64);
+            self.sym_record(site, AccessClass::SharedStore, &words, eff, passes, false);
+        }
         self.shared_faulted(idx, eff, 1);
     }
 
@@ -822,6 +955,23 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
         for l in mask.lanes() {
             addrs[l] = self.local_base + (slot + idx.lane(l) as u64) * 128 + l as u64 * 4;
         }
+        if self.res.phantom.is_some() {
+            let txns = phantom_access(
+                self.res.dev,
+                self.res.stats,
+                &addrs,
+                mask,
+                is_store,
+                Space::Local,
+            );
+            let class = if is_store {
+                AccessClass::LocalStore
+            } else {
+                AccessClass::LocalLoad
+            };
+            self.sym_record(site, class, &addrs, mask, txns, dynamic);
+            return;
+        }
         let txns = warp_access(
             self.res.dev,
             &mut self.res.l1,
@@ -873,6 +1023,10 @@ struct BlockOutcome {
     /// Fault-injection state, present only when a [`FaultPlan`] is armed;
     /// its log merges in block-linear order during phase 2, like hazards.
     faults: Option<BlockFaults>,
+    /// Symbolic site state, present only under a phantom launch; merged
+    /// into the launch collector in block-linear order during phase 2, so
+    /// [`SymReport`]s are identical across [`LaunchMode`]s.
+    sym: Option<SymBlockCollector>,
 }
 
 /// Run one block functionally against a memory snapshot, recording its
@@ -897,6 +1051,7 @@ fn run_block_traced(
     let mut faults = env
         .faults
         .map(|p| BlockFaults::new(&p, env.launch_seq, linear));
+    let mut sym = env.phantom.map(|_| SymBlockCollector::for_block());
     let mut blk = BlockCtx {
         res: Resources {
             dev,
@@ -907,6 +1062,8 @@ fn run_block_traced(
             shared: SharedMem::new(cfg.shared_words, dev.smem_banks),
             analysis: collector.as_mut(),
             faults: faults.as_mut(),
+            phantom: env.phantom,
+            sym: sym.as_mut(),
             watchdog: env.watchdog.map(|budget| Watchdog { budget, issued: 0 }),
         },
         block_idx: cfg.coords(linear),
@@ -924,6 +1081,7 @@ fn run_block_traced(
         store,
         collector,
         faults,
+        sym,
     }
 }
 
@@ -932,6 +1090,14 @@ fn run_block_traced(
 struct AnalysisState {
     cfg: AnalysisConfig,
     collector: LaunchCollector,
+}
+
+/// Canary plus the accumulating symbolic collector for a phantom-enabled
+/// simulator.
+#[derive(Debug)]
+struct PhantomState {
+    cfg: PhantomConfig,
+    collector: SymBlockCollector,
 }
 
 /// The simulated GPU: a device description plus its global memory.
@@ -944,6 +1110,7 @@ pub struct GpuSim {
     mode: LaunchMode,
     parallel_threads: Option<usize>,
     analysis: Option<AnalysisState>,
+    phantom: Option<PhantomState>,
     faults: Option<FaultPlan>,
     fault_log: FaultLog,
     watchdog_budget: Option<u64>,
@@ -964,6 +1131,7 @@ impl GpuSim {
             mode: LaunchMode::default(),
             parallel_threads: None,
             analysis: None,
+            phantom: None,
             faults: None,
             fault_log: FaultLog::default(),
             watchdog_budget: None,
@@ -1103,6 +1271,52 @@ impl GpuSim {
         self.analysis.is_some()
     }
 
+    /// Enable (`Some`) or disable (`None`) phantom (data-free) execution
+    /// for subsequent launches — see [`crate::sym`]. While enabled, every
+    /// launch runs through [`crate::memory::phantom_access`]: request and
+    /// transaction counters are produced exactly as in a real run (for
+    /// data-independent kernels), but no tensor data is read or written —
+    /// loads return the canary, stores are bounds-checked and dropped —
+    /// and every access site accumulates symbolic state drained by
+    /// [`GpuSim::take_sym_report`].
+    ///
+    /// Phantom mode is mutually exclusive with hazard analysis and fault
+    /// injection (both instrument the real datapath this mode removes);
+    /// arming it while either is active panics.
+    pub fn set_phantom(&mut self, cfg: Option<PhantomConfig>) {
+        if cfg.is_some() {
+            assert!(
+                self.analysis.is_none() && self.faults.is_none(),
+                "phantom mode excludes hazard analysis and fault injection"
+            );
+        }
+        self.phantom = cfg.map(|cfg| PhantomState {
+            cfg,
+            collector: SymBlockCollector::default(),
+        });
+    }
+
+    /// Builder-style [`GpuSim::set_phantom`].
+    pub fn with_phantom(mut self, cfg: PhantomConfig) -> Self {
+        self.set_phantom(Some(cfg));
+        self
+    }
+
+    /// `true` while phantom execution is armed.
+    pub fn phantom_enabled(&self) -> bool {
+        self.phantom.is_some()
+    }
+
+    /// Freeze and drain the symbolic state accumulated since phantom mode
+    /// was enabled (or last drained) into a [`SymReport`]; `None` when
+    /// phantom mode is disabled. Like hazard reports, the result is
+    /// bit-identical across [`LaunchMode`]s and thread counts.
+    pub fn take_sym_report(&mut self) -> Option<SymReport> {
+        let st = self.phantom.as_mut()?;
+        let collector = std::mem::take(&mut st.collector);
+        Some(collector.into_report())
+    }
+
     /// Run the lint passes over everything recorded since analysis was
     /// enabled (or last drained), reset the recorder, and return the
     /// report; `None` when analysis is disabled.
@@ -1215,9 +1429,16 @@ impl GpuSim {
         watchdog: Option<u64>,
     ) -> KernelStats {
         self.launch_seq += 1;
+        if self.phantom.is_some() {
+            assert!(
+                self.analysis.is_none() && self.faults.is_none(),
+                "phantom mode excludes hazard analysis and fault injection"
+            );
+        }
         let env = LaunchEnv {
             analyze: self.analysis.is_some(),
             faults: self.faults.filter(|p| !p.is_empty()),
+            phantom: self.phantom.as_ref().map(|p| p.cfg),
             launch_seq: self.launch_seq,
             watchdog,
         };
@@ -1281,6 +1502,7 @@ impl GpuSim {
             let mut faults = env
                 .faults
                 .map(|p| BlockFaults::new(&p, env.launch_seq, linear));
+            let mut sym = env.phantom.map(|_| SymBlockCollector::for_block());
             let mut blk = BlockCtx {
                 res: Resources {
                     dev: &self.device,
@@ -1291,6 +1513,8 @@ impl GpuSim {
                     shared: SharedMem::new(cfg.shared_words, self.device.smem_banks),
                     analysis: collector.as_mut(),
                     faults: faults.as_mut(),
+                    phantom: env.phantom,
+                    sym: sym.as_mut(),
                     watchdog: env.watchdog.map(|budget| Watchdog { budget, issued: 0 }),
                 },
                 block_idx: cfg.coords(linear),
@@ -1309,6 +1533,13 @@ impl GpuSim {
             }
             if let Some(f) = faults {
                 self.fault_log.merge(f.log());
+            }
+            if let Some(s) = sym {
+                self.phantom
+                    .as_mut()
+                    .expect("phantom enabled")
+                    .collector
+                    .merge(&s);
             }
             if let Some(s) = scratch.as_deref_mut() {
                 let before = snapshot.expect("snapshot taken when recording");
@@ -1408,6 +1639,13 @@ impl GpuSim {
                 }
                 if let Some(f) = outcome.faults {
                     self.fault_log.merge(f.log());
+                }
+                if let Some(s) = outcome.sym {
+                    self.phantom
+                        .as_mut()
+                        .expect("phantom enabled")
+                        .collector
+                        .merge(&s);
                 }
                 if let Some(s) = scratch.as_deref_mut() {
                     let before = snapshot.expect("snapshot taken when recording");
@@ -1788,5 +2026,121 @@ mod mode_tests {
                 w.gst(bo, &tid, &VF::splat(0.0), LaneMask::ALL);
             });
         });
+    }
+}
+
+#[cfg(test)]
+mod phantom_tests {
+    use super::*;
+
+    /// A kernel touching every instrumented space: strided global loads,
+    /// shared round-trip, a dynamically indexed private array (local
+    /// traffic), and global stores.
+    fn mixed(sim: &mut GpuSim) -> KernelStats {
+        let n = 32 * 24u32;
+        let bi = sim.mem.alloc(n as usize);
+        let bo = sim.mem.alloc(n as usize);
+        let cfg = LaunchConfig::linear(24, 32).with_shared(64);
+        sim.launch(&cfg, |blk| {
+            blk.each_warp(|w| {
+                let tid = w.global_tid_x();
+                let strided = VU::from_fn(|l| (tid.lane(l) * 2) % n);
+                let a = w.gld(bi, &strided, LaneMask::ALL);
+                w.sst(&w.thread_idx().clone(), &a, LaneMask::ALL);
+            });
+            blk.barrier();
+            blk.each_warp(|w| {
+                let mut p = crate::priv_array::PrivArray::<4>::local();
+                for i in 0..4 {
+                    p.set(w, i, VF::splat(i as f32));
+                }
+                let didx = VU::from_fn(|l| (l % 4) as u32);
+                let d = p.get_dyn(w, &didx, LaneMask::ALL);
+                let v = w.sld(&w.thread_idx().clone(), LaneMask::ALL);
+                let r = w.fadd(v, d);
+                w.gst(bo, &w.global_tid_x(), &r, LaneMask::ALL);
+            });
+        })
+    }
+
+    /// The transaction-subset counters a phantom run must reproduce
+    /// bit-for-bit (the cache/DRAM counters are intentionally zero in
+    /// phantom mode — nothing reaches L1).
+    fn txn_subset(s: &KernelStats) -> Vec<u64> {
+        vec![
+            s.gld_requests,
+            s.gld_transactions,
+            s.gst_requests,
+            s.gst_transactions,
+            s.local_requests,
+            s.local_ld_transactions,
+            s.local_st_transactions,
+            s.smem_accesses,
+            s.smem_passes,
+        ]
+    }
+
+    #[test]
+    fn phantom_reproduces_transaction_counters_and_leaves_memory_untouched() {
+        let mut real = GpuSim::new(DeviceConfig::test_tiny());
+        let real_stats = mixed(&mut real);
+
+        let mut ph = GpuSim::new(DeviceConfig::test_tiny()).with_phantom(PhantomConfig::default());
+        let ph_stats = mixed(&mut ph);
+
+        assert_eq!(txn_subset(&real_stats), txn_subset(&ph_stats));
+        // Nothing below the coalescer runs in phantom mode.
+        assert_eq!(ph_stats.l1_hit_sectors, 0);
+        assert_eq!(ph_stats.l2_accesses, 0);
+        assert_eq!(ph_stats.dram_read_sectors, 0);
+        // The output buffer (second alloc) was never written.
+        let report = ph.take_sym_report().expect("phantom armed");
+        assert!(report.is_exact(), "closed forms must match the simulator");
+        assert_eq!(
+            report.data_dependent_sites().len(),
+            1,
+            "exactly the PrivArray::get_dyn site is top"
+        );
+    }
+
+    #[test]
+    fn phantom_sym_report_identical_across_engines_and_canaries() {
+        let run = |mode, canary| {
+            let mut sim = GpuSim::new(DeviceConfig::test_tiny())
+                .with_launch_mode(mode)
+                .with_phantom(PhantomConfig { canary });
+            sim.set_parallel_threads(Some(3));
+            let stats = mixed(&mut sim);
+            (stats, sim.take_sym_report().expect("phantom armed"))
+        };
+        let (s_seq, r_seq) = run(LaunchMode::Sequential, 1.0);
+        let (s_par, r_par) = run(LaunchMode::Parallel, 1.0);
+        assert_eq!(s_seq, s_par, "phantom stats engine-independent");
+        assert_eq!(r_seq, r_par, "sym reports engine-independent");
+        // Differential phantom execution: a different canary must leave
+        // every address-stream hash untouched (data-independent kernel).
+        let (_, r_canary) = run(LaunchMode::Sequential, -7.5);
+        assert_eq!(r_seq.stream_hashes(), r_canary.stream_hashes());
+    }
+
+    #[test]
+    #[should_panic(expected = "device write OOB")]
+    fn phantom_store_oob_panics_byte_identically() {
+        let mut sim = GpuSim::new(DeviceConfig::test_tiny()).with_phantom(PhantomConfig::default());
+        let bo = sim.mem.alloc(8);
+        sim.launch(&LaunchConfig::linear(1, 32), |blk| {
+            blk.each_warp(|w| {
+                let tid = w.global_tid_x();
+                w.gst(bo, &tid, &VF::splat(0.0), LaneMask::ALL);
+            });
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "phantom mode excludes")]
+    fn phantom_excludes_analysis() {
+        let mut sim =
+            GpuSim::new(DeviceConfig::test_tiny()).with_analysis(AnalysisConfig::default());
+        sim.set_phantom(Some(PhantomConfig::default()));
     }
 }

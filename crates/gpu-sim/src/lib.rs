@@ -58,11 +58,13 @@ pub mod priv_array;
 pub mod report;
 pub mod shuffle;
 pub mod stats;
+pub mod sym;
 pub mod timing;
 pub mod trace;
 
 pub use analysis::{
-    AnalysisConfig, Hazard, HazardPass, HazardReport, LocalSiteTraffic, Severity, SiteId,
+    AccessClass, AnalysisConfig, Hazard, HazardPass, HazardReport, LocalSiteTraffic, Severity,
+    SiteId,
 };
 pub use device::DeviceConfig;
 pub use exec::{
@@ -76,4 +78,5 @@ pub use obs::{BlockSpan, LaunchSpanRecord, SpanConfig};
 pub use priv_array::{PrivArray, Residency};
 pub use report::{hazard_table, run_table, Profile};
 pub use stats::KernelStats;
+pub use sym::{PhantomConfig, SiteForm, SymReport, SymSiteRecord};
 pub use timing::{launch_time, RunReport, TimeBreakdown};

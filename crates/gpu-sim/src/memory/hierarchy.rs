@@ -151,6 +151,65 @@ pub fn warp_access(
     txns
 }
 
+/// The pure prefix of [`warp_access`]: coalesce a warp's lane addresses and
+/// bump the request/transaction counters for `space`, **without** touching
+/// the L1 or emitting anything toward L2/DRAM.
+///
+/// This is the phantom-execution datapath: transactions are a pure function
+/// of the addresses (the coalescer never reads memory), so a kernel run
+/// under phantom mode produces bit-identical request/transaction counters
+/// to a real run while leaving every cache/DRAM counter at zero and — in
+/// the parallel engine — recording no trace events at all.
+pub fn phantom_access(
+    dev: &DeviceConfig,
+    stats: &mut KernelStats,
+    addrs: &[u64; WARP],
+    mask: LaneMask,
+    is_store: bool,
+    space: Space,
+) -> u64 {
+    if mask.is_empty() {
+        return 0;
+    }
+    let res = coalesce(addrs, mask, 4, dev.sector_bytes as u64);
+    #[cfg(debug_assertions)]
+    {
+        // Same inactive-lane poisoning invariant as warp_access.
+        const POISON: u64 = 1 << 60;
+        let mut poisoned = *addrs;
+        for (l, p) in poisoned.iter_mut().enumerate() {
+            if !mask.get(l) {
+                *p = POISON + l as u64 * 4096;
+            }
+        }
+        let pres = coalesce(&poisoned, mask, 4, dev.sector_bytes as u64);
+        debug_assert_eq!(
+            pres.sectors, res.sectors,
+            "inactive-mask lanes contributed sectors to a phantom warp access"
+        );
+    }
+    let txns = res.transactions();
+    match (space, is_store) {
+        (Space::Global, false) => {
+            stats.gld_requests += 1;
+            stats.gld_transactions += txns;
+        }
+        (Space::Global, true) => {
+            stats.gst_requests += 1;
+            stats.gst_transactions += txns;
+        }
+        (Space::Local, false) => {
+            stats.local_requests += 1;
+            stats.local_ld_transactions += txns;
+        }
+        (Space::Local, true) => {
+            stats.local_requests += 1;
+            stats.local_st_transactions += txns;
+        }
+    }
+    txns
+}
+
 /// Classify `sectors` against the per-block L1 and forward every L2-bound
 /// sector — each store sector (write-through L1), each load miss — through
 /// the fault filter into `emit`. Generic over the emit target so both sink
@@ -564,6 +623,48 @@ mod tests {
         flush_l2(&mut l2b, &mut stb);
 
         assert_eq!(sta, stb);
+    }
+
+    #[test]
+    fn phantom_access_matches_warp_access_request_counters_only() {
+        // phantom_access must produce the identical request/transaction
+        // counters as warp_access while leaving L1/L2/DRAM counters zero
+        // and the deferred trace empty.
+        let (dev, mut l1, mut l2, mut real) = setup();
+        let a = seq_addrs(0x10000);
+        for &(is_store, space) in &[
+            (false, Space::Global),
+            (true, Space::Global),
+            (false, Space::Local),
+            (true, Space::Local),
+        ] {
+            access(&dev, &mut l1, &mut l2, &mut real, &a, is_store, space);
+        }
+        let mut ghost = KernelStats::default();
+        for &(is_store, space) in &[
+            (false, Space::Global),
+            (true, Space::Global),
+            (false, Space::Local),
+            (true, Space::Local),
+        ] {
+            let t = phantom_access(&dev, &mut ghost, &a, LaneMask::ALL, is_store, space);
+            assert_eq!(t, 4);
+        }
+        assert_eq!(ghost.gld_requests, real.gld_requests);
+        assert_eq!(ghost.gld_transactions, real.gld_transactions);
+        assert_eq!(ghost.gst_requests, real.gst_requests);
+        assert_eq!(ghost.gst_transactions, real.gst_transactions);
+        assert_eq!(ghost.local_requests, real.local_requests);
+        assert_eq!(ghost.local_ld_transactions, real.local_ld_transactions);
+        assert_eq!(ghost.local_st_transactions, real.local_st_transactions);
+        assert_eq!(ghost.l1_hit_sectors, 0);
+        assert_eq!(ghost.l2_accesses, 0);
+        assert_eq!(ghost.dram_read_sectors + ghost.dram_write_sectors, 0);
+        assert_eq!(
+            phantom_access(&dev, &mut ghost, &a, LaneMask::NONE, false, Space::Global),
+            0,
+            "empty mask is a no-op"
+        );
     }
 
     #[test]

@@ -10,5 +10,5 @@ pub mod shared;
 pub use cache::{Access, CachePolicy, SectoredCache};
 pub use coalescer::{coalesce, CoalesceResult};
 pub use global::{BufId, GlobalMem};
-pub use hierarchy::Space;
+pub use hierarchy::{phantom_access, Space};
 pub use shared::SharedMem;

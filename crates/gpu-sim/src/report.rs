@@ -52,12 +52,14 @@ impl fmt::Display for Profile {
         let sb = self.dev.sector_bytes;
         writeln!(f, "profile on {}", self.dev.name)?;
         writeln!(f, "  threads            {:>14}", s.threads)?;
+        let txns_per_req = match s.gld_transactions_per_request() {
+            Some(r) => format!("{r:.2} txns/req"),
+            None => "no load requests".to_string(),
+        };
         writeln!(
             f,
-            "  gld  requests/txns {:>14} / {} ({:.2} txns/req)",
-            s.gld_requests,
-            s.gld_transactions,
-            s.gld_transactions_per_request()
+            "  gld  requests/txns {:>14} / {} ({})",
+            s.gld_requests, s.gld_transactions, txns_per_req
         )?;
         writeln!(
             f,
@@ -71,11 +73,15 @@ impl fmt::Display for Profile {
                 s.local_transactions()
             )?;
         }
+        let pct = |r: Option<f64>| match r {
+            Some(r) => format!("{:.1}%", r * 100.0),
+            None => "-".to_string(),
+        };
         writeln!(
             f,
-            "  cache hit rates    {:>13.1}% L1, {:.1}% L2",
-            s.l1_hit_rate() * 100.0,
-            s.l2_hit_rate() * 100.0
+            "  cache hit rates    {:>14} L1, {} L2",
+            pct(s.l1_hit_rate()),
+            pct(s.l2_hit_rate())
         )?;
         writeln!(
             f,
@@ -219,6 +225,17 @@ mod tests {
         assert!(text.contains("4.20 txns/req"));
         assert!(text.contains("modeled time"));
         assert!(text.contains("-bound]"));
+    }
+
+    #[test]
+    fn display_marks_missing_rates_instead_of_zero() {
+        // zero requests: the profile must not print a (best-possible)
+        // 0.00 txns/req or 0.0% hit rate — there is no data to rate
+        let p = Profile::new(&KernelStats::for_launch(32), &DeviceConfig::rtx2080ti());
+        let text = p.to_string();
+        assert!(text.contains("no load requests"));
+        assert!(text.contains("- L1, - L2"));
+        assert!(!text.contains("0.00 txns/req"));
     }
 
     #[test]

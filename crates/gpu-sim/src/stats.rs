@@ -115,31 +115,34 @@ impl KernelStats {
 
     /// Average global-load transactions per load request — the coalescing
     /// quality metric (1–4 is fully coalesced f32, 32 is worst-case
-    /// scatter).
-    pub fn gld_transactions_per_request(&self) -> f64 {
+    /// scatter). `None` when no load request was issued: a run with zero
+    /// requests has no coalescing quality, and the former `0.0` sentinel
+    /// read as better-than-perfect.
+    pub fn gld_transactions_per_request(&self) -> Option<f64> {
         if self.gld_requests == 0 {
-            0.0
+            None
         } else {
-            self.gld_transactions as f64 / self.gld_requests as f64
+            Some(self.gld_transactions as f64 / self.gld_requests as f64)
         }
     }
 
-    /// L1 hit rate over global+local sectors.
-    pub fn l1_hit_rate(&self) -> f64 {
+    /// L1 hit rate over global+local sectors; `None` when no sector ever
+    /// reached L1 (a 0% rate would misreport "all misses").
+    pub fn l1_hit_rate(&self) -> Option<f64> {
         let total = self.l1_hit_sectors + self.l2_accesses;
         if total == 0 {
-            0.0
+            None
         } else {
-            self.l1_hit_sectors as f64 / total as f64
+            Some(self.l1_hit_sectors as f64 / total as f64)
         }
     }
 
-    /// L2 hit rate.
-    pub fn l2_hit_rate(&self) -> f64 {
+    /// L2 hit rate; `None` when L2 was never queried.
+    pub fn l2_hit_rate(&self) -> Option<f64> {
         if self.l2_accesses == 0 {
-            0.0
+            None
         } else {
-            self.l2_hit_sectors as f64 / self.l2_accesses as f64
+            Some(self.l2_hit_sectors as f64 / self.l2_accesses as f64)
         }
     }
 
@@ -296,11 +299,24 @@ mod tests {
     }
 
     #[test]
-    fn rates_handle_zero_denominators() {
+    fn rates_are_none_on_zero_denominators() {
+        // A zero-request run has no coalescing quality or hit rate; the
+        // accessors must say "no data" rather than the best-possible 0.0.
         let s = KernelStats::default();
-        assert_eq!(s.gld_transactions_per_request(), 0.0);
-        assert_eq!(s.l1_hit_rate(), 0.0);
-        assert_eq!(s.l2_hit_rate(), 0.0);
+        assert_eq!(s.gld_transactions_per_request(), None);
+        assert_eq!(s.l1_hit_rate(), None);
+        assert_eq!(s.l2_hit_rate(), None);
+        let populated = KernelStats {
+            gld_requests: 4,
+            gld_transactions: 10,
+            l1_hit_sectors: 3,
+            l2_accesses: 1,
+            l2_hit_sectors: 1,
+            ..Default::default()
+        };
+        assert_eq!(populated.gld_transactions_per_request(), Some(2.5));
+        assert_eq!(populated.l1_hit_rate(), Some(0.75));
+        assert_eq!(populated.l2_hit_rate(), Some(1.0));
     }
 
     #[test]

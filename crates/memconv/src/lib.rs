@@ -15,7 +15,9 @@
 //!   algorithm family, NPP- and ArrayFire-analog kernels, and the
 //!   Fig. 1b dynamic-indexing ablation;
 //! * [`mod@reference`] — CPU ground truth;
-//! * [`workloads`] — Table I layers and the Fig. 3 sweep.
+//! * [`workloads`] — Table I layers and the Fig. 3 sweep;
+//! * [`oracle`] — the symbolic transaction oracle: phantom-execution
+//!   prediction of the paper's metrics without touching tensor data.
 //!
 //! ## Quickstart
 //!
@@ -41,6 +43,7 @@ pub mod checked;
 pub use memconv_baselines as baselines;
 pub use memconv_core as core;
 pub use memconv_gpusim as gpusim;
+pub use memconv_oracle as oracle;
 pub use memconv_ref as reference;
 pub use memconv_tensor as tensor;
 pub use memconv_workloads as workloads;

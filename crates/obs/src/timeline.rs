@@ -223,7 +223,9 @@ pub fn checked_timeline(report: &CheckedReport, dev: &DeviceConfig, t0_us: f64) 
 /// * tid 0 — batching windows (first arrival → window close);
 /// * tid 1 — coalesced launches, laid back-to-back from their window's
 ///   close;
-/// * tid 2 — planner trial sweeps (cache misses), likewise;
+/// * tid 2 — planner sweeps (cache misses), likewise, tagged with their
+///   provenance (`heuristic` instant picks vs `trialed` background
+///   refinement);
 /// * tid `16 + id` — each request's `queue` → `plan` → `execute` chain.
 pub fn serve_timeline(report: &ServeReport) -> Vec<TraceEvent> {
     let mut events = Vec::new();
@@ -297,6 +299,7 @@ pub fn serve_timeline(report: &ServeReport) -> Vec<TraceEvent> {
                 ("window".into(), (s.window as u64).into()),
                 ("trials".into(), (s.trials.len() as u64).into()),
                 ("winner".into(), best.into()),
+                ("provenance".into(), s.provenance.as_str().into()),
             ],
         });
         *sweep_cursor.get_mut(&s.window).expect("entry above") = at + s.planning_seconds;
@@ -441,6 +444,7 @@ mod tests {
                 endpoint: "ep".into(),
                 trials: vec![("a".into(), 2.0), ("b".into(), 1.0)],
                 planning_seconds: 0.25,
+                provenance: memconv_serve::Provenance::Trialed,
             }],
             cache_hits: 0,
             cache_misses: 1,
@@ -455,6 +459,10 @@ mod tests {
             .args
             .iter()
             .any(|(k, v)| k == "winner" && *v == ArgValue::Str("b".into())));
+        assert!(sweep
+            .args
+            .iter()
+            .any(|(k, v)| k == "provenance" && *v == ArgValue::Str("trialed".into())));
         // Launch starts at the window close.
         let launch = evs.iter().find(|e| e.name == "launch fused-nchw").unwrap();
         assert!((launch.ts_us - 1.5e6).abs() < 1e-6);

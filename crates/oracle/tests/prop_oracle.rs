@@ -1,0 +1,115 @@
+//! Property tests pinning the oracle's phantom predictions to the real
+//! simulator: for randomized convolution geometries, in both launch
+//! engines, the predicted transaction signature (global load/store
+//! requests and transactions, local-spill traffic, shared-memory accesses
+//! and bank-conflict passes) must be **bit-identical** to a real run over
+//! random tensor data — and the closed-form affine reconstruction must
+//! agree with the simulator's own counters at every site.
+
+use memconv_baselines::{DirectConv, ShuffleDynamic, TiledConv};
+use memconv_core::{ConvNchwAlgorithm, Ours};
+use memconv_gpusim::{DeviceConfig, GpuSim, KernelStats, LaunchMode};
+use memconv_oracle::{predict_2d, predict_nchw, transaction_signature};
+use memconv_tensor::{ConvGeometry, TensorRng};
+use proptest::prelude::*;
+
+/// Real (non-phantom) run of an NCHW algorithm over random data, seeded
+/// per-case so different geometries see different values.
+fn measure_nchw(
+    algo: &dyn ConvNchwAlgorithm,
+    device: &DeviceConfig,
+    g: &ConvGeometry,
+    mode: LaunchMode,
+    seed: u64,
+) -> KernelStats {
+    let mut rng = TensorRng::new(seed);
+    let input = rng.tensor(g.batch, g.in_channels, g.in_h, g.in_w);
+    let bank = rng.filter_bank(g.out_channels, g.in_channels, g.f_h, g.f_w);
+    let mut sim = GpuSim::new(device.clone()).with_launch_mode(mode);
+    algo.run(&mut sim, &input, &bank).1.totals()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The headline property: for any small geometry, the oracle's
+    /// phantom counters equal a real run's counters on the transaction
+    /// subset, in both engines, for the fused kernel and two baselines
+    /// (one tiled/shared-memory, one direct) — and every closed form
+    /// validates against the measured counter.
+    #[test]
+    fn oracle_signature_matches_real_run(
+        batch in 1usize..3,
+        in_ch in 1usize..4,
+        hw in 6usize..20,
+        out_ch in 1usize..5,
+        f_sel in 0u8..2,
+        algo_sel in 0u8..3,
+        mode_sel in 0u8..2,
+        seed in any::<u64>(),
+    ) {
+        let f = if f_sel == 0 { 3 } else { 5 };
+        // Keep the image at least as large as the filter.
+        let hw = hw.max(f + 1);
+        let g = ConvGeometry::nchw(batch, in_ch, hw, hw, out_ch, f, f);
+        let algo: Box<dyn ConvNchwAlgorithm> = match algo_sel {
+            0 => Box::new(Ours::new()),
+            1 => Box::new(TiledConv::new()),
+            _ => Box::new(DirectConv::new()),
+        };
+        let mode = if mode_sel == 0 {
+            LaunchMode::Sequential
+        } else {
+            LaunchMode::Parallel
+        };
+        let dev = DeviceConfig::test_tiny();
+        let p = predict_nchw(algo.as_ref(), &dev, &g, mode).unwrap();
+        let real = measure_nchw(algo.as_ref(), &dev, &g, mode, seed);
+        let predicted = transaction_signature(&p.stats());
+        prop_assert_eq!(
+            predicted,
+            transaction_signature(&real),
+            "algo={} mode={:?} g={}",
+            algo.name(),
+            mode,
+            g.cache_key()
+        );
+        // Closed-form affine reconstruction agrees with the counters, and
+        // first-party kernels never hit the data-dependent top element.
+        prop_assert!(p.is_exact(), "mispredicted sites: {:?}", p.sym.mispredicted_sites());
+        prop_assert!(p.consistent);
+        prop_assert!(!p.data_dependent());
+        // Sanity: the phantom launch actually counted something.
+        prop_assert!(predicted[1] > 0, "no gld transactions predicted");
+    }
+
+    /// Engine independence of the prediction itself: the phantom run is
+    /// deterministic across launch engines (same counters, same symbolic
+    /// report hashes), so planner scores cannot depend on the engine.
+    #[test]
+    fn prediction_is_engine_independent(
+        in_ch in 1usize..3,
+        hw in 6usize..16,
+        out_ch in 1usize..4,
+    ) {
+        let g = ConvGeometry::nchw(1, in_ch, hw, hw, out_ch, 3, 3);
+        let dev = DeviceConfig::test_tiny();
+        let algo = Ours::new();
+        let seq = predict_nchw(&algo, &dev, &g, LaunchMode::Sequential).unwrap();
+        let par = predict_nchw(&algo, &dev, &g, LaunchMode::Parallel).unwrap();
+        prop_assert_eq!(seq.stats(), par.stats());
+        prop_assert_eq!(seq.sym.stream_hashes(), par.sym.stream_hashes());
+    }
+
+    /// Positive control at every size: the `shuffle_dynamic` baseline's
+    /// dynamically indexed offset array must be classified data-dependent
+    /// (top) for any geometry it supports.
+    #[test]
+    fn shuffle_dynamic_always_hits_top(hw in 8usize..24) {
+        let g = ConvGeometry::single(hw, hw, 3);
+        let dev = DeviceConfig::test_tiny();
+        let p = predict_2d(&ShuffleDynamic::new(), &dev, &g, LaunchMode::Sequential).unwrap();
+        prop_assert!(!p.sym.data_dependent_sites().is_empty());
+        prop_assert!(p.data_dependent());
+    }
+}

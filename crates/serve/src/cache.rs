@@ -15,7 +15,7 @@
 //! legitimately changes their ticks — and therefore the re-saved bytes —
 //! exactly as it would have in the cache that was saved.
 
-use crate::planner::{Plan, PlanConfig};
+use crate::planner::{Plan, PlanConfig, Provenance};
 use memconv::gpusim::DeviceConfig;
 use memconv::tensor::ConvGeometry;
 use std::fmt;
@@ -286,20 +286,22 @@ impl PlanCache {
 }
 
 fn entry_to_json(e: &CacheEntry) -> String {
+    let prov = e.plan.provenance.as_str();
     match &e.plan.config {
         PlanConfig::Ours {
             column_reuse,
             rows_per_thread,
             block_warps,
         } => format!(
-            "{{\"key\":\"{}\",\"algo\":\"{}\",\"kind\":\"ours\",\"column_reuse\":{column_reuse},\
+            "{{\"key\":\"{}\",\"algo\":\"{}\",\"kind\":\"ours\",\"provenance\":\"{prov}\",\
+             \"column_reuse\":{column_reuse},\
              \"rows_per_thread\":{rows_per_thread},\"block_warps\":{block_warps},\
              \"modeled_seconds\":{},\"tick\":{}}}",
             e.key, e.plan.algo, e.plan.modeled_seconds, e.tick
         ),
         PlanConfig::Baseline => format!(
-            "{{\"key\":\"{}\",\"algo\":\"{}\",\"kind\":\"baseline\",\"modeled_seconds\":{},\
-             \"tick\":{}}}",
+            "{{\"key\":\"{}\",\"algo\":\"{}\",\"kind\":\"baseline\",\"provenance\":\"{prov}\",\
+             \"modeled_seconds\":{},\"tick\":{}}}",
             e.key, e.plan.algo, e.plan.modeled_seconds, e.tick
         ),
     }
@@ -317,6 +319,16 @@ fn entry_from_json(line: &str) -> Result<(String, Plan, Option<u64>), CacheError
         Some(raw) => Some(parse_num::<u64>(&raw, "tick")?),
         None => None,
     };
+    // Additive field: files written before the heuristic/trialed split
+    // carry no provenance — every persisted plan was a trial sweep then.
+    let provenance = match raw_field(line, "provenance") {
+        Some(_) => {
+            let s = str_field(line, "provenance")?;
+            Provenance::parse(&s)
+                .ok_or_else(|| CacheError::Parse(format!("bad provenance `{s}`")))?
+        }
+        None => Provenance::Trialed,
+    };
     let config = match kind.as_str() {
         "ours" => PlanConfig::Ours {
             column_reuse: parse_bool(&raw_required(line, "column_reuse")?)?,
@@ -332,6 +344,7 @@ fn entry_from_json(line: &str) -> Result<(String, Plan, Option<u64>), CacheError
             algo,
             config,
             modeled_seconds,
+            provenance,
         },
         tick,
     ))
@@ -388,6 +401,7 @@ mod tests {
                 block_warps: 4,
             },
             modeled_seconds: 1.25e-5 * rows as f64,
+            provenance: Provenance::Trialed,
         }
     }
 
@@ -396,6 +410,7 @@ mod tests {
             algo: "gemm-im2col".into(),
             config: PlanConfig::Baseline,
             modeled_seconds: 0.000734,
+            provenance: Provenance::Trialed,
         }
     }
 
@@ -483,6 +498,32 @@ mod tests {
         // Re-saving upgrades to version 2 with explicit ticks.
         assert!(c.to_json().contains("\"version\": 2"));
         assert!(c.to_json().contains("\"tick\":"));
+    }
+
+    #[test]
+    fn provenance_round_trips_and_defaults_to_trialed() {
+        // Heuristic plans persist their provenance verbatim.
+        let mut c = PlanCache::new(4);
+        let mut h = ours_plan(4);
+        h.provenance = Provenance::Heuristic;
+        c.insert("kh".into(), h.clone());
+        let s = c.to_json();
+        assert!(s.contains("\"provenance\":\"heuristic\""));
+        let mut back = PlanCache::from_json(&s).unwrap();
+        assert_eq!(back.get("kh").unwrap(), h);
+        // Entries written before the provenance field existed load as
+        // trialed — every persisted plan was a trial sweep then.
+        let legacy = "{\n\"version\": 2,\n\"capacity\": 2,\n\"entries\": [\n\
+                      {\"key\":\"k\",\"algo\":\"gemm-im2col\",\"kind\":\"baseline\",\
+                      \"modeled_seconds\":0.000734,\"tick\":1}\n]\n}";
+        let mut old = PlanCache::from_json(legacy).unwrap();
+        assert_eq!(old.get("k").unwrap().provenance, Provenance::Trialed);
+        // ...and an unknown provenance string is corrupt, not defaulted.
+        let bad = legacy.replace("\"kind\"", "\"provenance\":\"guessed\",\"kind\"");
+        assert!(matches!(
+            PlanCache::from_json(&bad),
+            Err(CacheError::Parse(_))
+        ));
     }
 
     #[test]

@@ -10,7 +10,12 @@
 //!   search to cross-algorithm selection: every candidate (the fused
 //!   kernel's tiling grid plus the batch-equivariant baselines) is trial-run
 //!   with block sampling on a scratch simulator and scored by modeled time,
-//!   producing a [`Plan`].
+//!   producing a [`Plan`]. A second, *instant* path scores the same
+//!   candidates with the symbolic transaction oracle (phantom execution,
+//!   zero planning latency); plans carry their [`Provenance`]
+//!   (`heuristic` vs `trialed`), the scheduler answers cold misses from
+//!   the oracle and upgrades entries by background trial-sweep
+//!   refinement.
 //! * [`cache`] — an LRU [`PlanCache`] keyed by
 //!   `(DeviceConfig::fingerprint, ConvGeometry::cache_key)` with hit/miss
 //!   counters and hand-written JSON persistence (the workspace's no-serde
@@ -39,5 +44,7 @@ pub use metrics::{
     percentile, percentiles, LaunchRecord, Percentiles, PlanSweepRecord, RequestMetrics,
     ServeReport,
 };
-pub use planner::{plan_2d, plan_nchw, Plan, PlanConfig, PlanError, PlanOutcome};
+pub use planner::{
+    plan_2d, plan_nchw, plan_nchw_heuristic, Plan, PlanConfig, PlanError, PlanOutcome, Provenance,
+};
 pub use scheduler::{ConvServer, Endpoint, Request, Response, ServeConfig, ServeError};

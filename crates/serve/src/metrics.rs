@@ -4,6 +4,8 @@
 //! never enters a report, so two runs of the same trace produce
 //! bit-identical metrics.
 
+use crate::planner::Provenance;
+
 /// Nearest-rank percentile of pre-sorted data, index rounded half-up in
 /// exact integer arithmetic (the `KernelStats::extrapolated` idiom —
 /// `idx = round(p/100 · (n−1))` computed as `(p·(n−1)·2 + 100) / 200`).
@@ -105,20 +107,26 @@ pub struct LaunchRecord {
     pub checked: bool,
 }
 
-/// One planner trial sweep a cache miss paid for, recorded so timelines
-/// can show where planning time went.
+/// One planner sweep, recorded so timelines can show where planning went:
+/// either the instant oracle pick a cache miss was answered from
+/// (`provenance: Heuristic`, zero cost), or the background trial sweep
+/// that refined it (`provenance: Trialed`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct PlanSweepRecord {
-    /// Batching window the miss occurred in.
+    /// Batching window the miss occurred in (refinement sweeps carry the
+    /// window of the miss they refine).
     pub window: usize,
-    /// Request that paid for the sweep.
+    /// Request that triggered the sweep.
     pub request_id: u64,
     /// Endpoint whose geometry was planned.
     pub endpoint: String,
-    /// Every `(candidate name, modeled seconds)` evaluated, in trial order.
+    /// Every `(candidate name, modeled seconds)` evaluated, in trial
+    /// order (oracle roofline scores for heuristic sweeps).
     pub trials: Vec<(String, f64)>,
-    /// Total modeled cost of the sweep.
+    /// Total modeled cost of the sweep (zero for heuristic picks).
     pub planning_seconds: f64,
+    /// Which planning path produced the record.
+    pub provenance: Provenance,
 }
 
 /// Trace-level rollup: every request, every launch, every planner sweep,
@@ -184,10 +192,22 @@ impl ServeReport {
         )
     }
 
-    /// Total modeled device seconds across launches and planning.
+    /// Total modeled device seconds across launches and request-charged
+    /// planning (background refinement is excluded — see
+    /// [`ServeReport::refinement_seconds`]).
     pub fn total_modeled_seconds(&self) -> f64 {
         self.launches.iter().map(|l| l.modeled_seconds).sum::<f64>()
             + self.requests.iter().map(|r| r.plan_s).sum::<f64>()
+    }
+
+    /// Modeled seconds of background trial-sweep refinement — planning
+    /// work done off the request path (charged to no request's latency).
+    pub fn refinement_seconds(&self) -> f64 {
+        self.plan_sweeps
+            .iter()
+            .filter(|s| s.provenance == Provenance::Trialed)
+            .map(|s| s.planning_seconds)
+            .sum()
     }
 
     /// Global transactions across all serving launches.

@@ -1,12 +1,23 @@
 //! Cross-algorithm planning: `memconv_core::tune` generalized from the
 //! fused kernel's two knobs to the whole serving registry.
 //!
-//! A plan is picked by *trial execution*: each candidate runs once on
-//! seeded synthetic data with aggressive block sampling
-//! ([`SampleMode::Auto`]), and the candidate with the lowest modeled time
-//! wins — the same find-by-running approach as
-//! `cudnnFindConvolutionForwardAlgorithm`, against the simulator's timing
-//! model instead of wall clock, so planning is deterministic.
+//! Plans are picked by two complementary paths, distinguished by
+//! [`Provenance`]:
+//!
+//! * **Trial execution** ([`plan_nchw`]): each candidate runs once on
+//!   seeded synthetic data with aggressive block sampling
+//!   ([`SampleMode::Auto`]), and the candidate with the lowest modeled
+//!   time wins — the same find-by-running approach as
+//!   `cudnnFindConvolutionForwardAlgorithm`, against the simulator's
+//!   timing model instead of wall clock, so planning is deterministic.
+//! * **Oracle heuristic** ([`plan_nchw_heuristic`]): each candidate is
+//!   scored by the symbolic transaction oracle (`memconv::oracle`) — a
+//!   *phantom* run over shape-matched zero tensors whose transaction
+//!   counters feed the same device roofline. No trial data is generated
+//!   and no cache/DRAM hierarchy is simulated, so the pick is *instant*
+//!   on the serving clock (`planning_seconds == 0`). The scheduler
+//!   answers cold cache misses from this path and upgrades entries to
+//!   trialed plans by background refinement.
 //!
 //! The candidate registry is deliberately restricted to **per-image
 //! batch-equivariant** algorithms (each output image depends only on its
@@ -19,10 +30,48 @@
 use memconv::baselines::{As2d, DirectConv, Im2colGemm, TiledConv};
 use memconv::core::tune::{ROWS_CANDIDATES, WARP_CANDIDATES};
 use memconv::core::{Conv2dAlgorithm, ConvNchwAlgorithm, Ours, OursConfig};
-use memconv::gpusim::{DeviceConfig, GpuSim, SampleMode};
+use memconv::gpusim::{DeviceConfig, GpuSim, LaunchMode, SampleMode};
+use memconv::oracle::{score_nchw, PredictError};
 use memconv::tensor::generate::TensorRng;
 use memconv::tensor::{ConvGeometry, ShapeError};
 use std::fmt;
+
+/// How a [`Plan`] was picked — the evidence class behind its
+/// `modeled_seconds`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Provenance {
+    /// Instant pick: candidates scored by the symbolic transaction oracle
+    /// (phantom execution, zero planning cost on the serving clock).
+    Heuristic,
+    /// Sampled trial execution over seeded synthetic data — the
+    /// authoritative sweep, paid once and persisted.
+    Trialed,
+}
+
+impl Provenance {
+    /// Stable lowercase identifier (persistence format, span tags).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Provenance::Heuristic => "heuristic",
+            Provenance::Trialed => "trialed",
+        }
+    }
+
+    /// Inverse of [`Provenance::as_str`].
+    pub fn parse(s: &str) -> Option<Provenance> {
+        match s {
+            "heuristic" => Some(Provenance::Heuristic),
+            "trialed" => Some(Provenance::Trialed),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Provenance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
 
 /// Algorithm-specific configuration carried by a [`Plan`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,8 +99,11 @@ pub struct Plan {
     /// Algorithm configuration.
     pub config: PlanConfig,
     /// Modeled seconds of the winning trial run (sampled, at the planned
-    /// geometry's batch size).
+    /// geometry's batch size) — or, for heuristic plans, the oracle's
+    /// roofline score over predicted transaction counters.
     pub modeled_seconds: f64,
+    /// How the plan was picked (trial sweep vs oracle heuristic).
+    pub provenance: Provenance,
 }
 
 /// A [`Plan`] plus the evidence it was picked on.
@@ -137,6 +189,7 @@ fn nchw_candidates(sample: SampleMode) -> Vec<(Plan, Box<dyn ConvNchwAlgorithm>)
                         block_warps: warps,
                     },
                     modeled_seconds: 0.0,
+                    provenance: Provenance::Trialed,
                 },
                 Box::new(Ours::with_config(cfg)),
             ));
@@ -148,6 +201,7 @@ fn nchw_candidates(sample: SampleMode) -> Vec<(Plan, Box<dyn ConvNchwAlgorithm>)
                 algo: name.into(),
                 config: PlanConfig::Baseline,
                 modeled_seconds: 0.0,
+                provenance: Provenance::Trialed,
             },
             algo,
         ));
@@ -228,6 +282,64 @@ pub fn plan_nchw(
     }
 }
 
+/// Plan one NCHW geometry *instantly* with the symbolic transaction
+/// oracle: every candidate is scored by a phantom run over shape-matched
+/// zero tensors ([`memconv::oracle::score_nchw`]) — no trial data, no
+/// cache/DRAM simulation — and the lowest roofline score over the
+/// predicted transaction counters wins.
+///
+/// Because no trial executes, `planning_seconds` is **zero**: on the
+/// serving clock the pick is free, which is the point — the scheduler
+/// answers a cold cache miss from this path immediately and schedules the
+/// sampled trial sweep ([`plan_nchw`]) as background refinement. The
+/// returned plan carries [`Provenance::Heuristic`]; its trial log holds
+/// each candidate's oracle score.
+///
+/// `sample` bounds the *host* cost of the phantom runs exactly as it
+/// bounds trial cost in [`plan_nchw`] (phantom launches sample and
+/// extrapolate deterministically like real ones); it never affects the
+/// serving clock.
+///
+/// # Errors
+///
+/// Same surface as [`plan_nchw`].
+pub fn plan_nchw_heuristic(
+    device: &DeviceConfig,
+    g: &ConvGeometry,
+    sample: SampleMode,
+) -> Result<PlanOutcome, PlanError> {
+    let g = g.validate().map_err(PlanError::BadGeometry)?;
+    let mut trials = Vec::new();
+    let mut best: Option<Plan> = None;
+    for (mut plan, algo) in nchw_candidates(sample) {
+        if !algo.supports_shape(&g) {
+            continue;
+        }
+        // The counters are engine-independent (proptest-pinned in the
+        // oracle crate), so the scoring engine is fixed to Sequential.
+        let rep = match score_nchw(algo.as_ref(), device, &g, LaunchMode::Sequential) {
+            Ok(rep) => rep,
+            Err(PredictError::BadGeometry(e)) => return Err(PlanError::BadGeometry(e)),
+            Err(PredictError::Unsupported { .. }) => continue,
+        };
+        let t = rep.modeled_time(device);
+        trials.push((candidate_label(&plan), t));
+        if best.as_ref().is_none_or(|b| t < b.modeled_seconds) {
+            plan.modeled_seconds = t;
+            plan.provenance = Provenance::Heuristic;
+            best = Some(plan);
+        }
+    }
+    match best {
+        Some(plan) => Ok(PlanOutcome {
+            plan,
+            trials,
+            planning_seconds: 0.0,
+        }),
+        None => Err(PlanError::NoCandidate(g.cache_key())),
+    }
+}
+
 /// Plan a single-image 2D geometry (the paper's Fig. 3 setting) over the
 /// [`Conv2dAlgorithm`] registry: the fused kernel's tiling grid plus the
 /// `As2d`-lifted baselines.
@@ -274,6 +386,7 @@ pub fn plan_2d(
             algo: name.into(),
             config: PlanConfig::Baseline,
             modeled_seconds: 0.0,
+            provenance: Provenance::Trialed,
         };
         let algo: Box<dyn Conv2dAlgorithm> = match name {
             "tiled" => Box::new(As2d(TiledConv::new().with_sample(trial_sample))),
@@ -373,6 +486,31 @@ mod tests {
     }
 
     #[test]
+    fn heuristic_planner_is_instant_deterministic_and_tagged() {
+        let g = ConvGeometry::nchw(1, 2, 16, 16, 4, 3, 3);
+        let a = plan_nchw_heuristic(&tiny(), &g, SampleMode::Auto(64)).unwrap();
+        let b = plan_nchw_heuristic(&tiny(), &g, SampleMode::Auto(64)).unwrap();
+        assert_eq!(
+            a.plan, b.plan,
+            "heuristic picks must replay bit-identically"
+        );
+        assert_eq!(a.trials, b.trials);
+        // Instant on the serving clock: the oracle never runs trial data.
+        assert_eq!(a.planning_seconds, 0.0);
+        assert_eq!(a.plan.provenance, Provenance::Heuristic);
+        // The oracle scores the whole registry, like the trial sweep.
+        assert_eq!(
+            a.trials.len(),
+            ROWS_CANDIDATES.len() * WARP_CANDIDATES.len() + 3
+        );
+        assert!(a.plan.modeled_seconds > 0.0);
+        assert!(instantiate_nchw(&a.plan, SampleMode::Full).is_ok());
+        // The trial sweep tags its plans with the other provenance.
+        let t = plan_nchw(&tiny(), &g, SampleMode::Auto(64)).unwrap();
+        assert_eq!(t.plan.provenance, Provenance::Trialed);
+    }
+
+    #[test]
     fn planning_is_deterministic() {
         let g = ConvGeometry::nchw(1, 1, 20, 20, 2, 5, 5);
         let a = plan_nchw(&tiny(), &g, SampleMode::Auto(64)).unwrap();
@@ -406,6 +544,7 @@ mod tests {
             algo: "winograd-fused".into(),
             config: PlanConfig::Baseline,
             modeled_seconds: 1.0,
+            provenance: Provenance::Trialed,
         };
         assert!(matches!(
             instantiate_nchw(&plan, SampleMode::Full),

@@ -18,6 +18,7 @@ fn plan(i: usize) -> Plan {
         algo: "direct".into(),
         config: memconv_serve::PlanConfig::Baseline,
         modeled_seconds: 1e-6 * (i + 1) as f64,
+        provenance: memconv_serve::Provenance::Trialed,
     }
 }
 

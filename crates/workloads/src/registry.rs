@@ -77,6 +77,11 @@ pub const EXPERIMENTS: &[Experiment] = &[
         description: "Batched serving-trace replay with the cross-algorithm plan cache",
         command: "cargo run --release -p memconv-bench --bin serve -- --smoke --gate",
     },
+    Experiment {
+        id: "Predict (ext.)",
+        description: "Symbolic oracle: predicted vs measured transaction signatures, full zoo",
+        command: "cargo run --release -p memconv-bench --bin predict -- --gate --json",
+    },
 ];
 
 #[cfg(test)]

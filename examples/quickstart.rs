@@ -41,17 +41,19 @@ fn main() {
     println!("global load requests      : {:>12}", stats.gld_requests);
     println!("global load transactions  : {:>12}", stats.gld_transactions);
     println!("global store transactions : {:>12}", stats.gst_transactions);
+    // The rate accessors return None when the denominator is zero (no
+    // requests / no cache traffic); this kernel always issues loads.
     println!(
         "transactions per request  : {:>12.2}",
-        stats.gld_transactions_per_request()
+        stats.gld_transactions_per_request().unwrap_or(f64::NAN)
     );
     println!(
         "L1 hit rate               : {:>11.1}%",
-        stats.l1_hit_rate() * 100.0
+        stats.l1_hit_rate().unwrap_or(f64::NAN) * 100.0
     );
     println!(
         "L2 hit rate               : {:>11.1}%",
-        stats.l2_hit_rate() * 100.0
+        stats.l2_hit_rate().unwrap_or(f64::NAN) * 100.0
     );
     println!("warp shuffles executed    : {:>12}", stats.shfl_instrs);
 

@@ -23,7 +23,17 @@ echo "==> fault-injection gate (faults --smoke --gate)"
 cargo run --release -q -p memconv-bench --bin faults -- --smoke --gate
 
 echo "==> serving gate (serve --smoke --gate)"
+# Includes the cold-start gate: a fresh server answers every miss from the
+# instant oracle-heuristic path, bit-identical to the batched run.
 cargo run --release -q -p memconv-bench --bin serve -- --smoke --gate
+
+# Oracle exactness gate: predicted transaction signatures bit-equal to
+# measured runs over the whole zoo x registry, zero unexpected
+# data-dependent sites, shuffle-dynamic positive control flagged — on
+# both launch engines.
+echo "==> oracle prediction gate (predict --gate, both engines)"
+cargo run --release -q -p memconv-bench --bin predict -- --gate --json
+cargo run --release -q -p memconv-bench --bin predict -- --gate --mode parallel
 
 echo "==> observability gate (profile --smoke --gate)"
 cargo run --release -q -p memconv-bench --bin profile -- --smoke --gate
