@@ -1,0 +1,452 @@
+//! Resilient-fleet replay: a seeded request trace over a sharded fleet of
+//! simulated devices, under a deterministic chaos campaign.
+//!
+//! ```sh
+//! cargo run --release -p memconv-bench --bin fleet                    # full campaign
+//! cargo run --release -p memconv-bench --bin fleet -- --smoke --gate
+//! cargo run --release -p memconv-bench --bin fleet -- --seed 7 --requests 2000
+//! ```
+//!
+//! A seeded zoo trace (mixed priority classes and deadlines) is replayed
+//! over a 4-shard RTX 2080 Ti fleet four ways:
+//!
+//! 1. **baseline** — chaos off. Every launch is still golden-verified
+//!    against the CPU reference, so these outputs are correct by
+//!    construction.
+//! 2. **determinism sweep** — chaos *on* (all six fault classes armed),
+//!    replayed under `LaunchMode::{Sequential,Parallel}` × worker counts.
+//!    Every replay must be bit-identical to the first: same outputs, same
+//!    event log (quarantines, probes, failovers, sheds, in order), same
+//!    per-request attempt chains, same shard rollups.
+//! 3. **silent-corruption gate** — every request served by both the
+//!    chaos-on and the baseline replay must produce bit-identical output.
+//!    Detected SDCs fail over (and are *counted*); an SDC that slipped
+//!    through verification would surface here as a corruption.
+//! 4. **per-class campaign** — each fault class alone, across fleet
+//!    seeds, on a shorter trace: how many failovers / quarantines /
+//!    host-tier serves / sheds each class causes, and whether any output
+//!    survived corrupted (must be zero everywhere).
+//!
+//! All times are *modeled* seconds. Results land in `BENCH_fleet.json`
+//! (append-with-dedup like `BENCH_sim.json`; row identity includes the
+//! fleet seed). `--gate` exits 1 unless: zero silent corruptions anywhere,
+//! every determinism replay bit-identical, baseline deadline-miss rate and
+//! load imbalance under the declared thresholds.
+//!
+//! `--trace <path>` writes the chaos-on fleet timeline (per-shard lanes,
+//! breaker instants, per-request failover chains) as chrome://tracing
+//! JSON; `--metrics <path>` writes the same replay's resilience counters
+//! in Prometheus text exposition format.
+
+use memconv::gpusim::{DeviceConfig, FaultKind, FaultPlan, LaunchMode, SampleMode};
+use memconv::tensor::generate::TensorRng;
+use memconv::tensor::ConvGeometry;
+use memconv::workloads::models::model_zoo;
+use memconv_bench::{append_json_rows, host_parallelism, parse_flag, string_flag};
+use memconv_obs::{fleet_prometheus, fleet_timeline, write_trace};
+use memconv_serve::{
+    ConvFleet, Endpoint, FleetConfig, FleetReport, FleetRequest, Priority, Response, ServeError,
+};
+
+const DEADLINE_MISS_MAX: f64 = 0.05;
+/// Max/mean modeled-seconds across shards (worst case = shard count when
+/// one shard takes everything). Rendezvous routing is affinity-first, so
+/// short traces over a handful of hot endpoints are structurally lumpy;
+/// the smoke trace (96 requests, small caps) gets a looser bound while
+/// the full 10k trace must amortize below 2.5.
+const LOAD_IMBALANCE_MAX: f64 = 2.5;
+const LOAD_IMBALANCE_MAX_SMOKE: f64 = 3.5;
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The zoo layers as fleet endpoints: spatial/filter capped (fleet
+/// launches are `SampleMode::Full` + a CPU reference conv per launch) and
+/// unpadded (the fleet's golden-verification requirement).
+fn endpoints(spatial_cap: usize, filter_cap: usize) -> Vec<Endpoint> {
+    let mut rng = TensorRng::new(0xF1EED0);
+    model_zoo()
+        .iter()
+        .map(|m| {
+            let spatial = m.spatial.min(spatial_cap);
+            let filters = m.filters.min(filter_cap);
+            let geometry = ConvGeometry::nchw(
+                1,
+                m.in_channels,
+                spatial,
+                spatial,
+                filters,
+                m.filter,
+                m.filter,
+            );
+            let weights = rng.filter_bank(filters, m.in_channels, m.filter, m.filter);
+            Endpoint {
+                name: format!("{}/{}", m.model, m.layer),
+                geometry,
+                weights,
+            }
+        })
+        .collect()
+}
+
+/// Seeded fleet trace: endpoint picks, arrival gaps, payloads, priority
+/// classes and deadlines all derive from `seed`. Priorities are ~20% high
+/// / ~20% batch / ~60% normal; high and normal requests carry generous
+/// finite deadlines (they should be met — the gate bounds misses), batch
+/// requests carry tight ones (they are the shedding release valve under
+/// load).
+fn trace(eps: &[Endpoint], n: usize, seed: u64) -> Vec<FleetRequest> {
+    let mut rng = TensorRng::new(seed ^ 0xF1EE_7ACE);
+    let mut arrival_s = 0.0f64;
+    (0..n as u64)
+        .map(|i| {
+            let h = splitmix64(seed ^ (i.wrapping_mul(2) + 1));
+            let e = (h % eps.len() as u64) as usize;
+            let g = eps[e].geometry;
+            arrival_s += ((h >> 8) % 1000) as f64 * 1e-6; // 0–1 ms gaps
+            let (priority, deadline_s) = match (h >> 40) % 10 {
+                0 | 1 => (Priority::High, 0.05 + ((h >> 20) % 100) as f64 * 1e-3),
+                2 | 3 => (Priority::Batch, 2e-3 + ((h >> 20) % 8) as f64 * 1e-3),
+                _ => (Priority::Normal, 0.05 + ((h >> 20) % 100) as f64 * 1e-3),
+            };
+            FleetRequest {
+                id: i,
+                endpoint: e,
+                input: rng.tensor(1, g.in_channels, g.in_h, g.in_w),
+                arrival_s,
+                priority,
+                deadline_s,
+            }
+        })
+        .collect()
+}
+
+/// The chaos template for the determinism sweep: every class armed, with
+/// each per-class `1-in-rate` scaled up by `mult` (larger = rarer). The
+/// per-class defaults are tuned for single small launches; fleet launches
+/// see thousands of eligible events each, so undiluted defaults fault
+/// essentially every launch and the whole trace collapses to the host
+/// tier. The default `mult` is chosen so replays see a mix of clean
+/// serves, failovers, quarantines and host-tier serves.
+fn mixed_chaos(mult: u32) -> FaultPlan {
+    let mut plan = FaultPlan::new(0);
+    for kind in FaultKind::ALL {
+        plan = plan.with_rate(kind, kind.default_rate().saturating_mul(mult));
+    }
+    plan
+}
+
+type Outputs = Vec<Result<Response, ServeError>>;
+
+/// Structural bit-identity of two outcome vectors (`ServeError` carries
+/// nested error types without `PartialEq`, so errors compare by their
+/// stable `Display` form).
+fn outputs_identical(a: &Outputs, b: &Outputs) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| match (x, y) {
+            (Ok(rx), Ok(ry)) => rx.id == ry.id && rx.output.as_slice() == ry.output.as_slice(),
+            (Err(ex), Err(ey)) => ex.to_string() == ey.to_string(),
+            _ => false,
+        })
+}
+
+fn run_fleet(
+    eps: &[Endpoint],
+    reqs: &[FleetRequest],
+    base: &FleetConfig,
+    chaos: Option<FaultPlan>,
+    mode: LaunchMode,
+    workers: usize,
+) -> (Outputs, FleetReport) {
+    let cfg = FleetConfig {
+        chaos,
+        launch_mode: mode,
+        workers,
+        ..base.clone()
+    };
+    let mut fleet = ConvFleet::new(eps.to_vec(), cfg);
+    fleet.run_trace(reqs).unwrap_or_else(|e| {
+        eprintln!("fleet replay failed: {e}");
+        std::process::exit(1);
+    })
+}
+
+/// Requests served by both runs whose outputs differ bit-for-bit — the
+/// silent-corruption count. Requests shed in one run but served in the
+/// other are admission divergence (load-dependent by design when chaos
+/// changes modeled load), not corruption; they are counted separately.
+fn corruptions(a: &Outputs, b: &Outputs) -> (usize, usize) {
+    let mut corrupt = 0;
+    let mut admission_divergence = 0;
+    for (x, y) in a.iter().zip(b) {
+        match (x, y) {
+            (Ok(rx), Ok(ry)) => {
+                if rx.id != ry.id || rx.output.as_slice() != ry.output.as_slice() {
+                    corrupt += 1;
+                }
+            }
+            (Ok(_), Err(_)) | (Err(_), Ok(_)) => admission_divergence += 1,
+            (Err(_), Err(_)) => {}
+        }
+    }
+    (corrupt, admission_divergence)
+}
+
+fn mode_name(mode: LaunchMode) -> &'static str {
+    match mode {
+        LaunchMode::Sequential => "sequential",
+        LaunchMode::Parallel => "parallel",
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let gate = args.iter().any(|a| a == "--gate");
+    let seed = parse_flag::<u64>("--seed").unwrap_or(0xF1EE7);
+    let window = match parse_flag::<usize>("--window") {
+        Some(0) => {
+            eprintln!("--window must be >= 1");
+            std::process::exit(2);
+        }
+        Some(w) => w,
+        None => 16,
+    };
+    let (spatial_cap, filter_cap, default_requests) =
+        if smoke { (14, 8, 96) } else { (20, 16, 10_000) };
+    let n_requests = match parse_flag::<usize>("--requests") {
+        Some(0) => {
+            eprintln!("--requests must be >= 1");
+            std::process::exit(2);
+        }
+        Some(n) => n,
+        None => default_requests,
+    };
+    // Shorter traces for the 6-replay determinism sweep and the per-class
+    // campaign cells: wall clock scales with replay count × trace length,
+    // while the properties being checked are length-insensitive.
+    let det_requests = n_requests.min(if smoke { 96 } else { 1200 });
+    let campaign_requests = n_requests.min(if smoke { 48 } else { 300 });
+
+    let base = FleetConfig {
+        devices: vec![DeviceConfig::rtx2080ti(); 4],
+        fleet_seed: seed,
+        chaos: None,
+        window,
+        workers: 1,
+        cache_capacity: 64,
+        launch_mode: LaunchMode::Sequential,
+        trial_sample: SampleMode::Auto(256),
+        max_failovers: 2,
+        breaker_threshold: 3,
+        probation_delay_s: 5e-3,
+        ..FleetConfig::default()
+    };
+    let eps = endpoints(spatial_cap, filter_cap);
+    let reqs = trace(&eps, n_requests, seed);
+    println!(
+        "=== fleet replay — {} shards, {n_requests} requests, window {window}, seed {seed:#x} ===",
+        base.devices.len()
+    );
+
+    // 1. Baseline: chaos off. Golden-verified outputs, SLO numbers.
+    let (base_outs, base_rep) = run_fleet(&eps, &reqs, &base, None, LaunchMode::Sequential, 1);
+    let miss_rate = base_rep.deadline_miss_rate();
+    let imbalance = base_rep.load_imbalance();
+    let imbalance_max = if smoke {
+        LOAD_IMBALANCE_MAX_SMOKE
+    } else {
+        LOAD_IMBALANCE_MAX
+    };
+    let profile = if smoke { "smoke" } else { "full" };
+    println!(
+        "baseline: {} served / {} shed, {} failovers, {} quarantines, {} host-served",
+        base_rep.served(),
+        base_rep.shed(),
+        base_rep.failovers(),
+        base_rep.quarantines(),
+        base_rep.host_served()
+    );
+    println!(
+        "baseline SLO: deadline-miss rate {miss_rate:.4} (max {DEADLINE_MISS_MAX}), \
+         load imbalance {imbalance:.3} (max {imbalance_max})"
+    );
+
+    // 2. Determinism sweep under mixed chaos: engines × worker counts.
+    let det_reqs = trace(&eps, det_requests, seed);
+    let chaos_mult = parse_flag::<u32>("--chaos-mult").unwrap_or(if smoke { 128 } else { 512 });
+    let chaos = Some(mixed_chaos(chaos_mult));
+    let worker_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 8] };
+    let mut det_rows: Vec<String> = Vec::new();
+    let mut det_reference: Option<(Outputs, FleetReport)> = None;
+    let mut determinism_ok = true;
+    for &mode in &[LaunchMode::Sequential, LaunchMode::Parallel] {
+        for &workers in worker_counts {
+            let (outs, rep) = run_fleet(&eps, &det_reqs, &base, chaos, mode, workers);
+            let identical = match &det_reference {
+                None => true,
+                Some((ro, rr)) => outputs_identical(&outs, ro) && rep == *rr,
+            };
+            determinism_ok &= identical;
+            println!(
+                "determinism [{}/{workers}w]: {} served, {} failovers, {} quarantines, \
+                 {} host-served, identical: {identical}",
+                mode_name(mode),
+                rep.served(),
+                rep.failovers(),
+                rep.quarantines(),
+                rep.host_served()
+            );
+            det_rows.push(format!(
+                "{{\"row\":\"determinism\",\"profile\":\"{profile}\",\"fleet_seed\":{seed},\"mode\":\"{}\",\
+                 \"threads\":{workers},\"host_parallelism\":{},\"requests\":{det_requests},\
+                 \"served\":{},\"failovers\":{},\"quarantines\":{},\"host_served\":{},\
+                 \"identical\":{identical}}}",
+                mode_name(mode),
+                host_parallelism(),
+                rep.served(),
+                rep.failovers(),
+                rep.quarantines(),
+                rep.host_served()
+            ));
+            if det_reference.is_none() {
+                det_reference = Some((outs, rep));
+            }
+        }
+    }
+    let (chaos_outs, chaos_rep) = det_reference.expect("at least one determinism replay");
+
+    // 3. Silent-corruption gate: chaos-on serves must match the baseline
+    //    bit-for-bit (both sides are golden-verified; any mismatch means
+    //    verification let a corrupted output through).
+    let base_det_outs: Outputs = base_outs.iter().take(det_requests).cloned().collect();
+    let (silent_corruptions, admission_divergence) = corruptions(&chaos_outs, &base_det_outs);
+    println!(
+        "silent corruptions (chaos vs baseline): {silent_corruptions}   \
+         admission divergence: {admission_divergence}"
+    );
+
+    // 4. Per-class campaign across fleet seeds.
+    let campaign_reqs = trace(&eps, campaign_requests, seed);
+    let classes: &[FaultKind] = if smoke {
+        &[FaultKind::GlobalBitFlip, FaultKind::Hang]
+    } else {
+        &FaultKind::ALL
+    };
+    let n_seeds = if smoke { 1 } else { 2 };
+    let mut campaign_rows: Vec<String> = Vec::new();
+    let mut campaign_corruptions = 0usize;
+    println!(
+        "\n{:<18} {:>6} {:>8} {:>11} {:>11} {:>6} {:>8}",
+        "class", "seed", "failover", "quarantine", "host-served", "shed", "corrupt"
+    );
+    for &kind in classes {
+        for s in 0..n_seeds {
+            let fleet_seed = splitmix64(seed ^ ((s as u64) << 32) ^ 0xCA3A);
+            let cfg = FleetConfig {
+                fleet_seed,
+                ..base.clone()
+            };
+            let (clean_outs, _) =
+                run_fleet(&eps, &campaign_reqs, &cfg, None, LaunchMode::Sequential, 1);
+            let plan =
+                FaultPlan::new(0).with_rate(kind, kind.default_rate().saturating_mul(chaos_mult));
+            let (outs, rep) = run_fleet(
+                &eps,
+                &campaign_reqs,
+                &cfg,
+                Some(plan),
+                LaunchMode::Sequential,
+                1,
+            );
+            let (corrupt, _) = corruptions(&outs, &clean_outs);
+            campaign_corruptions += corrupt;
+            println!(
+                "{:<18} {:>6} {:>8} {:>11} {:>11} {:>6} {:>8}",
+                kind.name(),
+                s,
+                rep.failovers(),
+                rep.quarantines(),
+                rep.host_served(),
+                rep.shed(),
+                corrupt
+            );
+            campaign_rows.push(format!(
+                "{{\"row\":\"campaign\",\"profile\":\"{profile}\",\"class\":\"{}\",\"seed_idx\":{s},\
+                 \"fleet_seed\":{fleet_seed},\"host_parallelism\":{},\
+                 \"requests\":{campaign_requests},\"served\":{},\"shed\":{},\
+                 \"failovers\":{},\"quarantines\":{},\"host_served\":{},\
+                 \"deadline_miss_rate\":{},\"silent_corruptions\":{corrupt}}}",
+                kind.name(),
+                host_parallelism(),
+                rep.served(),
+                rep.shed(),
+                rep.failovers(),
+                rep.quarantines(),
+                rep.host_served(),
+                rep.deadline_miss_rate()
+            ));
+        }
+    }
+
+    let corruption_free = silent_corruptions == 0 && campaign_corruptions == 0;
+    let slo_ok = miss_rate <= DEADLINE_MISS_MAX && imbalance <= imbalance_max;
+    let gate_pass = corruption_free && determinism_ok && slo_ok;
+    println!(
+        "\ngate: {} (corruption-free: {corruption_free}, determinism: {determinism_ok}, \
+         SLO: {slo_ok})",
+        if gate_pass { "PASS" } else { "FAIL" }
+    );
+
+    let mut rows = det_rows;
+    rows.extend(campaign_rows);
+    rows.push(format!(
+        "{{\"row\":\"_summary\",\"profile\":\"{profile}\",\"fleet_seed\":{seed},\"shards\":{},\"window\":{window},\
+         \"host_parallelism\":{},\"requests\":{n_requests},\"served\":{},\"shed\":{},\
+         \"failovers\":{},\"quarantines\":{},\"host_served\":{},\
+         \"deadline_miss_rate\":{miss_rate},\"deadline_miss_max\":{DEADLINE_MISS_MAX},\
+         \"load_imbalance\":{imbalance},\"load_imbalance_max\":{imbalance_max},\
+         \"modeled_seconds_total\":{},\"silent_corruptions\":{},\
+         \"admission_divergence\":{admission_divergence},\
+         \"determinism_ok\":{determinism_ok},\"gate_pass\":{gate_pass}}}",
+        base.devices.len(),
+        host_parallelism(),
+        base_rep.served(),
+        base_rep.shed(),
+        base_rep.failovers(),
+        base_rep.quarantines(),
+        base_rep.host_served(),
+        base_rep.total_modeled_seconds(),
+        silent_corruptions + campaign_corruptions,
+    ));
+    let path = "BENCH_fleet.json";
+    if let Err(e) = append_json_rows(path, &rows) {
+        eprintln!("failed to write {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {path}");
+
+    if let Some(trace_path) = string_flag("--trace") {
+        let events = fleet_timeline(&chaos_rep);
+        if let Err(e) = write_trace(&trace_path, &events) {
+            eprintln!("failed to write trace {trace_path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote trace {trace_path} ({} events)", events.len());
+    }
+    if let Some(metrics_path) = string_flag("--metrics") {
+        if let Err(e) = std::fs::write(&metrics_path, fleet_prometheus(&chaos_rep)) {
+            eprintln!("failed to write metrics {metrics_path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote metrics {metrics_path}");
+    }
+
+    if gate && !gate_pass {
+        std::process::exit(1);
+    }
+}

@@ -1190,6 +1190,25 @@ impl GpuSim {
         self.faults.as_ref()
     }
 
+    /// The launch sequence number: the count of launches this simulator
+    /// has started (including failed [`GpuSim::try_launch`] attempts).
+    /// Fault draws are keyed by `(plan.seed, launch_seq, block)`, so the
+    /// sequence number namespaces each launch's fault stream.
+    pub fn launch_seq(&self) -> u64 {
+        self.launch_seq
+    }
+
+    /// Override the launch sequence number for subsequent launches. A
+    /// fleet scheduler that creates a fresh simulator per dispatch uses
+    /// this to give every `(group, attempt)` a private fault-stream
+    /// namespace: without it each fresh sim would restart at 0 and a
+    /// retry would replay the identical faults, defeating the transient
+    /// model that lets bounded retries converge. The next launch draws
+    /// from stream `seq + 1`.
+    pub fn set_launch_seq(&mut self, seq: u64) {
+        self.launch_seq = seq;
+    }
+
     /// Injection counts accumulated since the last
     /// [`GpuSim::take_fault_log`]. Engine- and thread-count-independent
     /// (merged block-linearly, like hazard reports).

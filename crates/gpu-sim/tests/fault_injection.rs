@@ -319,3 +319,46 @@ fn successful_try_launch_matches_launch_exactly() {
     };
     assert_eq!(run(false), run(true));
 }
+
+/// Pin the fleet's device-seed derivation: the mapping is stable across
+/// releases (fleet replays and their BENCH provenance depend on it), each
+/// device gets an independent fault stream, and re-deriving for the same
+/// (fleet_seed, device_idx) is idempotent.
+#[test]
+fn device_seed_derivation_is_pinned_and_namespaced() {
+    // Golden values: changing the mixing constants or the namespace tag
+    // silently re-seeds every fleet chaos campaign — fail loudly instead.
+    assert_eq!(FaultPlan::device_seed(0, 0), 0x3dd8_79ce_8902_220c);
+    assert_eq!(FaultPlan::device_seed(0xF1EE7, 3), 0xadc6_8def_2f1d_9c8a);
+
+    let seeds: Vec<u64> = (0..8).map(|d| FaultPlan::device_seed(7, d)).collect();
+    let mut uniq = seeds.clone();
+    uniq.sort_unstable();
+    uniq.dedup();
+    assert_eq!(uniq.len(), seeds.len(), "device streams must not collide");
+    assert_eq!(FaultPlan::device_seed(7, 5), seeds[5]);
+
+    // `for_device` re-keys the plan but keeps the rate template.
+    let template = FaultPlan::single(FaultKind::Hang, 0xDEAD);
+    let derived = template.for_device(7, 5);
+    assert_eq!(derived.seed, seeds[5]);
+    assert_eq!(
+        derived.rate(FaultKind::Hang),
+        FaultKind::Hang.default_rate()
+    );
+    assert_eq!(derived.rate(FaultKind::GlobalBitFlip), 0);
+
+    // Different devices under the same template observe different fault
+    // streams: the same launch on two derived plans produces different
+    // corruption evidence (same totals would be a one-in-2^64 fluke).
+    let run_under = |plan: FaultPlan| {
+        let mut sim = sim_with(LaunchMode::Sequential, Some(plan));
+        let (_, out, log) = run_copy(&mut sim).expect("copy kernel has no hang class armed");
+        (out, log.total())
+    };
+    let bitflip = FaultPlan::new(0).with_rate(FaultKind::GlobalBitFlip, 1);
+    let (out_a, n_a) = run_under(bitflip.for_device(7, 0));
+    let (out_b, n_b) = run_under(bitflip.for_device(7, 1));
+    assert!(n_a > 0 && n_b > 0, "both devices should observe injections");
+    assert_ne!(out_a, out_b, "independent streams must corrupt differently");
+}

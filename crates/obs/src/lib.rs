@@ -15,11 +15,15 @@
 //!   engine-independence argument); checked-dispatch spans from
 //!   [`memconv::checked::CheckedReport`]; serving spans (windows,
 //!   planner sweeps, request queue→plan→execute) from
-//!   [`memconv_serve::ServeReport`]. Builders live in [`timeline`].
+//!   [`memconv_serve::ServeReport`]; fleet spans (per-shard lanes,
+//!   breaker life-cycle instants, per-request failover chains across
+//!   shards) from [`memconv_serve::FleetReport`]. Builders live in
+//!   [`timeline`].
 //! * **[`chrome`]** — byte-stable `chrome://tracing` trace-event JSON
 //!   (hand-written, sorted fields; the workspace's no-serde policy).
-//! * **[`prometheus`]** — Prometheus text exposition of serving counters
-//!   and transaction rollups.
+//! * **[`prometheus`]** — Prometheus text exposition of serving and
+//!   fleet-resilience counters (failovers, quarantines, sheds) and
+//!   transaction rollups.
 //!
 //! Recording is off by default everywhere and *counter-invisible* when
 //! on: enabling spans changes no [`memconv_gpusim::KernelStats`] and no
@@ -33,7 +37,8 @@ pub mod prometheus;
 pub mod timeline;
 
 pub use chrome::{chrome_trace, write_trace, ArgValue, TraceEvent};
-pub use prometheus::prometheus_exposition;
+pub use prometheus::{fleet_prometheus, prometheus_exposition};
 pub use timeline::{
-    checked_timeline, gpu_timeline, serve_timeline, PID_CHECKED, PID_GPU, PID_SERVE,
+    checked_timeline, fleet_timeline, gpu_timeline, serve_timeline, PID_CHECKED, PID_FLEET,
+    PID_GPU, PID_SERVE,
 };

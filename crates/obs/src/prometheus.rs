@@ -1,15 +1,16 @@
-//! Prometheus text-format exposition of a [`ServeReport`].
+//! Prometheus text-format exposition of a [`ServeReport`] or a fleet's
+//! [`FleetReport`].
 //!
 //! Hand-written text in the [exposition format] — `# HELP` / `# TYPE`
 //! headers followed by samples. The output is deterministic: metric
 //! families appear in a fixed template order, labeled series are sorted by
-//! endpoint name (`BTreeMap` iteration), and floats use Rust's shortest
-//! round-trip `Display`. Every value is a *modeled* quantity, so scraping
-//! the same trace twice yields identical bytes.
+//! endpoint name (`BTreeMap` iteration) or shard index, and floats use
+//! Rust's shortest round-trip `Display`. Every value is a *modeled*
+//! quantity, so scraping the same trace twice yields identical bytes.
 //!
 //! [exposition format]: https://prometheus.io/docs/instrumenting/exposition_formats/
 
-use memconv_serve::{Percentiles, ServeReport};
+use memconv_serve::{FleetEvent, FleetReport, Percentiles, Priority, ServeReport};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -156,6 +157,245 @@ pub fn prometheus_exposition(report: &ServeReport) -> String {
     out
 }
 
+/// Render a fleet `report` in the Prometheus text exposition format.
+///
+/// Resilience counters first (failovers, quarantines, restores, probes,
+/// rehomed plans, host-tier serves, sheds by priority class), then
+/// per-shard rollups labeled `shard="N"`, then the fleet-level SLO gauges
+/// (`deadline_miss_rate`, `load_imbalance`). Shard series are emitted in
+/// index order and every priority class always appears (zero-valued when
+/// unused), so the byte layout is fixed.
+pub fn fleet_prometheus(report: &FleetReport) -> String {
+    let mut out = String::with_capacity(4096);
+
+    header(
+        &mut out,
+        "memconv_fleet_requests_served_total",
+        "Requests served by the fleet (any tier).",
+        "counter",
+    );
+    let _ = writeln!(
+        out,
+        "memconv_fleet_requests_served_total {}",
+        report.served()
+    );
+
+    let mut shed: BTreeMap<&str, u64> = [Priority::Batch, Priority::High, Priority::Normal]
+        .iter()
+        .map(|p| (p.as_str(), 0))
+        .collect();
+    let mut restores = 0u64;
+    let mut probes_pass = 0u64;
+    let mut probes_fail = 0u64;
+    let mut rehomed_plans = 0u64;
+    for ev in &report.events {
+        match ev {
+            FleetEvent::Shed { priority, .. } => *shed.entry(priority.as_str()).or_default() += 1,
+            FleetEvent::Restored { .. } => restores += 1,
+            FleetEvent::Probe { passed, .. } => {
+                if *passed {
+                    probes_pass += 1;
+                } else {
+                    probes_fail += 1;
+                }
+            }
+            FleetEvent::Rehomed { plans, .. } => rehomed_plans += *plans as u64,
+            _ => {}
+        }
+    }
+
+    header(
+        &mut out,
+        "memconv_fleet_shed_total",
+        "Requests load-shed at admission, by priority class.",
+        "counter",
+    );
+    for (priority, v) in &shed {
+        let _ = writeln!(
+            out,
+            "memconv_fleet_shed_total{{priority=\"{priority}\"}} {v}"
+        );
+    }
+
+    header(
+        &mut out,
+        "memconv_fleet_failovers_total",
+        "Group dispatches that failed on a shard and were re-routed.",
+        "counter",
+    );
+    let _ = writeln!(out, "memconv_fleet_failovers_total {}", report.failovers());
+
+    header(
+        &mut out,
+        "memconv_fleet_quarantines_total",
+        "Circuit-breaker openings across the fleet.",
+        "counter",
+    );
+    let _ = writeln!(
+        out,
+        "memconv_fleet_quarantines_total {}",
+        report.quarantines()
+    );
+
+    header(
+        &mut out,
+        "memconv_fleet_restores_total",
+        "Quarantined shards returned to rotation by a passing probe.",
+        "counter",
+    );
+    let _ = writeln!(out, "memconv_fleet_restores_total {restores}");
+
+    header(
+        &mut out,
+        "memconv_fleet_probes_total",
+        "Probation probes run on the virtual clock, by result.",
+        "counter",
+    );
+    let _ = writeln!(
+        out,
+        "memconv_fleet_probes_total{{result=\"fail\"}} {probes_fail}"
+    );
+    let _ = writeln!(
+        out,
+        "memconv_fleet_probes_total{{result=\"pass\"}} {probes_pass}"
+    );
+
+    header(
+        &mut out,
+        "memconv_fleet_rehomed_plans_total",
+        "Cached plans copied off quarantined shards to same-fingerprint fallbacks.",
+        "counter",
+    );
+    let _ = writeln!(out, "memconv_fleet_rehomed_plans_total {rehomed_plans}");
+
+    header(
+        &mut out,
+        "memconv_fleet_host_served_total",
+        "Requests settled by the host CPU reference tier (last resort).",
+        "counter",
+    );
+    let _ = writeln!(
+        out,
+        "memconv_fleet_host_served_total {}",
+        report.host_served()
+    );
+
+    header(
+        &mut out,
+        "memconv_fleet_plan_cache_hits_total",
+        "Per-shard plan-cache hits over the trace.",
+        "counter",
+    );
+    let _ = writeln!(
+        out,
+        "memconv_fleet_plan_cache_hits_total {}",
+        report.cache_hits
+    );
+    header(
+        &mut out,
+        "memconv_fleet_plan_cache_misses_total",
+        "Per-shard plan-cache misses over the trace.",
+        "counter",
+    );
+    let _ = writeln!(
+        out,
+        "memconv_fleet_plan_cache_misses_total {}",
+        report.cache_misses
+    );
+
+    header(
+        &mut out,
+        "memconv_fleet_shard_requests_total",
+        "Requests served, by shard.",
+        "counter",
+    );
+    for s in &report.shards {
+        let _ = writeln!(
+            out,
+            "memconv_fleet_shard_requests_total{{shard=\"{}\"}} {}",
+            s.shard, s.requests
+        );
+    }
+    header(
+        &mut out,
+        "memconv_fleet_shard_launches_total",
+        "Device launches attempted, by shard (including failed attempts).",
+        "counter",
+    );
+    for s in &report.shards {
+        let _ = writeln!(
+            out,
+            "memconv_fleet_shard_launches_total{{shard=\"{}\"}} {}",
+            s.shard, s.launches
+        );
+    }
+    header(
+        &mut out,
+        "memconv_fleet_shard_failures_total",
+        "Launch failures and detected SDCs, by shard.",
+        "counter",
+    );
+    for s in &report.shards {
+        let _ = writeln!(
+            out,
+            "memconv_fleet_shard_failures_total{{shard=\"{}\"}} {}",
+            s.shard, s.failures
+        );
+    }
+    header(
+        &mut out,
+        "memconv_fleet_shard_transactions_total",
+        "32-byte global-memory transactions (the paper's cost metric), by shard.",
+        "counter",
+    );
+    for s in &report.shards {
+        let _ = writeln!(
+            out,
+            "memconv_fleet_shard_transactions_total{{shard=\"{}\"}} {}",
+            s.shard, s.transactions
+        );
+    }
+    header(
+        &mut out,
+        "memconv_fleet_shard_modeled_seconds_total",
+        "Modeled device seconds charged, by shard.",
+        "counter",
+    );
+    for s in &report.shards {
+        let _ = writeln!(
+            out,
+            "memconv_fleet_shard_modeled_seconds_total{{shard=\"{}\"}} {}",
+            s.shard, s.modeled_seconds
+        );
+    }
+
+    header(
+        &mut out,
+        "memconv_fleet_deadline_miss_rate",
+        "Fraction of served finite-deadline requests that completed late.",
+        "gauge",
+    );
+    let _ = writeln!(
+        out,
+        "memconv_fleet_deadline_miss_rate {}",
+        report.deadline_miss_rate()
+    );
+
+    header(
+        &mut out,
+        "memconv_fleet_load_imbalance",
+        "Max-over-mean modeled seconds across shards (1 = perfectly even).",
+        "gauge",
+    );
+    let _ = writeln!(
+        out,
+        "memconv_fleet_load_imbalance {}",
+        report.load_imbalance()
+    );
+
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,5 +487,161 @@ mod tests {
         assert!(s.contains("memconv_plan_cache_hits_total 0"));
         assert!(!s.contains("{endpoint="));
         assert!(s.contains("memconv_total_seconds_count 0"));
+    }
+
+    fn fleet_report() -> FleetReport {
+        use memconv_serve::{FleetAttempt, FleetAttemptOutcome, FleetRequestMetrics, ShardStats};
+        FleetReport {
+            requests: vec![
+                FleetRequestMetrics {
+                    id: 7,
+                    endpoint: "ep".into(),
+                    window: 0,
+                    arrival_s: 1.0,
+                    queue_s: 0.5,
+                    execute_s: 0.25,
+                    completion_s: 2.0,
+                    shard: Some(1),
+                    batched_with: 1,
+                    cache_hit: false,
+                    priority: Priority::Normal,
+                    deadline_s: 1.75,
+                    deadline_missed: true,
+                    attempts: vec![
+                        FleetAttempt {
+                            shard: Some(0),
+                            outcome: FleetAttemptOutcome::LaunchFailed("timeout"),
+                            modeled_seconds: 0.0,
+                        },
+                        FleetAttempt {
+                            shard: Some(1),
+                            outcome: FleetAttemptOutcome::Served,
+                            modeled_seconds: 0.25,
+                        },
+                    ],
+                },
+                FleetRequestMetrics {
+                    id: 8,
+                    endpoint: "ep".into(),
+                    window: 0,
+                    arrival_s: 1.0,
+                    queue_s: 0.5,
+                    execute_s: 0.0,
+                    completion_s: 1.5,
+                    shard: None,
+                    batched_with: 1,
+                    cache_hit: true,
+                    priority: Priority::High,
+                    deadline_s: f64::INFINITY,
+                    deadline_missed: false,
+                    attempts: vec![FleetAttempt {
+                        shard: None,
+                        outcome: FleetAttemptOutcome::HostServed,
+                        modeled_seconds: 0.0,
+                    }],
+                },
+            ],
+            events: vec![
+                FleetEvent::Quarantined {
+                    t_s: 1.5,
+                    shard: 0,
+                    failures: 3,
+                },
+                FleetEvent::Rehomed {
+                    t_s: 1.5,
+                    from: 0,
+                    to: 1,
+                    plans: 2,
+                },
+                FleetEvent::Failover {
+                    t_s: 1.5,
+                    request_ids: vec![7],
+                    from: 0,
+                    to: Some(1),
+                    attempt: 1,
+                },
+                FleetEvent::Probe {
+                    t_s: 1.6,
+                    shard: 0,
+                    passed: false,
+                },
+                FleetEvent::Probe {
+                    t_s: 1.7,
+                    shard: 0,
+                    passed: true,
+                },
+                FleetEvent::Restored { t_s: 1.7, shard: 0 },
+                FleetEvent::Shed {
+                    t_s: 1.5,
+                    id: 9,
+                    priority: Priority::Batch,
+                    projected_s: 3.0,
+                    deadline_s: 2.0,
+                },
+            ],
+            shards: vec![
+                ShardStats {
+                    shard: 0,
+                    fingerprint: "dev-a".into(),
+                    requests: 0,
+                    launches: 1,
+                    failures: 1,
+                    quarantines: 1,
+                    modeled_seconds: 0.0,
+                    transactions: 0,
+                },
+                ShardStats {
+                    shard: 1,
+                    fingerprint: "dev-a".into(),
+                    requests: 1,
+                    launches: 1,
+                    failures: 0,
+                    quarantines: 0,
+                    modeled_seconds: 0.25,
+                    transactions: 40,
+                },
+            ],
+            cache_hits: 1,
+            cache_misses: 2,
+        }
+    }
+
+    #[test]
+    fn fleet_exposition_carries_resilience_counters() {
+        let s = fleet_prometheus(&fleet_report());
+        assert_eq!(s, fleet_prometheus(&fleet_report()));
+        assert!(s.contains("memconv_fleet_requests_served_total 2"));
+        assert!(s.contains("memconv_fleet_failovers_total 1"));
+        assert!(s.contains("memconv_fleet_quarantines_total 1"));
+        assert!(s.contains("memconv_fleet_restores_total 1"));
+        assert!(s.contains("memconv_fleet_probes_total{result=\"fail\"} 1"));
+        assert!(s.contains("memconv_fleet_probes_total{result=\"pass\"} 1"));
+        assert!(s.contains("memconv_fleet_rehomed_plans_total 2"));
+        assert!(s.contains("memconv_fleet_host_served_total 1"));
+        // Every priority class appears, zero-valued when unused.
+        assert!(s.contains("memconv_fleet_shed_total{priority=\"batch\"} 1"));
+        assert!(s.contains("memconv_fleet_shed_total{priority=\"high\"} 0"));
+        assert!(s.contains("memconv_fleet_shed_total{priority=\"normal\"} 0"));
+    }
+
+    #[test]
+    fn fleet_exposition_rolls_up_shards_and_slo_gauges() {
+        let s = fleet_prometheus(&fleet_report());
+        assert!(s.contains("memconv_fleet_shard_requests_total{shard=\"1\"} 1"));
+        assert!(s.contains("memconv_fleet_shard_failures_total{shard=\"0\"} 1"));
+        assert!(s.contains("memconv_fleet_shard_transactions_total{shard=\"1\"} 40"));
+        assert!(s.contains("memconv_fleet_shard_modeled_seconds_total{shard=\"1\"} 0.25"));
+        // One finite-deadline request, missed → rate 1; one busy shard of
+        // two → imbalance max/mean = 2.
+        assert!(s.contains("memconv_fleet_deadline_miss_rate 1"));
+        assert!(s.contains("memconv_fleet_load_imbalance 2"));
+        // Shard series come out index-sorted.
+        let i0 = s
+            .find("memconv_fleet_shard_requests_total{shard=\"0\"}")
+            .unwrap();
+        let i1 = s
+            .find("memconv_fleet_shard_requests_total{shard=\"1\"}")
+            .unwrap();
+        assert!(i0 < i1);
     }
 }

@@ -8,19 +8,23 @@
 //! `memconv_gpusim::obs`) the same bytes across
 //! `LaunchMode::{Sequential,Parallel}` and any worker-thread count.
 //!
-//! Three process lanes:
+//! Four process lanes:
 //!
 //! * [`PID_GPU`] — one span per launch (tid 0) with per-block child spans
 //!   (tid 1), annotated with the record/replay phase split of each block's
 //!   counters;
 //! * [`PID_CHECKED`] — one span per `conv2d_checked` fallback attempt;
 //! * [`PID_SERVE`] — batching windows, coalesced launches, planner trial
-//!   sweeps, and each request's queue→plan→execute life.
+//!   sweeps, and each request's queue→plan→execute life;
+//! * [`PID_FLEET`] — per-shard execution lanes, breaker life-cycle
+//!   instants (quarantine/probe/restore/rehome), load-shed instants, and
+//!   each request's full dispatch chain across shards — every failover
+//!   hop is a span on the request's own lane naming the shard it tried.
 
 use crate::chrome::{ArgValue, TraceEvent};
 use memconv::prelude::{AttemptOutcome, CheckedReport};
 use memconv_gpusim::{launch_time, DeviceConfig, KernelStats, LaunchSpanRecord};
-use memconv_serve::ServeReport;
+use memconv_serve::{FleetAttemptOutcome, FleetEvent, FleetReport, ServeReport};
 use std::collections::BTreeMap;
 
 /// Process lane for simulator launches.
@@ -29,6 +33,8 @@ pub const PID_GPU: u32 = 1;
 pub const PID_CHECKED: u32 = 2;
 /// Process lane for the serving layer.
 pub const PID_SERVE: u32 = 3;
+/// Process lane for the sharded fleet.
+pub const PID_FLEET: u32 = 4;
 
 const US: f64 = 1e6;
 
@@ -349,6 +355,238 @@ pub fn serve_timeline(report: &ServeReport) -> Vec<TraceEvent> {
     events
 }
 
+/// Shard lane: tid `1 + shard` for device shards, the lane after the last
+/// shard for the host CPU tier.
+fn fleet_lane(shard: Option<usize>, num_shards: usize) -> u64 {
+    match shard {
+        Some(s) => 1 + s as u64,
+        None => 1 + num_shards as u64,
+    }
+}
+
+fn fleet_outcome_args(o: &FleetAttemptOutcome) -> Vec<(String, ArgValue)> {
+    match o {
+        FleetAttemptOutcome::Served => vec![("outcome".into(), "served".into())],
+        FleetAttemptOutcome::HostServed => vec![("outcome".into(), "host-served".into())],
+        FleetAttemptOutcome::LaunchFailed(kind) => vec![
+            ("outcome".into(), "launch-failed".into()),
+            ("error".into(), (*kind).into()),
+        ],
+        FleetAttemptOutcome::SdcDetected { max_abs } => vec![
+            ("outcome".into(), "sdc-detected".into()),
+            ("max_abs".into(), ArgValue::F64(f64::from(*max_abs))),
+        ],
+    }
+}
+
+/// Build the fleet timeline from a [`FleetReport`]. All times come from
+/// the fleet's virtual clock (window closes) and modeled device seconds:
+///
+/// * tid 0 — batching windows (first arrival → window close) plus
+///   zero-duration load-shed instants;
+/// * tid `1 + shard` — one span per coalesced group the shard *served*
+///   (ending at the group's busy-clock completion), plus zero-duration
+///   breaker instants (`quarantined` / `probe` / `restored` / `rehomed`);
+///   the lane after the last shard holds host-tier serves;
+/// * tid `64 + id` — each request's dispatch chain: a `queue` span
+///   (arrival → window close), then one span per [`FleetAttempt`] laid
+///   back-to-back so the chain ends at the request's completion. A
+///   failed-over request therefore shows every shard it touched, in
+///   order, with the failure kind on each hop.
+///
+/// Deterministic by construction: the report itself is bit-identical
+/// across engines and worker counts, and this builder only re-arranges
+/// its fields.
+pub fn fleet_timeline(report: &FleetReport) -> Vec<TraceEvent> {
+    let mut events = Vec::new();
+    let num_shards = report.shards.len();
+
+    // Window extents, as in `serve_timeline`.
+    let mut windows: BTreeMap<usize, (f64, f64, u64)> = BTreeMap::new();
+    for r in &report.requests {
+        let close = r.arrival_s + r.queue_s;
+        let e = windows.entry(r.window).or_insert((r.arrival_s, close, 0));
+        e.0 = e.0.min(r.arrival_s);
+        e.1 = e.1.max(close);
+        e.2 += 1;
+    }
+    for (&w, &(open, close, n)) in &windows {
+        events.push(TraceEvent {
+            name: format!("window {w}"),
+            cat: "fleet".into(),
+            ts_us: open * US,
+            dur_us: (close - open) * US,
+            pid: PID_FLEET,
+            tid: 0,
+            args: vec![("requests".into(), ArgValue::U64(n))],
+        });
+    }
+
+    // Shard lanes: one span per coalesced group, deduped by the serving
+    // (window, shard, completion) triple — every member of a group shares
+    // all three, so the first member emits the span.
+    let mut seen_groups: std::collections::BTreeSet<(usize, u64, u64)> =
+        std::collections::BTreeSet::new();
+    for r in &report.requests {
+        let lane = fleet_lane(r.shard, num_shards);
+        if !seen_groups.insert((r.window, lane, r.completion_s.to_bits())) {
+            continue;
+        }
+        let name = match r.shard {
+            Some(s) => format!("shard {s} {}", r.endpoint),
+            None => format!("host {}", r.endpoint),
+        };
+        events.push(TraceEvent {
+            name,
+            cat: "fleet".into(),
+            ts_us: (r.completion_s - r.execute_s) * US,
+            dur_us: r.execute_s * US,
+            pid: PID_FLEET,
+            tid: lane,
+            args: vec![
+                ("endpoint".into(), r.endpoint.as_str().into()),
+                ("window".into(), (r.window as u64).into()),
+                ("requests".into(), (r.batched_with as u64).into()),
+                ("attempts".into(), (r.attempts.len() as u64).into()),
+                ("cache_hit".into(), u64::from(r.cache_hit).into()),
+            ],
+        });
+    }
+
+    // Fleet events: zero-duration instants, shed on the window lane and
+    // breaker life-cycle on the affected shard's lane.
+    for ev in &report.events {
+        let (tid, name, mut args): (u64, String, Vec<(String, ArgValue)>) = match ev {
+            FleetEvent::Quarantined {
+                shard, failures, ..
+            } => (
+                fleet_lane(Some(*shard), num_shards),
+                format!("quarantined shard {shard}"),
+                vec![("failures".into(), u64::from(*failures).into())],
+            ),
+            FleetEvent::Probe { shard, passed, .. } => (
+                fleet_lane(Some(*shard), num_shards),
+                format!("probe shard {shard}"),
+                vec![("passed".into(), u64::from(*passed).into())],
+            ),
+            FleetEvent::Restored { shard, .. } => (
+                fleet_lane(Some(*shard), num_shards),
+                format!("restored shard {shard}"),
+                vec![],
+            ),
+            FleetEvent::Rehomed {
+                from, to, plans, ..
+            } => (
+                fleet_lane(Some(*to), num_shards),
+                format!("rehomed {from}->{to}"),
+                vec![
+                    ("from".into(), (*from as u64).into()),
+                    ("plans".into(), (*plans as u64).into()),
+                ],
+            ),
+            FleetEvent::Failover {
+                request_ids,
+                from,
+                to,
+                attempt,
+                ..
+            } => (
+                fleet_lane(Some(*from), num_shards),
+                match to {
+                    Some(t) => format!("failover {from}->{t}"),
+                    None => format!("failover {from}->host"),
+                },
+                vec![
+                    ("requests".into(), (request_ids.len() as u64).into()),
+                    ("attempt".into(), u64::from(*attempt).into()),
+                ],
+            ),
+            FleetEvent::Shed {
+                id,
+                priority,
+                projected_s,
+                deadline_s,
+                ..
+            } => (
+                0,
+                format!("shed req {id}"),
+                vec![
+                    ("priority".into(), priority.as_str().into()),
+                    ("projected_s".into(), ArgValue::F64(*projected_s)),
+                    ("deadline_s".into(), ArgValue::F64(*deadline_s)),
+                ],
+            ),
+        };
+        let t_s = match ev {
+            FleetEvent::Quarantined { t_s, .. }
+            | FleetEvent::Probe { t_s, .. }
+            | FleetEvent::Restored { t_s, .. }
+            | FleetEvent::Rehomed { t_s, .. }
+            | FleetEvent::Failover { t_s, .. }
+            | FleetEvent::Shed { t_s, .. } => *t_s,
+        };
+        args.insert(0, ("kind".into(), ev.kind().into()));
+        events.push(TraceEvent {
+            name,
+            cat: "fleet".into(),
+            ts_us: t_s * US,
+            dur_us: 0.0,
+            pid: PID_FLEET,
+            tid,
+            args,
+        });
+    }
+
+    // Request dispatch chains: queue, then the attempt chain laid
+    // back-to-back ending at the completion time (any gap between window
+    // close and chain start is shard busy-clock waiting).
+    for r in &report.requests {
+        let tid = 64 + r.id;
+        let close = r.arrival_s + r.queue_s;
+        events.push(TraceEvent {
+            name: format!("req {} queue", r.id),
+            cat: "fleet".into(),
+            ts_us: r.arrival_s * US,
+            dur_us: r.queue_s * US,
+            pid: PID_FLEET,
+            tid,
+            args: vec![
+                ("id".into(), ArgValue::U64(r.id)),
+                ("endpoint".into(), r.endpoint.as_str().into()),
+                ("priority".into(), r.priority.as_str().into()),
+                (
+                    "deadline_missed".into(),
+                    u64::from(r.deadline_missed).into(),
+                ),
+            ],
+        });
+        let total: f64 = r.attempts.iter().map(|a| a.modeled_seconds).sum();
+        let mut cursor = (r.completion_s - total).max(close);
+        for (k, a) in r.attempts.iter().enumerate() {
+            let name = match a.shard {
+                Some(s) => format!("req {} attempt {} shard {s}", r.id, k + 1),
+                None => format!("req {} attempt {} host", r.id, k + 1),
+            };
+            let mut args = vec![
+                ("id".into(), ArgValue::U64(r.id)),
+                ("attempt".into(), (k as u64 + 1).into()),
+            ];
+            args.extend(fleet_outcome_args(&a.outcome));
+            events.push(TraceEvent {
+                name,
+                cat: "fleet".into(),
+                ts_us: cursor * US,
+                dur_us: a.modeled_seconds * US,
+                pid: PID_FLEET,
+                tid,
+                args,
+            });
+            cursor += a.modeled_seconds;
+        }
+    }
+    events
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -466,5 +704,112 @@ mod tests {
         // Launch starts at the window close.
         let launch = evs.iter().find(|e| e.name == "launch fused-nchw").unwrap();
         assert!((launch.ts_us - 1.5e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fleet_timeline_shows_the_retry_chain_across_shards() {
+        use memconv_serve::{FleetAttempt, FleetRequestMetrics, Priority, ShardStats};
+        let shard = |s: usize, modeled: f64| ShardStats {
+            shard: s,
+            fingerprint: "dev".into(),
+            requests: 0,
+            launches: 1,
+            failures: 0,
+            quarantines: 0,
+            modeled_seconds: modeled,
+            transactions: 0,
+        };
+        let rep = FleetReport {
+            requests: vec![FleetRequestMetrics {
+                id: 7,
+                endpoint: "ep".into(),
+                window: 0,
+                arrival_s: 1.0,
+                queue_s: 0.5,
+                execute_s: 0.25,
+                completion_s: 2.0,
+                shard: Some(1),
+                batched_with: 1,
+                cache_hit: false,
+                priority: Priority::Normal,
+                deadline_s: f64::INFINITY,
+                deadline_missed: false,
+                attempts: vec![
+                    FleetAttempt {
+                        shard: Some(0),
+                        outcome: FleetAttemptOutcome::LaunchFailed("timeout"),
+                        modeled_seconds: 0.0,
+                    },
+                    FleetAttempt {
+                        shard: Some(1),
+                        outcome: FleetAttemptOutcome::Served,
+                        modeled_seconds: 0.25,
+                    },
+                ],
+            }],
+            events: vec![
+                FleetEvent::Quarantined {
+                    t_s: 1.5,
+                    shard: 0,
+                    failures: 3,
+                },
+                FleetEvent::Failover {
+                    t_s: 1.5,
+                    request_ids: vec![7],
+                    from: 0,
+                    to: Some(1),
+                    attempt: 1,
+                },
+                FleetEvent::Shed {
+                    t_s: 1.5,
+                    id: 9,
+                    priority: Priority::Batch,
+                    projected_s: 3.0,
+                    deadline_s: 2.0,
+                },
+            ],
+            shards: vec![shard(0, 0.0), shard(1, 0.25)],
+            cache_hits: 0,
+            cache_misses: 1,
+        };
+        let evs = fleet_timeline(&rep);
+        assert!(evs.iter().all(|e| e.pid == PID_FLEET));
+
+        // The serving shard's lane (tid 1 + shard) holds the group span,
+        // ending at the busy-clock completion.
+        let grp = evs.iter().find(|e| e.name == "shard 1 ep").unwrap();
+        assert_eq!(grp.tid, 2);
+        assert!((grp.ts_us - 1.75e6).abs() < 1e-6);
+        assert!((grp.dur_us - 0.25e6).abs() < 1e-6);
+
+        // The request's own lane shows the full chain: queue, the failed
+        // hop on shard 0, then the serving hop on shard 1, ending at the
+        // completion time.
+        let chain: Vec<_> = evs.iter().filter(|e| e.tid == 64 + 7).collect();
+        assert_eq!(chain.len(), 3);
+        assert_eq!(chain[0].name, "req 7 queue");
+        assert_eq!(chain[1].name, "req 7 attempt 1 shard 0");
+        assert!(chain[1]
+            .args
+            .iter()
+            .any(|(k, v)| k == "error" && *v == ArgValue::Str("timeout".into())));
+        assert_eq!(chain[2].name, "req 7 attempt 2 shard 1");
+        assert!((chain[2].ts_us + chain[2].dur_us - 2.0e6).abs() < 1e-6);
+
+        // Breaker instants land on the failed shard's lane; sheds on the
+        // window lane. All are zero-duration.
+        let q = evs
+            .iter()
+            .find(|e| e.name == "quarantined shard 0")
+            .unwrap();
+        assert_eq!((q.tid, q.dur_us), (1, 0.0));
+        let f = evs.iter().find(|e| e.name == "failover 0->1").unwrap();
+        assert_eq!(f.tid, 1);
+        let shed = evs.iter().find(|e| e.name == "shed req 9").unwrap();
+        assert_eq!(shed.tid, 0);
+        assert!(shed
+            .args
+            .iter()
+            .any(|(k, v)| k == "priority" && *v == ArgValue::Str("batch".into())));
     }
 }

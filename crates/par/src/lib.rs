@@ -1,11 +1,14 @@
 //! Minimal data parallelism on `std::thread::scope`.
 //!
 //! The workspace runs fully offline, so instead of rayon this crate provides
-//! the two primitives memconv actually needs:
+//! the primitives memconv actually needs:
 //!
 //! * [`map_indexed`] — dynamically scheduled, order-preserving parallel map
 //!   over `0..n` (used by the simulator's parallel launch engine, where item
 //!   cost varies block to block);
+//! * [`map_sharded_with`] — order-preserving parallel map over per-shard
+//!   work queues with affinity + work stealing (used by the serving
+//!   fleet's per-device launch queues);
 //! * [`for_each_chunk_mut`] — statically scheduled parallel iteration over
 //!   mutable equal-cost chunks of a slice (used by the CPU reference
 //!   convolutions, one output plane per chunk).
@@ -140,6 +143,85 @@ where
     (collected.into_iter().map(|(_, r)| r).collect(), states)
 }
 
+/// Order-preserving parallel map over per-shard work queues with work
+/// stealing.
+///
+/// `queue_lens[s]` is the length of shard `s`'s queue; `f(s, i)` processes
+/// item `i` of shard `s`. Worker `w` is affined to queue `w % shards` and
+/// drains it first (preserving cache/device affinity — in the serving
+/// fleet, queue `s` holds the launch groups routed to device `s`), then
+/// steals from whichever other queue has the most items remaining. The
+/// result preserves queue order: `out[s][i] == f(s, i)` regardless of
+/// which worker ran it or in what order. A panic in `f` propagates to the
+/// caller once all workers have stopped.
+pub fn map_sharded_with<R, F>(queue_lens: &[usize], threads: usize, f: F) -> Vec<Vec<R>>
+where
+    R: Send,
+    F: Fn(usize, usize) -> R + Sync,
+{
+    let total: usize = queue_lens.iter().sum();
+    let threads = threads.clamp(1, total.max(1));
+    if threads <= 1 || total <= 1 {
+        return queue_lens
+            .iter()
+            .enumerate()
+            .map(|(s, &len)| (0..len).map(|i| f(s, i)).collect())
+            .collect();
+    }
+
+    let cursors: Vec<AtomicUsize> = queue_lens.iter().map(|_| AtomicUsize::new(0)).collect();
+    let mut collected: Vec<(usize, usize, R)> = Vec::with_capacity(total);
+    std::thread::scope(|scope| {
+        let cursors = &cursors;
+        let f = &f;
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let home = w % queue_lens.len().max(1);
+                scope.spawn(move || {
+                    let mut local: Vec<(usize, usize, R)> = Vec::new();
+                    loop {
+                        // Home queue first; else steal from the queue with
+                        // the most remaining work (snapshot — benign races
+                        // only cost an extra fetch_add probe).
+                        let target = {
+                            let remaining = |s: usize| {
+                                queue_lens[s].saturating_sub(cursors[s].load(Ordering::Relaxed))
+                            };
+                            if remaining(home) > 0 {
+                                Some(home)
+                            } else {
+                                (0..queue_lens.len())
+                                    .filter(|&s| remaining(s) > 0)
+                                    .max_by_key(|&s| remaining(s))
+                            }
+                        };
+                        let Some(s) = target else { break };
+                        let i = cursors[s].fetch_add(1, Ordering::Relaxed);
+                        if i < queue_lens[s] {
+                            local.push((s, i, f(s, i)));
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(local) => collected.extend(local),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+
+    collected.sort_unstable_by_key(|&(s, i, _)| (s, i));
+    debug_assert_eq!(collected.len(), total);
+    let mut out: Vec<Vec<R>> = queue_lens.iter().map(|&l| Vec::with_capacity(l)).collect();
+    for (s, _, r) in collected {
+        out[s].push(r);
+    }
+    out
+}
+
 /// Order-preserving parallel map of `f` over `0..n` using [`num_threads`].
 pub fn map_indexed<R, F>(n: usize, f: F) -> Vec<R>
 where
@@ -252,6 +334,53 @@ mod tests {
                 i
             },
         );
+    }
+
+    #[test]
+    fn map_sharded_preserves_queue_order() {
+        let lens = [5usize, 0, 17, 3, 9];
+        for threads in [1, 2, 3, 8, 32] {
+            let out = map_sharded_with(&lens, threads, |s, i| s * 100 + i);
+            assert_eq!(out.len(), lens.len());
+            for (s, (queue, &len)) in out.iter().zip(lens.iter()).enumerate() {
+                assert_eq!(queue, &(0..len).map(|i| s * 100 + i).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn map_sharded_handles_edge_shapes() {
+        assert_eq!(
+            map_sharded_with(&[], 4, |s, i| (s, i)),
+            Vec::<Vec<(usize, usize)>>::new()
+        );
+        assert_eq!(map_sharded_with(&[0, 0], 4, |_, i| i), vec![vec![], vec![]]);
+        assert_eq!(map_sharded_with(&[1], 8, |s, i| s + i), vec![vec![0]]);
+    }
+
+    #[test]
+    fn map_sharded_steals_across_queues() {
+        use std::sync::atomic::AtomicUsize;
+        // One heavy queue, three empty ones, more threads than queues:
+        // every item must still be processed exactly once.
+        let done = AtomicUsize::new(0);
+        let out = map_sharded_with(&[64, 0, 0, 0], 8, |_, i| {
+            done.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(done.load(Ordering::Relaxed), 64);
+        assert_eq!(out[0], (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "sharded boom")]
+    fn map_sharded_propagates_worker_panic() {
+        map_sharded_with(&[4, 4], 2, |s, i| {
+            if s == 1 && i == 2 {
+                panic!("sharded boom");
+            }
+            i
+        });
     }
 
     #[test]

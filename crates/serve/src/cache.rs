@@ -135,6 +135,20 @@ impl PlanCache {
         }
     }
 
+    /// Look up a plan without touching recency or the hit/miss counters.
+    /// Used by fleet re-homing, which copies a quarantined shard's plans
+    /// into a peer cache and must not perturb either cache's LRU order or
+    /// hit-rate accounting.
+    pub fn peek(&self, key: &str) -> Option<&Plan> {
+        self.entries.iter().find(|e| e.key == key).map(|e| &e.plan)
+    }
+
+    /// Resident `(key, plan)` pairs in stable (insertion) order, without
+    /// touching recency or counters.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Plan)> {
+        self.entries.iter().map(|e| (e.key.as_str(), &e.plan))
+    }
+
     /// Insert or replace a plan, evicting the least-recently-used entry
     /// when at capacity.
     pub fn insert(&mut self, key: String, plan: Plan) {

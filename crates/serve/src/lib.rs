@@ -30,16 +30,29 @@
 //!   [`ServeReport`] with p50/p95/p99, cache hit rate and batching
 //!   efficiency. All times are *modeled* seconds — no wall clock leaks into
 //!   results, which keeps every number reproducible bit-for-bit.
+//! * [`fleet`] — the resilient sharded fleet: a [`ConvFleet`] routes
+//!   requests over N devices by rendezvous geometry affinity, golden
+//!   verifies every launch, fails over across shards with bounded
+//!   retries (host CPU reference as last resort), quarantines unhealthy
+//!   shards behind a [`CircuitBreaker`] with virtual-clock probation
+//!   probes, and load-sheds past-deadline requests at admission — all
+//!   deterministic under seeded chaos (proptest-pinned in
+//!   `tests/prop_fleet.rs`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod fleet;
 pub mod metrics;
 pub mod planner;
 pub mod scheduler;
 
 pub use cache::{CacheError, PlanCache};
+pub use fleet::{
+    BreakerState, CircuitBreaker, ConvFleet, FleetAttempt, FleetAttemptOutcome, FleetConfig,
+    FleetEvent, FleetReport, FleetRequest, FleetRequestMetrics, Priority, ShardStats,
+};
 pub use metrics::{
     percentile, percentiles, LaunchRecord, Percentiles, PlanSweepRecord, RequestMetrics,
     ServeReport,

@@ -159,6 +159,29 @@ pub enum ServeError {
         /// Explanation.
         message: String,
     },
+    /// An endpoint's geometry is outside what the serving registry can
+    /// launch (e.g. the padded input is smaller than the filter, so the
+    /// convolution has no output). Previously a `usize` underflow panic
+    /// deep inside planning; now a typed submission-time rejection.
+    Unsupported {
+        /// Endpoint index.
+        endpoint: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// The scheduler has been closed; it accepts no further traces.
+    Closed,
+    /// The request was load-shed by fleet admission: its projected
+    /// completion on the virtual clock exceeded its deadline. A typed
+    /// rejection, not a panic — shedding is an expected overload outcome.
+    Shed {
+        /// Offending request.
+        id: u64,
+        /// Projected completion time (virtual seconds).
+        projected_s: f64,
+        /// The request's absolute deadline (virtual seconds).
+        deadline_s: f64,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -175,6 +198,19 @@ impl fmt::Display for ServeError {
             ServeError::BadEndpoint { endpoint, message } => {
                 write!(f, "endpoint {endpoint}: {message}")
             }
+            ServeError::Unsupported { endpoint, message } => {
+                write!(f, "endpoint {endpoint}: unsupported geometry: {message}")
+            }
+            ServeError::Closed => write!(f, "scheduler is closed"),
+            ServeError::Shed {
+                id,
+                projected_s,
+                deadline_s,
+            } => write!(
+                f,
+                "request {id}: shed (projected completion {projected_s:.6}s \
+                 exceeds deadline {deadline_s:.6}s)"
+            ),
         }
     }
 }
@@ -217,6 +253,7 @@ pub struct ConvServer {
     endpoints: Vec<Endpoint>,
     cfg: ServeConfig,
     cache: PlanCache,
+    closed: bool,
 }
 
 impl ConvServer {
@@ -228,7 +265,20 @@ impl ConvServer {
             endpoints,
             cfg,
             cache,
+            closed: false,
         }
+    }
+
+    /// Close the scheduler: every subsequent [`ConvServer::run_trace`]
+    /// returns [`ServeError::Closed`]. The plan cache stays readable for
+    /// persistence. Closing is idempotent and cannot be undone.
+    pub fn close(&mut self) {
+        self.closed = true;
+    }
+
+    /// Whether [`ConvServer::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.closed
     }
 
     /// Replace the plan cache (e.g. with one loaded from disk), skipping
@@ -262,6 +312,9 @@ impl ConvServer {
         &mut self,
         requests: &[Request],
     ) -> Result<(Vec<Response>, ServeReport), ServeError> {
+        if self.closed {
+            return Err(ServeError::Closed);
+        }
         self.validate(requests)?;
         let hits0 = self.cache.hits();
         let misses0 = self.cache.misses();
@@ -445,6 +498,18 @@ impl ConvServer {
                 return Err(ServeError::BadEndpoint {
                     endpoint: ei,
                     message: format!("geometry batch must be 1, got {}", g.batch),
+                });
+            }
+            if g.in_h + 2 * g.pad_h < g.f_h || g.in_w + 2 * g.pad_w < g.f_w {
+                return Err(ServeError::Unsupported {
+                    endpoint: ei,
+                    message: format!(
+                        "padded input {}x{} is smaller than the {}x{} filter",
+                        g.in_h + 2 * g.pad_h,
+                        g.in_w + 2 * g.pad_w,
+                        g.f_h,
+                        g.f_w
+                    ),
                 });
             }
             if ep.weights.num_filters() != g.out_channels
@@ -802,5 +867,54 @@ mod tests {
             })
         ));
         let _ = eps;
+    }
+
+    #[test]
+    fn closed_server_rejects_traces() {
+        let mut sv = server(4);
+        assert!(!sv.is_closed());
+        sv.close();
+        assert!(sv.is_closed());
+        assert!(matches!(sv.run_trace(&[]), Err(ServeError::Closed)));
+        sv.close(); // idempotent
+        assert!(matches!(sv.run_trace(&[]), Err(ServeError::Closed)));
+    }
+
+    #[test]
+    fn unsupported_geometry_is_a_typed_error_not_a_panic() {
+        // A filter larger than the padded input used to underflow deep in
+        // planning; submission now rejects it with ServeError::Unsupported.
+        let mut rng = TensorRng::new(3);
+        let eps = vec![Endpoint {
+            name: "bad/conv9".into(),
+            geometry: ConvGeometry::nchw(1, 1, 4, 4, 1, 9, 9),
+            weights: rng.filter_bank(1, 1, 9, 9),
+        }];
+        let mut sv = ConvServer::new(DeviceConfig::test_tiny(), eps, ServeConfig::default());
+        let req = Request {
+            id: 0,
+            endpoint: 0,
+            input: rng.tensor(1, 1, 4, 4),
+            checked: false,
+            arrival_s: 0.0,
+        };
+        assert!(matches!(
+            sv.run_trace(&[req]),
+            Err(ServeError::Unsupported { endpoint: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn shed_error_displays_projection_and_deadline() {
+        let e = ServeError::Shed {
+            id: 5,
+            projected_s: 0.25,
+            deadline_s: 0.125,
+        };
+        let s = e.to_string();
+        assert!(s.contains("request 5"), "{s}");
+        assert!(s.contains("shed"), "{s}");
+        assert!(s.contains("0.250000"), "{s}");
+        assert!(s.contains("0.125000"), "{s}");
     }
 }

@@ -1,0 +1,151 @@
+//! The fleet's determinism contract, property-tested: a fleet trace is a
+//! pure function of (endpoints, requests, config-minus-execution-knobs).
+//!
+//! Two properties:
+//!
+//! 1. **Engine/worker invariance** — for an arbitrary shard count, chaos
+//!    on or off, the replay under `LaunchMode::Sequential` with one worker
+//!    count is *bit-identical* to the replay under `LaunchMode::Parallel`
+//!    with another: same outputs, same event log (quarantines, probes,
+//!    failovers, sheds — in order), same per-request attempt chains, same
+//!    shard rollups. Chaos injection, breaker state and busy-clock
+//!    accounting must therefore never read execution order.
+//! 2. **Golden shield** — whatever seeded chaos does to the dispatch
+//!    chain (failovers, host-tier fallback), every served output is
+//!    bit-identical to the chaos-off replay's output for the same
+//!    request: detected faults never leak into results, silently or
+//!    otherwise.
+
+use memconv::gpusim::{DeviceConfig, FaultKind, FaultPlan, LaunchMode, SampleMode};
+use memconv::tensor::generate::TensorRng;
+use memconv::tensor::ConvGeometry;
+use memconv_serve::{
+    ConvFleet, Endpoint, FleetConfig, FleetRequest, Priority, Response, ServeError,
+};
+use proptest::prelude::*;
+
+fn tiny_endpoints() -> Vec<Endpoint> {
+    let mut rng = TensorRng::new(0xFEE7);
+    vec![
+        Endpoint {
+            name: "a/conv3".into(),
+            geometry: ConvGeometry::nchw(1, 2, 10, 10, 3, 3, 3),
+            weights: rng.filter_bank(3, 2, 3, 3),
+        },
+        Endpoint {
+            name: "b/conv5".into(),
+            geometry: ConvGeometry::nchw(1, 1, 12, 12, 2, 5, 5),
+            weights: rng.filter_bank(2, 1, 5, 5),
+        },
+    ]
+}
+
+fn trace(endpoints: &[Endpoint], n: usize, seed: u64) -> Vec<FleetRequest> {
+    let mut rng = TensorRng::new(seed);
+    (0..n)
+        .map(|i| {
+            let e = i % endpoints.len();
+            let g = endpoints[e].geometry;
+            FleetRequest {
+                id: i as u64,
+                endpoint: e,
+                input: rng.tensor(1, g.in_channels, g.in_h, g.in_w),
+                arrival_s: i as f64 * 1e-4,
+                priority: match i % 3 {
+                    0 => Priority::High,
+                    1 => Priority::Normal,
+                    _ => Priority::Batch,
+                },
+                deadline_s: f64::INFINITY,
+            }
+        })
+        .collect()
+}
+
+fn cfg(shards: usize, chaos: bool, mode: LaunchMode, workers: usize) -> FleetConfig {
+    let chaos = chaos.then(|| {
+        let mut plan = FaultPlan::new(0);
+        for kind in FaultKind::ALL {
+            // 4x the per-class default: frequent enough to disturb most
+            // traces, rare enough that some device attempts succeed.
+            plan = plan.with_rate(kind, kind.default_rate() * 4);
+        }
+        plan
+    });
+    FleetConfig {
+        devices: (0..shards).map(|_| DeviceConfig::test_tiny()).collect(),
+        chaos,
+        window: 4,
+        workers,
+        launch_mode: mode,
+        trial_sample: SampleMode::Auto(64),
+        probation_delay_s: 2e-4,
+        ..FleetConfig::default()
+    }
+}
+
+type Outputs = Vec<Result<Response, ServeError>>;
+
+fn run(
+    eps: &[Endpoint],
+    reqs: &[FleetRequest],
+    cfg: FleetConfig,
+) -> (Outputs, memconv_serve::FleetReport) {
+    let mut fleet = ConvFleet::new(eps.to_vec(), cfg);
+    fleet.run_trace(reqs).expect("valid trace")
+}
+
+fn same_outputs(a: &Outputs, b: &Outputs) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| match (x, y) {
+            (Ok(rx), Ok(ry)) => rx.id == ry.id && rx.output.as_slice() == ry.output.as_slice(),
+            (Err(ex), Err(ey)) => ex.to_string() == ey.to_string(),
+            _ => false,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Sequential × workers_a replays bit-identically to Parallel ×
+    /// workers_b, for arbitrary shard counts, trace seeds, and chaos
+    /// on/off — outputs, event log, attempt chains and shard stats.
+    #[test]
+    fn fleet_replay_is_engine_and_worker_invariant(
+        shards in 1usize..4,
+        n in 4usize..10,
+        seed in any::<u64>(),
+        chaos in any::<bool>(),
+        workers_a in 1usize..4,
+        workers_b in 1usize..4,
+    ) {
+        let eps = tiny_endpoints();
+        let reqs = trace(&eps, n, seed);
+        let (outs_a, rep_a) = run(&eps, &reqs, cfg(shards, chaos, LaunchMode::Sequential, workers_a));
+        let (outs_b, rep_b) = run(&eps, &reqs, cfg(shards, chaos, LaunchMode::Parallel, workers_b));
+        prop_assert!(same_outputs(&outs_a, &outs_b), "outputs diverged across engines");
+        prop_assert_eq!(&rep_a.events, &rep_b.events, "event log diverged across engines");
+        prop_assert_eq!(&rep_a.requests, &rep_b.requests);
+        prop_assert_eq!(&rep_a.shards, &rep_b.shards);
+        prop_assert_eq!(rep_a.cache_hits, rep_b.cache_hits);
+        prop_assert_eq!(rep_a.cache_misses, rep_b.cache_misses);
+    }
+
+    /// Chaos-on served outputs are bit-identical to the chaos-off
+    /// replay's — golden verification turns every injected fault into a
+    /// failover, never into a corrupted result.
+    #[test]
+    fn chaos_never_changes_served_outputs(
+        shards in 1usize..4,
+        n in 4usize..10,
+        seed in any::<u64>(),
+        workers in 1usize..4,
+    ) {
+        let eps = tiny_endpoints();
+        let reqs = trace(&eps, n, seed);
+        let (clean, _) = run(&eps, &reqs, cfg(shards, false, LaunchMode::Sequential, workers));
+        let (chaotic, _) = run(&eps, &reqs, cfg(shards, true, LaunchMode::Parallel, workers));
+        // Infinite deadlines: nothing is shed, every request is served.
+        prop_assert!(same_outputs(&clean, &chaotic), "chaos leaked into a served output");
+    }
+}

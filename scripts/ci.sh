@@ -27,6 +27,12 @@ echo "==> serving gate (serve --smoke --gate)"
 # instant oracle-heuristic path, bit-identical to the batched run.
 cargo run --release -q -p memconv-bench --bin serve -- --smoke --gate
 
+echo "==> fleet resilience gate (fleet --smoke --gate)"
+# Chaos campaign over the sharded fleet: zero silent corruptions, replays
+# bit-identical across launch engines and worker counts, baseline
+# deadline-miss rate and load imbalance under the declared thresholds.
+cargo run --release -q -p memconv-bench --bin fleet -- --smoke --gate
+
 # Oracle exactness gate: predicted transaction signatures bit-equal to
 # measured runs over the whole zoo x registry, zero unexpected
 # data-dependent sites, shuffle-dynamic positive control flagged — on
