@@ -275,6 +275,21 @@ fn main() {
         "baseline SLO: deadline-miss rate {miss_rate:.4} (max {DEADLINE_MISS_MAX}), \
          load imbalance {imbalance:.3} (max {imbalance_max})"
     );
+    println!(
+        "baseline latency quantiles (virtual seconds):\n{:<7} {:>7} {:>12} {:>12} {:>12} {:>12}",
+        "shard", "served", "queue_p50", "exec_p50", "total_p95", "total_p99"
+    );
+    for r in base_rep.shard_percentiles() {
+        println!(
+            "{:<7} {:>7} {:>12.6} {:>12.6} {:>12.6} {:>12.6}",
+            r.shard.map_or("host".to_string(), |s| s.to_string()),
+            r.served,
+            r.queue.p50,
+            r.execute.p50,
+            r.total.p95,
+            r.total.p99
+        );
+    }
 
     // 2. Determinism sweep under mixed chaos: engines × worker counts.
     let det_reqs = trace(&eps, det_requests, seed);

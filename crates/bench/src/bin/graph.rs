@@ -1,0 +1,315 @@
+//! Whole-model layer-graph replay: inter-layer transaction savings of the
+//! device-resident fused schedule vs classic layer-at-a-time dispatch.
+//!
+//! ```sh
+//! cargo run --release -p memconv-bench --bin graph                 # full profile
+//! cargo run --release -p memconv-bench --bin graph -- --smoke --gate
+//! cargo run --release -p memconv-bench --bin graph -- --seed 7 --batch 4
+//! ```
+//!
+//! Every network in the workloads zoo (conv → relu → conv → pool chains,
+//! spatial/filter-capped so `SampleMode::Full` launches stay tractable)
+//! runs three ways on a simulated RTX 2080 Ti:
+//!
+//! 1. **graph** — one device-resident schedule: epilogues fused into conv
+//!    store paths, intermediates in the planned ping-pong pool, zero host
+//!    round-trips.
+//! 2. **graph-unfused** — device-resident and pooled, but one kernel per
+//!    IR node (isolates fusion's share of the savings).
+//! 3. **layer** — the baseline: one kernel per node, fresh device per
+//!    layer, every intermediate through the host.
+//!
+//! The outputs of all three must be **bit-identical** (the correctness
+//! contract); the transactions must not be. A short whole-model serving
+//! trace then runs through a 2-shard [`memconv_graph::GraphFleet`] and
+//! prints per-shard latency quantiles.
+//!
+//! Results land in `BENCH_graph.json` (append-with-dedup on (row, profile,
+//! model, mode, threads); rows carry `host_parallelism` and seed
+//! provenance). `--gate` exits 1 unless every model's outputs agree across
+//! all three schedules *and* the mean graph-vs-layer transaction reduction
+//! clears [`TX_REDUCTION_MIN`]. `--trace <path>` writes the fused runs'
+//! per-layer timeline as chrome://tracing JSON.
+
+use memconv::gpusim::{DeviceConfig, LaunchMode};
+use memconv::tensor::generate::TensorRng;
+use memconv::workloads::network_zoo;
+use memconv_bench::{append_json_rows, geomean, host_parallelism, parse_flag, string_flag};
+use memconv_graph::{
+    graph_timeline, FusionMode, GraphEndpoint, GraphExecConfig, GraphExecutor, GraphFleet,
+    GraphFleetConfig, GraphMode, GraphRequest, GraphRunReport, GraphServeConfig, LayerGraph,
+};
+use memconv_obs::{write_trace, TraceEvent};
+
+/// Minimum mean (graph vs layer-at-a-time) transaction reduction the
+/// `--gate` run enforces. The fused schedule eliminates every standalone
+/// bias/ReLU kernel's full read+write traffic, so the reduction is
+/// structural, not statistical: measured values sit at 12–13% on the zoo
+/// (full and smoke profiles), and a drop below 8% means an epilogue
+/// stopped fusing or the store path started spilling.
+const TX_REDUCTION_MIN: f64 = 0.08;
+
+fn mode_of(mode: &str) -> GraphMode {
+    match mode {
+        "graph" => GraphMode::Graph {
+            fusion: FusionMode::Fused,
+        },
+        "graph-unfused" => GraphMode::Graph {
+            fusion: FusionMode::Unfused,
+        },
+        _ => GraphMode::LayerAtATime,
+    }
+}
+
+fn row(
+    profile: &str,
+    model: &str,
+    threads: usize,
+    seed: u64,
+    batch: usize,
+    rep: &GraphRunReport,
+) -> String {
+    format!(
+        "{{\"row\":\"graph\",\"profile\":\"{profile}\",\"model\":\"{model}\",\"mode\":\"{}\",\
+         \"threads\":{threads},\"host_parallelism\":{},\"seed\":{seed},\"batch\":{batch},\
+         \"kernels\":{},\"fused_bias\":{},\"fused_relu\":{},\"transactions\":{},\
+         \"modeled_seconds\":{:.9},\"peak_global_elems\":{},\"host_roundtrips\":{}}}",
+        rep.mode,
+        host_parallelism(),
+        rep.layers.len(),
+        rep.fusion.fused_bias,
+        rep.fusion.fused_relu,
+        rep.transactions,
+        rep.modeled_seconds,
+        rep.peak_global_elems,
+        rep.host_roundtrips,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let gate = args.iter().any(|a| a == "--gate");
+    let seed = parse_flag::<u64>("--seed").unwrap_or(0x6EA9);
+    let launch_mode = match string_flag("--mode").as_deref() {
+        None | Some("sequential") | Some("Sequential") => LaunchMode::Sequential,
+        Some("parallel") | Some("Parallel") => LaunchMode::Parallel,
+        Some(other) => {
+            eprintln!("invalid --mode `{other}` (expected sequential | parallel)");
+            std::process::exit(2);
+        }
+    };
+    let threads = match parse_flag::<usize>("--threads") {
+        Some(0) => {
+            eprintln!("--threads must be >= 1");
+            std::process::exit(2);
+        }
+        t => t,
+    };
+    let (spatial_cap, filter_cap, default_batch) = if smoke { (14, 3, 1) } else { (28, 5, 2) };
+    let batch = match parse_flag::<usize>("--batch") {
+        Some(0) => {
+            eprintln!("--batch must be >= 1");
+            std::process::exit(2);
+        }
+        Some(b) => b,
+        None => default_batch,
+    };
+    let profile = if smoke { "smoke" } else { "full" };
+    let exec_cfg = GraphExecConfig {
+        device: DeviceConfig::rtx2080ti(),
+        launch_mode,
+        parallel_threads: threads,
+        record_spans: string_flag("--trace").is_some(),
+        ..GraphExecConfig::default()
+    };
+    let thread_tag = threads.unwrap_or(1);
+
+    println!(
+        "=== layer-graph replay — {profile} profile, batch {batch}, seed {seed:#x}, \
+         caps {spatial_cap}px/{filter_cap}f ==="
+    );
+    println!(
+        "\n{:<12} {:>7} {:>8} {:>12} {:>12} {:>9} {:>10} {:>7}",
+        "model", "mode", "kernels", "transactions", "modeled_ms", "tx_save", "peak_elems", "trips"
+    );
+
+    let mut rows: Vec<String> = Vec::new();
+    let mut trace_events: Vec<TraceEvent> = Vec::new();
+    let mut reductions: Vec<f64> = Vec::new();
+    let mut divergences = 0usize;
+    let mut models = 0usize;
+    for net in network_zoo() {
+        let net = net.capped(spatial_cap, filter_cap);
+        let graph = match LayerGraph::from_network(&net, seed) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("{}: {e}", net.model);
+                std::process::exit(1);
+            }
+        };
+        let s = graph.shape(graph.input());
+        let input = TensorRng::new(seed ^ 0x17A9).tensor(batch, s.c, s.h, s.w);
+        let mut ex = GraphExecutor::new(exec_cfg.clone());
+        let mut outputs: Vec<Vec<f32>> = Vec::new();
+        let mut layer_tx = 0u64;
+        let mut graph_tx = 0u64;
+        for mode in ["graph", "graph-unfused", "layer"] {
+            let (out, rep) = match ex.run(&graph, &input, mode_of(mode)) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("{}/{mode}: {e}", net.model);
+                    std::process::exit(1);
+                }
+            };
+            let save = if mode == "graph" {
+                graph_tx = rep.transactions;
+                "-".to_string()
+            } else {
+                format!(
+                    "{:+.1}%",
+                    100.0 * (1.0 - graph_tx as f64 / rep.transactions as f64)
+                )
+            };
+            if mode == "layer" {
+                layer_tx = rep.transactions;
+            }
+            println!(
+                "{:<12} {:>7} {:>8} {:>12} {:>12.4} {:>9} {:>10} {:>7}",
+                net.model,
+                if mode == "graph-unfused" {
+                    "pooled"
+                } else {
+                    mode
+                },
+                rep.layers.len(),
+                rep.transactions,
+                rep.modeled_seconds * 1e3,
+                save,
+                rep.peak_global_elems,
+                rep.host_roundtrips,
+            );
+            rows.push(row(profile, net.model, thread_tag, seed, batch, &rep));
+            if mode == "graph" {
+                trace_events.extend(graph_timeline(&rep));
+            }
+            outputs.push(out.into_vec());
+        }
+        models += 1;
+        if !(outputs[0] == outputs[1] && outputs[0] == outputs[2]) {
+            divergences += 1;
+            eprintln!("{}: schedules DIVERGED", net.model);
+        }
+        reductions.push(1.0 - graph_tx as f64 / layer_tx as f64);
+    }
+
+    let tx_reduction = geomean(&reductions.iter().map(|r| 1.0 - r).collect::<Vec<_>>());
+    let mean_reduction = 1.0 - tx_reduction;
+    println!(
+        "\ngraph vs layer-at-a-time: mean transaction reduction {:.1}% \
+         (min required {:.0}%), output divergences {divergences}",
+        mean_reduction * 100.0,
+        TX_REDUCTION_MIN * 100.0
+    );
+
+    // Whole-model serving through the sharded fleet: per-shard quantiles.
+    let endpoints: Vec<GraphEndpoint> = network_zoo()
+        .iter()
+        .map(|n| {
+            GraphEndpoint::from_network(&n.capped(spatial_cap, filter_cap), seed)
+                .expect("zoo nets validate")
+        })
+        .collect();
+    let mut fleet = GraphFleet::new(
+        GraphFleetConfig {
+            shards: 2,
+            serve: GraphServeConfig {
+                exec: exec_cfg.clone(),
+                ..GraphServeConfig::default()
+            },
+        },
+        endpoints.clone(),
+    )
+    .expect("shards > 0");
+    let n_requests = if smoke { 8 } else { 24 };
+    let reqs: Vec<GraphRequest> = (0..n_requests)
+        .map(|i| {
+            let ep = &endpoints[i % endpoints.len()];
+            let s = ep.graph.shape(ep.graph.input());
+            GraphRequest {
+                id: i as u64,
+                endpoint: ep.name.clone(),
+                input: TensorRng::new(seed ^ (0x5E0 + i as u64)).tensor(1, s.c, s.h, s.w),
+                arrival_s: i as f64 * 2e-3,
+            }
+        })
+        .collect();
+    let (_, serve_rep) = fleet.serve(&reqs).unwrap_or_else(|e| {
+        eprintln!("fleet serve failed: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "\nfleet: {} requests over {} shards, {} coalesced runs, {} transactions",
+        serve_rep.requests.len(),
+        fleet.shards(),
+        serve_rep.groups.len(),
+        serve_rep.transactions()
+    );
+    println!(
+        "{:<7} {:>7} {:>12} {:>12} {:>12} {:>12}",
+        "shard", "served", "queue_p50", "exec_p50", "total_p95", "total_p99"
+    );
+    for r in serve_rep.shard_percentiles() {
+        let tag = r.shard.map_or("host".to_string(), |s| s.to_string());
+        println!(
+            "{tag:<7} {:>7} {:>12.6} {:>12.6} {:>12.6} {:>12.6}",
+            r.served, r.queue.p50, r.execute.p50, r.total.p95, r.total.p99
+        );
+        rows.push(format!(
+            "{{\"row\":\"serve\",\"profile\":\"{profile}\",\"shard\":\"{tag}\",\"threads\":{thread_tag},\
+             \"host_parallelism\":{},\"seed\":{seed},\"served\":{},\
+             \"queue_p50\":{:.9},\"execute_p50\":{:.9},\"total_p95\":{:.9},\"total_p99\":{:.9}}}",
+            host_parallelism(),
+            r.served,
+            r.queue.p50,
+            r.execute.p50,
+            r.total.p95,
+            r.total.p99,
+        ));
+    }
+
+    let gate_pass = divergences == 0 && mean_reduction >= TX_REDUCTION_MIN;
+    println!(
+        "\ngate: {} (bit-identical: {}, tx reduction {:.1}% >= {:.0}%)",
+        if gate_pass { "PASS" } else { "FAIL" },
+        divergences == 0,
+        mean_reduction * 100.0,
+        TX_REDUCTION_MIN * 100.0
+    );
+
+    rows.push(format!(
+        "{{\"row\":\"_summary\",\"profile\":\"{profile}\",\"threads\":{thread_tag},\
+         \"host_parallelism\":{},\"seed\":{seed},\"batch\":{batch},\"models\":{models},\
+         \"divergences\":{divergences},\"tx_reduction_mean\":{mean_reduction:.6},\
+         \"tx_reduction_min\":{TX_REDUCTION_MIN},\"gate_pass\":{gate_pass}}}",
+        host_parallelism(),
+    ));
+    let path = string_flag("--out").unwrap_or_else(|| "BENCH_graph.json".to_string());
+    if let Err(e) = append_json_rows(&path, &rows) {
+        eprintln!("failed to write {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {path}");
+
+    if let Some(trace_path) = string_flag("--trace") {
+        if let Err(e) = write_trace(&trace_path, &trace_events) {
+            eprintln!("failed to write trace {trace_path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote trace {trace_path} ({} events)", trace_events.len());
+    }
+
+    if gate && !gate_pass {
+        std::process::exit(1);
+    }
+}

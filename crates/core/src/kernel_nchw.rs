@@ -14,6 +14,38 @@ use crate::row_reuse::contributions_tiled;
 use memconv_gpusim::{BlockCtx, BufId, GpuSim, KernelStats, LaunchConfig, LaunchError, VF, WARP};
 use memconv_tensor::{ConvGeometry, FilterBank, Tensor4};
 
+/// Elementwise work folded into the conv kernel's store path, applied to
+/// each accumulator register immediately before its `gst`.
+///
+/// Fusing an epilogue eliminates the standalone kernel's round trip
+/// through global memory (one `gld` + one `gst` per output element), which
+/// is exactly the paper's transaction metric. The fused operations are the
+/// *same* f32 operations the standalone kernels perform — `bias` is a
+/// plain `a + b[f]` and `relu` a plain `max(v, 0.0)` — so a fused launch
+/// is bit-identical to conv-then-standalone-epilogue (the layer-graph
+/// executor's correctness contract, proptest-pinned in `memconv-graph`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConvEpilogue {
+    /// Per-output-channel bias added to every accumulator: buffer of
+    /// `out_channels` f32 values, indexed by the block's uniform filter
+    /// index (constant memory, like the weights).
+    pub bias: Option<BufId>,
+    /// Clamp each output element at zero after the (optional) bias add.
+    pub relu: bool,
+}
+
+impl ConvEpilogue {
+    /// No fused work — the store path is exactly the plain conv kernel's.
+    pub fn none() -> Self {
+        ConvEpilogue::default()
+    }
+
+    /// `true` when the epilogue performs no work.
+    pub fn is_empty(&self) -> bool {
+        self.bias.is_none() && !self.relu
+    }
+}
+
 /// Build the launch geometry and kernel closure for the fused
 /// multi-channel kernel, shared by the panicking
 /// ([`launch_conv_nchw_ours`]) and fallible ([`try_launch_conv_nchw_ours`])
@@ -24,6 +56,18 @@ fn nchw_launch_parts(
     output: BufId,
     g: &ConvGeometry,
     cfg: &OursConfig,
+) -> (LaunchConfig, impl Fn(&mut BlockCtx<'_>) + Sync) {
+    nchw_launch_parts_fused(input, weights, output, g, cfg, ConvEpilogue::none())
+}
+
+/// [`nchw_launch_parts`] with an epilogue folded into the store path.
+fn nchw_launch_parts_fused(
+    input: BufId,
+    weights: BufId,
+    output: BufId,
+    g: &ConvGeometry,
+    cfg: &OursConfig,
+    ep: ConvEpilogue,
 ) -> (LaunchConfig, impl Fn(&mut BlockCtx<'_>) + Sync) {
     let (ih, iw) = (g.in_h, g.in_w);
     let (fh, fw) = (g.f_h, g.f_w);
@@ -93,6 +137,19 @@ fn nchw_launch_parts(
                 if oy >= oh {
                     break;
                 }
+                // Epilogue on the register, before the store: the same f32
+                // ops the standalone kernels apply, minus their gld/gst
+                // round trip (`f` is uniform per block, so the bias load is
+                // a single constant-memory scalar).
+                let mut a = a;
+                if let Some(bias) = ep.bias {
+                    let b = w.const_load(bias, f as u32);
+                    a = w.fadd(a, b);
+                }
+                if ep.relu {
+                    a = a.map(|v| v.max(0.0));
+                    w.count_fp(1);
+                }
                 let idx = lane + (out_base + oy * ow + x0) as u32;
                 w.gst(output, &idx, &a, store_mask);
             }
@@ -131,6 +188,44 @@ pub fn try_launch_conv_nchw_ours(
     cfg: &OursConfig,
 ) -> Result<KernelStats, LaunchError> {
     let (launch, kernel) = nchw_launch_parts(input, weights, output, g, cfg);
+    sim.try_launch(&launch, kernel)
+}
+
+/// [`launch_conv_nchw_ours`] with a [`ConvEpilogue`] fused into the store
+/// path. With `ConvEpilogue::none()` this is exactly the plain kernel.
+pub fn launch_conv_nchw_fused(
+    sim: &mut GpuSim,
+    input: BufId,
+    weights: BufId,
+    output: BufId,
+    g: &ConvGeometry,
+    cfg: &OursConfig,
+    ep: ConvEpilogue,
+) -> KernelStats {
+    let (launch, kernel) = nchw_launch_parts_fused(input, weights, output, g, cfg, ep);
+    sim.launch(&launch, kernel)
+}
+
+/// Fallible [`launch_conv_nchw_fused`].
+pub fn try_launch_conv_nchw_fused(
+    sim: &mut GpuSim,
+    input: BufId,
+    weights: BufId,
+    output: BufId,
+    g: &ConvGeometry,
+    cfg: &OursConfig,
+    ep: ConvEpilogue,
+) -> Result<KernelStats, LaunchError> {
+    if let Some(bias) = ep.bias {
+        let have = sim.mem.len(bias);
+        if have < g.out_channels {
+            return Err(LaunchError::InvalidConfig(format!(
+                "bias buffer has {have} elems, geometry needs {}",
+                g.out_channels
+            )));
+        }
+    }
+    let (launch, kernel) = nchw_launch_parts_fused(input, weights, output, g, cfg, ep);
     sim.try_launch(&launch, kernel)
 }
 
@@ -248,6 +343,91 @@ mod tests {
         ] {
             check(2, 3, 9, 2, 3, &cfg);
         }
+    }
+
+    #[test]
+    fn fused_epilogue_matches_host_applied_epilogue() {
+        let mut rng = TensorRng::new(77);
+        let input = rng.tensor(2, 3, 10, 10);
+        let bank = rng.filter_bank(4, 3, 3, 3);
+        let bias: Vec<f32> = (0..4).map(|i| i as f32 * 0.25 - 0.3).collect();
+        let g = ConvGeometry::nchw(2, 3, 10, 10, 4, 3, 3);
+
+        let mut sim = GpuSim::new(DeviceConfig::test_tiny());
+        let bi = sim.mem.upload(input.as_slice());
+        let bw = sim.mem.upload(bank.as_slice());
+        let bb = sim.mem.upload(&bias);
+        let bo = sim.mem.alloc(g.out_elems());
+        let ep = ConvEpilogue {
+            bias: Some(bb),
+            relu: true,
+        };
+        launch_conv_nchw_fused(&mut sim, bi, bw, bo, &g, &OursConfig::full(), ep);
+        let fused = sim.mem.download(bo).to_vec();
+
+        // Plain conv, epilogue applied on the host with the same f32 ops —
+        // the fused path must be bit-identical, not merely close.
+        let mut sim2 = GpuSim::new(DeviceConfig::test_tiny());
+        let (plain, _) = conv_nchw_ours(&mut sim2, &input, &bank, &OursConfig::full());
+        let plane = g.out_h() * g.out_w();
+        let want: Vec<f32> = plain
+            .as_slice()
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v + bias[(i / plane) % 4]).max(0.0))
+            .collect();
+        assert_eq!(fused, want);
+    }
+
+    #[test]
+    fn empty_epilogue_is_the_plain_kernel() {
+        let mut rng = TensorRng::new(78);
+        let input = rng.tensor(1, 2, 9, 9);
+        let bank = rng.filter_bank(3, 2, 3, 3);
+        let g = ConvGeometry::nchw(1, 2, 9, 9, 3, 3, 3);
+
+        let mut sim = GpuSim::new(DeviceConfig::test_tiny());
+        let bi = sim.mem.upload(input.as_slice());
+        let bw = sim.mem.upload(bank.as_slice());
+        let bo = sim.mem.alloc(g.out_elems());
+        let fused_stats = launch_conv_nchw_fused(
+            &mut sim,
+            bi,
+            bw,
+            bo,
+            &g,
+            &OursConfig::full(),
+            ConvEpilogue::none(),
+        );
+        let fused = sim.mem.download(bo).to_vec();
+
+        let mut sim2 = GpuSim::new(DeviceConfig::test_tiny());
+        let bi2 = sim2.mem.upload(input.as_slice());
+        let bw2 = sim2.mem.upload(bank.as_slice());
+        let bo2 = sim2.mem.alloc(g.out_elems());
+        let plain_stats = launch_conv_nchw_ours(&mut sim2, bi2, bw2, bo2, &g, &OursConfig::full());
+        assert_eq!(fused, sim2.mem.download(bo2));
+        assert_eq!(fused_stats, plain_stats);
+    }
+
+    #[test]
+    fn short_bias_buffer_is_a_config_error() {
+        let mut rng = TensorRng::new(79);
+        let input = rng.tensor(1, 1, 8, 8);
+        let bank = rng.filter_bank(4, 1, 3, 3);
+        let g = ConvGeometry::nchw(1, 1, 8, 8, 4, 3, 3);
+        let mut sim = GpuSim::new(DeviceConfig::test_tiny());
+        let bi = sim.mem.upload(input.as_slice());
+        let bw = sim.mem.upload(bank.as_slice());
+        let bb = sim.mem.upload(&[0.5; 2]); // needs 4
+        let bo = sim.mem.alloc(g.out_elems());
+        let ep = ConvEpilogue {
+            bias: Some(bb),
+            relu: false,
+        };
+        let err = try_launch_conv_nchw_fused(&mut sim, bi, bw, bo, &g, &OursConfig::full(), ep)
+            .unwrap_err();
+        assert!(matches!(err, LaunchError::InvalidConfig(_)));
     }
 
     #[test]

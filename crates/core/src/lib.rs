@@ -41,7 +41,8 @@ pub use kernel2d::{
 pub use kernel2d_strided::{conv2d_ours_strided, StridedPlan};
 pub use kernel_multi_filter::{conv_nchw_multi_filter, OursMultiFilter};
 pub use kernel_nchw::{
-    conv_nchw_ours, launch_conv_nchw_ours, try_conv_nchw_ours, try_launch_conv_nchw_ours,
+    conv_nchw_ours, launch_conv_nchw_fused, launch_conv_nchw_ours, try_conv_nchw_ours,
+    try_launch_conv_nchw_fused, try_launch_conv_nchw_ours, ConvEpilogue,
 };
 pub use plan::{ColumnPlan, Exchange};
 pub use tune::{autotune_2d, TuneError, TuneReport};

@@ -1116,6 +1116,7 @@ pub struct GpuSim {
     watchdog_budget: Option<u64>,
     launch_seq: u64,
     spans: Option<SpanConfig>,
+    span_label: String,
     launch_spans: Vec<LaunchSpanRecord>,
     /// Recycled per-block scratch (trace arenas, store-buffer tables) for
     /// the parallel engine, persisting across launches.
@@ -1137,6 +1138,7 @@ impl GpuSim {
             watchdog_budget: None,
             launch_seq: 0,
             spans: None,
+            span_label: String::new(),
             launch_spans: Vec::new(),
             scratch_pool: Vec::new(),
         }
@@ -1247,6 +1249,14 @@ impl GpuSim {
     /// enabled (or last drained), in launch order.
     pub fn take_launch_spans(&mut self) -> Vec<LaunchSpanRecord> {
         std::mem::take(&mut self.launch_spans)
+    }
+
+    /// Set the attribution label stamped on subsequent launches'
+    /// [`LaunchSpanRecord`]s (see [`LaunchSpanRecord::label`]). The label
+    /// persists until changed; pass an empty string to clear it. Purely
+    /// observational: it never affects execution, counters, or timing.
+    pub fn set_span_label(&mut self, label: impl Into<String>) {
+        self.span_label = label.into();
     }
 
     /// Override the per-block instruction budget. `Some(budget)` arms the
@@ -1488,6 +1498,7 @@ impl GpuSim {
         if let Some(s) = scratch {
             self.launch_spans.push(LaunchSpanRecord {
                 seq: self.launch_seq,
+                label: self.span_label.clone(),
                 grid: cfg.grid,
                 block_dim: cfg.block,
                 total_blocks: total,

@@ -61,6 +61,41 @@ impl GlobalMem {
         &self.bufs[id.0].data
     }
 
+    /// Read back the first `len` elements of a buffer.
+    ///
+    /// The aliasing primitive of planned buffer reuse (e.g. the layer-graph
+    /// executor's ping-pong intermediate pool): a pool buffer is sized to
+    /// the largest tensor ever assigned to it, a smaller logical tensor
+    /// occupies a prefix, and the caller tracks logical lengths. Panics if
+    /// `len` exceeds the buffer's capacity.
+    pub fn download_prefix(&self, id: BufId, len: usize) -> &[f32] {
+        let buf = &self.bufs[id.0];
+        assert!(
+            len <= buf.data.len(),
+            "prefix read OOB: buffer {} has {} elems, prefix {}",
+            id.0,
+            buf.data.len(),
+            len
+        );
+        &buf.data[..len]
+    }
+
+    /// Overwrite a prefix of a buffer's contents from the host, leaving the
+    /// tail untouched. The host-write counterpart of
+    /// [`GlobalMem::download_prefix`]: re-homing a logical tensor into an
+    /// oversized pool buffer. Panics if `data` exceeds the capacity.
+    pub fn write_host_prefix(&mut self, id: BufId, data: &[f32]) {
+        let buf = &mut self.bufs[id.0];
+        assert!(
+            data.len() <= buf.data.len(),
+            "prefix write OOB: buffer {} has {} elems, prefix {}",
+            id.0,
+            buf.data.len(),
+            data.len()
+        );
+        buf.data[..data.len()].copy_from_slice(data);
+    }
+
     /// Overwrite a buffer's contents from the host (lengths must match).
     pub fn write_host(&mut self, id: BufId, data: &[f32]) {
         let buf = &mut self.bufs[id.0];
@@ -191,6 +226,33 @@ mod tests {
         let mut m = GlobalMem::new();
         let a = m.alloc(2);
         m.read_elem(a, 2);
+    }
+
+    #[test]
+    fn prefix_accessors_alias_an_oversized_buffer() {
+        let mut m = GlobalMem::new();
+        let pool = m.upload(&[9.0; 8]);
+        m.write_host_prefix(pool, &[1.0, 2.0, 3.0]);
+        assert_eq!(m.download_prefix(pool, 3), &[1.0, 2.0, 3.0]);
+        // The tail is untouched — stale data beyond the logical length.
+        assert_eq!(m.download(pool)[3], 9.0);
+        assert_eq!(m.download_prefix(pool, 8).len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix write OOB")]
+    fn oversized_prefix_write_panics() {
+        let mut m = GlobalMem::new();
+        let a = m.alloc(2);
+        m.write_host_prefix(a, &[0.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix read OOB")]
+    fn oversized_prefix_read_panics() {
+        let mut m = GlobalMem::new();
+        let a = m.alloc(2);
+        let _ = m.download_prefix(a, 3);
     }
 
     #[test]

@@ -62,6 +62,11 @@ pub struct BlockSpan {
 pub struct LaunchSpanRecord {
     /// The simulator's launch sequence number (monotone per `GpuSim`).
     pub seq: u64,
+    /// Caller-supplied attribution label ([`crate::exec::GpuSim::set_span_label`]):
+    /// which logical operation this launch implements (e.g. a layer-graph
+    /// executor stamps `"VGG-16/conv1_1"`). Empty when unset. Purely
+    /// observational — never read by the engines.
+    pub label: String,
     /// Grid dimensions.
     pub grid: (u32, u32, u32),
     /// Threads per block.

@@ -1,5 +1,5 @@
 //! Property-based tests of the simulator's structural invariants
-//! (DESIGN.md §11).
+//! (DESIGN.md §13).
 
 use memconv_gpusim::lane::{LaneMask, LaneVec, VF, VU, WARP};
 use memconv_gpusim::memory::cache::{Access, CachePolicy, SectoredCache};

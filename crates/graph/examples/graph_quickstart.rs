@@ -1,0 +1,19 @@
+use memconv::prelude::*;
+use memconv::workloads::network_zoo;
+use memconv_graph::{FusionMode, GraphExecConfig, GraphExecutor, GraphMode, LayerGraph};
+
+fn main() {
+    let net = network_zoo()[0].capped(28, 5); // conv→relu→conv→pool chain
+    let graph = LayerGraph::from_network(&net, 7).unwrap();
+    let shape = graph.shape(graph.input());
+    let input = TensorRng::new(9).tensor(1, shape.c, shape.h, shape.w);
+    let mut exec = GraphExecutor::new(GraphExecConfig::default());
+    let fused_mode = GraphMode::Graph {
+        fusion: FusionMode::Fused,
+    };
+    let (out, fused) = exec.run(&graph, &input, fused_mode).unwrap();
+    let (base, layer) = exec.run(&graph, &input, GraphMode::LayerAtATime).unwrap();
+    assert_eq!(out.as_slice(), base.as_slice()); // bit-identical
+    assert!(fused.transactions < layer.transactions); // and cheaper
+    println!("ok: {} < {}", fused.transactions, layer.transactions);
+}

@@ -1,0 +1,376 @@
+//! The layer-graph IR: a linear chain of layer nodes over explicit tensor
+//! edges, built from a [`memconv::workloads::networks::NetworkDef`] with
+//! seeded parameters.
+//!
+//! Epilogues are *separate nodes* here — a convolution followed by a bias
+//! add and a ReLU is three nodes on three tensor edges. Whether those
+//! epilogues run as standalone kernels or fold into the convolution's
+//! store path is a planning decision ([`crate::plan`]), not an IR one, so
+//! the same graph drives both the fused and the layer-at-a-time schedule
+//! and the bit-identity contract between them is a statement about one
+//! object.
+//!
+//! Shapes are per-image `(c, h, w)`; the batch dimension is supplied at
+//! execution time and scales every edge uniformly.
+
+use memconv::tensor::generate::TensorRng;
+use memconv::tensor::FilterBank;
+use memconv::workloads::networks::{NetLayer, NetworkDef};
+
+/// Handle to a tensor edge in a [`LayerGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TensorId(pub usize);
+
+/// Per-image shape of a tensor edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TensorInfo {
+    /// Channels.
+    pub c: usize,
+    /// Height.
+    pub h: usize,
+    /// Width.
+    pub w: usize,
+}
+
+impl TensorInfo {
+    /// Elements per image.
+    pub fn elems(&self) -> usize {
+        self.c * self.h * self.w
+    }
+}
+
+/// What one node computes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LayerOp {
+    /// Unit-stride valid convolution with the given filter bank.
+    Conv {
+        /// `FN × IC × FH × FW` weights.
+        weights: FilterBank,
+    },
+    /// Per-channel bias add: `y[c] = x[c] + bias[c]`, elementwise.
+    Bias {
+        /// One f32 per channel.
+        bias: Vec<f32>,
+    },
+    /// Elementwise `max(x, 0)`.
+    Relu,
+    /// `k×k` max-pool with stride `k` (non-overlapping; output spatial
+    /// size is `floor(h/k)`).
+    MaxPool {
+        /// Window and stride.
+        k: usize,
+    },
+}
+
+impl LayerOp {
+    /// Short kernel-class tag (reports, trace labels).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            LayerOp::Conv { .. } => "conv",
+            LayerOp::Bias { .. } => "bias",
+            LayerOp::Relu => "relu",
+            LayerOp::MaxPool { .. } => "maxpool",
+        }
+    }
+}
+
+/// One node: an operation consuming one tensor edge and producing another.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerNode {
+    /// Name within the model (e.g. `conv1_1`, `conv1_1.bias`).
+    pub name: String,
+    /// The operation.
+    pub op: LayerOp,
+    /// Consumed edge.
+    pub input: TensorId,
+    /// Produced edge.
+    pub output: TensorId,
+}
+
+/// A validated linear layer graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerGraph {
+    /// Model name (span labels, reports).
+    pub model: String,
+    /// Per-edge shapes; `tensors[0]` is the graph input, the last entry
+    /// the graph output.
+    pub tensors: Vec<TensorInfo>,
+    /// Nodes in execution order. Node `i` consumes edge `i` and produces
+    /// edge `i + 1` (checked by [`LayerGraph::validate`]).
+    pub nodes: Vec<LayerNode>,
+}
+
+/// A structural defect found by [`LayerGraph::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphIrError(pub String);
+
+impl std::fmt::Display for GraphIrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid layer graph: {}", self.0)
+    }
+}
+
+impl std::error::Error for GraphIrError {}
+
+impl LayerGraph {
+    /// The graph's input edge.
+    pub fn input(&self) -> TensorId {
+        TensorId(0)
+    }
+
+    /// The graph's output edge.
+    pub fn output(&self) -> TensorId {
+        TensorId(self.tensors.len() - 1)
+    }
+
+    /// Shape of an edge.
+    pub fn shape(&self, t: TensorId) -> TensorInfo {
+        self.tensors[t.0]
+    }
+
+    /// Build a graph from a network definition, with parameters drawn
+    /// from `seed` (weights and biases are deterministic functions of
+    /// `(seed, node index)`).
+    ///
+    /// Each `NetLayer::Conv` expands to a `Conv` node plus optional
+    /// `Bias` and `Relu` nodes; each `NetLayer::MaxPool` to a `MaxPool`
+    /// node.
+    pub fn from_network(net: &NetworkDef, seed: u64) -> Result<LayerGraph, GraphIrError> {
+        net.validate().map_err(GraphIrError)?;
+        let mut tensors = vec![TensorInfo {
+            c: net.in_channels,
+            h: net.spatial,
+            w: net.spatial,
+        }];
+        let mut nodes: Vec<LayerNode> = Vec::new();
+        let push = |nodes: &mut Vec<LayerNode>,
+                    tensors: &mut Vec<TensorInfo>,
+                    name: String,
+                    op: LayerOp,
+                    shape: TensorInfo| {
+            let input = TensorId(tensors.len() - 1);
+            tensors.push(shape);
+            nodes.push(LayerNode {
+                name,
+                op,
+                input,
+                output: TensorId(tensors.len() - 1),
+            });
+        };
+        for layer in &net.layers {
+            let cur = *tensors.last().expect("non-empty");
+            match *layer {
+                NetLayer::Conv {
+                    name,
+                    filters,
+                    filter,
+                    bias,
+                    relu,
+                } => {
+                    let mut rng = TensorRng::new(seed ^ (nodes.len() as u64).wrapping_mul(0x9E37));
+                    let weights = rng.filter_bank(filters, cur.c, filter, filter);
+                    let out = TensorInfo {
+                        c: filters,
+                        h: cur.h - filter + 1,
+                        w: cur.w - filter + 1,
+                    };
+                    push(
+                        &mut nodes,
+                        &mut tensors,
+                        name.to_string(),
+                        LayerOp::Conv { weights },
+                        out,
+                    );
+                    if bias {
+                        let b = rng.tensor(1, 1, 1, filters).into_vec();
+                        push(
+                            &mut nodes,
+                            &mut tensors,
+                            format!("{name}.bias"),
+                            LayerOp::Bias { bias: b },
+                            out,
+                        );
+                    }
+                    if relu {
+                        push(
+                            &mut nodes,
+                            &mut tensors,
+                            format!("{name}.relu"),
+                            LayerOp::Relu,
+                            out,
+                        );
+                    }
+                }
+                NetLayer::MaxPool { name, k } => {
+                    let out = TensorInfo {
+                        c: cur.c,
+                        h: cur.h / k,
+                        w: cur.w / k,
+                    };
+                    push(
+                        &mut nodes,
+                        &mut tensors,
+                        name.to_string(),
+                        LayerOp::MaxPool { k },
+                        out,
+                    );
+                }
+            }
+        }
+        let graph = LayerGraph {
+            model: net.model.to_string(),
+            tensors,
+            nodes,
+        };
+        graph.validate()?;
+        Ok(graph)
+    }
+
+    /// Check chain linearity and shape agreement along every edge.
+    pub fn validate(&self) -> Result<(), GraphIrError> {
+        if self.nodes.is_empty() {
+            return Err(GraphIrError(format!("{}: no nodes", self.model)));
+        }
+        if self.tensors.len() != self.nodes.len() + 1 {
+            return Err(GraphIrError(format!(
+                "{}: {} tensors for {} nodes (want nodes + 1)",
+                self.model,
+                self.tensors.len(),
+                self.nodes.len()
+            )));
+        }
+        for (i, node) in self.nodes.iter().enumerate() {
+            if node.input.0 != i || node.output.0 != i + 1 {
+                return Err(GraphIrError(format!(
+                    "{}/{}: edges ({}, {}) break the chain at node {i}",
+                    self.model, node.name, node.input.0, node.output.0
+                )));
+            }
+            let inp = self.tensors[node.input.0];
+            let out = self.tensors[node.output.0];
+            let want = match &node.op {
+                LayerOp::Conv { weights } => {
+                    if weights.channels() != inp.c {
+                        return Err(GraphIrError(format!(
+                            "{}/{}: weights expect {} channels, input has {}",
+                            self.model,
+                            node.name,
+                            weights.channels(),
+                            inp.c
+                        )));
+                    }
+                    if inp.h < weights.fh() || inp.w < weights.fw() {
+                        return Err(GraphIrError(format!(
+                            "{}/{}: {}×{} input under {}×{} filter",
+                            self.model,
+                            node.name,
+                            inp.h,
+                            inp.w,
+                            weights.fh(),
+                            weights.fw()
+                        )));
+                    }
+                    TensorInfo {
+                        c: weights.num_filters(),
+                        h: inp.h - weights.fh() + 1,
+                        w: inp.w - weights.fw() + 1,
+                    }
+                }
+                LayerOp::Bias { bias } => {
+                    if bias.len() != inp.c {
+                        return Err(GraphIrError(format!(
+                            "{}/{}: {} bias values for {} channels",
+                            self.model,
+                            node.name,
+                            bias.len(),
+                            inp.c
+                        )));
+                    }
+                    inp
+                }
+                LayerOp::Relu => inp,
+                LayerOp::MaxPool { k } => {
+                    if *k == 0 || inp.h < *k || inp.w < *k {
+                        return Err(GraphIrError(format!(
+                            "{}/{}: {}×{} input under {k}×{k} pool",
+                            self.model, node.name, inp.h, inp.w
+                        )));
+                    }
+                    TensorInfo {
+                        c: inp.c,
+                        h: inp.h / k,
+                        w: inp.w / k,
+                    }
+                }
+            };
+            if out != want {
+                return Err(GraphIrError(format!(
+                    "{}/{}: output shape {:?} does not match computed {:?}",
+                    self.model, node.name, out, want
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// The largest intermediate edge (elements per image) — what a pooled
+    /// buffer slot must hold.
+    pub fn max_edge_elems(&self) -> usize {
+        self.tensors
+            .iter()
+            .map(TensorInfo::elems)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memconv::workloads::network_zoo;
+
+    #[test]
+    fn every_zoo_network_builds_a_valid_graph() {
+        for net in network_zoo() {
+            let g = LayerGraph::from_network(&net.capped(28, 8), 7).expect("valid");
+            g.validate().expect("validates");
+            // conv+bias+relu expand to three nodes each.
+            let convs = net
+                .layers
+                .iter()
+                .filter(|l| matches!(l, NetLayer::Conv { .. }))
+                .count();
+            assert!(g.nodes.len() >= net.layers.len() + convs, "{}", net.model);
+            let (c, h, w) = net.capped(28, 8).output_shape();
+            let out = g.shape(g.output());
+            assert_eq!((out.c, out.h, out.w), (c, h, w));
+        }
+    }
+
+    #[test]
+    fn parameters_are_seed_deterministic() {
+        let net = network_zoo().remove(3).capped(28, 8);
+        let a = LayerGraph::from_network(&net, 11).unwrap();
+        let b = LayerGraph::from_network(&net, 11).unwrap();
+        let c = LayerGraph::from_network(&net, 12).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seed must draw different parameters");
+    }
+
+    #[test]
+    fn broken_chain_is_rejected() {
+        let net = network_zoo().remove(3).capped(28, 8);
+        let mut g = LayerGraph::from_network(&net, 1).unwrap();
+        g.nodes[1].input = TensorId(0);
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let net = network_zoo().remove(3).capped(28, 8);
+        let mut g = LayerGraph::from_network(&net, 1).unwrap();
+        let out = g.output();
+        g.tensors[out.0].c += 1;
+        assert!(g.validate().is_err());
+    }
+}

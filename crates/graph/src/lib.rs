@@ -1,0 +1,62 @@
+//! # memconv-graph
+//!
+//! Whole-model layer-graph serving on top of the memconv stack: an IR
+//! for small CNN inference chains, a planner that fuses epilogues and
+//! pools intermediates, an executor that keeps the model resident on one
+//! simulated device, and a serving layer that batches and shards
+//! whole-model requests.
+//!
+//! The paper optimizes the memory transactions of one convolution; real
+//! inference runs *chains* of them, and the layer boundaries are where a
+//! layer-at-a-time dispatcher pays again: every bias/activation runs as
+//! its own kernel (one extra global read + write per element) and every
+//! intermediate bounces through the host. This crate removes both costs
+//! structurally:
+//!
+//! * [`ir`] — [`ir::LayerGraph`]: a validated linear chain of
+//!   conv/bias/relu/pool nodes over explicit tensor edges, compiled from
+//!   the workloads crate's [`memconv::workloads::networks`] zoo with
+//!   seed-deterministic parameters.
+//! * [`plan`] — [`plan::plan_graph`]: folds `conv → bias? → relu?` into
+//!   the conv kernel's store path ([`memconv::core::ConvEpilogue`]) and
+//!   assigns intermediates to a two-slot ping-pong pool sized to the
+//!   largest tensor per slot.
+//! * [`kernels`] — the standalone out-of-place epilogue and max-pool
+//!   kernels the unfused schedule uses (and pooling always uses).
+//! * [`exec`] — [`exec::GraphExecutor`]: runs a planned graph either
+//!   device-resident ([`exec::GraphMode::Graph`]) or layer-at-a-time
+//!   with host round-trips ([`exec::GraphMode::LayerAtATime`]), with
+//!   per-layer plan-cache lookups and span attribution.
+//! * [`serve`] — [`serve::GraphServer`] window-batches whole-model
+//!   requests; [`serve::GraphFleet`] shards endpoints with deterministic
+//!   routing and per-shard latency quantiles.
+//! * [`timeline`] — per-layer `chrome://tracing` export on the graph
+//!   process lane.
+//!
+//! ## Correctness contract
+//!
+//! Fused and unfused schedules, both engines, any worker count, batched
+//! or solo serving: **bit-identical outputs** (proptest-pinned in
+//! `tests/prop_graph.rs`). Transaction counts are the thing being
+//! optimized; bytes are the thing being preserved.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod ir;
+pub mod kernels;
+pub mod plan;
+pub mod serve;
+pub mod timeline;
+
+pub use exec::{GraphError, GraphExecConfig, GraphExecutor, GraphMode, GraphRunReport, LayerRun};
+pub use ir::{GraphIrError, LayerGraph, LayerNode, LayerOp, TensorId, TensorInfo};
+pub use kernels::{launch_epilogue, launch_maxpool, maxpool_ref};
+pub use plan::{plan_graph, FusionMode, FusionReport, GraphPlan, PoolPlan, Step, StepKind};
+pub use serve::{
+    route_endpoint, GraphEndpoint, GraphFleet, GraphFleetConfig, GraphGroupRecord, GraphRequest,
+    GraphRequestMetrics, GraphResponse, GraphServeConfig, GraphServeError, GraphServeReport,
+    GraphServer,
+};
+pub use timeline::graph_timeline;

@@ -1,0 +1,604 @@
+//! Whole-model serving: [`GraphServer`] batches [`GraphRequest`]s per
+//! arrival window and dispatches each endpoint's group through one
+//! [`GraphExecutor`] run; [`GraphFleet`] shards endpoints across several
+//! servers with deterministic hash routing and reports per-shard latency
+//! quantiles using the serve crate's rollup type.
+//!
+//! The virtual-clock conventions mirror `memconv_serve::ConvServer`:
+//! requests arrive at `arrival_s`, a window closes at the next multiple
+//! of `window_s`, queueing delay is window close minus arrival, and the
+//! shard's busy clock serializes group executions. Batching is
+//! result-transparent — per-image convolution is independent of its
+//! batch neighbours, so a coalesced run returns bit-identical bytes to
+//! serving each request alone (pinned in `tests/prop_graph.rs`).
+
+use crate::exec::{GraphError, GraphExecConfig, GraphExecutor, GraphMode, GraphRunReport};
+use crate::ir::{GraphIrError, LayerGraph};
+use crate::plan::FusionMode;
+use memconv::tensor::Tensor4;
+use memconv::workloads::networks::NetworkDef;
+use memconv_serve::{percentiles, ShardLatencyRollup};
+
+/// A served model: a named network compiled to a [`LayerGraph`] with
+/// seed-deterministic parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphEndpoint {
+    /// Endpoint name (requests address this).
+    pub name: String,
+    /// The compiled graph.
+    pub graph: LayerGraph,
+}
+
+impl GraphEndpoint {
+    /// Compile `net` into an endpoint named after its model.
+    pub fn from_network(net: &NetworkDef, seed: u64) -> Result<Self, GraphIrError> {
+        let graph = LayerGraph::from_network(net, seed)?;
+        Ok(GraphEndpoint {
+            name: net.model.to_string(),
+            graph,
+        })
+    }
+}
+
+/// One whole-model inference request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphRequest {
+    /// Caller-chosen id, echoed in the response.
+    pub id: u64,
+    /// Endpoint name.
+    pub endpoint: String,
+    /// Input tensor (batch may exceed 1; `c × h × w` must match the
+    /// endpoint's graph input).
+    pub input: Tensor4,
+    /// Arrival time, virtual seconds.
+    pub arrival_s: f64,
+}
+
+/// One whole-model inference response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphResponse {
+    /// The request's id.
+    pub id: u64,
+    /// The model output for the request's images.
+    pub output: Tensor4,
+}
+
+/// Why serving failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphServeError {
+    /// A request addressed an endpoint the server does not host.
+    UnknownEndpoint(String),
+    /// Executing a group failed.
+    Exec(GraphError),
+    /// The server (or fleet) was built with no capacity.
+    Empty(String),
+}
+
+impl std::fmt::Display for GraphServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphServeError::UnknownEndpoint(e) => write!(f, "unknown graph endpoint {e}"),
+            GraphServeError::Exec(e) => write!(f, "{e}"),
+            GraphServeError::Empty(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphServeError {}
+
+impl From<GraphError> for GraphServeError {
+    fn from(e: GraphError) -> Self {
+        GraphServeError::Exec(e)
+    }
+}
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct GraphServeConfig {
+    /// Executor settings (device, engine, plan cache, spans).
+    pub exec: GraphExecConfig,
+    /// Schedule every group runs under.
+    pub mode: GraphMode,
+    /// Arrival-window width, virtual seconds.
+    pub window_s: f64,
+    /// Most images coalesced into one executor run.
+    pub max_batch: usize,
+}
+
+impl Default for GraphServeConfig {
+    fn default() -> Self {
+        GraphServeConfig {
+            exec: GraphExecConfig::default(),
+            mode: GraphMode::Graph {
+                fusion: FusionMode::Fused,
+            },
+            window_s: 0.010,
+            max_batch: 8,
+        }
+    }
+}
+
+/// Per-request serving metrics (virtual clock).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphRequestMetrics {
+    /// Request id.
+    pub id: u64,
+    /// Endpoint name.
+    pub endpoint: String,
+    /// Arrival-window index.
+    pub window: usize,
+    /// Arrival time, virtual seconds.
+    pub arrival_s: f64,
+    /// Window close minus arrival.
+    pub queue_s: f64,
+    /// Modeled seconds of the group run serving this request.
+    pub execute_s: f64,
+    /// Modeled completion on the serving clock.
+    pub completion_s: f64,
+    /// Images coalesced into the same run (including this request's).
+    pub batched_with: usize,
+    /// The serving shard (always `Some` in fleet reports; `None` from a
+    /// standalone [`GraphServer`]).
+    pub shard: Option<usize>,
+}
+
+/// One coalesced executor run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphGroupRecord {
+    /// Endpoint name.
+    pub endpoint: String,
+    /// Arrival-window index.
+    pub window: usize,
+    /// Images in the run.
+    pub batch: usize,
+    /// Requests in the run.
+    pub requests: usize,
+    /// The executor's accounting for the run.
+    pub report: GraphRunReport,
+}
+
+/// Everything one [`GraphServer::serve`] trace produced besides the
+/// responses.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GraphServeReport {
+    /// Per-request metrics, in submission order.
+    pub requests: Vec<GraphRequestMetrics>,
+    /// Per-group executor reports, in execution order.
+    pub groups: Vec<GraphGroupRecord>,
+}
+
+impl GraphServeReport {
+    /// Global memory transactions across every group run.
+    pub fn transactions(&self) -> u64 {
+        self.groups.iter().map(|g| g.report.transactions).sum()
+    }
+
+    /// Modeled busy seconds across every group run.
+    pub fn modeled_seconds(&self) -> f64 {
+        self.groups.iter().map(|g| g.report.modeled_seconds).sum()
+    }
+
+    /// Latency quantiles per serving tier, reusing the conv fleet's
+    /// rollup type (`shard: None` rows come from standalone servers).
+    pub fn shard_percentiles(&self) -> Vec<ShardLatencyRollup> {
+        let mut tiers: Vec<Option<usize>> = self.requests.iter().map(|r| r.shard).collect();
+        tiers.sort_unstable();
+        tiers.dedup();
+        tiers
+            .into_iter()
+            .map(|shard| {
+                let mut queue = Vec::new();
+                let mut execute = Vec::new();
+                let mut total = Vec::new();
+                for r in self.requests.iter().filter(|r| r.shard == shard) {
+                    queue.push(r.queue_s);
+                    execute.push(r.execute_s);
+                    total.push(r.completion_s - r.arrival_s);
+                }
+                ShardLatencyRollup {
+                    shard,
+                    served: queue.len(),
+                    queue: percentiles(&queue),
+                    execute: percentiles(&execute),
+                    total: percentiles(&total),
+                }
+            })
+            .collect()
+    }
+}
+
+/// A single-device whole-model server.
+#[derive(Debug)]
+pub struct GraphServer {
+    cfg: GraphServeConfig,
+    endpoints: Vec<GraphEndpoint>,
+    executor: GraphExecutor,
+    busy_s: f64,
+}
+
+impl GraphServer {
+    /// New server hosting `endpoints`.
+    pub fn new(cfg: GraphServeConfig, endpoints: Vec<GraphEndpoint>) -> Self {
+        let executor = GraphExecutor::new(cfg.exec.clone());
+        GraphServer {
+            cfg,
+            endpoints,
+            executor,
+            busy_s: 0.0,
+        }
+    }
+
+    /// The hosted endpoints.
+    pub fn endpoints(&self) -> &[GraphEndpoint] {
+        &self.endpoints
+    }
+
+    fn endpoint(&self, name: &str) -> Result<&GraphEndpoint, GraphServeError> {
+        self.endpoints
+            .iter()
+            .find(|e| e.name == name)
+            .ok_or_else(|| GraphServeError::UnknownEndpoint(name.to_string()))
+    }
+
+    /// Serve a trace of requests. Requests are grouped by arrival window
+    /// and endpoint, coalesced along the batch dimension up to
+    /// `max_batch` images, executed in deterministic order (window, then
+    /// first-arrival within the window), and answered with per-request
+    /// slices of the group output.
+    pub fn serve(
+        &mut self,
+        requests: &[GraphRequest],
+    ) -> Result<(Vec<GraphResponse>, GraphServeReport), GraphServeError> {
+        if self.endpoints.is_empty() {
+            return Err(GraphServeError::Empty(
+                "graph server has no endpoints".into(),
+            ));
+        }
+        // Validate every endpoint up front so a bad request fails before
+        // any group executes.
+        for r in requests {
+            self.endpoint(&r.endpoint)?;
+        }
+
+        // Stable order: window, then arrival, then id.
+        let mut order: Vec<usize> = (0..requests.len()).collect();
+        let window_of = |r: &GraphRequest| (r.arrival_s / self.cfg.window_s).floor() as usize;
+        order.sort_by(|&a, &b| {
+            let (ra, rb) = (&requests[a], &requests[b]);
+            window_of(ra)
+                .cmp(&window_of(rb))
+                .then(ra.arrival_s.total_cmp(&rb.arrival_s))
+                .then(ra.id.cmp(&rb.id))
+        });
+
+        // Coalesce runs of the same (window, endpoint) respecting
+        // max_batch images per run.
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        for &i in &order {
+            let r = &requests[i];
+            let images = r.input.dims().0;
+            let fits = groups.last().is_some_and(|g| {
+                let head = &requests[g[0]];
+                head.endpoint == r.endpoint
+                    && window_of(head) == window_of(r)
+                    && g.iter().map(|&j| requests[j].input.dims().0).sum::<usize>() + images
+                        <= self.cfg.max_batch
+            });
+            if fits {
+                groups.last_mut().expect("checked").push(i);
+            } else {
+                groups.push(vec![i]);
+            }
+        }
+
+        let mut responses: Vec<Option<GraphResponse>> = vec![None; requests.len()];
+        let mut metrics: Vec<Option<GraphRequestMetrics>> = vec![None; requests.len()];
+        let mut report = GraphServeReport::default();
+        for group in groups {
+            let head = &requests[group[0]];
+            let window = window_of(head);
+            let close_s = (window + 1) as f64 * self.cfg.window_s;
+            let graph = self.endpoint(&head.endpoint)?.graph.clone();
+            let shape = graph.shape(graph.input());
+
+            // Concatenate along the batch dimension.
+            let mut data = Vec::new();
+            let mut batch = 0;
+            for &i in &group {
+                data.extend_from_slice(requests[i].input.as_slice());
+                batch += requests[i].input.dims().0;
+            }
+            let input = Tensor4::from_vec(batch, shape.c, shape.h, shape.w, data)
+                .map_err(|e| GraphServeError::Exec(GraphError::BadInput(e.to_string())))?;
+
+            let (output, run) = self.executor.run(&graph, &input, self.cfg.mode)?;
+
+            let start_s = self.busy_s.max(close_s);
+            let completion_s = start_s + run.modeled_seconds;
+            self.busy_s = completion_s;
+
+            // Slice the group output back per request.
+            let out_shape = graph.shape(graph.output());
+            let plane = out_shape.elems();
+            let mut offset = 0;
+            for &i in &group {
+                let r = &requests[i];
+                let images = r.input.dims().0;
+                let slice = &output.as_slice()[offset * plane..(offset + images) * plane];
+                offset += images;
+                responses[i] = Some(GraphResponse {
+                    id: r.id,
+                    output: Tensor4::from_vec(
+                        images,
+                        out_shape.c,
+                        out_shape.h,
+                        out_shape.w,
+                        slice.to_vec(),
+                    )
+                    .expect("shape by construction"),
+                });
+                metrics[i] = Some(GraphRequestMetrics {
+                    id: r.id,
+                    endpoint: r.endpoint.clone(),
+                    window,
+                    arrival_s: r.arrival_s,
+                    queue_s: close_s - r.arrival_s,
+                    execute_s: run.modeled_seconds,
+                    completion_s,
+                    batched_with: group.len(),
+                    shard: None,
+                });
+            }
+            report.groups.push(GraphGroupRecord {
+                endpoint: head.endpoint.clone(),
+                window,
+                batch,
+                requests: group.len(),
+                report: run,
+            });
+        }
+        report.requests = metrics.into_iter().map(|m| m.expect("served")).collect();
+        Ok((
+            responses.into_iter().map(|r| r.expect("served")).collect(),
+            report,
+        ))
+    }
+}
+
+/// Fleet configuration.
+#[derive(Debug, Clone)]
+pub struct GraphFleetConfig {
+    /// Device shards (each is an independent [`GraphServer`]).
+    pub shards: usize,
+    /// Per-shard server settings.
+    pub serve: GraphServeConfig,
+}
+
+impl Default for GraphFleetConfig {
+    fn default() -> Self {
+        GraphFleetConfig {
+            shards: 2,
+            serve: GraphServeConfig::default(),
+        }
+    }
+}
+
+/// A sharded whole-model serving fleet with deterministic endpoint
+/// routing: every endpoint hashes to one shard, so each shard's plan
+/// cache only ever sees its own models' geometries.
+#[derive(Debug)]
+pub struct GraphFleet {
+    shards: Vec<GraphServer>,
+}
+
+/// Deterministic endpoint → shard routing (FNV-1a + splitmix finalize).
+pub fn route_endpoint(endpoint: &str, shards: usize) -> usize {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in endpoint.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    (h % shards as u64) as usize
+}
+
+impl GraphFleet {
+    /// New fleet: `endpoints` are routed to shards by name hash.
+    pub fn new(
+        cfg: GraphFleetConfig,
+        endpoints: Vec<GraphEndpoint>,
+    ) -> Result<Self, GraphServeError> {
+        if cfg.shards == 0 {
+            return Err(GraphServeError::Empty("graph fleet has no shards".into()));
+        }
+        let mut per_shard: Vec<Vec<GraphEndpoint>> = (0..cfg.shards).map(|_| Vec::new()).collect();
+        for e in endpoints {
+            per_shard[route_endpoint(&e.name, cfg.shards)].push(e);
+        }
+        Ok(GraphFleet {
+            shards: per_shard
+                .into_iter()
+                .map(|eps| GraphServer::new(cfg.serve.clone(), eps))
+                .collect(),
+        })
+    }
+
+    /// Shard count.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Where a request for `endpoint` executes.
+    pub fn shard_of(&self, endpoint: &str) -> usize {
+        route_endpoint(endpoint, self.shards.len())
+    }
+
+    /// Serve a trace across the fleet. Responses come back in the input
+    /// order; the merged report tags every request metric with its shard
+    /// so [`GraphServeReport::shard_percentiles`] yields per-shard rows.
+    pub fn serve(
+        &mut self,
+        requests: &[GraphRequest],
+    ) -> Result<(Vec<GraphResponse>, GraphServeReport), GraphServeError> {
+        let shards = self.shards.len();
+        let mut routed: Vec<Vec<GraphRequest>> = (0..shards).map(|_| Vec::new()).collect();
+        for r in requests {
+            routed[route_endpoint(&r.endpoint, shards)].push(r.clone());
+        }
+        let mut by_id: Vec<(u64, GraphResponse)> = Vec::with_capacity(requests.len());
+        let mut report = GraphServeReport::default();
+        for (s, (server, reqs)) in self.shards.iter_mut().zip(&routed).enumerate() {
+            if reqs.is_empty() {
+                continue;
+            }
+            let (resps, mut rep) = server.serve(reqs)?;
+            for resp in resps {
+                by_id.push((resp.id, resp));
+            }
+            for m in &mut rep.requests {
+                m.shard = Some(s);
+            }
+            report.requests.extend(rep.requests);
+            report.groups.extend(rep.groups);
+        }
+        // Restore the caller's order.
+        let mut responses = Vec::with_capacity(requests.len());
+        for r in requests {
+            let at = by_id
+                .iter()
+                .position(|(id, _)| *id == r.id)
+                .expect("every request served");
+            responses.push(by_id.swap_remove(at).1);
+        }
+        report
+            .requests
+            .sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s).then(a.id.cmp(&b.id)));
+        Ok((responses, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memconv::gpusim::DeviceConfig;
+    use memconv::tensor::generate::TensorRng;
+    use memconv::workloads::network_zoo;
+
+    fn tiny_serve_cfg() -> GraphServeConfig {
+        GraphServeConfig {
+            exec: GraphExecConfig {
+                device: DeviceConfig::test_tiny(),
+                ..GraphExecConfig::default()
+            },
+            ..GraphServeConfig::default()
+        }
+    }
+
+    fn endpoints() -> Vec<GraphEndpoint> {
+        network_zoo()
+            .iter()
+            .map(|n| GraphEndpoint::from_network(&n.capped(16, 3), 21).unwrap())
+            .collect()
+    }
+
+    fn request(id: u64, ep: &GraphEndpoint, arrival_s: f64, seed: u64) -> GraphRequest {
+        let s = ep.graph.shape(ep.graph.input());
+        GraphRequest {
+            id,
+            endpoint: ep.name.clone(),
+            input: TensorRng::new(seed).tensor(1, s.c, s.h, s.w),
+            arrival_s,
+        }
+    }
+
+    #[test]
+    fn batched_window_equals_solo_serving_bit_for_bit() {
+        let eps = endpoints();
+        let ep = &eps[0];
+        let reqs = vec![
+            request(1, ep, 0.001, 100),
+            request(2, ep, 0.002, 101),
+            request(3, ep, 0.003, 102),
+        ];
+        let mut batched = GraphServer::new(tiny_serve_cfg(), eps.clone());
+        let (resps, rep) = batched.serve(&reqs).unwrap();
+        assert_eq!(rep.groups.len(), 1, "one coalesced run");
+        assert_eq!(rep.groups[0].batch, 3);
+        for (i, req) in reqs.iter().enumerate() {
+            let mut solo = GraphServer::new(tiny_serve_cfg(), eps.clone());
+            let (solo_resps, _) = solo.serve(std::slice::from_ref(req)).unwrap();
+            assert_eq!(
+                resps[i].output.as_slice(),
+                solo_resps[0].output.as_slice(),
+                "request {}",
+                req.id
+            );
+        }
+    }
+
+    #[test]
+    fn windows_and_busy_clock_serialize_groups() {
+        let eps = endpoints();
+        let reqs = vec![
+            request(1, &eps[0], 0.001, 1),
+            request(2, &eps[3], 0.002, 2), // different endpoint: own group
+            request(3, &eps[0], 0.015, 3), // next window
+        ];
+        let mut server = GraphServer::new(tiny_serve_cfg(), eps);
+        let (_, rep) = server.serve(&reqs).unwrap();
+        assert_eq!(rep.groups.len(), 3);
+        let m: Vec<_> = rep.requests.iter().collect();
+        assert!(m[0].queue_s > 0.0 && m[0].completion_s > m[0].arrival_s);
+        // Group 2 starts after group 1 completes (shared busy clock).
+        assert!(m[1].completion_s > m[0].completion_s);
+        assert_eq!(m[2].window, 1);
+    }
+
+    #[test]
+    fn fleet_routes_by_endpoint_and_reports_per_shard_quantiles() {
+        let eps = endpoints();
+        let cfg = GraphFleetConfig {
+            shards: 2,
+            serve: tiny_serve_cfg(),
+        };
+        let mut fleet = GraphFleet::new(cfg, eps.clone()).unwrap();
+        let reqs: Vec<GraphRequest> = eps
+            .iter()
+            .enumerate()
+            .map(|(i, ep)| request(i as u64, ep, 0.001 * (i + 1) as f64, 50 + i as u64))
+            .collect();
+        let (resps, rep) = fleet.serve(&reqs).unwrap();
+        assert_eq!(resps.len(), reqs.len());
+        assert_eq!(rep.requests.len(), reqs.len());
+        for (r, m) in reqs.iter().zip(resps.iter().zip(&rep.requests)) {
+            assert_eq!(r.id, m.0.id);
+            assert_eq!(m.1.shard, Some(fleet.shard_of(&r.endpoint)));
+        }
+        let rollups = rep.shard_percentiles();
+        assert!(!rollups.is_empty());
+        assert_eq!(rollups.iter().map(|r| r.served).sum::<usize>(), reqs.len());
+        for r in &rollups {
+            assert!(r.shard.is_some());
+            assert!(r.total.p99 >= r.total.p50);
+        }
+        // Fleet answers match a standalone server hosting everything.
+        let mut solo = GraphServer::new(tiny_serve_cfg(), eps);
+        let (solo_resps, _) = solo.serve(&reqs).unwrap();
+        for (a, b) in resps.iter().zip(&solo_resps) {
+            assert_eq!(a.output.as_slice(), b.output.as_slice());
+        }
+    }
+
+    #[test]
+    fn unknown_endpoint_is_rejected_before_execution() {
+        let mut server = GraphServer::new(tiny_serve_cfg(), endpoints());
+        let mut bad = request(9, &server.endpoints()[0].clone(), 0.0, 7);
+        bad.endpoint = "nonesuch".into();
+        assert!(matches!(
+            server.serve(&[bad]),
+            Err(GraphServeError::UnknownEndpoint(_))
+        ));
+    }
+}

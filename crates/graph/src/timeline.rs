@@ -1,0 +1,94 @@
+//! `chrome://tracing` export for graph runs: one complete event per
+//! executed layer on the [`memconv_obs::PID_GRAPH`] process lane, laid
+//! out end-to-end on the modeled clock (single stream, like the
+//! executor's busy accounting).
+//!
+//! The per-launch GPU spans recorded by the simulator (when
+//! [`crate::exec::GraphExecConfig::record_spans`] is on) already carry
+//! `model/layer` labels and render on the GPU lane via
+//! [`memconv_obs::gpu_timeline`]; this lane adds the layer-level view —
+//! kernel class, cache outcome and transaction counts per step — so the
+//! two rows line up in the viewer.
+
+use crate::exec::GraphRunReport;
+use memconv_obs::{ArgValue, TraceEvent, PID_GRAPH};
+
+/// Microseconds per modeled second.
+const US: f64 = 1e6;
+
+/// Build the layer-level trace for one graph run.
+pub fn graph_timeline(report: &GraphRunReport) -> Vec<TraceEvent> {
+    let mut events = Vec::with_capacity(report.layers.len());
+    let mut cursor = 0.0f64;
+    for layer in &report.layers {
+        let dur = layer.modeled_seconds * US;
+        let mut args: Vec<(String, ArgValue)> = vec![
+            ("kernel".into(), layer.kernel.into()),
+            (
+                "transactions".into(),
+                layer.stats.global_transactions().into(),
+            ),
+            ("mode".into(), report.mode.into()),
+        ];
+        if let Some(hit) = layer.cache_hit {
+            args.push(("plan_cache".into(), if hit { "hit" } else { "miss" }.into()));
+        }
+        events.push(TraceEvent {
+            name: format!("{}/{}", report.model, layer.name),
+            cat: "graph".into(),
+            ts_us: cursor,
+            dur_us: dur,
+            pid: PID_GRAPH,
+            tid: 0,
+            args,
+        });
+        cursor += dur;
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{GraphExecConfig, GraphExecutor, GraphMode};
+    use crate::ir::LayerGraph;
+    use crate::plan::FusionMode;
+    use memconv::gpusim::DeviceConfig;
+    use memconv::tensor::generate::TensorRng;
+    use memconv::workloads::network_zoo;
+
+    #[test]
+    fn layers_lay_out_end_to_end_with_labels_and_counters() {
+        let graph = LayerGraph::from_network(&network_zoo().remove(1).capped(16, 3), 3).unwrap();
+        let s = graph.shape(graph.input());
+        let input = TensorRng::new(4).tensor(1, s.c, s.h, s.w);
+        let mut ex = GraphExecutor::new(GraphExecConfig {
+            device: DeviceConfig::test_tiny(),
+            ..GraphExecConfig::default()
+        });
+        let (_, rep) = ex
+            .run(
+                &graph,
+                &input,
+                GraphMode::Graph {
+                    fusion: FusionMode::Fused,
+                },
+            )
+            .unwrap();
+        let evs = graph_timeline(&rep);
+        assert_eq!(evs.len(), rep.layers.len());
+        let mut cursor = 0.0;
+        for (ev, layer) in evs.iter().zip(&rep.layers) {
+            assert_eq!(ev.name, format!("VGG-16/{}", layer.name));
+            assert_eq!(ev.pid, PID_GRAPH);
+            assert_eq!(ev.cat, "graph");
+            assert!((ev.ts_us - cursor).abs() < 1e-9);
+            assert!(ev.dur_us > 0.0);
+            cursor += ev.dur_us;
+            assert!(ev.args.iter().any(|(k, v)| k == "transactions"
+                && *v == ArgValue::U64(layer.stats.global_transactions())));
+        }
+        // Conv steps carry their plan-cache outcome.
+        assert!(evs[0].args.iter().any(|(k, _)| k == "plan_cache"));
+    }
+}

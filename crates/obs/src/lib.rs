@@ -40,5 +40,5 @@ pub use chrome::{chrome_trace, write_trace, ArgValue, TraceEvent};
 pub use prometheus::{fleet_prometheus, prometheus_exposition};
 pub use timeline::{
     checked_timeline, fleet_timeline, gpu_timeline, serve_timeline, PID_CHECKED, PID_FLEET,
-    PID_GPU, PID_SERVE,
+    PID_GPU, PID_GRAPH, PID_SERVE,
 };

@@ -10,7 +10,10 @@
 //!
 //! [exposition format]: https://prometheus.io/docs/instrumenting/exposition_formats/
 
-use memconv_serve::{FleetEvent, FleetReport, Percentiles, Priority, ServeReport};
+use memconv_serve::{
+    FleetEvent, FleetReport, FleetRequestMetrics, Percentiles, Priority, ServeReport,
+    ShardLatencyRollup,
+};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -369,6 +372,55 @@ pub fn fleet_prometheus(report: &FleetReport) -> String {
         );
     }
 
+    // Per-tier latency summaries: one series set per device shard (always
+    // present, zero-valued when idle) plus a "host" tier when the CPU
+    // fallback served anything.
+    let rollups = report.shard_percentiles();
+    let tier = |shard: Option<usize>| match shard {
+        Some(s) => s.to_string(),
+        None => "host".to_string(),
+    };
+    let mut shard_summary =
+        |name: &str,
+         help: &str,
+         pick: &dyn Fn(&ShardLatencyRollup) -> Percentiles,
+         sample: &dyn Fn(&FleetRequestMetrics) -> f64| {
+            header(&mut out, name, help, "summary");
+            for r in &rollups {
+                let l = tier(r.shard);
+                let p = pick(r);
+                let _ = writeln!(out, "{name}{{shard=\"{l}\",quantile=\"0.5\"}} {}", p.p50);
+                let _ = writeln!(out, "{name}{{shard=\"{l}\",quantile=\"0.95\"}} {}", p.p95);
+                let _ = writeln!(out, "{name}{{shard=\"{l}\",quantile=\"0.99\"}} {}", p.p99);
+                let sum: f64 = report
+                    .requests
+                    .iter()
+                    .filter(|q| q.shard == r.shard)
+                    .map(sample)
+                    .sum();
+                let _ = writeln!(out, "{name}_sum{{shard=\"{l}\"}} {sum}");
+                let _ = writeln!(out, "{name}_count{{shard=\"{l}\"}} {}", r.served);
+            }
+        };
+    shard_summary(
+        "memconv_fleet_shard_queue_seconds",
+        "Virtual queueing delay per served request, by serving tier.",
+        &|r| r.queue,
+        &|q| q.queue_s,
+    );
+    shard_summary(
+        "memconv_fleet_shard_execute_seconds",
+        "Modeled execution latency per served request, by serving tier.",
+        &|r| r.execute,
+        &|q| q.execute_s,
+    );
+    shard_summary(
+        "memconv_fleet_shard_total_seconds",
+        "End-to-end modeled latency (completion minus arrival), by serving tier.",
+        &|r| r.total,
+        &|q| q.completion_s - q.arrival_s,
+    );
+
     header(
         &mut out,
         "memconv_fleet_deadline_miss_rate",
@@ -622,6 +674,28 @@ mod tests {
         assert!(s.contains("memconv_fleet_shed_total{priority=\"batch\"} 1"));
         assert!(s.contains("memconv_fleet_shed_total{priority=\"high\"} 0"));
         assert!(s.contains("memconv_fleet_shed_total{priority=\"normal\"} 0"));
+    }
+
+    #[test]
+    fn fleet_exposition_has_per_tier_latency_summaries() {
+        let s = fleet_prometheus(&fleet_report());
+        // Device shard 1 served one request: queue 0.5, execute 0.25,
+        // total = completion 2.0 − arrival 1.0.
+        assert!(s.contains("memconv_fleet_shard_queue_seconds{shard=\"1\",quantile=\"0.5\"} 0.5"));
+        assert!(
+            s.contains("memconv_fleet_shard_execute_seconds{shard=\"1\",quantile=\"0.99\"} 0.25")
+        );
+        assert!(s.contains("memconv_fleet_shard_total_seconds{shard=\"1\",quantile=\"0.95\"} 1"));
+        assert!(s.contains("memconv_fleet_shard_total_seconds_sum{shard=\"1\"} 1"));
+        assert!(s.contains("memconv_fleet_shard_total_seconds_count{shard=\"1\"} 1"));
+        // Idle shard 0 still appears, zero-valued.
+        assert!(s.contains("memconv_fleet_shard_queue_seconds{shard=\"0\",quantile=\"0.5\"} 0"));
+        assert!(s.contains("memconv_fleet_shard_queue_seconds_count{shard=\"0\"} 0"));
+        // The host fallback served one request → a "host" tier series.
+        assert!(
+            s.contains("memconv_fleet_shard_total_seconds{shard=\"host\",quantile=\"0.5\"} 0.5")
+        );
+        assert!(s.contains("memconv_fleet_shard_total_seconds_count{shard=\"host\"} 1"));
     }
 
     #[test]

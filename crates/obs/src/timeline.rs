@@ -35,6 +35,10 @@ pub const PID_CHECKED: u32 = 2;
 pub const PID_SERVE: u32 = 3;
 /// Process lane for the sharded fleet.
 pub const PID_FLEET: u32 = 4;
+/// Process lane for layer-graph (whole-model) execution. The span builder
+/// itself lives in `memconv-graph` (which depends on this crate); the
+/// constant lives here so every process lane is declared in one place.
+pub const PID_GRAPH: u32 = 5;
 
 const US: f64 = 1e6;
 
@@ -105,8 +109,13 @@ pub fn gpu_timeline(spans: &[LaunchSpanRecord], dev: &DeviceConfig) -> Vec<Trace
     for rec in spans {
         let bd = launch_time(&rec.stats, dev);
         let dur = bd.total() * US;
+        let name = if rec.label.is_empty() {
+            format!("launch #{}", rec.seq)
+        } else {
+            format!("{} #{}", rec.label, rec.seq)
+        };
         events.push(TraceEvent {
-            name: format!("launch #{}", rec.seq),
+            name,
             cat: "gpu".into(),
             ts_us: cursor,
             dur_us: dur,
@@ -606,6 +615,7 @@ mod tests {
         let dev = DeviceConfig::test_tiny();
         let rec = LaunchSpanRecord {
             seq: 0,
+            label: String::new(),
             grid: (2, 1, 1),
             block_dim: 32,
             total_blocks: 2,
@@ -630,11 +640,13 @@ mod tests {
         };
         let mut second = rec.clone();
         second.seq = 1;
+        second.label = "net/conv1".into();
         let evs = gpu_timeline(&[rec, second], &dev);
         // launch, 2 blocks, flush — twice.
         assert_eq!(evs.len(), 8);
         assert_eq!(evs[0].name, "launch #0");
-        assert_eq!(evs[4].name, "launch #1");
+        // A labeled record names its span after the attribution label.
+        assert_eq!(evs[4].name, "net/conv1 #1");
         assert!(evs[4].ts_us > evs[0].ts_us);
         assert!((evs[4].ts_us - (evs[0].ts_us + evs[0].dur_us)).abs() < 1e-9);
         // Blocks sit inside their launch and never overlap.

@@ -56,6 +56,7 @@
 //! counts, and runs (proptest-pinned in `tests/prop_fleet.rs`).
 
 use crate::cache::{cache_key, PlanCache};
+use crate::metrics::{percentiles, Percentiles};
 use crate::planner::{instantiate_nchw, plan_nchw_heuristic, Plan};
 use crate::scheduler::{Endpoint, Response, ServeError};
 use memconv::gpusim::{
@@ -437,6 +438,22 @@ pub struct ShardStats {
     pub transactions: u64,
 }
 
+/// Latency quantiles for one serving tier: a device shard, or the host
+/// CPU fallback (`shard: None`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardLatencyRollup {
+    /// The tier: `Some(shard index)` or `None` for the host CPU.
+    pub shard: Option<usize>,
+    /// Requests this tier served.
+    pub served: usize,
+    /// Quantiles of virtual queueing delay (window close − arrival).
+    pub queue: Percentiles,
+    /// Quantiles of modeled execution latency.
+    pub execute: Percentiles,
+    /// Quantiles of end-to-end latency (completion − arrival).
+    pub total: Percentiles,
+}
+
 /// Everything one fleet trace produced besides the responses.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetReport {
@@ -523,6 +540,38 @@ impl FleetReport {
     /// Total modeled device seconds across shards.
     pub fn total_modeled_seconds(&self) -> f64 {
         self.shards.iter().map(|s| s.modeled_seconds).sum()
+    }
+
+    /// Per-tier latency quantiles: one rollup per device shard (in shard
+    /// order, present even when the shard served nothing, so exposition
+    /// layouts are stable) plus a final host-CPU rollup when the fallback
+    /// tier served anything. Quantiles follow the serving stack's
+    /// nearest-rank convention ([`crate::metrics::percentiles`]).
+    pub fn shard_percentiles(&self) -> Vec<ShardLatencyRollup> {
+        let rollup = |shard: Option<usize>| {
+            let mut queue = Vec::new();
+            let mut execute = Vec::new();
+            let mut total = Vec::new();
+            for r in self.requests.iter().filter(|r| r.shard == shard) {
+                queue.push(r.queue_s);
+                execute.push(r.execute_s);
+                total.push(r.completion_s - r.arrival_s);
+            }
+            ShardLatencyRollup {
+                shard,
+                served: queue.len(),
+                queue: percentiles(&queue),
+                execute: percentiles(&execute),
+                total: percentiles(&total),
+            }
+        };
+        let mut out: Vec<ShardLatencyRollup> =
+            (0..self.shards.len()).map(|s| rollup(Some(s))).collect();
+        let host = rollup(None);
+        if host.served > 0 {
+            out.push(host);
+        }
+        out
     }
 }
 
@@ -1518,6 +1567,31 @@ mod tests {
         // Both endpoints routed somewhere; stats add up.
         let total: u64 = rep.shards.iter().map(|s| s.requests).sum();
         assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn shard_percentiles_cover_every_tier_and_add_up() {
+        let eps = tiny_endpoints();
+        let reqs = trace(&eps, 10, 11);
+        let mut fleet = ConvFleet::new(eps, fleet_cfg(3));
+        let (_, rep) = fleet.run_trace(&reqs).unwrap();
+        let rolls = rep.shard_percentiles();
+        // No chaos → no host tier; every device shard has a row even if
+        // it served nothing.
+        assert_eq!(rolls.len(), 3);
+        for (s, r) in rolls.iter().enumerate() {
+            assert_eq!(r.shard, Some(s));
+            // Nearest-rank on sorted samples: quantiles are monotone.
+            assert!(r.queue.p50 <= r.queue.p95 && r.queue.p95 <= r.queue.p99);
+            assert!(r.total.p50 <= r.total.p95 && r.total.p95 <= r.total.p99);
+            if r.served == 0 {
+                assert_eq!(r.execute.p99, 0.0, "idle shard rolls up to zeros");
+            } else {
+                assert!(r.total.p50 >= r.queue.p50, "total includes queueing");
+            }
+        }
+        let served: usize = rolls.iter().map(|r| r.served).sum();
+        assert_eq!(served, rep.served());
     }
 
     #[test]

@@ -51,7 +51,8 @@ pub mod scheduler;
 pub use cache::{CacheError, PlanCache};
 pub use fleet::{
     BreakerState, CircuitBreaker, ConvFleet, FleetAttempt, FleetAttemptOutcome, FleetConfig,
-    FleetEvent, FleetReport, FleetRequest, FleetRequestMetrics, Priority, ShardStats,
+    FleetEvent, FleetReport, FleetRequest, FleetRequestMetrics, Priority, ShardLatencyRollup,
+    ShardStats,
 };
 pub use metrics::{
     percentile, percentiles, LaunchRecord, Percentiles, PlanSweepRecord, RequestMetrics,

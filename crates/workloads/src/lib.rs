@@ -8,17 +8,21 @@
 //! * [`fig3`] — the single-channel 2D image sweep (256×256 … 4K×4K with
 //!   3×3 and 5×5 filters) driving Fig. 3;
 //! * [`registry`] — the experiment index mapping each figure/table to its
-//!   workloads, mirrored in `DESIGN.md`.
+//!   workloads, mirrored in `DESIGN.md`;
+//! * [`networks`] — explicit multi-layer conv→relu→conv→pool chains per
+//!   model family, driving whole-model layer-graph execution.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod fig3;
 pub mod models;
+pub mod networks;
 pub mod registry;
 pub mod table1;
 
 pub use fig3::{fig3_sizes, Fig3Point};
 pub use models::{model_zoo, ModelLayer};
+pub use networks::{network_zoo, NetLayer, NetworkDef};
 pub use registry::{Experiment, EXPERIMENTS};
 pub use table1::{table1_layers, LayerConfig};

@@ -1,0 +1,341 @@
+//! Multi-layer network definitions: explicit conv→relu→conv→pool chains
+//! for the four model families of Table I, consumed by the layer-graph
+//! subsystem (`memconv-graph`) for whole-model execution.
+//!
+//! Where [`crate::models::model_zoo`] names one *layer* per network, this
+//! zoo names a short *chain* anchored at that layer: the zoo layer's
+//! geometry (with bias + ReLU, as the published networks apply them), a
+//! follow-on convolution, and a 2×2 max-pool. Everything stays within the
+//! repository's kernel envelope — unit stride, valid convolution — so
+//! chains are stride-1 approximations of the published stems, like the
+//! single-layer zoo.
+
+/// One step of a network chain. Input channels are implicit: each layer
+/// consumes the previous layer's output shape (see [`NetworkDef::shapes`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetLayer {
+    /// Square valid convolution, unit stride, with optional fused-able
+    /// epilogues (per-channel bias add, then ReLU).
+    Conv {
+        /// Layer name (span labels, reports).
+        name: &'static str,
+        /// Output filters.
+        filters: usize,
+        /// Filter size (square).
+        filter: usize,
+        /// Add a per-output-channel bias.
+        bias: bool,
+        /// Clamp outputs at zero.
+        relu: bool,
+    },
+    /// `k×k` max-pool with stride `k` (non-overlapping windows; output
+    /// spatial size is `floor(h/k)`, so no partial windows exist).
+    MaxPool {
+        /// Layer name.
+        name: &'static str,
+        /// Window and stride.
+        k: usize,
+    },
+}
+
+impl NetLayer {
+    /// The layer's name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            NetLayer::Conv { name, .. } | NetLayer::MaxPool { name, .. } => name,
+        }
+    }
+}
+
+/// A named multi-layer network: input shape plus an ordered layer chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetworkDef {
+    /// Network name (matches the single-layer zoo's `model` field).
+    pub model: &'static str,
+    /// Input channels.
+    pub in_channels: usize,
+    /// Square spatial input size.
+    pub spatial: usize,
+    /// The chain, applied in order.
+    pub layers: Vec<NetLayer>,
+}
+
+impl NetworkDef {
+    /// Output shape `(c, h, w)` after each layer, in chain order.
+    /// Panics if a layer underflows its input (use [`NetworkDef::validate`]
+    /// for a checked walk).
+    pub fn shapes(&self) -> Vec<(usize, usize, usize)> {
+        let mut c = self.in_channels;
+        let mut h = self.spatial;
+        let mut w = self.spatial;
+        let mut out = Vec::with_capacity(self.layers.len());
+        for layer in &self.layers {
+            match *layer {
+                NetLayer::Conv {
+                    filters, filter, ..
+                } => {
+                    assert!(h >= filter && w >= filter, "conv underflow");
+                    c = filters;
+                    h = h - filter + 1;
+                    w = w - filter + 1;
+                }
+                NetLayer::MaxPool { k, .. } => {
+                    assert!(h >= k && w >= k, "pool underflow");
+                    h /= k;
+                    w /= k;
+                }
+            }
+            out.push((c, h, w));
+        }
+        out
+    }
+
+    /// Final output shape `(c, h, w)`.
+    pub fn output_shape(&self) -> (usize, usize, usize) {
+        *self.shapes().last().expect("non-empty chain")
+    }
+
+    /// Check the chain is non-empty and every layer's spatial input covers
+    /// its window.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.layers.is_empty() {
+            return Err(format!("{}: empty chain", self.model));
+        }
+        let mut h = self.spatial;
+        for layer in &self.layers {
+            let need = match *layer {
+                NetLayer::Conv { filter, .. } => filter,
+                NetLayer::MaxPool { k, .. } => k,
+            };
+            if h < need {
+                return Err(format!(
+                    "{}/{}: spatial {h} smaller than window {need}",
+                    self.model,
+                    layer.name()
+                ));
+            }
+            match *layer {
+                NetLayer::Conv { filter, .. } => h = h - filter + 1,
+                NetLayer::MaxPool { k, .. } => h /= k,
+            }
+        }
+        Ok(())
+    }
+
+    /// A smoke-sized copy: spatial input capped at `spatial_cap`, every
+    /// convolution's filter count capped at `filter_cap` (filter *sizes*
+    /// and the chain structure are preserved). The same trick the fleet
+    /// bench uses to keep simulation cost bounded.
+    pub fn capped(&self, spatial_cap: usize, filter_cap: usize) -> NetworkDef {
+        let layers = self
+            .layers
+            .iter()
+            .map(|l| match *l {
+                NetLayer::Conv {
+                    name,
+                    filters,
+                    filter,
+                    bias,
+                    relu,
+                } => NetLayer::Conv {
+                    name,
+                    filters: filters.min(filter_cap),
+                    filter,
+                    bias,
+                    relu,
+                },
+                ref pool => pool.clone(),
+            })
+            .collect();
+        NetworkDef {
+            model: self.model,
+            in_channels: self.in_channels,
+            spatial: self.spatial.min(spatial_cap),
+            layers,
+        }
+    }
+}
+
+/// Multi-layer chains for the four Table I model families, each anchored
+/// at its [`crate::models::model_zoo`] layer.
+pub fn network_zoo() -> Vec<NetworkDef> {
+    vec![
+        // AlexNet conv2 (5×5, 256f on the 24×24 mono plane) feeding a
+        // conv3-style 3×3 stage, then a pool.
+        NetworkDef {
+            model: "AlexNet",
+            in_channels: 1,
+            spatial: 24,
+            layers: vec![
+                NetLayer::Conv {
+                    name: "conv2",
+                    filters: 256,
+                    filter: 5,
+                    bias: true,
+                    relu: true,
+                },
+                NetLayer::Conv {
+                    name: "conv3",
+                    filters: 384,
+                    filter: 3,
+                    bias: true,
+                    relu: true,
+                },
+                NetLayer::MaxPool {
+                    name: "pool3",
+                    k: 2,
+                },
+            ],
+        },
+        // VGG-16 block 1 verbatim: two 3×3/64 convolutions then pool1.
+        NetworkDef {
+            model: "VGG-16",
+            in_channels: 3,
+            spatial: 224,
+            layers: vec![
+                NetLayer::Conv {
+                    name: "conv1_1",
+                    filters: 64,
+                    filter: 3,
+                    bias: true,
+                    relu: true,
+                },
+                NetLayer::Conv {
+                    name: "conv1_2",
+                    filters: 64,
+                    filter: 3,
+                    bias: true,
+                    relu: true,
+                },
+                NetLayer::MaxPool {
+                    name: "pool1",
+                    k: 2,
+                },
+            ],
+        },
+        // ResNet-18 conv2_x pair (the residual add is out of scope).
+        NetworkDef {
+            model: "ResNet-18",
+            in_channels: 3,
+            spatial: 56,
+            layers: vec![
+                NetLayer::Conv {
+                    name: "conv2_1",
+                    filters: 64,
+                    filter: 3,
+                    bias: true,
+                    relu: true,
+                },
+                NetLayer::Conv {
+                    name: "conv2_2",
+                    filters: 64,
+                    filter: 3,
+                    bias: true,
+                    relu: true,
+                },
+                NetLayer::MaxPool {
+                    name: "pool2",
+                    k: 2,
+                },
+            ],
+        },
+        // GoogLeNet inception3a 5×5 branch: 1×1 reduce then the 5×5 conv.
+        NetworkDef {
+            model: "GoogLeNet",
+            in_channels: 3,
+            spatial: 28,
+            layers: vec![
+                NetLayer::Conv {
+                    name: "3a-reduce",
+                    filters: 16,
+                    filter: 1,
+                    bias: true,
+                    relu: true,
+                },
+                NetLayer::Conv {
+                    name: "3a-5x5",
+                    filters: 32,
+                    filter: 5,
+                    bias: true,
+                    relu: true,
+                },
+                NetLayer::MaxPool {
+                    name: "3a-pool",
+                    k: 2,
+                },
+            ],
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_network_validates() {
+        for net in network_zoo() {
+            net.validate().unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn zoo_chains_anchor_on_the_single_layer_zoo() {
+        // each network's first conv matches its model_zoo layer's geometry
+        let single = crate::models::model_zoo();
+        for net in network_zoo() {
+            let anchor = single
+                .iter()
+                .find(|m| m.model == net.model)
+                .unwrap_or_else(|| panic!("{} missing from model_zoo", net.model));
+            assert_eq!(net.in_channels, anchor.in_channels, "{}", net.model);
+            assert_eq!(net.spatial, anchor.spatial, "{}", net.model);
+        }
+    }
+
+    #[test]
+    fn shapes_walk_the_chain() {
+        let vgg = network_zoo().remove(1);
+        assert_eq!(vgg.model, "VGG-16");
+        let shapes = vgg.shapes();
+        assert_eq!(shapes[0], (64, 222, 222));
+        assert_eq!(shapes[1], (64, 220, 220));
+        assert_eq!(shapes[2], (64, 110, 110));
+        assert_eq!(vgg.output_shape(), (64, 110, 110));
+    }
+
+    #[test]
+    fn capped_network_shrinks_but_keeps_structure() {
+        let vgg = network_zoo().remove(1);
+        let small = vgg.capped(20, 8);
+        assert_eq!(small.spatial, 20);
+        assert_eq!(small.layers.len(), 3);
+        match small.layers[0] {
+            NetLayer::Conv {
+                filters, filter, ..
+            } => {
+                assert_eq!(filters, 8);
+                assert_eq!(filter, 3);
+            }
+            _ => panic!("expected conv"),
+        }
+        small.validate().unwrap();
+    }
+
+    #[test]
+    fn underflowing_chain_is_rejected() {
+        let net = NetworkDef {
+            model: "tiny",
+            in_channels: 1,
+            spatial: 4,
+            layers: vec![NetLayer::Conv {
+                name: "c",
+                filters: 1,
+                filter: 5,
+                bias: false,
+                relu: false,
+            }],
+        };
+        assert!(net.validate().is_err());
+    }
+}

@@ -33,6 +33,12 @@ echo "==> fleet resilience gate (fleet --smoke --gate)"
 # deadline-miss rate and load imbalance under the declared thresholds.
 cargo run --release -q -p memconv-bench --bin fleet -- --smoke --gate
 
+echo "==> layer-graph gate (graph --smoke --gate)"
+# Whole-model schedules: fused device-resident, pooled-unfused and
+# layer-at-a-time outputs bit-identical on every zoo network, with the
+# fused schedule's transaction reduction over the declared floor.
+cargo run --release -q -p memconv-bench --bin graph -- --smoke --gate
+
 # Oracle exactness gate: predicted transaction signatures bit-equal to
 # measured runs over the whole zoo x registry, zero unexpected
 # data-dependent sites, shuffle-dynamic positive control flagged — on

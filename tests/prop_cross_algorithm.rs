@@ -1,5 +1,5 @@
 //! Property-based cross-algorithm tests: random shapes and data, every
-//! algorithm against the reference (DESIGN.md §11).
+//! algorithm against the reference (DESIGN.md §13).
 
 use memconv::prelude::*;
 use memconv_core::row_reuse;
