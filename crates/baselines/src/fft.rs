@@ -278,7 +278,9 @@ impl ConvNchwAlgorithm for FftConv {
     }
 
     fn supports_shape(&self, geo: &ConvGeometry) -> bool {
-        self.supports(geo.f_h, geo.f_w)
+        // Spectral convolution has no strided/dilated/grouped form here.
+        geo.has_unit_axes()
+            && self.supports(geo.f_h, geo.f_w)
             && FftConv::supports_geometry(geo.in_h, geo.in_w, geo.f_h, geo.f_w)
     }
 

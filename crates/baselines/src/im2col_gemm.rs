@@ -72,7 +72,12 @@ impl Im2colGemm {
 ///
 /// Column layout per image: `K × (OH·OW)` row-major with
 /// `K = IC·FH·FW`, rows ordered `(c, r, s)` — matching the flattened
-/// filter-bank layout so the GEMM needs no transpose. `col_base` is the
+/// filter-bank layout so the GEMM needs no transpose. Groups partition
+/// the rows: group `gi` owns rows `[gi·CPG·FH·FW, (gi+1)·CPG·FH·FW)`, so
+/// the per-group GEMM just offsets into the same column matrix. Strided,
+/// dilated and padded taps fold into the gather index (`iy = oy·SH + r·DH
+/// − pad`); out-of-image taps write an explicit zero — the lowering's
+/// memory-blowup cost the paper's approach avoids. `col_base` is the
 /// element offset of image `n0`'s column matrix inside `col`.
 #[allow(clippy::too_many_arguments)]
 fn launch_im2col(
@@ -89,6 +94,9 @@ fn launch_im2col(
     let (fh, fw) = (g.f_h, g.f_w);
     let (oh, ow) = (g.out_h(), g.out_w());
     let ic = g.in_channels;
+    let (sh, sw) = (g.stride_h, g.stride_w);
+    let (dh, dw) = (g.dil_h, g.dil_w);
+    let (pad_h, pad_w) = (g.pad_h as i64, g.pad_w as i64);
     let nsp = oh * ow;
     let kdim = ic * fh * fw;
     let per_image = kdim * nsp;
@@ -101,17 +109,32 @@ fn launch_im2col(
         blk.each_warp(|w| {
             let tid = VU::from_fn(|l| bx * 256 + (w.warp_id * WARP + l) as u32);
             let mask = tid.lt_scalar(total);
-            let gidx = VU::from_fn(|l| {
+            // Real-image coordinates per lane; out-of-image taps (padding)
+            // are masked off the load and store 0.0.
+            let mut in_image = [false; WARP];
+            let mut flat = [0usize; WARP];
+            for l in 0..WARP {
                 let e = tid.lane(l) as usize;
-                let img = n0 + e / per_image;
+                let img = n0 + (e / per_image).min(count.saturating_sub(1));
                 let rem = e % per_image;
                 let kidx = rem / nsp;
                 let sp = rem % nsp;
                 let (c, r, s) = (kidx / (fh * fw), kidx / fw % fh, kidx % fw);
                 let (oy, ox) = (sp / ow, sp % ow);
-                ((img * ic + c) * (ih * iw) + (oy + r) * iw + (ox + s)) as u32
-            });
-            let v = w.gld(input, &gidx, mask);
+                let iy = (oy * sh + r * dh) as i64 - pad_h;
+                let ix = (ox * sw + s * dw) as i64 - pad_w;
+                in_image[l] = (0..ih as i64).contains(&iy) && (0..iw as i64).contains(&ix);
+                flat[l] = (img * ic + c) * (ih * iw)
+                    + iy.clamp(0, ih as i64 - 1) as usize * iw
+                    + ix.clamp(0, iw as i64 - 1) as usize;
+            }
+            let load_mask = memconv_gpusim::LaneMask::from_fn(|l| mask.get(l) && in_image[l]);
+            let gidx = VU::from_fn(|l| flat[l] as u32);
+            let v = w.gld(input, &gidx, load_mask);
+            // masked lanes deliver 0.0 — exactly the zero-padding the
+            // column matrix needs
+            let zero = memconv_gpusim::VF::splat(0.0);
+            let v = v.select(load_mask, &zero);
             // index arithmetic above: ~8 integer ops per element
             w.count_fp(8);
             let cidx = tid + col_base as u32;
@@ -125,6 +148,12 @@ impl ConvNchwAlgorithm for Im2colGemm {
         &self.label
     }
 
+    fn supports_shape(&self, _geo: &ConvGeometry) -> bool {
+        // The lowering generalizes to every geometry axis: stride/dilation
+        // /padding fold into the gather, groups partition the K rows.
+        true
+    }
+
     fn run(&self, sim: &mut GpuSim, input: &Tensor4, weights: &FilterBank) -> (Tensor4, RunReport) {
         let (n, ic, ih, iw) = input.dims();
         let g = ConvGeometry::nchw(
@@ -136,9 +165,36 @@ impl ConvNchwAlgorithm for Im2colGemm {
             weights.fh(),
             weights.fw(),
         );
+        self.run_geo(sim, input, weights, &g)
+    }
+
+    fn run_geo(
+        &self,
+        sim: &mut GpuSim,
+        input: &Tensor4,
+        weights: &FilterBank,
+        g: &ConvGeometry,
+    ) -> (Tensor4, RunReport) {
+        assert_eq!(
+            input.dims(),
+            (g.batch, g.in_channels, g.in_h, g.in_w),
+            "input/geometry mismatch"
+        );
+        assert_eq!(
+            (weights.num_filters(), weights.channels()),
+            (g.out_channels, g.channels_per_group()),
+            "weights must be FN x IC/groups"
+        );
+        let n = g.batch;
+        let ic = g.in_channels;
         let (oh, ow) = (g.out_h(), g.out_w());
         let fn_ = g.out_channels;
+        let groups = g.groups;
+        let fpg = g.filters_per_group();
         let nsp = oh * ow;
+        // Full column matrix per image; group gi's K-block starts at row
+        // gi * kg.
+        let kg = g.channels_per_group() * g.f_h * g.f_w;
         let kdim = ic * g.f_h * g.f_w;
         let mut rep = RunReport::new();
 
@@ -146,66 +202,80 @@ impl ConvNchwAlgorithm for Im2colGemm {
         let bw = sim.mem.upload(weights.as_slice());
         let bo = sim.mem.alloc(g.out_elems());
         let dims = GemmDims {
-            m: fn_,
-            k: kdim,
+            m: fpg,
+            k: kg,
             n: nsp,
         };
 
         if self.per_image {
-            // Caffe: one column buffer, reused image by image.
+            // Caffe: one column buffer, reused image by image; one GEMM
+            // per (image, group).
             let col = sim.mem.alloc(kdim * nsp);
             let simulate_upto = if self.replicate_batch { n.min(2) } else { n };
             for img in 0..simulate_upto {
-                let s = launch_im2col(sim, bi, col, &g, img, 1, 0, self.sample);
+                let s = launch_im2col(sim, bi, col, g, img, 1, 0, self.sample);
                 rep.push(format!("im2col[{img}]"), s);
+                for gi in 0..groups {
+                    let s = launch_gemm(
+                        sim,
+                        bw,
+                        col,
+                        bo,
+                        dims,
+                        GemmBatch::single_at(
+                            gi * fpg * kg,
+                            gi * kg * nsp,
+                            img * fn_ * nsp + gi * fpg * nsp,
+                        ),
+                        self.sample,
+                    );
+                    rep.push(format!("sgemm[{img}.{gi}]"), s);
+                }
+            }
+            if simulate_upto < n {
+                // replicate the steady-state image's launch set
+                let set = 1 + groups;
+                let steady: Vec<_> = rep.launches[rep.launches.len() - set..].to_vec();
+                for img in simulate_upto..n {
+                    for (name, s) in &steady {
+                        rep.push(format!("{name} (replicated as [{img}])"), s.clone());
+                    }
+                }
+            }
+        } else {
+            // cuDNN GEMM: whole-batch workspace + one batched SGEMM per
+            // group.
+            let col = sim.mem.alloc(n * kdim * nsp);
+            let s = launch_im2col(sim, bi, col, g, 0, n, 0, self.sample);
+            rep.push("im2col_batched", s);
+            for gi in 0..groups {
                 let s = launch_gemm(
                     sim,
                     bw,
                     col,
                     bo,
                     dims,
-                    GemmBatch::single_at(0, 0, img * fn_ * nsp),
+                    GemmBatch {
+                        batch: n,
+                        stride_a: 0,
+                        stride_b: kdim * nsp,
+                        stride_c: fn_ * nsp,
+                        base_a: gi * fpg * kg,
+                        base_b: gi * kg * nsp,
+                        base_c: gi * fpg * nsp,
+                        ..GemmBatch::single()
+                    },
                     self.sample,
                 );
-                rep.push(format!("sgemm[{img}]"), s);
+                rep.push(format!("sgemm_batched[{gi}]"), s);
             }
-            if simulate_upto < n {
-                // replicate the steady-state image's counters
-                let gemm_stats = rep.launches[rep.launches.len() - 1].1.clone();
-                let col_stats = rep.launches[rep.launches.len() - 2].1.clone();
-                for img in simulate_upto..n {
-                    rep.push(format!("im2col[{img}] (replicated)"), col_stats.clone());
-                    rep.push(format!("sgemm[{img}] (replicated)"), gemm_stats.clone());
-                }
-            }
-        } else {
-            // cuDNN GEMM: whole-batch workspace + one batched SGEMM.
-            let col = sim.mem.alloc(n * kdim * nsp);
-            let s = launch_im2col(sim, bi, col, &g, 0, n, 0, self.sample);
-            rep.push("im2col_batched", s);
-            let s = launch_gemm(
-                sim,
-                bw,
-                col,
-                bo,
-                dims,
-                GemmBatch {
-                    batch: n,
-                    stride_a: 0,
-                    stride_b: kdim * nsp,
-                    stride_c: fn_ * nsp,
-                    ..GemmBatch::single()
-                },
-                self.sample,
-            );
-            rep.push("sgemm_batched", s);
         }
 
         if self.per_image {
-            // one cuBLAS dispatch per image in Caffe's loop
-            rep.add_api_overhead(crate::CUBLAS_CALL_OVERHEAD_S * n as f64);
+            // one cuBLAS dispatch per (image, group) in Caffe's loop
+            rep.add_api_overhead(crate::CUBLAS_CALL_OVERHEAD_S * (n * groups) as f64);
         } else {
-            rep.add_api_overhead(crate::CUDNN_CALL_OVERHEAD_S);
+            rep.add_api_overhead(crate::CUDNN_CALL_OVERHEAD_S * groups as f64);
         }
         let out = Tensor4::from_vec(n, fn_, oh, ow, sim.mem.download(bo).to_vec())
             .expect("shape by construction");
@@ -259,6 +329,71 @@ mod tests {
         let mut sim = GpuSim::new(DeviceConfig::test_tiny());
         let (_, rep) = Im2colGemm::cudnn_gemm().run(&mut sim, &t, &b);
         assert_eq!(rep.launches.len(), 2, "batched pipeline");
+    }
+
+    fn check_geo(algo: Im2colGemm, g: memconv_tensor::ConvGeometry, seed: u64) {
+        let g = g.validate().unwrap();
+        let mut rng = TensorRng::new(seed);
+        let t = rng.tensor(g.batch, g.in_channels, g.in_h, g.in_w);
+        let b = rng.filter_bank(g.out_channels, g.channels_per_group(), g.f_h, g.f_w);
+        let mut sim = GpuSim::new(DeviceConfig::test_tiny());
+        let (out, _) = algo.run_geo(&mut sim, &t, &b, &g);
+        let want = memconv_ref::conv_nchw_ref_geo(&t, &b, &g);
+        assert_close(out.as_slice(), want.as_slice(), 1e-4, 1e-4, &g.cache_key());
+    }
+
+    #[test]
+    fn strided_dilated_geometries_match_reference() {
+        for algo in [Im2colGemm::caffe(), Im2colGemm::cudnn_gemm()] {
+            check_geo(
+                algo.clone(),
+                ConvGeometry::nchw(2, 2, 13, 13, 3, 3, 3).with_stride(2, 2),
+                61,
+            );
+            check_geo(
+                algo,
+                ConvGeometry::nchw(1, 2, 14, 14, 2, 3, 3).with_dilation(2, 2),
+                62,
+            );
+        }
+    }
+
+    #[test]
+    fn grouped_and_depthwise_geometries_match_reference() {
+        for algo in [Im2colGemm::caffe(), Im2colGemm::cudnn_gemm()] {
+            check_geo(
+                algo.clone(),
+                ConvGeometry::nchw(2, 4, 10, 10, 6, 3, 3).with_groups(2),
+                63,
+            );
+            check_geo(
+                algo,
+                ConvGeometry::nchw(1, 5, 9, 9, 5, 3, 3).with_groups(5),
+                64,
+            );
+        }
+    }
+
+    #[test]
+    fn padded_geometry_zero_extends() {
+        let g = ConvGeometry::nchw(1, 2, 8, 8, 2, 3, 3)
+            .with_padding(memconv_tensor::Padding::Same)
+            .unwrap();
+        check_geo(Im2colGemm::cudnn_gemm(), g, 65);
+    }
+
+    #[test]
+    fn grouped_caffe_launches_one_gemm_per_group() {
+        let g = ConvGeometry::nchw(2, 4, 8, 8, 4, 3, 3)
+            .with_groups(2)
+            .validate()
+            .unwrap();
+        let mut rng = TensorRng::new(66);
+        let t = rng.tensor(2, 4, 8, 8);
+        let b = rng.filter_bank(4, 2, 3, 3);
+        let mut sim = GpuSim::new(DeviceConfig::test_tiny());
+        let (_, rep) = Im2colGemm::caffe().run_geo(&mut sim, &t, &b, &g);
+        assert_eq!(rep.launches.len(), 2 * 3, "per image: 1 im2col + 2 gemms");
     }
 
     #[test]

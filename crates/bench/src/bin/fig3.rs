@@ -51,7 +51,8 @@ fn main() {
             let panel_start = Instant::now();
             let mut panel_blocks = 0u64;
             println!(
-                "\n=== Fig. 3{} — {f}x{f} filter, speedup over GEMM-im2col ===",
+                "\n=== Fig. 3{} — {f}x{f} filter, speedup over GEMM-im2col \
+                 (native-stride: the paper's 2D setting is stride 1) ===",
                 if f == 3 { "a" } else { "b" }
             );
             println!(

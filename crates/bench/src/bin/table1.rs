@@ -37,6 +37,28 @@ fn main() {
         "\nSource: Table I of Lu, Zhang & Wang (CLUSTER 2020); layers from \
          AlexNet, VGG, ResNet and GoogLeNet."
     );
+    // Table I follows the paper and evaluates every layer at stride 1;
+    // rows whose network publishes a different stride must say so instead
+    // of silently reporting the stride-1 instantiation as the real layer.
+    println!("\nModel-zoo provenance (stride fidelity of stride-1 rows):");
+    println!(
+        "{:<10} {:<18} {:>8} {:>10} {:>26}",
+        "model", "layer", "stride", "native-OH", "fidelity"
+    );
+    for m in memconv::workloads::model_zoo() {
+        let g = m
+            .native_geometry()
+            .validate()
+            .expect("zoo geometry validates");
+        println!(
+            "{:<10} {:<18} {:>8} {:>10} {:>26}",
+            m.model,
+            m.layer,
+            m.native_stride,
+            g.out_h(),
+            m.stride_fidelity()
+        );
+    }
     println!("\nExperiment index:");
     for e in memconv::workloads::EXPERIMENTS {
         println!("  {:<16} {}", e.id, e.command);

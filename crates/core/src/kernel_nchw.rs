@@ -158,11 +158,23 @@ fn nchw_launch_parts_fused(
     (launch, kernel)
 }
 
+/// `true` when `g` is the shape the original unit-axes kernel handles:
+/// unit stride/dilation, a single group, and no implicit padding. The
+/// entry points below keep that path byte-for-byte (same loads, same
+/// transaction counters) and route everything else through the
+/// geometry-general kernel ([`crate::kernel_nchw_geo`]).
+fn unit_fast_path(g: &ConvGeometry) -> bool {
+    g.has_unit_axes() && g.pad_h == 0 && g.pad_w == 0
+}
+
 /// Launch the fused multi-channel kernel on uploaded NCHW buffers.
 ///
 /// * `input` — `N × IC × IH × IW`;
-/// * `weights` — `FN × IC × FH × FW` (constant memory);
+/// * `weights` — `FN × IC/groups × FH × FW` (constant memory);
 /// * `output` — `N × FN × OH × OW`.
+///
+/// Non-unit stride/dilation/groups and implicit padding dispatch to the
+/// geometry-general kernel; the unit-axes path is unchanged.
 pub fn launch_conv_nchw_ours(
     sim: &mut GpuSim,
     input: BufId,
@@ -171,8 +183,20 @@ pub fn launch_conv_nchw_ours(
     g: &ConvGeometry,
     cfg: &OursConfig,
 ) -> KernelStats {
-    let (launch, kernel) = nchw_launch_parts(input, weights, output, g, cfg);
-    sim.launch(&launch, kernel)
+    if unit_fast_path(g) {
+        let (launch, kernel) = nchw_launch_parts(input, weights, output, g, cfg);
+        sim.launch(&launch, kernel)
+    } else {
+        let (launch, kernel) = crate::kernel_nchw_geo::nchw_geo_launch_parts_fused(
+            input,
+            weights,
+            output,
+            g,
+            cfg,
+            ConvEpilogue::none(),
+        );
+        sim.launch(&launch, kernel)
+    }
 }
 
 /// Fallible [`launch_conv_nchw_ours`]: runs through
@@ -187,8 +211,7 @@ pub fn try_launch_conv_nchw_ours(
     g: &ConvGeometry,
     cfg: &OursConfig,
 ) -> Result<KernelStats, LaunchError> {
-    let (launch, kernel) = nchw_launch_parts(input, weights, output, g, cfg);
-    sim.try_launch(&launch, kernel)
+    try_launch_conv_nchw_fused(sim, input, weights, output, g, cfg, ConvEpilogue::none())
 }
 
 /// [`launch_conv_nchw_ours`] with a [`ConvEpilogue`] fused into the store
@@ -202,8 +225,14 @@ pub fn launch_conv_nchw_fused(
     cfg: &OursConfig,
     ep: ConvEpilogue,
 ) -> KernelStats {
-    let (launch, kernel) = nchw_launch_parts_fused(input, weights, output, g, cfg, ep);
-    sim.launch(&launch, kernel)
+    if unit_fast_path(g) {
+        let (launch, kernel) = nchw_launch_parts_fused(input, weights, output, g, cfg, ep);
+        sim.launch(&launch, kernel)
+    } else {
+        let (launch, kernel) =
+            crate::kernel_nchw_geo::nchw_geo_launch_parts_fused(input, weights, output, g, cfg, ep);
+        sim.launch(&launch, kernel)
+    }
 }
 
 /// Fallible [`launch_conv_nchw_fused`].
@@ -225,8 +254,15 @@ pub fn try_launch_conv_nchw_fused(
             )));
         }
     }
-    let (launch, kernel) = nchw_launch_parts_fused(input, weights, output, g, cfg, ep);
-    sim.try_launch(&launch, kernel)
+    if unit_fast_path(g) {
+        let (launch, kernel) = nchw_launch_parts_fused(input, weights, output, g, cfg, ep);
+        sim.try_launch(&launch, kernel)
+    } else {
+        crate::kernel_nchw_geo::check_geo(sim, g, &ep)?;
+        let (launch, kernel) =
+            crate::kernel_nchw_geo::nchw_geo_launch_parts_fused(input, weights, output, g, cfg, ep);
+        sim.try_launch(&launch, kernel)
+    }
 }
 
 /// Convenience wrapper: upload, run, download.

@@ -28,21 +28,27 @@ pub mod api;
 pub mod column_reuse;
 pub mod kernel2d;
 pub mod kernel2d_strided;
+pub mod kernel_depthwise;
 pub mod kernel_multi_filter;
 pub mod kernel_nchw;
+pub mod kernel_nchw_geo;
 pub mod plan;
 pub mod row_reuse;
 pub mod tune;
 
-pub use api::{Conv2dAlgorithm, ConvNchwAlgorithm, Ours};
+pub use api::{Conv2dAlgorithm, ConvNchwAlgorithm, DepthwiseDirect, Ours};
 pub use kernel2d::{
     conv2d_ours, conv2d_ours_padded, launch_conv2d_ours, launch_conv2d_ours_padded, OursConfig,
 };
 pub use kernel2d_strided::{conv2d_ours_strided, StridedPlan};
+pub use kernel_depthwise::{
+    conv_depthwise, launch_conv_depthwise, try_conv_depthwise, try_launch_conv_depthwise,
+};
 pub use kernel_multi_filter::{conv_nchw_multi_filter, OursMultiFilter};
 pub use kernel_nchw::{
     conv_nchw_ours, launch_conv_nchw_fused, launch_conv_nchw_ours, try_conv_nchw_ours,
     try_launch_conv_nchw_fused, try_launch_conv_nchw_ours, ConvEpilogue,
 };
+pub use kernel_nchw_geo::{contributions_geo, conv_nchw_ours_geo, try_conv_nchw_ours_geo};
 pub use plan::{ColumnPlan, Exchange};
 pub use tune::{autotune_2d, TuneError, TuneReport};

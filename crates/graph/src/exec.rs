@@ -314,7 +314,12 @@ impl GraphExecutor {
         let (name, kernel, stats, cache_hit) = match step.kind {
             StepKind::Conv { node, bias, relu } => {
                 let name = graph.nodes[node].name.clone();
-                let LayerOp::Conv { ref weights } = graph.nodes[node].op else {
+                let LayerOp::Conv {
+                    ref weights,
+                    stride,
+                    groups,
+                } = graph.nodes[node].op
+                else {
                     unreachable!("planner points conv steps at conv nodes");
                 };
                 let g = ConvGeometry::nchw(
@@ -325,7 +330,9 @@ impl GraphExecutor {
                     weights.num_filters(),
                     weights.fh(),
                     weights.fw(),
-                );
+                )
+                .with_stride(stride, stride)
+                .with_groups(groups);
                 let (cfg, hit) = self.resolve_conv(&name, &g)?;
                 let bw = sim.mem.upload(weights.as_slice());
                 let bias_buf = match bias {
@@ -541,7 +548,9 @@ mod tests {
 
     #[test]
     fn graph_and_layerwise_outputs_are_bit_identical() {
-        for which in 0..4 {
+        // Includes MobileNet: strided + depthwise nodes run in both
+        // schedules at native geometry.
+        for which in 0..network_zoo().len() {
             let graph = tiny_graph(which);
             let input = tiny_input(&graph, 2, 31 + which as u64);
             let mut ex = GraphExecutor::new(tiny_cfg());

@@ -42,10 +42,15 @@ impl TensorInfo {
 /// What one node computes.
 #[derive(Debug, Clone, PartialEq)]
 pub enum LayerOp {
-    /// Unit-stride valid convolution with the given filter bank.
+    /// Valid convolution with the given filter bank, at an explicit
+    /// stride and group count (depthwise is `groups == channels`).
     Conv {
-        /// `FN × IC × FH × FW` weights.
+        /// `FN × IC/groups × FH × FW` weights.
         weights: FilterBank,
+        /// Stride, both axes.
+        stride: usize,
+        /// Channel groups (1 = dense).
+        groups: usize,
     },
     /// Per-channel bias add: `y[c] = x[c] + bias[c]`, elementwise.
     Bias {
@@ -159,26 +164,47 @@ impl LayerGraph {
         };
         for layer in &net.layers {
             let cur = *tensors.last().expect("non-empty");
-            match *layer {
+            // Dense and depthwise convolutions share one expansion: a
+            // depthwise layer is `groups == channels` with one filter per
+            // channel (FN == C, one channel per filter).
+            let conv = match *layer {
                 NetLayer::Conv {
                     name,
                     filters,
                     filter,
+                    stride,
                     bias,
                     relu,
-                } => {
+                } => Some((name, filters, filter, stride, 1, bias, relu)),
+                NetLayer::DepthwiseConv {
+                    name,
+                    filter,
+                    stride,
+                    bias,
+                    relu,
+                } => Some((name, cur.c, filter, stride, cur.c, bias, relu)),
+                NetLayer::MaxPool { .. } => None,
+            };
+            match *layer {
+                NetLayer::Conv { .. } | NetLayer::DepthwiseConv { .. } => {
+                    let (name, filters, filter, stride, groups, bias, relu) =
+                        conv.expect("conv variants populate conv");
                     let mut rng = TensorRng::new(seed ^ (nodes.len() as u64).wrapping_mul(0x9E37));
-                    let weights = rng.filter_bank(filters, cur.c, filter, filter);
+                    let weights = rng.filter_bank(filters, cur.c / groups, filter, filter);
                     let out = TensorInfo {
                         c: filters,
-                        h: cur.h - filter + 1,
-                        w: cur.w - filter + 1,
+                        h: (cur.h - filter) / stride + 1,
+                        w: (cur.w - filter) / stride + 1,
                     };
                     push(
                         &mut nodes,
                         &mut tensors,
                         name.to_string(),
-                        LayerOp::Conv { weights },
+                        LayerOp::Conv {
+                            weights,
+                            stride,
+                            groups,
+                        },
                         out,
                     );
                     if bias {
@@ -249,14 +275,36 @@ impl LayerGraph {
             let inp = self.tensors[node.input.0];
             let out = self.tensors[node.output.0];
             let want = match &node.op {
-                LayerOp::Conv { weights } => {
-                    if weights.channels() != inp.c {
+                LayerOp::Conv {
+                    weights,
+                    stride,
+                    groups,
+                } => {
+                    if *stride == 0 || *groups == 0 {
                         return Err(GraphIrError(format!(
-                            "{}/{}: weights expect {} channels, input has {}",
+                            "{}/{}: stride and groups must be >= 1",
+                            self.model, node.name
+                        )));
+                    }
+                    if !inp.c.is_multiple_of(*groups)
+                        || !weights.num_filters().is_multiple_of(*groups)
+                    {
+                        return Err(GraphIrError(format!(
+                            "{}/{}: groups {} must divide channels {} and filters {}",
+                            self.model,
+                            node.name,
+                            groups,
+                            inp.c,
+                            weights.num_filters()
+                        )));
+                    }
+                    if weights.channels() != inp.c / groups {
+                        return Err(GraphIrError(format!(
+                            "{}/{}: weights expect {} channels, input carries {} per group",
                             self.model,
                             node.name,
                             weights.channels(),
-                            inp.c
+                            inp.c / groups
                         )));
                     }
                     if inp.h < weights.fh() || inp.w < weights.fw() {
@@ -272,8 +320,8 @@ impl LayerGraph {
                     }
                     TensorInfo {
                         c: weights.num_filters(),
-                        h: inp.h - weights.fh() + 1,
-                        w: inp.w - weights.fw() + 1,
+                        h: (inp.h - weights.fh()) / stride + 1,
+                        w: (inp.w - weights.fw()) / stride + 1,
                     }
                 }
                 LayerOp::Bias { bias } => {
@@ -338,7 +386,7 @@ mod tests {
             let convs = net
                 .layers
                 .iter()
-                .filter(|l| matches!(l, NetLayer::Conv { .. }))
+                .filter(|l| matches!(l, NetLayer::Conv { .. } | NetLayer::DepthwiseConv { .. }))
                 .count();
             assert!(g.nodes.len() >= net.layers.len() + convs, "{}", net.model);
             let (c, h, w) = net.capped(28, 8).output_shape();
@@ -355,6 +403,58 @@ mod tests {
         let c = LayerGraph::from_network(&net, 12).unwrap();
         assert_eq!(a, b);
         assert_ne!(a, c, "different seed must draw different parameters");
+    }
+
+    #[test]
+    fn mobilenet_graph_carries_stride_and_groups() {
+        let net = network_zoo()
+            .into_iter()
+            .find(|n| n.model == "MobileNet")
+            .unwrap()
+            .capped(28, 8);
+        let g = LayerGraph::from_network(&net, 13).expect("valid");
+        let convs: Vec<_> = g
+            .nodes
+            .iter()
+            .filter_map(|n| match &n.op {
+                LayerOp::Conv {
+                    weights,
+                    stride,
+                    groups,
+                } => Some((n.name.as_str(), weights.channels(), *stride, *groups)),
+                _ => None,
+            })
+            .collect();
+        // stem s2 dense, dw s1, pw dense, dw s2, pw dense.
+        assert_eq!(convs[0], ("conv1", 3, 2, 1));
+        assert_eq!(convs[1], ("conv2-dw", 1, 1, 8), "depthwise: 1ch weights");
+        assert_eq!(convs[2], ("conv2-pw", 8, 1, 1));
+        assert_eq!(convs[3], ("conv3-dw", 1, 2, 8));
+        assert_eq!(convs[4], ("conv3-pw", 8, 1, 1));
+        // Spatial walk matches the strided shape math.
+        let out = g.shape(g.output());
+        assert_eq!((out.c, out.h, out.w), net.output_shape());
+    }
+
+    #[test]
+    fn grouped_weights_must_carry_per_group_channels() {
+        let net = network_zoo()
+            .into_iter()
+            .find(|n| n.model == "MobileNet")
+            .unwrap()
+            .capped(28, 8);
+        let mut g = LayerGraph::from_network(&net, 13).unwrap();
+        // Corrupt the depthwise node's group count: weights no longer
+        // match channels-per-group.
+        for node in &mut g.nodes {
+            if let LayerOp::Conv { groups, .. } = &mut node.op {
+                if *groups > 1 {
+                    *groups = 1;
+                    break;
+                }
+            }
+        }
+        assert!(g.validate().is_err());
     }
 
     #[test]

@@ -195,12 +195,12 @@ pub fn predict_nchw(
         });
     }
     let input = Tensor4::zeros(g.batch, g.in_channels, g.in_h, g.in_w);
-    let bank = FilterBank::zeros(g.out_channels, g.in_channels, g.f_h, g.f_w);
+    let bank = FilterBank::zeros(g.out_channels, g.channels_per_group(), g.f_h, g.f_w);
     let (report, sym) = phantom_run(device, mode, CANARY_PRIMARY, |sim| {
-        algo.run(sim, &input, &bank).1
+        algo.run_geo(sim, &input, &bank, &g).1
     });
     let (_, shadow) = phantom_run(device, mode, CANARY_SHADOW, |sim| {
-        algo.run(sim, &input, &bank).1
+        algo.run_geo(sim, &input, &bank, &g).1
     });
     Ok(Prediction {
         report,
@@ -234,9 +234,9 @@ pub fn score_nchw(
         });
     }
     let input = Tensor4::zeros(g.batch, g.in_channels, g.in_h, g.in_w);
-    let bank = FilterBank::zeros(g.out_channels, g.in_channels, g.f_h, g.f_w);
+    let bank = FilterBank::zeros(g.out_channels, g.channels_per_group(), g.f_h, g.f_w);
     let (report, _) = phantom_run(device, mode, CANARY_PRIMARY, |sim| {
-        algo.run(sim, &input, &bank).1
+        algo.run_geo(sim, &input, &bank, &g).1
     });
     Ok(report)
 }
@@ -298,9 +298,9 @@ mod tests {
     ) -> KernelStats {
         let mut rng = TensorRng::new(0xD1CE);
         let input = rng.tensor(g.batch, g.in_channels, g.in_h, g.in_w);
-        let bank = rng.filter_bank(g.out_channels, g.in_channels, g.f_h, g.f_w);
+        let bank = rng.filter_bank(g.out_channels, g.channels_per_group(), g.f_h, g.f_w);
         let mut sim = GpuSim::new(device.clone()).with_launch_mode(mode);
-        algo.run(&mut sim, &input, &bank).1.totals()
+        algo.run_geo(&mut sim, &input, &bank, g).1.totals()
     }
 
     #[test]
@@ -348,6 +348,63 @@ mod tests {
             );
             assert!(p.is_exact(), "{}", algo.name());
         }
+    }
+
+    #[test]
+    fn oracle_stays_exact_on_new_geometry_axes() {
+        // The 9-counter contract extends to strided/dilated/grouped/
+        // depthwise geometries: phantom counters must equal a real run's,
+        // bit-for-bit, on both launch engines.
+        use memconv_core::DepthwiseDirect;
+        let geos = [
+            ConvGeometry::nchw(2, 3, 13, 13, 4, 3, 3).with_stride(2, 2),
+            ConvGeometry::nchw(1, 2, 14, 14, 2, 3, 3).with_dilation(2, 2),
+            ConvGeometry::nchw(1, 4, 10, 10, 6, 3, 3).with_groups(2),
+            ConvGeometry::nchw(1, 5, 12, 12, 5, 3, 3).with_groups(5),
+        ];
+        for g in geos {
+            let g = g.validate().unwrap();
+            for mode in [LaunchMode::Sequential, LaunchMode::Parallel] {
+                let algo = Ours::new();
+                let p = predict_nchw(&algo, &tiny(), &g, mode).unwrap();
+                let real = measure_nchw(&algo, &tiny(), &g, mode);
+                assert_eq!(
+                    transaction_signature(&p.stats()),
+                    transaction_signature(&real),
+                    "ours {} {mode:?}",
+                    g.cache_key()
+                );
+                assert!(p.consistent, "ours {}", g.cache_key());
+            }
+        }
+        // The dedicated depthwise kernel on its native shape.
+        let g = ConvGeometry::nchw(1, 5, 12, 12, 5, 3, 3)
+            .with_groups(5)
+            .validate()
+            .unwrap();
+        let algo = DepthwiseDirect::new();
+        let p = predict_nchw(&algo, &tiny(), &g, LaunchMode::Sequential).unwrap();
+        let real = measure_nchw(&algo, &tiny(), &g, LaunchMode::Sequential);
+        assert_eq!(
+            transaction_signature(&p.stats()),
+            transaction_signature(&real),
+            "depthwise-direct"
+        );
+    }
+
+    #[test]
+    fn depthwise_kernel_rejects_dense_shapes_in_oracle() {
+        use memconv_core::DepthwiseDirect;
+        let dense = ConvGeometry::nchw(1, 4, 10, 10, 4, 3, 3);
+        assert!(matches!(
+            predict_nchw(
+                &DepthwiseDirect::new(),
+                &tiny(),
+                &dense,
+                LaunchMode::Sequential
+            ),
+            Err(PredictError::Unsupported { .. })
+        ));
     }
 
     #[test]

@@ -20,4 +20,4 @@ pub mod nchw;
 pub use conv2d::{conv2d_ref, conv2d_ref_padded, conv2d_ref_par, conv2d_ref_strided};
 pub use gemm::gemm_ref;
 pub use im2col::{im2col_nchw_ref, im2col_ref};
-pub use nchw::conv_nchw_ref;
+pub use nchw::{conv_nchw_ref, conv_nchw_ref_geo};

@@ -14,6 +14,14 @@
 //! `tests/prop_cache_eviction.rs`). Looking entries up *after* loading
 //! legitimately changes their ticks — and therefore the re-saved bytes —
 //! exactly as it would have in the cache that was saved.
+//!
+//! Format version 3 extends the geometry key with the stride/dilation/
+//! groups axes (`...s{H}x{W}d{H}x{W}g{G}`). Pre-v3 keys implicitly meant
+//! unit axes, and the v2 geometry alphabet `{n,c,i,x,f,k,p}` + digits
+//! cannot contain `'s'` — so loading a v1/v2 file migrates each key by
+//! appending the unit-axes marker `s1x1d1x1g1`, and a migrated entry is
+//! found again by exactly the geometries it was planned for (zero reload
+//! misses, no aliasing with non-unit shapes).
 
 use crate::planner::{Plan, PlanConfig, Provenance};
 use memconv::gpusim::DeviceConfig;
@@ -182,12 +190,12 @@ impl PlanCache {
         let entries: Vec<String> = self.entries.iter().map(entry_to_json).collect();
         if entries.is_empty() {
             format!(
-                "{{\n  \"version\": 2,\n  \"capacity\": {},\n  \"entries\": []\n}}\n",
+                "{{\n  \"version\": 3,\n  \"capacity\": {},\n  \"entries\": []\n}}\n",
                 self.capacity
             )
         } else {
             format!(
-                "{{\n  \"version\": 2,\n  \"capacity\": {},\n  \"entries\": [\n    {}\n  ]\n}}\n",
+                "{{\n  \"version\": 3,\n  \"capacity\": {},\n  \"entries\": [\n    {}\n  ]\n}}\n",
                 self.capacity,
                 entries.join(",\n    ")
             )
@@ -196,17 +204,20 @@ impl PlanCache {
 
     /// Parse the persistence format.
     ///
-    /// Version 2 (current) persists each entry's recency `tick`; they are
-    /// restored verbatim (and the cache's clock resumes past the newest),
-    /// so LRU eviction order survives the round trip. Version-1 files are
-    /// still accepted: they carried no ticks, so recency degrades to file
-    /// order — the best reconstruction the legacy format permits.
+    /// Version 3 (current) extends the geometry key with the
+    /// stride/dilation/groups axes. Versions 2 and 3 persist each entry's
+    /// recency `tick`; they are restored verbatim (and the cache's clock
+    /// resumes past the newest), so LRU eviction order survives the round
+    /// trip. Version-1 files are still accepted: they carried no ticks,
+    /// so recency degrades to file order — the best reconstruction the
+    /// legacy format permits. Pre-v3 keys are migrated by appending the
+    /// unit-axes marker (see the module docs).
     ///
     /// # Errors
     ///
     /// [`CacheError::Parse`] on version/field mismatches, a zero persisted
-    /// capacity (corrupt state, never silently rewritten), a version-2
-    /// entry without a tick, or duplicate ticks (recency must be a total
+    /// capacity (corrupt state, never silently rewritten), a v2/v3 entry
+    /// without a tick, or duplicate ticks (recency must be a total
     /// order).
     pub fn from_json(s: &str) -> Result<Self, CacheError> {
         let mut capacity: Option<usize> = None;
@@ -241,7 +252,7 @@ impl PlanCache {
                     e.tick = i as u64 + 1;
                 }
             }
-            Some(2) => {
+            Some(2) | Some(3) => {
                 for (e, tick) in cache.entries.iter_mut().zip(&ticks) {
                     e.tick = tick.ok_or_else(|| {
                         CacheError::Parse(format!("entry `{}` missing tick", e.key))
@@ -255,6 +266,13 @@ impl PlanCache {
             }
             Some(v) => return Err(CacheError::Parse(format!("unsupported version {v}"))),
             None => return Err(CacheError::Parse("missing version".into())),
+        }
+        if version != Some(3) {
+            // Pre-v3 keys denote unit-axes geometries; bring them onto the
+            // extended alphabet so lookups with v3 keys hit.
+            for e in cache.entries.iter_mut() {
+                migrate_key(&mut e.key);
+            }
         }
         // Resume the recency clock past the newest persisted stamp: every
         // future get/insert outranks every persisted entry, exactly as it
@@ -296,6 +314,21 @@ impl PlanCache {
         let s =
             std::fs::read_to_string(path).map_err(|e| CacheError::Io(format!("{path}: {e}")))?;
         PlanCache::from_json(&s)
+    }
+}
+
+/// Upgrade a pre-v3 cache key to the v3 geometry alphabet in place.
+///
+/// A real cache key is `device_fingerprint|geometry`; the v2 geometry
+/// alphabet `{n,c,i,x,f,k,p}` + digits cannot contain `'s'`, so the
+/// stride marker doubles as a reliable "already v3" test. Keys without a
+/// `'|'` separator (free-form test keys, foreign entries) are left
+/// untouched — they never collide with a composed [`cache_key`].
+fn migrate_key(key: &mut String) {
+    if let Some(bar) = key.rfind('|') {
+        if !key[bar..].contains('s') {
+            key.push_str("s1x1d1x1g1");
+        }
     }
 }
 
@@ -509,8 +542,8 @@ mod tests {
         c.insert("k3".into(), baseline_plan());
         assert!(c.get("old").is_none());
         assert!(c.get("new").is_some());
-        // Re-saving upgrades to version 2 with explicit ticks.
-        assert!(c.to_json().contains("\"version\": 2"));
+        // Re-saving upgrades to version 3 with explicit ticks.
+        assert!(c.to_json().contains("\"version\": 3"));
         assert!(c.to_json().contains("\"tick\":"));
     }
 
@@ -556,7 +589,7 @@ mod tests {
             PlanCache::from_json("{}"),
             Err(CacheError::Parse(_))
         ));
-        let bad_version = "{\n\"version\": 3,\n\"capacity\": 4,\n\"entries\": []\n}";
+        let bad_version = "{\n\"version\": 4,\n\"capacity\": 4,\n\"entries\": []\n}";
         assert!(matches!(
             PlanCache::from_json(bad_version),
             Err(CacheError::Parse(_))
@@ -571,6 +604,51 @@ mod tests {
             PlanCache::load("/nonexistent/plans.json"),
             Err(CacheError::Io(_))
         ));
+    }
+
+    #[test]
+    fn v2_keys_migrate_to_unit_axes_with_zero_reload_misses() {
+        // A v2 file's keys end at the padding axis; the geometries they
+        // were planned for are exactly today's unit-axes geometries.
+        let device = DeviceConfig::test_tiny();
+        let g = ConvGeometry::nchw(1, 3, 28, 28, 16, 5, 5);
+        let v3_key = cache_key(&device, &g);
+        let bar = v3_key.rfind('|').unwrap();
+        let (v2_key, marker) = v3_key.split_at(bar + v3_key[bar..].find('s').unwrap());
+        assert_eq!(marker, "s1x1d1x1g1");
+        let v2 = format!(
+            "{{\n\"version\": 2,\n\"capacity\": 4,\n\"entries\": [\n\
+             {{\"key\":\"{v2_key}\",\"algo\":\"gemm-im2col\",\"kind\":\"baseline\",\
+             \"modeled_seconds\":0.000734,\"tick\":1}}\n]\n}}"
+        );
+        let mut c = PlanCache::from_json(&v2).unwrap();
+        assert_eq!(c.get(&v3_key).unwrap(), baseline_plan());
+        assert_eq!((c.hits(), c.misses()), (1, 0), "migration must not miss");
+        // ...and the migrated key does NOT alias a non-unit geometry.
+        let strided = cache_key(&device, &g.with_stride(2, 2));
+        assert!(c.get(&strided).is_none());
+        // Re-saving writes v3; a second load round-trips byte-identically
+        // and migrates nothing further.
+        let resaved = c.to_json();
+        assert!(resaved.contains("\"version\": 3"));
+        assert!(resaved.contains(&v3_key));
+        assert_eq!(PlanCache::from_json(&resaved).unwrap().to_json(), resaved);
+    }
+
+    #[test]
+    fn v3_keys_and_foreign_keys_are_not_migrated() {
+        let device = DeviceConfig::test_tiny();
+        let g = ConvGeometry::nchw(2, 4, 16, 16, 8, 3, 3)
+            .with_groups(4)
+            .with_stride(2, 1);
+        let key = cache_key(&device, &g);
+        let mut c = PlanCache::new(4);
+        c.insert(key.clone(), ours_plan(2));
+        c.insert("free-form-key".into(), baseline_plan());
+        let mut back = PlanCache::from_json(&c.to_json()).unwrap();
+        assert_eq!(back.get(&key).unwrap(), ours_plan(2));
+        assert_eq!(back.get("free-form-key").unwrap(), baseline_plan());
+        assert_eq!(back.misses(), 0);
     }
 
     #[test]

@@ -29,7 +29,7 @@
 
 use memconv::baselines::{As2d, DirectConv, Im2colGemm, TiledConv};
 use memconv::core::tune::{ROWS_CANDIDATES, WARP_CANDIDATES};
-use memconv::core::{Conv2dAlgorithm, ConvNchwAlgorithm, Ours, OursConfig};
+use memconv::core::{Conv2dAlgorithm, ConvNchwAlgorithm, DepthwiseDirect, Ours, OursConfig};
 use memconv::gpusim::{DeviceConfig, GpuSim, LaunchMode, SampleMode};
 use memconv::oracle::{score_nchw, PredictError};
 use memconv::tensor::generate::TensorRng;
@@ -206,6 +206,21 @@ fn nchw_candidates(sample: SampleMode) -> Vec<(Plan, Box<dyn ConvNchwAlgorithm>)
             algo,
         ));
     }
+    // The dedicated depthwise kernel: only offered where `supports_shape`
+    // accepts (groups == IC), so dense geometries never see it. Kept out
+    // of `baseline_nchw` because the 2D planner lifts that list.
+    cands.push((
+        Plan {
+            algo: "depthwise-direct".into(),
+            config: PlanConfig::Baseline,
+            modeled_seconds: 0.0,
+            provenance: Provenance::Trialed,
+        },
+        Box::new(DepthwiseDirect::with_config(OursConfig {
+            sample,
+            ..OursConfig::full()
+        })),
+    ));
     cands
 }
 
@@ -253,7 +268,7 @@ pub fn plan_nchw(
     let g = g.validate().map_err(PlanError::BadGeometry)?;
     let mut rng = TensorRng::new(trial_seed(&g));
     let input = rng.tensor(g.batch, g.in_channels, g.in_h, g.in_w);
-    let bank = rng.filter_bank(g.out_channels, g.in_channels, g.f_h, g.f_w);
+    let bank = rng.filter_bank(g.out_channels, g.channels_per_group(), g.f_h, g.f_w);
 
     let mut trials = Vec::new();
     let mut planning_seconds = 0.0;
@@ -263,7 +278,7 @@ pub fn plan_nchw(
             continue;
         }
         let mut sim = GpuSim::new(device.clone());
-        let (_, rep) = algo.run(&mut sim, &input, &bank);
+        let (_, rep) = algo.run_geo(&mut sim, &input, &bank, &g);
         let t = rep.modeled_time(device);
         trials.push((candidate_label(&plan), t));
         planning_seconds += t;
@@ -454,6 +469,12 @@ pub fn instantiate_nchw(
         ("gemm-im2col", PlanConfig::Baseline) => {
             Ok(Box::new(Im2colGemm::caffe().with_sample(sample)))
         }
+        ("depthwise-direct", PlanConfig::Baseline) => {
+            Ok(Box::new(DepthwiseDirect::with_config(OursConfig {
+                sample,
+                ..OursConfig::full()
+            })))
+        }
         _ => Err(PlanError::UnknownAlgorithm(plan.algo.clone())),
     }
 }
@@ -536,6 +557,47 @@ mod tests {
             out.trials.len(),
             ROWS_CANDIDATES.len() * WARP_CANDIDATES.len() + 3
         );
+    }
+
+    #[test]
+    fn depthwise_geometry_adds_the_dedicated_kernel_to_both_sweeps() {
+        let g = ConvGeometry::nchw(1, 6, 14, 14, 6, 3, 3).with_groups(6);
+        for out in [
+            plan_nchw(&tiny(), &g, SampleMode::Auto(64)).unwrap(),
+            plan_nchw_heuristic(&tiny(), &g, SampleMode::Auto(64)).unwrap(),
+        ] {
+            // full ours grid + gemm-im2col + depthwise-direct (tiled and
+            // direct are unit-axes-only and drop out)
+            assert_eq!(
+                out.trials.len(),
+                ROWS_CANDIDATES.len() * WARP_CANDIDATES.len() + 2,
+                "{:?}",
+                out.trials
+            );
+            assert!(
+                out.trials.iter().any(|(n, _)| n == "depthwise-direct"),
+                "{:?}",
+                out.trials
+            );
+            assert!(instantiate_nchw(&out.plan, SampleMode::Full).is_ok());
+        }
+    }
+
+    #[test]
+    fn strided_geometry_drops_unit_axes_baselines() {
+        let g = ConvGeometry::nchw(1, 2, 17, 17, 3, 3, 3).with_stride(2, 2);
+        let out = plan_nchw(&tiny(), &g, SampleMode::Auto(64)).unwrap();
+        // ours grid + gemm-im2col; tiled/direct/depthwise-direct excluded
+        assert_eq!(
+            out.trials.len(),
+            ROWS_CANDIDATES.len() * WARP_CANDIDATES.len() + 1
+        );
+        assert!(out
+            .trials
+            .iter()
+            .all(|(n, _)| n != "tiled" && n != "direct"));
+        let h = plan_nchw_heuristic(&tiny(), &g, SampleMode::Auto(64)).unwrap();
+        assert_eq!(h.trials.len(), out.trials.len());
     }
 
     #[test]

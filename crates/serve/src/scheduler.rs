@@ -500,26 +500,34 @@ impl ConvServer {
                     message: format!("geometry batch must be 1, got {}", g.batch),
                 });
             }
-            if g.in_h + 2 * g.pad_h < g.f_h || g.in_w + 2 * g.pad_w < g.f_w {
+            // Full geometry validation (dilated filter vs padded input,
+            // group divisibility, empty dims). Previously a hand-rolled
+            // undilated filter check — a 3x3 filter at dilation 4 slipped
+            // through and underflowed deep inside planning.
+            if let Err(e) = g.validate() {
                 return Err(ServeError::Unsupported {
                     endpoint: ei,
-                    message: format!(
-                        "padded input {}x{} is smaller than the {}x{} filter",
-                        g.in_h + 2 * g.pad_h,
-                        g.in_w + 2 * g.pad_w,
-                        g.f_h,
-                        g.f_w
-                    ),
+                    message: e.to_string(),
                 });
             }
             if ep.weights.num_filters() != g.out_channels
-                || ep.weights.channels() != g.in_channels
+                || ep.weights.channels() != g.channels_per_group()
                 || ep.weights.fh() != g.f_h
                 || ep.weights.fw() != g.f_w
             {
                 return Err(ServeError::BadEndpoint {
                     endpoint: ei,
-                    message: "weights do not match geometry".into(),
+                    message: format!(
+                        "weights {}x{}x{}x{} do not match geometry (want {}x{}x{}x{})",
+                        ep.weights.num_filters(),
+                        ep.weights.channels(),
+                        ep.weights.fh(),
+                        ep.weights.fw(),
+                        g.out_channels,
+                        g.channels_per_group(),
+                        g.f_h,
+                        g.f_w
+                    ),
                 });
             }
         }
@@ -538,6 +546,19 @@ impl ConvServer {
                     message: format!(
                         "input dims {:?} do not match endpoint `{}` {want:?}",
                         req.input.dims(),
+                        ep.name
+                    ),
+                });
+            }
+            // The verified chain infers unit geometry from tensor dims;
+            // routing a non-unit endpoint through it would silently
+            // compute the wrong convolution.
+            if req.checked && !(g.has_unit_axes() && g.pad_h == 0 && g.pad_w == 0) {
+                return Err(ServeError::BadRequest {
+                    id: req.id,
+                    message: format!(
+                        "checked dispatch supports only unit stride/dilation/groups \
+                         and zero padding; endpoint `{}` has neither",
                         ep.name
                     ),
                 });
@@ -603,7 +624,10 @@ fn run_group(
                 id: chunk[group.members[0]].id,
                 source,
             })?;
-        let (out, rep) = algo.run(&mut sim, &batch, &ep.weights);
+        // Coalescing widens the batch axis only; all other geometry axes
+        // (stride, dilation, groups, padding) serve at native values.
+        let bg = ConvGeometry { batch: k, ..g };
+        let (out, rep) = algo.run_geo(&mut sim, &batch, &ep.weights, &bg);
         (
             out,
             rep.modeled_time(device),
@@ -900,6 +924,134 @@ mod tests {
         };
         assert!(matches!(
             sv.run_trace(&[req]),
+            Err(ServeError::Unsupported { endpoint: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn non_unit_endpoints_serve_at_native_geometry() {
+        // Strided, dilated, and depthwise endpoints run end-to-end and
+        // their batched responses are bit-identical to the groups-aware
+        // CPU reference on each request individually.
+        use memconv::reference::conv_nchw_ref_geo;
+        let mut rng = TensorRng::new(0xD11A);
+        let eps = vec![
+            Endpoint {
+                name: "m/stride2".into(),
+                geometry: ConvGeometry::nchw(1, 2, 13, 11, 3, 3, 3).with_stride(2, 2),
+                weights: rng.filter_bank(3, 2, 3, 3),
+            },
+            Endpoint {
+                name: "m/dilated".into(),
+                geometry: ConvGeometry::nchw(1, 1, 14, 14, 2, 3, 3).with_dilation(2, 2),
+                weights: rng.filter_bank(2, 1, 3, 3),
+            },
+            Endpoint {
+                name: "m/depthwise".into(),
+                geometry: ConvGeometry::nchw(1, 4, 10, 10, 4, 3, 3).with_groups(4),
+                weights: rng.filter_bank(4, 1, 3, 3),
+            },
+        ];
+        let reqs: Vec<Request> = (0..9)
+            .map(|i| {
+                let e = i % eps.len();
+                let g = eps[e].geometry;
+                Request {
+                    id: i as u64,
+                    endpoint: e,
+                    input: rng.tensor(1, g.in_channels, g.in_h, g.in_w),
+                    checked: false,
+                    arrival_s: i as f64 * 1e-4,
+                }
+            })
+            .collect();
+        let cfg = ServeConfig {
+            window: 6,
+            workers: 2,
+            trial_sample: SampleMode::Auto(64),
+            ..ServeConfig::default()
+        };
+        let mut sv = ConvServer::new(DeviceConfig::test_tiny(), eps.clone(), cfg);
+        let (outs, rep) = sv.run_trace(&reqs).unwrap();
+        for (req, resp) in reqs.iter().zip(&outs) {
+            let ep = &eps[req.endpoint];
+            let golden = conv_nchw_ref_geo(&req.input, &ep.weights, &ep.geometry);
+            assert_eq!(
+                resp.output.as_slice(),
+                golden.as_slice(),
+                "request {} ({})",
+                req.id,
+                ep.name
+            );
+        }
+        // Coalescing still batched same-endpoint requests together.
+        assert!(rep.requests_per_launch() > 1.0);
+        // The depthwise endpoint's plan can use the dedicated kernel; at
+        // minimum it must not have planned a unit-axes-only baseline.
+        for ep in &eps {
+            let key = cache_key(&sv.device, &ep.geometry);
+            let plan = sv.cache.get(&key).expect("planned during trace");
+            assert!(
+                plan.algo != "tiled-nchw" && plan.algo != "direct-nchw",
+                "{}: picked unit-axes-only algo {}",
+                ep.name,
+                plan.algo
+            );
+        }
+    }
+
+    #[test]
+    fn checked_requests_on_non_unit_endpoints_are_rejected() {
+        let mut rng = TensorRng::new(7);
+        let eps = vec![Endpoint {
+            name: "m/stride2".into(),
+            geometry: ConvGeometry::nchw(1, 2, 12, 12, 3, 3, 3).with_stride(2, 2),
+            weights: rng.filter_bank(3, 2, 3, 3),
+        }];
+        let mut sv = ConvServer::new(DeviceConfig::test_tiny(), eps, ServeConfig::default());
+        let req = Request {
+            id: 3,
+            endpoint: 0,
+            input: rng.tensor(1, 2, 12, 12),
+            checked: true,
+            arrival_s: 0.0,
+        };
+        assert!(matches!(
+            sv.run_trace(&[req]),
+            Err(ServeError::BadRequest { id: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn grouped_endpoint_weights_carry_per_group_channels() {
+        // A grouped endpoint's weights hold IC/groups channels; passing
+        // dense IC-channel weights is a typed endpoint error.
+        let mut rng = TensorRng::new(8);
+        let eps = vec![Endpoint {
+            name: "m/grouped".into(),
+            geometry: ConvGeometry::nchw(1, 4, 10, 10, 4, 3, 3).with_groups(2),
+            weights: rng.filter_bank(4, 4, 3, 3), // want 4x2x3x3
+        }];
+        let mut sv = ConvServer::new(DeviceConfig::test_tiny(), eps, ServeConfig::default());
+        assert!(matches!(
+            sv.run_trace(&[]),
+            Err(ServeError::BadEndpoint { endpoint: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn dilated_filter_overflowing_input_is_unsupported() {
+        // 3x3 at dilation 4 spans 9 virtual rows — larger than an 8x8
+        // input. The old undilated check accepted this and underflowed.
+        let mut rng = TensorRng::new(9);
+        let eps = vec![Endpoint {
+            name: "m/dilated9".into(),
+            geometry: ConvGeometry::nchw(1, 1, 8, 8, 1, 3, 3).with_dilation(4, 4),
+            weights: rng.filter_bank(1, 1, 3, 3),
+        }];
+        let mut sv = ConvServer::new(DeviceConfig::test_tiny(), eps, ServeConfig::default());
+        assert!(matches!(
+            sv.run_trace(&[]),
             Err(ServeError::Unsupported { endpoint: 0, .. })
         ));
     }

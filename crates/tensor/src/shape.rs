@@ -11,8 +11,8 @@ use std::fmt;
 pub enum Padding {
     /// No padding: output shrinks by `F-1` in each dimension.
     Valid,
-    /// Zero padding so the output has the same spatial size as the input
-    /// (requires odd filter sizes).
+    /// Zero padding so a unit-stride output has the same spatial size as
+    /// the input (requires odd *dilated* filter sizes).
     Same,
     /// Explicit symmetric zero padding `(pad_h, pad_w)`.
     Explicit(usize, usize),
@@ -21,11 +21,11 @@ pub enum Padding {
 /// Errors raised when shapes are inconsistent.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ShapeError {
-    /// Filter larger than (padded) input.
+    /// (Dilated) filter larger than (padded) input.
     FilterTooLarge {
         /// Input height/width.
         input: (usize, usize),
-        /// Filter height/width.
+        /// Dilated filter height/width.
         filter: (usize, usize),
     },
     /// A dimension was zero.
@@ -37,7 +37,16 @@ pub enum ShapeError {
         /// Filter channel count.
         filter: usize,
     },
-    /// `Padding::Same` requested with an even filter dimension.
+    /// `groups` does not divide both channel counts.
+    GroupMismatch {
+        /// Input channel count.
+        in_channels: usize,
+        /// Output channel count.
+        out_channels: usize,
+        /// Requested group count.
+        groups: usize,
+    },
+    /// `Padding::Same` requested with an even (dilated) filter dimension.
     SamePaddingNeedsOddFilter(usize, usize),
     /// Data length does not match the shape product.
     DataLength {
@@ -60,6 +69,15 @@ impl fmt::Display for ShapeError {
             ShapeError::ChannelMismatch { input, filter } => {
                 write!(f, "input has {input} channels but filter expects {filter}")
             }
+            ShapeError::GroupMismatch {
+                in_channels,
+                out_channels,
+                groups,
+            } => write!(
+                f,
+                "groups={groups} must divide in_channels={in_channels} \
+                 and out_channels={out_channels}"
+            ),
             ShapeError::SamePaddingNeedsOddFilter(fh, fw) => {
                 write!(f, "`Same` padding requires odd filter dims, got {fh}x{fw}")
             }
@@ -75,14 +93,19 @@ impl fmt::Display for ShapeError {
 
 impl std::error::Error for ShapeError {}
 
-/// Complete geometry of one 2D (possibly multi-channel, batched)
-/// convolution, in the paper's notation: `I` input, `F` filter, `O` output;
-/// `N` batch, `C` channel, `H` height, `W` width.
+/// Complete geometry of one 2D (possibly multi-channel, batched, grouped,
+/// strided, dilated) convolution, in the paper's notation: `I` input, `F`
+/// filter, `O` output; `N` batch, `C` channel, `H` height, `W` width.
+///
+/// Stride, dilation and groups default to 1 in every constructor, which
+/// reproduces the paper's dense unit-stride setting exactly; the builder
+/// methods ([`ConvGeometry::with_stride`], [`ConvGeometry::with_dilation`],
+/// [`ConvGeometry::with_groups`]) opt into the extended axes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ConvGeometry {
     /// Batch size (`IN`).
     pub batch: usize,
-    /// Input channels (`IC = FC`).
+    /// Input channels (`IC`).
     pub in_channels: usize,
     /// Input height (`IH`) — unpadded.
     pub in_h: usize,
@@ -98,11 +121,22 @@ pub struct ConvGeometry {
     pub pad_h: usize,
     /// Zero padding applied on each side, width.
     pub pad_w: usize,
+    /// Output stride along height (≥ 1).
+    pub stride_h: usize,
+    /// Output stride along width (≥ 1).
+    pub stride_w: usize,
+    /// Filter-tap dilation along height (≥ 1; 1 = dense taps).
+    pub dil_h: usize,
+    /// Filter-tap dilation along width (≥ 1; 1 = dense taps).
+    pub dil_w: usize,
+    /// Channel groups: each group of `IC/groups` input channels feeds
+    /// `FN/groups` filters. `groups == in_channels` is depthwise.
+    pub groups: usize,
 }
 
 impl ConvGeometry {
     /// Geometry for the paper's single-image 2D convolution (Fig. 3):
-    /// batch 1, one input channel, one filter, valid padding.
+    /// batch 1, one input channel, one filter, valid padding, unit axes.
     pub fn single(in_h: usize, in_w: usize, f: usize) -> Self {
         ConvGeometry {
             batch: 1,
@@ -114,10 +148,16 @@ impl ConvGeometry {
             f_w: f,
             pad_h: 0,
             pad_w: 0,
+            stride_h: 1,
+            stride_w: 1,
+            dil_h: 1,
+            dil_w: 1,
+            groups: 1,
         }
     }
 
-    /// Multi-channel NCHW geometry with valid padding (Fig. 4 / Table I).
+    /// Multi-channel NCHW geometry with valid padding and unit
+    /// stride/dilation/groups (Fig. 4 / Table I).
     #[allow(clippy::too_many_arguments)]
     pub fn nchw(
         batch: usize,
@@ -138,7 +178,33 @@ impl ConvGeometry {
             f_w,
             pad_h: 0,
             pad_w: 0,
+            stride_h: 1,
+            stride_w: 1,
+            dil_h: 1,
+            dil_w: 1,
+            groups: 1,
         }
+    }
+
+    /// Set the output stride (both axes validated later by
+    /// [`ConvGeometry::validate`]).
+    pub fn with_stride(mut self, stride_h: usize, stride_w: usize) -> Self {
+        self.stride_h = stride_h;
+        self.stride_w = stride_w;
+        self
+    }
+
+    /// Set the filter-tap dilation.
+    pub fn with_dilation(mut self, dil_h: usize, dil_w: usize) -> Self {
+        self.dil_h = dil_h;
+        self.dil_w = dil_w;
+        self
+    }
+
+    /// Set the channel group count (`groups == in_channels` for depthwise).
+    pub fn with_groups(mut self, groups: usize) -> Self {
+        self.groups = groups;
+        self
     }
 
     /// Apply a [`Padding`] policy, returning an updated geometry.
@@ -149,11 +215,12 @@ impl ConvGeometry {
                 self.pad_w = 0;
             }
             Padding::Same => {
-                if self.f_h.is_multiple_of(2) || self.f_w.is_multiple_of(2) {
-                    return Err(ShapeError::SamePaddingNeedsOddFilter(self.f_h, self.f_w));
+                let (dfh, dfw) = (self.dilated_f_h(), self.dilated_f_w());
+                if dfh.is_multiple_of(2) || dfw.is_multiple_of(2) {
+                    return Err(ShapeError::SamePaddingNeedsOddFilter(dfh, dfw));
                 }
-                self.pad_h = (self.f_h - 1) / 2;
-                self.pad_w = (self.f_w - 1) / 2;
+                self.pad_h = (dfh - 1) / 2;
+                self.pad_w = (dfw - 1) / 2;
             }
             Padding::Explicit(ph, pw) => {
                 self.pad_h = ph;
@@ -173,16 +240,31 @@ impl ConvGeometry {
             (self.out_channels, "out_channels"),
             (self.f_h, "f_h"),
             (self.f_w, "f_w"),
+            (self.stride_h, "stride_h"),
+            (self.stride_w, "stride_w"),
+            (self.dil_h, "dil_h"),
+            (self.dil_w, "dil_w"),
+            (self.groups, "groups"),
         ] {
             if v == 0 {
                 return Err(ShapeError::EmptyDimension(name));
             }
         }
-        let (ph, pw) = (self.in_h + 2 * self.pad_h, self.in_w + 2 * self.pad_w);
-        if self.f_h > ph || self.f_w > pw {
+        if !self.in_channels.is_multiple_of(self.groups)
+            || !self.out_channels.is_multiple_of(self.groups)
+        {
+            return Err(ShapeError::GroupMismatch {
+                in_channels: self.in_channels,
+                out_channels: self.out_channels,
+                groups: self.groups,
+            });
+        }
+        let (ph, pw) = (self.padded_h(), self.padded_w());
+        let (dfh, dfw) = (self.dilated_f_h(), self.dilated_f_w());
+        if dfh > ph || dfw > pw {
             return Err(ShapeError::FilterTooLarge {
                 input: (ph, pw),
-                filter: (self.f_h, self.f_w),
+                filter: (dfh, dfw),
             });
         }
         Ok(self)
@@ -198,14 +280,82 @@ impl ConvGeometry {
         self.in_w + 2 * self.pad_w
     }
 
-    /// Output height (`OH = IH + 2·pad − FH + 1`).
-    pub fn out_h(&self) -> usize {
-        self.padded_h() - self.f_h + 1
+    /// Effective (dilated) filter height: `(FH−1)·dil_h + 1`.
+    pub fn dilated_f_h(&self) -> usize {
+        (self.f_h - 1) * self.dil_h + 1
     }
 
-    /// Output width (`OW = IW + 2·pad − FW + 1`).
+    /// Effective (dilated) filter width: `(FW−1)·dil_w + 1`.
+    pub fn dilated_f_w(&self) -> usize {
+        (self.f_w - 1) * self.dil_w + 1
+    }
+
+    /// Checked output height: `(padded_h − dilated_f_h)/stride_h + 1`, or
+    /// `None` when the dilated filter exceeds the padded input (or a
+    /// stride/dilation axis is zero). The single source of truth for
+    /// output-extent arithmetic — [`ConvGeometry::out_h`] and every
+    /// algorithm's shape math route through it.
+    pub fn checked_out_h(&self) -> Option<usize> {
+        if self.stride_h == 0 || self.dil_h == 0 || self.f_h == 0 {
+            return None;
+        }
+        self.padded_h()
+            .checked_sub(self.dilated_f_h())
+            .map(|d| d / self.stride_h + 1)
+    }
+
+    /// Checked output width (see [`ConvGeometry::checked_out_h`]).
+    pub fn checked_out_w(&self) -> Option<usize> {
+        if self.stride_w == 0 || self.dil_w == 0 || self.f_w == 0 {
+            return None;
+        }
+        self.padded_w()
+            .checked_sub(self.dilated_f_w())
+            .map(|d| d / self.stride_w + 1)
+    }
+
+    /// Output height (`OH = (IH + 2·pad − dilated_FH)/stride + 1`).
+    ///
+    /// # Panics
+    ///
+    /// On an unvalidated geometry whose dilated filter exceeds the padded
+    /// input — call [`ConvGeometry::validate`] (or use
+    /// [`ConvGeometry::checked_out_h`]) first.
+    pub fn out_h(&self) -> usize {
+        self.checked_out_h()
+            .expect("dilated filter exceeds padded input height; validate() the geometry")
+    }
+
+    /// Output width (see [`ConvGeometry::out_h`]).
     pub fn out_w(&self) -> usize {
-        self.padded_w() - self.f_w + 1
+        self.checked_out_w()
+            .expect("dilated filter exceeds padded input width; validate() the geometry")
+    }
+
+    /// Whether stride, dilation and groups are all 1 — the paper's dense
+    /// setting, which every legacy unit-axes kernel requires.
+    pub fn has_unit_axes(&self) -> bool {
+        self.stride_h == 1
+            && self.stride_w == 1
+            && self.dil_h == 1
+            && self.dil_w == 1
+            && self.groups == 1
+    }
+
+    /// Whether the geometry is depthwise: every input channel is its own
+    /// group (each filter reads exactly one input channel).
+    pub fn is_depthwise(&self) -> bool {
+        self.groups == self.in_channels && self.groups > 1
+    }
+
+    /// Input channels per group (`IC/groups`, the filter bank's `FC`).
+    pub fn channels_per_group(&self) -> usize {
+        self.in_channels / self.groups
+    }
+
+    /// Output filters per group (`FN/groups`).
+    pub fn filters_per_group(&self) -> usize {
+        self.out_channels / self.groups
     }
 
     /// Elements of one input image plane.
@@ -228,14 +378,14 @@ impl ConvGeometry {
         self.batch * self.out_channels * self.out_plane()
     }
 
-    /// Total filter weights.
+    /// Total filter weights (`FN × IC/groups × FH × FW`).
     pub fn filter_elems(&self) -> usize {
-        self.out_channels * self.in_channels * self.f_h * self.f_w
+        self.out_channels * self.channels_per_group() * self.f_h * self.f_w
     }
 
     /// Multiply-accumulate operations of a direct convolution.
     pub fn macs(&self) -> u64 {
-        self.out_elems() as u64 * (self.in_channels * self.f_h * self.f_w) as u64
+        self.out_elems() as u64 * (self.channels_per_group() * self.f_h * self.f_w) as u64
     }
 
     /// FLOPs of a direct convolution (2 per MAC).
@@ -244,7 +394,7 @@ impl ConvGeometry {
     }
 
     /// Size in elements of the lowered `im2col` matrix
-    /// (`IC·FH·FW × OH·OW` per image).
+    /// (`groups` blocks of `(IC/groups)·FH·FW × OH·OW` per image).
     pub fn im2col_elems(&self) -> usize {
         self.batch * self.in_channels * self.f_h * self.f_w * self.out_plane()
     }
@@ -253,9 +403,15 @@ impl ConvGeometry {
     /// persisted caches (the serving plan cache keys on it). Two geometries
     /// produce the same key iff they are `==`; the format is part of the
     /// persistence contract, so changing it invalidates saved caches.
+    ///
+    /// Format history: v2 cache files carried the nine-field prefix
+    /// (`n…c…i…x…f…k…x…p…x…`); v3 appends the stride/dilation/groups
+    /// suffix (`s…x…d…x…g…`). The `s` marker cannot occur in a v2 key
+    /// (its alphabet was `{n,c,i,x,f,k,p}` + digits), which is what lets
+    /// the cache loader migrate v2 entries unambiguously.
     pub fn cache_key(&self) -> String {
         format!(
-            "n{}c{}i{}x{}f{}k{}x{}p{}x{}",
+            "n{}c{}i{}x{}f{}k{}x{}p{}x{}s{}x{}d{}x{}g{}",
             self.batch,
             self.in_channels,
             self.in_h,
@@ -264,7 +420,12 @@ impl ConvGeometry {
             self.f_h,
             self.f_w,
             self.pad_h,
-            self.pad_w
+            self.pad_w,
+            self.stride_h,
+            self.stride_w,
+            self.dil_h,
+            self.dil_w,
+            self.groups
         )
     }
 }
@@ -326,6 +487,115 @@ mod tests {
             g.validate().unwrap_err(),
             ShapeError::EmptyDimension("in_channels")
         );
+        for bump in [
+            |g: &mut ConvGeometry| g.stride_h = 0,
+            |g: &mut ConvGeometry| g.stride_w = 0,
+            |g: &mut ConvGeometry| g.dil_h = 0,
+            |g: &mut ConvGeometry| g.dil_w = 0,
+            |g: &mut ConvGeometry| g.groups = 0,
+        ] {
+            let mut g = ConvGeometry::single(8, 8, 3);
+            bump(&mut g);
+            assert!(matches!(
+                g.validate().unwrap_err(),
+                ShapeError::EmptyDimension(_)
+            ));
+        }
+    }
+
+    #[test]
+    fn strided_output_shape() {
+        // AlexNet conv1 stem: 227×227, 11×11 filter, stride 4 → 55×55.
+        let g = ConvGeometry::nchw(1, 3, 227, 227, 96, 11, 11)
+            .with_stride(4, 4)
+            .validate()
+            .unwrap();
+        assert_eq!((g.out_h(), g.out_w()), (55, 55));
+        // Stride larger than the remaining extent still yields one output.
+        let g = ConvGeometry::single(5, 5, 5).with_stride(7, 7);
+        assert_eq!((g.out_h(), g.out_w()), (1, 1));
+    }
+
+    #[test]
+    fn dilated_output_shape() {
+        // 3×3 filter at dilation 2 covers a 5×5 window.
+        let g = ConvGeometry::single(10, 10, 3)
+            .with_dilation(2, 2)
+            .validate()
+            .unwrap();
+        assert_eq!(g.dilated_f_h(), 5);
+        assert_eq!((g.out_h(), g.out_w()), (6, 6));
+        // The dilated window is what must fit, not the raw filter.
+        let err = ConvGeometry::single(4, 4, 3)
+            .with_dilation(2, 2)
+            .validate()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ShapeError::FilterTooLarge {
+                input: (4, 4),
+                filter: (5, 5),
+            }
+        );
+    }
+
+    #[test]
+    fn checked_out_dims_never_panic() {
+        // The old `padded_h() - f_h + 1` underflowed here; the checked
+        // path reports None and out_h() panics with a clear message only
+        // when forced.
+        let g = ConvGeometry::single(4, 4, 9);
+        assert_eq!(g.checked_out_h(), None);
+        assert_eq!(g.checked_out_w(), None);
+        assert!(g.validate().is_err());
+        let ok = ConvGeometry::single(9, 9, 3).with_stride(2, 2);
+        assert_eq!(ok.checked_out_h(), Some(4));
+        assert_eq!(ok.out_h(), 4);
+    }
+
+    #[test]
+    fn group_arithmetic_and_validation() {
+        let g = ConvGeometry::nchw(1, 8, 16, 16, 12, 3, 3)
+            .with_groups(4)
+            .validate()
+            .unwrap();
+        assert_eq!(g.channels_per_group(), 2);
+        assert_eq!(g.filters_per_group(), 3);
+        assert!(!g.is_depthwise());
+        assert_eq!(g.filter_elems(), 12 * 2 * 9);
+        let dw = ConvGeometry::nchw(1, 8, 16, 16, 8, 3, 3).with_groups(8);
+        assert!(dw.validate().is_ok());
+        assert!(dw.is_depthwise());
+        assert_eq!(dw.channels_per_group(), 1);
+        let err = ConvGeometry::nchw(1, 8, 16, 16, 10, 3, 3)
+            .with_groups(4)
+            .validate()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ShapeError::GroupMismatch {
+                in_channels: 8,
+                out_channels: 10,
+                groups: 4,
+            }
+        );
+    }
+
+    #[test]
+    fn grouped_macs_shrink_with_groups() {
+        let dense = ConvGeometry::nchw(1, 8, 16, 16, 8, 3, 3);
+        let dw = dense.with_groups(8);
+        assert_eq!(dense.macs(), 8 * dw.macs());
+        assert_eq!(dense.flops(), 8 * dw.flops());
+    }
+
+    #[test]
+    fn unit_axes_detection() {
+        let g = ConvGeometry::nchw(1, 4, 8, 8, 4, 3, 3);
+        assert!(g.has_unit_axes());
+        assert!(!g.with_stride(2, 1).has_unit_axes());
+        assert!(!g.with_dilation(1, 2).has_unit_axes());
+        assert!(!g.with_groups(2).has_unit_axes());
     }
 
     #[test]
@@ -353,7 +623,7 @@ mod tests {
         let mut seen = std::collections::BTreeSet::new();
         seen.insert(base.cache_key());
         // bump every field once; each variant must produce a fresh key
-        for i in 0..9 {
+        for i in 0..14 {
             let mut g = base;
             match i {
                 0 => g.batch += 1,
@@ -364,13 +634,18 @@ mod tests {
                 5 => g.f_h += 1,
                 6 => g.f_w += 1,
                 7 => g.pad_h += 1,
-                _ => g.pad_w += 1,
+                8 => g.pad_w += 1,
+                9 => g.stride_h += 1,
+                10 => g.stride_w += 1,
+                11 => g.dil_h += 1,
+                12 => g.dil_w += 1,
+                _ => g.groups += 1,
             }
             assert!(seen.insert(g.cache_key()), "collision at field {i}");
         }
         // equal geometries share the key
         assert_eq!(base.cache_key(), base.cache_key());
-        assert_eq!(base.cache_key(), "n2c3i28x30f16k3x5p0x0");
+        assert_eq!(base.cache_key(), "n2c3i28x30f16k3x5p0x0s1x1d1x1g1");
     }
 
     #[test]
@@ -385,5 +660,11 @@ mod tests {
             got: 4,
         };
         assert!(e.to_string().contains("10"));
+        let e = ShapeError::GroupMismatch {
+            in_channels: 8,
+            out_channels: 10,
+            groups: 4,
+        };
+        assert!(e.to_string().contains("groups=4"), "{e}");
     }
 }

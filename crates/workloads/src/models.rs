@@ -2,12 +2,17 @@
 //! the four networks Table I draws from (AlexNet, VGG, ResNet,
 //! GoogLeNet), usable by examples and extension studies.
 //!
-//! The paper's kernels target unit-stride valid convolution, so stride-1
-//! approximations of the stem layers are provided alongside the exact
-//! configurations (`native_stride` records the real stride for
-//! documentation).
+//! The paper evaluates at stride 1, and Table-I-style rows
+//! ([`ModelLayer::as_layer_config`]) keep that convention; layers whose
+//! published stride differs are explicitly labeled
+//! `stride-1-approximation` by [`ModelLayer::stride_fidelity`] — they
+//! used to be silently reported as stride-1 rows while carrying a
+//! different `native_stride`. The kernels themselves are now
+//! geometry-general, so [`ModelLayer::native_geometry`] exposes the real
+//! configuration for the extension studies.
 
 use crate::table1::LayerConfig;
+use memconv_tensor::ConvGeometry;
 
 /// One named convolution layer of a published CNN.
 #[derive(Debug, Clone)]
@@ -24,13 +29,15 @@ pub struct ModelLayer {
     pub filters: usize,
     /// Filter size (square).
     pub filter: usize,
-    /// The network's true stride (this repository evaluates stride 1, as
-    /// the paper does).
+    /// The network's true stride (Table-I-style rows evaluate stride 1,
+    /// as the paper does; see [`ModelLayer::stride_fidelity`]).
     pub native_stride: usize,
 }
 
 impl ModelLayer {
-    /// As a Table-I-style configuration (batch 128, stride 1).
+    /// As a Table-I-style configuration (batch 128, stride 1 — check
+    /// [`ModelLayer::stride_fidelity`] before reporting the row as the
+    /// published layer).
     pub fn as_layer_config(&self) -> LayerConfig {
         LayerConfig {
             name: self.layer,
@@ -39,6 +46,33 @@ impl ModelLayer {
             filters: self.filters,
             filter: self.filter,
         }
+    }
+
+    /// How faithful a stride-1 instantiation of this row is to the
+    /// published layer: `"native-stride"` when the network really runs
+    /// this layer at stride 1, `"stride-1-approximation"` otherwise.
+    /// Table-I-style reports carry this label per row.
+    pub fn stride_fidelity(&self) -> &'static str {
+        if self.native_stride == 1 {
+            "native-stride"
+        } else {
+            "stride-1-approximation"
+        }
+    }
+
+    /// The layer at its published stride (batch 1) — what the
+    /// geometry-general kernels serve.
+    pub fn native_geometry(&self) -> ConvGeometry {
+        ConvGeometry::nchw(
+            1,
+            self.in_channels,
+            self.spatial,
+            self.spatial,
+            self.filters,
+            self.filter,
+            self.filter,
+        )
+        .with_stride(self.native_stride, self.native_stride)
     }
 }
 
@@ -90,6 +124,18 @@ pub fn model_zoo() -> Vec<ModelLayer> {
             filter: 5,
             native_stride: 1,
         },
+        // The MobileNet stem runs at stride 2 in the published network; a
+        // stride-1 instantiation of this row is an approximation and its
+        // reports say so (`stride_fidelity`).
+        ModelLayer {
+            model: "MobileNet",
+            layer: "conv1",
+            in_channels: 3,
+            spatial: 224,
+            filters: 32,
+            filter: 3,
+            native_stride: 2,
+        },
     ]
 }
 
@@ -108,19 +154,41 @@ mod tests {
 
     #[test]
     fn zoo_layers_appear_in_table1() {
-        // every zoo layer's (spatial, filters, filter) triple matches a
-        // Table I row — the zoo is the provenance of those rows
+        // Every *native-stride* zoo layer's (spatial, filters, filter)
+        // triple matches a Table I row — the zoo is the provenance of
+        // those rows. Rows whose published stride differs (the MobileNet
+        // stem) are labeled approximations and sit outside Table I.
         let t1 = crate::table1::table1_layers();
         for m in model_zoo() {
-            assert!(
-                t1.iter().any(|l| l.spatial == m.spatial
-                    && l.filters == m.filters
-                    && l.filter == m.filter),
-                "{} {} not in Table I",
-                m.model,
-                m.layer
-            );
+            let in_t1 = t1
+                .iter()
+                .any(|l| l.spatial == m.spatial && l.filters == m.filters && l.filter == m.filter);
+            match m.stride_fidelity() {
+                "native-stride" => {
+                    assert!(in_t1, "{} {} not in Table I", m.model, m.layer);
+                }
+                "stride-1-approximation" => {
+                    assert!(m.native_stride > 1, "{} {} mislabeled", m.model, m.layer);
+                }
+                other => panic!("unknown fidelity label {other}"),
+            }
         }
+    }
+
+    #[test]
+    fn native_geometry_carries_the_published_stride() {
+        let mob = model_zoo()
+            .into_iter()
+            .find(|m| m.model == "MobileNet")
+            .expect("MobileNet row");
+        assert_eq!(mob.stride_fidelity(), "stride-1-approximation");
+        let g = mob.native_geometry().validate().unwrap();
+        assert_eq!((g.stride_h, g.stride_w), (2, 2));
+        assert_eq!(g.out_h(), 111); // (224 - 3) / 2 + 1
+                                    // Stride-1 rows report native fidelity and a unit-stride geometry.
+        let vgg = model_zoo().remove(1);
+        assert_eq!(vgg.stride_fidelity(), "native-stride");
+        assert!(vgg.native_geometry().has_unit_axes());
     }
 
     #[test]

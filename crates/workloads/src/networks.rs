@@ -5,17 +5,18 @@
 //! Where [`crate::models::model_zoo`] names one *layer* per network, this
 //! zoo names a short *chain* anchored at that layer: the zoo layer's
 //! geometry (with bias + ReLU, as the published networks apply them), a
-//! follow-on convolution, and a 2×2 max-pool. Everything stays within the
-//! repository's kernel envelope — unit stride, valid convolution — so
-//! chains are stride-1 approximations of the published stems, like the
-//! single-layer zoo.
+//! follow-on convolution, and a 2×2 max-pool. Convolutions run at their
+//! **native stride** (the kernels are geometry-general), and the
+//! MobileNet chain exercises the depthwise-separable pattern — a
+//! depthwise 3×3 per-channel convolution followed by a pointwise 1×1
+//! dense one.
 
 /// One step of a network chain. Input channels are implicit: each layer
 /// consumes the previous layer's output shape (see [`NetworkDef::shapes`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum NetLayer {
-    /// Square valid convolution, unit stride, with optional fused-able
-    /// epilogues (per-channel bias add, then ReLU).
+    /// Square valid convolution with optional fused-able epilogues
+    /// (per-channel bias add, then ReLU).
     Conv {
         /// Layer name (span labels, reports).
         name: &'static str,
@@ -23,6 +24,24 @@ pub enum NetLayer {
         filters: usize,
         /// Filter size (square).
         filter: usize,
+        /// Stride (both axes; output spatial is `(h − filter)/stride + 1`).
+        stride: usize,
+        /// Add a per-output-channel bias.
+        bias: bool,
+        /// Clamp outputs at zero.
+        relu: bool,
+    },
+    /// Square depthwise valid convolution: one filter per input channel
+    /// (`groups == channels`, channel multiplier 1), so output channels
+    /// equal input channels — which is why no `filters` field exists; the
+    /// count follows the chain and stays correct under [`NetworkDef::capped`].
+    DepthwiseConv {
+        /// Layer name.
+        name: &'static str,
+        /// Filter size (square).
+        filter: usize,
+        /// Stride (both axes).
+        stride: usize,
         /// Add a per-output-channel bias.
         bias: bool,
         /// Clamp outputs at zero.
@@ -42,7 +61,9 @@ impl NetLayer {
     /// The layer's name.
     pub fn name(&self) -> &'static str {
         match self {
-            NetLayer::Conv { name, .. } | NetLayer::MaxPool { name, .. } => name,
+            NetLayer::Conv { name, .. }
+            | NetLayer::DepthwiseConv { name, .. }
+            | NetLayer::MaxPool { name, .. } => name,
         }
     }
 }
@@ -72,12 +93,20 @@ impl NetworkDef {
         for layer in &self.layers {
             match *layer {
                 NetLayer::Conv {
-                    filters, filter, ..
+                    filters,
+                    filter,
+                    stride,
+                    ..
                 } => {
                     assert!(h >= filter && w >= filter, "conv underflow");
                     c = filters;
-                    h = h - filter + 1;
-                    w = w - filter + 1;
+                    h = (h - filter) / stride + 1;
+                    w = (w - filter) / stride + 1;
+                }
+                NetLayer::DepthwiseConv { filter, stride, .. } => {
+                    assert!(h >= filter && w >= filter, "conv underflow");
+                    h = (h - filter) / stride + 1;
+                    w = (w - filter) / stride + 1;
                 }
                 NetLayer::MaxPool { k, .. } => {
                     assert!(h >= k && w >= k, "pool underflow");
@@ -104,7 +133,7 @@ impl NetworkDef {
         let mut h = self.spatial;
         for layer in &self.layers {
             let need = match *layer {
-                NetLayer::Conv { filter, .. } => filter,
+                NetLayer::Conv { filter, .. } | NetLayer::DepthwiseConv { filter, .. } => filter,
                 NetLayer::MaxPool { k, .. } => k,
             };
             if h < need {
@@ -115,7 +144,17 @@ impl NetworkDef {
                 ));
             }
             match *layer {
-                NetLayer::Conv { filter, .. } => h = h - filter + 1,
+                NetLayer::Conv { filter, stride, .. }
+                | NetLayer::DepthwiseConv { filter, stride, .. } => {
+                    if stride == 0 {
+                        return Err(format!(
+                            "{}/{}: stride must be >= 1",
+                            self.model,
+                            layer.name()
+                        ));
+                    }
+                    h = (h - filter) / stride + 1;
+                }
                 NetLayer::MaxPool { k, .. } => h /= k,
             }
         }
@@ -135,16 +174,20 @@ impl NetworkDef {
                     name,
                     filters,
                     filter,
+                    stride,
                     bias,
                     relu,
                 } => NetLayer::Conv {
                     name,
                     filters: filters.min(filter_cap),
                     filter,
+                    stride,
                     bias,
                     relu,
                 },
-                ref pool => pool.clone(),
+                // Depthwise filter counts are implicit (they track the
+                // chain), so the cap applies through the preceding layer.
+                ref other => other.clone(),
             })
             .collect();
         NetworkDef {
@@ -171,6 +214,7 @@ pub fn network_zoo() -> Vec<NetworkDef> {
                     name: "conv2",
                     filters: 256,
                     filter: 5,
+                    stride: 1,
                     bias: true,
                     relu: true,
                 },
@@ -178,6 +222,7 @@ pub fn network_zoo() -> Vec<NetworkDef> {
                     name: "conv3",
                     filters: 384,
                     filter: 3,
+                    stride: 1,
                     bias: true,
                     relu: true,
                 },
@@ -197,6 +242,7 @@ pub fn network_zoo() -> Vec<NetworkDef> {
                     name: "conv1_1",
                     filters: 64,
                     filter: 3,
+                    stride: 1,
                     bias: true,
                     relu: true,
                 },
@@ -204,6 +250,7 @@ pub fn network_zoo() -> Vec<NetworkDef> {
                     name: "conv1_2",
                     filters: 64,
                     filter: 3,
+                    stride: 1,
                     bias: true,
                     relu: true,
                 },
@@ -223,6 +270,7 @@ pub fn network_zoo() -> Vec<NetworkDef> {
                     name: "conv2_1",
                     filters: 64,
                     filter: 3,
+                    stride: 1,
                     bias: true,
                     relu: true,
                 },
@@ -230,6 +278,7 @@ pub fn network_zoo() -> Vec<NetworkDef> {
                     name: "conv2_2",
                     filters: 64,
                     filter: 3,
+                    stride: 1,
                     bias: true,
                     relu: true,
                 },
@@ -249,6 +298,7 @@ pub fn network_zoo() -> Vec<NetworkDef> {
                     name: "3a-reduce",
                     filters: 16,
                     filter: 1,
+                    stride: 1,
                     bias: true,
                     relu: true,
                 },
@@ -256,12 +306,62 @@ pub fn network_zoo() -> Vec<NetworkDef> {
                     name: "3a-5x5",
                     filters: 32,
                     filter: 5,
+                    stride: 1,
                     bias: true,
                     relu: true,
                 },
                 NetLayer::MaxPool {
                     name: "3a-pool",
                     k: 2,
+                },
+            ],
+        },
+        // MobileNet stem plus two depthwise-separable blocks: the strided
+        // dense stem, then depthwise 3×3 → pointwise 1×1 pairs (the
+        // second pair downsamples via its depthwise stride, as MobileNet
+        // does — it has no pooling layers).
+        NetworkDef {
+            model: "MobileNet",
+            in_channels: 3,
+            spatial: 224,
+            layers: vec![
+                NetLayer::Conv {
+                    name: "conv1",
+                    filters: 32,
+                    filter: 3,
+                    stride: 2,
+                    bias: true,
+                    relu: true,
+                },
+                NetLayer::DepthwiseConv {
+                    name: "conv2-dw",
+                    filter: 3,
+                    stride: 1,
+                    bias: true,
+                    relu: true,
+                },
+                NetLayer::Conv {
+                    name: "conv2-pw",
+                    filters: 64,
+                    filter: 1,
+                    stride: 1,
+                    bias: true,
+                    relu: true,
+                },
+                NetLayer::DepthwiseConv {
+                    name: "conv3-dw",
+                    filter: 3,
+                    stride: 2,
+                    bias: true,
+                    relu: true,
+                },
+                NetLayer::Conv {
+                    name: "conv3-pw",
+                    filters: 128,
+                    filter: 1,
+                    stride: 1,
+                    bias: true,
+                    relu: true,
                 },
             ],
         },
@@ -332,6 +432,49 @@ mod tests {
                 name: "c",
                 filters: 1,
                 filter: 5,
+                stride: 1,
+                bias: false,
+                relu: false,
+            }],
+        };
+        assert!(net.validate().is_err());
+    }
+
+    #[test]
+    fn mobilenet_chain_walks_native_strides_and_depthwise_channels() {
+        let mob = network_zoo()
+            .into_iter()
+            .find(|n| n.model == "MobileNet")
+            .expect("MobileNet in zoo");
+        mob.validate().unwrap();
+        let shapes = mob.shapes();
+        // stem: (224-3)/2+1 = 111; dw: 111-3+1 = 109; pw keeps spatial;
+        // dw stride 2: (109-3)/2+1 = 54; pw keeps spatial.
+        assert_eq!(shapes[0], (32, 111, 111));
+        assert_eq!(shapes[1], (32, 109, 109), "depthwise keeps channels");
+        assert_eq!(shapes[2], (64, 109, 109));
+        assert_eq!(shapes[3], (64, 54, 54));
+        assert_eq!(shapes[4], (128, 54, 54));
+        // Capping shrinks filters but depthwise channel counts follow.
+        let small = mob.capped(28, 8);
+        let s = small.shapes();
+        assert_eq!(s[0], (8, 13, 13));
+        assert_eq!(s[1], (8, 11, 11));
+        assert_eq!(s[4].0, 8);
+        small.validate().unwrap();
+    }
+
+    #[test]
+    fn zero_stride_is_rejected() {
+        let net = NetworkDef {
+            model: "tiny",
+            in_channels: 1,
+            spatial: 8,
+            layers: vec![NetLayer::Conv {
+                name: "c",
+                filters: 1,
+                filter: 3,
+                stride: 0,
                 bias: false,
                 relu: false,
             }],

@@ -78,6 +78,12 @@ pub const EXPERIMENTS: &[Experiment] = &[
         command: "cargo run --release -p memconv-bench --bin serve -- --smoke --gate",
     },
     Experiment {
+        id: "Geometry (ext.)",
+        description:
+            "Transaction analysis on the new axes: depthwise vs dense, dilation and stride sweeps",
+        command: "cargo run --release -p memconv-bench --bin geom -- --smoke --gate",
+    },
+    Experiment {
         id: "Predict (ext.)",
         description: "Symbolic oracle: predicted vs measured transaction signatures, full zoo",
         command: "cargo run --release -p memconv-bench --bin predict -- --gate --json",

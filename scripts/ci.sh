@@ -39,6 +39,13 @@ echo "==> layer-graph gate (graph --smoke --gate)"
 # fused schedule's transaction reduction over the declared floor.
 cargo run --release -q -p memconv-bench --bin graph -- --smoke --gate
 
+echo "==> geometry-axes gate (geom --smoke --gate)"
+# New-axes transaction study: zero divergences against the CPU reference
+# over the extended zoo (grouped/depthwise/dilated/strided), and the
+# dedicated depthwise kernel's transactions strictly below the
+# dense-equivalent block's.
+cargo run --release -q -p memconv-bench --bin geom -- --smoke --gate
+
 # Oracle exactness gate: predicted transaction signatures bit-equal to
 # measured runs over the whole zoo x registry, zero unexpected
 # data-dependent sites, shuffle-dynamic positive control flagged — on
